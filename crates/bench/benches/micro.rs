@@ -1,0 +1,189 @@
+//! Criterion micro-benchmarks of the substrate: real wall-clock cost of
+//! the operations the simulation charges virtual time for. These keep
+//! the reproduction honest (the harness itself must be fast enough to
+//! sweep the paper's parameter spaces) and act as performance regression
+//! guards for the core data structures.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use linuxfp_core::capability::Capabilities;
+use linuxfp_core::graph::build_graph;
+use linuxfp_core::objects::ObjectStore;
+use linuxfp_core::synth::{synthesize, trivial_chain_inline};
+use linuxfp_ebpf::helpers::NullEnv;
+use linuxfp_ebpf::maps::MapStore;
+use linuxfp_ebpf::program::{LoadedProgram, Program};
+use linuxfp_ebpf::verifier::verify;
+use linuxfp_ebpf::vm::{self, VmCtx};
+use linuxfp_netstack::bridge::Bridge;
+use linuxfp_netstack::device::IfIndex;
+use linuxfp_netstack::fib::{Fib, Route};
+use linuxfp_netstack::netfilter::{ChainHook, IptRule, Netfilter, PacketMeta};
+use linuxfp_packet::ipv4::{IpProto, Prefix};
+use linuxfp_packet::{builder, MacAddr};
+use linuxfp_platforms::{LinuxFpPlatform, LinuxPlatform, Platform, Scenario};
+use linuxfp_sim::{CostModel, CostTracker, Nanos};
+use std::net::Ipv4Addr;
+
+fn bench_vm(c: &mut Criterion) {
+    let program = trivial_chain_inline(8, 2);
+    let loaded = LoadedProgram::load(program).unwrap();
+    let maps = MapStore::new();
+    let cost = CostModel::calibrated();
+    c.bench_function("vm_interpret_chain8", |b| {
+        b.iter_batched(
+            || vec![0u8; 64],
+            |mut pkt| {
+                pkt[22] = 64; // TTL
+                let mut tracker = CostTracker::new();
+                let ctx = VmCtx::xdp(&mut pkt, 1, 0);
+                vm::run(&loaded, ctx, &mut NullEnv, &maps, &cost, &mut tracker)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_verifier(c: &mut Criterion) {
+    let program = trivial_chain_inline(16, 2);
+    c.bench_function("verifier_chain16", |b| b.iter(|| verify(&program.insns)));
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut k = linuxfp_netstack::stack::Kernel::new(1);
+    Scenario::gateway().configure_kernel(&mut k);
+    let store = ObjectStore::snapshot(&k);
+    let caps = Capabilities::full();
+    c.bench_function("graph_plus_synthesis_gateway", |b| {
+        b.iter(|| {
+            let graph = build_graph(&store, &caps);
+            synthesize(&graph).unwrap()
+        })
+    });
+}
+
+fn bench_fib(c: &mut Criterion) {
+    let mut fib = Fib::new();
+    for i in 0..1024u32 {
+        fib.insert(Route::connected(
+            Prefix::new(Ipv4Addr::from(0x0A00_0000 | (i << 8)), 24),
+            IfIndex(1 + (i % 4)),
+        ));
+    }
+    c.bench_function("fib_lpm_lookup_1k_routes", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            fib.lookup(Ipv4Addr::from(0x0A00_0000 | ((i % 1024) << 8) | 7))
+        })
+    });
+}
+
+fn bench_fdb(c: &mut Criterion) {
+    let mut br = Bridge::new(IfIndex(10), MacAddr::from_index(10));
+    for p in 1..=8 {
+        br.add_port(IfIndex(p));
+    }
+    for i in 0..1024u64 {
+        br.fdb_learn(MacAddr::from_index(i), 0, IfIndex(1 + (i % 8) as u32), Nanos::ZERO);
+    }
+    c.bench_function("bridge_fdb_lookup_1k_entries", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            br.fdb_lookup(MacAddr::from_index(i % 1024), 0, Nanos::from_nanos(1))
+        })
+    });
+}
+
+fn bench_netfilter(c: &mut Criterion) {
+    let mut nf = Netfilter::new();
+    for i in 0..100u32 {
+        nf.append(
+            ChainHook::Forward,
+            IptRule::drop_dst(Prefix::new(Ipv4Addr::from(0xC0A8_0000 + (i << 8)), 24)),
+        );
+    }
+    let meta = PacketMeta {
+        src: Ipv4Addr::new(10, 0, 1, 100),
+        dst: Ipv4Addr::new(10, 10, 3, 7),
+        proto: IpProto::Udp,
+        sport: 1,
+        dport: 2,
+        in_if: IfIndex(1),
+        out_if: IfIndex(2),
+    };
+    let cost = CostModel::calibrated();
+    c.bench_function("netfilter_eval_100_rules", |b| {
+        b.iter(|| {
+            let mut t = CostTracker::new();
+            nf.evaluate(ChainHook::Forward, &meta, &cost, &mut t)
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let s = Scenario::router();
+    let mut linux = LinuxPlatform::new(s);
+    let mac = linux.dut_mac();
+    let frame = s.frame(mac, 1, 60);
+    c.bench_function("slowpath_forward_64b", |b| {
+        b.iter_batched(
+            || frame.clone(),
+            |f| linux.process(f),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut lfp = LinuxFpPlatform::new(s);
+    let mac = lfp.dut_mac();
+    let frame = s.frame(mac, 1, 60);
+    c.bench_function("fastpath_forward_64b", |b| {
+        b.iter_batched(|| frame.clone(), |f| lfp.process(f), BatchSize::SmallInput)
+    });
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let frame = builder::udp_packet(
+        MacAddr::from_index(1),
+        MacAddr::from_index(2),
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        1,
+        2,
+        &[0u8; 1024],
+    );
+    c.bench_function("internet_checksum_1k", |b| {
+        b.iter(|| linuxfp_packet::checksum::checksum(&frame))
+    });
+    c.bench_function("program_load_router", |b| {
+        let fp = linuxfp_core::synth::synthesize_pipeline(
+            IfIndex(1),
+            "bench",
+            &[linuxfp_core::fpm::FpmInstance::Router],
+        )
+        .unwrap();
+        b.iter(|| LoadedProgram::load(Program::new("bench", fp.program.insns.clone())).unwrap())
+    });
+}
+
+fn fast_config() -> Criterion {
+    // Keep the full `cargo bench --workspace` sweep quick; these are
+    // regression guards, not publication numbers.
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700))
+}
+
+criterion_group!(
+    name = benches;
+    config = fast_config();
+    targets = bench_vm,
+    bench_verifier,
+    bench_synthesis,
+    bench_fib,
+    bench_fdb,
+    bench_netfilter,
+    bench_end_to_end,
+    bench_checksum
+);
+criterion_main!(benches);

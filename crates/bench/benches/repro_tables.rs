@@ -1,0 +1,19 @@
+//! `cargo bench` target that regenerates every paper table and figure.
+//!
+//! Not a statistical benchmark (the numbers come from deterministic
+//! virtual-time simulation); `harness = false` lets this run as part of
+//! `cargo bench --workspace` so the full artifact set lands in the bench
+//! log.
+
+use linuxfp_bench::{run_experiment, ALL_EXPERIMENTS};
+
+fn main() {
+    // Under `cargo bench -- --list`-style probing, still behave sanely.
+    println!("Regenerating all LinuxFP paper artifacts (deterministic virtual-time results)\n");
+    for id in ALL_EXPERIMENTS {
+        let start = std::time::Instant::now();
+        let table = run_experiment(id).expect("registered experiment");
+        println!("{table}");
+        println!("  [{id} regenerated in {:.2?}]\n", start.elapsed());
+    }
+}

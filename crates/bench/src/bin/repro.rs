@@ -1,0 +1,58 @@
+//! `repro` — regenerates every table and figure of the LinuxFP paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro            # run everything in paper order
+//! repro fig5 fig8  # run specific experiments
+//! repro --json ... # machine-readable output
+//! repro --list     # list available experiment ids
+//! ```
+
+use linuxfp_bench::{run_experiment, ALL_EXPERIMENTS};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for id in ALL_EXPERIMENTS {
+            println!("{id}");
+        }
+        return;
+    }
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let ids: Vec<&str> = if args.is_empty() {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    if !json {
+        println!("LinuxFP reproduction — regenerating paper artifacts\n");
+    }
+    let mut failed = false;
+    let mut json_tables = Vec::new();
+    for id in ids {
+        let start = std::time::Instant::now();
+        match run_experiment(id) {
+            Some(table) if json => json_tables.push(table.to_json()),
+            Some(table) => {
+                println!("{table}");
+                println!("  [{id} regenerated in {:.2?}]\n", start.elapsed());
+            }
+            None => {
+                eprintln!("unknown experiment: {id} (use --list)");
+                failed = true;
+            }
+        }
+    }
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::Value::Array(json_tables))
+                .expect("tables serialize")
+        );
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

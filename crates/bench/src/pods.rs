@@ -1,0 +1,100 @@
+//! Kubernetes pod-to-pod experiments: paper §VI-A2 — Fig. 9 and Table V.
+
+use crate::table::ExperimentTable;
+use linuxfp_k8s::{pair_sweep, pod_rr, Cluster};
+
+/// Figure 9: pod-to-pod throughput (transactions/s) as a function of the
+/// number of simultaneous pod pairs, intra-node and inter-node, Linux vs.
+/// LinuxFP.
+pub fn fig9_pod_throughput(max_pairs: u32) -> ExperimentTable {
+    let mut headers = vec!["configuration".to_string()];
+    headers.extend((1..=max_pairs).map(|p| format!("{p} pair(s) [txn/s]")));
+    let mut table = ExperimentTable::new(
+        "Figure 9",
+        "Pod-to-pod throughput vs. pod pairs (3-node cluster, Flannel)",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for (label, accelerated, inter) in [
+        ("Linux (intra)", false, false),
+        ("LinuxFP (intra)", true, false),
+        ("Linux (inter)", false, true),
+        ("LinuxFP (inter)", true, true),
+    ] {
+        let mut cluster = Cluster::new(3, accelerated);
+        let mut cells = vec![label.to_string()];
+        for point in pair_sweep(&mut cluster, max_pairs, inter, 17) {
+            cells.push(ExperimentTable::num(point.transactions_per_sec, 1));
+        }
+        table.row(cells);
+    }
+    table.note("paper: LinuxFP reaches ~120% (intra) / ~116% (inter) of Linux throughput");
+    table
+}
+
+/// Table V: pod-to-pod latency with a single pod pair (ms).
+pub fn table5_pod_latency() -> ExperimentTable {
+    let mut table = ExperimentTable::new(
+        "Table V",
+        "Pod-to-pod latency, single pair (ms)",
+        &["configuration", "avg", "p99", "stddev"],
+    );
+    for (label, accelerated, inter) in [
+        ("Linux (intra)", false, false),
+        ("LinuxFP (intra)", true, false),
+        ("Linux (inter)", false, true),
+        ("LinuxFP (inter)", true, true),
+    ] {
+        let mut cluster = Cluster::new(3, accelerated);
+        let a = cluster.add_pod(0);
+        let b = cluster.add_pod(if inter { 1 } else { 0 });
+        let mut r = pod_rr(&mut cluster, a, b, 4000, 23);
+        table.row(vec![
+            label.to_string(),
+            ExperimentTable::num(r.rtt_ms.mean(), 3),
+            ExperimentTable::num(r.rtt_ms.p99(), 1),
+            ExperimentTable::num(r.rtt_ms.stddev(), 3),
+        ]);
+    }
+    table.note("paper: Linux intra 9.680/20.1/2.021, LinuxFP intra 7.918/15.9/1.527, Linux inter 29.226/34.7, LinuxFP inter 25.176/30.9");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_linuxfp_above_linux_everywhere() {
+        let t = fig9_pod_throughput(3);
+        for pairs in 1..=3usize {
+            let ratio_intra =
+                t.value("LinuxFP (intra)", pairs) / t.value("Linux (intra)", pairs);
+            assert!((1.10..1.35).contains(&ratio_intra), "intra {ratio_intra:.3} {t}");
+            let ratio_inter =
+                t.value("LinuxFP (inter)", pairs) / t.value("Linux (inter)", pairs);
+            assert!((1.05..1.25).contains(&ratio_inter), "inter {ratio_inter:.3} {t}");
+        }
+        // Intra is faster than inter in absolute terms.
+        assert!(t.value("Linux (intra)", 1) > t.value("Linux (inter)", 1));
+    }
+
+    #[test]
+    fn table5_reproduces_paper_bands() {
+        let t = table5_pod_latency();
+        let li = t.value("Linux (intra)", 1);
+        let fi = t.value("LinuxFP (intra)", 1);
+        let le = t.value("Linux (inter)", 1);
+        let fe = t.value("LinuxFP (inter)", 1);
+        // Paper absolute bands.
+        assert!((9.0..10.4).contains(&li), "linux intra {li}");
+        assert!((7.3..8.6).contains(&fi), "linuxfp intra {fi}");
+        assert!((27.5..31.0).contains(&le), "linux inter {le}");
+        assert!((23.5..27.5).contains(&fe), "linuxfp inter {fe}");
+        // Improvements: ~18% intra, ~14% inter.
+        assert!((0.12..0.25).contains(&(1.0 - fi / li)));
+        assert!((0.06..0.22).contains(&(1.0 - fe / le)));
+        // p99 ordering preserved.
+        assert!(t.value("LinuxFP (intra)", 2) < t.value("Linux (intra)", 2));
+        assert!(t.value("LinuxFP (inter)", 2) < t.value("Linux (inter)", 2));
+    }
+}

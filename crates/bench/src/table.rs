@@ -1,0 +1,158 @@
+//! Rendering helpers: every experiment returns an [`ExperimentTable`]
+//! that prints like the paper's tables/figure series and is asserted on
+//! by the regression tests.
+
+use std::fmt;
+
+/// A rendered experiment: headers plus rows of cells, with the raw
+/// numeric values kept alongside for programmatic checks.
+#[derive(Debug, Clone)]
+pub struct ExperimentTable {
+    /// Table/figure identifier ("Table III", "Figure 5", ...).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of rendered cells.
+    pub rows: Vec<Vec<String>>,
+    /// Notes on workload parameters / deviations.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentTable {
+    /// Creates an empty table.
+    pub fn new(id: &'static str, title: &'static str, headers: &[&str]) -> Self {
+        ExperimentTable {
+            id,
+            title,
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// A cell from a float with the given precision.
+    pub fn num(v: f64, precision: usize) -> String {
+        format!("{v:.precision$}")
+    }
+
+    /// A numeric cell out of a rendered row (for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell is not numeric.
+    pub fn cell_f64(&self, row: usize, col: usize) -> f64 {
+        self.rows[row][col]
+            .replace(',', "")
+            .parse()
+            .unwrap_or_else(|_| panic!("cell ({row},{col}) = {:?} not numeric", self.rows[row][col]))
+    }
+
+    /// The row whose first cell equals `name` (for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics when absent.
+    pub fn row_by_name(&self, name: &str) -> &[String] {
+        self.rows
+            .iter()
+            .find(|r| r[0] == name)
+            .unwrap_or_else(|| panic!("no row named {name}"))
+    }
+
+    /// A numeric cell addressed by row name and column index.
+    pub fn value(&self, row_name: &str, col: usize) -> f64 {
+        self.row_by_name(row_name)[col]
+            .replace(',', "")
+            .parse()
+            .unwrap_or_else(|_| panic!("({row_name},{col}) not numeric"))
+    }
+}
+
+impl ExperimentTable {
+    /// Machine-readable form of the table.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "id": self.id,
+            "title": self.title,
+            "headers": self.headers,
+            "rows": self.rows,
+            "notes": self.notes,
+        })
+    }
+}
+
+impl fmt::Display for ExperimentTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_accesses() {
+        let mut t = ExperimentTable::new("Table X", "demo", &["name", "pps"]);
+        t.row(vec!["Linux".into(), ExperimentTable::num(1_000_000.4, 0)]);
+        t.row(vec!["LinuxFP".into(), "1768221".into()]);
+        t.note("calibrated");
+        let s = t.to_string();
+        assert!(s.contains("Table X") && s.contains("LinuxFP") && s.contains("note:"));
+        assert_eq!(t.cell_f64(0, 1), 1_000_000.0);
+        assert_eq!(t.value("LinuxFP", 1), 1_768_221.0);
+        assert_eq!(t.row_by_name("Linux")[0], "Linux");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = ExperimentTable::new("T", "d", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no row named")]
+    fn missing_row_panics() {
+        let t = ExperimentTable::new("T", "d", &["a"]);
+        t.row_by_name("ghost");
+    }
+}

@@ -1,0 +1,332 @@
+//! Virtual-network-function experiments: the paper's §VI-A1 — virtual
+//! router and virtual gateway across four platforms.
+//!
+//! Regenerates Figures 5–8 and Tables III–IV.
+
+use crate::table::ExperimentTable;
+use linuxfp_platforms::{
+    LinuxFpPlatform, LinuxPlatform, Platform, PolycubePlatform, Scenario, VppPlatform,
+};
+use linuxfp_traffic::netperf::{run_rr, RrConfig};
+use linuxfp_traffic::pktgen;
+
+/// All four platforms configured for a scenario, with their workload MAC.
+fn platforms(scenario: Scenario) -> Vec<(String, Box<dyn Platform>, linuxfp_packet::MacAddr)> {
+    let linux = LinuxPlatform::new(scenario);
+    let linux_mac = linux.dut_mac();
+    let pcn = PolycubePlatform::new(scenario);
+    let pcn_mac = pcn.dut_mac();
+    let vpp = VppPlatform::new(scenario);
+    let vpp_mac = vpp.dut_mac();
+    let lfp = LinuxFpPlatform::new(scenario);
+    let lfp_mac = lfp.dut_mac();
+    vec![
+        ("Linux".to_string(), Box::new(linux) as Box<dyn Platform>, linux_mac),
+        ("Polycube".to_string(), Box::new(pcn), pcn_mac),
+        ("VPP".to_string(), Box::new(vpp), vpp_mac),
+        ("LinuxFP".to_string(), Box::new(lfp), lfp_mac),
+    ]
+}
+
+/// Figure 5: virtual-router throughput (Mpps) as a function of cores,
+/// minimum-size packets, 50 prefixes.
+pub fn fig5_router_throughput(max_cores: u32) -> ExperimentTable {
+    let scenario = Scenario::router();
+    let mut headers = vec!["platform".to_string()];
+    headers.extend((1..=max_cores).map(|c| format!("{c} core(s) [Mpps]")));
+    let mut table = ExperimentTable::new(
+        "Figure 5",
+        "Virtual router throughput vs. cores (64B packets, 50 prefixes)",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for (name, mut platform, mac) in platforms(scenario) {
+        let mut cells = vec![name];
+        for point in pktgen::sweep_cores(platform.as_mut(), scenario, mac, max_cores) {
+            cells.push(ExperimentTable::num(point.pps / 1e6, 3));
+        }
+        table.row(cells);
+    }
+    table.note("paper: LinuxFP ~1.77x Linux, ~1.19x Polycube; VPP above all (batching, dedicated cores)");
+    table
+}
+
+/// Table III: virtual-router RTT with a single core, 128 netperf TCP_RR
+/// sessions (µs).
+pub fn table3_router_latency() -> ExperimentTable {
+    latency_table(
+        "Table III",
+        "Virtual router RTT, single core, 128 RR sessions (us)",
+        Scenario::router(),
+        false,
+    )
+}
+
+/// Figure 6: single-core router throughput vs. packet size (Gbps).
+pub fn fig6_packet_size_sweep() -> ExperimentTable {
+    let scenario = Scenario::router();
+    let sizes = [64u32, 128, 256, 512, 1024, 1518];
+    let mut headers = vec!["platform".to_string()];
+    headers.extend(sizes.iter().map(|s| format!("{s}B [Gbps]")));
+    let mut table = ExperimentTable::new(
+        "Figure 6",
+        "Virtual router single-core throughput vs. packet size",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for (name, mut platform, mac) in platforms(scenario) {
+        let mut cells = vec![name];
+        for point in pktgen::sweep_packet_sizes(platform.as_mut(), scenario, mac, &sizes) {
+            cells.push(ExperimentTable::num(point.gbps, 2));
+        }
+        table.row(cells);
+    }
+    table.note("paper: LinuxFP and Polycube near the 25G line rate at 1500B with one core");
+    table
+}
+
+/// Figure 7: virtual-gateway throughput (Mpps) vs. cores — 100 blacklist
+/// rules + 50 prefixes, with the LinuxFP ipset variant included.
+pub fn fig7_gateway_throughput(max_cores: u32) -> ExperimentTable {
+    let scenario = Scenario::gateway();
+    let mut headers = vec!["platform".to_string()];
+    headers.extend((1..=max_cores).map(|c| format!("{c} core(s) [Mpps]")));
+    let mut table = ExperimentTable::new(
+        "Figure 7",
+        "Virtual gateway throughput vs. cores (100 rules, 64B packets)",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for (name, mut platform, mac) in platforms(scenario) {
+        let mut cells = vec![name];
+        for point in pktgen::sweep_cores(platform.as_mut(), scenario, mac, max_cores) {
+            cells.push(ExperimentTable::num(point.pps / 1e6, 3));
+        }
+        table.row(cells);
+    }
+    // The ipset-aggregated LinuxFP variant the paper highlights.
+    let ipset = Scenario::gateway_ipset();
+    let mut lfp = LinuxFpPlatform::new(ipset);
+    let mac = lfp.dut_mac();
+    let mut cells = vec!["LinuxFP (ipset)".to_string()];
+    for point in pktgen::sweep_cores(&mut lfp, ipset, mac, max_cores) {
+        cells.push(ExperimentTable::num(point.pps / 1e6, 3));
+    }
+    table.row(cells);
+    table.note("paper: LinuxFP ~2x Linux; with ipset aggregation LinuxFP beats Polycube");
+    table
+}
+
+/// Table IV: virtual-gateway RTT, single core (µs), including the ipset
+/// variants.
+pub fn table4_gateway_latency() -> ExperimentTable {
+    latency_table(
+        "Table IV",
+        "Virtual gateway RTT, single core, 128 RR sessions (us)",
+        Scenario::gateway(),
+        true,
+    )
+}
+
+fn latency_table(
+    id: &'static str,
+    title: &'static str,
+    scenario: Scenario,
+    with_ipset_variants: bool,
+) -> ExperimentTable {
+    let mut table = ExperimentTable::new(id, title, &["platform", "avg", "p99", "stddev"]);
+    let measure = |name: String, platform: &mut dyn Platform, mac: linuxfp_packet::MacAddr, sc: Scenario| {
+        let service = platform.service_time_ns(&mut |i| sc.frame(mac, i, 60));
+        let mut result = run_rr(&RrConfig::paper_default(
+            service,
+            platform.traits().scheduling,
+        ));
+        let mut row = vec![name];
+        row.push(ExperimentTable::num(result.rtt_us.mean(), 3));
+        row.push(ExperimentTable::num(result.rtt_us.p99(), 3));
+        row.push(ExperimentTable::num(result.rtt_us.stddev(), 3));
+        row
+    };
+    for (name, mut platform, mac) in platforms(scenario) {
+        let row = measure(name, platform.as_mut(), mac, scenario);
+        table.row(row);
+    }
+    if with_ipset_variants {
+        let ipset = Scenario::gateway_ipset();
+        let mut linux = LinuxPlatform::new(ipset);
+        let mac = linux.dut_mac();
+        let row = measure("Linux (ipset)".into(), &mut linux, mac, ipset);
+        table.row(row);
+        let mut lfp = LinuxFpPlatform::new(ipset);
+        let mac = lfp.dut_mac();
+        let row = measure("LinuxFP (ipset)".into(), &mut lfp, mac, ipset);
+        table.row(row);
+    }
+    table.note("paper Table III: Linux 326.9/512.4/109.3, Polycube 145.8, VPP 85.6, LinuxFP 151.7");
+    table
+}
+
+/// Figure 8: single-core gateway throughput (Mpps) vs. number of filter
+/// rules; Linux and LinuxFP decay with the linear scan, Polycube's
+/// classifier and LinuxFP's ipset aggregation stay flat.
+pub fn fig8_rules_sweep() -> ExperimentTable {
+    let rule_counts = [1u32, 10, 50, 100, 250, 500, 1000];
+    let mut headers = vec!["platform".to_string()];
+    headers.extend(rule_counts.iter().map(|r| format!("{r} rules [Mpps]")));
+    let mut table = ExperimentTable::new(
+        "Figure 8",
+        "Virtual gateway single-core throughput vs. filter rules",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+
+    let make_scenario = |rules: u32, ipset: bool| Scenario {
+        prefixes: 50,
+        filter_rules: rules,
+        use_ipset: ipset,
+    };
+
+    let mut rows: Vec<(String, Vec<String>)> = vec![
+        ("Linux".into(), Vec::new()),
+        ("Polycube".into(), Vec::new()),
+        ("LinuxFP".into(), Vec::new()),
+        ("LinuxFP (ipset)".into(), Vec::new()),
+    ];
+    for &rules in &rule_counts {
+        let s = make_scenario(rules, false);
+        let si = make_scenario(rules, true);
+        let mut linux = LinuxPlatform::new(s);
+        let mac = linux.dut_mac();
+        rows[0].1.push(ExperimentTable::num(
+            pktgen::throughput_pps(&mut linux, s, mac, 1, 64).pps / 1e6,
+            3,
+        ));
+        let mut pcn = PolycubePlatform::new(s);
+        let mac = pcn.dut_mac();
+        rows[1].1.push(ExperimentTable::num(
+            pktgen::throughput_pps(&mut pcn, s, mac, 1, 64).pps / 1e6,
+            3,
+        ));
+        let mut lfp = LinuxFpPlatform::new(s);
+        let mac = lfp.dut_mac();
+        rows[2].1.push(ExperimentTable::num(
+            pktgen::throughput_pps(&mut lfp, s, mac, 1, 64).pps / 1e6,
+            3,
+        ));
+        let mut lfpi = LinuxFpPlatform::new(si);
+        let mac = lfpi.dut_mac();
+        rows[3].1.push(ExperimentTable::num(
+            pktgen::throughput_pps(&mut lfpi, si, mac, 1, 64).pps / 1e6,
+            3,
+        ));
+    }
+    for (name, cells) in rows {
+        let mut row = vec![name];
+        row.extend(cells);
+        table.row(row);
+    }
+    table.note("paper: linear iptables search hurts Linux and LinuxFP; ipset keeps LinuxFP flat and ahead of Polycube");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_reproduces_paper_ordering() {
+        let t = fig5_router_throughput(4);
+        // Single-core column: VPP > LinuxFP > Polycube > Linux.
+        let linux = t.value("Linux", 1);
+        let pcn = t.value("Polycube", 1);
+        let vpp = t.value("VPP", 1);
+        let lfp = t.value("LinuxFP", 1);
+        assert!(vpp > lfp && lfp > pcn && pcn > linux, "{t}");
+        // The headline 77% speedup.
+        let speedup = lfp / linux;
+        assert!((1.6..1.95).contains(&speedup), "speedup {speedup:.2}");
+        // ~19% over Polycube (footnote 2).
+        let over_pcn = lfp / pcn;
+        assert!((1.02..1.4).contains(&over_pcn), "over polycube {over_pcn:.2}");
+        // 4-core scaling near-linear for every platform.
+        for name in ["Linux", "Polycube", "VPP", "LinuxFP"] {
+            let r = t.value(name, 4) / t.value(name, 1);
+            assert!((3.4..4.01).contains(&r), "{name} 4-core ratio {r:.2}");
+        }
+    }
+
+    #[test]
+    fn table3_reproduces_paper_ordering() {
+        let t = table3_router_latency();
+        let linux = t.value("Linux", 1);
+        let lfp = t.value("LinuxFP", 1);
+        let vpp = t.value("VPP", 1);
+        assert!(vpp < lfp && lfp < linux, "{t}");
+        // The paper's 53% latency reduction claim (LinuxFP vs Linux).
+        let reduction = 1.0 - lfp / linux;
+        assert!((0.40..0.62).contains(&reduction), "reduction {reduction:.2}");
+        // p99 > avg for everyone.
+        for row in &t.rows {
+            let avg: f64 = row[1].parse().unwrap();
+            let p99: f64 = row[2].parse().unwrap();
+            assert!(p99 > avg);
+        }
+    }
+
+    #[test]
+    fn fig6_line_rate_at_mtu() {
+        let t = fig6_packet_size_sweep();
+        // At 1518B, LinuxFP and Polycube approach the 25G line rate with
+        // one core (our service times anchor to Table VII's single-core
+        // pps, which caps XDP platforms slightly below full line rate —
+        // see EXPERIMENTS.md on the paper's own Fig.6/Table VII tension).
+        let cols = t.headers.len() - 1;
+        assert!(t.value("LinuxFP", cols) > 20.0, "{t}");
+        assert!(t.value("Polycube", cols) > 16.5, "{t}");
+        // Linux stays well below.
+        assert!(t.value("Linux", cols) < 16.0, "{t}");
+    }
+
+    #[test]
+    fn fig7_gateway_ordering() {
+        let t = fig7_gateway_throughput(2);
+        let linux = t.value("Linux", 1);
+        let lfp = t.value("LinuxFP", 1);
+        let lfp_ipset = t.value("LinuxFP (ipset)", 1);
+        let pcn = t.value("Polycube", 1);
+        // LinuxFP ~2x Linux even with the linear scan.
+        let speedup = lfp / linux;
+        assert!((1.6..2.6).contains(&speedup), "gateway speedup {speedup:.2}");
+        // ipset variant beats Polycube (the paper's point).
+        assert!(lfp_ipset > pcn, "{t}");
+        // Plain LinuxFP (linear scan) is below Polycube's classifier.
+        assert!(lfp < pcn, "{t}");
+    }
+
+    #[test]
+    fn table4_ipset_improves_latency() {
+        let t = table4_gateway_latency();
+        assert!(t.value("LinuxFP (ipset)", 1) < t.value("LinuxFP", 1));
+        assert!(t.value("Linux (ipset)", 1) < t.value("Linux", 1));
+        assert!(t.value("VPP", 1) < t.value("LinuxFP (ipset)", 1));
+        // Paper ordering: LinuxFP(ipset) < Polycube.
+        assert!(t.value("LinuxFP (ipset)", 1) < t.value("Polycube", 1), "{t}");
+    }
+
+    #[test]
+    fn fig8_scaling_shapes() {
+        let t = fig8_rules_sweep();
+        let first_col = 1;
+        let last_col = t.headers.len() - 1;
+        // Linux decays heavily with rules (>5x from 1 to 1000 rules).
+        let linux_decay = t.value("Linux", first_col) / t.value("Linux", last_col);
+        assert!(linux_decay > 5.0, "linux decay {linux_decay:.1} {t}");
+        // LinuxFP decays too (inherits the linear search) but less.
+        let lfp_decay = t.value("LinuxFP", first_col) / t.value("LinuxFP", last_col);
+        assert!(lfp_decay > 2.0 && lfp_decay < linux_decay, "{t}");
+        // Polycube and LinuxFP(ipset) are ~flat (<15% decay).
+        for name in ["Polycube", "LinuxFP (ipset)"] {
+            let decay = t.value(name, first_col) / t.value(name, last_col);
+            assert!(decay < 1.15, "{name} decay {decay:.2} {t}");
+        }
+        // At 1000 rules LinuxFP(ipset) is the best non-VPP platform.
+        assert!(t.value("LinuxFP (ipset)", last_col) > t.value("Polycube", last_col));
+        assert!(t.value("LinuxFP (ipset)", last_col) > t.value("Linux", last_col) * 3.0);
+    }
+}

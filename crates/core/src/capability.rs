@@ -1,0 +1,104 @@
+//! The Capability Manager: does the running kernel support the fast path
+//! we are about to build?
+//!
+//! The paper's helpers (`bpf_fdb_lookup`, `bpf_ipt_lookup`) are *not*
+//! upstream; a LinuxFP controller on a stock kernel must detect their
+//! absence and synthesize only what the kernel can support, leaving the
+//! rest to the slow path (paper §V, "Capability Manager"). Failure
+//! injection tests flip these flags to verify graceful degradation.
+
+use crate::fpm::FpmKind;
+use linuxfp_ebpf::insn::HelperId;
+use std::collections::HashSet;
+
+/// The set of kernel facilities available to synthesized fast paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Capabilities {
+    helpers: HashSet<HelperId>,
+}
+
+impl Capabilities {
+    /// Everything available — a kernel carrying the paper's helper
+    /// patches.
+    pub fn full() -> Self {
+        Capabilities {
+            helpers: [
+                HelperId::FibLookup,
+                HelperId::FdbLookup,
+                HelperId::IptLookup,
+                HelperId::Redirect,
+                HelperId::KtimeGetNs,
+                HelperId::MapLookup,
+                HelperId::MapUpdate,
+                HelperId::CtLookup,
+                HelperId::TrivialNf,
+                HelperId::XskRedirect,
+            ]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    /// A stock mainline kernel: `bpf_fib_lookup` exists, the paper's new
+    /// helpers do not.
+    pub fn stock_kernel() -> Self {
+        let mut caps = Capabilities::full();
+        caps.helpers.remove(&HelperId::FdbLookup);
+        caps.helpers.remove(&HelperId::IptLookup);
+        caps.helpers.remove(&HelperId::CtLookup);
+        caps
+    }
+
+    /// Removes a helper (failure injection / older kernels).
+    pub fn without(mut self, helper: HelperId) -> Self {
+        self.helpers.remove(&helper);
+        self
+    }
+
+    /// Whether a helper is available.
+    pub fn has(&self, helper: HelperId) -> bool {
+        self.helpers.contains(&helper)
+    }
+
+    /// Whether every helper an FPM kind requires is available.
+    pub fn supports(&self, kind: FpmKind) -> bool {
+        kind.required_helpers().iter().all(|h| self.has(*h))
+    }
+}
+
+impl Default for Capabilities {
+    fn default() -> Self {
+        Capabilities::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_supports_everything() {
+        let caps = Capabilities::full();
+        for kind in [FpmKind::Bridge, FpmKind::Router, FpmKind::Filter, FpmKind::Ipvs] {
+            assert!(caps.supports(kind), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn stock_kernel_lacks_new_helpers() {
+        let caps = Capabilities::stock_kernel();
+        assert!(caps.supports(FpmKind::Router)); // bpf_fib_lookup upstream
+        assert!(!caps.supports(FpmKind::Bridge)); // needs bpf_fdb_lookup
+        assert!(!caps.supports(FpmKind::Filter)); // needs bpf_ipt_lookup
+        assert!(!caps.supports(FpmKind::Ipvs));
+    }
+
+    #[test]
+    fn without_removes_single_helpers() {
+        let caps = Capabilities::full().without(HelperId::FibLookup);
+        assert!(!caps.supports(FpmKind::Router));
+        assert!(caps.supports(FpmKind::Bridge));
+        assert!(!caps.has(HelperId::FibLookup));
+        assert!(caps.has(HelperId::Redirect));
+    }
+}

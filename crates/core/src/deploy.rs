@@ -1,0 +1,312 @@
+//! The Fast Path Deployer: verify, load, attach dispatchers, and swap
+//! data paths atomically.
+//!
+//! Per paper §IV-A2: replacing an attached XDP program can lose packets
+//! for seconds, so LinuxFP attaches a constant dispatcher per interface
+//! and swaps the *tail-call target* instead. The deployer owns one
+//! [`Dispatcher`] per accelerated interface and hook, creates it on first
+//! deployment, and afterwards only updates program-array slots.
+
+use crate::synth::SynthesizedFp;
+use linuxfp_ebpf::hook::{Dispatcher, HookPoint};
+use linuxfp_ebpf::maps::MapStore;
+use linuxfp_ebpf::program::LoadedProgram;
+use linuxfp_ebpf::verifier::VerifyError;
+use linuxfp_netstack::device::IfIndex;
+use linuxfp_netstack::stack::Kernel;
+use linuxfp_netstack::NetError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Deployment failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployError {
+    /// The synthesized program failed verification — a controller bug;
+    /// the old data path stays installed.
+    Rejected {
+        /// Interface whose program was rejected.
+        ifname: String,
+        /// The verifier error.
+        error: VerifyError,
+    },
+    /// The target interface disappeared between synthesis and deploy.
+    Device(String),
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::Rejected { ifname, error } => {
+                write!(f, "program for {ifname} rejected by verifier: {error}")
+            }
+            DeployError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+impl From<NetError> for DeployError {
+    fn from(e: NetError) -> Self {
+        DeployError::Device(e.to_string())
+    }
+}
+
+/// Summary of one deployment round.
+#[derive(Debug, Clone, Default)]
+pub struct DeployOutcome {
+    /// `(interface name, program instruction count)` for each installed
+    /// data path.
+    pub installed: Vec<(String, usize)>,
+    /// Interfaces whose data path was removed (configuration no longer
+    /// needs one).
+    pub removed: Vec<IfIndex>,
+    /// How many programs actually changed (were verified, loaded and
+    /// swapped); unchanged programs are left untouched.
+    pub swapped: usize,
+}
+
+/// Owns the per-interface dispatchers and performs atomic swaps.
+#[derive(Debug)]
+pub struct Deployer {
+    hook: HookPoint,
+    maps: MapStore,
+    dispatchers: HashMap<IfIndex, Dispatcher>,
+}
+
+impl Deployer {
+    /// Creates a deployer targeting the given hook point.
+    pub fn new(hook: HookPoint, maps: MapStore) -> Self {
+        Deployer {
+            hook,
+            maps,
+            dispatchers: HashMap::new(),
+        }
+    }
+
+    /// The hook point this deployer attaches to.
+    pub fn hook(&self) -> HookPoint {
+        self.hook
+    }
+
+    /// The shared map store (program arrays + any platform maps).
+    pub fn maps(&self) -> &MapStore {
+        &self.maps
+    }
+
+    /// Interfaces that currently have a data path installed.
+    pub fn active_interfaces(&self) -> Vec<IfIndex> {
+        let mut v: Vec<IfIndex> = self
+            .dispatchers
+            .iter()
+            .filter(|(_, d)| d.installed().is_some())
+            .map(|(i, _)| *i)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// The installed program for an interface, if any.
+    pub fn installed(&self, ifindex: IfIndex) -> Option<LoadedProgram> {
+        self.dispatchers.get(&ifindex).and_then(|d| d.installed())
+    }
+
+    /// Deploys a full set of synthesized fast paths: verifies and loads
+    /// each program, attaches dispatchers on first use, swaps slots, and
+    /// uninstalls data paths for interfaces no longer in the set.
+    ///
+    /// # Errors
+    ///
+    /// On the first verification or device failure; interfaces already
+    /// swapped in this round keep their new program (each swap is
+    /// individually atomic, as in the paper).
+    pub fn deploy(
+        &mut self,
+        kernel: &mut Kernel,
+        fps: &[SynthesizedFp],
+    ) -> Result<DeployOutcome, DeployError> {
+        let mut outcome = DeployOutcome::default();
+        let mut target: HashMap<IfIndex, &SynthesizedFp> = HashMap::new();
+        for fp in fps {
+            target.insert(fp.ifindex, fp);
+        }
+
+        // Remove data paths for interfaces that no longer need one.
+        for (ifindex, dispatcher) in &self.dispatchers {
+            if !target.contains_key(ifindex) && dispatcher.installed().is_some() {
+                dispatcher.uninstall();
+                outcome.removed.push(*ifindex);
+            }
+        }
+        outcome.removed.sort();
+
+        for fp in fps {
+            // Unchanged program: leave the running data path alone (no
+            // verify/load/swap cost, no disturbance).
+            if let Some(current) = self.installed(fp.ifindex) {
+                if current.insns() == fp.program.insns.as_slice() {
+                    outcome.installed.push((fp.ifname.clone(), current.len()));
+                    continue;
+                }
+            }
+            let loaded =
+                LoadedProgram::load(fp.program.clone()).map_err(|error| DeployError::Rejected {
+                    ifname: fp.ifname.clone(),
+                    error,
+                })?;
+            let len = loaded.len();
+            let dispatcher = match self.dispatchers.get(&fp.ifindex) {
+                Some(d) => d,
+                None => {
+                    let d = Dispatcher::new(self.maps.clone());
+                    d.attach(kernel, fp.ifindex, self.hook)?;
+                    self.dispatchers.insert(fp.ifindex, d);
+                    self.dispatchers.get(&fp.ifindex).expect("just inserted")
+                }
+            };
+            dispatcher.install(loaded);
+            outcome.swapped += 1;
+            outcome.installed.push((fp.ifname.clone(), len));
+        }
+        Ok(outcome)
+    }
+
+    /// Tears down all data paths (dispatchers stay attached and PASS).
+    pub fn uninstall_all(&mut self) {
+        for dispatcher in self.dispatchers.values() {
+            dispatcher.uninstall();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fpm::FpmInstance;
+    use crate::synth::synthesize_pipeline;
+    use linuxfp_ebpf::insn::Insn;
+    use linuxfp_netstack::stack::IfAddr;
+    use linuxfp_packet::{builder, MacAddr};
+    use std::net::Ipv4Addr;
+
+    fn forwarding_kernel() -> (Kernel, IfIndex, IfIndex) {
+        let mut k = Kernel::new(5);
+        let eth0 = k.add_physical("eth0").unwrap();
+        let eth1 = k.add_physical("eth1").unwrap();
+        k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap()).unwrap();
+        k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap()).unwrap();
+        k.ip_link_set_up(eth0).unwrap();
+        k.ip_link_set_up(eth1).unwrap();
+        k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
+        k.ip_route_add(
+            "10.10.0.0/16".parse().unwrap(),
+            Some(Ipv4Addr::new(10, 0, 2, 2)),
+            None,
+        )
+        .unwrap();
+        let now = k.now();
+        k.neigh
+            .learn(Ipv4Addr::new(10, 0, 2, 2), MacAddr::from_index(0xBEEF), eth1, now);
+        (k, eth0, eth1)
+    }
+
+    fn router_fp(ifindex: IfIndex, name: &str) -> SynthesizedFp {
+        synthesize_pipeline(ifindex, name, &[FpmInstance::Router]).unwrap()
+    }
+
+    #[test]
+    fn deploy_accelerates_forwarding() {
+        let (mut k, eth0, eth1) = forwarding_kernel();
+        let mut d = Deployer::new(HookPoint::Xdp, MapStore::new());
+        let out = d.deploy(&mut k, &[router_fp(eth0, "eth0")]).unwrap();
+        assert_eq!(out.installed.len(), 1);
+        assert!(out.removed.is_empty());
+        assert_eq!(d.active_interfaces(), vec![eth0]);
+        // A forwarded packet now takes the fast path: redirected by XDP,
+        // no sk_buff, no kernel FIB stage.
+        let frame = builder::udp_packet(
+            MacAddr::from_index(1),
+            k.device(eth0).unwrap().mac,
+            Ipv4Addr::new(10, 0, 1, 100),
+            Ipv4Addr::new(10, 10, 3, 7),
+            1,
+            2,
+            b"x",
+        );
+        let out = k.receive(eth0, frame);
+        assert_eq!(out.transmissions().len(), 1);
+        assert_eq!(out.transmissions()[0].0, eth1);
+        assert_eq!(out.cost.stage_count("skb_alloc"), 0);
+        assert_eq!(out.cost.stage_count("helper_fib_lookup"), 1);
+        assert_eq!(out.cost.stage_count("fib_lookup"), 0);
+    }
+
+    #[test]
+    fn redeploy_swaps_without_reattach() {
+        let (mut k, eth0, _) = forwarding_kernel();
+        let mut d = Deployer::new(HookPoint::Xdp, MapStore::new());
+        d.deploy(&mut k, &[router_fp(eth0, "eth0")]).unwrap();
+        let first = d.installed(eth0).unwrap();
+        d.deploy(&mut k, &[router_fp(eth0, "eth0")]).unwrap();
+        let second = d.installed(eth0).unwrap();
+        assert_eq!(first.name(), second.name());
+        // Removing the interface from the set uninstalls its program.
+        let out = d.deploy(&mut k, &[]).unwrap();
+        assert_eq!(out.removed, vec![eth0]);
+        assert!(d.installed(eth0).is_none());
+        assert!(d.active_interfaces().is_empty());
+        // Traffic still flows through the slow path (dispatcher passes).
+        let frame = builder::udp_packet(
+            MacAddr::from_index(1),
+            k.device(eth0).unwrap().mac,
+            Ipv4Addr::new(10, 0, 1, 100),
+            Ipv4Addr::new(10, 10, 3, 7),
+            1,
+            2,
+            b"x",
+        );
+        let out = k.receive(eth0, frame);
+        assert_eq!(out.transmissions().len(), 1);
+        assert_eq!(out.cost.stage_count("skb_alloc"), 1);
+    }
+
+    #[test]
+    fn rejected_program_reports_and_keeps_old_path() {
+        let (mut k, eth0, _) = forwarding_kernel();
+        let mut d = Deployer::new(HookPoint::Xdp, MapStore::new());
+        d.deploy(&mut k, &[router_fp(eth0, "eth0")]).unwrap();
+        let bogus = SynthesizedFp {
+            ifindex: eth0,
+            ifname: "eth0".into(),
+            program: linuxfp_ebpf::program::Program::new("bogus", vec![Insn::Exit]),
+            fpm_count: 1,
+        };
+        let err = d.deploy(&mut k, &[bogus]).unwrap_err();
+        assert!(matches!(err, DeployError::Rejected { .. }));
+        assert!(err.to_string().contains("eth0"));
+        // The previous good program is still installed.
+        assert!(d.installed(eth0).is_some());
+    }
+
+    #[test]
+    fn missing_device_is_an_error() {
+        let (mut k, _, _) = forwarding_kernel();
+        let mut d = Deployer::new(HookPoint::Xdp, MapStore::new());
+        let err = d.deploy(&mut k, &[router_fp(IfIndex(99), "ghost")]).unwrap_err();
+        assert!(matches!(err, DeployError::Device(_)));
+        assert!(err.to_string().contains("device"));
+    }
+
+    #[test]
+    fn uninstall_all_clears_everything() {
+        let (mut k, eth0, eth1) = forwarding_kernel();
+        let mut d = Deployer::new(HookPoint::Xdp, MapStore::new());
+        d.deploy(&mut k, &[router_fp(eth0, "eth0"), router_fp(eth1, "eth1")])
+            .unwrap();
+        assert_eq!(d.active_interfaces().len(), 2);
+        d.uninstall_all();
+        assert!(d.active_interfaces().is_empty());
+        assert_eq!(d.hook(), HookPoint::Xdp);
+        assert!(d.maps().len() >= 2); // one prog array per dispatcher
+    }
+}

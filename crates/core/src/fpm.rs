@@ -1,0 +1,955 @@
+//! The FPM library: parameterized fast-path module templates.
+//!
+//! Each FPM is a bytecode *template* (paper §IV-B: "FPMs are functions
+//! inside an eBPF program that taken together constitute an accelerated
+//! fast path"). The synthesizer specializes a template with the current
+//! configuration — a bridge FPM is emitted with VLAN parsing only when
+//! VLAN filtering is actually enabled, with the bridge's MAC baked in as
+//! an immediate, and so on. Branching the configuration can decide at
+//! synthesis time never reaches the data path, which is the paper's
+//! "less code leads to more efficient code paths" principle.
+//!
+//! Register conventions inside a synthesized program:
+//!
+//! | register | role |
+//! |---|---|
+//! | `r6` | packet data pointer (callee-saved) |
+//! | `r7` | packet end pointer (callee-saved) |
+//! | `r8` | saved ctx pointer (helpers clobber `r1`) |
+//! | `r9` | VLAN id scratch (survives helper calls) |
+//! | `r1`–`r5` | helper arguments / scratch |
+//!
+//! Stack layout (offsets from `r10`): the `bpf_fib_lookup` parameter block
+//! at −24, the `bpf_ipt_lookup` metadata block at −48, the
+//! `bpf_fdb_lookup` block at −72, and the conntrack block at −96.
+
+use linuxfp_ebpf::asm::Asm;
+use linuxfp_ebpf::insn::{Action, AluOp, HelperId, JmpCond, MemSize};
+use serde::{Deserialize, Serialize};
+
+/// Stack offset of the `bpf_fib_lookup` parameter block.
+pub const FIB_BUF: i16 = -24;
+/// Stack offset of the `bpf_ipt_lookup` metadata block.
+pub const META_BUF: i16 = -48;
+/// Stack offset of the `bpf_fdb_lookup` parameter block.
+pub const FDB_BUF: i16 = -72;
+/// Stack offset of the conntrack parameter block (ipvs extension).
+pub const CT_BUF: i16 = -96;
+
+/// EtherType constants as they appear when the wire bytes are read with a
+/// little-endian 16-bit load (the same `htons` dance real XDP C code
+/// performs).
+pub const ETH_P_IPV4_LE: i64 = 0x0008;
+/// 802.1Q tag, byte-swapped.
+pub const ETH_P_VLAN_LE: i64 = 0x0081;
+
+/// The kinds of fast-path modules in the library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum FpmKind {
+    /// L2 bridging: FDB lookup + forward (paper Table I, row 1).
+    Bridge,
+    /// IPv4 forwarding: FIB lookup + rewrite + forward (row 2).
+    Router,
+    /// IP filtering: iptables FORWARD verdict via `bpf_ipt_lookup` (row 3).
+    Filter,
+    /// ipvs-style load balancing via conntrack (row 4; paper future work,
+    /// prototyped here as an extension).
+    Ipvs,
+}
+
+impl FpmKind {
+    /// The kernel helpers this FPM's template calls.
+    pub fn required_helpers(self) -> &'static [HelperId] {
+        match self {
+            FpmKind::Bridge => &[HelperId::FdbLookup, HelperId::Redirect],
+            FpmKind::Router => &[HelperId::FibLookup, HelperId::Redirect],
+            FpmKind::Filter => &[HelperId::IptLookup],
+            FpmKind::Ipvs => &[HelperId::CtLookup],
+        }
+    }
+
+    /// The key used for this FPM in the JSON processing-graph model.
+    pub fn key(self) -> &'static str {
+        match self {
+            FpmKind::Bridge => "bridge",
+            FpmKind::Router => "router",
+            FpmKind::Filter => "filter",
+            FpmKind::Ipvs => "ipvs",
+        }
+    }
+
+    /// Parses a JSON-model key.
+    pub fn from_key(key: &str) -> Option<FpmKind> {
+        match key {
+            "bridge" => Some(FpmKind::Bridge),
+            "router" => Some(FpmKind::Router),
+            "filter" => Some(FpmKind::Filter),
+            "ipvs" => Some(FpmKind::Ipvs),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration attributes of a bridge FPM instance (the `conf` subkeys
+/// of the JSON model).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BridgeConf {
+    /// Whether STP is enabled on the bridge (BPDUs and port states are
+    /// slow-path concerns, but the attribute is part of the model).
+    pub stp_enabled: bool,
+    /// Whether VLAN filtering is enabled (adds the VLAN-parsing snippet).
+    pub vlan_enabled: bool,
+    /// This port's PVID for untagged traffic.
+    pub pvid: u16,
+    /// The bridge's own MAC (traffic to it goes up to L3).
+    pub bridge_mac: [u8; 6],
+    /// Whether the bridge has L3 configuration (addresses + routing), so
+    /// traffic to `bridge_mac` continues into the router FPM.
+    pub has_l3: bool,
+    /// Whether `bridge-nf-call-iptables` is active: bridged IPv4 frames
+    /// must traverse the FORWARD chain even on the L2 path (the
+    /// Kubernetes host configuration).
+    pub br_nf: bool,
+}
+
+/// Configuration attributes of a filter FPM instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterConf {
+    /// FORWARD rules currently configured (informational; the helper
+    /// always evaluates live kernel state).
+    pub rules: usize,
+    /// Whether rules aggregate addresses with ipset.
+    pub ipset: bool,
+    /// Whether L4 ports must be parsed for rule matching.
+    pub match_ports: bool,
+}
+
+/// Configuration attributes of an ipvs FPM instance (extension).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IpvsConf {
+    /// The virtual service address the fast path intercepts.
+    pub vip: [u8; 4],
+    /// The virtual service port.
+    pub port: u16,
+}
+
+/// A user-supplied custom module (paper §VIII: "support the insertion of
+/// custom functionality, e.g., for monitoring modules ... inject custom
+/// eBPF code at different points in the XDP processing pipeline").
+///
+/// The snippet is raw bytecode inlined right after the shared prologue of
+/// every synthesized program. It runs with `r6`/`r7` holding the packet
+/// window, `r8` the ctx, and may clobber `r0`–`r5` and `r9`; internal
+/// jumps must stay within the snippet. The **verifier still gates the
+/// final program** — an unsafe custom module rejects the whole deploy and
+/// the previous data path stays installed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CustomFpm {
+    /// Module name (reported in deploy errors).
+    pub name: String,
+    /// The raw instructions to inline.
+    pub insns: Vec<linuxfp_ebpf::insn::Insn>,
+}
+
+impl CustomFpm {
+    /// A monitoring module that counts every packet entering the fast
+    /// path in slot 0 of `counter_map` (a 4-byte-key array/hash map) —
+    /// the paper's motivating example of custom injection.
+    pub fn packet_counter(name: impl Into<String>, counter_map: u32) -> CustomFpm {
+        let mut a = Asm::new();
+        // key (u32 0) at fp-104, value window at fp-112.
+        a.mov_reg(3, 10);
+        a.alu_imm(AluOp::Add, 3, -104);
+        a.store_imm(MemSize::W, 3, 0, 0);
+        a.mov_reg(4, 10);
+        a.alu_imm(AluOp::Add, 4, -112);
+        a.mov_imm(1, i64::from(counter_map));
+        a.mov_reg(2, 3);
+        a.mov_imm(3, 4);
+        a.mov_imm(5, 8);
+        a.call(HelperId::MapLookup);
+        // Increment the (possibly fresh) counter and write it back.
+        a.mov_reg(4, 10);
+        a.alu_imm(AluOp::Add, 4, -112);
+        a.load(MemSize::DW, 2, 4, 0);
+        a.alu_imm(AluOp::Add, 2, 1);
+        a.store(MemSize::DW, 4, 0, 2);
+        a.mov_reg(3, 10);
+        a.alu_imm(AluOp::Add, 3, -104);
+        a.mov_imm(1, i64::from(counter_map));
+        a.mov_reg(2, 3);
+        a.mov_imm(3, 4);
+        a.mov_imm(5, 8);
+        a.call(HelperId::MapUpdate);
+        CustomFpm {
+            name: name.into(),
+            insns: a.finish().expect("no labels used"),
+        }
+    }
+}
+
+impl CustomFpm {
+    /// A tcpdump-style mirror module: copies every packet entering the
+    /// fast path onto the AF_XDP socket bound to `xsk_map`, then lets the
+    /// pipeline continue — live packet capture with zero changes to the
+    /// data path's verdicts (paper §VIII's AF_XDP direction).
+    pub fn mirror_to_user(name: impl Into<String>, xsk_map: u32) -> CustomFpm {
+        let mut a = Asm::new();
+        a.mov_imm(1, i64::from(xsk_map));
+        a.mov_imm(2, 0); // queue index
+        a.call(HelperId::XskRedirect);
+        CustomFpm {
+            name: name.into(),
+            insns: a.finish().expect("no labels used"),
+        }
+    }
+}
+
+/// One FPM instance in a pipeline: the kind plus its parsed
+/// configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FpmInstance {
+    /// A bridge module.
+    Bridge(BridgeConf),
+    /// A router module.
+    Router,
+    /// A filter module.
+    Filter(FilterConf),
+    /// An ipvs load-balancer module (extension).
+    Ipvs(IpvsConf),
+}
+
+impl FpmInstance {
+    /// The module's kind.
+    pub fn kind(&self) -> FpmKind {
+        match self {
+            FpmInstance::Bridge(_) => FpmKind::Bridge,
+            FpmInstance::Router => FpmKind::Router,
+            FpmInstance::Filter(_) => FpmKind::Filter,
+            FpmInstance::Ipvs(_) => FpmKind::Ipvs,
+        }
+    }
+}
+
+/// Validates a pipeline's module composition without emitting code:
+/// the structural rules [`emit_pipeline`] assumes. The topology manager
+/// only produces valid pipelines; this guards the synthesizer against
+/// malformed or hostile JSON graphs.
+///
+/// # Errors
+///
+/// Returns a description of the structural violation.
+pub fn validate_pipeline(pipeline: &[FpmInstance]) -> Result<(), String> {
+    if pipeline.is_empty() {
+        return Err("empty FPM pipeline".into());
+    }
+    let (head, tail) = pipeline.split_first().expect("non-empty");
+    let routers = pipeline.iter().filter(|f| matches!(f, FpmInstance::Router)).count();
+    let filters = pipeline.iter().filter(|f| matches!(f, FpmInstance::Filter(_))).count();
+    if routers > 1 {
+        return Err("at most one router FPM per pipeline".into());
+    }
+    if filters > 1 {
+        return Err("at most one filter FPM per pipeline".into());
+    }
+    if pipeline[1..].iter().any(|f| matches!(f, FpmInstance::Bridge(_))) {
+        return Err("bridge FPM must lead the pipeline".into());
+    }
+    match head {
+        FpmInstance::Bridge(conf) => {
+            let tail_has_router = routers == 1;
+            if tail_has_router {
+                return Ok(()); // l3 tail covers filter/ipvs
+            }
+            // Without a router, the tail may only be a br_nf filter.
+            for f in tail {
+                match f {
+                    FpmInstance::Filter(_) if conf.br_nf => {}
+                    FpmInstance::Filter(_) => {
+                        return Err("filter in a bridge pipeline requires br_nf or a router".into())
+                    }
+                    _ => return Err("bridge pipeline tail must be l3 modules".into()),
+                }
+            }
+            Ok(())
+        }
+        _ => {
+            if routers == 0 {
+                return Err("L3 pipeline requires a router FPM".into());
+            }
+            Ok(())
+        }
+    }
+}
+
+const R_DATA: u8 = 6;
+const R_END: u8 = 7;
+const R_CTX: u8 = 8;
+const R_VLAN: u8 = 9;
+
+/// Emits the shared program prologue: save the ctx pointer and load the
+/// packet window.
+pub fn emit_prologue(a: &mut Asm) {
+    a.mov_reg(R_CTX, 1);
+    a.load(
+        MemSize::DW,
+        R_DATA,
+        1,
+        linuxfp_ebpf::verifier::ctx_layout::DATA as i16,
+    );
+    a.load(
+        MemSize::DW,
+        R_END,
+        1,
+        linuxfp_ebpf::verifier::ctx_layout::DATA_END as i16,
+    );
+}
+
+/// Emits the terminal `pass` / `drop` labels every snippet branches to.
+pub fn emit_exits(a: &mut Asm) {
+    a.label("pass");
+    a.mov_imm(0, Action::Pass.code() as i64);
+    a.exit();
+    a.label("drop");
+    a.mov_imm(0, Action::Drop.code() as i64);
+    a.exit();
+}
+
+/// Emits a packet bounds guard: jump to `pass` (slow path) unless
+/// `bytes` bytes are available.
+pub fn emit_guard(a: &mut Asm, bytes: i64) {
+    a.mov_reg(2, R_DATA);
+    a.alu_imm(AluOp::Add, 2, bytes);
+    a.jmp_reg(JmpCond::Gt, 2, R_END, "pass");
+}
+
+/// Emits the full pipeline for one interface. Returns the number of FPM
+/// instances actually emitted.
+///
+/// The composition rules mirror the paper's processing-graph semantics:
+/// a leading bridge FPM handles L2, and — when the bridge carries L3
+/// configuration — traffic addressed to the bridge MAC falls through to
+/// the router (and filter) FPMs; a leading router FPM handles forwarding
+/// with an optional filter stage.
+///
+/// # Panics
+///
+/// Panics if the pipeline is empty or orders modules in an unsupported
+/// way (the topology manager never produces such pipelines).
+pub fn emit_pipeline(a: &mut Asm, pipeline: &[FpmInstance]) -> usize {
+    emit_pipeline_with_customs(a, pipeline, &[])
+}
+
+/// Like [`emit_pipeline`], with user-supplied custom modules inlined at
+/// the pipeline entry.
+pub fn emit_pipeline_with_customs(
+    a: &mut Asm,
+    pipeline: &[FpmInstance],
+    customs: &[CustomFpm],
+) -> usize {
+    assert!(!pipeline.is_empty(), "empty FPM pipeline");
+    emit_prologue(a);
+    for custom in customs {
+        for insn in &custom.insns {
+            a.raw(*insn);
+        }
+    }
+    let mut count = customs.len();
+    match &pipeline[0] {
+        FpmInstance::Bridge(conf) => {
+            count += 1;
+            let tail = &pipeline[1..];
+            let filter = tail.iter().find_map(|f| match f {
+                FpmInstance::Filter(c) => Some(c),
+                _ => None,
+            });
+            let has_router = tail.iter().any(|f| matches!(f, FpmInstance::Router));
+            let l2_filter = if conf.br_nf { filter } else { None };
+            emit_bridge(a, conf, has_router, l2_filter);
+            if has_router {
+                a.label("l3");
+                count += emit_l3(a, tail);
+            } else {
+                count += tail.len();
+            }
+        }
+        _ => {
+            count += emit_l3(a, pipeline);
+        }
+    }
+    emit_exits(a);
+    count
+}
+
+/// Emits the L3 part of a pipeline (router, optionally preceded by ipvs
+/// and followed by filter).
+fn emit_l3(a: &mut Asm, pipeline: &[FpmInstance]) -> usize {
+    let mut filter: Option<&FilterConf> = None;
+    let mut ipvs: Vec<&IpvsConf> = Vec::new();
+    let mut has_router = false;
+    for fpm in pipeline {
+        match fpm {
+            FpmInstance::Router => has_router = true,
+            FpmInstance::Filter(c) => filter = Some(c),
+            FpmInstance::Ipvs(c) => ipvs.push(c),
+            FpmInstance::Bridge(_) => panic!("bridge FPM must lead the pipeline"),
+        }
+    }
+    assert!(has_router, "L3 pipeline requires a router FPM");
+    emit_router(a, filter, &ipvs);
+    pipeline.len()
+}
+
+/// Emits the bridge FPM body. When `has_l3_tail` is set, IPv4 frames
+/// addressed to the bridge MAC jump to the `l3` label instead of being
+/// L2-forwarded. When `l2_filter` is present (br_netfilter hosts),
+/// bridged IPv4 frames consult `bpf_ipt_lookup` before being forwarded.
+fn emit_bridge(a: &mut Asm, conf: &BridgeConf, has_l3_tail: bool, l2_filter: Option<&FilterConf>) {
+    emit_guard(a, 14);
+    // Broadcast/multicast (including STP BPDUs): slow-path work
+    // (flooding, protocol processing).
+    a.load(MemSize::B, 2, R_DATA, 0);
+    a.alu_imm(AluOp::And, 2, 1);
+    a.jmp_imm(JmpCond::Ne, 2, 0, "pass");
+
+    // Determine the VLAN for the FDB lookup.
+    if conf.vlan_enabled {
+        a.mov_imm(R_VLAN, i64::from(conf.pvid));
+        a.load(MemSize::H, 2, R_DATA, 12);
+        a.jmp_imm(JmpCond::Ne, 2, ETH_P_VLAN_LE, "fdb");
+        emit_guard(a, 18);
+        a.load(MemSize::B, 2, R_DATA, 14);
+        a.alu_imm(AluOp::And, 2, 0x0F);
+        a.alu_imm(AluOp::Lsh, 2, 8);
+        a.load(MemSize::B, 3, R_DATA, 15);
+        a.alu_reg(AluOp::Or, 2, 3);
+        a.mov_reg(R_VLAN, 2);
+    } else {
+        a.mov_imm(R_VLAN, 0);
+    }
+    a.label("fdb");
+
+    // bpf_fdb_lookup runs for EVERY frame (including L3-destined ones):
+    // it refreshes the source entry — the fast path's "FDB update" duty
+    // (paper Table I) — and punts unknown sources to the slow path so
+    // learning still happens.
+    a.mov_reg(3, 10);
+    a.alu_imm(AluOp::Add, 3, i64::from(FDB_BUF));
+    a.load(MemSize::W, 2, R_DATA, 6);
+    a.store(MemSize::W, 3, 0, 2);
+    a.load(MemSize::H, 2, R_DATA, 10);
+    a.store(MemSize::H, 3, 4, 2);
+    a.load(MemSize::W, 2, R_DATA, 0);
+    a.store(MemSize::W, 3, 6, 2);
+    a.load(MemSize::H, 2, R_DATA, 4);
+    a.store(MemSize::H, 3, 10, 2);
+    a.store(MemSize::H, 3, 12, R_VLAN);
+    a.mov_reg(1, R_CTX);
+    a.mov_reg(2, 3);
+    a.mov_imm(3, 20);
+    a.call(HelperId::FdbLookup);
+    // r0 == 1: unknown source (or non-forwarding port) -> slow path
+    // learns / applies STP.
+    a.jmp_imm(JmpCond::Eq, 0, 1, "pass");
+    // r0 == 2: destination miss -> L3 tail for frames addressed to the
+    // bridge itself; flooding stays in the slow path.
+    a.jmp_imm(JmpCond::Eq, 0, 2, "dst_miss");
+
+    if let Some(filter) = l2_filter {
+        // br_netfilter: bridged IPv4 traffic traverses FORWARD. Non-IP
+        // frames skip straight to forwarding.
+        a.load(MemSize::H, 2, R_DATA, 12);
+        a.jmp_imm(JmpCond::Ne, 2, ETH_P_IPV4_LE, "l2_fwd");
+        emit_guard(a, 34);
+        a.mov_reg(4, 10);
+        a.alu_imm(AluOp::Add, 4, i64::from(META_BUF));
+        if filter.match_ports {
+            emit_parse_ports(a, "l2p");
+        } else {
+            a.load(MemSize::B, 2, R_DATA, 23);
+            a.store(MemSize::B, 4, 8, 2);
+            a.store_imm(MemSize::H, 4, 10, 0);
+            a.store_imm(MemSize::H, 4, 12, 0);
+        }
+        a.load(MemSize::W, 2, R_DATA, 26);
+        a.store(MemSize::W, 4, 0, 2);
+        a.load(MemSize::W, 2, R_DATA, 30);
+        a.store(MemSize::W, 4, 4, 2);
+        a.load(
+            MemSize::W,
+            2,
+            R_CTX,
+            linuxfp_ebpf::verifier::ctx_layout::IFINDEX as i16,
+        );
+        a.store(MemSize::W, 4, 16, 2);
+        a.mov_reg(3, 10);
+        a.alu_imm(AluOp::Add, 3, i64::from(FDB_BUF));
+        a.load(MemSize::W, 2, 3, 16);
+        a.store(MemSize::W, 4, 20, 2);
+        a.mov_reg(1, R_CTX);
+        a.mov_reg(2, 4);
+        a.mov_imm(3, 24);
+        a.call(HelperId::IptLookup);
+        a.jmp_imm(JmpCond::Ne, 0, 0, "drop");
+        a.label("l2_fwd");
+    }
+
+    a.mov_reg(3, 10);
+    a.alu_imm(AluOp::Add, 3, i64::from(FDB_BUF));
+    a.load(MemSize::W, 1, 3, 16);
+    a.mov_imm(2, 0);
+    a.call(HelperId::Redirect);
+    a.exit();
+
+    a.label("dst_miss");
+    if conf.has_l3 && has_l3_tail {
+        // dst MAC == bridge MAC and payload is IPv4 -> the router FPM
+        // (tagged frames fail the ethertype check and fall to the slow
+        // path).
+        let mac_lo = u32::from_le_bytes([
+            conf.bridge_mac[0],
+            conf.bridge_mac[1],
+            conf.bridge_mac[2],
+            conf.bridge_mac[3],
+        ]);
+        let mac_hi = u16::from_le_bytes([conf.bridge_mac[4], conf.bridge_mac[5]]);
+        a.load(MemSize::W, 2, R_DATA, 0);
+        a.jmp_imm(JmpCond::Ne, 2, i64::from(mac_lo), "pass");
+        a.load(MemSize::H, 2, R_DATA, 4);
+        a.jmp_imm(JmpCond::Ne, 2, i64::from(mac_hi), "pass");
+        a.load(MemSize::H, 2, R_DATA, 12);
+        a.jmp_imm(JmpCond::Ne, 2, ETH_P_IPV4_LE, "pass");
+        a.ja("l3");
+    } else {
+        a.ja("pass");
+    }
+}
+
+/// Emits the router FPM (with optional ipvs and filter stages fused in,
+/// exactly as the synthesizer composes modules through function calls
+/// rather than tail calls — paper §VI-B).
+fn emit_router(a: &mut Asm, filter: Option<&FilterConf>, ipvs: &[&IpvsConf]) {
+    emit_guard(a, 34);
+    // EtherType must be IPv4 (tagged frames go to the slow path).
+    a.load(MemSize::H, 2, R_DATA, 12);
+    a.jmp_imm(JmpCond::Ne, 2, ETH_P_IPV4_LE, "pass");
+    // Version 4, IHL 5 (options are a slow-path corner case).
+    a.load(MemSize::B, 2, R_DATA, 14);
+    a.jmp_imm(JmpCond::Ne, 2, 0x45, "pass");
+    // Fragments are slow-path corner cases (paper Table I).
+    a.load(MemSize::H, 2, R_DATA, 20);
+    a.alu_imm(AluOp::And, 2, 0xFFBF); // ignore the DF bit
+    a.jmp_imm(JmpCond::Ne, 2, 0, "pass");
+    // TTL <= 1: the slow path generates ICMP time-exceeded.
+    a.load(MemSize::B, 2, R_DATA, 22);
+    a.jmp_imm(JmpCond::Lt, 2, 2, "pass");
+
+    let need_ports = filter.map(|f| f.match_ports).unwrap_or(false) || !ipvs.is_empty();
+    if need_ports {
+        emit_parse_ports(a, "l3p");
+    }
+
+    for (i, conf) in ipvs.iter().enumerate() {
+        emit_ipvs(a, conf, i);
+    }
+
+    // bpf_fib_lookup: destination from the packet, result block on the
+    // stack.
+    a.mov_reg(3, 10);
+    a.alu_imm(AluOp::Add, 3, i64::from(FIB_BUF));
+    a.load(MemSize::W, 2, R_DATA, 30);
+    a.store(MemSize::W, 3, 0, 2);
+    a.mov_reg(1, R_CTX);
+    a.mov_reg(2, 3);
+    a.mov_imm(3, 24);
+    a.call(HelperId::FibLookup);
+    a.jmp_imm(JmpCond::Ne, 0, 0, "pass"); // miss / unresolved neighbor
+
+    if filter.is_some() {
+        emit_filter(a);
+    }
+
+    // Rewrite MACs from the fib result.
+    a.mov_reg(3, 10);
+    a.alu_imm(AluOp::Add, 3, i64::from(FIB_BUF));
+    a.load(MemSize::W, 2, 3, 14);
+    a.store(MemSize::W, R_DATA, 0, 2);
+    a.load(MemSize::H, 2, 3, 18);
+    a.store(MemSize::H, R_DATA, 4, 2);
+    a.load(MemSize::W, 2, 3, 8);
+    a.store(MemSize::W, R_DATA, 6, 2);
+    a.load(MemSize::H, 2, 3, 12);
+    a.store(MemSize::H, R_DATA, 10, 2);
+
+    emit_ttl_decrement(a);
+
+    // Redirect out the interface the FIB chose.
+    a.mov_reg(3, 10);
+    a.alu_imm(AluOp::Add, 3, i64::from(FIB_BUF));
+    a.load(MemSize::W, 1, 3, 4);
+    a.mov_imm(2, 0);
+    a.call(HelperId::Redirect);
+    a.exit();
+}
+
+/// Parses L4 ports (TCP/UDP) into the ipt metadata block; other
+/// protocols record zero ports.
+fn emit_parse_ports(a: &mut Asm, prefix: &str) {
+    let l_ports = format!("{prefix}_ports");
+    let l_done = format!("{prefix}_ports_done");
+    a.mov_reg(4, 10);
+    a.alu_imm(AluOp::Add, 4, i64::from(META_BUF));
+    a.load(MemSize::B, 2, R_DATA, 23);
+    a.store(MemSize::B, 4, 8, 2);
+    a.jmp_imm(JmpCond::Eq, 2, 6, &l_ports);
+    a.jmp_imm(JmpCond::Eq, 2, 17, &l_ports);
+    a.store_imm(MemSize::H, 4, 10, 0);
+    a.store_imm(MemSize::H, 4, 12, 0);
+    a.ja(&l_done);
+    a.label(&l_ports);
+    emit_guard(a, 38);
+    a.load(MemSize::B, 2, R_DATA, 34);
+    a.alu_imm(AluOp::Lsh, 2, 8);
+    a.load(MemSize::B, 3, R_DATA, 35);
+    a.alu_reg(AluOp::Or, 2, 3);
+    a.store(MemSize::H, 4, 10, 2);
+    a.load(MemSize::B, 2, R_DATA, 36);
+    a.alu_imm(AluOp::Lsh, 2, 8);
+    a.load(MemSize::B, 3, R_DATA, 37);
+    a.alu_reg(AluOp::Or, 2, 3);
+    a.store(MemSize::H, 4, 12, 2);
+    a.label(&l_done);
+}
+
+/// Fills the remaining ipt metadata (addresses, interfaces) and calls
+/// `bpf_ipt_lookup`; a DROP verdict jumps to `drop`.
+fn emit_filter(a: &mut Asm) {
+    a.mov_reg(4, 10);
+    a.alu_imm(AluOp::Add, 4, i64::from(META_BUF));
+    a.load(MemSize::W, 2, R_DATA, 26);
+    a.store(MemSize::W, 4, 0, 2);
+    a.load(MemSize::W, 2, R_DATA, 30);
+    a.store(MemSize::W, 4, 4, 2);
+    a.load(
+        MemSize::W,
+        2,
+        R_CTX,
+        linuxfp_ebpf::verifier::ctx_layout::IFINDEX as i16,
+    );
+    a.store(MemSize::W, 4, 16, 2);
+    a.mov_reg(3, 10);
+    a.alu_imm(AluOp::Add, 3, i64::from(FIB_BUF));
+    a.load(MemSize::W, 2, 3, 4);
+    a.store(MemSize::W, 4, 20, 2);
+    a.mov_reg(1, R_CTX);
+    a.mov_reg(2, 4);
+    a.mov_imm(3, 24);
+    a.call(HelperId::IptLookup);
+    a.jmp_imm(JmpCond::Ne, 0, 0, "drop");
+}
+
+/// ipvs extension: conntrack lookup for a pinned backend; on a hit the
+/// destination address/port are rewritten (UDP only — TCP checksum
+/// fixups stay in the slow path) before routing continues.
+fn emit_ipvs(a: &mut Asm, conf: &IpvsConf, index: usize) {
+    let done = format!("ipvs_done_{index}");
+    // Only intercept traffic to the VIP:port, UDP only.
+    let vip_le = u32::from_le_bytes(conf.vip);
+    a.load(MemSize::W, 2, R_DATA, 30);
+    a.jmp_imm(JmpCond::Ne, 2, i64::from(vip_le), &done);
+    a.load(MemSize::B, 2, R_DATA, 23);
+    a.jmp_imm(JmpCond::Ne, 2, 17, "pass"); // non-UDP to the VIP: slow path
+    // The port must match the service; other ports are plain traffic.
+    a.mov_reg(3, 10);
+    a.alu_imm(AluOp::Add, 3, i64::from(META_BUF));
+    a.load(MemSize::H, 2, 3, 12);
+    a.jmp_imm(JmpCond::Ne, 2, i64::from(conf.port), &done);
+    // Fill the conntrack key from the packet + parsed ports.
+    a.mov_reg(4, 10);
+    a.alu_imm(AluOp::Add, 4, i64::from(CT_BUF));
+    a.load(MemSize::W, 2, R_DATA, 26);
+    a.store(MemSize::W, 4, 0, 2);
+    a.load(MemSize::W, 2, R_DATA, 30);
+    a.store(MemSize::W, 4, 4, 2);
+    a.store_imm(MemSize::B, 4, 8, 17);
+    a.mov_reg(3, 10);
+    a.alu_imm(AluOp::Add, 3, i64::from(META_BUF));
+    a.load(MemSize::H, 2, 3, 10);
+    a.store(MemSize::H, 4, 10, 2);
+    a.load(MemSize::H, 2, 3, 12);
+    a.store(MemSize::H, 4, 12, 2);
+    a.mov_reg(1, R_CTX);
+    a.mov_reg(2, 4);
+    a.mov_imm(3, 24);
+    a.call(HelperId::CtLookup);
+    // No pinned backend: slow path schedules one (paper Table I row 4).
+    a.jmp_imm(JmpCond::Ne, 0, 0, "pass");
+    // The rewrite touches the UDP header and checksum (bytes up to 42);
+    // prove them available first.
+    emit_guard(a, 42);
+    // Rewrite dst IP to the backend (bytes preserved LE->LE) and fix the
+    // IPv4 header checksum incrementally for both changed words.
+    a.mov_reg(4, 10);
+    a.alu_imm(AluOp::Add, 4, i64::from(CT_BUF));
+    // old dst words (BE): bytes 30..32 and 32..34.
+    emit_csum_word_update_from_stack(a, 30, 16);
+    emit_csum_word_update_from_stack(a, 32, 18);
+    a.load(MemSize::W, 2, 4, 16);
+    a.store(MemSize::W, R_DATA, 30, 2);
+    // Rewrite the UDP dst port: the conntrack block stores it host-order;
+    // the wire wants big-endian, so swap bytes while storing.
+    a.load(MemSize::H, 2, 4, 20);
+    a.mov_reg(3, 2);
+    a.alu_imm(AluOp::Rsh, 3, 8);
+    a.store(MemSize::B, R_DATA, 37, 2);
+    a.store(MemSize::B, R_DATA, 36, 3);
+    // Clear the UDP checksum (0 is legal over IPv4 after a rewrite).
+    a.store_imm(MemSize::H, R_DATA, 40, 0);
+    a.label(&done);
+}
+
+/// Applies one RFC 1624 incremental checksum update for the 16-bit word
+/// at packet offset `pkt_off`, whose new value sits at `CT_BUF +
+/// stack_off` (big-endian bytes). Assumes `r4` holds the CT_BUF pointer.
+fn emit_csum_word_update_from_stack(a: &mut Asm, pkt_off: i16, stack_off: i16) {
+    // w_old (BE) from the packet.
+    a.load(MemSize::B, 2, R_DATA, pkt_off);
+    a.alu_imm(AluOp::Lsh, 2, 8);
+    a.load(MemSize::B, 3, R_DATA, pkt_off + 1);
+    a.alu_reg(AluOp::Or, 2, 3);
+    // w_new (BE) from the stack.
+    a.load(MemSize::B, 3, 4, stack_off);
+    a.alu_imm(AluOp::Lsh, 3, 8);
+    a.load(MemSize::B, 5, 4, stack_off + 1);
+    a.alu_reg(AluOp::Or, 3, 5);
+    // hc (BE) from the packet checksum field at 24.
+    a.load(MemSize::B, 5, R_DATA, 24);
+    a.alu_imm(AluOp::Lsh, 5, 8);
+    a.load(MemSize::B, 0, R_DATA, 25);
+    a.alu_reg(AluOp::Or, 5, 0);
+    // sum = ~hc + ~w_old + w_new (all masked to 16 bits).
+    a.alu_imm(AluOp::Xor, 5, 0xFFFF);
+    a.alu_imm(AluOp::Xor, 2, 0xFFFF);
+    a.alu_reg(AluOp::Add, 5, 2);
+    a.alu_reg(AluOp::Add, 5, 3);
+    // Fold twice.
+    for _ in 0..2 {
+        a.mov_reg(2, 5);
+        a.alu_imm(AluOp::Rsh, 2, 16);
+        a.alu_imm(AluOp::And, 5, 0xFFFF);
+        a.alu_reg(AluOp::Add, 5, 2);
+    }
+    a.alu_imm(AluOp::Xor, 5, 0xFFFF);
+    a.alu_imm(AluOp::And, 5, 0xFFFF);
+    // Store back (BE).
+    a.mov_reg(2, 5);
+    a.alu_imm(AluOp::Rsh, 2, 8);
+    a.store(MemSize::B, R_DATA, 24, 2);
+    a.store(MemSize::B, R_DATA, 25, 5);
+}
+
+/// Emits the in-place TTL decrement with the RFC 1624 incremental
+/// checksum fix — the rewrite stage of the forwarding FPM. Public so
+/// baseline platforms can reuse the identical snippet.
+pub fn emit_ttl_decrement(a: &mut Asm) {
+    // w_old = (ttl << 8) | proto.
+    a.load(MemSize::B, 2, R_DATA, 22);
+    a.load(MemSize::B, 4, R_DATA, 23);
+    a.mov_reg(5, 2);
+    a.alu_imm(AluOp::Lsh, 5, 8);
+    a.alu_reg(AluOp::Or, 5, 4);
+    // ttl -= 1 (guaranteed > 1 by the earlier check).
+    a.alu_imm(AluOp::Sub, 2, 1);
+    a.store(MemSize::B, R_DATA, 22, 2);
+    // w_new = (ttl' << 8) | proto.
+    a.alu_imm(AluOp::Lsh, 2, 8);
+    a.alu_reg(AluOp::Or, 2, 4);
+    // hc (BE).
+    a.load(MemSize::B, 4, R_DATA, 24);
+    a.alu_imm(AluOp::Lsh, 4, 8);
+    a.load(MemSize::B, 9, R_DATA, 25);
+    a.alu_reg(AluOp::Or, 4, 9);
+    // sum = ~hc + ~w_old + w_new.
+    a.alu_imm(AluOp::Xor, 4, 0xFFFF);
+    a.alu_imm(AluOp::Xor, 5, 0xFFFF);
+    a.alu_reg(AluOp::Add, 4, 5);
+    a.alu_reg(AluOp::Add, 4, 2);
+    for _ in 0..2 {
+        a.mov_reg(5, 4);
+        a.alu_imm(AluOp::Rsh, 5, 16);
+        a.alu_imm(AluOp::And, 4, 0xFFFF);
+        a.alu_reg(AluOp::Add, 4, 5);
+    }
+    a.alu_imm(AluOp::Xor, 4, 0xFFFF);
+    a.alu_imm(AluOp::And, 4, 0xFFFF);
+    a.mov_reg(5, 4);
+    a.alu_imm(AluOp::Rsh, 5, 8);
+    a.store(MemSize::B, R_DATA, 24, 5);
+    a.store(MemSize::B, R_DATA, 25, 4);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linuxfp_ebpf::program::{LoadedProgram, Program};
+
+    fn bridge_conf(vlan: bool, has_l3: bool) -> BridgeConf {
+        BridgeConf {
+            stp_enabled: false,
+            vlan_enabled: vlan,
+            pvid: 1,
+            bridge_mac: [2, 0, 0, 0, 0, 9],
+            has_l3,
+            br_nf: false,
+        }
+    }
+
+    fn load_pipeline(pipeline: &[FpmInstance]) -> LoadedProgram {
+        let mut a = Asm::new();
+        emit_pipeline(&mut a, pipeline);
+        LoadedProgram::load(Program::new("test_fp", a.finish().unwrap()))
+            .expect("synthesized FPM pipelines must verify")
+    }
+
+    #[test]
+    fn all_pipeline_shapes_pass_the_verifier() {
+        let filter = FilterConf {
+            rules: 100,
+            ipset: false,
+            match_ports: true,
+        };
+        let filter_no_ports = FilterConf {
+            rules: 1,
+            ipset: true,
+            match_ports: false,
+        };
+        let ipvs = IpvsConf {
+            vip: [10, 96, 0, 1],
+            port: 80,
+        };
+        let shapes: Vec<Vec<FpmInstance>> = vec![
+            vec![FpmInstance::Router],
+            vec![FpmInstance::Router, FpmInstance::Filter(filter.clone())],
+            vec![FpmInstance::Router, FpmInstance::Filter(filter_no_ports)],
+            vec![FpmInstance::Bridge(bridge_conf(false, false))],
+            vec![FpmInstance::Bridge(bridge_conf(true, false))],
+            vec![
+                FpmInstance::Bridge(bridge_conf(false, true)),
+                FpmInstance::Router,
+            ],
+            vec![
+                FpmInstance::Bridge(bridge_conf(true, true)),
+                FpmInstance::Router,
+                FpmInstance::Filter(filter.clone()),
+            ],
+            vec![
+                FpmInstance::Router,
+                FpmInstance::Ipvs(ipvs),
+                FpmInstance::Filter(filter),
+            ],
+        ];
+        for shape in shapes {
+            let prog = load_pipeline(&shape);
+            assert!(prog.len() > 10, "{:?} suspiciously small", shape);
+        }
+    }
+
+    #[test]
+    fn configuration_changes_program_size() {
+        // "Less code leads to more efficient code paths": a plain router
+        // is smaller than router+filter, and a VLAN-less bridge is
+        // smaller than a VLAN-aware one.
+        let plain = load_pipeline(&[FpmInstance::Router]);
+        let filtered = load_pipeline(&[
+            FpmInstance::Router,
+            FpmInstance::Filter(FilterConf {
+                rules: 10,
+                ipset: false,
+                match_ports: true,
+            }),
+        ]);
+        assert!(plain.len() < filtered.len());
+        let no_vlan = load_pipeline(&[FpmInstance::Bridge(bridge_conf(false, false))]);
+        let vlan = load_pipeline(&[FpmInstance::Bridge(bridge_conf(true, false))]);
+        assert!(no_vlan.len() < vlan.len());
+    }
+
+    #[test]
+    fn kind_metadata() {
+        for kind in [FpmKind::Bridge, FpmKind::Router, FpmKind::Filter, FpmKind::Ipvs] {
+            assert_eq!(FpmKind::from_key(kind.key()), Some(kind));
+            assert!(!kind.required_helpers().is_empty());
+        }
+        assert_eq!(FpmKind::from_key("nonsense"), None);
+    }
+
+    #[test]
+    fn instance_kinds() {
+        assert_eq!(FpmInstance::Router.kind(), FpmKind::Router);
+        assert_eq!(
+            FpmInstance::Bridge(bridge_conf(false, false)).kind(),
+            FpmKind::Bridge
+        );
+        assert_eq!(
+            FpmInstance::Filter(FilterConf {
+                rules: 0,
+                ipset: false,
+                match_ports: false
+            })
+            .kind(),
+            FpmKind::Filter
+        );
+        assert_eq!(
+            FpmInstance::Ipvs(IpvsConf { vip: [0; 4], port: 0 }).kind(),
+            FpmKind::Ipvs
+        );
+    }
+
+    #[test]
+    fn validate_pipeline_rules() {
+        let filter = FpmInstance::Filter(FilterConf {
+            rules: 1,
+            ipset: false,
+            match_ports: false,
+        });
+        let br = |br_nf| FpmInstance::Bridge(BridgeConf { br_nf, ..bridge_conf(false, false) });
+        assert!(validate_pipeline(&[]).is_err());
+        assert!(validate_pipeline(&[FpmInstance::Router]).is_ok());
+        assert!(validate_pipeline(&[filter.clone()]).is_err());
+        assert!(validate_pipeline(&[FpmInstance::Router, filter.clone()]).is_ok());
+        assert!(validate_pipeline(&[FpmInstance::Router, FpmInstance::Router]).is_err());
+        assert!(
+            validate_pipeline(&[FpmInstance::Router, filter.clone(), filter.clone()]).is_err()
+        );
+        assert!(validate_pipeline(&[FpmInstance::Router, br(false)]).is_err());
+        assert!(validate_pipeline(&[br(false)]).is_ok());
+        assert!(validate_pipeline(&[br(true), filter.clone()]).is_ok());
+        assert!(validate_pipeline(&[br(false), filter.clone()]).is_err());
+        assert!(validate_pipeline(&[br(false), FpmInstance::Router, filter.clone()]).is_ok());
+        let ipvs = FpmInstance::Ipvs(IpvsConf { vip: [0; 4], port: 1 });
+        assert!(validate_pipeline(&[ipvs.clone(), FpmInstance::Router]).is_ok());
+        assert!(validate_pipeline(&[br(false), ipvs]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty FPM pipeline")]
+    fn empty_pipeline_panics() {
+        let mut a = Asm::new();
+        emit_pipeline(&mut a, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a router FPM")]
+    fn filter_without_router_panics() {
+        let mut a = Asm::new();
+        emit_pipeline(
+            &mut a,
+            &[FpmInstance::Filter(FilterConf {
+                rules: 1,
+                ipset: false,
+                match_ports: false,
+            })],
+        );
+    }
+}

@@ -1,0 +1,384 @@
+//! The Topology Manager and the JSON processing-graph model.
+//!
+//! LinuxFP "models the Linux network processing configuration as a graph
+//! encoded in JSON" (paper §IV-C2): keys are processing nodes (FPMs),
+//! sub-keys carry per-node configuration, and `next_nf` entries express
+//! ordering. [`build_graph`] derives that model from an [`ObjectStore`]
+//! snapshot; the synthesizer consumes the JSON (not the intermediate Rust
+//! structures), matching the paper's pipeline of Fig. 3.
+
+use crate::capability::Capabilities;
+use crate::fpm::{BridgeConf, FilterConf, FpmInstance, FpmKind, IpvsConf};
+use crate::objects::ObjectStore;
+use linuxfp_netstack::device::IfIndex;
+use serde_json::{json, Map, Value};
+
+/// Builds the JSON processing-graph model for the current kernel state.
+///
+/// Shape:
+///
+/// ```json
+/// {
+///   "interfaces": {
+///     "eth0": {
+///       "ifindex": 1,
+///       "pipeline": [
+///         { "nf": "router", "conf": {}, "next_nf": "filter" },
+///         { "nf": "filter", "conf": { "rules": 100, "ipset": false,
+///                                     "match_ports": false },
+///           "next_nf": null }
+///       ]
+///     }
+///   }
+/// }
+/// ```
+pub fn build_graph(store: &ObjectStore, caps: &Capabilities) -> Value {
+    let mut interfaces = Map::new();
+    for iface in store.interfaces.values() {
+        if !iface.up || iface.kind == "bridge" {
+            continue;
+        }
+        let pipeline = plan_interface(store, caps, iface.index);
+        if pipeline.is_empty() {
+            continue;
+        }
+        let nodes: Vec<Value> = pipeline
+            .iter()
+            .enumerate()
+            .map(|(i, fpm)| {
+                let next = pipeline.get(i + 1).map(|n| n.kind().key());
+                json!({
+                    "nf": fpm.kind().key(),
+                    "conf": conf_json(fpm),
+                    "next_nf": next,
+                })
+            })
+            .collect();
+        interfaces.insert(
+            iface.name.clone(),
+            json!({ "ifindex": iface.index.as_u32(), "pipeline": nodes }),
+        );
+    }
+    json!({ "interfaces": Value::Object(interfaces) })
+}
+
+/// Derives the FPM pipeline for one interface, honoring capabilities:
+/// an unsupported module truncates the pipeline at its position (the
+/// slow path covers the remainder), and an unsupported *leading* module
+/// means no fast path at all for the interface.
+pub fn plan_interface(
+    store: &ObjectStore,
+    caps: &Capabilities,
+    ifindex: IfIndex,
+) -> Vec<FpmInstance> {
+    let Some(iface) = store.interface(ifindex) else {
+        return Vec::new();
+    };
+    let mut pipeline = Vec::new();
+
+    if let Some((br_iface, bridge)) = store.bridge_of(ifindex) {
+        // Bridge port: L2 fast path, with an L3 tail if the bridge itself
+        // routes (a route points at the bridge subnet or the bridge has
+        // addresses — the paper's next_nf rule).
+        if !caps.supports(FpmKind::Bridge) {
+            return Vec::new();
+        }
+        let filtering = store.netfilter.forward_rules > 0;
+        let br_nf = store.bridge_nf && filtering;
+        if br_nf && !caps.supports(FpmKind::Filter) {
+            // Bridged traffic must traverse iptables but the fast path
+            // cannot evaluate it: forwarding on the fast path would
+            // bypass the firewall, so no fast path at all.
+            return Vec::new();
+        }
+        let has_l3 = br_iface.has_ip && store.routing_active();
+        pipeline.push(FpmInstance::Bridge(BridgeConf {
+            stp_enabled: bridge.stp_enabled,
+            vlan_enabled: bridge.vlan_filtering,
+            pvid: bridge.port_pvid(ifindex),
+            bridge_mac: br_iface.mac,
+            has_l3,
+            br_nf,
+        }));
+        if has_l3
+            && caps.supports(FpmKind::Router)
+            && (!store.ipvs_configured || caps.supports(FpmKind::Ipvs))
+        {
+            // The L3 tail mirrors the plain-interface pipeline: ipvs
+            // services first (pod-to-VIP traffic on Kubernetes nodes),
+            // then routing, then filtering.
+            if caps.supports(FpmKind::Ipvs) {
+                for svc in &store.ipvs_services {
+                    pipeline.push(FpmInstance::Ipvs(IpvsConf {
+                        vip: svc.vip,
+                        port: svc.port,
+                    }));
+                }
+            }
+            pipeline.push(FpmInstance::Router);
+            push_filter(store, caps, &mut pipeline);
+        } else if br_nf {
+            push_filter(store, caps, &mut pipeline);
+        }
+        return pipeline;
+    }
+
+    // Plain interface: router (+ filter) when forwarding is configured.
+    if store.routing_active() && iface.has_ip {
+        if !caps.supports(FpmKind::Router) {
+            return Vec::new();
+        }
+        if store.netfilter.forward_rules > 0 && !caps.supports(FpmKind::Filter) {
+            // Forwarded traffic must traverse FORWARD, but the fast path
+            // cannot evaluate it: a router-only fast path would bypass
+            // the firewall. Leave the interface entirely to the slow
+            // path (paper Table I: "handle rules on unsupported hooks"
+            // is slow-path work).
+            return Vec::new();
+        }
+        if store.ipvs_configured && !caps.supports(FpmKind::Ipvs) {
+            // Same reasoning for load balancing: forwarding VIP traffic
+            // past the scheduler would break service semantics.
+            return Vec::new();
+        }
+        // ipvs FPMs precede routing: VIP traffic is rewritten toward its
+        // pinned backend before the FIB decides the egress.
+        if caps.supports(FpmKind::Ipvs) {
+            for svc in &store.ipvs_services {
+                pipeline.push(FpmInstance::Ipvs(IpvsConf {
+                    vip: svc.vip,
+                    port: svc.port,
+                }));
+            }
+        }
+        pipeline.push(FpmInstance::Router);
+        push_filter(store, caps, &mut pipeline);
+    }
+    pipeline
+}
+
+fn push_filter(store: &ObjectStore, caps: &Capabilities, pipeline: &mut Vec<FpmInstance>) {
+    if store.netfilter.forward_rules > 0 && caps.supports(FpmKind::Filter) {
+        pipeline.push(FpmInstance::Filter(FilterConf {
+            rules: store.netfilter.forward_rules,
+            ipset: store.netfilter.uses_ipset,
+            match_ports: true,
+        }));
+    }
+}
+
+fn conf_json(fpm: &FpmInstance) -> Value {
+    match fpm {
+        FpmInstance::Bridge(c) => serde_json::to_value(c).expect("bridge conf serializes"),
+        FpmInstance::Router => json!({}),
+        FpmInstance::Filter(c) => serde_json::to_value(c).expect("filter conf serializes"),
+        FpmInstance::Ipvs(c) => serde_json::to_value(c).expect("ipvs conf serializes"),
+    }
+}
+
+/// Parses one interface's pipeline back out of the JSON model — the
+/// synthesizer's input path.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the malformed part.
+pub fn pipeline_from_json(entry: &Value) -> Result<(IfIndex, Vec<FpmInstance>), String> {
+    let ifindex = entry
+        .get("ifindex")
+        .and_then(Value::as_u64)
+        .ok_or("missing ifindex")? as u32;
+    let nodes = entry
+        .get("pipeline")
+        .and_then(Value::as_array)
+        .ok_or("missing pipeline")?;
+    let mut pipeline = Vec::new();
+    for node in nodes {
+        let key = node.get("nf").and_then(Value::as_str).ok_or("missing nf key")?;
+        let kind = FpmKind::from_key(key).ok_or("unknown nf kind")?;
+        let conf = node.get("conf").cloned().unwrap_or(Value::Null);
+        let fpm = match kind {
+            FpmKind::Bridge => FpmInstance::Bridge(
+                serde_json::from_value(conf).map_err(|e| format!("bad bridge conf: {e}"))?,
+            ),
+            FpmKind::Router => FpmInstance::Router,
+            FpmKind::Filter => FpmInstance::Filter(
+                serde_json::from_value(conf).map_err(|e| format!("bad filter conf: {e}"))?,
+            ),
+            FpmKind::Ipvs => FpmInstance::Ipvs(
+                serde_json::from_value(conf).map_err(|e| format!("bad ipvs conf: {e}"))?,
+            ),
+        };
+        pipeline.push(fpm);
+    }
+    Ok((IfIndex(ifindex), pipeline))
+}
+
+impl crate::objects::BridgeObject {
+    /// The PVID of `port` (default 1 when unknown).
+    pub fn port_pvid(&self, port: IfIndex) -> u16 {
+        self.port_pvids
+            .iter()
+            .find(|(p, _)| *p == port)
+            .map(|(_, pvid)| *pvid)
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linuxfp_netstack::netfilter::{ChainHook, IptRule};
+    use linuxfp_netstack::stack::{IfAddr, Kernel};
+    use std::net::Ipv4Addr;
+
+    fn router_kernel() -> (Kernel, IfIndex, IfIndex) {
+        let mut k = Kernel::new(1);
+        let eth0 = k.add_physical("eth0").unwrap();
+        let eth1 = k.add_physical("eth1").unwrap();
+        k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap()).unwrap();
+        k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap()).unwrap();
+        k.ip_link_set_up(eth0).unwrap();
+        k.ip_link_set_up(eth1).unwrap();
+        k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
+        k.ip_route_add(
+            "10.10.0.0/16".parse().unwrap(),
+            Some(Ipv4Addr::new(10, 0, 2, 2)),
+            None,
+        )
+        .unwrap();
+        (k, eth0, eth1)
+    }
+
+    #[test]
+    fn router_config_yields_router_pipelines() {
+        let (k, eth0, eth1) = router_kernel();
+        let store = ObjectStore::snapshot(&k);
+        let caps = Capabilities::full();
+        let graph = build_graph(&store, &caps);
+        let ifaces = graph["interfaces"].as_object().unwrap();
+        assert_eq!(ifaces.len(), 2);
+        for name in ["eth0", "eth1"] {
+            let (idx, pipeline) = pipeline_from_json(&ifaces[name]).unwrap();
+            assert!(idx == eth0 || idx == eth1);
+            assert_eq!(pipeline, vec![FpmInstance::Router]);
+        }
+        // The graph names next_nf: a lone router has none.
+        assert_eq!(ifaces["eth0"]["pipeline"][0]["next_nf"], Value::Null);
+    }
+
+    #[test]
+    fn gateway_config_appends_filter_fpm() {
+        let (mut k, _, _) = router_kernel();
+        k.iptables_append(
+            ChainHook::Forward,
+            IptRule::drop_dst("10.10.3.0/24".parse().unwrap()),
+        );
+        let store = ObjectStore::snapshot(&k);
+        let graph = build_graph(&store, &Capabilities::full());
+        let entry = &graph["interfaces"]["eth0"];
+        assert_eq!(entry["pipeline"][0]["nf"], "router");
+        assert_eq!(entry["pipeline"][0]["next_nf"], "filter");
+        assert_eq!(entry["pipeline"][1]["nf"], "filter");
+        let (_, pipeline) = pipeline_from_json(entry).unwrap();
+        assert!(matches!(
+            &pipeline[1],
+            FpmInstance::Filter(c) if c.rules == 1 && !c.ipset
+        ));
+    }
+
+    #[test]
+    fn forwarding_disabled_means_no_router() {
+        let (mut k, _, _) = router_kernel();
+        k.sysctl_set("net.ipv4.ip_forward", 0).unwrap();
+        let store = ObjectStore::snapshot(&k);
+        let graph = build_graph(&store, &Capabilities::full());
+        assert!(graph["interfaces"].as_object().unwrap().is_empty());
+    }
+
+    #[test]
+    fn bridge_ports_get_bridge_pipelines() {
+        let mut k = Kernel::new(2);
+        let p1 = k.add_physical("p1").unwrap();
+        let p2 = k.add_physical("p2").unwrap();
+        let br = k.add_bridge("br0").unwrap();
+        k.brctl_addif(br, p1).unwrap();
+        k.brctl_addif(br, p2).unwrap();
+        for d in [p1, p2, br] {
+            k.ip_link_set_up(d).unwrap();
+        }
+        let store = ObjectStore::snapshot(&k);
+        let graph = build_graph(&store, &Capabilities::full());
+        let ifaces = graph["interfaces"].as_object().unwrap();
+        assert_eq!(ifaces.len(), 2);
+        let (_, pipeline) = pipeline_from_json(&ifaces["p1"]).unwrap();
+        assert!(matches!(&pipeline[0], FpmInstance::Bridge(c) if !c.has_l3));
+        // The bridge master itself carries no program.
+        assert!(!ifaces.contains_key("br0"));
+    }
+
+    #[test]
+    fn routed_bridge_chains_router_after_bridge() {
+        let mut k = Kernel::new(3);
+        let p1 = k.add_physical("p1").unwrap();
+        let br = k.add_bridge("cni0").unwrap();
+        let eth0 = k.add_physical("eth0").unwrap();
+        k.brctl_addif(br, p1).unwrap();
+        k.ip_addr_add(br, "10.244.1.1/24".parse::<IfAddr>().unwrap()).unwrap();
+        k.ip_addr_add(eth0, "192.168.0.1/24".parse::<IfAddr>().unwrap()).unwrap();
+        for d in [p1, br, eth0] {
+            k.ip_link_set_up(d).unwrap();
+        }
+        k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
+        let store = ObjectStore::snapshot(&k);
+        let graph = build_graph(&store, &Capabilities::full());
+        let (_, pipeline) = pipeline_from_json(&graph["interfaces"]["p1"]).unwrap();
+        assert_eq!(pipeline.len(), 2);
+        assert!(matches!(&pipeline[0], FpmInstance::Bridge(c) if c.has_l3));
+        assert_eq!(pipeline[1], FpmInstance::Router);
+        // Paper Fig. 3: next_nf wires bridge -> router.
+        assert_eq!(
+            graph["interfaces"]["p1"]["pipeline"][0]["next_nf"],
+            "router"
+        );
+    }
+
+    #[test]
+    fn missing_capability_truncates_or_removes_pipeline() {
+        let (mut k, _, _) = router_kernel();
+        k.iptables_append(
+            ChainHook::Forward,
+            IptRule::drop_dst("10.10.3.0/24".parse().unwrap()),
+        );
+        let store = ObjectStore::snapshot(&k);
+        // No bpf_ipt_lookup while FORWARD rules exist: a router-only fast
+        // path would bypass the firewall, so nothing is accelerated.
+        let caps = Capabilities::stock_kernel();
+        let graph = build_graph(&store, &caps);
+        assert!(graph["interfaces"].as_object().unwrap().is_empty());
+        // Without rules, the router alone is fine on a stock kernel.
+        k.iptables_flush(ChainHook::Forward);
+        let store = ObjectStore::snapshot(&k);
+        let graph = build_graph(&store, &caps);
+        let (_, pipeline) = pipeline_from_json(&graph["interfaces"]["eth0"]).unwrap();
+        assert_eq!(pipeline, vec![FpmInstance::Router]);
+        // No bpf_fib_lookup either: nothing to accelerate.
+        let caps = caps.without(linuxfp_ebpf::insn::HelperId::FibLookup);
+        let graph = build_graph(&store, &caps);
+        assert!(graph["interfaces"].as_object().unwrap().is_empty());
+    }
+
+    #[test]
+    fn pipeline_from_json_rejects_malformed_entries(){
+        assert!(pipeline_from_json(&json!({})).is_err());
+        assert!(pipeline_from_json(&json!({"ifindex": 1})).is_err());
+        assert!(
+            pipeline_from_json(&json!({"ifindex": 1, "pipeline": [{"nf": "warp"}]})).is_err()
+        );
+        assert!(pipeline_from_json(
+            &json!({"ifindex": 1, "pipeline": [{"nf": "bridge", "conf": {"bogus": true}}]})
+        )
+        .is_err());
+        let ok = pipeline_from_json(&json!({"ifindex": 1, "pipeline": [{"nf": "router"}]}));
+        assert_eq!(ok.unwrap().1, vec![FpmInstance::Router]);
+    }
+}

@@ -1,0 +1,68 @@
+//! LinuxFP: transparently accelerating (simulated) Linux networking —
+//! the paper's primary contribution.
+//!
+//! The controller continuously introspects the kernel over netlink,
+//! models the active configuration as a JSON processing graph, then
+//! synthesizes, verifies and atomically deploys a **minimal** eBPF fast
+//! path containing exactly the modules the configuration needs. Linux
+//! (here, `linuxfp-netstack`) remains the complete slow path, and the
+//! fast path reads kernel state through helpers, so both paths always
+//! agree — the user keeps using `ip`, `brctl`, `iptables`, Kubernetes
+//! CNIs, and transparently gets acceleration.
+//!
+//! Components (paper §V):
+//!
+//! - [`objects`] + Service Introspection: netlink dumps/notifications →
+//!   LinuxFP objects ([`objects::ObjectStore`]).
+//! - [`graph`]: the Topology Manager deriving the JSON processing-graph
+//!   model from the objects.
+//! - [`fpm`]: the FPM template library (bridge, router, filter, and the
+//!   ipvs extension), specialized per configuration.
+//! - [`synth`]: the Fast Path Synthesizer turning the JSON model into
+//!   bytecode programs (plus the Fig. 10 microbenchmark chains).
+//! - [`capability`]: the Capability Manager gating modules on available
+//!   kernel helpers.
+//! - [`deploy`]: the Fast Path Deployer with per-interface dispatchers
+//!   and atomic tail-call swaps.
+//! - [`controller`]: the daemon tying it all together and reporting
+//!   reaction times (paper Table VI).
+//!
+//! # Example
+//!
+//! ```
+//! use linuxfp_core::controller::{Controller, ControllerConfig};
+//! use linuxfp_netstack::stack::{IfAddr, Kernel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut kernel = Kernel::new(7);
+//! let eth0 = kernel.add_physical("eth0")?;
+//! let eth1 = kernel.add_physical("eth1")?;
+//! kernel.ip_link_set_up(eth0)?;
+//! kernel.ip_link_set_up(eth1)?;
+//! let (mut controller, _) = Controller::attach(&mut kernel, ControllerConfig::default())?;
+//!
+//! // Configure Linux the ordinary way; the controller reacts on poll.
+//! kernel.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>()?)?;
+//! kernel.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>()?)?;
+//! kernel.sysctl_set("net.ipv4.ip_forward", 1)?;
+//! let report = controller.poll(&mut kernel)?.expect("events pending");
+//! assert!(report.changed);
+//! assert_eq!(report.installed.len(), 2); // one fast path per NIC
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod capability;
+pub mod controller;
+pub mod deploy;
+pub mod fpm;
+pub mod graph;
+pub mod objects;
+pub mod synth;
+
+pub use capability::Capabilities;
+pub use controller::{Controller, ControllerConfig, ReactionReport, Trigger};
+pub use deploy::{DeployError, Deployer};
+pub use fpm::{FpmInstance, FpmKind};
+pub use objects::ObjectStore;
+pub use synth::{SynthError, SynthesizedFp};

@@ -1,0 +1,302 @@
+//! Fast-path / slow-path equivalence — the paper's central correctness
+//! requirement (§IV-B2): "every packet must be able to be processed
+//! either by the LinuxFP fast path or by the kernel with the identical
+//! result under all circumstances."
+//!
+//! Strategy: build two kernels with the *same* configuration and the same
+//! device MAC seed; attach the LinuxFP controller to one of them; feed
+//! both the same packet sequences; require identical externally visible
+//! effects (transmissions with identical bytes, local deliveries, drops
+//! of forwarded traffic).
+
+use linuxfp_core::controller::{Controller, ControllerConfig};
+use linuxfp_netstack::device::IfIndex;
+use linuxfp_netstack::netfilter::{ChainHook, IpSet, IptRule};
+use linuxfp_netstack::stack::{Effect, IfAddr, Kernel};
+use linuxfp_packet::ipv4::Prefix;
+use linuxfp_packet::{builder, EthernetFrame, Ipv4Header, MacAddr};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// Builds the virtual-gateway topology from the paper's evaluation:
+/// two NICs, forwarding, 50 prefixes, optional iptables rules.
+fn build_gateway(seed: u64, rules: usize, use_ipset: bool) -> (Kernel, IfIndex, IfIndex) {
+    let mut k = Kernel::new(seed);
+    let eth0 = k.add_physical("eth0").unwrap();
+    let eth1 = k.add_physical("eth1").unwrap();
+    k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap()).unwrap();
+    k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap()).unwrap();
+    k.ip_link_set_up(eth0).unwrap();
+    k.ip_link_set_up(eth1).unwrap();
+    k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
+    for i in 0..50u32 {
+        k.ip_route_add(
+            Prefix::new(Ipv4Addr::new(10, 10, i as u8, 0), 24),
+            Some(Ipv4Addr::new(10, 0, 2, 2)),
+            None,
+        )
+        .unwrap();
+    }
+    if use_ipset {
+        let mut set = IpSet::new_hash_net();
+        for i in 0..rules as u32 {
+            set.add(Prefix::new(Ipv4Addr::new(10, 10, (i % 50) as u8, (i / 50) as u8 * 16), 28));
+        }
+        k.ipset_create("blacklist", set);
+        k.iptables_append(ChainHook::Forward, IptRule::drop_dst_set("blacklist"));
+    } else {
+        for i in 0..rules as u32 {
+            k.iptables_append(
+                ChainHook::Forward,
+                IptRule::drop_dst(Prefix::new(
+                    Ipv4Addr::new(10, 10, (i % 50) as u8, (i / 50) as u8 * 16),
+                    28,
+                )),
+            );
+        }
+    }
+    let now = k.now();
+    k.neigh
+        .learn(Ipv4Addr::new(10, 0, 2, 2), MacAddr::from_index(0xBEEF), eth1, now);
+    (k, eth0, eth1)
+}
+
+/// Normalizes an outcome for comparison: the multiset of externally
+/// visible effects.
+fn observable(effects: &[Effect]) -> Vec<String> {
+    let mut v: Vec<String> = effects
+        .iter()
+        .filter_map(|e| match e {
+            Effect::Transmit { dev, frame } => {
+                Some(format!("tx:{}:{}", dev.as_u32(), hex(frame)))
+            }
+            Effect::Deliver { dev, frame } => {
+                Some(format!("rx:{}:{}", dev.as_u32(), hex(frame)))
+            }
+            // Drop reasons differ textually between paths ("xdp drop" vs
+            // "nf forward drop"); what must match is everything else.
+            Effect::Drop { .. } => None,
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+fn hex(b: &[u8]) -> String {
+    b.iter().map(|x| format!("{x:02x}")).collect()
+}
+
+fn arb_packet(eth0_mac: MacAddr) -> impl Strategy<Value = Vec<u8>> {
+    (
+        any::<u8>(),          // dst third octet
+        any::<u8>(),          // dst fourth octet
+        1u8..255,             // ttl
+        any::<u16>(),         // sport
+        any::<u16>(),         // dport
+        0u8..4,               // protocol selector
+        prop::bool::weighted(0.1), // fragment?
+        prop::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(move |(d3, d4, ttl, sport, dport, proto_sel, frag, payload)| {
+            let dst = Ipv4Addr::new(10, 10, d3 % 64, d4); // mostly routed, some misses
+            let src = Ipv4Addr::new(10, 0, 1, 100);
+            let mut frame = match proto_sel {
+                0 | 1 => builder::udp_packet(
+                    MacAddr::from_index(0xAAAA),
+                    eth0_mac,
+                    src,
+                    dst,
+                    sport,
+                    dport,
+                    &payload,
+                ),
+                2 => builder::tcp_packet(
+                    MacAddr::from_index(0xAAAA),
+                    eth0_mac,
+                    src,
+                    dst,
+                    sport,
+                    dport,
+                    linuxfp_packet::tcp::TcpFlags::default(),
+                    &payload,
+                ),
+                _ => builder::icmp_echo_request(
+                    MacAddr::from_index(0xAAAA),
+                    eth0_mac,
+                    src,
+                    dst,
+                    sport,
+                    dport,
+                ),
+            };
+            // Rewrite TTL (and fragment bit) then fix the checksum by
+            // re-writing the header.
+            let eth = EthernetFrame::parse(&frame).unwrap();
+            let off = eth.payload_offset;
+            let ip = Ipv4Header::parse(&frame[off..]).unwrap();
+            Ipv4Header::write(
+                &mut frame[off..],
+                ip.src,
+                ip.dst,
+                ip.proto,
+                ttl,
+                ip.id,
+                ip.total_len,
+                false,
+            );
+            if frag {
+                // Set the more-fragments bit and refresh the checksum.
+                frame[off + 6] = 0x20;
+                frame[off + 10] = 0;
+                frame[off + 11] = 0;
+                let c = linuxfp_packet::checksum::checksum(&frame[off..off + 20]);
+                frame[off + 10..off + 12].copy_from_slice(&c.to_be_bytes());
+            }
+            frame
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Gateway equivalence: for random packets (routed, unrouted,
+    /// blacklisted, fragments, TTL edge cases, multiple protocols), the
+    /// accelerated kernel and the plain kernel produce identical
+    /// observable effects.
+    #[test]
+    fn gateway_fast_path_equals_slow_path(
+        packets in prop::collection::vec(arb_packet(MacAddr::from_index(0x1_0000 + 1)), 1..24),
+        rules in 0usize..60,
+        use_ipset in any::<bool>(),
+    ) {
+        let (mut plain, eth0_p, _) = build_gateway(1, rules, use_ipset);
+        let (mut fast, eth0_f, _) = build_gateway(1, rules, use_ipset);
+        prop_assert_eq!(eth0_p, eth0_f);
+        // Device MACs are seed-derived, so both kernels share addressing.
+        prop_assert_eq!(plain.device(eth0_p).unwrap().mac, fast.device(eth0_f).unwrap().mac);
+        let (mut ctrl, report) = Controller::attach(&mut fast, ControllerConfig::default()).unwrap();
+        prop_assert!(report.changed);
+        prop_assert!(!report.installed.is_empty());
+
+        for frame in packets {
+            let out_plain = plain.receive(eth0_p, frame.clone());
+            let out_fast = fast.receive(eth0_f, frame);
+            prop_assert_eq!(
+                observable(&out_plain.effects),
+                observable(&out_fast.effects),
+                "fast and slow paths diverged"
+            );
+            // Config never changed, so no redeploys mid-stream.
+            prop_assert!(ctrl.poll(&mut fast).unwrap().is_none());
+        }
+    }
+}
+
+/// Bridge topology: three ports on one bridge, fed L2 traffic between
+/// synthetic hosts.
+fn build_bridged(seed: u64) -> (Kernel, Vec<IfIndex>) {
+    let mut k = Kernel::new(seed);
+    let p1 = k.add_physical("p1").unwrap();
+    let p2 = k.add_physical("p2").unwrap();
+    let p3 = k.add_physical("p3").unwrap();
+    let br = k.add_bridge("br0").unwrap();
+    for p in [p1, p2, p3] {
+        k.brctl_addif(br, p).unwrap();
+    }
+    for d in [p1, p2, p3, br] {
+        k.ip_link_set_up(d).unwrap();
+    }
+    (k, vec![p1, p2, p3])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bridging equivalence under random L2 conversations: learning,
+    /// flooding, unicast forwarding, broadcasts.
+    #[test]
+    fn bridge_fast_path_equals_slow_path(
+        convo in prop::collection::vec((0usize..3, 0u64..6, 0u64..6, prop::bool::weighted(0.15)), 1..32),
+    ) {
+        let (mut plain, ports_p) = build_bridged(2);
+        let (mut fast, ports_f) = build_bridged(2);
+        let (mut ctrl, report) = Controller::attach(&mut fast, ControllerConfig::default()).unwrap();
+        prop_assert!(report.changed);
+        prop_assert_eq!(report.installed.len(), 3);
+
+        for (port_idx, src_host, dst_host, broadcast) in convo {
+            let src = MacAddr::from_index(0x100 + src_host);
+            let dst = if broadcast {
+                MacAddr::BROADCAST
+            } else {
+                MacAddr::from_index(0x100 + dst_host)
+            };
+            let frame = builder::udp_packet(
+                src,
+                dst,
+                Ipv4Addr::new(192, 168, 0, src_host as u8 + 1),
+                Ipv4Addr::new(192, 168, 0, dst_host as u8 + 1),
+                1000,
+                2000,
+                b"l2",
+            );
+            let out_plain = plain.receive(ports_p[port_idx], frame.clone());
+            let out_fast = fast.receive(ports_f[port_idx], frame);
+            prop_assert_eq!(
+                observable(&out_plain.effects),
+                observable(&out_fast.effects),
+                "bridge paths diverged"
+            );
+            prop_assert!(ctrl.poll(&mut fast).unwrap().is_none());
+        }
+    }
+}
+
+#[test]
+fn fast_path_is_actually_used_for_common_case() {
+    // Sanity: after warm-up, forwarded packets take the XDP path (no
+    // sk_buff) in the accelerated kernel — i.e. equivalence above is not
+    // trivially comparing two slow paths.
+    let (mut fast, eth0, _) = build_gateway(3, 10, false);
+    let (_ctrl, _) = Controller::attach(&mut fast, ControllerConfig::default()).unwrap();
+    let frame = builder::udp_packet(
+        MacAddr::from_index(0xAAAA),
+        fast.device(eth0).unwrap().mac,
+        Ipv4Addr::new(10, 0, 1, 100),
+        Ipv4Addr::new(10, 10, 40, 7), // routed, not blacklisted
+        1,
+        2,
+        b"x",
+    );
+    let out = fast.receive(eth0, frame);
+    assert_eq!(out.transmissions().len(), 1);
+    assert_eq!(out.cost.stage_count("skb_alloc"), 0);
+    assert_eq!(out.cost.stage_count("helper_fib_lookup"), 1);
+    assert_eq!(out.cost.stage_count("helper_ipt_base"), 1);
+}
+
+#[test]
+fn corner_cases_fall_back_to_slow_path() {
+    let (mut fast, eth0, _) = build_gateway(4, 0, false);
+    let (_ctrl, _) = Controller::attach(&mut fast, ControllerConfig::default()).unwrap();
+    // A fragment: the fast path must PASS it to Linux.
+    let mut frame = builder::udp_packet(
+        MacAddr::from_index(0xAAAA),
+        fast.device(eth0).unwrap().mac,
+        Ipv4Addr::new(10, 0, 1, 100),
+        Ipv4Addr::new(10, 10, 3, 7),
+        1,
+        2,
+        b"frag",
+    );
+    frame[20] = 0x20; // MF bit
+    frame[24] = 0;
+    frame[25] = 0;
+    let c = linuxfp_packet::checksum::checksum(&frame[14..34]);
+    frame[24..26].copy_from_slice(&c.to_be_bytes());
+    let out = fast.receive(eth0, frame);
+    // Still forwarded, but through the slow path (sk_buff allocated).
+    assert_eq!(out.transmissions().len(), 1);
+    assert_eq!(out.cost.stage_count("skb_alloc"), 1);
+    assert_eq!(out.cost.stage_count("fib_lookup"), 1);
+}

@@ -1,0 +1,144 @@
+//! Robustness: the synthesizer must never panic on arbitrary (including
+//! hostile) JSON processing graphs — it either synthesizes verifiable
+//! programs or returns a structured error.
+
+use linuxfp_core::synth::synthesize;
+use proptest::prelude::*;
+use serde_json::{json, Value};
+
+fn arb_json(depth: u32) -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::from),
+        any::<i64>().prop_map(Value::from),
+        any::<u16>().prop_map(Value::from),
+        "[a-z_]{0,12}".prop_map(Value::from),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    prop_oneof![
+        4 => leaf,
+        1 => prop::collection::vec(arb_json(depth - 1), 0..4).prop_map(Value::from),
+        1 => prop::collection::btree_map("[a-z_]{1,8}", arb_json(depth - 1), 0..4)
+            .prop_map(|m| Value::Object(m.into_iter().collect())),
+    ]
+    .boxed()
+}
+
+/// Keys the graph actually uses, mixed in so fuzzing reaches deep paths.
+fn arb_graph() -> impl Strategy<Value = Value> {
+    (
+        prop::collection::btree_map("[a-z]{1,6}", arb_json(2), 0..4),
+        prop::collection::vec(
+            (
+                prop_oneof![
+                    Just("bridge"),
+                    Just("router"),
+                    Just("filter"),
+                    Just("ipvs"),
+                    Just("warp_drive")
+                ],
+                arb_json(2),
+            ),
+            0..4,
+        ),
+        any::<u32>(),
+    )
+        .prop_map(|(noise, pipeline, ifindex)| {
+            let nodes: Vec<Value> = pipeline
+                .into_iter()
+                .map(|(nf, conf)| json!({"nf": nf, "conf": conf}))
+                .collect();
+            let mut ifaces = serde_json::Map::new();
+            ifaces.insert(
+                "fuzzed".to_string(),
+                json!({"ifindex": ifindex, "pipeline": nodes}),
+            );
+            for (k, v) in noise {
+                ifaces.insert(k, v);
+            }
+            json!({"interfaces": Value::Object(ifaces)})
+        })
+}
+
+fn arb_valid_conf(nf: &'static str) -> BoxedStrategy<Value> {
+    match nf {
+        "bridge" => (any::<bool>(), any::<bool>(), any::<u16>(), any::<[u8; 6]>(), any::<bool>(), any::<bool>())
+            .prop_map(|(stp, vlan, pvid, mac, l3, brnf)| {
+                json!({
+                    "stp_enabled": stp, "vlan_enabled": vlan, "pvid": pvid,
+                    "bridge_mac": mac, "has_l3": l3, "br_nf": brnf,
+                })
+            })
+            .boxed(),
+        "filter" => (any::<u16>(), any::<bool>(), any::<bool>())
+            .prop_map(|(rules, ipset, ports)| {
+                json!({"rules": rules, "ipset": ipset, "match_ports": ports})
+            })
+            .boxed(),
+        "ipvs" => (any::<[u8; 4]>(), any::<u16>())
+            .prop_map(|(vip, port)| json!({"vip": vip, "port": port}))
+            .boxed(),
+        _ => Just(json!({})).boxed(),
+    }
+}
+
+/// Pipelines whose confs deserialize but whose composition may be
+/// structurally invalid (filter without router, trailing bridges, ...).
+fn arb_hostile_pipeline() -> impl Strategy<Value = Value> {
+    prop::collection::vec(
+        prop_oneof![Just("bridge"), Just("router"), Just("filter"), Just("ipvs")],
+        0..5,
+    )
+    .prop_flat_map(|kinds| {
+        let confs: Vec<BoxedStrategy<Value>> =
+            kinds.iter().map(|k| arb_valid_conf(k)).collect();
+        (Just(kinds), confs)
+    })
+    .prop_map(|(kinds, confs)| {
+        let nodes: Vec<Value> = kinds
+            .iter()
+            .zip(confs)
+            .map(|(nf, conf)| json!({"nf": nf, "conf": conf}))
+            .collect();
+        json!({"interfaces": {"hostile": {"ifindex": 1, "pipeline": nodes}}})
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Structurally hostile but well-typed pipelines never panic: they
+    /// synthesize verifiable programs or return a structured error.
+    #[test]
+    fn synthesize_is_total_on_hostile_pipelines(g in arb_hostile_pipeline()) {
+        if let Ok(fps) = synthesize(&g) {
+            for fp in fps {
+                linuxfp_ebpf::program::LoadedProgram::load(fp.program)
+                    .expect("synthesized program must verify");
+            }
+        }
+    }
+
+    /// Arbitrary JSON never panics the synthesizer.
+    #[test]
+    fn synthesize_is_total_on_arbitrary_json(v in arb_json(3)) {
+        let _ = synthesize(&v);
+    }
+
+    /// Graph-shaped JSON with hostile confs never panics either, and any
+    /// programs produced pass the verifier.
+    #[test]
+    fn synthesize_is_total_on_graph_shaped_json(g in arb_graph()) {
+        if let Ok(fps) = synthesize(&g) {
+            for fp in fps {
+                // Anything the synthesizer accepts must verify: the
+                // templates may not emit unverifiable code no matter the
+                // configuration values.
+                linuxfp_ebpf::program::LoadedProgram::load(fp.program)
+                    .expect("synthesized program must verify");
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! A small assembler for building VM programs with symbolic labels.
+//!
+//! The fast-path synthesizer emits code through this assembler: template
+//! snippets append instructions and branch to named labels; `finish`
+//! resolves the labels into relative offsets.
+
+use crate::insn::{AluOp, HelperId, Insn, JmpCond, MemSize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced when finishing a program with unresolved or duplicate
+/// labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A jump referenced a label that was never placed.
+    UnknownLabel(String),
+    /// The same label was placed twice.
+    DuplicateLabel(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnknownLabel(l) => write!(f, "unknown label: {l}"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label: {l}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    Ja,
+    JmpImm { cond: JmpCond, dst: u8, imm: i64 },
+    JmpReg { cond: JmpCond, dst: u8, src: u8 },
+}
+
+/// Program assembler with symbolic labels.
+///
+/// # Example
+///
+/// ```
+/// use linuxfp_ebpf::asm::Asm;
+/// use linuxfp_ebpf::insn::{Action, JmpCond};
+///
+/// let mut a = Asm::new();
+/// a.mov_imm(0, Action::Pass.code() as i64);
+/// a.jmp_imm(JmpCond::Eq, 1, 0, "out"); // if r1 == 0 goto out
+/// a.mov_imm(0, Action::Drop.code() as i64);
+/// a.label("out");
+/// a.exit();
+/// let prog = a.finish().unwrap();
+/// assert_eq!(prog.len(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct Asm {
+    insns: Vec<Insn>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<(usize, String, Pending)>,
+    error: Option<AsmError>,
+}
+
+impl Asm {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Places a label at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        if self
+            .labels
+            .insert(name.to_string(), self.insns.len())
+            .is_some()
+            && self.error.is_none()
+        {
+            self.error = Some(AsmError::DuplicateLabel(name.to_string()));
+        }
+        self
+    }
+
+    /// Emits a raw instruction.
+    pub fn raw(&mut self, insn: Insn) -> &mut Self {
+        self.insns.push(insn);
+        self
+    }
+
+    /// `dst = imm`.
+    pub fn mov_imm(&mut self, dst: u8, imm: i64) -> &mut Self {
+        self.raw(Insn::AluImm {
+            op: AluOp::Mov,
+            dst,
+            imm,
+        })
+    }
+
+    /// `dst = src`.
+    pub fn mov_reg(&mut self, dst: u8, src: u8) -> &mut Self {
+        self.raw(Insn::AluReg {
+            op: AluOp::Mov,
+            dst,
+            src,
+        })
+    }
+
+    /// `dst = dst <op> imm`.
+    pub fn alu_imm(&mut self, op: AluOp, dst: u8, imm: i64) -> &mut Self {
+        self.raw(Insn::AluImm { op, dst, imm })
+    }
+
+    /// `dst = dst <op> src`.
+    pub fn alu_reg(&mut self, op: AluOp, dst: u8, src: u8) -> &mut Self {
+        self.raw(Insn::AluReg { op, dst, src })
+    }
+
+    /// `dst = *(size*)(src + off)`.
+    pub fn load(&mut self, size: MemSize, dst: u8, src: u8, off: i16) -> &mut Self {
+        self.raw(Insn::Load { size, dst, src, off })
+    }
+
+    /// `*(size*)(dst + off) = src`.
+    pub fn store(&mut self, size: MemSize, dst: u8, off: i16, src: u8) -> &mut Self {
+        self.raw(Insn::Store { size, dst, off, src })
+    }
+
+    /// `*(size*)(dst + off) = imm`.
+    pub fn store_imm(&mut self, size: MemSize, dst: u8, off: i16, imm: i64) -> &mut Self {
+        self.raw(Insn::StoreImm { size, dst, off, imm })
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn ja(&mut self, label: &str) -> &mut Self {
+        self.fixups
+            .push((self.insns.len(), label.to_string(), Pending::Ja));
+        self.raw(Insn::Ja { off: 0 })
+    }
+
+    /// Conditional jump to `label` comparing `dst` with an immediate.
+    pub fn jmp_imm(&mut self, cond: JmpCond, dst: u8, imm: i64, label: &str) -> &mut Self {
+        self.fixups.push((
+            self.insns.len(),
+            label.to_string(),
+            Pending::JmpImm { cond, dst, imm },
+        ));
+        self.raw(Insn::JmpImm {
+            cond,
+            dst,
+            imm,
+            off: 0,
+        })
+    }
+
+    /// Conditional jump to `label` comparing `dst` with `src`.
+    pub fn jmp_reg(&mut self, cond: JmpCond, dst: u8, src: u8, label: &str) -> &mut Self {
+        self.fixups.push((
+            self.insns.len(),
+            label.to_string(),
+            Pending::JmpReg { cond, dst, src },
+        ));
+        self.raw(Insn::JmpReg {
+            cond,
+            dst,
+            src,
+            off: 0,
+        })
+    }
+
+    /// Calls a helper.
+    pub fn call(&mut self, helper: HelperId) -> &mut Self {
+        self.raw(Insn::Call { helper })
+    }
+
+    /// Emits a tail call through `prog_array[index]`.
+    pub fn tail_call(&mut self, prog_array: u32, index: u32) -> &mut Self {
+        self.raw(Insn::TailCall { prog_array, index })
+    }
+
+    /// Emits `exit`.
+    pub fn exit(&mut self) -> &mut Self {
+        self.raw(Insn::Exit)
+    }
+
+    /// Resolves labels and returns the finished instruction sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for duplicate or unresolved labels.
+    pub fn finish(self) -> Result<Vec<Insn>, AsmError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let mut insns = self.insns;
+        for (pos, label, pending) in self.fixups {
+            let target = *self
+                .labels
+                .get(&label)
+                .ok_or(AsmError::UnknownLabel(label))?;
+            let off = target as i64 - (pos as i64 + 1);
+            let off = off as i32;
+            insns[pos] = match pending {
+                Pending::Ja => Insn::Ja { off },
+                Pending::JmpImm { cond, dst, imm } => Insn::JmpImm { cond, dst, imm, off },
+                Pending::JmpReg { cond, dst, src } => Insn::JmpReg { cond, dst, src, off },
+            };
+        }
+        Ok(insns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Action;
+
+    #[test]
+    fn forward_jump_resolves() {
+        let mut a = Asm::new();
+        a.mov_imm(0, Action::Pass.code() as i64);
+        a.jmp_imm(JmpCond::Eq, 1, 0, "out");
+        a.mov_imm(0, Action::Drop.code() as i64);
+        a.label("out");
+        a.exit();
+        let prog = a.finish().unwrap();
+        match prog[1] {
+            Insn::JmpImm { off, .. } => assert_eq!(off, 1),
+            other => panic!("unexpected insn {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jump_to_current_position_is_zero_offset() {
+        let mut a = Asm::new();
+        a.ja("next");
+        a.label("next");
+        a.exit();
+        let prog = a.finish().unwrap();
+        match prog[0] {
+            Insn::Ja { off } => assert_eq!(off, 0),
+            other => panic!("unexpected insn {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_label_errors() {
+        let mut a = Asm::new();
+        a.ja("nowhere");
+        a.exit();
+        assert_eq!(
+            a.finish().unwrap_err(),
+            AsmError::UnknownLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut a = Asm::new();
+        a.label("x");
+        a.exit();
+        a.label("x");
+        assert_eq!(a.finish().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn builder_methods_emit_expected_shapes() {
+        let mut a = Asm::new();
+        a.mov_reg(1, 2)
+            .alu_imm(AluOp::Add, 1, 4)
+            .alu_reg(AluOp::Xor, 1, 3)
+            .load(MemSize::W, 4, 1, 8)
+            .store(MemSize::H, 1, 0, 4)
+            .store_imm(MemSize::B, 1, 2, 0x7f)
+            .call(HelperId::KtimeGetNs)
+            .tail_call(0, 3)
+            .exit();
+        assert_eq!(a.len(), 9);
+        assert!(!a.is_empty());
+        let prog = a.finish().unwrap();
+        assert!(matches!(prog[6], Insn::Call { helper: HelperId::KtimeGetNs }));
+        assert!(matches!(prog[7], Insn::TailCall { prog_array: 0, index: 3 }));
+        assert!(matches!(prog[8], Insn::Exit));
+    }
+
+    #[test]
+    fn asm_error_display() {
+        assert!(AsmError::UnknownLabel("l".into()).to_string().contains("unknown"));
+        assert!(AsmError::DuplicateLabel("l".into()).to_string().contains("duplicate"));
+    }
+}

@@ -1,0 +1,164 @@
+//! The helper-function boundary between programs and the kernel.
+//!
+//! LinuxFP's central design decision ("Unifying State", paper §IV-B2) is
+//! that fast paths access *kernel* state through helpers instead of
+//! maintaining shadow copies in maps. [`HelperEnv`] is that boundary: the
+//! VM dispatches helper calls through it, and the implementation for
+//! [`linuxfp_netstack::Kernel`] reads and updates the very tables the
+//! slow path uses.
+
+use linuxfp_netstack::device::IfIndex;
+use linuxfp_netstack::netfilter::{NfVerdict, PacketMeta};
+use linuxfp_netstack::stack::{FdbLookupOutcome, FibFastResult, Kernel};
+use linuxfp_packet::ipv4::IpProto;
+use linuxfp_packet::MacAddr;
+use linuxfp_sim::{CostTracker, Nanos};
+use std::net::Ipv4Addr;
+
+/// Kernel facilities available to helper implementations.
+///
+/// Implemented for [`Kernel`] (production) and by [`NullEnv`] (tests and
+/// standalone microbenchmarks, where every lookup misses).
+pub trait HelperEnv {
+    /// Current virtual time (`bpf_ktime_get_ns`).
+    fn env_now(&self) -> Nanos;
+
+    /// `bpf_fib_lookup`: route + neighbor resolution.
+    fn env_fib_lookup(&mut self, dst: Ipv4Addr) -> Option<FibFastResult>;
+
+    /// `bpf_fdb_lookup`: bridge FDB lookup with source refresh.
+    fn env_fdb_lookup(
+        &mut self,
+        ingress: IfIndex,
+        src: MacAddr,
+        dst: MacAddr,
+        vlan: u16,
+    ) -> FdbLookupOutcome;
+
+    /// `bpf_ipt_lookup`: FORWARD-chain evaluation over kernel rules.
+    fn env_ipt_lookup(&mut self, meta: &PacketMeta, tracker: &mut CostTracker) -> NfVerdict;
+
+    /// Conntrack lookup returning a load-balancer backend if one is
+    /// pinned to the flow (ipvs extension).
+    fn env_ct_lookup(
+        &mut self,
+        src: Ipv4Addr,
+        sport: u16,
+        dst: Ipv4Addr,
+        dport: u16,
+        proto: u8,
+    ) -> Option<(Ipv4Addr, u16)>;
+}
+
+impl HelperEnv for Kernel {
+    fn env_now(&self) -> Nanos {
+        self.now()
+    }
+
+    fn env_fib_lookup(&mut self, dst: Ipv4Addr) -> Option<FibFastResult> {
+        self.helper_fib_lookup(dst)
+    }
+
+    fn env_fdb_lookup(
+        &mut self,
+        ingress: IfIndex,
+        src: MacAddr,
+        dst: MacAddr,
+        vlan: u16,
+    ) -> FdbLookupOutcome {
+        self.helper_fdb_lookup(ingress, src, dst, vlan)
+    }
+
+    fn env_ipt_lookup(&mut self, meta: &PacketMeta, tracker: &mut CostTracker) -> NfVerdict {
+        self.helper_ipt_lookup(meta, tracker)
+    }
+
+    fn env_ct_lookup(
+        &mut self,
+        src: Ipv4Addr,
+        sport: u16,
+        dst: Ipv4Addr,
+        dport: u16,
+        proto: u8,
+    ) -> Option<(Ipv4Addr, u16)> {
+        let key = linuxfp_netstack::conntrack::FlowKey::new(
+            src,
+            sport,
+            dst,
+            dport,
+            IpProto::from(proto),
+        );
+        let now = self.now();
+        self.conntrack.lookup(&key, now).and_then(|e| e.backend)
+    }
+}
+
+/// A helper environment with no kernel behind it: time is zero and every
+/// lookup misses. Useful for unit tests and the VM microbenchmarks.
+#[derive(Debug, Default)]
+pub struct NullEnv;
+
+impl HelperEnv for NullEnv {
+    fn env_now(&self) -> Nanos {
+        Nanos::ZERO
+    }
+
+    fn env_fib_lookup(&mut self, _dst: Ipv4Addr) -> Option<FibFastResult> {
+        None
+    }
+
+    fn env_fdb_lookup(
+        &mut self,
+        _ingress: IfIndex,
+        _src: MacAddr,
+        _dst: MacAddr,
+        _vlan: u16,
+    ) -> FdbLookupOutcome {
+        FdbLookupOutcome::SrcUnknown
+    }
+
+    fn env_ipt_lookup(&mut self, _meta: &PacketMeta, _tracker: &mut CostTracker) -> NfVerdict {
+        NfVerdict::Accept
+    }
+
+    fn env_ct_lookup(
+        &mut self,
+        _src: Ipv4Addr,
+        _sport: u16,
+        _dst: Ipv4Addr,
+        _dport: u16,
+        _proto: u8,
+    ) -> Option<(Ipv4Addr, u16)> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_env_misses_everything() {
+        let mut env = NullEnv;
+        assert_eq!(env.env_now(), Nanos::ZERO);
+        assert!(env.env_fib_lookup(Ipv4Addr::new(1, 1, 1, 1)).is_none());
+        assert_eq!(
+            env.env_fdb_lookup(IfIndex(1), MacAddr::ZERO, MacAddr::ZERO, 0),
+            FdbLookupOutcome::SrcUnknown
+        );
+        assert!(env
+            .env_ct_lookup(Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 2, 6)
+            .is_none());
+        let meta = PacketMeta {
+            src: Ipv4Addr::new(1, 1, 1, 1),
+            dst: Ipv4Addr::new(2, 2, 2, 2),
+            proto: IpProto::Udp,
+            sport: 0,
+            dport: 0,
+            in_if: IfIndex(1),
+            out_if: IfIndex::NONE,
+        };
+        let mut t = CostTracker::new();
+        assert_eq!(env.env_ipt_lookup(&meta, &mut t), NfVerdict::Accept);
+    }
+}

@@ -1,0 +1,954 @@
+//! The static verifier: programs must be proven safe before loading.
+//!
+//! Models the essential guarantees of the in-kernel eBPF verifier for the
+//! instruction subset we generate:
+//!
+//! - **Termination**: only forward jumps are allowed (the classic pre-
+//!   bounded-loop eBPF rule), so the CFG is a DAG and every execution
+//!   terminates.
+//! - **Initialized registers**: reads of never-written registers are
+//!   rejected along every path.
+//! - **Pointer typing**: registers carry abstract types (scalar, ctx
+//!   pointer, packet pointer with constant offset, packet-end pointer,
+//!   stack pointer); loads and stores must go through a pointer of the
+//!   right kind, and pointer arithmetic is restricted to constant offsets.
+//! - **Packet bounds**: packet accesses are only allowed once a
+//!   `if (pkt + K > data_end) goto reject` guard has proven K bytes
+//!   available on that path — the signature eBPF bounds-check idiom.
+//! - **Stack bounds**: accesses through `r10` must stay inside the
+//!   512-byte frame.
+//! - **Helper contracts**: argument registers must be initialized and
+//!   struct-pointer arguments must point at sufficiently large, in-bounds
+//!   stack buffers.
+//!
+//! Simplifications relative to the real verifier (documented, deliberate):
+//! no variable-offset packet pointers, no pointer spilling to the stack
+//! (spilled values read back as scalars), no bounded loops. The
+//! synthesizer only emits code inside this subset.
+
+use crate::insn::{AluOp, HelperId, Insn, JmpCond, MemSize, REG_FP, STACK_SIZE};
+use std::fmt;
+
+/// Why a program was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The program has no instructions.
+    Empty,
+    /// The program exceeds [`crate::insn::MAX_INSNS`].
+    TooLong(usize),
+    /// A register number above `r10` was used.
+    InvalidReg {
+        /// Instruction index.
+        pc: usize,
+    },
+    /// A jump goes backwards (loops are not allowed).
+    BackwardJump {
+        /// Instruction index.
+        pc: usize,
+    },
+    /// A jump target is outside the program.
+    JumpOutOfBounds {
+        /// Instruction index.
+        pc: usize,
+    },
+    /// Execution can run past the last instruction.
+    FallsOffEnd,
+    /// A register was read before ever being written.
+    UninitRead {
+        /// Instruction index.
+        pc: usize,
+        /// The offending register.
+        reg: u8,
+    },
+    /// The frame pointer `r10` was used as a destination.
+    ReadOnlyFp {
+        /// Instruction index.
+        pc: usize,
+    },
+    /// A context field access with a bad offset or size.
+    BadCtxAccess {
+        /// Instruction index.
+        pc: usize,
+        /// Byte offset attempted.
+        off: i64,
+    },
+    /// A write through the context pointer.
+    WriteToCtx {
+        /// Instruction index.
+        pc: usize,
+    },
+    /// A packet access beyond what bounds checks have proven.
+    PacketOutOfBounds {
+        /// Instruction index.
+        pc: usize,
+        /// Last byte the access needs.
+        needed: i64,
+        /// Bytes proven available on this path.
+        verified: i64,
+    },
+    /// A stack access outside the 512-byte frame.
+    StackOutOfBounds {
+        /// Instruction index.
+        pc: usize,
+        /// Offset relative to `r10`.
+        off: i64,
+    },
+    /// Disallowed pointer arithmetic.
+    InvalidPtrArith {
+        /// Instruction index.
+        pc: usize,
+    },
+    /// Comparing a pointer with an incompatible operand.
+    BadPtrComparison {
+        /// Instruction index.
+        pc: usize,
+    },
+    /// A load through a non-pointer register.
+    NonPointerDeref {
+        /// Instruction index.
+        pc: usize,
+        /// The register dereferenced.
+        reg: u8,
+    },
+    /// A helper argument violates the helper's contract.
+    BadHelperArg {
+        /// Instruction index.
+        pc: usize,
+        /// The argument register.
+        reg: u8,
+        /// What was wrong.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Empty => write!(f, "empty program"),
+            VerifyError::TooLong(n) => write!(f, "program too long: {n} instructions"),
+            VerifyError::InvalidReg { pc } => write!(f, "pc {pc}: invalid register"),
+            VerifyError::BackwardJump { pc } => write!(f, "pc {pc}: backward jump"),
+            VerifyError::JumpOutOfBounds { pc } => write!(f, "pc {pc}: jump out of bounds"),
+            VerifyError::FallsOffEnd => write!(f, "execution falls off the end"),
+            VerifyError::UninitRead { pc, reg } => {
+                write!(f, "pc {pc}: read of uninitialized r{reg}")
+            }
+            VerifyError::ReadOnlyFp { pc } => write!(f, "pc {pc}: write to read-only r10"),
+            VerifyError::BadCtxAccess { pc, off } => {
+                write!(f, "pc {pc}: bad ctx access at offset {off}")
+            }
+            VerifyError::WriteToCtx { pc } => write!(f, "pc {pc}: write to ctx"),
+            VerifyError::PacketOutOfBounds { pc, needed, verified } => write!(
+                f,
+                "pc {pc}: packet access needs {needed} bytes, only {verified} verified"
+            ),
+            VerifyError::StackOutOfBounds { pc, off } => {
+                write!(f, "pc {pc}: stack access at r10{off:+} out of frame")
+            }
+            VerifyError::InvalidPtrArith { pc } => {
+                write!(f, "pc {pc}: invalid pointer arithmetic")
+            }
+            VerifyError::BadPtrComparison { pc } => {
+                write!(f, "pc {pc}: invalid pointer comparison")
+            }
+            VerifyError::NonPointerDeref { pc, reg } => {
+                write!(f, "pc {pc}: dereference of non-pointer r{reg}")
+            }
+            VerifyError::BadHelperArg { pc, reg, what } => {
+                write!(f, "pc {pc}: helper argument r{reg}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Abstract register type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RType {
+    Uninit,
+    Scalar,
+    PtrCtx,
+    PtrPacket(i64),
+    PtrPacketEnd,
+    PtrStack(i64),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct AbsState {
+    regs: [RType; 11],
+    pkt_verified: i64,
+}
+
+impl AbsState {
+    fn initial() -> Self {
+        let mut regs = [RType::Uninit; 11];
+        regs[1] = RType::PtrCtx;
+        regs[REG_FP as usize] = RType::PtrStack(0);
+        AbsState {
+            regs,
+            pkt_verified: 0,
+        }
+    }
+
+    fn join(&self, other: &AbsState) -> AbsState {
+        let mut regs = [RType::Uninit; 11];
+        for (i, slot) in regs.iter_mut().enumerate() {
+            *slot = if self.regs[i] == other.regs[i] {
+                self.regs[i]
+            } else {
+                RType::Uninit
+            };
+        }
+        AbsState {
+            regs,
+            pkt_verified: self.pkt_verified.min(other.pkt_verified),
+        }
+    }
+}
+
+/// Context field layout shared by the verifier and the VM: `(offset,
+/// size, type)` of each readable field.
+pub mod ctx_layout {
+    /// `data`: pointer to the first packet byte.
+    pub const DATA: i64 = 0x00;
+    /// `data_end`: pointer one past the last packet byte.
+    pub const DATA_END: i64 = 0x08;
+    /// Ingress interface index (u32).
+    pub const IFINDEX: i64 = 0x10;
+    /// Receive queue (u32).
+    pub const RX_QUEUE: i64 = 0x14;
+    /// Frame length (u32; populated for TC programs, 0 for XDP).
+    pub const LEN: i64 = 0x18;
+    /// VLAN TCI (u32; TC only).
+    pub const VLAN_TCI: i64 = 0x1c;
+    /// EtherType (u32; TC only).
+    pub const PROTOCOL: i64 = 0x20;
+    /// One past the last valid ctx offset.
+    pub const SIZE: i64 = 0x24;
+}
+
+fn check_reg(pc: usize, r: u8) -> Result<(), VerifyError> {
+    if r as usize >= crate::insn::NUM_REGS {
+        Err(VerifyError::InvalidReg { pc })
+    } else {
+        Ok(())
+    }
+}
+
+fn read_reg(pc: usize, st: &AbsState, r: u8) -> Result<RType, VerifyError> {
+    check_reg(pc, r)?;
+    let t = st.regs[r as usize];
+    if t == RType::Uninit {
+        Err(VerifyError::UninitRead { pc, reg: r })
+    } else {
+        Ok(t)
+    }
+}
+
+fn write_reg(pc: usize, st: &mut AbsState, r: u8, t: RType) -> Result<(), VerifyError> {
+    check_reg(pc, r)?;
+    if r == REG_FP {
+        return Err(VerifyError::ReadOnlyFp { pc });
+    }
+    st.regs[r as usize] = t;
+    Ok(())
+}
+
+fn check_stack_access(pc: usize, off: i64, size: i64) -> Result<(), VerifyError> {
+    if off < -(STACK_SIZE as i64) || off + size > 0 {
+        Err(VerifyError::StackOutOfBounds { pc, off })
+    } else {
+        Ok(())
+    }
+}
+
+/// Per-helper contract: `(argument count, stack-pointer args with their
+/// required buffer sizes)`.
+fn helper_contract(helper: HelperId) -> (u8, &'static [(u8, i64)]) {
+    match helper {
+        HelperId::FibLookup => (3, &[(2, 24)]),
+        HelperId::FdbLookup => (3, &[(2, 20)]),
+        HelperId::IptLookup => (3, &[(2, 24)]),
+        HelperId::CtLookup => (3, &[(2, 24)]),
+        HelperId::Redirect => (2, &[]),
+        HelperId::KtimeGetNs => (0, &[]),
+        HelperId::MapLookup => (5, &[(2, 1), (4, 1)]),
+        HelperId::MapUpdate => (5, &[(2, 1), (4, 1)]),
+        HelperId::TrivialNf => (1, &[]),
+        HelperId::XskRedirect => (2, &[]),
+    }
+}
+
+/// Verifies a program.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] encountered, like the kernel
+/// verifier's log-and-reject behavior.
+pub fn verify(insns: &[Insn]) -> Result<(), VerifyError> {
+    if insns.is_empty() {
+        return Err(VerifyError::Empty);
+    }
+    if insns.len() > crate::insn::MAX_INSNS {
+        return Err(VerifyError::TooLong(insns.len()));
+    }
+
+    let n = insns.len();
+    let mut states: Vec<Option<AbsState>> = vec![None; n];
+    states[0] = Some(AbsState::initial());
+
+    for pc in 0..n {
+        let Some(st) = states[pc].clone() else {
+            continue; // unreachable
+        };
+        let succs = transfer(pc, insns[pc], st, n)?;
+        for (succ, s) in succs {
+            if succ == n {
+                // Falling past the end is only legal... never.
+                return Err(VerifyError::FallsOffEnd);
+            }
+            states[succ] = Some(match &states[succ] {
+                Some(prev) => prev.join(&s),
+                None => s,
+            });
+        }
+    }
+    Ok(())
+}
+
+type Succs = Vec<(usize, AbsState)>;
+
+fn jump_target(pc: usize, off: i32, n: usize) -> Result<usize, VerifyError> {
+    if off < 0 {
+        return Err(VerifyError::BackwardJump { pc });
+    }
+    let target = pc + 1 + off as usize;
+    if target > n {
+        return Err(VerifyError::JumpOutOfBounds { pc });
+    }
+    Ok(target)
+}
+
+fn transfer(pc: usize, insn: Insn, mut st: AbsState, n: usize) -> Result<Succs, VerifyError> {
+    match insn {
+        Insn::AluImm { op, dst, imm } => {
+            check_reg(pc, dst)?;
+            let t = match op {
+                AluOp::Mov => RType::Scalar,
+                AluOp::Add | AluOp::Sub => {
+                    let cur = read_reg(pc, &st, dst)?;
+                    let delta = if op == AluOp::Add { imm } else { -imm };
+                    match cur {
+                        RType::Scalar => RType::Scalar,
+                        RType::PtrPacket(o) => RType::PtrPacket(
+                            o.checked_add(delta)
+                                .ok_or(VerifyError::InvalidPtrArith { pc })?,
+                        ),
+                        RType::PtrStack(o) => RType::PtrStack(
+                            o.checked_add(delta)
+                                .ok_or(VerifyError::InvalidPtrArith { pc })?,
+                        ),
+                        _ => return Err(VerifyError::InvalidPtrArith { pc }),
+                    }
+                }
+                _ => {
+                    let cur = read_reg(pc, &st, dst)?;
+                    if cur != RType::Scalar {
+                        return Err(VerifyError::InvalidPtrArith { pc });
+                    }
+                    RType::Scalar
+                }
+            };
+            write_reg(pc, &mut st, dst, t)?;
+            Ok(vec![(pc + 1, st)])
+        }
+        Insn::AluReg { op, dst, src } => {
+            let src_t = read_reg(pc, &st, src)?;
+            match op {
+                AluOp::Mov => {
+                    write_reg(pc, &mut st, dst, src_t)?;
+                }
+                _ => {
+                    let dst_t = read_reg(pc, &st, dst)?;
+                    if dst_t != RType::Scalar || src_t != RType::Scalar {
+                        return Err(VerifyError::InvalidPtrArith { pc });
+                    }
+                    write_reg(pc, &mut st, dst, RType::Scalar)?;
+                }
+            }
+            Ok(vec![(pc + 1, st)])
+        }
+        Insn::Ja { off } => {
+            let target = jump_target(pc, off, n)?;
+            Ok(vec![(target, st)])
+        }
+        Insn::JmpImm { dst, off, .. } => {
+            read_reg(pc, &st, dst)?;
+            let target = jump_target(pc, off, n)?;
+            Ok(vec![(pc + 1, st.clone()), (target, st)])
+        }
+        Insn::JmpReg {
+            cond,
+            dst,
+            src,
+            off,
+        } => {
+            let dst_t = read_reg(pc, &st, dst)?;
+            let src_t = read_reg(pc, &st, src)?;
+            let target = jump_target(pc, off, n)?;
+            let mut taken = st.clone();
+            let mut fall = st;
+            match (dst_t, src_t) {
+                (RType::Scalar, RType::Scalar) => {}
+                // The canonical packet guard: `if pkt+K > end goto bad`.
+                (RType::PtrPacket(o), RType::PtrPacketEnd) => match cond {
+                    JmpCond::Gt | JmpCond::Ge => {
+                        fall.pkt_verified = fall.pkt_verified.max(o);
+                    }
+                    JmpCond::Le | JmpCond::Lt => {
+                        taken.pkt_verified = taken.pkt_verified.max(o);
+                    }
+                    _ => return Err(VerifyError::BadPtrComparison { pc }),
+                },
+                (RType::PtrPacketEnd, RType::PtrPacket(o)) => match cond {
+                    JmpCond::Lt | JmpCond::Le => {
+                        fall.pkt_verified = fall.pkt_verified.max(o);
+                    }
+                    JmpCond::Gt | JmpCond::Ge => {
+                        taken.pkt_verified = taken.pkt_verified.max(o);
+                    }
+                    _ => return Err(VerifyError::BadPtrComparison { pc }),
+                },
+                _ => return Err(VerifyError::BadPtrComparison { pc }),
+            }
+            Ok(vec![(pc + 1, fall), (target, taken)])
+        }
+        Insn::Load { size, dst, src, off } => {
+            let base = read_reg(pc, &st, src)?;
+            let bytes = size.bytes() as i64;
+            let t = match base {
+                RType::PtrCtx => ctx_load_type(pc, off as i64, size)?,
+                RType::PtrPacket(o) => {
+                    let start = o + off as i64;
+                    let end = start + bytes;
+                    if start < 0 || end > st.pkt_verified {
+                        return Err(VerifyError::PacketOutOfBounds {
+                            pc,
+                            needed: end,
+                            verified: st.pkt_verified,
+                        });
+                    }
+                    RType::Scalar
+                }
+                RType::PtrStack(o) => {
+                    check_stack_access(pc, o + off as i64, bytes)?;
+                    RType::Scalar
+                }
+                RType::Scalar | RType::Uninit | RType::PtrPacketEnd => {
+                    return Err(VerifyError::NonPointerDeref { pc, reg: src })
+                }
+            };
+            write_reg(pc, &mut st, dst, t)?;
+            Ok(vec![(pc + 1, st)])
+        }
+        Insn::Store { size, dst, off, src } => {
+            read_reg(pc, &st, src)?;
+            store_check(pc, &st, dst, off, size)?;
+            Ok(vec![(pc + 1, st)])
+        }
+        Insn::StoreImm { size, dst, off, .. } => {
+            store_check(pc, &st, dst, off, size)?;
+            Ok(vec![(pc + 1, st)])
+        }
+        Insn::Call { helper } => {
+            let (argc, stack_args) = helper_contract(helper);
+            for r in 1..=argc {
+                read_reg(pc, &st, r)?;
+            }
+            for (reg, need) in stack_args {
+                match st.regs[*reg as usize] {
+                    RType::PtrStack(o) => {
+                        if o < -(STACK_SIZE as i64) || o + need > 0 {
+                            return Err(VerifyError::BadHelperArg {
+                                pc,
+                                reg: *reg,
+                                what: "stack buffer out of frame or too small",
+                            });
+                        }
+                    }
+                    _ => {
+                        return Err(VerifyError::BadHelperArg {
+                            pc,
+                            reg: *reg,
+                            what: "expected a stack pointer",
+                        })
+                    }
+                }
+            }
+            st.regs[0] = RType::Scalar;
+            for r in 1..=5 {
+                st.regs[r] = RType::Uninit;
+            }
+            Ok(vec![(pc + 1, st)])
+        }
+        Insn::TailCall { .. } => {
+            // Either transfers control (never returns) or falls through on
+            // an empty slot.
+            Ok(vec![(pc + 1, st)])
+        }
+        Insn::Exit => {
+            read_reg(pc, &st, 0)?;
+            Ok(vec![])
+        }
+    }
+}
+
+fn ctx_load_type(pc: usize, off: i64, size: MemSize) -> Result<RType, VerifyError> {
+    use ctx_layout::*;
+    match (off, size) {
+        (DATA, MemSize::DW) => Ok(RType::PtrPacket(0)),
+        (DATA_END, MemSize::DW) => Ok(RType::PtrPacketEnd),
+        (IFINDEX | RX_QUEUE | LEN | VLAN_TCI | PROTOCOL, MemSize::W) => Ok(RType::Scalar),
+        _ => Err(VerifyError::BadCtxAccess { pc, off }),
+    }
+}
+
+fn store_check(
+    pc: usize,
+    st: &AbsState,
+    dst: u8,
+    off: i16,
+    size: MemSize,
+) -> Result<(), VerifyError> {
+    let base = read_reg(pc, st, dst)?;
+    let bytes = size.bytes() as i64;
+    match base {
+        RType::PtrStack(o) => check_stack_access(pc, o + off as i64, bytes),
+        RType::PtrPacket(o) => {
+            let start = o + off as i64;
+            let end = start + bytes;
+            if start < 0 || end > st.pkt_verified {
+                Err(VerifyError::PacketOutOfBounds {
+                    pc,
+                    needed: end,
+                    verified: st.pkt_verified,
+                })
+            } else {
+                Ok(())
+            }
+        }
+        RType::PtrCtx => Err(VerifyError::WriteToCtx { pc }),
+        _ => Err(VerifyError::NonPointerDeref { pc, reg: dst }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::insn::Action;
+
+    /// `r0 = PASS; exit` — minimal valid program.
+    fn pass_prog() -> Vec<Insn> {
+        let mut a = Asm::new();
+        a.mov_imm(0, Action::Pass.code() as i64);
+        a.exit();
+        a.finish().unwrap()
+    }
+
+    /// The canonical guarded packet read: load data/data_end from ctx,
+    /// bounds-check 14 bytes, read the ethertype.
+    fn guarded_packet_read() -> Vec<Insn> {
+        let mut a = Asm::new();
+        a.load(MemSize::DW, 2, 1, ctx_layout::DATA as i16); // r2 = data
+        a.load(MemSize::DW, 3, 1, ctx_layout::DATA_END as i16); // r3 = end
+        a.mov_reg(4, 2);
+        a.alu_imm(AluOp::Add, 4, 14); // r4 = data + 14
+        a.jmp_reg(JmpCond::Gt, 4, 3, "out"); // if r4 > end goto out
+        a.load(MemSize::H, 5, 2, 12); // ethertype
+        a.label("out");
+        a.mov_imm(0, Action::Pass.code() as i64);
+        a.exit();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn accepts_minimal_and_guarded_programs() {
+        verify(&pass_prog()).unwrap();
+        verify(&guarded_packet_read()).unwrap();
+    }
+
+    #[test]
+    fn rejects_empty_and_too_long() {
+        assert_eq!(verify(&[]), Err(VerifyError::Empty));
+        let long = vec![Insn::Exit; crate::insn::MAX_INSNS + 1];
+        assert!(matches!(verify(&long), Err(VerifyError::TooLong(_))));
+    }
+
+    #[test]
+    fn rejects_unguarded_packet_access() {
+        let mut a = Asm::new();
+        a.load(MemSize::DW, 2, 1, ctx_layout::DATA as i16);
+        a.load(MemSize::B, 0, 2, 0); // no bounds check!
+        a.exit();
+        let err = verify(&a.finish().unwrap()).unwrap_err();
+        assert!(matches!(err, VerifyError::PacketOutOfBounds { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_access_beyond_verified_window() {
+        let mut a = Asm::new();
+        a.load(MemSize::DW, 2, 1, ctx_layout::DATA as i16);
+        a.load(MemSize::DW, 3, 1, ctx_layout::DATA_END as i16);
+        a.mov_reg(4, 2);
+        a.alu_imm(AluOp::Add, 4, 14);
+        a.jmp_reg(JmpCond::Gt, 4, 3, "out");
+        a.load(MemSize::W, 5, 2, 12); // bytes 12..16: beyond the 14 proven
+        a.label("out");
+        a.mov_imm(0, 2);
+        a.exit();
+        let err = verify(&a.finish().unwrap()).unwrap_err();
+        assert!(
+            matches!(err, VerifyError::PacketOutOfBounds { needed: 16, verified: 14, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn guard_does_not_leak_to_wrong_branch() {
+        // The *taken* branch of `if pkt+14 > end` must NOT get the bytes.
+        let mut a = Asm::new();
+        a.load(MemSize::DW, 2, 1, ctx_layout::DATA as i16);
+        a.load(MemSize::DW, 3, 1, ctx_layout::DATA_END as i16);
+        a.mov_reg(4, 2);
+        a.alu_imm(AluOp::Add, 4, 14);
+        a.jmp_reg(JmpCond::Gt, 4, 3, "short");
+        a.mov_imm(0, 2);
+        a.exit();
+        a.label("short");
+        a.load(MemSize::B, 5, 2, 0); // on the too-short path!
+        a.mov_imm(0, 1);
+        a.exit();
+        let err = verify(&a.finish().unwrap()).unwrap_err();
+        assert!(matches!(err, VerifyError::PacketOutOfBounds { .. }), "{err}");
+    }
+
+    #[test]
+    fn joins_take_the_minimum_verified_window() {
+        // One path proves 14 bytes, the other proves nothing; after the
+        // join the access must be rejected.
+        let mut a = Asm::new();
+        a.load(MemSize::DW, 2, 1, ctx_layout::DATA as i16);
+        a.load(MemSize::DW, 3, 1, ctx_layout::DATA_END as i16);
+        a.load(MemSize::W, 5, 1, ctx_layout::IFINDEX as i16);
+        a.jmp_imm(JmpCond::Eq, 5, 7, "skip_guard");
+        a.mov_reg(4, 2);
+        a.alu_imm(AluOp::Add, 4, 14);
+        a.jmp_reg(JmpCond::Gt, 4, 3, "out");
+        a.label("skip_guard");
+        a.load(MemSize::B, 5, 2, 0); // only guarded on one path
+        a.label("out");
+        a.mov_imm(0, 2);
+        a.exit();
+        let err = verify(&a.finish().unwrap()).unwrap_err();
+        assert!(matches!(err, VerifyError::PacketOutOfBounds { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_backward_jump() {
+        let insns = vec![
+            Insn::AluImm { op: AluOp::Mov, dst: 0, imm: 2 },
+            Insn::Ja { off: -2 },
+            Insn::Exit,
+        ];
+        assert_eq!(verify(&insns), Err(VerifyError::BackwardJump { pc: 1 }));
+    }
+
+    #[test]
+    fn rejects_jump_out_of_bounds() {
+        let insns = vec![
+            Insn::AluImm { op: AluOp::Mov, dst: 0, imm: 2 },
+            Insn::Ja { off: 100 },
+            Insn::Exit,
+        ];
+        assert_eq!(verify(&insns), Err(VerifyError::JumpOutOfBounds { pc: 1 }));
+    }
+
+    #[test]
+    fn rejects_fall_off_end() {
+        let insns = vec![Insn::AluImm { op: AluOp::Mov, dst: 0, imm: 2 }];
+        assert_eq!(verify(&insns), Err(VerifyError::FallsOffEnd));
+    }
+
+    #[test]
+    fn rejects_uninitialized_reads() {
+        // r0 never written before exit.
+        assert_eq!(
+            verify(&[Insn::Exit]),
+            Err(VerifyError::UninitRead { pc: 0, reg: 0 })
+        );
+        // r5 never written before use.
+        let insns = vec![
+            Insn::AluReg { op: AluOp::Mov, dst: 0, src: 5 },
+            Insn::Exit,
+        ];
+        assert_eq!(
+            verify(&insns),
+            Err(VerifyError::UninitRead { pc: 0, reg: 5 })
+        );
+    }
+
+    #[test]
+    fn rejects_uninit_after_divergent_paths() {
+        // r5 initialized on only one branch; reading it after the join
+        // must fail.
+        let mut a = Asm::new();
+        a.load(MemSize::W, 2, 1, ctx_layout::IFINDEX as i16);
+        a.jmp_imm(JmpCond::Eq, 2, 1, "skip");
+        a.mov_imm(5, 7);
+        a.label("skip");
+        a.mov_reg(0, 5);
+        a.exit();
+        let err = verify(&a.finish().unwrap()).unwrap_err();
+        assert!(matches!(err, VerifyError::UninitRead { reg: 5, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_write_to_fp() {
+        let insns = vec![
+            Insn::AluImm { op: AluOp::Mov, dst: 10, imm: 0 },
+            Insn::Exit,
+        ];
+        assert_eq!(verify(&insns), Err(VerifyError::ReadOnlyFp { pc: 0 }));
+    }
+
+    #[test]
+    fn rejects_bad_ctx_access() {
+        let mut a = Asm::new();
+        a.load(MemSize::DW, 2, 1, 0x40); // past ctx end
+        a.mov_imm(0, 2);
+        a.exit();
+        assert!(matches!(
+            verify(&a.finish().unwrap()),
+            Err(VerifyError::BadCtxAccess { off: 0x40, .. })
+        ));
+        // Wrong size for a pointer field.
+        let mut a = Asm::new();
+        a.load(MemSize::W, 2, 1, ctx_layout::DATA as i16);
+        a.mov_imm(0, 2);
+        a.exit();
+        assert!(matches!(
+            verify(&a.finish().unwrap()),
+            Err(VerifyError::BadCtxAccess { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_ctx_write() {
+        let mut a = Asm::new();
+        a.store_imm(MemSize::W, 1, 0x10, 7);
+        a.mov_imm(0, 2);
+        a.exit();
+        assert_eq!(
+            verify(&a.finish().unwrap()),
+            Err(VerifyError::WriteToCtx { pc: 0 })
+        );
+    }
+
+    #[test]
+    fn stack_bounds_enforced() {
+        // In-bounds spill is fine.
+        let mut a = Asm::new();
+        a.mov_reg(2, 10);
+        a.alu_imm(AluOp::Add, 2, -16);
+        a.store_imm(MemSize::DW, 2, 0, 42);
+        a.load(MemSize::DW, 0, 2, 0);
+        a.exit();
+        verify(&a.finish().unwrap()).unwrap();
+        // Below the frame.
+        let mut a = Asm::new();
+        a.store_imm(MemSize::DW, 10, -520, 42);
+        a.mov_imm(0, 2);
+        a.exit();
+        assert!(matches!(
+            verify(&a.finish().unwrap()),
+            Err(VerifyError::StackOutOfBounds { .. })
+        ));
+        // Above the frame top (positive offsets).
+        let mut a = Asm::new();
+        a.store_imm(MemSize::DW, 10, 8, 42);
+        a.mov_imm(0, 2);
+        a.exit();
+        assert!(matches!(
+            verify(&a.finish().unwrap()),
+            Err(VerifyError::StackOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_pointer_arithmetic_abuse() {
+        // Multiplying a pointer.
+        let mut a = Asm::new();
+        a.alu_imm(AluOp::Mul, 1, 2);
+        a.mov_imm(0, 2);
+        a.exit();
+        assert!(matches!(
+            verify(&a.finish().unwrap()),
+            Err(VerifyError::InvalidPtrArith { .. })
+        ));
+        // Adding to the ctx pointer.
+        let mut a = Asm::new();
+        a.alu_imm(AluOp::Add, 1, 8);
+        a.mov_imm(0, 2);
+        a.exit();
+        assert!(matches!(
+            verify(&a.finish().unwrap()),
+            Err(VerifyError::InvalidPtrArith { .. })
+        ));
+        // Variable-offset packet pointer (reg + reg).
+        let mut a = Asm::new();
+        a.load(MemSize::DW, 2, 1, ctx_layout::DATA as i16);
+        a.load(MemSize::W, 3, 1, ctx_layout::IFINDEX as i16);
+        a.alu_reg(AluOp::Add, 2, 3);
+        a.mov_imm(0, 2);
+        a.exit();
+        assert!(matches!(
+            verify(&a.finish().unwrap()),
+            Err(VerifyError::InvalidPtrArith { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_pointer_deref() {
+        let mut a = Asm::new();
+        a.mov_imm(2, 1000);
+        a.load(MemSize::B, 0, 2, 0);
+        a.exit();
+        assert!(matches!(
+            verify(&a.finish().unwrap()),
+            Err(VerifyError::NonPointerDeref { reg: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_pointer_comparison() {
+        // Comparing packet pointer against a scalar.
+        let mut a = Asm::new();
+        a.load(MemSize::DW, 2, 1, ctx_layout::DATA as i16);
+        a.mov_imm(3, 5);
+        a.jmp_reg(JmpCond::Gt, 2, 3, "out");
+        a.label("out");
+        a.mov_imm(0, 2);
+        a.exit();
+        assert!(matches!(
+            verify(&a.finish().unwrap()),
+            Err(VerifyError::BadPtrComparison { .. })
+        ));
+    }
+
+    #[test]
+    fn helper_contracts_enforced() {
+        // FibLookup with r2 not a stack pointer.
+        let mut a = Asm::new();
+        a.mov_imm(2, 0);
+        a.mov_imm(3, 24);
+        a.call(HelperId::FibLookup);
+        a.mov_imm(0, 2);
+        a.exit();
+        assert!(matches!(
+            verify(&a.finish().unwrap()),
+            Err(VerifyError::BadHelperArg { reg: 2, .. })
+        ));
+        // FibLookup with a too-small stack buffer.
+        let mut a = Asm::new();
+        a.mov_reg(2, 10);
+        a.alu_imm(AluOp::Add, 2, -8); // only 8 bytes available
+        a.mov_imm(3, 24);
+        a.call(HelperId::FibLookup);
+        a.mov_imm(0, 2);
+        a.exit();
+        assert!(matches!(
+            verify(&a.finish().unwrap()),
+            Err(VerifyError::BadHelperArg { reg: 2, .. })
+        ));
+        // Proper call verifies.
+        let mut a = Asm::new();
+        a.mov_reg(2, 10);
+        a.alu_imm(AluOp::Add, 2, -24);
+        a.mov_imm(3, 24);
+        a.call(HelperId::FibLookup);
+        a.mov_reg(0, 0); // r0 is the result
+        a.exit();
+        verify(&a.finish().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn helper_clobbers_caller_saved_registers() {
+        // Using r3 after a call must fail (clobbered).
+        let mut a = Asm::new();
+        a.mov_imm(3, 7);
+        a.call(HelperId::KtimeGetNs);
+        a.mov_reg(0, 3);
+        a.exit();
+        assert!(matches!(
+            verify(&a.finish().unwrap()),
+            Err(VerifyError::UninitRead { reg: 3, .. })
+        ));
+        // r6-r9 are callee-saved and survive.
+        let mut a = Asm::new();
+        a.mov_imm(6, 7);
+        a.call(HelperId::KtimeGetNs);
+        a.mov_reg(0, 6);
+        a.exit();
+        verify(&a.finish().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn uninit_helper_args_rejected() {
+        let mut a = Asm::new();
+        a.call(HelperId::Redirect); // r1, r2 never set
+        a.mov_imm(0, 2);
+        a.exit();
+        assert!(matches!(
+            verify(&a.finish().unwrap()),
+            Err(VerifyError::UninitRead { .. })
+        ));
+    }
+
+    #[test]
+    fn tail_call_fall_through_must_be_covered() {
+        // A tail call as the last instruction can fall through -> error.
+        let mut a = Asm::new();
+        a.mov_imm(0, 2);
+        a.tail_call(0, 0);
+        assert_eq!(verify(&a.finish().unwrap()), Err(VerifyError::FallsOffEnd));
+        // With an exit after it, fine.
+        let mut a = Asm::new();
+        a.mov_imm(0, 2);
+        a.tail_call(0, 0);
+        a.exit();
+        verify(&a.finish().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn invalid_register_rejected() {
+        assert_eq!(
+            verify(&[Insn::AluImm { op: AluOp::Mov, dst: 11, imm: 0 }, Insn::Exit]),
+            Err(VerifyError::InvalidReg { pc: 0 })
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = VerifyError::PacketOutOfBounds {
+            pc: 5,
+            needed: 16,
+            verified: 14,
+        };
+        let s = e.to_string();
+        assert!(s.contains("pc 5") && s.contains("16") && s.contains("14"));
+        assert!(VerifyError::Empty.to_string().contains("empty"));
+        assert!(VerifyError::FallsOffEnd.to_string().contains("falls off"));
+    }
+}

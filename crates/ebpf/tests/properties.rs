@@ -1,0 +1,157 @@
+//! Property tests for the eBPF runtime.
+//!
+//! The key safety property mirrors the real verifier's contract: *any*
+//! program the verifier accepts must execute without memory faults on
+//! *any* packet. We generate random instruction soup, filter it through
+//! the verifier, and execute the survivors against random packets.
+
+use linuxfp_ebpf::helpers::NullEnv;
+use linuxfp_ebpf::insn::{AluOp, HelperId, Insn, JmpCond, MemSize};
+use linuxfp_ebpf::maps::MapStore;
+use linuxfp_ebpf::program::{LoadedProgram, Program};
+use linuxfp_ebpf::verifier::verify;
+use linuxfp_ebpf::vm::{self, VmCtx, VmError};
+use linuxfp_sim::{CostModel, CostTracker};
+use proptest::prelude::*;
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Lsh),
+        Just(AluOp::Rsh),
+        Just(AluOp::Mod),
+        Just(AluOp::Xor),
+        Just(AluOp::Mov),
+        Just(AluOp::Arsh),
+    ]
+}
+
+fn arb_cond() -> impl Strategy<Value = JmpCond> {
+    prop_oneof![
+        Just(JmpCond::Eq),
+        Just(JmpCond::Ne),
+        Just(JmpCond::Gt),
+        Just(JmpCond::Ge),
+        Just(JmpCond::Lt),
+        Just(JmpCond::Le),
+        Just(JmpCond::Sgt),
+        Just(JmpCond::Slt),
+        Just(JmpCond::Set),
+    ]
+}
+
+fn arb_size() -> impl Strategy<Value = MemSize> {
+    prop_oneof![
+        Just(MemSize::B),
+        Just(MemSize::H),
+        Just(MemSize::W),
+        Just(MemSize::DW),
+    ]
+}
+
+fn arb_helper() -> impl Strategy<Value = HelperId> {
+    prop_oneof![
+        Just(HelperId::FibLookup),
+        Just(HelperId::FdbLookup),
+        Just(HelperId::IptLookup),
+        Just(HelperId::Redirect),
+        Just(HelperId::KtimeGetNs),
+        Just(HelperId::MapLookup),
+        Just(HelperId::MapUpdate),
+        Just(HelperId::CtLookup),
+        Just(HelperId::TrivialNf),
+    ]
+}
+
+/// Arbitrary (mostly invalid) instructions — a fuzzer for the verifier.
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (arb_alu_op(), 0u8..12, any::<i32>())
+            .prop_map(|(op, dst, imm)| Insn::AluImm { op, dst, imm: imm as i64 }),
+        (arb_alu_op(), 0u8..12, 0u8..12)
+            .prop_map(|(op, dst, src)| Insn::AluReg { op, dst, src }),
+        (-8i32..16).prop_map(|off| Insn::Ja { off }),
+        (arb_cond(), 0u8..12, any::<i16>(), -8i32..16).prop_map(|(cond, dst, imm, off)| {
+            Insn::JmpImm { cond, dst, imm: imm as i64, off }
+        }),
+        (arb_cond(), 0u8..12, 0u8..12, -8i32..16)
+            .prop_map(|(cond, dst, src, off)| Insn::JmpReg { cond, dst, src, off }),
+        (arb_size(), 0u8..12, 0u8..12, -64i16..64)
+            .prop_map(|(size, dst, src, off)| Insn::Load { size, dst, src, off }),
+        (arb_size(), 0u8..12, -64i16..64, 0u8..12)
+            .prop_map(|(size, dst, off, src)| Insn::Store { size, dst, off, src }),
+        (arb_size(), 0u8..12, -64i16..64, any::<i32>()).prop_map(|(size, dst, off, imm)| {
+            Insn::StoreImm { size, dst, off, imm: imm as i64 }
+        }),
+        arb_helper().prop_map(|helper| Insn::Call { helper }),
+        (0u32..4, 0u32..4).prop_map(|(prog_array, index)| Insn::TailCall { prog_array, index }),
+        Just(Insn::Exit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The verifier never panics on arbitrary instruction sequences.
+    #[test]
+    fn verifier_is_total(insns in proptest::collection::vec(arb_insn(), 0..64)) {
+        let _ = verify(&insns);
+    }
+
+    /// Any program the verifier accepts runs to completion on any packet
+    /// without a runtime memory fault — the core safety contract.
+    #[test]
+    fn verified_programs_never_fault(
+        insns in proptest::collection::vec(arb_insn(), 1..48),
+        packet in proptest::collection::vec(any::<u8>(), 0..256),
+        ifindex in 0u32..16,
+    ) {
+        if verify(&insns).is_err() {
+            return Ok(()); // rejected: nothing to check
+        }
+        let prog = LoadedProgram::load(Program::new("fuzz", insns)).unwrap();
+        let maps = MapStore::new();
+        // A few maps so random map ids sometimes hit something.
+        maps.create_hash(8);
+        maps.create_array(4, 8);
+        maps.create_prog_array(4);
+        let cost = CostModel::calibrated();
+        let mut tracker = CostTracker::new();
+        let mut pkt = packet;
+        let ctx = VmCtx::xdp(&mut pkt, ifindex, 0);
+        let out = vm::run(&prog, ctx, &mut NullEnv, &maps, &cost, &mut tracker);
+        // Division by zero is a verdict-level abort, not a safety fault;
+        // memory violations must be impossible.
+        match out.error {
+            None | Some(VmError::DivByZero) => {}
+            Some(other) => prop_assert!(false, "verified program faulted: {other}"),
+        }
+    }
+
+    /// Cost accounting: executing N instructions charges exactly N times
+    /// the per-instruction price (plus helper charges).
+    #[test]
+    fn instruction_costs_add_up(n in 1usize..64) {
+        let mut insns = Vec::new();
+        for i in 0..n {
+            insns.push(Insn::AluImm { op: AluOp::Mov, dst: 0, imm: i as i64 });
+        }
+        insns.push(Insn::AluImm { op: AluOp::Mov, dst: 0, imm: 2 });
+        insns.push(Insn::Exit);
+        let prog = LoadedProgram::load(Program::new("count", insns)).unwrap();
+        let maps = MapStore::new();
+        let cost = CostModel::calibrated();
+        let mut tracker = CostTracker::new();
+        let mut pkt = vec![0u8; 64];
+        let ctx = VmCtx::xdp(&mut pkt, 1, 0);
+        let out = vm::run(&prog, ctx, &mut NullEnv, &maps, &cost, &mut tracker);
+        prop_assert_eq!(out.insns_executed, (n + 2) as u64);
+        let expected = (n + 2) as f64 * cost.ebpf_insn_ns;
+        prop_assert!((tracker.total_ns() - expected).abs() < 1e-9);
+    }
+}

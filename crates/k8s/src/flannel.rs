@@ -1,0 +1,211 @@
+//! The Flannel-style CNI plugin: node network setup and pod attachment
+//! through **standard kernel configuration only**.
+//!
+//! Nothing in this module knows LinuxFP exists — that is the point. It
+//! performs the configuration a real Flannel (VXLAN backend) + kubelet +
+//! kube-proxy stack performs: bridge, veth pairs, VXLAN overlay with
+//! per-peer FDB/neighbor entries, routes, forwarding sysctls,
+//! `bridge-nf-call-iptables`, conntrack, and a pile of service rules.
+
+use linuxfp_netstack::device::IfIndex;
+use linuxfp_netstack::netfilter::{ChainHook, IptRule};
+use linuxfp_netstack::stack::{IfAddr, Kernel};
+use linuxfp_packet::ipv4::Prefix;
+use linuxfp_packet::MacAddr;
+use std::net::Ipv4Addr;
+
+/// The VXLAN network identifier Flannel uses by default.
+pub const FLANNEL_VNI: u32 = 1;
+/// Number of kube-proxy-style FORWARD rules installed per node (service
+/// chains; none of them match plain pod-to-pod traffic, but every bridged
+/// packet pays the traversal — the realistic Kubernetes datapath tax).
+pub const KUBE_PROXY_RULES: u32 = 180;
+
+/// A peer node's overlay coordinates, as distributed through the Flannel
+/// subnet lease (in etcd / the Kubernetes API in the real system).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerLease {
+    /// The peer's underlay address.
+    pub node_ip: Ipv4Addr,
+    /// The peer's pod CIDR.
+    pub pod_cidr: Prefix,
+    /// The peer's `flannel.1` MAC (published in the lease annotations).
+    pub flannel_mac: MacAddr,
+}
+
+/// Interfaces created by node setup.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeNet {
+    /// Underlay NIC.
+    pub eth0: IfIndex,
+    /// The pod bridge.
+    pub cni0: IfIndex,
+    /// The VXLAN overlay device.
+    pub flannel: IfIndex,
+}
+
+/// Configures a node's networking exactly as Flannel + kubelet do:
+/// underlay NIC, `flannel.1` VXLAN, `cni0` bridge with the node's pod
+/// subnet gateway address, forwarding + br_netfilter sysctls, conntrack,
+/// and kube-proxy's FORWARD chains.
+///
+/// # Panics
+///
+/// Panics on a non-fresh kernel (the CNI owns node configuration).
+pub fn setup_node(k: &mut Kernel, node_ip: Ipv4Addr, pod_cidr: Prefix) -> NodeNet {
+    let eth0 = k.add_physical("eth0").expect("fresh kernel");
+    k.ip_addr_add(eth0, IfAddr::new(node_ip, 24)).expect("fresh kernel");
+    k.ip_link_set_up(eth0).expect("device exists");
+
+    let flannel = k
+        .add_vxlan("flannel.1", FLANNEL_VNI, node_ip, 4789)
+        .expect("fresh kernel");
+    // Flannel assigns flannel.1 the subnet's .0/32 as its overlay address.
+    k.ip_addr_add(flannel, IfAddr::new(pod_cidr.nth_host(0), 32))
+        .expect("fresh kernel");
+    k.ip_link_set_up(flannel).expect("device exists");
+
+    let cni0 = k.add_bridge("cni0").expect("fresh kernel");
+    // The bridge owns the pod subnet's gateway address (.1).
+    let gw = pod_cidr.nth_host(1);
+    k.ip_addr_add(cni0, IfAddr::new(gw, pod_cidr.len())).expect("fresh kernel");
+    k.ip_link_set_up(cni0).expect("device exists");
+
+    k.sysctl_set("net.ipv4.ip_forward", 1).expect("known sysctl");
+    k.sysctl_set("net.bridge.bridge-nf-call-iptables", 1)
+        .expect("known sysctl");
+    k.conntrack_forward = true;
+
+    // kube-proxy's service chains: rules that pod-to-pod traffic scans
+    // past without matching (service VIPs live in 10.96.0.0/12).
+    for i in 0..KUBE_PROXY_RULES {
+        k.iptables_append(
+            ChainHook::Forward,
+            IptRule {
+                dst: Some(Prefix::new(
+                    Ipv4Addr::new(10, 96, (i / 8) as u8, ((i % 8) * 32) as u8),
+                    28,
+                )),
+                target: linuxfp_netstack::netfilter::RuleTargetField(
+                    linuxfp_netstack::netfilter::RuleTarget::Accept,
+                ),
+                ..IptRule::default()
+            },
+        );
+    }
+
+    NodeNet { eth0, cni0, flannel }
+}
+
+/// Installs the overlay state for one peer node, as Flannel does when a
+/// subnet lease appears: route to the peer's pod CIDR through
+/// `flannel.1`, a permanent neighbor entry for the peer's overlay
+/// gateway, and the VXLAN FDB entry pointing at the peer's VTEP.
+pub fn add_peer(k: &mut Kernel, net: NodeNet, peer: &PeerLease) {
+    let overlay_gw = peer.pod_cidr.nth_host(0);
+    k.ip_route_add(peer.pod_cidr, Some(overlay_gw), Some(net.flannel))
+        .expect("flannel device exists");
+    let now = k.now();
+    k.neigh.learn(overlay_gw, peer.flannel_mac, net.flannel, now);
+    k.vxlan_fdb_add(net.flannel, peer.flannel_mac, peer.node_ip)
+        .expect("vxlan device");
+    k.vxlan_add_default_remote(net.flannel, peer.node_ip)
+        .expect("vxlan device");
+}
+
+/// Attaches a pod: veth pair with the host end enslaved to `cni0`, the
+/// pod end carrying the pod's address. Returns
+/// `(host_ifindex, pod_ifindex, pod_ip, pod_mac)`.
+pub fn add_pod(
+    k: &mut Kernel,
+    net: NodeNet,
+    pod_cidr: Prefix,
+    pod_index: u32,
+) -> (IfIndex, IfIndex, Ipv4Addr, MacAddr) {
+    let host_name = format!("veth{pod_index}h");
+    let pod_name = format!("veth{pod_index}p");
+    let (host_if, pod_if) = k.add_veth_pair(&host_name, &pod_name).expect("unique names");
+    k.brctl_addif(net.cni0, host_if).expect("cni0 exists");
+    let pod_ip = pod_cidr.nth_host(10 + pod_index);
+    // The pod's address lives in the pod's own network namespace, not in
+    // the node kernel: the pod-side veth is an endpoint.
+    k.set_endpoint(pod_if, true).expect("fresh veth");
+    k.ip_link_set_up(host_if).expect("device exists");
+    k.ip_link_set_up(pod_if).expect("device exists");
+    let pod_mac = k.device(pod_if).expect("exists").mac;
+    // kubelet's ARP warm-up: the node resolves the pod immediately (the
+    // pod answers ARP as soon as it starts in the real system).
+    let now = k.now();
+    k.neigh.learn(pod_ip, pod_mac, net.cni0, now);
+    (host_if, pod_if, pod_ip, pod_mac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_setup_installs_standard_config() {
+        let mut k = Kernel::new(21);
+        let net = setup_node(
+            &mut k,
+            Ipv4Addr::new(192, 168, 0, 1),
+            "10.244.1.0/24".parse().unwrap(),
+        );
+        assert!(k.ip_forward_enabled());
+        assert!(k.bridge_nf_enabled());
+        assert!(k.conntrack_forward);
+        assert_eq!(
+            k.netfilter.rules(ChainHook::Forward).len(),
+            KUBE_PROXY_RULES as usize
+        );
+        assert!(k.device(net.cni0).unwrap().has_addr(Ipv4Addr::new(10, 244, 1, 1)));
+        assert_eq!(k.device(net.flannel).unwrap().kind.kind_name(), "vxlan");
+        // cni0's connected route covers the pod subnet.
+        let routes = k.dump_routes();
+        assert!(routes
+            .iter()
+            .any(|r| r.prefix == "10.244.1.0/24".parse().unwrap() && r.dev == net.cni0));
+    }
+
+    #[test]
+    fn peer_lease_installs_overlay_route() {
+        let mut k = Kernel::new(22);
+        let net = setup_node(
+            &mut k,
+            Ipv4Addr::new(192, 168, 0, 1),
+            "10.244.1.0/24".parse().unwrap(),
+        );
+        let peer = PeerLease {
+            node_ip: Ipv4Addr::new(192, 168, 0, 2),
+            pod_cidr: "10.244.2.0/24".parse().unwrap(),
+            flannel_mac: MacAddr::from_index(0x22),
+        };
+        add_peer(&mut k, net, &peer);
+        let routes = k.dump_routes();
+        assert!(routes
+            .iter()
+            .any(|r| r.prefix == peer.pod_cidr && r.dev == net.flannel));
+        let now = k.now();
+        assert_eq!(
+            k.neigh
+                .resolved_mac(Ipv4Addr::new(10, 244, 2, 0), now)
+                .map(|(m, _)| m),
+            Some(peer.flannel_mac)
+        );
+    }
+
+    #[test]
+    fn pod_attachment_wires_veth_into_bridge() {
+        let mut k = Kernel::new(23);
+        let cidr: Prefix = "10.244.1.0/24".parse().unwrap();
+        let net = setup_node(&mut k, Ipv4Addr::new(192, 168, 0, 1), cidr);
+        let (host_if, pod_if, pod_ip, pod_mac) = add_pod(&mut k, net, cidr, 0);
+        assert_eq!(pod_ip, Ipv4Addr::new(10, 244, 1, 10));
+        assert_eq!(k.device(host_if).unwrap().master, Some(net.cni0));
+        assert!(k.device(pod_if).unwrap().endpoint);
+        assert_eq!(k.device(pod_if).unwrap().mac, pod_mac);
+        let now = k.now();
+        assert!(k.neigh.resolved_mac(pod_ip, now).is_some());
+    }
+}

@@ -1,0 +1,25 @@
+//! A simulated Kubernetes cluster networked by a Flannel-style CNI.
+//!
+//! The paper's most demanding transparency test (§VI-A2): a 3-node
+//! cluster runs the **unmodified** Flannel network plugin, which
+//! configures networking purely through standard Linux facilities —
+//! a `cni0` bridge per node, veth pairs into pods, a `flannel.1` VXLAN
+//! device for the overlay, routes, and the `bridge-nf-call-iptables` +
+//! conntrack setup Kubernetes requires (plus kube-proxy's pile of
+//! iptables rules). Because everything is standard, attaching the
+//! LinuxFP controller to each node accelerates pod-to-pod traffic with
+//! **zero changes** to the plugin or the pods.
+//!
+//! - [`flannel`]: the CNI — node network setup and pod attachment, all
+//!   through `linuxfp-netstack`'s standard configuration surface.
+//! - [`cluster`]: multi-node wiring (the underlay switch) and pod-level
+//!   send/receive plumbing.
+//! - [`workload`]: the pod-to-pod TCP_RR workloads reproducing paper
+//!   Fig. 9 and Table V (intra-node and inter-node).
+
+pub mod cluster;
+pub mod flannel;
+pub mod workload;
+
+pub use cluster::{Cluster, DeliveryReport, PodRef};
+pub use workload::{pair_sweep, pod_rr, PairSweepPoint, PodRrResult};

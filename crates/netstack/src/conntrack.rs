@@ -1,0 +1,295 @@
+//! Connection tracking: 5-tuple flow table with states and timeouts.
+//!
+//! In the LinuxFP split, conntrack *lookup* is fast-path work while entry
+//! *creation* and lifecycle management stay in the slow path (paper
+//! Table I, Netfilter and ipvs rows). The ipvs-style load-balancer
+//! extension (paper §VIII future work) relies on this table for flow
+//! affinity.
+
+use linuxfp_packet::ipv4::IpProto;
+use linuxfp_sim::Nanos;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// A normalized flow key: the 5-tuple with the lower endpoint first so
+/// both directions of a connection map to the same entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    a_addr: Ipv4Addr,
+    a_port: u16,
+    b_addr: Ipv4Addr,
+    b_port: u16,
+    proto: u8,
+}
+
+impl FlowKey {
+    /// Builds a normalized key from one direction of a flow.
+    pub fn new(src: Ipv4Addr, sport: u16, dst: Ipv4Addr, dport: u16, proto: IpProto) -> Self {
+        if (src, sport) <= (dst, dport) {
+            FlowKey {
+                a_addr: src,
+                a_port: sport,
+                b_addr: dst,
+                b_port: dport,
+                proto: proto.to_u8(),
+            }
+        } else {
+            FlowKey {
+                a_addr: dst,
+                a_port: dport,
+                b_addr: src,
+                b_port: sport,
+                proto: proto.to_u8(),
+            }
+        }
+    }
+}
+
+/// Tracking state of a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtState {
+    /// First packet seen, no reply yet.
+    New,
+    /// Traffic seen in both directions.
+    Established,
+}
+
+/// One tracked connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtEntry {
+    /// Current state.
+    pub state: CtState,
+    /// Originating source address (direction that created the entry).
+    pub orig_src: Ipv4Addr,
+    /// Last packet time, used for expiry.
+    pub last_seen: Nanos,
+    /// Optional NAT / load-balancer selected backend (ipvs extension).
+    pub backend: Option<(Ipv4Addr, u16)>,
+}
+
+/// The connection tracking table.
+///
+/// # Example
+///
+/// ```
+/// use linuxfp_netstack::conntrack::{Conntrack, CtState, FlowKey};
+/// use linuxfp_packet::ipv4::IpProto;
+/// use linuxfp_sim::Nanos;
+/// use std::net::Ipv4Addr;
+///
+/// let mut ct = Conntrack::new();
+/// let a = Ipv4Addr::new(10, 0, 0, 1);
+/// let b = Ipv4Addr::new(10, 0, 0, 2);
+/// // First packet creates a NEW entry (slow-path work).
+/// let st = ct.track(a, 1000, b, 80, IpProto::Tcp, Nanos::ZERO);
+/// assert_eq!(st, CtState::New);
+/// // The reply direction establishes it.
+/// let st = ct.track(b, 80, a, 1000, IpProto::Tcp, Nanos::from_millis(1));
+/// assert_eq!(st, CtState::Established);
+/// assert_eq!(ct.lookup(&FlowKey::new(a, 1000, b, 80, IpProto::Tcp), Nanos::from_millis(2)).unwrap().state, CtState::Established);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conntrack {
+    entries: HashMap<FlowKey, CtEntry>,
+    /// Idle timeout for `New` entries.
+    pub new_timeout: Nanos,
+    /// Idle timeout for `Established` entries.
+    pub established_timeout: Nanos,
+}
+
+impl Conntrack {
+    /// Creates an empty table with Linux-like timeouts (60 s NEW,
+    /// 432000 s established is unrealistic to simulate; we use 600 s).
+    pub fn new() -> Self {
+        Conntrack {
+            entries: HashMap::new(),
+            new_timeout: Nanos::from_secs(60),
+            established_timeout: Nanos::from_secs(600),
+        }
+    }
+
+    /// Processes one packet: creates the entry on first sight, upgrades to
+    /// `Established` when the reply direction is seen. Returns the state
+    /// *after* processing.
+    pub fn track(
+        &mut self,
+        src: Ipv4Addr,
+        sport: u16,
+        dst: Ipv4Addr,
+        dport: u16,
+        proto: IpProto,
+        now: Nanos,
+    ) -> CtState {
+        let key = FlowKey::new(src, sport, dst, dport, proto);
+        match self.entries.get_mut(&key) {
+            Some(entry) if !Self::expired(entry, self.new_timeout, self.established_timeout, now) => {
+                entry.last_seen = now;
+                if entry.state == CtState::New && entry.orig_src != src {
+                    entry.state = CtState::Established;
+                }
+                entry.state
+            }
+            _ => {
+                self.entries.insert(
+                    key,
+                    CtEntry {
+                        state: CtState::New,
+                        orig_src: src,
+                        last_seen: now,
+                        backend: None,
+                    },
+                );
+                CtState::New
+            }
+        }
+    }
+
+    fn expired(entry: &CtEntry, new_to: Nanos, est_to: Nanos, now: Nanos) -> bool {
+        let timeout = match entry.state {
+            CtState::New => new_to,
+            CtState::Established => est_to,
+        };
+        now.saturating_sub(entry.last_seen) > timeout
+    }
+
+    /// Looks up an entry without refreshing it; expired entries read as
+    /// absent (lazy expiry).
+    pub fn lookup(&mut self, key: &FlowKey, now: Nanos) -> Option<CtEntry> {
+        let entry = self.entries.get(key)?;
+        if Self::expired(entry, self.new_timeout, self.established_timeout, now) {
+            self.entries.remove(key);
+            return None;
+        }
+        Some(*entry)
+    }
+
+    /// Associates a load-balancer backend with a flow (ipvs extension).
+    pub fn set_backend(&mut self, key: &FlowKey, backend: (Ipv4Addr, u16)) -> bool {
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                e.backend = Some(backend);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes expired entries eagerly; returns how many were collected.
+    pub fn gc(&mut self, now: Nanos) -> usize {
+        let (new_to, est_to) = (self.new_timeout, self.established_timeout);
+        let before = self.entries.len();
+        self.entries
+            .retain(|_, e| !Self::expired(e, new_to, est_to, now));
+        before - self.entries.len()
+    }
+
+    /// Number of tracked flows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no flows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for Conntrack {
+    fn default() -> Self {
+        Conntrack::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ips() -> (Ipv4Addr, Ipv4Addr) {
+        (Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+    }
+
+    #[test]
+    fn key_is_direction_agnostic() {
+        let (a, b) = ips();
+        assert_eq!(
+            FlowKey::new(a, 1000, b, 80, IpProto::Tcp),
+            FlowKey::new(b, 80, a, 1000, IpProto::Tcp)
+        );
+        assert_ne!(
+            FlowKey::new(a, 1000, b, 80, IpProto::Tcp),
+            FlowKey::new(a, 1000, b, 80, IpProto::Udp)
+        );
+    }
+
+    #[test]
+    fn same_direction_stays_new() {
+        let (a, b) = ips();
+        let mut ct = Conntrack::new();
+        assert_eq!(ct.track(a, 1, b, 2, IpProto::Udp, Nanos::ZERO), CtState::New);
+        assert_eq!(
+            ct.track(a, 1, b, 2, IpProto::Udp, Nanos::from_secs(1)),
+            CtState::New
+        );
+        assert_eq!(ct.len(), 1);
+    }
+
+    #[test]
+    fn new_entry_expires() {
+        let (a, b) = ips();
+        let mut ct = Conntrack::new();
+        ct.track(a, 1, b, 2, IpProto::Udp, Nanos::ZERO);
+        let key = FlowKey::new(a, 1, b, 2, IpProto::Udp);
+        assert!(ct.lookup(&key, Nanos::from_secs(30)).is_some());
+        assert!(ct.lookup(&key, Nanos::from_secs(61)).is_none());
+        assert!(ct.is_empty());
+    }
+
+    #[test]
+    fn established_outlives_new_timeout() {
+        let (a, b) = ips();
+        let mut ct = Conntrack::new();
+        ct.track(a, 1, b, 2, IpProto::Tcp, Nanos::ZERO);
+        ct.track(b, 2, a, 1, IpProto::Tcp, Nanos::from_secs(1));
+        let key = FlowKey::new(a, 1, b, 2, IpProto::Tcp);
+        assert_eq!(
+            ct.lookup(&key, Nanos::from_secs(100)).unwrap().state,
+            CtState::Established
+        );
+        assert!(ct.lookup(&key, Nanos::from_secs(1 + 601)).is_none());
+    }
+
+    #[test]
+    fn expired_entry_recreated_as_new() {
+        let (a, b) = ips();
+        let mut ct = Conntrack::new();
+        ct.track(a, 1, b, 2, IpProto::Tcp, Nanos::ZERO);
+        ct.track(b, 2, a, 1, IpProto::Tcp, Nanos::from_secs(1)); // established
+        // Way past expiry, the same tuple is NEW again.
+        let st = ct.track(a, 1, b, 2, IpProto::Tcp, Nanos::from_secs(5000));
+        assert_eq!(st, CtState::New);
+    }
+
+    #[test]
+    fn backend_affinity() {
+        let (a, b) = ips();
+        let mut ct = Conntrack::new();
+        let key = FlowKey::new(a, 1, b, 80, IpProto::Tcp);
+        assert!(!ct.set_backend(&key, (b, 8080)));
+        ct.track(a, 1, b, 80, IpProto::Tcp, Nanos::ZERO);
+        assert!(ct.set_backend(&key, (b, 8080)));
+        assert_eq!(
+            ct.lookup(&key, Nanos::from_secs(1)).unwrap().backend,
+            Some((b, 8080))
+        );
+    }
+
+    #[test]
+    fn gc_collects() {
+        let (a, b) = ips();
+        let mut ct = Conntrack::new();
+        ct.track(a, 1, b, 2, IpProto::Udp, Nanos::ZERO);
+        ct.track(a, 3, b, 4, IpProto::Udp, Nanos::from_secs(50));
+        assert_eq!(ct.gc(Nanos::from_secs(70)), 1);
+        assert_eq!(ct.len(), 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Network devices: physical NICs, veth pairs, bridges, VXLAN tunnels.
+//!
+//! Devices carry the attachment points for fast-path programs: an XDP slot
+//! (run before any `sk_buff` exists) and a TC ingress slot (run after
+//! `sk_buff` allocation). The slots hold opaque callbacks so that this
+//! crate stays independent of the eBPF runtime that fills them.
+
+use linuxfp_packet::ipv4::Prefix;
+use linuxfp_packet::MacAddr;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A kernel interface index. Index 0 is reserved ("no interface").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct IfIndex(pub u32);
+
+impl IfIndex {
+    /// The reserved null index.
+    pub const NONE: IfIndex = IfIndex(0);
+
+    /// The raw index value.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for IfIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "if{}", self.0)
+    }
+}
+
+impl From<u32> for IfIndex {
+    fn from(v: u32) -> Self {
+        IfIndex(v)
+    }
+}
+
+/// What kind of device this is, with kind-specific wiring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// A physical NIC; transmissions leave the simulated host.
+    Physical,
+    /// One end of a veth pair; transmissions arrive at the peer.
+    Veth {
+        /// The other end of the pair.
+        peer: IfIndex,
+    },
+    /// A bridge master device (the `br0` in `brctl addbr br0`).
+    Bridge,
+    /// A VXLAN tunnel device: frames sent here are encapsulated in
+    /// UDP/VXLAN toward a remote VTEP resolved per destination.
+    Vxlan {
+        /// VXLAN network identifier.
+        vni: u32,
+        /// Local tunnel endpoint address.
+        local: Ipv4Addr,
+        /// UDP source port used for encapsulated traffic.
+        port: u16,
+    },
+}
+
+impl DeviceKind {
+    /// Short name used in dumps (mirrors `ip link` TYPE output).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            DeviceKind::Physical => "physical",
+            DeviceKind::Veth { .. } => "veth",
+            DeviceKind::Bridge => "bridge",
+            DeviceKind::Vxlan { .. } => "vxlan",
+        }
+    }
+}
+
+/// A network interface and its configuration state.
+#[derive(Debug, Clone)]
+pub struct NetDevice {
+    /// Kernel-assigned index.
+    pub index: IfIndex,
+    /// Interface name (`eth0`, `br0`, `veth11`, ...).
+    pub name: String,
+    /// Device kind and kind-specific wiring.
+    pub kind: DeviceKind,
+    /// Hardware address.
+    pub mac: MacAddr,
+    /// Assigned IPv4 addresses as `(address, prefix length)` pairs.
+    pub addrs: Vec<(Ipv4Addr, u8)>,
+    /// Administrative and operational up state.
+    pub up: bool,
+    /// Maximum transmission unit.
+    pub mtu: u32,
+    /// Bridge this device is enslaved to, if any.
+    pub master: Option<IfIndex>,
+    /// Whether an XDP program is attached (the callback itself lives in
+    /// [`crate::stack::Kernel`]).
+    pub has_xdp: bool,
+    /// Whether a TC ingress program is attached.
+    pub has_tc_ingress: bool,
+    /// Whether this device terminates traffic in an external stack (a
+    /// pod's network namespace): frames addressed to it are delivered
+    /// without entering this kernel's IP processing.
+    pub endpoint: bool,
+}
+
+impl NetDevice {
+    /// Creates a device in the down state with no addresses.
+    pub fn new(index: IfIndex, name: impl Into<String>, kind: DeviceKind, mac: MacAddr) -> Self {
+        NetDevice {
+            index,
+            name: name.into(),
+            kind,
+            mac,
+            addrs: Vec::new(),
+            up: false,
+            mtu: 1500,
+            master: None,
+            has_xdp: false,
+            has_tc_ingress: false,
+            endpoint: false,
+        }
+    }
+
+    /// Whether `addr` is exactly one of this device's assigned addresses.
+    pub fn has_addr(&self, addr: Ipv4Addr) -> bool {
+        self.addrs.iter().any(|(a, _)| *a == addr)
+    }
+
+    /// The connected subnets implied by the assigned addresses.
+    pub fn connected_prefixes(&self) -> Vec<Prefix> {
+        self.addrs.iter().map(|(a, l)| Prefix::new(*a, *l)).collect()
+    }
+
+    /// The first assigned address inside `subnet`, used as the source for
+    /// locally generated packets (ARP, ICMP errors).
+    pub fn addr_in(&self, subnet: &Prefix) -> Option<Ipv4Addr> {
+        self.addrs
+            .iter()
+            .map(|(a, _)| *a)
+            .find(|a| subnet.contains(*a))
+    }
+
+    /// Whether the device is a bridge member port.
+    pub fn is_bridge_port(&self) -> bool {
+        self.master.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ifindex_basics() {
+        assert_eq!(IfIndex::NONE.as_u32(), 0);
+        assert_eq!(IfIndex::from(3), IfIndex(3));
+        assert_eq!(IfIndex(7).to_string(), "if7");
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(DeviceKind::Physical.kind_name(), "physical");
+        assert_eq!(DeviceKind::Bridge.kind_name(), "bridge");
+        assert_eq!(DeviceKind::Veth { peer: IfIndex(2) }.kind_name(), "veth");
+        assert_eq!(
+            DeviceKind::Vxlan {
+                vni: 1,
+                local: Ipv4Addr::UNSPECIFIED,
+                port: 4789
+            }
+            .kind_name(),
+            "vxlan"
+        );
+    }
+
+    #[test]
+    fn address_queries() {
+        let mut dev = NetDevice::new(
+            IfIndex(1),
+            "eth0",
+            DeviceKind::Physical,
+            MacAddr::from_index(1),
+        );
+        dev.addrs.push((Ipv4Addr::new(10, 0, 0, 1), 24));
+        assert!(dev.has_addr(Ipv4Addr::new(10, 0, 0, 1)));
+        assert!(!dev.has_addr(Ipv4Addr::new(10, 0, 0, 2)));
+        let prefixes = dev.connected_prefixes();
+        assert_eq!(prefixes, vec!["10.0.0.0/24".parse().unwrap()]);
+        assert_eq!(
+            dev.addr_in(&"10.0.0.0/8".parse().unwrap()),
+            Some(Ipv4Addr::new(10, 0, 0, 1))
+        );
+        assert_eq!(dev.addr_in(&"192.168.0.0/16".parse().unwrap()), None);
+        assert!(!dev.is_bridge_port());
+    }
+}

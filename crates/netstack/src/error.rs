@@ -1,0 +1,51 @@
+//! Error type for kernel configuration operations.
+
+use std::fmt;
+
+/// Errors returned by configuration operations on the simulated kernel —
+/// the analogue of `errno` results from netlink requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// No interface with the given index or name exists (`ENODEV`).
+    NoSuchDevice(String),
+    /// An interface with the given name already exists (`EEXIST`).
+    DeviceExists(String),
+    /// The referenced route, rule, chain or set does not exist (`ENOENT`).
+    NotFound(String),
+    /// The entity being created already exists (`EEXIST`).
+    AlreadyExists(String),
+    /// The operation is invalid for the device kind or current state
+    /// (`EINVAL`).
+    Invalid(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NoSuchDevice(name) => write!(f, "no such device: {name}"),
+            NetError::DeviceExists(name) => write!(f, "device already exists: {name}"),
+            NetError::NotFound(what) => write!(f, "not found: {what}"),
+            NetError::AlreadyExists(what) => write!(f, "already exists: {what}"),
+            NetError::Invalid(what) => write!(f, "invalid operation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            NetError::NoSuchDevice("eth9".into()).to_string(),
+            "no such device: eth9"
+        );
+        assert!(NetError::Invalid("x".into()).to_string().contains("invalid"));
+        assert!(NetError::NotFound("r".into()).to_string().contains("not found"));
+        assert!(NetError::AlreadyExists("r".into()).to_string().contains("already"));
+        assert!(NetError::DeviceExists("e".into()).to_string().contains("exists"));
+    }
+}

@@ -1,0 +1,298 @@
+//! The forwarding information base: a binary longest-prefix-match trie.
+//!
+//! This is the table behind both the kernel's slow-path route lookup and
+//! the `bpf_fib_lookup` helper — one structure, two consumers, which is how
+//! LinuxFP keeps the fast and slow paths coherent.
+
+use crate::device::IfIndex;
+use linuxfp_packet::ipv4::Prefix;
+use std::net::Ipv4Addr;
+
+/// The scope of a route (mirrors the subset of `rtm_scope` we need).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteScope {
+    /// Directly connected subnet: the destination is resolved by ARP on
+    /// the egress link.
+    Link,
+    /// Reached through a gateway.
+    Universe,
+}
+
+/// One routing table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// Next-hop gateway; `None` for directly connected routes.
+    pub via: Option<Ipv4Addr>,
+    /// Egress interface.
+    pub dev: IfIndex,
+    /// Route metric; lower wins among equal-length prefixes.
+    pub metric: u32,
+    /// Route scope.
+    pub scope: RouteScope,
+}
+
+impl Route {
+    /// A directly connected route (what `ip addr add` implies).
+    pub fn connected(prefix: Prefix, dev: IfIndex) -> Self {
+        Route {
+            prefix,
+            via: None,
+            dev,
+            metric: 0,
+            scope: RouteScope::Link,
+        }
+    }
+
+    /// A gateway route (what `ip route add <prefix> via <gw>` creates).
+    pub fn via_gateway(prefix: Prefix, gw: Ipv4Addr, dev: IfIndex) -> Self {
+        Route {
+            prefix,
+            via: Some(gw),
+            dev,
+            metric: 0,
+            scope: RouteScope::Universe,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct TrieNode {
+    children: [Option<usize>; 2],
+    routes: Vec<Route>,
+}
+
+/// A longest-prefix-match routing table.
+///
+/// # Example
+///
+/// ```
+/// use linuxfp_netstack::fib::{Fib, Route};
+/// use linuxfp_netstack::device::IfIndex;
+/// use std::net::Ipv4Addr;
+///
+/// let mut fib = Fib::new();
+/// fib.insert(Route::connected("10.0.0.0/8".parse().unwrap(), IfIndex(1)));
+/// fib.insert(Route::connected("10.1.0.0/16".parse().unwrap(), IfIndex(2)));
+/// let best = fib.lookup(Ipv4Addr::new(10, 1, 2, 3)).unwrap();
+/// assert_eq!(best.dev, IfIndex(2)); // longest prefix wins
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fib {
+    nodes: Vec<TrieNode>,
+    len: usize,
+}
+
+impl Fib {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Fib {
+            nodes: vec![TrieNode::default()],
+            len: 0,
+        }
+    }
+
+    /// Number of routes installed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bit(addr: u32, depth: u8) -> usize {
+        ((addr >> (31 - depth)) & 1) as usize
+    }
+
+    fn node_for_prefix(&mut self, prefix: &Prefix) -> usize {
+        let addr = u32::from(prefix.network());
+        let mut node = 0;
+        for depth in 0..prefix.len() {
+            let b = Self::bit(addr, depth);
+            node = match self.nodes[node].children[b] {
+                Some(next) => next,
+                None => {
+                    self.nodes.push(TrieNode::default());
+                    let next = self.nodes.len() - 1;
+                    self.nodes[node].children[b] = Some(next);
+                    next
+                }
+            };
+        }
+        node
+    }
+
+    /// Inserts a route. If an identical `(prefix, via, dev)` route exists
+    /// its metric is updated instead; returns `true` if a new route was
+    /// added.
+    pub fn insert(&mut self, route: Route) -> bool {
+        let node = self.node_for_prefix(&route.prefix);
+        let routes = &mut self.nodes[node].routes;
+        if let Some(existing) = routes
+            .iter_mut()
+            .find(|r| r.via == route.via && r.dev == route.dev)
+        {
+            existing.metric = route.metric;
+            existing.scope = route.scope;
+            return false;
+        }
+        routes.push(route);
+        self.len += 1;
+        true
+    }
+
+    /// Removes routes matching `prefix` (and `dev`, when given). Returns
+    /// the number removed.
+    pub fn remove(&mut self, prefix: &Prefix, dev: Option<IfIndex>) -> usize {
+        let addr = u32::from(prefix.network());
+        let mut node = 0;
+        for depth in 0..prefix.len() {
+            match self.nodes[node].children[Self::bit(addr, depth)] {
+                Some(next) => node = next,
+                None => return 0,
+            }
+        }
+        let routes = &mut self.nodes[node].routes;
+        let before = routes.len();
+        routes.retain(|r| dev.is_some_and(|d| r.dev != d));
+        let removed = before - routes.len();
+        self.len -= removed;
+        removed
+    }
+
+    /// Longest-prefix-match lookup; among routes on the winning prefix the
+    /// lowest metric wins.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<&Route> {
+        let bits = u32::from(addr);
+        let mut node = 0;
+        let mut best: Option<&Route> = self.best_at(0);
+        for depth in 0..32 {
+            match self.nodes[node].children[Self::bit(bits, depth)] {
+                Some(next) => {
+                    node = next;
+                    if let Some(r) = self.best_at(node) {
+                        best = Some(r);
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    fn best_at(&self, node: usize) -> Option<&Route> {
+        self.nodes[node].routes.iter().min_by_key(|r| r.metric)
+    }
+
+    /// All installed routes in unspecified order.
+    pub fn routes(&self) -> Vec<Route> {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.routes.iter().copied())
+            .collect()
+    }
+}
+
+impl Default for Fib {
+    fn default() -> Self {
+        Fib::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut fib = Fib::new();
+        fib.insert(Route::connected(p("0.0.0.0/0"), IfIndex(1)));
+        fib.insert(Route::connected(p("10.0.0.0/8"), IfIndex(2)));
+        fib.insert(Route::connected(p("10.1.0.0/16"), IfIndex(3)));
+        fib.insert(Route::connected(p("10.1.2.0/24"), IfIndex(4)));
+        assert_eq!(fib.lookup(Ipv4Addr::new(8, 8, 8, 8)).unwrap().dev, IfIndex(1));
+        assert_eq!(fib.lookup(Ipv4Addr::new(10, 9, 0, 1)).unwrap().dev, IfIndex(2));
+        assert_eq!(fib.lookup(Ipv4Addr::new(10, 1, 9, 1)).unwrap().dev, IfIndex(3));
+        assert_eq!(fib.lookup(Ipv4Addr::new(10, 1, 2, 9)).unwrap().dev, IfIndex(4));
+        assert_eq!(fib.len(), 4);
+    }
+
+    #[test]
+    fn no_default_means_miss() {
+        let mut fib = Fib::new();
+        fib.insert(Route::connected(p("10.0.0.0/8"), IfIndex(1)));
+        assert!(fib.lookup(Ipv4Addr::new(192, 168, 0, 1)).is_none());
+    }
+
+    #[test]
+    fn metric_breaks_ties() {
+        let mut fib = Fib::new();
+        let mut a = Route::via_gateway(p("10.0.0.0/8"), Ipv4Addr::new(1, 1, 1, 1), IfIndex(1));
+        a.metric = 100;
+        let mut b = Route::via_gateway(p("10.0.0.0/8"), Ipv4Addr::new(2, 2, 2, 2), IfIndex(2));
+        b.metric = 10;
+        fib.insert(a);
+        fib.insert(b);
+        assert_eq!(fib.lookup(Ipv4Addr::new(10, 0, 0, 1)).unwrap().dev, IfIndex(2));
+    }
+
+    #[test]
+    fn reinsert_updates_metric() {
+        let mut fib = Fib::new();
+        assert!(fib.insert(Route::connected(p("10.0.0.0/8"), IfIndex(1))));
+        let mut again = Route::connected(p("10.0.0.0/8"), IfIndex(1));
+        again.metric = 50;
+        assert!(!fib.insert(again));
+        assert_eq!(fib.len(), 1);
+        assert_eq!(fib.lookup(Ipv4Addr::new(10, 0, 0, 1)).unwrap().metric, 50);
+    }
+
+    #[test]
+    fn remove_by_prefix_and_dev() {
+        let mut fib = Fib::new();
+        fib.insert(Route::connected(p("10.0.0.0/8"), IfIndex(1)));
+        fib.insert(Route::via_gateway(p("10.0.0.0/8"), Ipv4Addr::new(9, 9, 9, 9), IfIndex(2)));
+        assert_eq!(fib.remove(&p("10.0.0.0/8"), Some(IfIndex(1))), 1);
+        assert_eq!(fib.len(), 1);
+        assert_eq!(fib.lookup(Ipv4Addr::new(10, 0, 0, 1)).unwrap().dev, IfIndex(2));
+        assert_eq!(fib.remove(&p("10.0.0.0/8"), None), 1);
+        assert!(fib.is_empty());
+        assert_eq!(fib.remove(&p("172.16.0.0/12"), None), 0);
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut fib = Fib::new();
+        fib.insert(Route::via_gateway(p("0.0.0.0/0"), Ipv4Addr::new(10, 0, 0, 254), IfIndex(7)));
+        assert_eq!(fib.lookup(Ipv4Addr::new(1, 2, 3, 4)).unwrap().dev, IfIndex(7));
+        assert_eq!(
+            fib.lookup(Ipv4Addr::new(255, 255, 255, 255)).unwrap().dev,
+            IfIndex(7)
+        );
+    }
+
+    #[test]
+    fn routes_dump_contains_all() {
+        let mut fib = Fib::new();
+        fib.insert(Route::connected(p("10.0.0.0/24"), IfIndex(1)));
+        fib.insert(Route::connected(p("10.0.1.0/24"), IfIndex(2)));
+        let mut devs: Vec<u32> = fib.routes().iter().map(|r| r.dev.as_u32()).collect();
+        devs.sort();
+        assert_eq!(devs, vec![1, 2]);
+    }
+
+    #[test]
+    fn host_routes() {
+        let mut fib = Fib::new();
+        fib.insert(Route::connected(p("10.0.0.5/32"), IfIndex(3)));
+        assert_eq!(fib.lookup(Ipv4Addr::new(10, 0, 0, 5)).unwrap().dev, IfIndex(3));
+        assert!(fib.lookup(Ipv4Addr::new(10, 0, 0, 6)).is_none());
+    }
+}

@@ -1,0 +1,308 @@
+//! ipvs-style load balancing: virtual services, backend scheduling, and
+//! NAT rewriting, with flow affinity pinned in conntrack.
+//!
+//! The paper's Table I includes load balancing (ipvs) in the acceleration
+//! model and §VIII reports initial prototyping: the split gives the fast
+//! path parsing, rewriting and conntrack *lookup*, while the slow path
+//! keeps conntrack entry handling and the **scheduling algorithms**. This
+//! module is the slow-path side: the first packet of a flow is scheduled
+//! onto a backend here and pinned in the conntrack table; every later
+//! packet — on either path — finds the pinned backend there.
+
+use crate::conntrack::{Conntrack, FlowKey};
+use linuxfp_packet::ipv4::IpProto;
+use linuxfp_sim::Nanos;
+use std::net::Ipv4Addr;
+
+/// Backend selection algorithms (`ipvsadm -s rr|lc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Round robin.
+    RoundRobin,
+    /// Least connections (by live pinned flows).
+    LeastConn,
+}
+
+/// One real server behind a virtual service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backend {
+    /// Real server address.
+    pub addr: Ipv4Addr,
+    /// Real server port.
+    pub port: u16,
+    /// Live connections pinned to this backend (for `LeastConn`).
+    pub active: u64,
+}
+
+/// A virtual service (`ipvsadm -A -u <vip>:<port>`).
+#[derive(Debug, Clone)]
+pub struct VirtualService {
+    /// The service address clients target.
+    pub vip: Ipv4Addr,
+    /// The service port.
+    pub port: u16,
+    /// Service protocol (the fast path accelerates UDP; TCP flows are
+    /// slow-path only in this prototype).
+    pub proto: IpProto,
+    /// The scheduler in use.
+    pub scheduler: Scheduler,
+    backends: Vec<Backend>,
+    rr_next: usize,
+}
+
+impl VirtualService {
+    /// The configured backends.
+    pub fn backends(&self) -> &[Backend] {
+        &self.backends
+    }
+}
+
+/// The ipvs subsystem state.
+#[derive(Debug, Clone, Default)]
+pub struct Ipvs {
+    services: Vec<VirtualService>,
+    /// Monotonic generation, bumped on configuration changes (consumed by
+    /// the LinuxFP controller like the netfilter generation).
+    pub generation: u64,
+}
+
+impl Ipvs {
+    /// Creates an empty subsystem.
+    pub fn new() -> Self {
+        Ipvs::default()
+    }
+
+    /// Adds a virtual service; returns `false` if `(vip, port, proto)`
+    /// already exists.
+    pub fn add_service(
+        &mut self,
+        vip: Ipv4Addr,
+        port: u16,
+        proto: IpProto,
+        scheduler: Scheduler,
+    ) -> bool {
+        if self.find(vip, port, proto).is_some() {
+            return false;
+        }
+        self.services.push(VirtualService {
+            vip,
+            port,
+            proto,
+            scheduler,
+            backends: Vec::new(),
+            rr_next: 0,
+        });
+        self.generation += 1;
+        true
+    }
+
+    /// Adds a backend to a service; returns `false` if the service does
+    /// not exist or the backend is already registered.
+    pub fn add_backend(
+        &mut self,
+        vip: Ipv4Addr,
+        port: u16,
+        proto: IpProto,
+        addr: Ipv4Addr,
+        backend_port: u16,
+    ) -> bool {
+        let Some(idx) = self.find(vip, port, proto) else {
+            return false;
+        };
+        let svc = &mut self.services[idx];
+        if svc.backends.iter().any(|b| b.addr == addr && b.port == backend_port) {
+            return false;
+        }
+        svc.backends.push(Backend {
+            addr,
+            port: backend_port,
+            active: 0,
+        });
+        self.generation += 1;
+        true
+    }
+
+    fn find(&self, vip: Ipv4Addr, port: u16, proto: IpProto) -> Option<usize> {
+        self.services
+            .iter()
+            .position(|s| s.vip == vip && s.port == port && s.proto == proto)
+    }
+
+    /// The configured services.
+    pub fn services(&self) -> &[VirtualService] {
+        &self.services
+    }
+
+    /// Whether any service is configured.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+
+    /// Slow-path packet handling: if `(dst, dport, proto)` is a virtual
+    /// service, return the backend for this flow — the pinned one if the
+    /// flow is known, otherwise freshly scheduled and pinned in
+    /// `conntrack`. Returns `None` for non-service traffic or services
+    /// with no backends.
+    #[allow(clippy::too_many_arguments)]
+    pub fn select_backend(
+        &mut self,
+        conntrack: &mut Conntrack,
+        src: Ipv4Addr,
+        sport: u16,
+        dst: Ipv4Addr,
+        dport: u16,
+        proto: IpProto,
+        now: Nanos,
+    ) -> Option<(Ipv4Addr, u16)> {
+        let idx = self.find(dst, dport, proto)?;
+        let key = FlowKey::new(src, sport, dst, dport, proto);
+        // Affinity: a pinned flow keeps its backend (fast path does the
+        // same through bpf_ct_lookup).
+        if let Some(entry) = conntrack.lookup(&key, now) {
+            if let Some(backend) = entry.backend {
+                return Some(backend);
+            }
+        }
+        let svc = &mut self.services[idx];
+        if svc.backends.is_empty() {
+            return None;
+        }
+        let chosen = match svc.scheduler {
+            Scheduler::RoundRobin => {
+                let i = svc.rr_next % svc.backends.len();
+                svc.rr_next = svc.rr_next.wrapping_add(1);
+                i
+            }
+            Scheduler::LeastConn => svc
+                .backends
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| b.active)
+                .map(|(i, _)| i)
+                .expect("non-empty"),
+        };
+        svc.backends[chosen].active += 1;
+        let backend = (svc.backends[chosen].addr, svc.backends[chosen].port);
+        conntrack.track(src, sport, dst, dport, proto, now);
+        conntrack.set_backend(&key, backend);
+        Some(backend)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vip() -> Ipv4Addr {
+        Ipv4Addr::new(10, 96, 0, 10)
+    }
+
+    fn setup(sched: Scheduler) -> (Ipvs, Conntrack) {
+        let mut ipvs = Ipvs::new();
+        assert!(ipvs.add_service(vip(), 53, IpProto::Udp, sched));
+        assert!(!ipvs.add_service(vip(), 53, IpProto::Udp, sched));
+        for i in 0..3u8 {
+            assert!(ipvs.add_backend(
+                vip(),
+                53,
+                IpProto::Udp,
+                Ipv4Addr::new(10, 0, 2, 10 + i),
+                5300 + u16::from(i)
+            ));
+        }
+        (ipvs, Conntrack::new())
+    }
+
+    #[test]
+    fn round_robin_spreads_new_flows() {
+        let (mut ipvs, mut ct) = setup(Scheduler::RoundRobin);
+        let mut seen = Vec::new();
+        for sport in 0..6u16 {
+            let b = ipvs
+                .select_backend(
+                    &mut ct,
+                    Ipv4Addr::new(10, 0, 1, 100),
+                    40000 + sport,
+                    vip(),
+                    53,
+                    IpProto::Udp,
+                    Nanos::ZERO,
+                )
+                .unwrap();
+            seen.push(b.0.octets()[3]);
+        }
+        assert_eq!(seen, vec![10, 11, 12, 10, 11, 12]);
+    }
+
+    #[test]
+    fn flows_are_pinned() {
+        let (mut ipvs, mut ct) = setup(Scheduler::RoundRobin);
+        let first = ipvs
+            .select_backend(&mut ct, Ipv4Addr::new(10, 0, 1, 100), 40000, vip(), 53, IpProto::Udp, Nanos::ZERO)
+            .unwrap();
+        for _ in 0..5 {
+            let again = ipvs
+                .select_backend(&mut ct, Ipv4Addr::new(10, 0, 1, 100), 40000, vip(), 53, IpProto::Udp, Nanos::from_millis(1))
+                .unwrap();
+            assert_eq!(again, first, "affinity broken");
+        }
+        // A different flow advances the scheduler.
+        let other = ipvs
+            .select_backend(&mut ct, Ipv4Addr::new(10, 0, 1, 100), 40001, vip(), 53, IpProto::Udp, Nanos::ZERO)
+            .unwrap();
+        assert_ne!(other, first);
+    }
+
+    #[test]
+    fn least_conn_prefers_idle_backends() {
+        let (mut ipvs, mut ct) = setup(Scheduler::LeastConn);
+        // Three new flows land on three distinct backends.
+        let mut seen = std::collections::HashSet::new();
+        for sport in 0..3u16 {
+            let b = ipvs
+                .select_backend(&mut ct, Ipv4Addr::new(10, 0, 1, 100), 41000 + sport, vip(), 53, IpProto::Udp, Nanos::ZERO)
+                .unwrap();
+            seen.insert(b);
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn non_service_traffic_ignored() {
+        let (mut ipvs, mut ct) = setup(Scheduler::RoundRobin);
+        assert!(ipvs
+            .select_backend(&mut ct, Ipv4Addr::new(10, 0, 1, 100), 1, Ipv4Addr::new(8, 8, 8, 8), 53, IpProto::Udp, Nanos::ZERO)
+            .is_none());
+        // Wrong port.
+        assert!(ipvs
+            .select_backend(&mut ct, Ipv4Addr::new(10, 0, 1, 100), 1, vip(), 54, IpProto::Udp, Nanos::ZERO)
+            .is_none());
+        // Wrong proto.
+        assert!(ipvs
+            .select_backend(&mut ct, Ipv4Addr::new(10, 0, 1, 100), 1, vip(), 53, IpProto::Tcp, Nanos::ZERO)
+            .is_none());
+    }
+
+    #[test]
+    fn service_without_backends_yields_none() {
+        let mut ipvs = Ipvs::new();
+        ipvs.add_service(vip(), 80, IpProto::Udp, Scheduler::RoundRobin);
+        let mut ct = Conntrack::new();
+        assert!(ipvs
+            .select_backend(&mut ct, Ipv4Addr::new(1, 1, 1, 1), 1, vip(), 80, IpProto::Udp, Nanos::ZERO)
+            .is_none());
+        assert!(ipvs.services()[0].backends().is_empty());
+        assert!(!ipvs.is_empty());
+    }
+
+    #[test]
+    fn duplicate_backend_rejected_and_generation_bumps() {
+        let mut ipvs = Ipvs::new();
+        let g0 = ipvs.generation;
+        ipvs.add_service(vip(), 53, IpProto::Udp, Scheduler::RoundRobin);
+        assert!(ipvs.generation > g0);
+        assert!(ipvs.add_backend(vip(), 53, IpProto::Udp, Ipv4Addr::new(10, 0, 2, 10), 53));
+        assert!(!ipvs.add_backend(vip(), 53, IpProto::Udp, Ipv4Addr::new(10, 0, 2, 10), 53));
+        assert!(!ipvs.add_backend(vip(), 99, IpProto::Udp, Ipv4Addr::new(10, 0, 2, 10), 53));
+    }
+}

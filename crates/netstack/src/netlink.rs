@@ -1,0 +1,327 @@
+//! Netlink: the kernel's configuration notification bus.
+//!
+//! The LinuxFP controller "continuously introspects the Linux kernel" by
+//! (1) dumping current state at startup and (2) joining netlink multicast
+//! groups to hear about changes (paper §IV-C1). This module provides the
+//! simulated equivalent: typed messages, multicast groups, and per-
+//! subscriber queues. Dump requests are methods on
+//! [`crate::stack::Kernel`] (`dump_links`, `dump_routes`, ...), matching
+//! how `RTM_GETLINK`-style requests work.
+
+use crate::device::IfIndex;
+use linuxfp_packet::ipv4::Prefix;
+use linuxfp_packet::MacAddr;
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+
+/// Multicast groups a subscriber can join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NlGroup {
+    /// Link add/remove/up/down/master changes (`RTNLGRP_LINK`).
+    Link,
+    /// Address changes (`RTNLGRP_IPV4_IFADDR`).
+    Addr,
+    /// Route changes (`RTNLGRP_IPV4_ROUTE`).
+    Route,
+    /// Neighbor table changes (`RTNLGRP_NEIGH`).
+    Neigh,
+    /// Netfilter rule/set changes (in real Linux these arrive via
+    /// `NFNL`/iptables polling — the paper uses libipte for this part).
+    Netfilter,
+    /// Sysctl changes (not a real netlink group; the controller in the
+    /// paper polls procfs — modeled as a group for uniformity).
+    Sysctl,
+}
+
+/// Summary of a link for dumps and notifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkInfo {
+    /// Interface index.
+    pub index: IfIndex,
+    /// Interface name.
+    pub name: String,
+    /// Device kind name (`physical`, `veth`, `bridge`, `vxlan`).
+    pub kind: String,
+    /// Hardware address.
+    pub mac: MacAddr,
+    /// Up/down state.
+    pub up: bool,
+    /// Enslaving bridge, if any.
+    pub master: Option<IfIndex>,
+    /// Assigned addresses.
+    pub addrs: Vec<(Ipv4Addr, u8)>,
+    /// Bridge-specific: STP enabled (None for non-bridges).
+    pub stp_enabled: Option<bool>,
+    /// Bridge-specific: VLAN filtering enabled.
+    pub vlan_filtering: Option<bool>,
+}
+
+/// Summary of a route for dumps and notifications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteInfo {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// Gateway, if any.
+    pub via: Option<Ipv4Addr>,
+    /// Egress device.
+    pub dev: IfIndex,
+    /// Metric.
+    pub metric: u32,
+}
+
+/// A netlink notification message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlinkMessage {
+    /// A link appeared or changed (up/down, master, addresses).
+    NewLink(LinkInfo),
+    /// A link was removed.
+    DelLink(IfIndex),
+    /// An address was added.
+    NewAddr {
+        /// Interface the address was added to.
+        index: IfIndex,
+        /// The address and prefix length.
+        addr: Ipv4Addr,
+        /// Prefix length.
+        prefix_len: u8,
+    },
+    /// An address was removed.
+    DelAddr {
+        /// Interface the address was removed from.
+        index: IfIndex,
+        /// The removed address.
+        addr: Ipv4Addr,
+    },
+    /// A route was added.
+    NewRoute(RouteInfo),
+    /// A route was removed.
+    DelRoute {
+        /// The removed prefix.
+        prefix: Prefix,
+    },
+    /// A neighbor entry was confirmed.
+    NewNeigh {
+        /// Neighbor address.
+        addr: Ipv4Addr,
+        /// Neighbor MAC.
+        mac: MacAddr,
+        /// Interface.
+        dev: IfIndex,
+    },
+    /// A neighbor entry was removed.
+    DelNeigh {
+        /// Neighbor address.
+        addr: Ipv4Addr,
+    },
+    /// The netfilter configuration changed (rules or sets); carries the
+    /// new generation counter.
+    NetfilterChanged {
+        /// Generation after the change.
+        generation: u64,
+    },
+    /// The ipvs configuration changed (services or backends).
+    IpvsChanged {
+        /// Generation after the change.
+        generation: u64,
+    },
+    /// A sysctl changed.
+    SysctlChanged {
+        /// Sysctl name (e.g. `net.ipv4.ip_forward`).
+        name: String,
+        /// New value.
+        value: i64,
+    },
+}
+
+impl NetlinkMessage {
+    /// The multicast group this message is delivered to.
+    pub fn group(&self) -> NlGroup {
+        match self {
+            NetlinkMessage::NewLink(_) | NetlinkMessage::DelLink(_) => NlGroup::Link,
+            NetlinkMessage::NewAddr { .. } | NetlinkMessage::DelAddr { .. } => NlGroup::Addr,
+            NetlinkMessage::NewRoute(_) | NetlinkMessage::DelRoute { .. } => NlGroup::Route,
+            NetlinkMessage::NewNeigh { .. } | NetlinkMessage::DelNeigh { .. } => NlGroup::Neigh,
+            NetlinkMessage::NetfilterChanged { .. }
+            | NetlinkMessage::IpvsChanged { .. } => NlGroup::Netfilter,
+            NetlinkMessage::SysctlChanged { .. } => NlGroup::Sysctl,
+        }
+    }
+}
+
+/// Handle identifying a subscriber on the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubscriberId(usize);
+
+/// The notification bus: publishes messages to subscribers that joined
+/// the message's group.
+#[derive(Debug, Default)]
+pub struct NetlinkBus {
+    subscribers: Vec<Subscriber>,
+}
+
+#[derive(Debug)]
+struct Subscriber {
+    groups: Vec<NlGroup>,
+    queue: VecDeque<NetlinkMessage>,
+}
+
+impl NetlinkBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        NetlinkBus::default()
+    }
+
+    /// Joins the given multicast groups; returns the subscriber handle.
+    pub fn subscribe(&mut self, groups: &[NlGroup]) -> SubscriberId {
+        self.subscribers.push(Subscriber {
+            groups: groups.to_vec(),
+            queue: VecDeque::new(),
+        });
+        SubscriberId(self.subscribers.len() - 1)
+    }
+
+    /// Publishes a message to every subscriber of its group.
+    pub fn publish(&mut self, msg: NetlinkMessage) {
+        let group = msg.group();
+        for sub in &mut self.subscribers {
+            if sub.groups.contains(&group) {
+                sub.queue.push_back(msg.clone());
+            }
+        }
+    }
+
+    /// Drains all pending messages for a subscriber.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`NetlinkBus::subscribe`] on
+    /// this bus.
+    pub fn poll(&mut self, id: SubscriberId) -> Vec<NetlinkMessage> {
+        self.subscribers[id.0].queue.drain(..).collect()
+    }
+
+    /// Number of messages pending for a subscriber.
+    pub fn pending(&self, id: SubscriberId) -> usize {
+        self.subscribers[id.0].queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link_msg(index: u32) -> NetlinkMessage {
+        NetlinkMessage::NewLink(LinkInfo {
+            index: IfIndex(index),
+            name: format!("eth{index}"),
+            kind: "physical".into(),
+            mac: MacAddr::from_index(index as u64),
+            up: true,
+            master: None,
+            addrs: vec![],
+            stp_enabled: None,
+            vlan_filtering: None,
+        })
+    }
+
+    #[test]
+    fn group_routing() {
+        let mut bus = NetlinkBus::new();
+        let links = bus.subscribe(&[NlGroup::Link]);
+        let routes = bus.subscribe(&[NlGroup::Route]);
+        let all = bus.subscribe(&[
+            NlGroup::Link,
+            NlGroup::Route,
+            NlGroup::Addr,
+            NlGroup::Neigh,
+            NlGroup::Netfilter,
+            NlGroup::Sysctl,
+        ]);
+        bus.publish(link_msg(1));
+        bus.publish(NetlinkMessage::NetfilterChanged { generation: 3 });
+        assert_eq!(bus.pending(links), 1);
+        assert_eq!(bus.pending(routes), 0);
+        assert_eq!(bus.pending(all), 2);
+        assert_eq!(bus.poll(links).len(), 1);
+        assert_eq!(bus.pending(links), 0);
+        assert_eq!(bus.poll(all).len(), 2);
+    }
+
+    #[test]
+    fn messages_know_their_groups() {
+        assert_eq!(link_msg(1).group(), NlGroup::Link);
+        assert_eq!(
+            NetlinkMessage::DelLink(IfIndex(1)).group(),
+            NlGroup::Link
+        );
+        assert_eq!(
+            NetlinkMessage::NewAddr {
+                index: IfIndex(1),
+                addr: Ipv4Addr::new(10, 0, 0, 1),
+                prefix_len: 24
+            }
+            .group(),
+            NlGroup::Addr
+        );
+        assert_eq!(
+            NetlinkMessage::NewRoute(RouteInfo {
+                prefix: "10.0.0.0/8".parse().unwrap(),
+                via: None,
+                dev: IfIndex(1),
+                metric: 0
+            })
+            .group(),
+            NlGroup::Route
+        );
+        assert_eq!(
+            NetlinkMessage::NewNeigh {
+                addr: Ipv4Addr::new(10, 0, 0, 1),
+                mac: MacAddr::ZERO,
+                dev: IfIndex(1)
+            }
+            .group(),
+            NlGroup::Neigh
+        );
+        assert_eq!(
+            NetlinkMessage::SysctlChanged {
+                name: "net.ipv4.ip_forward".into(),
+                value: 1
+            }
+            .group(),
+            NlGroup::Sysctl
+        );
+        assert_eq!(
+            NetlinkMessage::DelRoute {
+                prefix: "10.0.0.0/8".parse().unwrap()
+            }
+            .group(),
+            NlGroup::Route
+        );
+        assert_eq!(
+            NetlinkMessage::DelNeigh {
+                addr: Ipv4Addr::new(1, 1, 1, 1)
+            }
+            .group(),
+            NlGroup::Neigh
+        );
+        assert_eq!(
+            NetlinkMessage::DelAddr {
+                index: IfIndex(1),
+                addr: Ipv4Addr::new(1, 1, 1, 1)
+            }
+            .group(),
+            NlGroup::Addr
+        );
+    }
+
+    #[test]
+    fn queues_are_independent() {
+        let mut bus = NetlinkBus::new();
+        let a = bus.subscribe(&[NlGroup::Link]);
+        let b = bus.subscribe(&[NlGroup::Link]);
+        bus.publish(link_msg(1));
+        assert_eq!(bus.poll(a).len(), 1);
+        assert_eq!(bus.poll(b).len(), 1); // both got a copy
+        assert!(bus.poll(a).is_empty());
+    }
+}

@@ -1,0 +1,1880 @@
+//! The simulated kernel: devices, configuration surface, netlink
+//! publication, and the slow-path packet pipeline with hook points.
+//!
+//! [`Kernel::receive`] models what happens between a frame arriving at a
+//! NIC and leaving the host: driver receive → **XDP hook** → `sk_buff`
+//! allocation → **TC ingress hook** → bridge / ARP / IPv4 processing with
+//! netfilter, routing, neighbor resolution — every stage charging its
+//! calibrated cost. The XDP and TC slots are where `linuxfp-ebpf`
+//! programs (and therefore LinuxFP fast paths) attach; a verdict of
+//! `Pass` falls through to the very same slow path, which is what makes
+//! the acceleration transparent.
+
+use crate::bridge::{Bridge, BridgeDecision};
+use crate::conntrack::Conntrack;
+use crate::device::{DeviceKind, IfIndex, NetDevice};
+use crate::error::NetError;
+use crate::fib::{Fib, Route, RouteScope};
+use crate::neigh::NeighTable;
+use crate::netfilter::{ChainHook, IptRule, Netfilter, NfVerdict, PacketMeta};
+use crate::netlink::{LinkInfo, NetlinkBus, NetlinkMessage, NlGroup, RouteInfo, SubscriberId};
+use linuxfp_packet::arp::{ArpOp, ArpPacket};
+use linuxfp_packet::builder;
+use linuxfp_packet::icmp::{IcmpHeader, IcmpType};
+use linuxfp_packet::ipv4::{IpProto, Ipv4Header, Prefix};
+use linuxfp_packet::udp::UdpHeader;
+use linuxfp_packet::{EtherType, EthernetFrame, MacAddr, Packet};
+use linuxfp_sim::{CostModel, CostTracker, Nanos};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+use std::sync::Arc;
+
+/// The destination MAC of 802.1D BPDUs.
+pub const BPDU_MAC: MacAddr = MacAddr::new([0x01, 0x80, 0xC2, 0x00, 0x00, 0x00]);
+
+/// An interface address that preserves the exact host part (unlike
+/// [`Prefix`], which masks it).
+///
+/// # Example
+///
+/// ```
+/// use linuxfp_netstack::stack::IfAddr;
+///
+/// let a: IfAddr = "10.0.1.1/24".parse().unwrap();
+/// assert_eq!(a.addr.octets()[3], 1);
+/// assert_eq!(a.prefix_len, 24);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IfAddr {
+    /// The exact address.
+    pub addr: Ipv4Addr,
+    /// The prefix length of the connected subnet.
+    pub prefix_len: u8,
+}
+
+impl IfAddr {
+    /// Creates an interface address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefix_len > 32`.
+    pub fn new(addr: Ipv4Addr, prefix_len: u8) -> Self {
+        assert!(prefix_len <= 32, "prefix length {prefix_len} > 32");
+        IfAddr { addr, prefix_len }
+    }
+
+    /// The connected subnet this address implies.
+    pub fn subnet(&self) -> Prefix {
+        Prefix::new(self.addr, self.prefix_len)
+    }
+}
+
+impl FromStr for IfAddr {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| NetError::Invalid(format!("address needs /len: {s}")))?;
+        let addr: Ipv4Addr = addr
+            .parse()
+            .map_err(|_| NetError::Invalid(format!("bad address: {s}")))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|_| NetError::Invalid(format!("bad prefix length: {s}")))?;
+        if len > 32 {
+            return Err(NetError::Invalid(format!("prefix length > 32: {s}")));
+        }
+        Ok(IfAddr::new(addr, len))
+    }
+}
+
+/// Verdict returned by an attached hook program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookVerdict {
+    /// Continue into the rest of the stack (`XDP_PASS` / `TC_ACT_OK`).
+    Pass,
+    /// Discard the packet (`XDP_DROP` / `TC_ACT_SHOT`).
+    Drop,
+    /// Forward out another interface (`XDP_REDIRECT` / `bpf_redirect`).
+    Redirect(IfIndex),
+    /// The frame was consumed into a user-space AF_XDP socket
+    /// (`XDP_REDIRECT` into an XSKMAP).
+    DeliverUser,
+}
+
+/// The signature of an attached hook program. The program receives the
+/// kernel itself so that helper calls can read and update kernel state —
+/// the unified-state design of the paper.
+pub type HookFn = Arc<dyn Fn(&mut Kernel, &mut Packet, &mut CostTracker) -> HookVerdict + Send + Sync>;
+
+/// Externally visible result of processing a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Effect {
+    /// The frame left the host through a physical NIC.
+    Transmit {
+        /// Egress device.
+        dev: IfIndex,
+        /// The frame as transmitted.
+        frame: Vec<u8>,
+    },
+    /// The frame was delivered to the local socket layer.
+    Deliver {
+        /// Device the packet was addressed through.
+        dev: IfIndex,
+        /// The delivered frame.
+        frame: Vec<u8>,
+    },
+    /// The frame was dropped.
+    Drop {
+        /// Why.
+        reason: &'static str,
+    },
+}
+
+/// Result of [`Kernel::receive`]: observable effects plus the virtual time
+/// charged, broken down by stage.
+#[derive(Debug, Clone, Default)]
+pub struct RxOutcome {
+    /// What happened to the packet (and any packets it triggered, e.g.
+    /// ARP requests or flooded copies).
+    pub effects: Vec<Effect>,
+    /// Cost of all processing performed.
+    pub cost: CostTracker,
+}
+
+impl RxOutcome {
+    /// Frames transmitted out physical NICs, as `(dev, frame)` pairs.
+    pub fn transmissions(&self) -> Vec<(IfIndex, &[u8])> {
+        self.effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Transmit { dev, frame } => Some((*dev, frame.as_slice())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Frames delivered locally.
+    pub fn deliveries(&self) -> Vec<(IfIndex, &[u8])> {
+        self.effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Deliver { dev, frame } => Some((*dev, frame.as_slice())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Drop reasons recorded.
+    pub fn drops(&self) -> Vec<&'static str> {
+        self.effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Drop { reason } => Some(*reason),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Per-device traffic counters (the `ip -s link` surface).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DevCounters {
+    /// Packets received.
+    pub rx_packets: u64,
+    /// Bytes received.
+    pub rx_bytes: u64,
+    /// Packets transmitted.
+    pub tx_packets: u64,
+    /// Bytes transmitted.
+    pub tx_bytes: u64,
+}
+
+/// What one housekeeping pass collected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HousekeepingReport {
+    /// Aged-out bridge FDB entries removed.
+    pub fdb_expired: usize,
+    /// Expired conntrack entries removed.
+    pub conntrack_expired: usize,
+    /// Expired neighbor entries removed.
+    pub neigh_expired: usize,
+}
+
+/// Outcome of the `bpf_fdb_lookup` helper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdbLookupOutcome {
+    /// Destination known: forward out this port.
+    Hit(IfIndex),
+    /// The source is not (or no longer) in the FDB, or the ingress port
+    /// is not forwarding: the packet must take the slow path, which
+    /// learns / applies STP (paper Table I: FDB management is slow-path
+    /// work).
+    SrcUnknown,
+    /// Source known (and refreshed); the destination missed — flooding
+    /// is slow-path work, but L3-destined frames may continue.
+    DstMiss,
+}
+
+/// Result of the combined FIB + neighbor lookup exposed to fast paths as
+/// `bpf_fib_lookup`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FibFastResult {
+    /// Egress interface.
+    pub ifindex: IfIndex,
+    /// Source MAC to write (the egress interface's address).
+    pub src_mac: MacAddr,
+    /// Destination MAC to write (the next hop's address).
+    pub dst_mac: MacAddr,
+}
+
+/// The simulated kernel.
+pub struct Kernel {
+    cost: Arc<CostModel>,
+    now: Nanos,
+    devices: BTreeMap<IfIndex, NetDevice>,
+    names: HashMap<String, IfIndex>,
+    next_ifindex: u32,
+    /// The routing table (public: it *is* the shared state).
+    pub fib: Fib,
+    /// The neighbor table.
+    pub neigh: NeighTable,
+    bridges: BTreeMap<IfIndex, Bridge>,
+    /// The netfilter subsystem.
+    pub netfilter: Netfilter,
+    /// The conntrack table.
+    pub conntrack: Conntrack,
+    /// The ipvs load-balancing subsystem.
+    pub ipvs: crate::ipvs::Ipvs,
+    /// Whether forwarded traffic is connection-tracked (Kubernetes-style
+    /// hosts enable this; plain routers usually do not).
+    pub conntrack_forward: bool,
+    sysctls: BTreeMap<String, i64>,
+    netlink: NetlinkBus,
+    xdp_hooks: HashMap<IfIndex, HookFn>,
+    tc_hooks: HashMap<IfIndex, HookFn>,
+    pending_arp: HashMap<Ipv4Addr, Vec<(IfIndex, Vec<u8>)>>,
+    vxlan_fdb: HashMap<IfIndex, HashMap<MacAddr, Ipv4Addr>>,
+    vxlan_defaults: HashMap<IfIndex, Vec<Ipv4Addr>>,
+    /// Per-reason drop counters.
+    pub drop_counts: HashMap<&'static str, u64>,
+    counters: HashMap<IfIndex, DevCounters>,
+    /// BPDUs consumed by STP processing.
+    pub bpdus_processed: u64,
+    seed: u64,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("devices", &self.devices.len())
+            .field("routes", &self.fib.len())
+            .field("bridges", &self.bridges.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl Kernel {
+    /// Creates a kernel with no devices. `seed` namespaces generated MAC
+    /// addresses so multi-host topologies don't collide.
+    pub fn new(seed: u64) -> Self {
+        let mut sysctls = BTreeMap::new();
+        sysctls.insert("net.ipv4.ip_forward".to_string(), 0);
+        sysctls.insert("net.bridge.bridge-nf-call-iptables".to_string(), 0);
+        Kernel {
+            cost: Arc::new(CostModel::calibrated()),
+            now: Nanos::ZERO,
+            devices: BTreeMap::new(),
+            names: HashMap::new(),
+            next_ifindex: 1,
+            fib: Fib::new(),
+            neigh: NeighTable::new(),
+            bridges: BTreeMap::new(),
+            netfilter: Netfilter::new(),
+            conntrack: Conntrack::new(),
+            ipvs: crate::ipvs::Ipvs::new(),
+            conntrack_forward: false,
+            sysctls,
+            netlink: NetlinkBus::new(),
+            xdp_hooks: HashMap::new(),
+            tc_hooks: HashMap::new(),
+            pending_arp: HashMap::new(),
+            vxlan_fdb: HashMap::new(),
+            vxlan_defaults: HashMap::new(),
+            drop_counts: HashMap::new(),
+            counters: HashMap::new(),
+            bpdus_processed: 0,
+            seed,
+        }
+    }
+
+    /// Replaces the cost model (for ablation experiments).
+    pub fn set_cost_model(&mut self, cost: CostModel) {
+        self.cost = Arc::new(cost);
+    }
+
+    /// The active cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Traffic counters for a device (zeroes for unknown devices).
+    pub fn dev_counters(&self, dev: IfIndex) -> DevCounters {
+        self.counters.get(&dev).copied().unwrap_or_default()
+    }
+
+    /// Runs the periodic slow-path housekeeping Linux timers perform:
+    /// FDB aging, conntrack expiry, neighbor GC (paper Table I's
+    /// "manage FDB (aging)" column).
+    pub fn run_housekeeping(&mut self) -> HousekeepingReport {
+        let now = self.now;
+        let mut report = HousekeepingReport::default();
+        for bridge in self.bridges.values_mut() {
+            report.fdb_expired += bridge.fdb_gc(now);
+        }
+        report.conntrack_expired = self.conntrack.gc(now);
+        report.neigh_expired = self.neigh.gc(now);
+        report
+    }
+
+    /// Advances virtual time (drives FDB/neighbor/conntrack aging).
+    pub fn advance(&mut self, delta: Nanos) {
+        self.now += delta;
+    }
+
+    // ------------------------------------------------------------------
+    // Device configuration (the `ip link` / `brctl` surface)
+    // ------------------------------------------------------------------
+
+    fn alloc_index(&mut self) -> IfIndex {
+        let idx = IfIndex(self.next_ifindex);
+        self.next_ifindex += 1;
+        idx
+    }
+
+    fn gen_mac(&self, index: IfIndex) -> MacAddr {
+        MacAddr::from_index(self.seed.wrapping_mul(0x10000) + u64::from(index.as_u32()))
+    }
+
+    fn register(&mut self, dev: NetDevice) -> IfIndex {
+        let idx = dev.index;
+        self.names.insert(dev.name.clone(), idx);
+        self.devices.insert(idx, dev);
+        let info = self.link_info(idx).expect("just inserted");
+        self.netlink.publish(NetlinkMessage::NewLink(info));
+        idx
+    }
+
+    fn ensure_name_free(&self, name: &str) -> Result<(), NetError> {
+        if self.names.contains_key(name) {
+            Err(NetError::DeviceExists(name.to_string()))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Adds a physical NIC.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is taken.
+    pub fn add_physical(&mut self, name: &str) -> Result<IfIndex, NetError> {
+        self.ensure_name_free(name)?;
+        let idx = self.alloc_index();
+        let mac = self.gen_mac(idx);
+        Ok(self.register(NetDevice::new(idx, name, DeviceKind::Physical, mac)))
+    }
+
+    /// Adds a veth pair (`ip link add <a> type veth peer name <b>`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if either name is taken.
+    pub fn add_veth_pair(&mut self, a: &str, b: &str) -> Result<(IfIndex, IfIndex), NetError> {
+        self.ensure_name_free(a)?;
+        self.ensure_name_free(b)?;
+        if a == b {
+            return Err(NetError::Invalid("veth ends need distinct names".into()));
+        }
+        let ia = self.alloc_index();
+        let ib = self.alloc_index();
+        let mac_a = self.gen_mac(ia);
+        let mac_b = self.gen_mac(ib);
+        self.register(NetDevice::new(ia, a, DeviceKind::Veth { peer: ib }, mac_a));
+        self.register(NetDevice::new(ib, b, DeviceKind::Veth { peer: ia }, mac_b));
+        Ok((ia, ib))
+    }
+
+    /// Adds a bridge (`brctl addbr`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is taken.
+    pub fn add_bridge(&mut self, name: &str) -> Result<IfIndex, NetError> {
+        self.ensure_name_free(name)?;
+        let idx = self.alloc_index();
+        let mac = self.gen_mac(idx);
+        self.bridges.insert(idx, Bridge::new(idx, mac));
+        Ok(self.register(NetDevice::new(idx, name, DeviceKind::Bridge, mac)))
+    }
+
+    /// Adds a VXLAN device (`ip link add <name> type vxlan id <vni> ...`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is taken.
+    pub fn add_vxlan(
+        &mut self,
+        name: &str,
+        vni: u32,
+        local: Ipv4Addr,
+        port: u16,
+    ) -> Result<IfIndex, NetError> {
+        self.ensure_name_free(name)?;
+        let idx = self.alloc_index();
+        let mac = self.gen_mac(idx);
+        self.vxlan_fdb.insert(idx, HashMap::new());
+        self.vxlan_defaults.insert(idx, Vec::new());
+        Ok(self.register(NetDevice::new(
+            idx,
+            name,
+            DeviceKind::Vxlan { vni, local, port },
+            mac,
+        )))
+    }
+
+    /// Adds an FDB entry mapping a remote MAC to its VTEP
+    /// (`bridge fdb append <mac> dev <vxlan> dst <vtep>`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device is not a VXLAN device.
+    pub fn vxlan_fdb_add(
+        &mut self,
+        dev: IfIndex,
+        mac: MacAddr,
+        vtep: Ipv4Addr,
+    ) -> Result<(), NetError> {
+        let fdb = self
+            .vxlan_fdb
+            .get_mut(&dev)
+            .ok_or_else(|| NetError::Invalid(format!("{dev} is not a vxlan device")))?;
+        fdb.insert(mac, vtep);
+        Ok(())
+    }
+
+    /// Registers a default flood target for unknown/broadcast inner MACs.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device is not a VXLAN device.
+    pub fn vxlan_add_default_remote(&mut self, dev: IfIndex, vtep: Ipv4Addr) -> Result<(), NetError> {
+        let defaults = self
+            .vxlan_defaults
+            .get_mut(&dev)
+            .ok_or_else(|| NetError::Invalid(format!("{dev} is not a vxlan device")))?;
+        if !defaults.contains(&vtep) {
+            defaults.push(vtep);
+        }
+        Ok(())
+    }
+
+    /// Enslaves `port` to `bridge` (`brctl addif`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when either device is missing, `bridge` is not a bridge, or
+    /// the port is a bridge itself.
+    pub fn brctl_addif(&mut self, bridge: IfIndex, port: IfIndex) -> Result<(), NetError> {
+        if !self.bridges.contains_key(&bridge) {
+            return Err(NetError::Invalid(format!("{bridge} is not a bridge")));
+        }
+        if self.bridges.contains_key(&port) {
+            return Err(NetError::Invalid("cannot enslave a bridge".into()));
+        }
+        let dev = self
+            .devices
+            .get_mut(&port)
+            .ok_or_else(|| NetError::NoSuchDevice(port.to_string()))?;
+        dev.master = Some(bridge);
+        self.bridges.get_mut(&bridge).expect("checked").add_port(port);
+        let info = self.link_info(port).expect("exists");
+        self.netlink.publish(NetlinkMessage::NewLink(info));
+        Ok(())
+    }
+
+    /// Removes `port` from `bridge` (`brctl delif`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the devices are missing or not related.
+    pub fn brctl_delif(&mut self, bridge: IfIndex, port: IfIndex) -> Result<(), NetError> {
+        let br = self
+            .bridges
+            .get_mut(&bridge)
+            .ok_or_else(|| NetError::Invalid(format!("{bridge} is not a bridge")))?;
+        if !br.remove_port(port) {
+            return Err(NetError::NotFound(format!("{port} not in {bridge}")));
+        }
+        if let Some(dev) = self.devices.get_mut(&port) {
+            dev.master = None;
+        }
+        let info = self.link_info(port).expect("exists");
+        self.netlink.publish(NetlinkMessage::NewLink(info));
+        Ok(())
+    }
+
+    /// Enables or disables STP on a bridge (`brctl stp <br> on|off`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `bridge` is not a bridge.
+    pub fn bridge_set_stp(&mut self, bridge: IfIndex, on: bool) -> Result<(), NetError> {
+        let br = self
+            .bridges
+            .get_mut(&bridge)
+            .ok_or_else(|| NetError::Invalid(format!("{bridge} is not a bridge")))?;
+        br.stp_enabled = on;
+        let info = self.link_info(bridge).expect("exists");
+        self.netlink.publish(NetlinkMessage::NewLink(info));
+        Ok(())
+    }
+
+    /// Enables or disables VLAN filtering on a bridge.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `bridge` is not a bridge.
+    pub fn bridge_set_vlan_filtering(&mut self, bridge: IfIndex, on: bool) -> Result<(), NetError> {
+        let br = self
+            .bridges
+            .get_mut(&bridge)
+            .ok_or_else(|| NetError::Invalid(format!("{bridge} is not a bridge")))?;
+        br.vlan_filtering = on;
+        let info = self.link_info(bridge).expect("exists");
+        self.netlink.publish(NetlinkMessage::NewLink(info));
+        Ok(())
+    }
+
+    /// Direct access to a bridge (for port VLAN/STP state configuration
+    /// and FDB inspection).
+    pub fn bridge_mut(&mut self, bridge: IfIndex) -> Option<&mut Bridge> {
+        self.bridges.get_mut(&bridge)
+    }
+
+    /// Read access to a bridge.
+    pub fn bridge(&self, bridge: IfIndex) -> Option<&Bridge> {
+        self.bridges.get(&bridge)
+    }
+
+    /// Indexes of all bridges.
+    pub fn bridge_indices(&self) -> Vec<IfIndex> {
+        self.bridges.keys().copied().collect()
+    }
+
+    /// Sets a link up (`ip link set <dev> up`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device does not exist.
+    pub fn ip_link_set_up(&mut self, dev: IfIndex) -> Result<(), NetError> {
+        self.set_link_state(dev, true)
+    }
+
+    /// Marks a device as an endpoint (terminating in an external stack,
+    /// e.g. a pod network namespace).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device does not exist.
+    pub fn set_endpoint(&mut self, dev: IfIndex, endpoint: bool) -> Result<(), NetError> {
+        let d = self
+            .devices
+            .get_mut(&dev)
+            .ok_or_else(|| NetError::NoSuchDevice(dev.to_string()))?;
+        d.endpoint = endpoint;
+        Ok(())
+    }
+
+    /// Sets a link down.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device does not exist.
+    pub fn ip_link_set_down(&mut self, dev: IfIndex) -> Result<(), NetError> {
+        self.set_link_state(dev, false)
+    }
+
+    fn set_link_state(&mut self, dev: IfIndex, up: bool) -> Result<(), NetError> {
+        let d = self
+            .devices
+            .get_mut(&dev)
+            .ok_or_else(|| NetError::NoSuchDevice(dev.to_string()))?;
+        d.up = up;
+        let info = self.link_info(dev).expect("exists");
+        self.netlink.publish(NetlinkMessage::NewLink(info));
+        Ok(())
+    }
+
+    /// Adds an address (`ip addr add <addr>/<len> dev <dev>`); also
+    /// installs the connected route, as Linux does.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device does not exist or already has the address.
+    pub fn ip_addr_add(&mut self, dev: IfIndex, addr: IfAddr) -> Result<(), NetError> {
+        let d = self
+            .devices
+            .get_mut(&dev)
+            .ok_or_else(|| NetError::NoSuchDevice(dev.to_string()))?;
+        if d.has_addr(addr.addr) {
+            return Err(NetError::AlreadyExists(addr.addr.to_string()));
+        }
+        d.addrs.push((addr.addr, addr.prefix_len));
+        self.netlink.publish(NetlinkMessage::NewAddr {
+            index: dev,
+            addr: addr.addr,
+            prefix_len: addr.prefix_len,
+        });
+        if addr.prefix_len < 32 {
+            self.install_route(Route::connected(addr.subnet(), dev));
+        }
+        let info = self.link_info(dev).expect("exists");
+        self.netlink.publish(NetlinkMessage::NewLink(info));
+        Ok(())
+    }
+
+    /// Removes an address and its connected route.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device or address is missing.
+    pub fn ip_addr_del(&mut self, dev: IfIndex, addr: IfAddr) -> Result<(), NetError> {
+        let d = self
+            .devices
+            .get_mut(&dev)
+            .ok_or_else(|| NetError::NoSuchDevice(dev.to_string()))?;
+        let before = d.addrs.len();
+        d.addrs
+            .retain(|(a, l)| !(*a == addr.addr && *l == addr.prefix_len));
+        if d.addrs.len() == before {
+            return Err(NetError::NotFound(addr.addr.to_string()));
+        }
+        self.fib.remove(&addr.subnet(), Some(dev));
+        self.netlink.publish(NetlinkMessage::DelAddr {
+            index: dev,
+            addr: addr.addr,
+        });
+        self.netlink
+            .publish(NetlinkMessage::DelRoute { prefix: addr.subnet() });
+        Ok(())
+    }
+
+    fn install_route(&mut self, route: Route) {
+        self.fib.insert(route);
+        self.netlink.publish(NetlinkMessage::NewRoute(RouteInfo {
+            prefix: route.prefix,
+            via: route.via,
+            dev: route.dev,
+            metric: route.metric,
+        }));
+    }
+
+    /// Adds a route (`ip route add <prefix> [via <gw>] [dev <dev>]`).
+    /// When `dev` is omitted it is resolved from the gateway's connected
+    /// subnet.
+    ///
+    /// # Errors
+    ///
+    /// Fails when neither `via` nor `dev` determine an egress interface.
+    pub fn ip_route_add(
+        &mut self,
+        prefix: Prefix,
+        via: Option<Ipv4Addr>,
+        dev: Option<IfIndex>,
+    ) -> Result<(), NetError> {
+        let egress = match (dev, via) {
+            (Some(d), _) => d,
+            (None, Some(gw)) => self
+                .device_for_subnet(gw)
+                .ok_or_else(|| NetError::Invalid(format!("no connected subnet for gateway {gw}")))?,
+            (None, None) => {
+                return Err(NetError::Invalid("route needs via or dev".into()));
+            }
+        };
+        if !self.devices.contains_key(&egress) {
+            return Err(NetError::NoSuchDevice(egress.to_string()));
+        }
+        let route = match via {
+            Some(gw) => Route::via_gateway(prefix, gw, egress),
+            None => Route::connected(prefix, egress),
+        };
+        self.install_route(route);
+        Ok(())
+    }
+
+    /// Deletes routes for `prefix` (optionally restricted to `dev`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if no route matched.
+    pub fn ip_route_del(&mut self, prefix: Prefix, dev: Option<IfIndex>) -> Result<(), NetError> {
+        if self.fib.remove(&prefix, dev) == 0 {
+            return Err(NetError::NotFound(prefix.to_string()));
+        }
+        self.netlink.publish(NetlinkMessage::DelRoute { prefix });
+        Ok(())
+    }
+
+    /// The device whose connected subnet contains `addr`.
+    pub fn device_for_subnet(&self, addr: Ipv4Addr) -> Option<IfIndex> {
+        self.devices
+            .values()
+            .find(|d| d.connected_prefixes().iter().any(|p| p.contains(addr)))
+            .map(|d| d.index)
+    }
+
+    /// Sets a sysctl (`sysctl -w <name>=<value>`).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown sysctls.
+    pub fn sysctl_set(&mut self, name: &str, value: i64) -> Result<(), NetError> {
+        if !self.sysctls.contains_key(name) {
+            return Err(NetError::NotFound(name.to_string()));
+        }
+        self.sysctls.insert(name.to_string(), value);
+        self.netlink.publish(NetlinkMessage::SysctlChanged {
+            name: name.to_string(),
+            value,
+        });
+        Ok(())
+    }
+
+    /// Reads a sysctl.
+    pub fn sysctl_get(&self, name: &str) -> Option<i64> {
+        self.sysctls.get(name).copied()
+    }
+
+    /// Whether IPv4 forwarding is enabled.
+    pub fn ip_forward_enabled(&self) -> bool {
+        self.sysctl_get("net.ipv4.ip_forward") == Some(1)
+    }
+
+    /// Whether bridged IPv4 traffic traverses iptables (the
+    /// `br_netfilter` behavior Kubernetes requires).
+    pub fn bridge_nf_enabled(&self) -> bool {
+        self.sysctl_get("net.bridge.bridge-nf-call-iptables") == Some(1)
+    }
+
+    // ------------------------------------------------------------------
+    // iptables / ipset surface
+    // ------------------------------------------------------------------
+
+    /// Appends a rule (`iptables -A <CHAIN> ...`).
+    pub fn iptables_append(&mut self, hook: ChainHook, rule: IptRule) {
+        self.netfilter.append(hook, rule);
+        self.publish_nf_changed();
+    }
+
+    /// Flushes a chain (`iptables -F <CHAIN>`).
+    pub fn iptables_flush(&mut self, hook: ChainHook) {
+        self.netfilter.flush(hook);
+        self.publish_nf_changed();
+    }
+
+    /// Creates an ipset.
+    pub fn ipset_create(&mut self, name: &str, set: crate::netfilter::IpSet) -> bool {
+        let ok = self.netfilter.set_create(name, set);
+        if ok {
+            self.publish_nf_changed();
+        }
+        ok
+    }
+
+    /// Adds a member to an ipset.
+    pub fn ipset_add(&mut self, name: &str, prefix: Prefix) -> bool {
+        let ok = self.netfilter.set_add(name, prefix);
+        if ok {
+            self.publish_nf_changed();
+        }
+        ok
+    }
+
+    /// Adds a virtual service (`ipvsadm -A -u <vip>:<port> -s <sched>`).
+    pub fn ipvsadm_add_service(
+        &mut self,
+        vip: Ipv4Addr,
+        port: u16,
+        proto: IpProto,
+        scheduler: crate::ipvs::Scheduler,
+    ) -> bool {
+        let ok = self.ipvs.add_service(vip, port, proto, scheduler);
+        if ok {
+            let generation = self.ipvs.generation;
+            self.netlink.publish(NetlinkMessage::IpvsChanged { generation });
+        }
+        ok
+    }
+
+    /// Adds a backend (`ipvsadm -a -u <vip>:<port> -r <backend>`).
+    pub fn ipvsadm_add_backend(
+        &mut self,
+        vip: Ipv4Addr,
+        port: u16,
+        proto: IpProto,
+        backend: Ipv4Addr,
+        backend_port: u16,
+    ) -> bool {
+        let ok = self.ipvs.add_backend(vip, port, proto, backend, backend_port);
+        if ok {
+            let generation = self.ipvs.generation;
+            self.netlink.publish(NetlinkMessage::IpvsChanged { generation });
+        }
+        ok
+    }
+
+    fn publish_nf_changed(&mut self) {
+        let generation = self.netfilter.generation;
+        self.netlink
+            .publish(NetlinkMessage::NetfilterChanged { generation });
+    }
+
+    // ------------------------------------------------------------------
+    // Netlink subscription & dumps
+    // ------------------------------------------------------------------
+
+    /// Joins netlink multicast groups.
+    pub fn netlink_subscribe(&mut self, groups: &[NlGroup]) -> SubscriberId {
+        self.netlink.subscribe(groups)
+    }
+
+    /// Drains pending notifications for a subscriber.
+    pub fn netlink_poll(&mut self, id: SubscriberId) -> Vec<NetlinkMessage> {
+        self.netlink.poll(id)
+    }
+
+    fn link_info(&self, dev: IfIndex) -> Option<LinkInfo> {
+        let d = self.devices.get(&dev)?;
+        let bridge = self.bridges.get(&dev);
+        Some(LinkInfo {
+            index: d.index,
+            name: d.name.clone(),
+            kind: d.kind.kind_name().to_string(),
+            mac: d.mac,
+            up: d.up,
+            master: d.master,
+            addrs: d.addrs.clone(),
+            stp_enabled: bridge.map(|b| b.stp_enabled),
+            vlan_filtering: bridge.map(|b| b.vlan_filtering),
+        })
+    }
+
+    /// Dumps all links (`RTM_GETLINK`).
+    pub fn dump_links(&self) -> Vec<LinkInfo> {
+        self.devices
+            .keys()
+            .filter_map(|i| self.link_info(*i))
+            .collect()
+    }
+
+    /// Dumps all neighbor entries (`RTM_GETNEIGH`).
+    pub fn dump_neigh(&self) -> Vec<(Ipv4Addr, crate::neigh::NeighEntry)> {
+        self.neigh.entries()
+    }
+
+    /// Dumps all routes (`RTM_GETROUTE`).
+    pub fn dump_routes(&self) -> Vec<RouteInfo> {
+        self.fib
+            .routes()
+            .into_iter()
+            .map(|r| RouteInfo {
+                prefix: r.prefix,
+                via: r.via,
+                dev: r.dev,
+                metric: r.metric,
+            })
+            .collect()
+    }
+
+    /// Looks up a device by name.
+    pub fn ifindex(&self, name: &str) -> Option<IfIndex> {
+        self.names.get(name).copied()
+    }
+
+    /// A device by index.
+    pub fn device(&self, dev: IfIndex) -> Option<&NetDevice> {
+        self.devices.get(&dev)
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Hook attachment (XDP / TC)
+    // ------------------------------------------------------------------
+
+    /// Attaches an XDP program to a device.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device does not exist.
+    pub fn attach_xdp(&mut self, dev: IfIndex, hook: HookFn) -> Result<(), NetError> {
+        let d = self
+            .devices
+            .get_mut(&dev)
+            .ok_or_else(|| NetError::NoSuchDevice(dev.to_string()))?;
+        d.has_xdp = true;
+        self.xdp_hooks.insert(dev, hook);
+        Ok(())
+    }
+
+    /// Detaches any XDP program from a device.
+    pub fn detach_xdp(&mut self, dev: IfIndex) {
+        if let Some(d) = self.devices.get_mut(&dev) {
+            d.has_xdp = false;
+        }
+        self.xdp_hooks.remove(&dev);
+    }
+
+    /// Attaches a TC ingress program to a device.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the device does not exist.
+    pub fn attach_tc_ingress(&mut self, dev: IfIndex, hook: HookFn) -> Result<(), NetError> {
+        let d = self
+            .devices
+            .get_mut(&dev)
+            .ok_or_else(|| NetError::NoSuchDevice(dev.to_string()))?;
+        d.has_tc_ingress = true;
+        self.tc_hooks.insert(dev, hook);
+        Ok(())
+    }
+
+    /// Detaches any TC ingress program from a device.
+    pub fn detach_tc_ingress(&mut self, dev: IfIndex) {
+        if let Some(d) = self.devices.get_mut(&dev) {
+            d.has_tc_ingress = false;
+        }
+        self.tc_hooks.remove(&dev);
+    }
+
+    // ------------------------------------------------------------------
+    // Helper facades exposed to fast paths (the paper's kernel helpers)
+    // ------------------------------------------------------------------
+
+    /// `bpf_fib_lookup`: combined FIB + neighbor lookup. Returns `None`
+    /// when there is no route or the next hop is unresolved — the fast
+    /// path then passes the packet to the slow path, which performs ARP.
+    pub fn helper_fib_lookup(&mut self, dst: Ipv4Addr) -> Option<FibFastResult> {
+        // Locally addressed packets are never fast-path forwarded; the
+        // real helper reports RT_LOCAL and the program passes to Linux.
+        if self.owns_addr(dst) {
+            return None;
+        }
+        let route = self.fib.lookup(dst).copied()?;
+        let next_hop = route.via.unwrap_or(dst);
+        let now = self.now;
+        let (dst_mac, _) = self.neigh.resolved_mac(next_hop, now)?;
+        let egress = self.devices.get(&route.dev)?;
+        if !egress.up {
+            return None;
+        }
+        Some(FibFastResult {
+            ifindex: route.dev,
+            src_mac: egress.mac,
+            dst_mac,
+        })
+    }
+
+    /// `bpf_fdb_lookup` (the paper's new helper): FDB lookup for the
+    /// bridge that `ingress_port` belongs to, honoring aging and STP port
+    /// state, and refreshing the *source* entry (fast-path FDB update).
+    /// Returns the egress port, or `None` on miss / unknown source (the
+    /// slow path then learns and floods).
+    pub fn helper_fdb_lookup(
+        &mut self,
+        ingress_port: IfIndex,
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        vlan: u16,
+    ) -> FdbLookupOutcome {
+        let Some(bridge_idx) = self.devices.get(&ingress_port).and_then(|d| d.master) else {
+            return FdbLookupOutcome::SrcUnknown;
+        };
+        let now = self.now;
+        let Some(bridge) = self.bridges.get_mut(&bridge_idx) else {
+            return FdbLookupOutcome::SrcUnknown;
+        };
+        // The ingress port must be in the forwarding state: STP is
+        // slow-path protocol work, and a blocked port's traffic must
+        // reach it (to be dropped there), never be fast-forwarded.
+        if bridge.port(ingress_port).map(|p| p.stp_state)
+            != Some(crate::bridge::StpState::Forwarding)
+        {
+            return FdbLookupOutcome::SrcUnknown;
+        }
+        // The source must already be known (learning is slow-path work);
+        // refresh its timestamp so active flows don't age out.
+        if bridge.fdb_lookup(src_mac, vlan, now).is_none() {
+            return FdbLookupOutcome::SrcUnknown;
+        }
+        bridge.fdb_learn(src_mac, vlan, ingress_port, now);
+        match bridge.fdb_lookup(dst_mac, vlan, now) {
+            Some(egress) if egress != ingress_port => FdbLookupOutcome::Hit(egress),
+            // A hairpin hit is treated like a miss: the slow path drops.
+            _ => FdbLookupOutcome::DstMiss,
+        }
+    }
+
+    /// `bpf_ipt_lookup` (the paper's new helper): evaluates the FORWARD
+    /// chain against packet metadata using the *kernel's* rule table.
+    pub fn helper_ipt_lookup(&self, meta: &PacketMeta, tracker: &mut CostTracker) -> NfVerdict {
+        self.netfilter.evaluate_with_rule_cost(
+            ChainHook::Forward,
+            meta,
+            &self.cost,
+            tracker,
+            self.cost.helper_ipt_rule_ns,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // The data path
+    // ------------------------------------------------------------------
+
+    /// Processes a frame received on `dev`, running hooks and the slow
+    /// path, returning all externally visible effects and the cost.
+    pub fn receive(&mut self, dev: IfIndex, frame: Vec<u8>) -> RxOutcome {
+        let mut out = RxOutcome::default();
+        let mut queue: VecDeque<(IfIndex, Vec<u8>)> = VecDeque::new();
+        queue.push_back((dev, frame));
+        let mut hops = 0;
+        while let Some((dev, frame)) = queue.pop_front() {
+            hops += 1;
+            if hops > 64 {
+                self.drop(&mut out, "forwarding loop");
+                break;
+            }
+            self.receive_one(dev, frame, &mut out, &mut queue);
+        }
+        out
+    }
+
+    fn drop(&mut self, out: &mut RxOutcome, reason: &'static str) {
+        *self.drop_counts.entry(reason).or_insert(0) += 1;
+        out.effects.push(Effect::Drop { reason });
+    }
+
+    fn receive_one(
+        &mut self,
+        dev: IfIndex,
+        frame: Vec<u8>,
+        out: &mut RxOutcome,
+        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
+    ) {
+        let Some(device) = self.devices.get(&dev) else {
+            self.drop(out, "no such device");
+            return;
+        };
+        if !device.up {
+            self.drop(out, "device down");
+            return;
+        }
+        match device.kind {
+            DeviceKind::Physical => out.cost.charge("driver_rx", self.cost.driver_rx_ns),
+            DeviceKind::Veth { .. } => out.cost.charge("veth_cross", self.cost.veth_cross_ns),
+            DeviceKind::Bridge | DeviceKind::Vxlan { .. } => {}
+        }
+        {
+            let c = self.counters.entry(dev).or_default();
+            c.rx_packets += 1;
+            c.rx_bytes += frame.len() as u64;
+        }
+
+        let mut pkt = Packet::new(frame, dev.as_u32());
+
+        // XDP hook: before any sk_buff exists.
+        if let Some(hook) = self.xdp_hooks.get(&dev).cloned() {
+            out.cost.charge("xdp_entry", self.cost.xdp_entry_ns);
+            match hook(self, &mut pkt, &mut out.cost) {
+                HookVerdict::Pass => {}
+                HookVerdict::Drop => {
+                    self.drop(out, "xdp drop");
+                    return;
+                }
+                HookVerdict::Redirect(target) => {
+                    self.transmit(target, pkt.data, out, queue);
+                    return;
+                }
+                HookVerdict::DeliverUser => {
+                    // Consumed onto an AF_XDP ring: user space owns it
+                    // now, without any sk_buff ever existing.
+                    out.effects.push(Effect::Deliver {
+                        dev,
+                        frame: pkt.data,
+                    });
+                    return;
+                }
+            }
+        }
+
+        // sk_buff allocation: the cost XDP avoids.
+        out.cost.charge("skb_alloc", self.cost.skb_alloc_ns);
+
+        // TC ingress hook.
+        if let Some(hook) = self.tc_hooks.get(&dev).cloned() {
+            out.cost.charge("tc_entry", self.cost.tc_entry_ns);
+            match hook(self, &mut pkt, &mut out.cost) {
+                HookVerdict::Pass => {}
+                HookVerdict::Drop => {
+                    self.drop(out, "tc drop");
+                    return;
+                }
+                HookVerdict::Redirect(target) => {
+                    self.transmit(target, pkt.data, out, queue);
+                    return;
+                }
+                HookVerdict::DeliverUser => {
+                    out.effects.push(Effect::Deliver {
+                        dev,
+                        frame: pkt.data,
+                    });
+                    return;
+                }
+            }
+        }
+
+        self.slow_path(dev, pkt.data, out, queue);
+    }
+
+    fn slow_path(
+        &mut self,
+        dev: IfIndex,
+        frame: Vec<u8>,
+        out: &mut RxOutcome,
+        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
+    ) {
+        let Ok(eth) = EthernetFrame::parse(&frame) else {
+            self.drop(out, "malformed ethernet");
+            return;
+        };
+        let (master, dev_mac, endpoint) = {
+            let device = self.devices.get(&dev).expect("checked in receive_one");
+            (device.master, device.mac, device.endpoint)
+        };
+
+        // Endpoint devices (pod-side veths) hand frames to an external
+        // stack: deliver anything addressed to them (or broadcast).
+        if endpoint {
+            if eth.dst == dev_mac || eth.dst.is_multicast() {
+                out.cost
+                    .charge("local_deliver", self.cost.local_deliver_ns);
+                out.effects.push(Effect::Deliver { dev, frame });
+            } else {
+                self.drop(out, "wrong destination mac");
+            }
+            return;
+        }
+
+        // Bridge port: L2 processing first.
+        if let Some(bridge_idx) = master {
+            self.bridge_input(bridge_idx, dev, eth, frame, out, queue);
+            return;
+        }
+
+        // Non-promiscuous check for ordinary devices.
+        if eth.dst != dev_mac && eth.dst.is_unicast() {
+            self.drop(out, "wrong destination mac");
+            return;
+        }
+
+        self.up_stack(dev, eth, frame, out, queue);
+    }
+
+    fn bridge_input(
+        &mut self,
+        bridge_idx: IfIndex,
+        port: IfIndex,
+        eth: EthernetFrame,
+        frame: Vec<u8>,
+        out: &mut RxOutcome,
+        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
+    ) {
+        out.cost.charge("bridge_stack", self.cost.bridge_stack_ns);
+
+        // STP BPDUs are consumed by slow-path protocol processing.
+        if eth.dst == BPDU_MAC {
+            let stp_on = self
+                .bridges
+                .get(&bridge_idx)
+                .map(|b| b.stp_enabled)
+                .unwrap_or(false);
+            if stp_on {
+                self.bpdus_processed += 1;
+            }
+            self.drop(out, "bpdu consumed");
+            return;
+        }
+
+        let now = self.now;
+        let vlan_tag = eth.vlan.map(|t| t.vid);
+        let Some(bridge) = self.bridges.get_mut(&bridge_idx) else {
+            self.drop(out, "missing bridge");
+            return;
+        };
+        let decision = bridge.decide(port, eth.src, eth.dst, vlan_tag, now);
+
+        // br_netfilter: bridged IPv4 frames about to be forwarded also
+        // traverse the iptables FORWARD chain (and conntrack), exactly as
+        // Kubernetes hosts configure via bridge-nf-call-iptables.
+        if matches!(decision, BridgeDecision::Forward(_) | BridgeDecision::Flood(_))
+            && eth.ethertype == EtherType::Ipv4
+            && self.bridge_nf_enabled()
+        {
+            if let Ok(ip) = Ipv4Header::parse(&frame[eth.payload_offset..]) {
+                let meta = self.packet_meta(port, &frame, eth.payload_offset, &ip);
+                if self.conntrack_forward {
+                    out.cost.charge("conntrack", self.cost.conntrack_lookup_ns);
+                    let now = self.now;
+                    self.conntrack
+                        .track(ip.src, meta.sport, ip.dst, meta.dport, ip.proto, now);
+                }
+                let verdict = self
+                    .netfilter
+                    .evaluate(ChainHook::Forward, &meta, &self.cost, &mut out.cost);
+                if verdict == NfVerdict::Drop {
+                    self.drop(out, "nf forward drop");
+                    return;
+                }
+            }
+        }
+
+        match decision {
+            BridgeDecision::Forward(egress) => {
+                self.transmit(egress, frame, out, queue);
+            }
+            BridgeDecision::Flood(ports) => {
+                for (i, egress) in ports.iter().enumerate() {
+                    if i > 0 {
+                        out.cost
+                            .charge("bridge_flood", self.cost.bridge_flood_per_port_ns);
+                    }
+                    self.transmit(*egress, frame.clone(), out, queue);
+                }
+                // Broadcast (e.g. ARP) also goes up the bridge's own stack.
+                if eth.dst.is_broadcast() || eth.dst.is_multicast() {
+                    self.up_stack(bridge_idx, eth, frame, out, queue);
+                }
+            }
+            BridgeDecision::Local => {
+                self.up_stack(bridge_idx, eth, frame, out, queue);
+            }
+            BridgeDecision::Drop(reason) => {
+                self.drop(out, reason);
+            }
+        }
+    }
+
+    fn up_stack(
+        &mut self,
+        dev: IfIndex,
+        eth: EthernetFrame,
+        frame: Vec<u8>,
+        out: &mut RxOutcome,
+        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
+    ) {
+        match eth.ethertype {
+            EtherType::Arp => self.arp_input(dev, &eth, &frame, out, queue),
+            EtherType::Ipv4 => self.ip_input(dev, &eth, frame, out, queue),
+            _ => self.drop(out, "unhandled ethertype"),
+        }
+    }
+
+    fn arp_input(
+        &mut self,
+        dev: IfIndex,
+        eth: &EthernetFrame,
+        frame: &[u8],
+        out: &mut RxOutcome,
+        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
+    ) {
+        let Ok(arp) = ArpPacket::parse(&frame[eth.payload_offset..]) else {
+            self.drop(out, "malformed arp");
+            return;
+        };
+        let device = self.devices.get(&dev).expect("exists");
+        let our_mac = device.mac;
+        let target_is_ours = device.has_addr(arp.target_ip);
+
+        // Learn the sender (Linux learns from both requests and replies
+        // addressed to it).
+        if target_is_ours || arp.op == ArpOp::Reply {
+            let now = self.now;
+            self.neigh.learn(arp.sender_ip, arp.sender_mac, dev, now);
+            self.netlink.publish(NetlinkMessage::NewNeigh {
+                addr: arp.sender_ip,
+                mac: arp.sender_mac,
+                dev,
+            });
+            self.flush_pending_arp(arp.sender_ip, out, queue);
+        }
+
+        if arp.op == ArpOp::Request && target_is_ours {
+            let reply = arp.reply_to(our_mac);
+            let reply_frame = builder::arp_frame(&reply, our_mac, arp.sender_mac);
+            self.transmit(dev, reply_frame, out, queue);
+        } else {
+            out.effects.push(Effect::Drop {
+                reason: "arp consumed",
+            });
+        }
+    }
+
+    fn flush_pending_arp(
+        &mut self,
+        resolved: Ipv4Addr,
+        out: &mut RxOutcome,
+        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
+    ) {
+        let Some(waiting) = self.pending_arp.remove(&resolved) else {
+            return;
+        };
+        let now = self.now;
+        let Some((mac, _)) = self.neigh.resolved_mac(resolved, now) else {
+            return;
+        };
+        for (egress, mut frame) in waiting {
+            if let Some(egress_dev) = self.devices.get(&egress) {
+                let src = egress_dev.mac;
+                EthernetFrame::rewrite_macs(&mut frame, mac, src);
+                self.transmit(egress, frame, out, queue);
+            }
+        }
+    }
+
+    fn ip_input(
+        &mut self,
+        dev: IfIndex,
+        eth: &EthernetFrame,
+        frame: Vec<u8>,
+        out: &mut RxOutcome,
+        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
+    ) {
+        out.cost.charge("ip_rcv", self.cost.ip_rcv_ns);
+        let l3 = eth.payload_offset;
+        let Ok(ip) = Ipv4Header::parse(&frame[l3..]) else {
+            self.drop(out, "malformed ipv4");
+            return;
+        };
+        if !ip.verify_checksum(&frame[l3..]) {
+            self.drop(out, "bad ipv4 checksum");
+            return;
+        }
+
+        let meta = self.packet_meta(dev, &frame, l3, &ip);
+
+        // Conntrack (when enabled for this host).
+        if self.conntrack_forward {
+            out.cost
+                .charge("conntrack", self.cost.conntrack_lookup_ns);
+            let now = self.now;
+            self.conntrack
+                .track(ip.src, meta.sport, ip.dst, meta.dport, ip.proto, now);
+        }
+
+        // PREROUTING.
+        let verdict = self
+            .netfilter
+            .evaluate(ChainHook::Prerouting, &meta, &self.cost, &mut out.cost);
+        if verdict == NfVerdict::Drop {
+            self.drop(out, "nf prerouting drop");
+            return;
+        }
+
+        // ipvs NAT: traffic to a virtual service is rewritten toward a
+        // backend — pinned flows reuse their backend; new flows are
+        // scheduled here (slow-path work per paper Table I, row 4).
+        let mut frame = frame;
+        let mut ip = ip;
+        let mut meta = meta;
+        if !self.ipvs.is_empty() && matches!(ip.proto, IpProto::Udp | IpProto::Tcp) {
+            out.cost.charge("conntrack", self.cost.conntrack_lookup_ns);
+            let now = self.now;
+            let selected = self.ipvs.select_backend(
+                &mut self.conntrack,
+                ip.src,
+                meta.sport,
+                ip.dst,
+                meta.dport,
+                ip.proto,
+                now,
+            );
+            if let Some((backend_ip, backend_port)) = selected {
+                out.cost.charge("ipvs_sched", self.cost.ipvs_sched_ns);
+                Self::ipvs_nat_rewrite(&mut frame, l3, &ip, backend_ip, backend_port);
+                ip = Ipv4Header::parse(&frame[l3..]).expect("rewritten header valid");
+                meta = self.packet_meta(dev, &frame, l3, &ip);
+            }
+        }
+
+        // Local delivery?
+        let local = self.devices.values().any(|d| d.has_addr(ip.dst))
+            || ip.dst == Ipv4Addr::BROADCAST;
+        if local {
+            let verdict = self
+                .netfilter
+                .evaluate(ChainHook::Input, &meta, &self.cost, &mut out.cost);
+            if verdict == NfVerdict::Drop {
+                self.drop(out, "nf input drop");
+                return;
+            }
+            self.local_deliver(dev, eth, frame, &ip, out, queue);
+            return;
+        }
+
+        // Forwarding path.
+        if !self.ip_forward_enabled() {
+            self.drop(out, "forwarding disabled");
+            return;
+        }
+        out.cost
+            .charge("fib_lookup", self.cost.fib_lookup_kernel_ns);
+        let Some(route) = self.fib.lookup(ip.dst).copied() else {
+            self.icmp_error(&frame, l3, &ip, IcmpType::DestUnreachable(0), out, queue);
+            self.drop(out, "no route");
+            return;
+        };
+        let meta = PacketMeta {
+            out_if: route.dev,
+            ..meta
+        };
+        let verdict = self
+            .netfilter
+            .evaluate(ChainHook::Forward, &meta, &self.cost, &mut out.cost);
+        if verdict == NfVerdict::Drop {
+            self.drop(out, "nf forward drop");
+            return;
+        }
+
+        out.cost
+            .charge("ip_forward", self.cost.ip_forward_finish_ns);
+        if Ipv4Header::decrement_ttl(&mut frame[l3..]).is_none() {
+            self.icmp_error(&frame, l3, &ip, IcmpType::TimeExceeded, out, queue);
+            self.drop(out, "ttl exceeded");
+            return;
+        }
+
+        // Neighbor resolution for the next hop.
+        out.cost.charge("neigh_lookup", self.cost.neigh_lookup_ns);
+        let next_hop = match route.scope {
+            RouteScope::Link => ip.dst,
+            RouteScope::Universe => route.via.unwrap_or(ip.dst),
+        };
+        let now = self.now;
+        match self.neigh.resolved_mac(next_hop, now) {
+            Some((dst_mac, _)) => {
+                let src_mac = self
+                    .devices
+                    .get(&route.dev)
+                    .map(|d| d.mac)
+                    .unwrap_or(MacAddr::ZERO);
+                EthernetFrame::rewrite_macs(&mut frame, dst_mac, src_mac);
+                let verdict = self.netfilter.evaluate(
+                    ChainHook::Postrouting,
+                    &meta,
+                    &self.cost,
+                    &mut out.cost,
+                );
+                if verdict == NfVerdict::Drop {
+                    self.drop(out, "nf postrouting drop");
+                    return;
+                }
+                out.cost.charge("qdisc_xmit", self.cost.qdisc_xmit_ns);
+                self.transmit(route.dev, frame, out, queue);
+            }
+            None => {
+                self.arp_resolve_and_queue(route.dev, next_hop, frame, out, queue);
+            }
+        }
+    }
+
+    fn arp_resolve_and_queue(
+        &mut self,
+        egress: IfIndex,
+        next_hop: Ipv4Addr,
+        frame: Vec<u8>,
+        out: &mut RxOutcome,
+        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
+    ) {
+        self.pending_arp
+            .entry(next_hop)
+            .or_default()
+            .push((egress, frame));
+        let now = self.now;
+        let fresh = self.neigh.mark_incomplete(next_hop, egress, now);
+        if fresh {
+            let Some(egress_dev) = self.devices.get(&egress) else {
+                return;
+            };
+            let our_mac = egress_dev.mac;
+            let our_ip = egress_dev
+                .connected_prefixes()
+                .iter()
+                .find(|p| p.contains(next_hop))
+                .and_then(|p| egress_dev.addr_in(p))
+                .or_else(|| egress_dev.addrs.first().map(|(a, _)| *a));
+            let Some(our_ip) = our_ip else {
+                self.drop(out, "no source address for arp");
+                return;
+            };
+            let req = ArpPacket::request(our_mac, our_ip, next_hop);
+            let req_frame = builder::arp_frame(&req, our_mac, MacAddr::BROADCAST);
+            self.transmit(egress, req_frame, out, queue);
+        }
+    }
+
+    fn local_deliver(
+        &mut self,
+        dev: IfIndex,
+        eth: &EthernetFrame,
+        frame: Vec<u8>,
+        ip: &Ipv4Header,
+        out: &mut RxOutcome,
+        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
+    ) {
+        out.cost
+            .charge("local_deliver", self.cost.local_deliver_ns);
+        let l3 = eth.payload_offset;
+        let l4 = l3 + ip.header_len;
+
+        // VXLAN termination: UDP to the VXLAN port of a local VXLAN
+        // device decapsulates and re-enters as a frame on that device's
+        // bridge context.
+        if ip.proto == IpProto::Udp {
+            if let Ok(udp) = UdpHeader::parse(&frame[l4..]) {
+                if let Some(vxlan_dev) = self.vxlan_device_for(ip.dst, udp.dst_port) {
+                    out.cost.charge("vxlan_decap", self.cost.vxlan_decap_ns);
+                    if let Ok((_vni, inner)) = builder::vxlan_decapsulate(&frame) {
+                        // The inner frame appears as if received on the
+                        // VXLAN device, which is typically a bridge port.
+                        queue.push_back((vxlan_dev, inner));
+                        return;
+                    }
+                    self.drop(out, "malformed vxlan");
+                    return;
+                }
+            }
+        }
+
+        // ICMP echo responder.
+        if ip.proto == IpProto::Icmp {
+            if let Ok(icmp) = IcmpHeader::parse(&frame[l4..]) {
+                if icmp.icmp_type == IcmpType::EchoRequest {
+                    let payload = &frame[l4 + 8..];
+                    let reply = IcmpHeader::build(IcmpType::EchoReply, icmp.id, icmp.seq, payload);
+                    let total_len = (ip.header_len + reply.len()) as u16;
+                    let mut reply_frame =
+                        vec![0u8; linuxfp_packet::ETH_HLEN + ip.header_len + reply.len()];
+                    EthernetFrame::write(&mut reply_frame, eth.src, eth.dst, EtherType::Ipv4);
+                    Ipv4Header::write(
+                        &mut reply_frame[linuxfp_packet::ETH_HLEN..],
+                        ip.dst,
+                        ip.src,
+                        IpProto::Icmp,
+                        64,
+                        ip.id,
+                        total_len,
+                        true,
+                    );
+                    reply_frame[linuxfp_packet::ETH_HLEN + ip.header_len..]
+                        .copy_from_slice(&reply);
+                    self.transmit(dev, reply_frame, out, queue);
+                    return;
+                }
+            }
+        }
+
+        out.effects.push(Effect::Deliver { dev, frame });
+    }
+
+    /// Generates an ICMP error about `frame` back toward its source —
+    /// the slow-path corner-case handling the fast path always punts
+    /// (paper Table I: "IP (de)fragmentation, ICMP" stay in Linux).
+    /// Suppressed for ICMP originals (other than echo requests), per the
+    /// never-error-about-an-error rule.
+    fn icmp_error(
+        &mut self,
+        frame: &[u8],
+        l3: usize,
+        ip: &Ipv4Header,
+        kind: IcmpType,
+        out: &mut RxOutcome,
+        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
+    ) {
+        if ip.proto == IpProto::Icmp {
+            let is_echo_request = IcmpHeader::parse(&frame[l3 + ip.header_len..])
+                .map(|h| h.icmp_type == IcmpType::EchoRequest)
+                .unwrap_or(false);
+            if !is_echo_request {
+                return;
+            }
+        }
+        // Source: an address on the device the packet came in through
+        // (fall back to any local address).
+        let Some(src_addr) = self
+            .device_for_subnet(ip.src)
+            .and_then(|d| self.devices.get(&d))
+            .and_then(|d| d.addrs.first().map(|(a, _)| *a))
+            .or_else(|| {
+                self.devices
+                    .values()
+                    .find_map(|d| d.addrs.first().map(|(a, _)| *a))
+            })
+        else {
+            return;
+        };
+        out.cost.charge("icmp_error", self.cost.icmp_error_ns);
+        // Payload: the offending IP header + first 8 bytes, per RFC 792.
+        let quoted_len = (ip.header_len + 8).min(frame.len() - l3);
+        let icmp = IcmpHeader::build(kind, 0, 0, &frame[l3..l3 + quoted_len]);
+        let total_len = (linuxfp_packet::ipv4::IPV4_MIN_HLEN + icmp.len()) as u16;
+        let mut error_frame =
+            vec![0u8; linuxfp_packet::ETH_HLEN + linuxfp_packet::ipv4::IPV4_MIN_HLEN + icmp.len()];
+        EthernetFrame::write(
+            &mut error_frame,
+            MacAddr::ZERO, // resolved by ip_output
+            MacAddr::ZERO,
+            EtherType::Ipv4,
+        );
+        Ipv4Header::write(
+            &mut error_frame[linuxfp_packet::ETH_HLEN..],
+            src_addr,
+            ip.src,
+            IpProto::Icmp,
+            64,
+            0,
+            total_len,
+            false,
+        );
+        error_frame[linuxfp_packet::ETH_HLEN + linuxfp_packet::ipv4::IPV4_MIN_HLEN..]
+            .copy_from_slice(&icmp);
+        self.ip_output(error_frame, ip.src, out, queue);
+    }
+
+    /// Rewrites the destination of a frame to an ipvs backend: dst IP,
+    /// L4 dst port, full IPv4 checksum recompute, UDP checksum cleared
+    /// (legal over IPv4; TCP checksum fixups are assumed offloaded).
+    fn ipvs_nat_rewrite(
+        frame: &mut [u8],
+        l3: usize,
+        ip: &Ipv4Header,
+        backend_ip: Ipv4Addr,
+        backend_port: u16,
+    ) {
+        frame[l3 + 16..l3 + 20].copy_from_slice(&backend_ip.octets());
+        frame[l3 + 10] = 0;
+        frame[l3 + 11] = 0;
+        let c = linuxfp_packet::checksum::checksum(&frame[l3..l3 + ip.header_len]);
+        frame[l3 + 10..l3 + 12].copy_from_slice(&c.to_be_bytes());
+        let l4 = l3 + ip.header_len;
+        if frame.len() >= l4 + 8 {
+            frame[l4 + 2..l4 + 4].copy_from_slice(&backend_port.to_be_bytes());
+            if ip.proto == IpProto::Udp {
+                frame[l4 + 6] = 0;
+                frame[l4 + 7] = 0;
+            }
+        }
+    }
+
+    fn vxlan_device_for(&self, dst: Ipv4Addr, port: u16) -> Option<IfIndex> {
+        self.devices
+            .values()
+            .find(|d| match d.kind {
+                DeviceKind::Vxlan {
+                    local, port: vport, ..
+                } => vport == port && (local == dst || self.owns_addr(dst)),
+                _ => false,
+            })
+            .map(|d| d.index)
+    }
+
+    fn owns_addr(&self, addr: Ipv4Addr) -> bool {
+        self.devices.values().any(|d| d.has_addr(addr))
+    }
+
+    fn packet_meta(&self, dev: IfIndex, frame: &[u8], l3: usize, ip: &Ipv4Header) -> PacketMeta {
+        let l4 = l3 + ip.header_len;
+        let (sport, dport) = match ip.proto {
+            IpProto::Udp => UdpHeader::parse(&frame[l4..])
+                .map(|u| (u.src_port, u.dst_port))
+                .unwrap_or((0, 0)),
+            IpProto::Tcp => linuxfp_packet::TcpHeader::parse(&frame[l4..])
+                .map(|t| (t.src_port, t.dst_port))
+                .unwrap_or((0, 0)),
+            _ => (0, 0),
+        };
+        PacketMeta {
+            src: ip.src,
+            dst: ip.dst,
+            proto: ip.proto,
+            sport,
+            dport,
+            in_if: dev,
+            out_if: IfIndex::NONE,
+        }
+    }
+
+    /// Transmits a frame out `dev`, following device semantics: physical
+    /// NICs emit an [`Effect::Transmit`], veth re-enters the peer, bridge
+    /// masters forward/flood, VXLAN devices encapsulate.
+    pub fn transmit_frame(&mut self, dev: IfIndex, frame: Vec<u8>) -> RxOutcome {
+        let mut out = RxOutcome::default();
+        let mut queue = VecDeque::new();
+        self.transmit(dev, frame, &mut out, &mut queue);
+        while let Some((d, f)) = queue.pop_front() {
+            self.receive_one(d, f, &mut out, &mut queue);
+        }
+        out
+    }
+
+    fn transmit(
+        &mut self,
+        dev: IfIndex,
+        frame: Vec<u8>,
+        out: &mut RxOutcome,
+        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
+    ) {
+        let Some(device) = self.devices.get(&dev) else {
+            self.drop(out, "transmit on missing device");
+            return;
+        };
+        if !device.up {
+            self.drop(out, "transmit on down device");
+            return;
+        }
+        match device.kind.clone() {
+            DeviceKind::Physical => {
+                out.cost.charge("driver_tx", self.cost.driver_tx_ns);
+                let c = self.counters.entry(dev).or_default();
+                c.tx_packets += 1;
+                c.tx_bytes += frame.len() as u64;
+                out.effects.push(Effect::Transmit { dev, frame });
+            }
+            DeviceKind::Veth { peer } => {
+                queue.push_back((peer, frame));
+            }
+            DeviceKind::Bridge => {
+                // Transmit *on* the bridge device: forward by FDB.
+                let Ok(eth) = EthernetFrame::parse(&frame) else {
+                    self.drop(out, "malformed ethernet");
+                    return;
+                };
+                let now = self.now;
+                let vlan = eth.vlan.map(|t| t.vid).unwrap_or(0);
+                let lookup = match self.bridges.get_mut(&dev) {
+                    Some(bridge) => bridge.fdb_lookup(eth.dst, vlan, now),
+                    None => {
+                        self.drop(out, "missing bridge");
+                        return;
+                    }
+                };
+                match lookup {
+                    Some(egress) => self.transmit(egress, frame, out, queue),
+                    None => {
+                        let ports = self
+                            .bridges
+                            .get(&dev)
+                            .map(|b| b.flood_ports(IfIndex::NONE, vlan))
+                            .unwrap_or_default();
+                        for egress in ports {
+                            out.cost
+                                .charge("bridge_flood", self.cost.bridge_flood_per_port_ns);
+                            self.transmit(egress, frame.clone(), out, queue);
+                        }
+                    }
+                }
+            }
+            DeviceKind::Vxlan { vni, local, port: _ } => {
+                out.cost.charge("vxlan_encap", self.cost.vxlan_encap_ns);
+                let Ok(eth) = EthernetFrame::parse(&frame) else {
+                    self.drop(out, "malformed ethernet");
+                    return;
+                };
+                let remotes: Vec<Ipv4Addr> = if eth.dst.is_unicast() {
+                    match self.vxlan_fdb.get(&dev).and_then(|m| m.get(&eth.dst)) {
+                        Some(vtep) => vec![*vtep],
+                        None => self.vxlan_defaults.get(&dev).cloned().unwrap_or_default(),
+                    }
+                } else {
+                    self.vxlan_defaults.get(&dev).cloned().unwrap_or_default()
+                };
+                if remotes.is_empty() {
+                    self.drop(out, "vxlan no remote vtep");
+                    return;
+                }
+                for vtep in remotes {
+                    let outer = builder::vxlan_encapsulate(
+                        &frame,
+                        vni,
+                        MacAddr::ZERO, // filled by ip_output below
+                        MacAddr::ZERO,
+                        local,
+                        vtep,
+                        49152,
+                    );
+                    self.ip_output(outer, vtep, out, queue);
+                }
+            }
+        }
+    }
+
+    /// Routes a locally generated IP frame (MACs unresolved) toward
+    /// `next_ip` and transmits it.
+    fn ip_output(
+        &mut self,
+        mut frame: Vec<u8>,
+        next_ip: Ipv4Addr,
+        out: &mut RxOutcome,
+        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
+    ) {
+        out.cost
+            .charge("fib_lookup", self.cost.fib_lookup_kernel_ns);
+        let Some(route) = self.fib.lookup(next_ip).copied() else {
+            self.drop(out, "no route (output)");
+            return;
+        };
+        let next_hop = match route.scope {
+            RouteScope::Link => next_ip,
+            RouteScope::Universe => route.via.unwrap_or(next_ip),
+        };
+        out.cost.charge("neigh_lookup", self.cost.neigh_lookup_ns);
+        let now = self.now;
+        match self.neigh.resolved_mac(next_hop, now) {
+            Some((dst_mac, _)) => {
+                let src_mac = self
+                    .devices
+                    .get(&route.dev)
+                    .map(|d| d.mac)
+                    .unwrap_or(MacAddr::ZERO);
+                EthernetFrame::rewrite_macs(&mut frame, dst_mac, src_mac);
+                out.cost.charge("qdisc_xmit", self.cost.qdisc_xmit_ns);
+                self.transmit(route.dev, frame, out, queue);
+            }
+            None => {
+                self.arp_resolve_and_queue(route.dev, next_hop, frame, out, queue);
+            }
+        }
+    }
+}

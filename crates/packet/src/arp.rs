@@ -1,0 +1,193 @@
+//! ARP (IPv4 over Ethernet) packets.
+//!
+//! ARP is a canonical slow-path protocol in the LinuxFP split: the fast
+//! path never answers ARP; it punts such frames to the kernel, which
+//! maintains the neighbor table that the fast path then reads via helpers.
+
+use crate::eth::MacAddr;
+use crate::ParsePacketError;
+use std::net::Ipv4Addr;
+
+/// Length of an Ethernet/IPv4 ARP body.
+pub const ARP_LEN: usize = 28;
+
+/// ARP operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArpOp {
+    /// Who-has request (1).
+    Request,
+    /// Is-at reply (2).
+    Reply,
+}
+
+impl ArpOp {
+    /// The wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        }
+    }
+}
+
+/// A parsed Ethernet/IPv4 ARP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Request or reply.
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpPacket {
+    /// Parses an ARP body (starting after the Ethernet header).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for truncated bodies or non-Ethernet/IPv4 ARP.
+    pub fn parse(data: &[u8]) -> Result<Self, ParsePacketError> {
+        if data.len() < ARP_LEN {
+            return Err(ParsePacketError::Truncated {
+                layer: "arp",
+                needed: ARP_LEN,
+                have: data.len(),
+            });
+        }
+        let htype = u16::from_be_bytes([data[0], data[1]]);
+        let ptype = u16::from_be_bytes([data[2], data[3]]);
+        if htype != 1 || ptype != 0x0800 || data[4] != 6 || data[5] != 4 {
+            return Err(ParsePacketError::Malformed {
+                layer: "arp",
+                what: "not Ethernet/IPv4 ARP",
+            });
+        }
+        let op = match u16::from_be_bytes([data[6], data[7]]) {
+            1 => ArpOp::Request,
+            2 => ArpOp::Reply,
+            _ => {
+                return Err(ParsePacketError::Malformed {
+                    layer: "arp",
+                    what: "unknown operation",
+                })
+            }
+        };
+        let mac = |off: usize| {
+            MacAddr::new([
+                data[off],
+                data[off + 1],
+                data[off + 2],
+                data[off + 3],
+                data[off + 4],
+                data[off + 5],
+            ])
+        };
+        let ip =
+            |off: usize| Ipv4Addr::new(data[off], data[off + 1], data[off + 2], data[off + 3]);
+        Ok(ArpPacket {
+            op,
+            sender_mac: mac(8),
+            sender_ip: ip(14),
+            target_mac: mac(18),
+            target_ip: ip(24),
+        })
+    }
+
+    /// Serializes the ARP body (28 bytes, after the Ethernet header).
+    pub fn to_bytes(&self) -> [u8; ARP_LEN] {
+        let mut b = [0u8; ARP_LEN];
+        b[0..2].copy_from_slice(&1u16.to_be_bytes());
+        b[2..4].copy_from_slice(&0x0800u16.to_be_bytes());
+        b[4] = 6;
+        b[5] = 4;
+        b[6..8].copy_from_slice(&self.op.to_u16().to_be_bytes());
+        b[8..14].copy_from_slice(&self.sender_mac.octets());
+        b[14..18].copy_from_slice(&self.sender_ip.octets());
+        b[18..24].copy_from_slice(&self.target_mac.octets());
+        b[24..28].copy_from_slice(&self.target_ip.octets());
+        b
+    }
+
+    /// Builds a who-has request body.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Self {
+        ArpPacket {
+            op: ArpOp::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }
+    }
+
+    /// Builds the reply to this request from the owner of `target_ip`.
+    pub fn reply_to(&self, responder_mac: MacAddr) -> Self {
+        ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: responder_mac,
+            sender_ip: self.target_ip,
+            target_mac: self.sender_mac,
+            target_ip: self.sender_ip,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let req = ArpPacket::request(
+            MacAddr::from_index(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        let bytes = req.to_bytes();
+        let parsed = ArpPacket::parse(&bytes).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn reply_swaps_roles() {
+        let req = ArpPacket::request(
+            MacAddr::from_index(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+        );
+        let rep = req.reply_to(MacAddr::from_index(2));
+        assert_eq!(rep.op, ArpOp::Reply);
+        assert_eq!(rep.sender_ip, Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(rep.sender_mac, MacAddr::from_index(2));
+        assert_eq!(rep.target_ip, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(rep.target_mac, MacAddr::from_index(1));
+    }
+
+    #[test]
+    fn rejects_truncated_and_malformed() {
+        assert!(ArpPacket::parse(&[0u8; 10]).is_err());
+        let mut bytes = ArpPacket::request(
+            MacAddr::from_index(1),
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+        )
+        .to_bytes();
+        bytes[0] = 9; // bad htype
+        assert!(matches!(
+            ArpPacket::parse(&bytes),
+            Err(ParsePacketError::Malformed { .. })
+        ));
+        let mut bytes2 = ArpPacket::request(
+            MacAddr::from_index(1),
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+        )
+        .to_bytes();
+        bytes2[7] = 9; // bad op
+        assert!(ArpPacket::parse(&bytes2).is_err());
+    }
+}

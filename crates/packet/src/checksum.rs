@@ -1,0 +1,141 @@
+//! RFC 1071 internet checksum, including incremental updates (RFC 1624).
+//!
+//! The forwarding fast path decrements the IPv4 TTL and must fix the header
+//! checksum without re-summing the whole header — exactly what
+//! [`incremental_update_u16`] provides.
+
+/// Computes the one's-complement internet checksum over `data`.
+///
+/// The returned value is ready to be stored in a header checksum field
+/// (i.e. it is already complemented).
+///
+/// # Example
+///
+/// ```
+/// // A buffer whose checksum field (bytes 2..4) is zero:
+/// let data = [0x45u8, 0x00, 0x00, 0x00];
+/// let sum = linuxfp_packet::checksum::checksum(&data);
+/// assert_eq!(sum, !0x4500u16);
+/// ```
+pub fn checksum(data: &[u8]) -> u16 {
+    !fold(sum_words(data, 0))
+}
+
+/// Sums 16-bit big-endian words of `data` into a 32-bit accumulator,
+/// starting from `initial`. Odd trailing bytes are padded with zero, per
+/// RFC 1071.
+pub fn sum_words(data: &[u8], initial: u32) -> u32 {
+    let mut sum = initial;
+    let mut chunks = data.chunks_exact(2);
+    for w in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([w[0], w[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    sum
+}
+
+/// Folds a 32-bit accumulator into 16 bits with end-around carry.
+pub fn fold(mut sum: u32) -> u16 {
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// Incrementally updates a checksum when one 16-bit word of the covered
+/// data changes from `old` to `new` (RFC 1624, eqn. 3).
+///
+/// `current` is the checksum as stored in the header (complemented form);
+/// the return value is likewise ready to store.
+///
+/// # Example
+///
+/// ```
+/// use linuxfp_packet::checksum::{checksum, incremental_update_u16};
+///
+/// let mut data = [0x45u8, 0x00, 0x40, 0x00];
+/// let before = checksum(&data);
+/// // Change word at bytes 2..4 from 0x4000 to 0x3F00 (a TTL-like change):
+/// data[2] = 0x3F;
+/// let after_full = checksum(&data);
+/// let after_inc = incremental_update_u16(before, 0x4000, 0x3F00);
+/// assert_eq!(after_full, after_inc);
+/// ```
+pub fn incremental_update_u16(current: u16, old: u16, new: u16) -> u16 {
+    // HC' = ~(~HC + ~m + m') per RFC 1624.
+    let sum = u32::from(!current) + u32::from(!old) + u32::from(new);
+    !fold(sum)
+}
+
+/// The IPv4 pseudo-header sum used by TCP/UDP checksums.
+pub fn pseudo_header_sum(src: [u8; 4], dst: [u8; 4], proto: u8, l4_len: u16) -> u32 {
+    let mut sum = 0u32;
+    sum += u32::from(u16::from_be_bytes([src[0], src[1]]));
+    sum += u32::from(u16::from_be_bytes([src[2], src[3]]));
+    sum += u32::from(u16::from_be_bytes([dst[0], dst[1]]));
+    sum += u32::from(u16::from_be_bytes([dst[2], dst[3]]));
+    sum += u32::from(proto);
+    sum += u32::from(l4_len);
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // The worked example from RFC 1071 §3: words 0001 f203 f4f5 f6f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let sum = fold(sum_words(&data, 0));
+        assert_eq!(sum, 0xddf2);
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(sum_words(&[0xab], 0), 0xab00);
+    }
+
+    #[test]
+    fn checksum_of_data_with_own_checksum_is_zero_sum() {
+        // Classic property: summing data including a correct checksum
+        // yields 0xffff before complement.
+        let mut data = vec![0x45, 0x00, 0x01, 0x02, 0x03, 0x04];
+        let c = checksum(&data);
+        data.extend_from_slice(&c.to_be_bytes());
+        assert_eq!(fold(sum_words(&data, 0)), 0xffff);
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute() {
+        let mut data = [
+            0x45u8, 0x00, 0x00, 0x54, 0x12, 0x34, 0x40, 0x00, 0x40, 0x01, 0x00, 0x00, 10, 0, 0,
+            1, 10, 0, 0, 2,
+        ];
+        let before = checksum(&data);
+        // Decrement TTL (byte 8) as a forwarder would: word 8..10 changes.
+        let old_word = u16::from_be_bytes([data[8], data[9]]);
+        data[8] -= 1;
+        let new_word = u16::from_be_bytes([data[8], data[9]]);
+        let inc = incremental_update_u16(before, old_word, new_word);
+        let full = checksum(&data);
+        assert_eq!(inc, full);
+    }
+
+    #[test]
+    fn incremental_is_involutive() {
+        let c = 0xbeef;
+        let up = incremental_update_u16(c, 0x1234, 0x5678);
+        let back = incremental_update_u16(up, 0x5678, 0x1234);
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn pseudo_header_components() {
+        let s = pseudo_header_sum([10, 0, 0, 1], [10, 0, 0, 2], 17, 8);
+        assert_eq!(s, 0x0a00 + 0x0001 + 0x0a00 + 0x0002 + 17 + 8);
+    }
+}

@@ -1,0 +1,368 @@
+//! Ethernet II framing, MAC addresses and 802.1Q VLAN tags.
+
+use crate::ParsePacketError;
+use std::fmt;
+use std::str::FromStr;
+
+/// Length of an untagged Ethernet header.
+pub const ETH_HLEN: usize = 14;
+/// Length of one 802.1Q tag.
+pub const VLAN_HLEN: usize = 4;
+
+/// A 48-bit IEEE 802 MAC address.
+///
+/// # Example
+///
+/// ```
+/// use linuxfp_packet::MacAddr;
+///
+/// let mac: MacAddr = "02:00:00:00:00:2a".parse().unwrap();
+/// assert_eq!(mac.octets()[5], 0x2a);
+/// assert!(!mac.is_broadcast());
+/// assert!(MacAddr::BROADCAST.is_multicast());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MacAddr([u8; 6]);
+
+impl MacAddr {
+    /// The all-ones broadcast address.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address (unset).
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Creates a MAC address from its six octets.
+    pub const fn new(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+
+    /// A deterministic locally administered unicast address derived from an
+    /// integer — handy for generating topologies in tests and workloads.
+    pub fn from_index(index: u64) -> Self {
+        let b = index.to_be_bytes();
+        // 0x02 prefix: locally administered, unicast.
+        MacAddr([0x02, b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// The raw octets.
+    pub const fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+
+    /// Whether this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == MacAddr::BROADCAST
+    }
+
+    /// Whether the group (multicast) bit is set; broadcast is multicast.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Whether this is a unicast address.
+    pub fn is_unicast(&self) -> bool {
+        !self.is_multicast()
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+/// Error returned when parsing a MAC address from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMacError(String);
+
+impl fmt::Display for ParseMacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address syntax: {:?}", self.0)
+    }
+}
+impl std::error::Error for ParseMacError {}
+
+impl FromStr for MacAddr {
+    type Err = ParseMacError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 6];
+        let mut parts = s.split(':');
+        for octet in octets.iter_mut() {
+            let part = parts.next().ok_or_else(|| ParseMacError(s.to_string()))?;
+            *octet = u8::from_str_radix(part, 16).map_err(|_| ParseMacError(s.to_string()))?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseMacError(s.to_string()));
+        }
+        Ok(MacAddr(octets))
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+}
+
+/// EtherType values the stack understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806).
+    Arp,
+    /// 802.1Q VLAN tag (0x8100).
+    Vlan,
+    /// IPv6 (0x86DD) — recognized but handled only by the slow path.
+    Ipv6,
+    /// Anything else, carried verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// The wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Vlan => 0x8100,
+            EtherType::Ipv6 => 0x86DD,
+            EtherType::Other(v) => v,
+        }
+    }
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x8100 => EtherType::Vlan,
+            0x86DD => EtherType::Ipv6,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// A parsed 802.1Q tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VlanTag {
+    /// VLAN identifier (12 bits).
+    pub vid: u16,
+    /// Priority code point (3 bits).
+    pub pcp: u8,
+}
+
+/// A parsed Ethernet header (plus optional single 802.1Q tag).
+///
+/// Parsing is non-destructive: the struct records the `payload_offset` where
+/// the next layer begins in the original buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetFrame {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// EtherType of the payload (after any VLAN tag).
+    pub ethertype: EtherType,
+    /// VLAN tag, if the frame is 802.1Q tagged.
+    pub vlan: Option<VlanTag>,
+    /// Offset of the L3 payload within the frame.
+    pub payload_offset: usize,
+}
+
+impl EthernetFrame {
+    /// Parses the Ethernet header (and at most one VLAN tag) from `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePacketError::Truncated`] if the buffer is too short.
+    pub fn parse(data: &[u8]) -> Result<Self, ParsePacketError> {
+        if data.len() < ETH_HLEN {
+            return Err(ParsePacketError::Truncated {
+                layer: "ethernet",
+                needed: ETH_HLEN,
+                have: data.len(),
+            });
+        }
+        let dst = MacAddr([data[0], data[1], data[2], data[3], data[4], data[5]]);
+        let src = MacAddr([data[6], data[7], data[8], data[9], data[10], data[11]]);
+        let raw_type = u16::from_be_bytes([data[12], data[13]]);
+        let mut ethertype = EtherType::from(raw_type);
+        let mut vlan = None;
+        let mut payload_offset = ETH_HLEN;
+        if ethertype == EtherType::Vlan {
+            if data.len() < ETH_HLEN + VLAN_HLEN {
+                return Err(ParsePacketError::Truncated {
+                    layer: "vlan",
+                    needed: ETH_HLEN + VLAN_HLEN,
+                    have: data.len(),
+                });
+            }
+            let tci = u16::from_be_bytes([data[14], data[15]]);
+            vlan = Some(VlanTag {
+                vid: tci & 0x0FFF,
+                pcp: (tci >> 13) as u8,
+            });
+            ethertype = EtherType::from(u16::from_be_bytes([data[16], data[17]]));
+            payload_offset = ETH_HLEN + VLAN_HLEN;
+        }
+        Ok(EthernetFrame {
+            dst,
+            src,
+            ethertype,
+            vlan,
+            payload_offset,
+        })
+    }
+
+    /// Writes an untagged Ethernet header into the first 14 bytes of `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`ETH_HLEN`].
+    pub fn write(buf: &mut [u8], dst: MacAddr, src: MacAddr, ethertype: EtherType) {
+        assert!(buf.len() >= ETH_HLEN, "buffer too small for ethernet header");
+        buf[0..6].copy_from_slice(&dst.octets());
+        buf[6..12].copy_from_slice(&src.octets());
+        buf[12..14].copy_from_slice(&ethertype.to_u16().to_be_bytes());
+    }
+
+    /// Rewrites the source and destination MACs in place — the L2 rewrite a
+    /// forwarding fast path performs after a FIB lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`ETH_HLEN`].
+    pub fn rewrite_macs(buf: &mut [u8], dst: MacAddr, src: MacAddr) {
+        assert!(buf.len() >= ETH_HLEN, "buffer too small for ethernet header");
+        buf[0..6].copy_from_slice(&dst.octets());
+        buf[6..12].copy_from_slice(&src.octets());
+    }
+
+    /// Inserts an 802.1Q tag after the MAC addresses, shifting the payload.
+    pub fn push_vlan(frame: &mut Vec<u8>, tag: VlanTag) {
+        let mut tagged = Vec::with_capacity(frame.len() + VLAN_HLEN);
+        tagged.extend_from_slice(&frame[0..12]);
+        tagged.extend_from_slice(&0x8100u16.to_be_bytes());
+        let tci = (u16::from(tag.pcp) << 13) | (tag.vid & 0x0FFF);
+        tagged.extend_from_slice(&tci.to_be_bytes());
+        tagged.extend_from_slice(&frame[12..]);
+        *frame = tagged;
+    }
+
+    /// Removes the 802.1Q tag if present; returns the removed tag.
+    pub fn pop_vlan(frame: &mut Vec<u8>) -> Option<VlanTag> {
+        let parsed = EthernetFrame::parse(frame).ok()?;
+        let tag = parsed.vlan?;
+        frame.drain(12..12 + VLAN_HLEN);
+        Some(tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> Vec<u8> {
+        let mut f = vec![0u8; 60];
+        EthernetFrame::write(
+            &mut f,
+            MacAddr::from_index(2),
+            MacAddr::from_index(1),
+            EtherType::Ipv4,
+        );
+        f
+    }
+
+    #[test]
+    fn parse_untagged() {
+        let f = sample_frame();
+        let eth = EthernetFrame::parse(&f).unwrap();
+        assert_eq!(eth.dst, MacAddr::from_index(2));
+        assert_eq!(eth.src, MacAddr::from_index(1));
+        assert_eq!(eth.ethertype, EtherType::Ipv4);
+        assert_eq!(eth.vlan, None);
+        assert_eq!(eth.payload_offset, ETH_HLEN);
+    }
+
+    #[test]
+    fn parse_truncated() {
+        let err = EthernetFrame::parse(&[0u8; 5]).unwrap_err();
+        assert!(matches!(err, ParsePacketError::Truncated { layer: "ethernet", .. }));
+    }
+
+    #[test]
+    fn vlan_push_parse_pop_round_trip() {
+        let mut f = sample_frame();
+        EthernetFrame::push_vlan(&mut f, VlanTag { vid: 42, pcp: 3 });
+        let eth = EthernetFrame::parse(&f).unwrap();
+        assert_eq!(eth.vlan, Some(VlanTag { vid: 42, pcp: 3 }));
+        assert_eq!(eth.ethertype, EtherType::Ipv4);
+        assert_eq!(eth.payload_offset, ETH_HLEN + VLAN_HLEN);
+        let tag = EthernetFrame::pop_vlan(&mut f).unwrap();
+        assert_eq!(tag.vid, 42);
+        let eth = EthernetFrame::parse(&f).unwrap();
+        assert_eq!(eth.vlan, None);
+        assert_eq!(f, sample_frame());
+    }
+
+    #[test]
+    fn pop_vlan_on_untagged_is_none() {
+        let mut f = sample_frame();
+        assert_eq!(EthernetFrame::pop_vlan(&mut f), None);
+    }
+
+    #[test]
+    fn truncated_vlan_tag() {
+        let mut f = sample_frame()[..14].to_vec();
+        f[12..14].copy_from_slice(&0x8100u16.to_be_bytes());
+        let err = EthernetFrame::parse(&f).unwrap_err();
+        assert!(matches!(err, ParsePacketError::Truncated { layer: "vlan", .. }));
+    }
+
+    #[test]
+    fn rewrite_macs_in_place() {
+        let mut f = sample_frame();
+        EthernetFrame::rewrite_macs(&mut f, MacAddr::from_index(9), MacAddr::from_index(8));
+        let eth = EthernetFrame::parse(&f).unwrap();
+        assert_eq!(eth.dst, MacAddr::from_index(9));
+        assert_eq!(eth.src, MacAddr::from_index(8));
+        assert_eq!(eth.ethertype, EtherType::Ipv4); // type untouched
+    }
+
+    #[test]
+    fn mac_parsing_and_display() {
+        let mac: MacAddr = "aa:bb:cc:dd:ee:ff".parse().unwrap();
+        assert_eq!(mac.to_string(), "aa:bb:cc:dd:ee:ff");
+        assert!("aa:bb:cc".parse::<MacAddr>().is_err());
+        assert!("aa:bb:cc:dd:ee:ff:00".parse::<MacAddr>().is_err());
+        assert!("zz:bb:cc:dd:ee:ff".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn mac_classification() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(MacAddr::new([0x01, 0, 0x5e, 0, 0, 1]).is_multicast());
+        assert!(MacAddr::from_index(5).is_unicast());
+        assert_ne!(MacAddr::from_index(5), MacAddr::from_index(6));
+    }
+
+    #[test]
+    fn ethertype_round_trip() {
+        for ty in [
+            EtherType::Ipv4,
+            EtherType::Arp,
+            EtherType::Vlan,
+            EtherType::Ipv6,
+            EtherType::Other(0x1234),
+        ] {
+            assert_eq!(EtherType::from(ty.to_u16()), ty);
+        }
+    }
+}

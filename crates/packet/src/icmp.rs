@@ -1,0 +1,142 @@
+//! ICMP (echo request/reply and error messages used by the slow path).
+
+use crate::checksum::checksum;
+use crate::ParsePacketError;
+
+/// ICMP header length (type, code, checksum, rest-of-header).
+pub const ICMP_HLEN: usize = 8;
+
+/// ICMP message types the stack understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcmpType {
+    /// Echo reply (0).
+    EchoReply,
+    /// Destination unreachable (3), with code.
+    DestUnreachable(u8),
+    /// Echo request (8).
+    EchoRequest,
+    /// Time exceeded (11) — generated when a forwarder sees TTL expire.
+    TimeExceeded,
+    /// Anything else.
+    Other(u8, u8),
+}
+
+impl IcmpType {
+    /// The `(type, code)` wire pair.
+    pub fn to_wire(self) -> (u8, u8) {
+        match self {
+            IcmpType::EchoReply => (0, 0),
+            IcmpType::DestUnreachable(code) => (3, code),
+            IcmpType::EchoRequest => (8, 0),
+            IcmpType::TimeExceeded => (11, 0),
+            IcmpType::Other(t, c) => (t, c),
+        }
+    }
+
+    /// Decodes a `(type, code)` pair.
+    pub fn from_wire(ty: u8, code: u8) -> Self {
+        match (ty, code) {
+            (0, 0) => IcmpType::EchoReply,
+            (3, c) => IcmpType::DestUnreachable(c),
+            (8, 0) => IcmpType::EchoRequest,
+            (11, 0) => IcmpType::TimeExceeded,
+            (t, c) => IcmpType::Other(t, c),
+        }
+    }
+}
+
+/// A parsed ICMP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IcmpHeader {
+    /// Message type and code.
+    pub icmp_type: IcmpType,
+    /// Stored checksum.
+    pub checksum: u16,
+    /// Identifier (echo) or unused.
+    pub id: u16,
+    /// Sequence number (echo) or unused.
+    pub seq: u16,
+}
+
+impl IcmpHeader {
+    /// Parses an ICMP header from the start of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePacketError::Truncated`] for short buffers.
+    pub fn parse(data: &[u8]) -> Result<Self, ParsePacketError> {
+        if data.len() < ICMP_HLEN {
+            return Err(ParsePacketError::Truncated {
+                layer: "icmp",
+                needed: ICMP_HLEN,
+                have: data.len(),
+            });
+        }
+        Ok(IcmpHeader {
+            icmp_type: IcmpType::from_wire(data[0], data[1]),
+            checksum: u16::from_be_bytes([data[2], data[3]]),
+            id: u16::from_be_bytes([data[4], data[5]]),
+            seq: u16::from_be_bytes([data[6], data[7]]),
+        })
+    }
+
+    /// Builds an ICMP message (header + payload) with a valid checksum.
+    pub fn build(icmp_type: IcmpType, id: u16, seq: u16, payload: &[u8]) -> Vec<u8> {
+        let (ty, code) = icmp_type.to_wire();
+        let mut msg = vec![0u8; ICMP_HLEN + payload.len()];
+        msg[0] = ty;
+        msg[1] = code;
+        msg[4..6].copy_from_slice(&id.to_be_bytes());
+        msg[6..8].copy_from_slice(&seq.to_be_bytes());
+        msg[ICMP_HLEN..].copy_from_slice(payload);
+        let c = checksum(&msg);
+        msg[2..4].copy_from_slice(&c.to_be_bytes());
+        msg
+    }
+
+    /// Verifies the checksum over an entire ICMP message.
+    pub fn verify_checksum(data: &[u8]) -> bool {
+        crate::checksum::fold(crate::checksum::sum_words(data, 0)) == 0xFFFF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_round_trip_with_checksum() {
+        let msg = IcmpHeader::build(IcmpType::EchoRequest, 0x42, 7, b"payload");
+        assert!(IcmpHeader::verify_checksum(&msg));
+        let h = IcmpHeader::parse(&msg).unwrap();
+        assert_eq!(h.icmp_type, IcmpType::EchoRequest);
+        assert_eq!(h.id, 0x42);
+        assert_eq!(h.seq, 7);
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let mut msg = IcmpHeader::build(IcmpType::EchoReply, 1, 1, b"xy");
+        msg[9] ^= 0xAA;
+        assert!(!IcmpHeader::verify_checksum(&msg));
+    }
+
+    #[test]
+    fn type_wire_round_trip() {
+        for t in [
+            IcmpType::EchoReply,
+            IcmpType::EchoRequest,
+            IcmpType::DestUnreachable(3),
+            IcmpType::TimeExceeded,
+            IcmpType::Other(42, 1),
+        ] {
+            let (ty, code) = t.to_wire();
+            assert_eq!(IcmpType::from_wire(ty, code), t);
+        }
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(IcmpHeader::parse(&[0u8; 7]).is_err());
+    }
+}

@@ -1,0 +1,464 @@
+//! IPv4 header parsing, construction, and the in-place mutations a
+//! forwarding path performs (TTL decrement with incremental checksum fix).
+
+use crate::checksum::{checksum, incremental_update_u16, sum_words};
+use crate::ParsePacketError;
+use std::net::Ipv4Addr;
+
+/// Minimum IPv4 header length (no options).
+pub const IPV4_MIN_HLEN: usize = 20;
+
+/// IP protocol numbers the stack understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpProto {
+    /// ICMP (1).
+    Icmp,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Anything else.
+    Other(u8),
+}
+
+impl IpProto {
+    /// The wire value.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            IpProto::Icmp => 1,
+            IpProto::Tcp => 6,
+            IpProto::Udp => 17,
+            IpProto::Other(v) => v,
+        }
+    }
+}
+
+impl From<u8> for IpProto {
+    fn from(v: u8) -> Self {
+        match v {
+            1 => IpProto::Icmp,
+            6 => IpProto::Tcp,
+            17 => IpProto::Udp,
+            other => IpProto::Other(other),
+        }
+    }
+}
+
+/// A parsed IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Header length in bytes (20–60).
+    pub header_len: usize,
+    /// DSCP/ECN byte.
+    pub tos: u8,
+    /// Total length (header + payload) per the header field.
+    pub total_len: u16,
+    /// Identification field.
+    pub id: u16,
+    /// Don't Fragment flag.
+    pub dont_fragment: bool,
+    /// More Fragments flag.
+    pub more_fragments: bool,
+    /// Fragment offset in 8-byte units.
+    pub fragment_offset: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol.
+    pub proto: IpProto,
+    /// Header checksum as stored.
+    pub checksum: u16,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+}
+
+impl Ipv4Header {
+    /// Parses an IPv4 header from the start of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePacketError::Truncated`] for short buffers and
+    /// [`ParsePacketError::Malformed`] for a bad version or IHL.
+    pub fn parse(data: &[u8]) -> Result<Self, ParsePacketError> {
+        if data.len() < IPV4_MIN_HLEN {
+            return Err(ParsePacketError::Truncated {
+                layer: "ipv4",
+                needed: IPV4_MIN_HLEN,
+                have: data.len(),
+            });
+        }
+        let version = data[0] >> 4;
+        if version != 4 {
+            return Err(ParsePacketError::Malformed {
+                layer: "ipv4",
+                what: "version is not 4",
+            });
+        }
+        let ihl = (data[0] & 0x0F) as usize;
+        let header_len = ihl * 4;
+        if header_len < IPV4_MIN_HLEN {
+            return Err(ParsePacketError::Malformed {
+                layer: "ipv4",
+                what: "IHL below minimum",
+            });
+        }
+        if data.len() < header_len {
+            return Err(ParsePacketError::Truncated {
+                layer: "ipv4",
+                needed: header_len,
+                have: data.len(),
+            });
+        }
+        let flags_frag = u16::from_be_bytes([data[6], data[7]]);
+        Ok(Ipv4Header {
+            header_len,
+            tos: data[1],
+            total_len: u16::from_be_bytes([data[2], data[3]]),
+            id: u16::from_be_bytes([data[4], data[5]]),
+            dont_fragment: flags_frag & 0x4000 != 0,
+            more_fragments: flags_frag & 0x2000 != 0,
+            fragment_offset: flags_frag & 0x1FFF,
+            ttl: data[8],
+            proto: IpProto::from(data[9]),
+            checksum: u16::from_be_bytes([data[10], data[11]]),
+            src: Ipv4Addr::new(data[12], data[13], data[14], data[15]),
+            dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
+        })
+    }
+
+    /// Whether this packet is a fragment (offset non-zero or more-fragments
+    /// set) — fragments are corner cases the fast path punts to Linux.
+    pub fn is_fragment(&self) -> bool {
+        self.more_fragments || self.fragment_offset != 0
+    }
+
+    /// Verifies the stored header checksum against `data` (which must start
+    /// at the IPv4 header).
+    pub fn verify_checksum(&self, data: &[u8]) -> bool {
+        if data.len() < self.header_len {
+            return false;
+        }
+        crate::checksum::fold(sum_words(&data[..self.header_len], 0)) == 0xFFFF
+    }
+
+    /// Writes a 20-byte header (no options) into `buf`, computing the
+    /// checksum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`IPV4_MIN_HLEN`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn write(
+        buf: &mut [u8],
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        proto: IpProto,
+        ttl: u8,
+        id: u16,
+        total_len: u16,
+        dont_fragment: bool,
+    ) {
+        assert!(buf.len() >= IPV4_MIN_HLEN, "buffer too small for ipv4 header");
+        buf[0] = 0x45;
+        buf[1] = 0;
+        buf[2..4].copy_from_slice(&total_len.to_be_bytes());
+        buf[4..6].copy_from_slice(&id.to_be_bytes());
+        let flags: u16 = if dont_fragment { 0x4000 } else { 0 };
+        buf[6..8].copy_from_slice(&flags.to_be_bytes());
+        buf[8] = ttl;
+        buf[9] = proto.to_u8();
+        buf[10..12].copy_from_slice(&[0, 0]);
+        buf[12..16].copy_from_slice(&src.octets());
+        buf[16..20].copy_from_slice(&dst.octets());
+        let c = checksum(&buf[..IPV4_MIN_HLEN]);
+        buf[10..12].copy_from_slice(&c.to_be_bytes());
+    }
+
+    /// Decrements the TTL in place and fixes the checksum incrementally.
+    /// Returns the new TTL, or `None` if the TTL was already ≤ 1 (the
+    /// packet must be dropped / ICMP time-exceeded generated — a slow-path
+    /// job).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`IPV4_MIN_HLEN`].
+    pub fn decrement_ttl(buf: &mut [u8]) -> Option<u8> {
+        assert!(buf.len() >= IPV4_MIN_HLEN, "buffer too small for ipv4 header");
+        let ttl = buf[8];
+        if ttl <= 1 {
+            return None;
+        }
+        let old_word = u16::from_be_bytes([buf[8], buf[9]]);
+        buf[8] = ttl - 1;
+        let new_word = u16::from_be_bytes([buf[8], buf[9]]);
+        let cur = u16::from_be_bytes([buf[10], buf[11]]);
+        let fixed = incremental_update_u16(cur, old_word, new_word);
+        buf[10..12].copy_from_slice(&fixed.to_be_bytes());
+        Some(ttl - 1)
+    }
+}
+
+/// A network prefix (address + mask length), used by routes, rules and
+/// ipsets.
+///
+/// # Example
+///
+/// ```
+/// use linuxfp_packet::ipv4::Prefix;
+/// use std::net::Ipv4Addr;
+///
+/// let p: Prefix = "10.1.0.0/16".parse().unwrap();
+/// assert!(p.contains(Ipv4Addr::new(10, 1, 2, 3)));
+/// assert!(!p.contains(Ipv4Addr::new(10, 2, 0, 1)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Prefix {
+    addr: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// Creates a prefix, masking off host bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} > 32");
+        let mask = Prefix::mask(len);
+        Prefix {
+            addr: u32::from(addr) & mask,
+            len,
+        }
+    }
+
+    /// A /32 host prefix.
+    pub fn host(addr: Ipv4Addr) -> Self {
+        Prefix::new(addr, 32)
+    }
+
+    /// The default route `0.0.0.0/0`.
+    pub const DEFAULT: Prefix = Prefix { addr: 0, len: 0 };
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// The (masked) network address.
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.addr)
+    }
+
+    /// The prefix length.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether this is the zero-length default prefix.
+    pub fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Alias of [`Prefix::is_default`], pairing with [`Prefix::len`].
+    pub fn is_empty(&self) -> bool {
+        self.is_default()
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & Prefix::mask(self.len) == self.addr
+    }
+
+    /// Whether `other` is fully contained in `self`.
+    pub fn covers(&self, other: &Prefix) -> bool {
+        self.len <= other.len && (other.addr & Prefix::mask(self.len)) == self.addr
+    }
+
+    /// The `n`-th host address within the prefix (for generating workloads).
+    pub fn nth_host(&self, n: u32) -> Ipv4Addr {
+        Ipv4Addr::from(self.addr.wrapping_add(n))
+    }
+}
+
+impl std::fmt::Display for Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+/// Error parsing a prefix from `a.b.c.d/len` text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrefixError(String);
+
+impl std::fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid prefix syntax: {:?}", self.0)
+    }
+}
+impl std::error::Error for ParsePrefixError {}
+
+impl std::str::FromStr for Prefix {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = match s.split_once('/') {
+            Some((a, l)) => (
+                a.parse::<Ipv4Addr>()
+                    .map_err(|_| ParsePrefixError(s.to_string()))?,
+                l.parse::<u8>().map_err(|_| ParsePrefixError(s.to_string()))?,
+            ),
+            None => (
+                s.parse::<Ipv4Addr>()
+                    .map_err(|_| ParsePrefixError(s.to_string()))?,
+                32,
+            ),
+        };
+        if len > 32 {
+            return Err(ParsePrefixError(s.to_string()));
+        }
+        Ok(Prefix::new(addr, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_header() -> Vec<u8> {
+        let mut buf = vec![0u8; 20];
+        Ipv4Header::write(
+            &mut buf,
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(192, 168, 1, 1),
+            IpProto::Udp,
+            64,
+            0x1234,
+            48,
+            true,
+        );
+        buf
+    }
+
+    #[test]
+    fn write_parse_round_trip() {
+        let buf = sample_header();
+        let h = Ipv4Header::parse(&buf).unwrap();
+        assert_eq!(h.src, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(h.dst, Ipv4Addr::new(192, 168, 1, 1));
+        assert_eq!(h.proto, IpProto::Udp);
+        assert_eq!(h.ttl, 64);
+        assert_eq!(h.id, 0x1234);
+        assert_eq!(h.total_len, 48);
+        assert!(h.dont_fragment);
+        assert!(!h.is_fragment());
+        assert!(h.verify_checksum(&buf));
+    }
+
+    #[test]
+    fn rejects_bad_version_and_ihl() {
+        let mut buf = sample_header();
+        buf[0] = 0x65; // version 6
+        assert!(matches!(
+            Ipv4Header::parse(&buf),
+            Err(ParsePacketError::Malformed { what: "version is not 4", .. })
+        ));
+        buf[0] = 0x43; // IHL 3 -> 12 bytes
+        assert!(matches!(
+            Ipv4Header::parse(&buf),
+            Err(ParsePacketError::Malformed { what: "IHL below minimum", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let buf = sample_header();
+        assert!(Ipv4Header::parse(&buf[..10]).is_err());
+        // Header claiming options beyond the buffer.
+        let mut with_opts = sample_header();
+        with_opts[0] = 0x46; // IHL 6 -> 24 bytes, buffer only 20
+        assert!(matches!(
+            Ipv4Header::parse(&with_opts),
+            Err(ParsePacketError::Truncated { layer: "ipv4", needed: 24, .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_checksum_detected() {
+        let mut buf = sample_header();
+        buf[15] ^= 0xFF;
+        let h = Ipv4Header::parse(&buf).unwrap();
+        assert!(!h.verify_checksum(&buf));
+    }
+
+    #[test]
+    fn ttl_decrement_keeps_checksum_valid() {
+        let mut buf = sample_header();
+        let new_ttl = Ipv4Header::decrement_ttl(&mut buf).unwrap();
+        assert_eq!(new_ttl, 63);
+        let h = Ipv4Header::parse(&buf).unwrap();
+        assert_eq!(h.ttl, 63);
+        assert!(h.verify_checksum(&buf));
+    }
+
+    #[test]
+    fn ttl_exhaustion_refused() {
+        let mut buf = sample_header();
+        buf[8] = 1;
+        assert_eq!(Ipv4Header::decrement_ttl(&mut buf), None);
+        buf[8] = 0;
+        assert_eq!(Ipv4Header::decrement_ttl(&mut buf), None);
+    }
+
+    #[test]
+    fn fragment_detection() {
+        let mut buf = sample_header();
+        buf[6..8].copy_from_slice(&0x2000u16.to_be_bytes()); // MF set
+        let h = Ipv4Header::parse(&buf).unwrap();
+        assert!(h.is_fragment());
+        buf[6..8].copy_from_slice(&0x0004u16.to_be_bytes()); // offset 4
+        let h = Ipv4Header::parse(&buf).unwrap();
+        assert!(h.is_fragment());
+        assert_eq!(h.fragment_offset, 4);
+    }
+
+    #[test]
+    fn prefix_contains_and_covers() {
+        let p = Prefix::new(Ipv4Addr::new(10, 1, 2, 3), 16);
+        assert_eq!(p.network(), Ipv4Addr::new(10, 1, 0, 0)); // host bits masked
+        assert!(p.contains(Ipv4Addr::new(10, 1, 255, 255)));
+        assert!(!p.contains(Ipv4Addr::new(10, 2, 0, 0)));
+        let sub = Prefix::new(Ipv4Addr::new(10, 1, 2, 0), 24);
+        assert!(p.covers(&sub));
+        assert!(!sub.covers(&p));
+        assert!(Prefix::DEFAULT.covers(&p));
+        assert!(Prefix::DEFAULT.contains(Ipv4Addr::new(8, 8, 8, 8)));
+    }
+
+    #[test]
+    fn prefix_parse_and_display() {
+        let p: Prefix = "192.168.0.0/24".parse().unwrap();
+        assert_eq!(p.to_string(), "192.168.0.0/24");
+        let host: Prefix = "1.2.3.4".parse().unwrap();
+        assert_eq!(host.len(), 32);
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("banana/8".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn prefix_nth_host() {
+        let p: Prefix = "10.0.0.0/24".parse().unwrap();
+        assert_eq!(p.nth_host(5), Ipv4Addr::new(10, 0, 0, 5));
+    }
+
+    #[test]
+    fn proto_round_trip() {
+        for p in [IpProto::Icmp, IpProto::Tcp, IpProto::Udp, IpProto::Other(89)] {
+            assert_eq!(IpProto::from(p.to_u8()), p);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! TCP header parsing and construction (the subset a forwarder and a
+//! request/response workload need: ports, seq/ack, flags).
+
+use crate::ParsePacketError;
+
+/// Minimum TCP header length (no options).
+pub const TCP_MIN_HLEN: usize = 20;
+
+/// TCP flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    /// SYN.
+    pub syn: bool,
+    /// ACK.
+    pub ack: bool,
+    /// FIN.
+    pub fin: bool,
+    /// RST.
+    pub rst: bool,
+    /// PSH.
+    pub psh: bool,
+}
+
+impl TcpFlags {
+    /// Encodes the flag byte.
+    pub fn to_u8(self) -> u8 {
+        (self.fin as u8)
+            | (self.syn as u8) << 1
+            | (self.rst as u8) << 2
+            | (self.psh as u8) << 3
+            | (self.ack as u8) << 4
+    }
+
+    /// Decodes the flag byte.
+    pub fn from_u8(b: u8) -> Self {
+        TcpFlags {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            rst: b & 0x04 != 0,
+            psh: b & 0x08 != 0,
+            ack: b & 0x10 != 0,
+        }
+    }
+}
+
+/// A parsed TCP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack_no: u32,
+    /// Header length in bytes.
+    pub header_len: usize,
+    /// Flag bits.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+}
+
+impl TcpHeader {
+    /// Parses a TCP header from the start of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for truncated buffers or a data offset below 5.
+    pub fn parse(data: &[u8]) -> Result<Self, ParsePacketError> {
+        if data.len() < TCP_MIN_HLEN {
+            return Err(ParsePacketError::Truncated {
+                layer: "tcp",
+                needed: TCP_MIN_HLEN,
+                have: data.len(),
+            });
+        }
+        let header_len = ((data[12] >> 4) as usize) * 4;
+        if header_len < TCP_MIN_HLEN {
+            return Err(ParsePacketError::Malformed {
+                layer: "tcp",
+                what: "data offset below minimum",
+            });
+        }
+        Ok(TcpHeader {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            seq: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+            ack_no: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+            header_len,
+            flags: TcpFlags::from_u8(data[13]),
+            window: u16::from_be_bytes([data[14], data[15]]),
+        })
+    }
+
+    /// Writes a 20-byte TCP header (checksum 0) into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`TCP_MIN_HLEN`].
+    pub fn write(
+        buf: &mut [u8],
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        ack_no: u32,
+        flags: TcpFlags,
+    ) {
+        assert!(buf.len() >= TCP_MIN_HLEN, "buffer too small for tcp header");
+        buf[0..2].copy_from_slice(&src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&dst_port.to_be_bytes());
+        buf[4..8].copy_from_slice(&seq.to_be_bytes());
+        buf[8..12].copy_from_slice(&ack_no.to_be_bytes());
+        buf[12] = 5 << 4;
+        buf[13] = flags.to_u8();
+        buf[14..16].copy_from_slice(&0xFFFFu16.to_be_bytes());
+        buf[16..20].copy_from_slice(&[0, 0, 0, 0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = [0u8; 20];
+        let flags = TcpFlags {
+            syn: true,
+            ack: true,
+            ..TcpFlags::default()
+        };
+        TcpHeader::write(&mut buf, 40000, 80, 7, 9, flags);
+        let h = TcpHeader::parse(&buf).unwrap();
+        assert_eq!(h.src_port, 40000);
+        assert_eq!(h.dst_port, 80);
+        assert_eq!(h.seq, 7);
+        assert_eq!(h.ack_no, 9);
+        assert_eq!(h.header_len, 20);
+        assert!(h.flags.syn && h.flags.ack && !h.flags.fin);
+    }
+
+    #[test]
+    fn flag_byte_round_trip() {
+        for b in 0u8..32 {
+            assert_eq!(TcpFlags::from_u8(b).to_u8(), b);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_offset_and_truncation() {
+        assert!(TcpHeader::parse(&[0u8; 19]).is_err());
+        let mut buf = [0u8; 20];
+        TcpHeader::write(&mut buf, 1, 2, 0, 0, TcpFlags::default());
+        buf[12] = 4 << 4;
+        assert!(matches!(
+            TcpHeader::parse(&buf),
+            Err(ParsePacketError::Malformed { .. })
+        ));
+    }
+}

@@ -1,0 +1,79 @@
+//! UDP header parsing and construction.
+
+use crate::ParsePacketError;
+
+/// UDP header length.
+pub const UDP_HLEN: usize = 8;
+
+/// A parsed UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header + payload per the header field.
+    pub len: u16,
+    /// Checksum as stored (0 = not computed, legal for IPv4).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Parses a UDP header from the start of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePacketError::Truncated`] for short buffers.
+    pub fn parse(data: &[u8]) -> Result<Self, ParsePacketError> {
+        if data.len() < UDP_HLEN {
+            return Err(ParsePacketError::Truncated {
+                layer: "udp",
+                needed: UDP_HLEN,
+                have: data.len(),
+            });
+        }
+        Ok(UdpHeader {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            len: u16::from_be_bytes([data[4], data[5]]),
+            checksum: u16::from_be_bytes([data[6], data[7]]),
+        })
+    }
+
+    /// Writes a UDP header (checksum 0 — legal for IPv4) into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than [`UDP_HLEN`].
+    pub fn write(buf: &mut [u8], src_port: u16, dst_port: u16, len: u16) {
+        assert!(buf.len() >= UDP_HLEN, "buffer too small for udp header");
+        buf[0..2].copy_from_slice(&src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&dst_port.to_be_bytes());
+        buf[4..6].copy_from_slice(&len.to_be_bytes());
+        buf[6..8].copy_from_slice(&[0, 0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = [0u8; 8];
+        UdpHeader::write(&mut buf, 1234, 4789, 16);
+        let h = UdpHeader::parse(&buf).unwrap();
+        assert_eq!(h.src_port, 1234);
+        assert_eq!(h.dst_port, 4789);
+        assert_eq!(h.len, 16);
+        assert_eq!(h.checksum, 0);
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(matches!(
+            UdpHeader::parse(&[0u8; 7]),
+            Err(ParsePacketError::Truncated { layer: "udp", .. })
+        ));
+    }
+}

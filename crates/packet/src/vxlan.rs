@@ -1,0 +1,78 @@
+//! VXLAN (RFC 7348) header, used by the Flannel-style overlay in the
+//! Kubernetes experiments: inter-node pod traffic is encapsulated in
+//! UDP/VXLAN by the sending node and decapsulated by the receiving node.
+
+use crate::ParsePacketError;
+
+/// VXLAN header length.
+pub const VXLAN_HLEN: usize = 8;
+
+/// The standard VXLAN UDP destination port.
+pub const VXLAN_PORT: u16 = 4789;
+
+/// A parsed VXLAN header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VxlanHeader {
+    /// VXLAN network identifier (24 bits).
+    pub vni: u32,
+}
+
+impl VxlanHeader {
+    /// Parses a VXLAN header from the start of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for truncated buffers or a clear I (valid-VNI) flag.
+    pub fn parse(data: &[u8]) -> Result<Self, ParsePacketError> {
+        if data.len() < VXLAN_HLEN {
+            return Err(ParsePacketError::Truncated {
+                layer: "vxlan",
+                needed: VXLAN_HLEN,
+                have: data.len(),
+            });
+        }
+        if data[0] & 0x08 == 0 {
+            return Err(ParsePacketError::Malformed {
+                layer: "vxlan",
+                what: "I flag not set",
+            });
+        }
+        let vni = u32::from_be_bytes([0, data[4], data[5], data[6]]);
+        Ok(VxlanHeader { vni })
+    }
+
+    /// Serializes the header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VNI exceeds 24 bits.
+    pub fn to_bytes(&self) -> [u8; VXLAN_HLEN] {
+        assert!(self.vni < (1 << 24), "VNI {:#x} exceeds 24 bits", self.vni);
+        let vni = self.vni.to_be_bytes();
+        [0x08, 0, 0, 0, vni[1], vni[2], vni[3], 0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let h = VxlanHeader { vni: 0xABCDE };
+        let parsed = VxlanHeader::parse(&h.to_bytes()).unwrap();
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn rejects_missing_flag_and_truncation() {
+        assert!(VxlanHeader::parse(&[0u8; 8]).is_err());
+        assert!(VxlanHeader::parse(&[0x08, 0, 0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 24 bits")]
+    fn oversized_vni_panics() {
+        VxlanHeader { vni: 1 << 24 }.to_bytes();
+    }
+}

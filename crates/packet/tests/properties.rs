@@ -1,0 +1,172 @@
+//! Property-based tests for the packet library: parse/build round-trips
+//! and checksum laws over randomly generated inputs.
+
+use linuxfp_packet::checksum::{checksum, fold, incremental_update_u16, sum_words};
+use linuxfp_packet::ipv4::Prefix;
+use linuxfp_packet::{builder, ArpPacket, EthernetFrame, Ipv4Header, MacAddr, TcpHeader, UdpHeader};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr::new)
+}
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+proptest! {
+    /// Any data with its own checksum appended folds to 0xFFFF — the
+    /// receiver-side verification law of RFC 1071.
+    #[test]
+    fn checksum_self_verifies(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut with = data.clone();
+        // Checksums verify over even-length data (headers are always even).
+        if with.len() % 2 == 1 {
+            with.push(0);
+        }
+        let c = checksum(&with);
+        with.extend_from_slice(&c.to_be_bytes());
+        prop_assert_eq!(fold(sum_words(&with, 0)), 0xFFFF);
+    }
+
+    /// Incremental checksum update equals full recomputation for any
+    /// single-word change at any even offset.
+    #[test]
+    fn incremental_update_equals_recompute(
+        data in proptest::collection::vec(any::<u8>(), 2..128),
+        word_idx in any::<prop::sample::Index>(),
+        new_word in any::<u16>(),
+    ) {
+        let mut data = data;
+        if data.len() % 2 == 1 {
+            data.push(0);
+        }
+        let words = data.len() / 2;
+        let idx = word_idx.index(words) * 2;
+        let before = checksum(&data);
+        let old_word = u16::from_be_bytes([data[idx], data[idx + 1]]);
+        data[idx..idx + 2].copy_from_slice(&new_word.to_be_bytes());
+        let incremental = incremental_update_u16(before, old_word, new_word);
+        let full = checksum(&data);
+        prop_assert_eq!(incremental, full);
+    }
+
+    /// UDP frames built by the builder always parse back to the inputs,
+    /// with a valid IPv4 checksum.
+    #[test]
+    fn udp_build_parse_round_trip(
+        src_mac in arb_mac(), dst_mac in arb_mac(),
+        src_ip in arb_ip(), dst_ip in arb_ip(),
+        src_port in any::<u16>(), dst_port in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        let frame = builder::udp_packet(src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, &payload);
+        let eth = EthernetFrame::parse(&frame).unwrap();
+        prop_assert_eq!(eth.src, src_mac);
+        prop_assert_eq!(eth.dst, dst_mac);
+        let ip = Ipv4Header::parse(&frame[eth.payload_offset..]).unwrap();
+        prop_assert_eq!(ip.src, src_ip);
+        prop_assert_eq!(ip.dst, dst_ip);
+        prop_assert!(ip.verify_checksum(&frame[eth.payload_offset..]));
+        let udp = UdpHeader::parse(&frame[eth.payload_offset + ip.header_len..]).unwrap();
+        prop_assert_eq!(udp.src_port, src_port);
+        prop_assert_eq!(udp.dst_port, dst_port);
+        prop_assert_eq!(&frame[eth.payload_offset + ip.header_len + 8..], payload.as_slice());
+    }
+
+    /// TTL decrement preserves checksum validity for any starting TTL > 1.
+    #[test]
+    fn ttl_decrement_keeps_checksums_valid(
+        src_ip in arb_ip(), dst_ip in arb_ip(), ttl in 2u8..=255,
+    ) {
+        let mut buf = vec![0u8; 20];
+        Ipv4Header::write(&mut buf, src_ip, dst_ip, linuxfp_packet::IpProto::Udp, ttl, 1, 20, false);
+        let new = Ipv4Header::decrement_ttl(&mut buf).unwrap();
+        prop_assert_eq!(new, ttl - 1);
+        let h = Ipv4Header::parse(&buf).unwrap();
+        prop_assert!(h.verify_checksum(&buf));
+        prop_assert_eq!(h.ttl, ttl - 1);
+    }
+
+    /// Ethernet parsing never panics on arbitrary bytes: it returns either
+    /// a header or a structured error.
+    #[test]
+    fn eth_parse_total(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = EthernetFrame::parse(&data);
+    }
+
+    /// IPv4 parsing never panics on arbitrary bytes.
+    #[test]
+    fn ipv4_parse_total(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Ipv4Header::parse(&data);
+    }
+
+    /// TCP parsing never panics on arbitrary bytes.
+    #[test]
+    fn tcp_parse_total(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = TcpHeader::parse(&data);
+    }
+
+    /// ARP round-trips through bytes.
+    #[test]
+    fn arp_round_trip(
+        sender_mac in arb_mac(), sender_ip in arb_ip(),
+        target_mac in arb_mac(), target_ip in arb_ip(),
+        is_reply in any::<bool>(),
+    ) {
+        let arp = ArpPacket {
+            op: if is_reply { linuxfp_packet::ArpOp::Reply } else { linuxfp_packet::ArpOp::Request },
+            sender_mac, sender_ip, target_mac, target_ip,
+        };
+        prop_assert_eq!(ArpPacket::parse(&arp.to_bytes()).unwrap(), arp);
+    }
+
+    /// VXLAN encapsulation followed by decapsulation returns the inner
+    /// frame unchanged for any VNI and inner payload.
+    #[test]
+    fn vxlan_round_trip(
+        vni in 0u32..(1 << 24),
+        inner_payload in proptest::collection::vec(any::<u8>(), 0..512),
+        src_ip in arb_ip(), dst_ip in arb_ip(),
+    ) {
+        let inner = builder::udp_packet(
+            MacAddr::from_index(1), MacAddr::from_index(2),
+            Ipv4Addr::new(10, 244, 0, 1), Ipv4Addr::new(10, 244, 0, 2),
+            1, 2, &inner_payload,
+        );
+        let outer = builder::vxlan_encapsulate(
+            &inner, vni, MacAddr::from_index(3), MacAddr::from_index(4),
+            src_ip, dst_ip, 40000,
+        );
+        let (got_vni, got_inner) = builder::vxlan_decapsulate(&outer).unwrap();
+        prop_assert_eq!(got_vni, vni);
+        prop_assert_eq!(got_inner, inner);
+    }
+
+    /// Prefix membership agrees with a bit-twiddling oracle.
+    #[test]
+    fn prefix_contains_matches_oracle(addr in any::<u32>(), probe in any::<u32>(), len in 0u8..=32) {
+        let p = Prefix::new(Ipv4Addr::from(addr), len);
+        let mask: u64 = if len == 0 { 0 } else { (!0u32 << (32 - len)) as u64 };
+        let oracle = (u64::from(addr) & mask) == (u64::from(probe) & mask);
+        prop_assert_eq!(p.contains(Ipv4Addr::from(probe)), oracle);
+    }
+
+    /// VLAN push followed by pop restores the original frame.
+    #[test]
+    fn vlan_push_pop_identity(vid in 0u16..4096, pcp in 0u8..8, payload in proptest::collection::vec(any::<u8>(), 46..100)) {
+        let mut frame = builder::udp_packet(
+            MacAddr::from_index(1), MacAddr::from_index(2),
+            Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2),
+            1, 2, &payload,
+        );
+        let original = frame.clone();
+        EthernetFrame::push_vlan(&mut frame, linuxfp_packet::VlanTag { vid, pcp });
+        let parsed = EthernetFrame::parse(&frame).unwrap();
+        prop_assert_eq!(parsed.vlan, Some(linuxfp_packet::VlanTag { vid, pcp }));
+        let tag = EthernetFrame::pop_vlan(&mut frame).unwrap();
+        prop_assert_eq!(tag.vid, vid);
+        prop_assert_eq!(frame, original);
+    }
+}

@@ -1,0 +1,31 @@
+//! The four packet-processing platforms of the paper's evaluation, under
+//! one measurement interface.
+//!
+//! - [`linux::LinuxPlatform`]: plain Linux — the complete, slow baseline.
+//! - [`linuxfp::LinuxFpPlatform`]: the same kernel with the LinuxFP
+//!   controller attached — standard configuration, transparent fast
+//!   paths (XDP or TC).
+//! - [`polycube::PolycubePlatform`]: a kernel-resident eBPF platform with
+//!   a custom control plane, map-held state, and tail-call chaining —
+//!   the Polycube v0.9.0 stand-in.
+//! - [`vpp::VppPlatform`]: a user-space kernel-bypass platform with
+//!   vector processing and dedicated busy-poll cores — the VPP 23.10
+//!   stand-in.
+//!
+//! [`scenario::Scenario`] configures all four equivalently (the paper's
+//! virtual router and virtual gateway), and [`platform::Platform`] is the
+//! surface the workload generators in `linuxfp-traffic` drive.
+
+pub mod linux;
+pub mod linuxfp;
+pub mod platform;
+pub mod polycube;
+pub mod scenario;
+pub mod vpp;
+
+pub use linux::LinuxPlatform;
+pub use linuxfp::LinuxFpPlatform;
+pub use platform::{Platform, PlatformTraits, Scheduling};
+pub use polycube::PolycubePlatform;
+pub use scenario::Scenario;
+pub use vpp::VppPlatform;

@@ -1,0 +1,127 @@
+//! The baseline platform: plain Linux (the simulated kernel's slow path,
+//! no fast paths attached).
+
+use crate::platform::{Platform, PlatformTraits, Scheduling};
+use crate::scenario::Scenario;
+use linuxfp_netstack::device::IfIndex;
+use linuxfp_netstack::stack::{Kernel, RxOutcome};
+
+/// Plain Linux forwarding/filtering through the full kernel stack.
+#[derive(Debug)]
+pub struct LinuxPlatform {
+    kernel: Kernel,
+    upstream: IfIndex,
+}
+
+impl LinuxPlatform {
+    /// Configures a fresh kernel for the scenario.
+    pub fn new(scenario: Scenario) -> Self {
+        let mut kernel = Kernel::new(100);
+        let (upstream, _) = scenario.configure_kernel(&mut kernel);
+        LinuxPlatform { kernel, upstream }
+    }
+
+    /// The upstream (traffic-source facing) device's MAC, which workload
+    /// frames must be addressed to.
+    pub fn dut_mac(&self) -> linuxfp_packet::MacAddr {
+        self.kernel.device(self.upstream).expect("configured").mac
+    }
+
+    /// Access to the underlying kernel (for tests and ablations).
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+}
+
+impl Platform for LinuxPlatform {
+    fn traits(&self) -> PlatformTraits {
+        PlatformTraits {
+            name: "Linux",
+            kernel_resident: true,
+            standard_linux_api: true,
+            transparent_acceleration: false, // nothing is accelerated
+            dedicated_cores: false,
+            scheduling: Scheduling::InterruptFullStack,
+        }
+    }
+
+    fn process(&mut self, frame: Vec<u8>) -> RxOutcome {
+        self.kernel.receive(self.upstream, frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SINK_MAC;
+    use linuxfp_packet::EthernetFrame;
+
+    #[test]
+    fn linux_forwards_through_slow_path() {
+        let s = Scenario::router();
+        let mut p = LinuxPlatform::new(s);
+        let frame = s.frame(p.dut_mac(), 1, 60);
+        let out = p.process(frame);
+        assert_eq!(out.transmissions().len(), 1);
+        let eth = EthernetFrame::parse(out.transmissions()[0].1).unwrap();
+        assert_eq!(eth.dst, SINK_MAC);
+        assert_eq!(out.cost.stage_count("skb_alloc"), 1);
+        assert_eq!(out.cost.stage_count("fib_lookup"), 1);
+    }
+
+    #[test]
+    fn service_time_matches_calibration() {
+        // The calibrated model puts plain Linux min-packet forwarding at
+        // ~1.0 µs (~1 Mpps single core), per the numbers the paper's
+        // Table VII + 77% claim imply.
+        let s = Scenario::router();
+        let mut p = LinuxPlatform::new(s);
+        let mac = p.dut_mac();
+        let t = p.service_time_ns(&mut |i| s.frame(mac, i, 60));
+        assert!((900.0..1150.0).contains(&t), "service {t} ns");
+    }
+
+    #[test]
+    fn gateway_rules_make_linux_slower() {
+        let sr = Scenario::router();
+        let sg = Scenario::gateway();
+        let mut router = LinuxPlatform::new(sr);
+        let mut gateway = LinuxPlatform::new(sg);
+        let rm = router.dut_mac();
+        let gm = gateway.dut_mac();
+        let tr = router.service_time_ns(&mut |i| sr.frame(rm, i, 60));
+        let tg = gateway.service_time_ns(&mut |i| sg.frame(gm, i, 60));
+        assert!(tg > tr + 1500.0, "100-rule linear scan should cost ~2.2us: {tr} vs {tg}");
+    }
+
+    #[test]
+    fn ipset_restores_most_of_the_gateway_performance() {
+        let sg = Scenario::gateway();
+        let si = Scenario::gateway_ipset();
+        let mut linear = LinuxPlatform::new(sg);
+        let mut ipset = LinuxPlatform::new(si);
+        let lm = linear.dut_mac();
+        let im = ipset.dut_mac();
+        let tl = linear.service_time_ns(&mut |i| sg.frame(lm, i, 60));
+        let ti = ipset.service_time_ns(&mut |i| si.frame(im, i, 60));
+        assert!(ti < tl - 1000.0, "ipset {ti} should beat linear {tl}");
+    }
+
+    #[test]
+    fn blocked_traffic_is_dropped() {
+        let s = Scenario::gateway();
+        let mut p = LinuxPlatform::new(s);
+        let frame = linuxfp_packet::builder::udp_packet(
+            crate::scenario::SOURCE_MAC,
+            p.dut_mac(),
+            std::net::Ipv4Addr::new(10, 0, 1, 100),
+            s.blocked_dst(3),
+            1,
+            2,
+            b"",
+        );
+        let out = p.process(frame);
+        assert!(out.transmissions().is_empty());
+        assert_eq!(out.drops(), vec!["nf forward drop"]);
+    }
+}

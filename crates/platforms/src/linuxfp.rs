@@ -1,0 +1,218 @@
+//! The LinuxFP platform: the same kernel as the Linux baseline with the
+//! controller attached — standard configuration, transparent fast paths.
+
+use crate::platform::{Platform, PlatformTraits, Scheduling};
+use crate::scenario::Scenario;
+use linuxfp_core::controller::{Controller, ControllerConfig};
+use linuxfp_ebpf::hook::HookPoint;
+use linuxfp_netstack::device::IfIndex;
+use linuxfp_netstack::stack::{Kernel, RxOutcome};
+
+/// Linux accelerated by LinuxFP-synthesized fast paths.
+#[derive(Debug)]
+pub struct LinuxFpPlatform {
+    kernel: Kernel,
+    controller: Controller,
+    upstream: IfIndex,
+    hook: HookPoint,
+}
+
+impl LinuxFpPlatform {
+    /// Configures a fresh kernel for the scenario (standard APIs only)
+    /// and attaches the controller on the XDP hook.
+    pub fn new(scenario: Scenario) -> Self {
+        LinuxFpPlatform::with_hook(scenario, HookPoint::Xdp)
+    }
+
+    /// Like [`LinuxFpPlatform::new`] but attaching to a specific hook
+    /// (TC is what the paper uses for the Kubernetes scenario and
+    /// Table VII's comparison).
+    pub fn with_hook(scenario: Scenario, hook: HookPoint) -> Self {
+        let mut kernel = Kernel::new(100); // same seed as the baseline
+        let (upstream, _) = scenario.configure_kernel(&mut kernel);
+        let cfg = ControllerConfig {
+            hook,
+            ..ControllerConfig::default()
+        };
+        let (controller, report) =
+            Controller::attach(&mut kernel, cfg).expect("initial deployment succeeds");
+        assert!(report.changed, "scenario must produce a fast path");
+        LinuxFpPlatform {
+            kernel,
+            controller,
+            upstream,
+            hook,
+        }
+    }
+
+    /// The upstream device's MAC.
+    pub fn dut_mac(&self) -> linuxfp_packet::MacAddr {
+        self.kernel.device(self.upstream).expect("configured").mac
+    }
+
+    /// The controller (e.g. to inspect the graph or installed programs).
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Polls the controller (after reconfiguring the kernel in tests).
+    pub fn poll_controller(&mut self) -> Option<linuxfp_core::ReactionReport> {
+        self.controller
+            .poll(&mut self.kernel)
+            .expect("redeploy succeeds")
+    }
+
+    /// Access to the underlying kernel.
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+}
+
+impl Platform for LinuxFpPlatform {
+    fn traits(&self) -> PlatformTraits {
+        PlatformTraits {
+            name: "LinuxFP",
+            kernel_resident: true,
+            standard_linux_api: true,
+            transparent_acceleration: true,
+            dedicated_cores: false,
+            scheduling: Scheduling::XdpResident,
+        }
+    }
+
+    fn process(&mut self, frame: Vec<u8>) -> RxOutcome {
+        self.kernel.receive(self.upstream, frame)
+    }
+}
+
+/// A LinuxFP variant whose hook point is reported in the name — used by
+/// the XDP-vs-TC comparison (paper Table VII).
+impl LinuxFpPlatform {
+    /// Descriptive name including the hook.
+    pub fn hook_name(&self) -> &'static str {
+        match self.hook {
+            HookPoint::Xdp => "LinuxFP (XDP)",
+            HookPoint::Tc => "LinuxFP (TC)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linux::LinuxPlatform;
+    use crate::scenario::SINK_MAC;
+    use linuxfp_packet::{EthernetFrame, Ipv4Header};
+
+    #[test]
+    fn forwards_identically_to_linux_but_faster() {
+        let s = Scenario::router();
+        let mut linux = LinuxPlatform::new(s);
+        let mut lfp = LinuxFpPlatform::new(s);
+        assert_eq!(linux.dut_mac(), lfp.dut_mac(), "same seed, same MACs");
+        let mac = lfp.dut_mac();
+
+        let out_l = linux.process(s.frame(mac, 7, 60));
+        let out_f = lfp.process(s.frame(mac, 7, 60));
+        // Identical output packet...
+        assert_eq!(out_l.transmissions(), out_f.transmissions());
+        let eth = EthernetFrame::parse(out_f.transmissions()[0].1).unwrap();
+        assert_eq!(eth.dst, SINK_MAC);
+        let ip = Ipv4Header::parse(&out_f.transmissions()[0].1[14..]).unwrap();
+        assert_eq!(ip.ttl, 63);
+        assert!(ip.verify_checksum(&out_f.transmissions()[0].1[14..]));
+        // ...at lower cost (no sk_buff on the fast path).
+        assert_eq!(out_f.cost.stage_count("skb_alloc"), 0);
+        assert!(out_f.cost.total_ns() < out_l.cost.total_ns());
+    }
+
+    #[test]
+    fn speedup_matches_the_paper_band() {
+        // Paper: LinuxFP is 77% faster than Linux for forwarding.
+        let s = Scenario::router();
+        let mut linux = LinuxPlatform::new(s);
+        let mut lfp = LinuxFpPlatform::new(s);
+        let ml = linux.dut_mac();
+        let mf = lfp.dut_mac();
+        let tl = linux.service_time_ns(&mut |i| s.frame(ml, i, 60));
+        let tf = lfp.service_time_ns(&mut |i| s.frame(mf, i, 60));
+        let speedup = tl / tf;
+        assert!(
+            (1.55..2.0).contains(&speedup),
+            "speedup {speedup:.2} outside the ~1.77 band (linux {tl:.0}ns, linuxfp {tf:.0}ns)"
+        );
+    }
+
+    #[test]
+    fn tc_hook_is_slower_than_xdp_but_still_works() {
+        let s = Scenario::router();
+        let mut xdp = LinuxFpPlatform::with_hook(s, HookPoint::Xdp);
+        let mut tc = LinuxFpPlatform::with_hook(s, HookPoint::Tc);
+        assert_eq!(xdp.hook_name(), "LinuxFP (XDP)");
+        assert_eq!(tc.hook_name(), "LinuxFP (TC)");
+        let mx = xdp.dut_mac();
+        let mt = tc.dut_mac();
+        let tx = xdp.service_time_ns(&mut |i| s.frame(mx, i, 60));
+        let tt = tc.service_time_ns(&mut |i| s.frame(mt, i, 60));
+        // Paper Table VII: XDP ≈ 2x TC for forwarding.
+        let ratio = tt / tx;
+        assert!((1.7..2.4).contains(&ratio), "TC/XDP ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn gateway_blocked_traffic_dropped_on_fast_path() {
+        let s = Scenario::gateway();
+        let mut p = LinuxFpPlatform::new(s);
+        let frame = linuxfp_packet::builder::udp_packet(
+            crate::scenario::SOURCE_MAC,
+            p.dut_mac(),
+            std::net::Ipv4Addr::new(10, 0, 1, 100),
+            s.blocked_dst(7),
+            1,
+            2,
+            b"",
+        );
+        let out = p.process(frame);
+        assert!(out.transmissions().is_empty());
+        assert_eq!(out.drops(), vec!["xdp drop"]);
+        assert_eq!(out.cost.stage_count("skb_alloc"), 0);
+    }
+
+    #[test]
+    fn reconfiguration_is_transparent() {
+        // Start as a plain router; add iptables rules at runtime; the
+        // controller swaps in a filter-enabled fast path.
+        let s = Scenario::router();
+        let mut p = LinuxFpPlatform::new(s);
+        let mac = p.dut_mac();
+        assert!(p.poll_controller().is_none());
+        p.kernel_mut().iptables_append(
+            linuxfp_netstack::netfilter::ChainHook::Forward,
+            linuxfp_netstack::netfilter::IptRule::drop_dst(Scenario::blacklist_prefix(0)),
+        );
+        let report = p.poll_controller().expect("netfilter event");
+        assert!(report.changed);
+        assert_eq!(report.fpm_count, 4, "router+filter on both interfaces");
+        // Blocked traffic now drops on the fast path.
+        let blocked = linuxfp_packet::builder::udp_packet(
+            crate::scenario::SOURCE_MAC,
+            mac,
+            std::net::Ipv4Addr::new(10, 0, 1, 100),
+            Scenario::blacklist_prefix(0).nth_host(1),
+            1,
+            2,
+            b"",
+        );
+        let out = p.process(blocked);
+        assert_eq!(out.drops(), vec!["xdp drop"]);
+    }
+
+    #[test]
+    fn traits_table() {
+        let p = LinuxFpPlatform::new(Scenario::router());
+        let t = p.traits();
+        assert!(t.kernel_resident && t.standard_linux_api && t.transparent_acceleration);
+        assert!(!t.dedicated_cores);
+        assert_eq!(t.scheduling, Scheduling::XdpResident);
+    }
+}

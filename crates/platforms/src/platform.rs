@@ -1,0 +1,104 @@
+//! The common interface over packet-processing platforms.
+//!
+//! The paper's evaluation compares four systems configured equivalently:
+//! Linux (the baseline), LinuxFP, Polycube v0.9.0 (kernel-resident eBPF
+//! with a custom control plane), and VPP 23.10 (user-space kernel bypass
+//! with vector processing). [`Platform`] is the measurement surface the
+//! workload generators drive; [`PlatformTraits`] captures the qualitative
+//! comparison of paper Table II.
+
+use linuxfp_netstack::stack::RxOutcome;
+
+/// How a platform's packet processing is scheduled — determines the
+/// latency jitter class in the netperf-style experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduling {
+    /// Interrupt-driven full kernel stack (NAPI softirq): largest
+    /// scheduling jitter under load.
+    InterruptFullStack,
+    /// Interrupt-driven but handled at the driver/XDP layer: small
+    /// jitter.
+    XdpResident,
+    /// Dedicated busy-polling cores (DPDK): minimal jitter, but the
+    /// configured cores are 100% consumed regardless of load.
+    BusyPoll,
+}
+
+/// Qualitative platform properties (paper Table II).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlatformTraits {
+    /// Platform name.
+    pub name: &'static str,
+    /// Whether the data plane runs inside the kernel.
+    pub kernel_resident: bool,
+    /// Whether standard Linux tooling (iproute2, brctl, iptables,
+    /// netlink consumers like FRR and Kubernetes CNIs) configures it.
+    pub standard_linux_api: bool,
+    /// Whether acceleration applies without modifying applications or
+    /// management software.
+    pub transparent_acceleration: bool,
+    /// Whether cores must be dedicated to packet processing.
+    pub dedicated_cores: bool,
+    /// How processing is scheduled (latency class).
+    pub scheduling: Scheduling,
+}
+
+/// A packet-processing system under test.
+pub trait Platform {
+    /// The platform's qualitative properties.
+    fn traits(&self) -> PlatformTraits;
+
+    /// Processes one frame arriving on the upstream port; effects and
+    /// charged costs are returned. Ports are scenario-defined: port 0 is
+    /// the traffic source side, port 1 the sink side.
+    fn process(&mut self, frame: Vec<u8>) -> RxOutcome;
+
+    /// Measures the steady-state per-packet service time (ns) for a
+    /// representative workload frame by averaging several runs after a
+    /// warm-up (mirrors the paper's 10-second Pktgen warm-up).
+    fn service_time_ns(&mut self, make_frame: &mut dyn FnMut(u64) -> Vec<u8>) -> f64 {
+        const WARMUP: u64 = 32;
+        const MEASURE: u64 = 128;
+        for i in 0..WARMUP {
+            let _ = self.process(make_frame(i));
+        }
+        let mut total = 0.0;
+        for i in 0..MEASURE {
+            let out = self.process(make_frame(WARMUP + i));
+            total += out.cost.total_ns();
+        }
+        total / MEASURE as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(f64);
+    impl Platform for Fixed {
+        fn traits(&self) -> PlatformTraits {
+            PlatformTraits {
+                name: "fixed",
+                kernel_resident: true,
+                standard_linux_api: true,
+                transparent_acceleration: true,
+                dedicated_cores: false,
+                scheduling: Scheduling::XdpResident,
+            }
+        }
+        fn process(&mut self, _frame: Vec<u8>) -> RxOutcome {
+            let mut out = RxOutcome::default();
+            out.cost.charge_untracked(self.0);
+            out
+        }
+    }
+
+    #[test]
+    fn service_time_averages_process_costs() {
+        let mut p = Fixed(750.0);
+        let t = p.service_time_ns(&mut |_| vec![0u8; 64]);
+        assert!((t - 750.0).abs() < 1e-9);
+        assert_eq!(p.traits().name, "fixed");
+    }
+}

@@ -1,0 +1,401 @@
+//! A Polycube-style baseline: kernel-resident eBPF network functions
+//! with a **custom control plane** and **tail-call module chaining**.
+//!
+//! Two deliberate architectural contrasts with LinuxFP (both called out
+//! by the paper):
+//!
+//! 1. **State lives in eBPF maps** populated through Polycube's own API
+//!    (`polycubectl`-style methods here) rather than read from kernel
+//!    tables — fast, but invisible to iproute2/netlink consumers and not
+//!    configurable with standard tools.
+//! 2. **Modules are separate programs chained with tail calls** (each one
+//!    re-deriving its packet pointers), whereas LinuxFP fuses modules by
+//!    inlining — the difference measured in paper Fig. 10 and reflected
+//!    in the ~19 % throughput gap of footnote 2.
+//!
+//! For filtering, Polycube uses an efficient multi-dimensional
+//! classification algorithm rather than a linear scan; we model it as a
+//! tuple-space search — one hash-map probe per distinct prefix length —
+//! which is flat in the number of rules (paper Fig. 8's Polycube curve).
+
+use crate::platform::{Platform, PlatformTraits, Scheduling};
+use crate::scenario::{Scenario, NEXT_HOP, SINK_MAC};
+use linuxfp_core::fpm::{emit_exits, emit_guard, emit_prologue, emit_ttl_decrement, ETH_P_IPV4_LE};
+use linuxfp_ebpf::asm::Asm;
+use linuxfp_ebpf::hook::{attach, HookPoint};
+use linuxfp_ebpf::insn::{Action, AluOp, HelperId, JmpCond, MemSize};
+use linuxfp_ebpf::maps::{MapId, MapStore};
+use linuxfp_ebpf::program::{LoadedProgram, Program};
+use linuxfp_netstack::device::IfIndex;
+use linuxfp_netstack::stack::{Kernel, RxOutcome};
+use linuxfp_packet::ipv4::Prefix;
+use linuxfp_packet::MacAddr;
+use std::collections::BTreeSet;
+
+const ROUTER_SLOT: u32 = 0;
+
+/// The Polycube-style platform.
+#[derive(Debug)]
+pub struct PolycubePlatform {
+    kernel: Kernel,
+    maps: MapStore,
+    upstream: IfIndex,
+    prog_array: MapId,
+    lpm_routes: MapId,
+    nexthops: MapId,
+    port_config: MapId,
+    filter_levels: BTreeSet<u8>,
+    filter_maps: Vec<(u8, MapId)>,
+    next_nexthop: u32,
+}
+
+impl PolycubePlatform {
+    /// Builds the platform for a scenario: devices come from the kernel,
+    /// but *all* forwarding/filtering state is configured through the
+    /// custom control-plane methods below.
+    pub fn new(scenario: Scenario) -> Self {
+        let mut kernel = Kernel::new(100);
+        // Only link-level setup touches the kernel; no routes, no
+        // iptables — Polycube would not see them anyway.
+        let upstream = kernel.add_physical("ens1f0").expect("fresh kernel");
+        let downstream = kernel.add_physical("ens1f1").expect("fresh kernel");
+        kernel.ip_link_set_up(upstream).expect("device exists");
+        kernel.ip_link_set_up(downstream).expect("device exists");
+
+        let maps = MapStore::new();
+        let prog_array = maps.create_prog_array(2);
+        let lpm_routes = maps.create_lpm();
+        let nexthops = maps.create_array(16, 16);
+        // Per-cube port/context map: every Polycube module resolves its
+        // port configuration and per-cube metadata on entry (the
+        // framework's generic plumbing — part of the "implementation
+        // differences" behind paper footnote 2).
+        let port_config = maps.create_array(8, 8);
+
+        let mut platform = PolycubePlatform {
+            kernel,
+            maps,
+            upstream,
+            prog_array,
+            lpm_routes,
+            nexthops,
+            port_config,
+            filter_levels: BTreeSet::new(),
+            filter_maps: Vec::new(),
+            next_nexthop: 0,
+        };
+
+        // Configure through the custom API, equivalently to the Linux
+        // scenario configuration.
+        let downstream_mac = platform.kernel.device(downstream).expect("exists").mac;
+        let nh = platform.pcn_nexthop_add(downstream, SINK_MAC, downstream_mac);
+        for i in 0..scenario.prefixes {
+            platform.pcn_route_add(Scenario::route_prefix(i), nh);
+        }
+        // The connected subnets as well, so reply-direction traffic works.
+        platform.pcn_route_add(Prefix::new(NEXT_HOP, 24), nh);
+        for i in 0..scenario.filter_rules {
+            platform.pcn_filter_add(Scenario::blacklist_prefix(i));
+        }
+        platform.regenerate();
+        platform
+    }
+
+    /// The DUT MAC workload frames must target. Polycube forwards
+    /// anything arriving on the port, but the shared workload generator
+    /// addresses the DUT like a router.
+    pub fn dut_mac(&self) -> MacAddr {
+        self.kernel.device(self.upstream).expect("exists").mac
+    }
+
+    /// `polycubectl router nexthop add ...` — registers a next hop and
+    /// returns its index.
+    pub fn pcn_nexthop_add(&mut self, egress: IfIndex, dst_mac: MacAddr, src_mac: MacAddr) -> u32 {
+        let idx = self.next_nexthop;
+        self.next_nexthop += 1;
+        let mut value = [0u8; 16];
+        value[0..4].copy_from_slice(&egress.as_u32().to_le_bytes());
+        value[4..10].copy_from_slice(&dst_mac.octets());
+        value[10..16].copy_from_slice(&src_mac.octets());
+        self.maps
+            .update(self.nexthops, &idx.to_le_bytes(), &value)
+            .expect("nexthop map");
+        idx
+    }
+
+    /// `polycubectl router route add ...` — inserts into the LPM map.
+    pub fn pcn_route_add(&mut self, prefix: Prefix, nexthop: u32) {
+        let mut key = vec![prefix.len()];
+        key.extend_from_slice(&prefix.network().octets());
+        self.maps
+            .update(self.lpm_routes, &key, &nexthop.to_le_bytes())
+            .expect("route map");
+    }
+
+    /// `pcn-iptables -A FORWARD -d <prefix> -j DROP` — adds a classifier
+    /// entry; a new prefix length triggers data-path regeneration (as
+    /// Polycube recompiles its pipeline on structural changes).
+    pub fn pcn_filter_add(&mut self, prefix: Prefix) {
+        if self.filter_levels.insert(prefix.len()) {
+            let map = self.maps.create_hash(4096);
+            self.filter_maps.push((prefix.len(), map));
+            self.filter_maps.sort_by_key(|(len, _)| std::cmp::Reverse(*len));
+        }
+        let map = self
+            .filter_maps
+            .iter()
+            .find(|(l, _)| *l == prefix.len())
+            .expect("level just ensured")
+            .1;
+        self.maps
+            .update(map, &prefix.network().octets(), &[1])
+            .expect("filter map");
+    }
+
+    /// (Re)builds and attaches the tail-call-chained data path.
+    pub fn regenerate(&mut self) {
+        let router = LoadedProgram::load(self.router_program()).expect("router verifies");
+        self.maps
+            .prog_array_set(self.prog_array, ROUTER_SLOT as usize, Some(router))
+            .expect("slot 0");
+        let entry = LoadedProgram::load(self.entry_program()).expect("entry verifies");
+        // (Re)attach the entry program on the upstream port.
+        self.kernel.detach_xdp(self.upstream);
+        attach(
+            &mut self.kernel,
+            self.upstream,
+            HookPoint::Xdp,
+            entry,
+            self.maps.clone(),
+        )
+        .expect("attach");
+    }
+
+    /// Emits the per-module framework plumbing: resolve this cube's port
+    /// configuration from its context map (every Polycube module does
+    /// this on entry).
+    fn emit_cube_context(&self, a: &mut Asm) {
+        a.mov_reg(3, 10);
+        a.alu_imm(AluOp::Add, 3, -48);
+        a.store_imm(MemSize::W, 3, 0, 0); // port 0's slot
+        a.mov_imm(1, i64::from(self.port_config.0));
+        a.mov_reg(2, 3);
+        a.mov_imm(3, 4);
+        a.mov_reg(4, 10);
+        a.alu_imm(AluOp::Add, 4, -56);
+        a.mov_imm(5, 8);
+        a.call(HelperId::MapLookup);
+    }
+
+    /// The entry module: parse/validate, classify (tuple-space search),
+    /// tail-call the router module.
+    fn entry_program(&self) -> Program {
+        let mut a = Asm::new();
+        emit_prologue(&mut a);
+        self.emit_cube_context(&mut a);
+        emit_guard(&mut a, 34);
+        a.load(MemSize::H, 2, 6, 12);
+        a.jmp_imm(JmpCond::Ne, 2, ETH_P_IPV4_LE, "pass");
+        a.load(MemSize::B, 2, 6, 14);
+        a.jmp_imm(JmpCond::Ne, 2, 0x45, "pass");
+        a.load(MemSize::H, 2, 6, 20);
+        a.alu_imm(AluOp::And, 2, 0xFFBF);
+        a.jmp_imm(JmpCond::Ne, 2, 0, "pass");
+        a.load(MemSize::B, 2, 6, 22);
+        a.jmp_imm(JmpCond::Lt, 2, 2, "pass");
+
+        // Tuple-space classifier: one hash probe per distinct prefix
+        // length, flat in rule count.
+        for (len, map) in &self.filter_maps {
+            // Mask the (big-endian) destination bytes; AND is bytewise,
+            // so a little-endian immediate of the byte-mask works.
+            let mask_be = if *len == 0 { 0u32 } else { u32::MAX << (32 - len) };
+            let mask_le = u32::from_le_bytes(mask_be.to_be_bytes());
+            a.load(MemSize::W, 2, 6, 30);
+            a.alu_imm(AluOp::And, 2, i64::from(mask_le));
+            a.mov_reg(3, 10);
+            a.alu_imm(AluOp::Add, 3, -8);
+            a.store(MemSize::W, 3, 0, 2);
+            a.mov_imm(1, i64::from(map.0));
+            a.mov_reg(2, 3);
+            a.mov_imm(3, 4);
+            a.mov_reg(4, 10);
+            a.alu_imm(AluOp::Add, 4, -16);
+            a.mov_imm(5, 1);
+            a.call(HelperId::MapLookup);
+            a.jmp_imm(JmpCond::Eq, 0, 0, "drop"); // present in set = DROP
+        }
+
+        a.mov_imm(0, Action::Pass.code() as i64);
+        a.tail_call(self.prog_array.0, ROUTER_SLOT);
+        a.exit(); // router module missing: pass to the kernel
+        emit_exits(&mut a);
+        Program::new("pcn_entry", a.finish().expect("labels resolve"))
+    }
+
+    /// The router module: LPM route map + nexthop map + rewrite +
+    /// redirect. Re-derives its packet pointers, as every tail-called
+    /// program must.
+    fn router_program(&self) -> Program {
+        let mut a = Asm::new();
+        emit_prologue(&mut a);
+        self.emit_cube_context(&mut a);
+        emit_guard(&mut a, 34);
+        // Route lookup: key = dst bytes.
+        a.load(MemSize::W, 2, 6, 30);
+        a.mov_reg(3, 10);
+        a.alu_imm(AluOp::Add, 3, -8);
+        a.store(MemSize::W, 3, 0, 2);
+        a.mov_imm(1, i64::from(self.lpm_routes.0));
+        a.mov_reg(2, 3);
+        a.mov_imm(3, 4);
+        a.mov_reg(4, 10);
+        a.alu_imm(AluOp::Add, 4, -16);
+        a.mov_imm(5, 4);
+        a.call(HelperId::MapLookup);
+        a.jmp_imm(JmpCond::Ne, 0, 0, "pass"); // no route: kernel decides
+        // Nexthop lookup: key = the index we just fetched.
+        a.mov_imm(1, i64::from(self.nexthops.0));
+        a.mov_reg(2, 10);
+        a.alu_imm(AluOp::Add, 2, -16);
+        a.mov_imm(3, 4);
+        a.mov_reg(4, 10);
+        a.alu_imm(AluOp::Add, 4, -40);
+        a.mov_imm(5, 16);
+        a.call(HelperId::MapLookup);
+        a.jmp_imm(JmpCond::Ne, 0, 0, "pass");
+        // Rewrite MACs from the nexthop entry.
+        a.mov_reg(3, 10);
+        a.alu_imm(AluOp::Add, 3, -40);
+        a.load(MemSize::W, 2, 3, 4);
+        a.store(MemSize::W, 6, 0, 2);
+        a.load(MemSize::H, 2, 3, 8);
+        a.store(MemSize::H, 6, 4, 2);
+        a.load(MemSize::W, 2, 3, 10);
+        a.store(MemSize::W, 6, 6, 2);
+        a.load(MemSize::H, 2, 3, 14);
+        a.store(MemSize::H, 6, 10, 2);
+        emit_ttl_decrement(&mut a);
+        a.mov_reg(3, 10);
+        a.alu_imm(AluOp::Add, 3, -40);
+        a.load(MemSize::W, 1, 3, 0);
+        a.mov_imm(2, 0);
+        a.call(HelperId::Redirect);
+        a.exit();
+        emit_exits(&mut a);
+        Program::new("pcn_router", a.finish().expect("labels resolve"))
+    }
+}
+
+impl Platform for PolycubePlatform {
+    fn traits(&self) -> PlatformTraits {
+        PlatformTraits {
+            name: "Polycube",
+            kernel_resident: true,
+            standard_linux_api: false, // custom control plane
+            transparent_acceleration: false,
+            dedicated_cores: false,
+            scheduling: Scheduling::XdpResident,
+        }
+    }
+
+    fn process(&mut self, frame: Vec<u8>) -> RxOutcome {
+        self.kernel.receive(self.upstream, frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linux::LinuxPlatform;
+    use crate::linuxfp::LinuxFpPlatform;
+    use linuxfp_packet::{EthernetFrame, Ipv4Header};
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn polycube_forwards_like_linux() {
+        let s = Scenario::router();
+        let mut pcn = PolycubePlatform::new(s);
+        let mut linux = LinuxPlatform::new(s);
+        assert_eq!(pcn.dut_mac(), linux.dut_mac());
+        let mac = pcn.dut_mac();
+        let out_p = pcn.process(s.frame(mac, 5, 60));
+        let out_l = linux.process(s.frame(mac, 5, 60));
+        assert_eq!(out_p.transmissions(), out_l.transmissions());
+        let eth = EthernetFrame::parse(out_p.transmissions()[0].1).unwrap();
+        assert_eq!(eth.dst, SINK_MAC);
+        let ip = Ipv4Header::parse(&out_p.transmissions()[0].1[14..]).unwrap();
+        assert_eq!(ip.ttl, 63);
+        assert!(ip.verify_checksum(&out_p.transmissions()[0].1[14..]));
+        // Two tail-called modules -> one tail call per packet.
+        assert_eq!(out_p.cost.stage_count("tail_call"), 1);
+        // route + nexthop + two per-cube context lookups.
+        assert_eq!(out_p.cost.stage_count("map_lookup"), 4);
+    }
+
+    #[test]
+    fn linuxfp_beats_polycube_but_modestly() {
+        // Paper footnote 2: LinuxFP sees ~19% higher throughput than
+        // Polycube, attributed to tail calls + custom state.
+        let s = Scenario::router();
+        let mut pcn = PolycubePlatform::new(s);
+        let mut lfp = LinuxFpPlatform::new(s);
+        let mp = pcn.dut_mac();
+        let mf = lfp.dut_mac();
+        let tp = pcn.service_time_ns(&mut |i| s.frame(mp, i, 60));
+        let tf = lfp.service_time_ns(&mut |i| s.frame(mf, i, 60));
+        let ratio = tp / tf;
+        assert!(
+            (1.02..1.45).contains(&ratio),
+            "Polycube/LinuxFP service ratio {ratio:.2} (pcn {tp:.0}ns lfp {tf:.0}ns)"
+        );
+    }
+
+    #[test]
+    fn classifier_drops_blacklisted_and_stays_flat() {
+        let s10 = Scenario {
+            prefixes: 50,
+            filter_rules: 10,
+            use_ipset: false,
+        };
+        let s1000 = Scenario {
+            prefixes: 50,
+            filter_rules: 1000,
+            use_ipset: false,
+        };
+        let mut small = PolycubePlatform::new(s10);
+        let mut large = PolycubePlatform::new(s1000);
+        // Blocked traffic drops in the classifier.
+        let mac = small.dut_mac();
+        let blocked = linuxfp_packet::builder::udp_packet(
+            crate::scenario::SOURCE_MAC,
+            mac,
+            Ipv4Addr::new(10, 0, 1, 100),
+            s10.blocked_dst(3),
+            1,
+            2,
+            b"",
+        );
+        let out = small.process(blocked);
+        assert_eq!(out.drops(), vec!["xdp drop"]);
+        // Cost is ~flat from 10 to 1000 rules (hash classifier).
+        let ms = small.dut_mac();
+        let ml = large.dut_mac();
+        let t_small = small.service_time_ns(&mut |i| s10.frame(ms, i, 60));
+        let t_large = large.service_time_ns(&mut |i| s1000.frame(ml, i, 60));
+        assert!(
+            (t_large - t_small).abs() < 60.0,
+            "classifier should be flat: {t_small:.0} vs {t_large:.0}"
+        );
+    }
+
+    #[test]
+    fn custom_control_plane_is_not_netlink_visible() {
+        // The kernel's own tables know nothing about Polycube's routes —
+        // the transparency cost the paper highlights (Table II).
+        let s = Scenario::router();
+        let pcn = PolycubePlatform::new(s);
+        assert!(pcn.kernel.dump_routes().is_empty());
+        assert!(!pcn.traits().standard_linux_api);
+    }
+}

@@ -1,0 +1,505 @@
+//! The calibrated per-operation cost model.
+//!
+//! Every simulated packet-processing action in this repository — a driver
+//! receive, an `sk_buff` allocation, one eBPF instruction, a FIB lookup, a
+//! netfilter rule comparison — charges virtual nanoseconds from a single
+//! [`CostModel`]. Centralizing the constants has two purposes:
+//!
+//! 1. **Consistency.** The same `sk_buff` allocation price is paid by the
+//!    Linux slow path, the TC-attached fast path, and the Kubernetes pod
+//!    path, so cross-experiment comparisons are coherent, exactly as they
+//!    would be on one physical testbed.
+//! 2. **Calibration.** [`CostModel::calibrated`] is tuned so that the
+//!    *relative* results of the LinuxFP paper hold: LinuxFP ≈ 1.77× Linux
+//!    forwarding throughput, LinuxFP ≈ 1.19× Polycube, VPP above all
+//!    kernel-resident platforms, XDP ≈ 2× TC, ipset ≫ linear iptables at
+//!    high rule counts, and a ~1 % throughput penalty per tail-called
+//!    module (paper Fig. 10).
+//!
+//! # Derivation of the headline constants
+//!
+//! The paper's Table VII reports the LinuxFP forwarding data plane at
+//! 1,768,221 pps on XDP and 850,209 pps on TC (single core), and the text
+//! reports LinuxFP 77 % faster than Linux forwarding. Writing
+//!
+//! ```text
+//! XDP   total = driver_rx + xdp_entry          + prog + driver_tx = 565 ns
+//! TC    total = driver_rx + skb_alloc + tc_ent + prog + driver_tx = 1176 ns
+//! Linux total = driver_rx + skb_alloc + stack         + driver_tx = 1001 ns
+//! ```
+//!
+//! and solving with the 1.77× constraint yields the defaults below
+//! (`driver_rx` 124, `skb_alloc` 594, forwarding fast-path program ≈ 334 ns
+//! including the `bpf_fib_lookup` helper, Linux forwarding stack beyond the
+//! `sk_buff` ≈ 193 ns). The eBPF program cost is *not* a constant here: it
+//! emerges from interpreting the synthesized bytecode at
+//! [`CostModel::ebpf_insn_ns`] per instruction plus per-helper prices, so
+//! experiments such as Fig. 10 (function calls vs. tail calls) measure the
+//! mechanism rather than a hard-coded answer.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Calibrated nanosecond prices for every simulated operation.
+///
+/// Construct with [`CostModel::calibrated`] for the paper-matched defaults,
+/// or mutate individual fields to run ablations (the fields are public and
+/// the struct is plain data by design — it plays the role of a lab notebook
+/// of constants, not an abstraction boundary).
+///
+/// # Example
+///
+/// ```
+/// let mut cost = linuxfp_sim::CostModel::calibrated();
+/// cost.nf_rule_linear_ns = 0.0; // ablation: free iptables matching
+/// assert_eq!(cost.nf_rule_linear_ns, 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    // ---- NIC / driver ----
+    /// Per-packet receive cost in the NIC driver (DMA completion, descriptor
+    /// handling), paid by every path including XDP.
+    pub driver_rx_ns: f64,
+    /// Per-packet transmit cost in the NIC driver.
+    pub driver_tx_ns: f64,
+    /// Dispatch cost of entering an attached XDP program.
+    pub xdp_entry_ns: f64,
+    /// `sk_buff` allocation + initialization (metadata population, GRO
+    /// bookkeeping). This is the cost XDP avoids and TC pays — the source of
+    /// the XDP-vs-TC gap in paper Table VII.
+    pub skb_alloc_ns: f64,
+    /// Dispatch cost of entering an attached TC (clsact) program.
+    pub tc_entry_ns: f64,
+
+    // ---- Linux slow-path stages (beyond skb alloc) ----
+    /// `ip_rcv` style validation: header length, version, checksum verify.
+    pub ip_rcv_ns: f64,
+    /// Kernel FIB lookup on the slow path (LPM trie walk + flags).
+    pub fib_lookup_kernel_ns: f64,
+    /// TTL decrement + incremental checksum update on forward.
+    pub ip_forward_finish_ns: f64,
+    /// Neighbor (ARP) table hit on the output path.
+    pub neigh_lookup_ns: f64,
+    /// Qdisc enqueue + dequeue + xmit prep.
+    pub qdisc_xmit_ns: f64,
+    /// Entering a netfilter hook with an empty chain.
+    pub nf_hook_base_ns: f64,
+    /// Evaluating one iptables rule in a chain (linear search — the
+    /// scalability problem in paper Fig. 8).
+    pub nf_rule_linear_ns: f64,
+    /// One ipset hash lookup (replaces a linear scan over members).
+    pub ipset_lookup_ns: f64,
+    /// Conntrack tuple hash lookup.
+    pub conntrack_lookup_ns: f64,
+    /// Creating a new conntrack entry (slow-path only).
+    pub conntrack_create_ns: f64,
+    /// ipvs backend scheduling (slow-path only; the fast path reuses the
+    /// pinned conntrack entry).
+    pub ipvs_sched_ns: f64,
+    /// Bridge slow-path processing: FDB learn + lookup + forward decision.
+    pub bridge_stack_ns: f64,
+    /// Flooding one additional bridge port on an FDB miss.
+    pub bridge_flood_per_port_ns: f64,
+    /// Crossing a veth pair (per crossing).
+    pub veth_cross_ns: f64,
+    /// VXLAN encapsulation on the slow path (headers + UDP + route to peer).
+    pub vxlan_encap_ns: f64,
+    /// VXLAN decapsulation on the slow path.
+    pub vxlan_decap_ns: f64,
+    /// Local socket delivery (TCP/UDP demux + queue to socket).
+    pub local_deliver_ns: f64,
+    /// Generating an ICMP error (time-exceeded / unreachable): build +
+    /// route + transmit of the error packet (slow-path only).
+    pub icmp_error_ns: f64,
+
+    // ---- eBPF runtime ----
+    /// Interpreting one eBPF instruction.
+    pub ebpf_insn_ns: f64,
+    /// One tail call (program-array dereference + context reset). Calibrated
+    /// to ≈ 1 % of the forwarding data path, matching paper Fig. 10's
+    /// "about one percent per added function".
+    pub tail_call_ns: f64,
+    /// `bpf_fib_lookup` helper (kernel FIB access from eBPF).
+    pub helper_fib_lookup_ns: f64,
+    /// `bpf_fdb_lookup` helper (the paper's new bridge FDB helper).
+    pub helper_fdb_lookup_ns: f64,
+    /// `bpf_ipt_lookup` helper fixed cost (the paper's new iptables helper).
+    pub helper_ipt_base_ns: f64,
+    /// Per-rule matching cost inside `bpf_ipt_lookup`. The helper
+    /// reimplements matching compactly (prefix + protocol comparisons,
+    /// paper §V), so it is cheaper per rule than the slow path's full
+    /// xt-entry traversal (`nf_rule_linear_ns`) — but still linear, which
+    /// is why LinuxFP "inherits iptables performance issues" until ipset
+    /// aggregation is used (paper Fig. 8).
+    pub helper_ipt_rule_ns: f64,
+    /// `bpf_redirect` / `XDP_REDIRECT` forwarding of the frame.
+    pub helper_redirect_ns: f64,
+    /// Generic eBPF map lookup (hash). Used by platforms (e.g. Polycube)
+    /// that keep custom state in maps instead of kernel helpers.
+    pub map_lookup_ns: f64,
+    /// Generic eBPF map update.
+    pub map_update_ns: f64,
+    /// `bpf_ktime_get_ns` and similarly trivial helpers.
+    pub helper_trivial_ns: f64,
+    /// Copying one frame onto an AF_XDP ring (single copy, no sk_buff —
+    /// the point of the XSK path).
+    pub xsk_push_ns: f64,
+    /// Polycube-style multi-dimensional classifier: fixed cost.
+    pub classifier_base_ns: f64,
+    /// Polycube-style classifier: additional cost per doubling of the rule
+    /// set (logarithmic growth — the efficient algorithm of the paper’s ref. 34).
+    pub classifier_log2_ns: f64,
+
+    // ---- VPP-style user-space platform ----
+    /// Fixed cost of processing one vector (batch), amortized over packets.
+    pub vpp_batch_fixed_ns: f64,
+    /// Per-packet cost inside a full vector.
+    pub vpp_per_packet_ns: f64,
+    /// Maximum vector (batch) size.
+    pub vpp_batch_size: u32,
+    /// VPP per-packet ACL match cost (vector classifier, ~flat in rules).
+    pub vpp_acl_ns: f64,
+
+    // ---- Multi-core scaling ----
+    /// Fraction of per-core throughput lost per additional core due to
+    /// shared-state contention (locks, cache bouncing). Applied as
+    /// `pps(n) = n * pps(1) * (1 - contention)^(n-1)`.
+    pub core_contention: f64,
+    /// Line rate of the simulated NIC in gigabits per second (25 Gbps on
+    /// the paper's c6525-25g testbed).
+    pub line_rate_gbps: f64,
+
+    // ---- Latency-experiment parameters ----
+    /// One-way propagation + serialization per link in the 3-node topology.
+    pub wire_ns: f64,
+    /// Application service time at the netperf server per transaction.
+    pub server_app_ns: f64,
+    /// Mean softirq/NAPI scheduling jitter per DUT crossing for the
+    /// interrupt-driven full Linux stack (exponentially distributed).
+    pub softirq_jitter_linux_ns: f64,
+    /// Mean scheduling jitter per crossing for XDP/TC-resident fast paths.
+    pub softirq_jitter_xdp_ns: f64,
+    /// Relative service-time jitter (lognormal sigma) for all platforms.
+    pub service_jitter_sigma: f64,
+    /// Extra DUT CPU consumed per crossing by interrupt/softirq handling
+    /// under request/response traffic for the full Linux stack (pktgen
+    /// saturation amortizes IRQs via NAPI polling; sparse RR traffic does
+    /// not).
+    pub irq_service_overhead_linux_ns: f64,
+    /// The same for XDP/TC-resident fast paths (IRQs still fire, but the
+    /// work per packet is far smaller).
+    pub irq_service_overhead_xdp_ns: f64,
+    /// Probability that an endpoint (netperf client/server — plain Linux
+    /// hosts in every configuration) suffers a scheduling hiccup on a
+    /// transaction.
+    pub endpoint_hiccup_prob: f64,
+    /// Mean of the exponential endpoint hiccup duration.
+    pub endpoint_hiccup_ns: f64,
+
+    // ---- Kubernetes pod-path calibration ----
+    /// Per-transaction application processing inside the pod pair
+    /// (client + server user space, container runtime, TCP stack). The
+    /// paper's pod-to-pod RTTs are in *milliseconds* (Table V), dominated by
+    /// in-pod processing; this constant substitutes for the container
+    /// scheduling and TCP-stack work we do not model cycle-by-cycle.
+    pub k8s_app_txn_ns: f64,
+    /// Multiplier applied to kernel path costs when traversed in the pod
+    /// context (cgroup accounting, softirq steering, scheduler wakeups per
+    /// packet — the reasons container RTTs are ~10^3 the raw path cost).
+    pub k8s_path_scale: f64,
+    /// Extra one-way latency for inter-node transactions beyond the two
+    /// kernels' path costs (underlay serialization + TCP stack effects on
+    /// the second host; calibrated to paper Table V's inter-node rows).
+    pub k8s_internode_extra_ns: f64,
+    /// Probability of a pod-side scheduler hiccup per transaction.
+    pub k8s_hiccup_prob: f64,
+    /// Mean of the exponential pod hiccup duration.
+    pub k8s_hiccup_ns: f64,
+    /// Lognormal sigma applied to the whole pod transaction.
+    pub k8s_rtt_sigma: f64,
+
+    // ---- Controller reaction-time model (paper Table VI) ----
+    /// Netlink notification delivery + controller wakeup.
+    pub ctrl_detect_ns: f64,
+    /// Re-querying link/addr/route state over netlink.
+    pub ctrl_requery_route_ns: f64,
+    /// Re-querying link state only.
+    pub ctrl_requery_link_ns: f64,
+    /// Querying iptables state via the libiptc-style interface (the paper
+    /// uses libipte; notably slower than netlink dumps).
+    pub ctrl_requery_ipt_ns: f64,
+    /// Building the JSON processing graph.
+    pub ctrl_graph_build_ns: f64,
+    /// Rendering the template for one FPM.
+    pub ctrl_synth_per_fpm_ns: f64,
+    /// Invoking the compiler toolchain (clang in the paper) — fixed cost.
+    pub ctrl_compile_base_ns: f64,
+    /// Additional compile cost per FPM in the data path.
+    pub ctrl_compile_per_fpm_ns: f64,
+    /// Kernel verification + load of one program object.
+    pub ctrl_verify_load_ns: f64,
+    /// Atomic tail-call swap of the installed data path.
+    pub ctrl_swap_ns: f64,
+}
+
+impl CostModel {
+    /// The calibration used throughout the reproduction (see module docs
+    /// for the derivation against the paper's reported numbers).
+    pub fn calibrated() -> Self {
+        CostModel {
+            driver_rx_ns: 124.0,
+            driver_tx_ns: 90.0,
+            xdp_entry_ns: 17.0,
+            skb_alloc_ns: 594.0,
+            tc_entry_ns: 35.0,
+
+            ip_rcv_ns: 45.0,
+            fib_lookup_kernel_ns: 60.0,
+            ip_forward_finish_ns: 25.0,
+            neigh_lookup_ns: 18.0,
+            qdisc_xmit_ns: 25.0,
+            nf_hook_base_ns: 10.0,
+            nf_rule_linear_ns: 22.0,
+            ipset_lookup_ns: 55.0,
+            conntrack_lookup_ns: 70.0,
+            conntrack_create_ns: 210.0,
+            ipvs_sched_ns: 55.0,
+            bridge_stack_ns: 95.0,
+            bridge_flood_per_port_ns: 160.0,
+            veth_cross_ns: 120.0,
+            vxlan_encap_ns: 260.0,
+            vxlan_decap_ns: 220.0,
+            local_deliver_ns: 180.0,
+            icmp_error_ns: 240.0,
+
+            ebpf_insn_ns: 1.0,
+            tail_call_ns: 5.7,
+            helper_fib_lookup_ns: 215.0,
+            helper_fdb_lookup_ns: 205.0,
+            helper_ipt_base_ns: 55.0,
+            helper_ipt_rule_ns: 10.0,
+            helper_redirect_ns: 40.0,
+            map_lookup_ns: 75.0,
+            map_update_ns: 45.0,
+            helper_trivial_ns: 8.0,
+            xsk_push_ns: 95.0,
+            classifier_base_ns: 95.0,
+            classifier_log2_ns: 14.0,
+
+            vpp_batch_fixed_ns: 4000.0,
+            vpp_per_packet_ns: 340.0,
+            vpp_batch_size: 256,
+            vpp_acl_ns: 60.0,
+
+            core_contention: 0.03,
+            line_rate_gbps: 25.0,
+
+            wire_ns: 1_000.0,
+            server_app_ns: 2_000.0,
+            softirq_jitter_linux_ns: 48_000.0,
+            softirq_jitter_xdp_ns: 9_000.0,
+            service_jitter_sigma: 0.25,
+            irq_service_overhead_linux_ns: 280.0,
+            irq_service_overhead_xdp_ns: 28.0,
+            endpoint_hiccup_prob: 0.06,
+            endpoint_hiccup_ns: 70_000.0,
+
+            k8s_app_txn_ns: 4_396_700.0,
+            k8s_path_scale: 460.0,
+            k8s_internode_extra_ns: 6_679_000.0,
+            k8s_hiccup_prob: 0.05,
+            k8s_hiccup_ns: 5_000_000.0,
+            k8s_rtt_sigma: 0.05,
+
+            ctrl_detect_ns: 20e6,
+            ctrl_requery_route_ns: 120e6,
+            ctrl_requery_link_ns: 60e6,
+            ctrl_requery_ipt_ns: 420e6,
+            ctrl_graph_build_ns: 15e6,
+            ctrl_synth_per_fpm_ns: 20e6,
+            ctrl_compile_base_ns: 270e6,
+            ctrl_compile_per_fpm_ns: 30e6,
+            ctrl_verify_load_ns: 50e6,
+            ctrl_swap_ns: 10e6,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::calibrated()
+    }
+}
+
+/// Accumulates virtual time charged while processing packets, optionally
+/// attributing it to named stages.
+///
+/// The per-stage attribution is what powers the flame-graph-style profile
+/// of the slow path (paper Fig. 1): each kernel stage charges under its own
+/// label, and the profile reports where the time went.
+///
+/// # Example
+///
+/// ```
+/// use linuxfp_sim::CostTracker;
+///
+/// let mut t = CostTracker::new();
+/// t.charge("ip_rcv", 45.0);
+/// t.charge("fib_lookup", 60.0);
+/// t.charge("ip_rcv", 45.0);
+/// assert_eq!(t.total_ns(), 150.0);
+/// assert_eq!(t.stage_ns("ip_rcv"), 90.0);
+/// assert_eq!(t.stage_count("ip_rcv"), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CostTracker {
+    total_ns: f64,
+    stages: BTreeMap<&'static str, StageCost>,
+}
+
+/// Aggregated cost of a single named stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageCost {
+    /// Number of times the stage was charged.
+    pub count: u64,
+    /// Total nanoseconds charged to the stage.
+    pub total_ns: f64,
+}
+
+impl CostTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        CostTracker::default()
+    }
+
+    /// Charges `ns` nanoseconds to `stage`.
+    pub fn charge(&mut self, stage: &'static str, ns: f64) {
+        self.total_ns += ns;
+        let entry = self.stages.entry(stage).or_default();
+        entry.count += 1;
+        entry.total_ns += ns;
+    }
+
+    /// Charges `ns` nanoseconds without stage attribution.
+    pub fn charge_untracked(&mut self, ns: f64) {
+        self.total_ns += ns;
+    }
+
+    /// Total nanoseconds charged so far.
+    pub fn total_ns(&self) -> f64 {
+        self.total_ns
+    }
+
+    /// Nanoseconds charged to `stage` (zero if never charged).
+    pub fn stage_ns(&self, stage: &str) -> f64 {
+        self.stages.get(stage).map_or(0.0, |s| s.total_ns)
+    }
+
+    /// Number of charges recorded for `stage`.
+    pub fn stage_count(&self, stage: &str) -> u64 {
+        self.stages.get(stage).map_or(0, |s| s.count)
+    }
+
+    /// Iterates over `(stage, aggregated cost)` in stage-name order.
+    pub fn stages(&self) -> impl Iterator<Item = (&'static str, StageCost)> + '_ {
+        self.stages.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Resets all accumulated costs.
+    pub fn reset(&mut self) {
+        self.total_ns = 0.0;
+        self.stages.clear();
+    }
+
+    /// Merges another tracker's charges into this one.
+    pub fn merge(&mut self, other: &CostTracker) {
+        self.total_ns += other.total_ns;
+        for (stage, cost) in other.stages.iter() {
+            let entry = self.stages.entry(stage).or_default();
+            entry.count += cost.count;
+            entry.total_ns += cost.total_ns;
+        }
+    }
+}
+
+impl fmt::Display for CostTracker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total: {:.1} ns", self.total_ns)?;
+        for (stage, cost) in self.stages.iter() {
+            writeln!(
+                f,
+                "  {:<28} {:>10.1} ns  (x{})",
+                stage, cost.total_ns, cost.count
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_reproduces_paper_forwarding_ratios() {
+        let c = CostModel::calibrated();
+        // Fast-path forwarding program cost implied by the calibration: the
+        // synthesized program lands near 334 ns (measured precisely by the
+        // ebpf crate's tests); here we check the fixed-path arithmetic.
+        let prog = 334.0;
+        let xdp = c.driver_rx_ns + c.xdp_entry_ns + prog + c.driver_tx_ns;
+        let tc = c.driver_rx_ns + c.skb_alloc_ns + c.tc_entry_ns + prog + c.driver_tx_ns;
+        let stack = c.ip_rcv_ns
+            + 2.0 * c.nf_hook_base_ns
+            + c.fib_lookup_kernel_ns
+            + c.ip_forward_finish_ns
+            + c.neigh_lookup_ns
+            + c.qdisc_xmit_ns;
+        let linux = c.driver_rx_ns + c.skb_alloc_ns + stack + c.driver_tx_ns;
+        let speedup = linux / xdp;
+        assert!(
+            (1.70..1.85).contains(&speedup),
+            "LinuxFP/Linux speedup {speedup} out of the paper's ~1.77 band"
+        );
+        let hook_ratio = tc / xdp;
+        assert!(
+            (1.9..2.2).contains(&hook_ratio),
+            "TC/XDP cost ratio {hook_ratio} out of the paper's ~2.08 band"
+        );
+    }
+
+    #[test]
+    fn tail_call_is_about_one_percent_of_forwarding_path() {
+        let c = CostModel::calibrated();
+        let xdp_fwd_total = 565.0;
+        let pct = c.tail_call_ns / xdp_fwd_total;
+        assert!((0.008..0.012).contains(&pct), "tail call {pct} not ~1%");
+    }
+
+    #[test]
+    fn tracker_accumulates_and_merges() {
+        let mut a = CostTracker::new();
+        a.charge("x", 10.0);
+        a.charge_untracked(5.0);
+        let mut b = CostTracker::new();
+        b.charge("x", 1.0);
+        b.charge("y", 2.0);
+        a.merge(&b);
+        assert_eq!(a.total_ns(), 18.0);
+        assert_eq!(a.stage_ns("x"), 11.0);
+        assert_eq!(a.stage_count("x"), 2);
+        assert_eq!(a.stage_ns("y"), 2.0);
+        assert_eq!(a.stage_ns("absent"), 0.0);
+        a.reset();
+        assert_eq!(a.total_ns(), 0.0);
+    }
+
+    #[test]
+    fn tracker_display_lists_stages() {
+        let mut t = CostTracker::new();
+        t.charge("fib", 60.0);
+        let s = t.to_string();
+        assert!(s.contains("fib"));
+        assert!(s.contains("total"));
+    }
+}

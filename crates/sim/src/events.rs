@@ -1,0 +1,145 @@
+//! A minimal discrete-event queue.
+//!
+//! Latency experiments (netperf-style TCP_RR with 128 parallel sessions,
+//! Kubernetes pod pairs) are closed-loop queueing systems; they are driven
+//! by popping timestamped events from an [`EventQueue`]. Ties are broken by
+//! insertion order, which keeps runs fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Nanos;
+
+/// One scheduled entry: fire time, insertion sequence, payload.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    at: Nanos,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first ordering.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// An earliest-first event queue over virtual time.
+///
+/// # Example
+///
+/// ```
+/// use linuxfp_sim::{EventQueue, Nanos};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Nanos::from_nanos(20), "late");
+/// q.schedule(Nanos::from_nanos(10), "early");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t.as_nanos(), e), (10, "early"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute virtual time `at`.
+    pub fn schedule(&mut self, at: Nanos, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// The fire time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_nanos(30), 3);
+        q.schedule(Nanos::from_nanos(10), 1);
+        q.schedule(Nanos::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Nanos::from_nanos(5);
+        q.schedule(t, "a");
+        q.schedule(t, "b");
+        q.schedule(t, "c");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Nanos::from_nanos(7), ());
+        assert_eq!(q.peek_time(), Some(Nanos::from_nanos(7)));
+        assert_eq!(q.len(), 1);
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Line-rate arithmetic for Ethernet links.
+//!
+//! Used by the packet-size sweep (paper Fig. 6) where LinuxFP and Polycube
+//! reach 25 Gbps line rate with a single core at 1500-byte packets: the
+//! achievable packet rate is the minimum of what the CPU can process and
+//! what the wire can carry.
+
+/// Ethernet per-frame overhead on the wire beyond the L2 frame itself:
+/// 7-byte preamble + 1-byte SFD + 12-byte inter-frame gap.
+pub const WIRE_OVERHEAD_BYTES: u32 = 20;
+
+/// Ethernet frame check sequence appended to every frame.
+pub const FCS_BYTES: u32 = 4;
+
+/// Minimum Ethernet frame size (without FCS), i.e. a "64-byte packet" in
+/// benchmark parlance includes the FCS: 60 bytes of frame + 4 FCS.
+pub const MIN_FRAME_BYTES: u32 = 64;
+
+/// Packets per second achievable on a link of `gbps` gigabits per second
+/// for L2 frames of `frame_len` bytes (including FCS).
+///
+/// # Example
+///
+/// ```
+/// // 64-byte frames on 10G Ethernet: the canonical 14.88 Mpps.
+/// let pps = linuxfp_sim::rate::line_rate_pps(10.0, 64);
+/// assert!((pps - 14_880_952.0).abs() < 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `frame_len` is zero.
+pub fn line_rate_pps(gbps: f64, frame_len: u32) -> f64 {
+    assert!(frame_len > 0, "frame_len must be positive");
+    let bits_per_frame = ((frame_len + WIRE_OVERHEAD_BYTES) as f64) * 8.0;
+    gbps * 1e9 / bits_per_frame
+}
+
+/// Throughput in gigabits per second of L2 payload for a given packet rate
+/// and frame length (including FCS), i.e. what a traffic generator reports.
+pub fn gbps_from_pps(pps: f64, frame_len: u32) -> f64 {
+    pps * (frame_len as f64) * 8.0 / 1e9
+}
+
+/// The wire frame length (including FCS) for an IP packet of `ip_len`
+/// bytes: Ethernet header (14) + payload padded to the 60-byte minimum,
+/// plus the 4-byte FCS.
+pub fn frame_len_for_ip(ip_len: u32) -> u32 {
+    (14 + ip_len + FCS_BYTES).max(MIN_FRAME_BYTES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_line_rates() {
+        // 14.88 Mpps at 10G / 64B, 37.2 Mpps at 25G / 64B.
+        assert!((line_rate_pps(10.0, 64) - 14_880_952.38).abs() < 1.0);
+        assert!((line_rate_pps(25.0, 64) - 37_202_380.95).abs() < 1.0);
+        // 1518-byte frames at 25G ≈ 2.03 Mpps.
+        let pps = line_rate_pps(25.0, 1518);
+        assert!((2.0e6..2.1e6).contains(&pps), "pps {pps}");
+    }
+
+    #[test]
+    fn gbps_round_trip() {
+        let pps = line_rate_pps(25.0, 1518);
+        let gbps = gbps_from_pps(pps, 1518);
+        // Payload rate is below the 25G wire rate because of the 20-byte
+        // per-frame wire overhead.
+        assert!(gbps < 25.0 && gbps > 24.0, "gbps {gbps}");
+    }
+
+    #[test]
+    fn frame_len_padding() {
+        assert_eq!(frame_len_for_ip(20), 64); // tiny IP packet padded
+        assert_eq!(frame_len_for_ip(46), 64); // exactly minimum
+        assert_eq!(frame_len_for_ip(1500), 1518); // full MTU
+    }
+
+    #[test]
+    #[should_panic(expected = "frame_len must be positive")]
+    fn zero_frame_panics() {
+        line_rate_pps(10.0, 0);
+    }
+}

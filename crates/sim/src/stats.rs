@@ -1,0 +1,253 @@
+//! Streaming statistics: mean/stddev (Welford) and exact percentiles.
+//!
+//! The paper reports average, 99th-percentile, and standard deviation for
+//! every latency experiment (Tables III, IV, V); [`Summary`] produces all
+//! three from a stream of samples.
+
+use std::fmt;
+
+/// Collects samples and reports mean, standard deviation, min/max and exact
+/// percentiles.
+///
+/// Samples are kept in full (latency experiments here produce at most a few
+/// million samples), so percentiles are exact rather than sketched.
+///
+/// # Example
+///
+/// ```
+/// use linuxfp_sim::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in [1.0, 2.0, 3.0, 4.0, 100.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.count(), 5);
+/// assert!((s.mean() - 22.0).abs() < 1e-9);
+/// assert_eq!(s.percentile(50.0), 3.0);
+/// assert_eq!(s.max(), 100.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary {
+            samples: Vec::new(),
+            sorted: true,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        self.sorted = false;
+        self.samples.push(value);
+        let n = self.samples.len() as f64;
+        let delta = value - self.mean;
+        self.mean += delta / n;
+        self.m2 += delta * (value - self.mean);
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean. Returns 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (n−1 denominator). Returns 0.0 for fewer
+    /// than two samples.
+    pub fn stddev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.samples.len() as f64 - 1.0)).sqrt()
+        }
+    }
+
+    /// Smallest sample. Returns 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample. Returns 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact percentile `p` in `[0, 100]` using nearest-rank interpolation.
+    /// Returns 0.0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]` or NaN.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        if n == 1 {
+            return self.samples[0];
+        }
+        let rank = p / 100.0 * (n as f64 - 1.0);
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
+    }
+
+    /// 99th percentile (the paper's `P_99` column).
+    pub fn p99(&mut self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        for &v in &other.samples {
+            self.record(v);
+        }
+    }
+
+    /// The raw samples recorded so far (in insertion or sorted order
+    /// depending on whether a percentile has been queried).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl Extend<f64> for Summary {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for Summary {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Summary::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = self.clone();
+        write!(
+            f,
+            "n={} mean={:.3} p99={:.3} stddev={:.3}",
+            s.count(),
+            s.mean(),
+            s.p99(),
+            s.stddev()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let mut s = Summary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.percentile(99.0), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn mean_and_stddev_match_direct_computation() {
+        let vals = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: Summary = vals.iter().copied().collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample stddev of this classic set is sqrt(32/7).
+        assert!((s.stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let mut s: Summary = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert!((s.percentile(50.0) - 50.5).abs() < 1e-9);
+        assert!((s.p99() - 99.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_sample_sets() {
+        let mut a: Summary = [1.0, 2.0].into_iter().collect();
+        let b: Summary = [3.0, 4.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert!((a.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_out_of_range() {
+        let mut s: Summary = [1.0].into_iter().collect();
+        s.percentile(101.0);
+    }
+
+    #[test]
+    fn single_sample_percentile() {
+        let mut s: Summary = [42.0].into_iter().collect();
+        assert_eq!(s.percentile(99.0), 42.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s: Summary = [1.0, 2.0].into_iter().collect();
+        assert!(s.to_string().contains("n=2"));
+    }
+}

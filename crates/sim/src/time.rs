@@ -1,0 +1,262 @@
+//! Virtual time: an integer nanosecond clock.
+//!
+//! All simulated activity is stamped in [`Nanos`]. Using an integer type
+//! keeps event ordering exact and runs reproducible across platforms;
+//! fractional per-packet costs live in `f64` inside the cost model and are
+//! rounded only when they are turned into events.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) virtual time, in nanoseconds.
+///
+/// `Nanos` is used both as an instant (time since simulation start) and as a
+/// duration; the arithmetic impls cover both readings, mirroring how
+/// `std::time::Duration` is commonly used in discrete-event simulators.
+///
+/// # Example
+///
+/// ```
+/// use linuxfp_sim::time::Nanos;
+///
+/// let t = Nanos::from_micros(3) + Nanos::from_nanos(500);
+/// assert_eq!(t.as_nanos(), 3_500);
+/// assert_eq!(t.as_secs_f64(), 3.5e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(u64);
+
+impl Nanos {
+    /// The zero instant (simulation start).
+    pub const ZERO: Nanos = Nanos(0);
+    /// The largest representable instant.
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// Creates a `Nanos` from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Creates a `Nanos` from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Creates a `Nanos` from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Creates a `Nanos` from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Creates a `Nanos` from fractional seconds, rounding to the nearest
+    /// nanosecond. Negative inputs saturate to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        Nanos((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Creates a `Nanos` from a fractional nanosecond cost, rounding to the
+    /// nearest nanosecond. Negative inputs saturate to zero.
+    pub fn from_nanos_f64(ns: f64) -> Self {
+        Nanos(ns.max(0.0).round() as u64)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Value in microseconds (lossy).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Value in milliseconds (lossy).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Value in seconds (lossy).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction; useful when computing elapsed spans.
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Nanos) -> Option<Nanos> {
+        self.0.checked_add(rhs.0).map(Nanos)
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Nanos {
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl From<u64> for Nanos {
+    fn from(ns: u64) -> Self {
+        Nanos(ns)
+    }
+}
+
+/// A monotonically advancing virtual clock.
+///
+/// The clock only moves forward; [`Clock::advance_to`] ignores attempts to
+/// move backwards, which makes it safe to drive from several event sources.
+///
+/// # Example
+///
+/// ```
+/// use linuxfp_sim::time::{Clock, Nanos};
+///
+/// let mut clock = Clock::new();
+/// clock.advance(Nanos::from_micros(5));
+/// clock.advance_to(Nanos::from_micros(3)); // ignored: in the past
+/// assert_eq!(clock.now(), Nanos::from_micros(5));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    now: Nanos,
+}
+
+impl Clock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Clock { now: Nanos::ZERO }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Advances the clock by `delta`.
+    pub fn advance(&mut self, delta: Nanos) {
+        self.now += delta;
+    }
+
+    /// Advances the clock to `t` if `t` is in the future; otherwise a no-op.
+    pub fn advance_to(&mut self, t: Nanos) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Nanos::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(Nanos::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(Nanos::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(Nanos::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+        assert_eq!(Nanos::from_nanos_f64(12.6).as_nanos(), 13);
+        assert_eq!(Nanos::from_nanos_f64(-4.0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanos::from_nanos(100);
+        let b = Nanos::from_nanos(40);
+        assert_eq!((a + b).as_nanos(), 140);
+        assert_eq!((a - b).as_nanos(), 60);
+        assert_eq!((a * 3).as_nanos(), 300);
+        assert_eq!((a / 4).as_nanos(), 25);
+        assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+        let total: Nanos = vec![a, b, b].into_iter().sum();
+        assert_eq!(total.as_nanos(), 180);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(Nanos::from_nanos(12).to_string(), "12ns");
+        assert_eq!(Nanos::from_micros(12).to_string(), "12.000us");
+        assert_eq!(Nanos::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(Nanos::from_secs(12).to_string(), "12.000s");
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut c = Clock::new();
+        c.advance_to(Nanos::from_nanos(50));
+        c.advance_to(Nanos::from_nanos(20));
+        assert_eq!(c.now().as_nanos(), 50);
+        c.advance(Nanos::from_nanos(5));
+        assert_eq!(c.now().as_nanos(), 55);
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert!(Nanos::MAX.checked_add(Nanos::from_nanos(1)).is_none());
+        assert_eq!(
+            Nanos::from_nanos(1).checked_add(Nanos::from_nanos(2)),
+            Some(Nanos::from_nanos(3))
+        );
+    }
+}

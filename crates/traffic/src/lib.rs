@@ -1,0 +1,18 @@
+//! Workload generation and measurement harnesses.
+//!
+//! Two instruments, mirroring the paper's §VI-A methodology:
+//!
+//! - [`pktgen`]: DPDK-Pktgen-style open-loop throughput measurement —
+//!   saturate the device under test with (minimum-size or swept-size)
+//!   packets, measure the sustained packet rate for 1–N cores, capped at
+//!   the 25 Gbps line rate.
+//! - [`netperf`]: netperf-TCP_RR-style closed-loop latency measurement —
+//!   128 parallel request/response sessions through the DUT, reporting
+//!   average, 99th-percentile and standard deviation of the transaction
+//!   RTT (the columns of paper Tables III/IV/V).
+
+pub mod netperf;
+pub mod pktgen;
+
+pub use netperf::{run_rr, RrConfig, RrResult};
+pub use pktgen::{sweep_cores, sweep_packet_sizes, throughput_pps, ThroughputPoint};

@@ -1,0 +1,257 @@
+//! Closed-loop request/response latency measurement (the netperf TCP_RR
+//! role), as a discrete-event simulation.
+//!
+//! Topology (paper §VI-A): traffic source and sink each connected to the
+//! DUT by one link; N parallel sessions each run an unending
+//! request/response ping-pong. Every transaction crosses the DUT twice
+//! (request and response). The DUT is a single-core FIFO server whose
+//! per-crossing service time comes from the platform measurement; on top
+//! of the queueing delay, interrupt-driven platforms add softirq
+//! scheduling jitter (exponentially distributed delivery delay that does
+//! *not* consume server capacity — NAPI processes other packets
+//! meanwhile), which is why Linux's tail latencies are so much worse
+//! than its mean service time alone would suggest.
+
+use linuxfp_platforms::Scheduling;
+use linuxfp_sim::{CostModel, EventQueue, Nanos, SimRng, Summary};
+
+/// Configuration of one RR latency experiment.
+#[derive(Debug, Clone)]
+pub struct RrConfig {
+    /// Parallel sessions (128 in the paper).
+    pub sessions: u32,
+    /// Per-crossing DUT service time (ns) — from the platform
+    /// measurement.
+    pub service_ns: f64,
+    /// The platform's scheduling class (jitter model).
+    pub scheduling: Scheduling,
+    /// Simulated measurement duration.
+    pub duration: Nanos,
+    /// Initial fraction of the duration to discard as warm-up.
+    pub warmup_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RrConfig {
+    /// The paper's single-core latency setup: 128 sessions.
+    pub fn paper_default(service_ns: f64, scheduling: Scheduling) -> Self {
+        RrConfig {
+            sessions: 128,
+            service_ns,
+            scheduling,
+            duration: Nanos::from_millis(200),
+            warmup_fraction: 0.25,
+            seed: 7,
+        }
+    }
+}
+
+/// Result of an RR experiment.
+#[derive(Debug, Clone)]
+pub struct RrResult {
+    /// Transaction RTT statistics in microseconds.
+    pub rtt_us: Summary,
+    /// Completed transactions per second across all sessions.
+    pub transactions_per_sec: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+#[allow(clippy::enum_variant_names)]
+enum Event {
+    /// A crossing job (request or response leg) arrives at the DUT.
+    ArriveDut {
+        session: u32,
+        txn_start: Nanos,
+        is_response: bool,
+    },
+    /// The request reached the server; it answers after its app time.
+    ArriveServer { session: u32, txn_start: Nanos },
+    /// The response reached the client; the transaction completes and the
+    /// session immediately issues the next request.
+    ArriveClient { session: u32, txn_start: Nanos },
+}
+
+/// Runs the closed-loop RR simulation.
+pub fn run_rr(cfg: &RrConfig) -> RrResult {
+    let cost = CostModel::calibrated();
+    let mut rng = SimRng::seed(cfg.seed);
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    let wire = Nanos::from_nanos_f64(cost.wire_ns);
+    let (jitter_mean, irq_overhead) = match cfg.scheduling {
+        Scheduling::InterruptFullStack => (
+            cost.softirq_jitter_linux_ns,
+            cost.irq_service_overhead_linux_ns,
+        ),
+        Scheduling::XdpResident => (
+            cost.softirq_jitter_xdp_ns,
+            cost.irq_service_overhead_xdp_ns,
+        ),
+        Scheduling::BusyPoll => (0.0, 0.0),
+    };
+    let crossing_ns = cfg.service_ns + irq_overhead;
+    let warmup = Nanos::from_nanos_f64(cfg.duration.as_nanos() as f64 * cfg.warmup_fraction);
+
+    // Stagger session starts across one service period to avoid phase
+    // artifacts.
+    for s in 0..cfg.sessions {
+        let jiggle = Nanos::from_nanos_f64(rng.uniform_f64() * cfg.service_ns);
+        queue.schedule(
+            jiggle,
+            Event::ArriveClient {
+                session: s,
+                txn_start: Nanos::ZERO, // sentinel: first txn starts fresh
+            },
+        );
+    }
+
+    let mut dut_free_at = Nanos::ZERO;
+    let mut rtt_us = Summary::new();
+    let mut completed_after_warmup: u64 = 0;
+
+    while let Some((now, event)) = queue.pop() {
+        if now > cfg.duration {
+            break;
+        }
+        match event {
+            Event::ArriveClient { session, txn_start } => {
+                if txn_start > Nanos::ZERO && now >= warmup {
+                    rtt_us.record(now.saturating_sub(txn_start).as_micros_f64());
+                    completed_after_warmup += 1;
+                }
+                // Issue the next request immediately (TCP_RR keeps one
+                // transaction in flight per session).
+                queue.schedule(
+                    now + wire,
+                    Event::ArriveDut {
+                        session,
+                        txn_start: now,
+                        is_response: false,
+                    },
+                );
+            }
+            Event::ArriveDut {
+                session,
+                txn_start,
+                is_response,
+            } => {
+                let service = Nanos::from_nanos_f64(
+                    crossing_ns * rng.lognormal_factor(cost.service_jitter_sigma),
+                );
+                let start = now.max(dut_free_at);
+                let done = start + service;
+                dut_free_at = done;
+                // Scheduling jitter delays delivery without holding the
+                // DUT core.
+                let delivered = done + Nanos::from_nanos_f64(rng.exponential(jitter_mean));
+                if is_response {
+                    queue.schedule(
+                        delivered + wire,
+                        Event::ArriveClient { session, txn_start },
+                    );
+                } else {
+                    queue.schedule(
+                        delivered + wire,
+                        Event::ArriveServer { session, txn_start },
+                    );
+                }
+            }
+            Event::ArriveServer { session, txn_start } => {
+                // The endpoints are ordinary Linux hosts in every
+                // configuration; occasional scheduler hiccups there are
+                // what all platforms' p99 tails share (cf. Table III,
+                // where even VPP's p99 is ~95 us above its mean).
+                let hiccup = if rng.chance(cost.endpoint_hiccup_prob) {
+                    rng.exponential(cost.endpoint_hiccup_ns)
+                } else {
+                    0.0
+                };
+                let app = Nanos::from_nanos_f64(cost.server_app_ns + hiccup);
+                queue.schedule(
+                    now + app + wire,
+                    Event::ArriveDut {
+                        session,
+                        txn_start,
+                        is_response: true,
+                    },
+                );
+            }
+        }
+    }
+
+    let measured_span = cfg.duration.saturating_sub(warmup).as_secs_f64();
+    RrResult {
+        rtt_us,
+        transactions_per_sec: if measured_span > 0.0 {
+            completed_after_warmup as f64 / measured_span
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturated_rtt_approximates_little_law() {
+        // With N sessions, 2 crossings each, the closed loop saturates
+        // the DUT: RTT ≈ N * 2 * service (+ mean jitter).
+        let mut cfg = RrConfig::paper_default(1000.0, Scheduling::BusyPoll);
+        cfg.seed = 1;
+        let r = run_rr(&cfg);
+        let expected = 128.0 * 2.0 * 1.0; // µs
+        let mean = r.rtt_us.mean();
+        assert!(
+            (mean - expected).abs() / expected < 0.08,
+            "mean {mean:.1} vs expected {expected:.1}"
+        );
+        assert!(r.rtt_us.count() > 1000);
+        assert!(r.transactions_per_sec > 100_000.0);
+    }
+
+    #[test]
+    fn linux_jitter_matches_paper_table3_shape() {
+        // Linux virtual router: ~1.0 µs/crossing, interrupt jitter.
+        let cfg = RrConfig::paper_default(1001.0, Scheduling::InterruptFullStack);
+        let mut r = run_rr(&cfg);
+        let mean = r.rtt_us.mean();
+        let p99 = r.rtt_us.p99();
+        // Paper Table III Linux: avg 326.9, p99 512.4, stddev 109.3.
+        assert!((290.0..370.0).contains(&mean), "mean {mean:.1}");
+        assert!((450.0..650.0).contains(&p99), "p99 {p99:.1}");
+        let sd = r.rtt_us.stddev();
+        assert!((45.0..160.0).contains(&sd), "stddev {sd:.1}");
+    }
+
+    #[test]
+    fn xdp_platform_latency_shape() {
+        // LinuxFP: ~0.565 µs/crossing, small jitter.
+        let cfg = RrConfig::paper_default(565.0, Scheduling::XdpResident);
+        let mut r = run_rr(&cfg);
+        let mean = r.rtt_us.mean();
+        // Paper Table III LinuxFP: avg 151.7, p99 279.4.
+        assert!((135.0..175.0).contains(&mean), "mean {mean:.1}");
+        assert!(r.rtt_us.p99() < 320.0, "p99 {}", r.rtt_us.p99());
+    }
+
+    #[test]
+    fn faster_service_means_lower_latency_and_more_txns() {
+        let slow = run_rr(&RrConfig::paper_default(1000.0, Scheduling::XdpResident));
+        let fast = run_rr(&RrConfig::paper_default(500.0, Scheduling::XdpResident));
+        let mut s = slow.rtt_us.clone();
+        let mut f = fast.rtt_us.clone();
+        assert!(f.percentile(50.0) < s.percentile(50.0));
+        assert!(fast.transactions_per_sec > slow.transactions_per_sec * 1.8);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = RrConfig::paper_default(700.0, Scheduling::InterruptFullStack);
+        let a = run_rr(&cfg);
+        let b = run_rr(&cfg);
+        assert_eq!(a.rtt_us.count(), b.rtt_us.count());
+        assert!((a.rtt_us.mean() - b.rtt_us.mean()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! Open-loop throughput measurement (the DPDK-Pktgen role).
+//!
+//! Measures a platform's steady-state per-packet service time on a
+//! representative workload (after warm-up, as the paper lets Pktgen warm
+//! up for 10 seconds), then converts it to sustained packets-per-second
+//! for a given core count via the calibrated multi-core model, capped at
+//! the NIC line rate.
+
+use linuxfp_platforms::{Platform, Scenario};
+use linuxfp_sim::rate::gbps_from_pps;
+use linuxfp_sim::{CoreModel, CostModel};
+
+/// One measured throughput point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputPoint {
+    /// Cores used.
+    pub cores: u32,
+    /// Frame length including FCS.
+    pub frame_len: u32,
+    /// Sustained packets per second.
+    pub pps: f64,
+    /// The same in Gbps of L2 payload.
+    pub gbps: f64,
+    /// Measured per-packet service time (ns).
+    pub service_ns: f64,
+}
+
+/// Measures sustained throughput for `cores` cores at the given frame
+/// length (`frame_len` includes the 4-byte FCS; the frame handed to the
+/// platform is 4 bytes shorter, like real NICs strip it).
+pub fn throughput_pps(
+    platform: &mut dyn Platform,
+    scenario: Scenario,
+    dut_mac: linuxfp_packet::MacAddr,
+    cores: u32,
+    frame_len: u32,
+) -> ThroughputPoint {
+    let on_wire_len = frame_len.max(64);
+    let handed_len = (on_wire_len - 4) as usize;
+    let service_ns =
+        platform.service_time_ns(&mut |i| scenario.frame(dut_mac, i, handed_len));
+    let cost = CostModel::calibrated();
+    let model = CoreModel::new(&cost);
+    let pps = model.throughput_pps_capped(service_ns, cores, on_wire_len);
+    ThroughputPoint {
+        cores,
+        frame_len: on_wire_len,
+        pps,
+        gbps: gbps_from_pps(pps, on_wire_len),
+        service_ns,
+    }
+}
+
+/// Sweeps core counts at minimum frame size (paper Figs. 5 and 7).
+pub fn sweep_cores(
+    platform: &mut dyn Platform,
+    scenario: Scenario,
+    dut_mac: linuxfp_packet::MacAddr,
+    max_cores: u32,
+) -> Vec<ThroughputPoint> {
+    (1..=max_cores)
+        .map(|c| throughput_pps(platform, scenario, dut_mac, c, 64))
+        .collect()
+}
+
+/// Sweeps frame sizes on one core (paper Fig. 6).
+pub fn sweep_packet_sizes(
+    platform: &mut dyn Platform,
+    scenario: Scenario,
+    dut_mac: linuxfp_packet::MacAddr,
+    sizes: &[u32],
+) -> Vec<ThroughputPoint> {
+    sizes
+        .iter()
+        .map(|s| throughput_pps(platform, scenario, dut_mac, 1, *s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linuxfp_platforms::{LinuxFpPlatform, LinuxPlatform};
+
+    #[test]
+    fn min_size_throughput_matches_calibration() {
+        let s = Scenario::router();
+        let mut linux = LinuxPlatform::new(s);
+        let mac = linux.dut_mac();
+        let p = throughput_pps(&mut linux, s, mac, 1, 64);
+        // Plain Linux forwarding ~1 Mpps single core.
+        assert!((0.85e6..1.15e6).contains(&p.pps), "pps {}", p.pps);
+        assert_eq!(p.cores, 1);
+        assert_eq!(p.frame_len, 64);
+
+        let mut lfp = LinuxFpPlatform::new(s);
+        let mac = lfp.dut_mac();
+        let p = throughput_pps(&mut lfp, s, mac, 1, 64);
+        // LinuxFP ~1.77 Mpps single core (paper Table VII: 1,768,221).
+        assert!((1.5e6..2.0e6).contains(&p.pps), "pps {}", p.pps);
+    }
+
+    #[test]
+    fn core_sweep_is_monotonic() {
+        let s = Scenario::router();
+        let mut lfp = LinuxFpPlatform::new(s);
+        let mac = lfp.dut_mac();
+        let points = sweep_cores(&mut lfp, s, mac, 6);
+        assert_eq!(points.len(), 6);
+        for w in points.windows(2) {
+            assert!(w[1].pps > w[0].pps, "sweep not monotonic");
+        }
+        // Roughly linear: 6 cores within [5x, 6x] of 1 core.
+        let ratio = points[5].pps / points[0].pps;
+        assert!((5.0..6.01).contains(&ratio), "scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn size_sweep_hits_line_rate_at_mtu() {
+        let s = Scenario::router();
+        let mut lfp = LinuxFpPlatform::new(s);
+        let mac = lfp.dut_mac();
+        let points = sweep_packet_sizes(&mut lfp, s, mac, &[64, 128, 256, 512, 1024, 1518]);
+        // pps falls with size once line-rate limited; gbps rises.
+        assert!(points.last().unwrap().gbps > 20.0, "near line rate at MTU");
+        assert!(points[0].gbps < 2.0);
+        // Service time is ~size independent (no payload copies on XDP).
+        let spread = points
+            .iter()
+            .map(|p| p.service_ns)
+            .fold((f64::MAX, f64::MIN), |(lo, hi), v| (lo.min(v), hi.max(v)));
+        assert!(spread.1 - spread.0 < 50.0, "service spread {spread:?}");
+    }
+}

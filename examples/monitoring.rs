@@ -1,0 +1,78 @@
+//! Custom monitoring modules (paper §VIII): hot-install a packet counter
+//! and a tcpdump-style AF_XDP mirror into a running fast path — no
+//! traffic interruption, verifier-gated, all state readable live from
+//! user space.
+//!
+//! ```text
+//! cargo run --example monitoring
+//! ```
+
+use linuxfp::core::fpm::CustomFpm;
+use linuxfp::packet::builder;
+use linuxfp::prelude::*;
+use std::net::Ipv4Addr;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A routed host with the controller attached.
+    let mut kernel = Kernel::new(5);
+    let eth0 = kernel.add_physical("eth0")?;
+    let eth1 = kernel.add_physical("eth1")?;
+    kernel.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>()?)?;
+    kernel.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>()?)?;
+    kernel.ip_link_set_up(eth0)?;
+    kernel.ip_link_set_up(eth1)?;
+    kernel.sysctl_set("net.ipv4.ip_forward", 1)?;
+    kernel.ip_route_add("10.10.0.0/16".parse::<Prefix>()?, Some("10.0.2.2".parse()?), None)?;
+    let now = kernel.now();
+    kernel
+        .neigh
+        .learn("10.0.2.2".parse()?, MacAddr::from_index(0xBEEF), eth1, now);
+    let (mut controller, _) = Controller::attach(&mut kernel, ControllerConfig::default())?;
+
+    // Hot-install two monitoring modules into the live fast path.
+    let counter = controller.deployer().maps().create_hash(4);
+    let (xsk_map, capture) = controller.deployer().maps().create_xsk(1024);
+    let r1 = controller
+        .install_custom_module(&mut kernel, CustomFpm::packet_counter("pkt_count", counter.0))?;
+    let r2 = controller
+        .install_custom_module(&mut kernel, CustomFpm::mirror_to_user("capture", xsk_map.0))?;
+    println!(
+        "installed pkt_count ({:.3}s) and capture ({:.3}s) into the running data path\n",
+        r1.reaction.as_secs_f64(),
+        r2.reaction.as_secs_f64()
+    );
+
+    // Forward some traffic.
+    let dut_mac = kernel.device(eth0).expect("exists").mac;
+    for i in 0..10u8 {
+        let frame = builder::udp_packet(
+            MacAddr::from_index(0xAAAA),
+            dut_mac,
+            Ipv4Addr::new(10, 0, 1, 100),
+            Ipv4Addr::new(10, 10, 3, i),
+            4000 + u16::from(i),
+            53,
+            b"payload",
+        );
+        let out = kernel.receive(eth0, frame);
+        assert_eq!(out.transmissions().len(), 1, "still forwarding");
+    }
+
+    // Read the live telemetry from user space.
+    let count = controller
+        .deployer()
+        .maps()
+        .lookup(counter, &0u32.to_le_bytes())?
+        .map(|v| u64::from_le_bytes(v.try_into().expect("8-byte counter")))
+        .unwrap_or(0);
+    println!("fast-path packet counter: {count}");
+    println!("captured frames on the AF_XDP socket: {}", capture.pending());
+    if let Some(first) = capture.recv() {
+        let eth = linuxfp::packet::EthernetFrame::parse(&first)?;
+        let ip = linuxfp::packet::Ipv4Header::parse(&first[eth.payload_offset..])?;
+        println!("first capture: {} -> {} ({} bytes, as seen at the XDP layer)",
+            ip.src, ip.dst, first.len());
+    }
+    println!("\nall of this was injected at runtime; forwarding never paused.");
+    Ok(())
+}

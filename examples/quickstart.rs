@@ -1,0 +1,82 @@
+//! Quickstart: configure a router with ordinary commands, attach the
+//! LinuxFP controller, and watch the same packet take the slow path and
+//! then the synthesized fast path.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use linuxfp::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A "machine" with two NICs.
+    let mut kernel = Kernel::new(1);
+    let eth0 = kernel.add_physical("eth0")?;
+    let eth1 = kernel.add_physical("eth1")?;
+    kernel.ip_link_set_up(eth0)?;
+    kernel.ip_link_set_up(eth1)?;
+
+    // 2. Configure it as a router exactly as an admin would with
+    //    iproute2 + sysctl. Nothing here is LinuxFP-specific.
+    kernel.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>()?)?;
+    kernel.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>()?)?;
+    kernel.sysctl_set("net.ipv4.ip_forward", 1)?;
+    kernel.ip_route_add(
+        "10.10.0.0/16".parse::<Prefix>()?,
+        Some("10.0.2.2".parse()?),
+        None,
+    )?;
+    let now = kernel.now();
+    kernel
+        .neigh
+        .learn("10.0.2.2".parse()?, MacAddr::from_index(0xBEEF), eth1, now);
+
+    // A test packet arriving on eth0 for a destination behind eth1.
+    let make_frame = |k: &Kernel| {
+        linuxfp::packet::builder::udp_packet(
+            MacAddr::from_index(0xAAAA),
+            k.device(eth0).expect("exists").mac,
+            "10.0.1.100".parse().unwrap(),
+            "10.10.3.7".parse().unwrap(),
+            1000,
+            2000,
+            b"hello fast path",
+        )
+    };
+
+    // 3. Before LinuxFP: the packet takes the full slow path.
+    let out = kernel.receive(eth0, make_frame(&kernel));
+    println!("--- plain Linux ---");
+    println!(
+        "forwarded: {} (sk_buff allocated: {})",
+        out.transmissions().len() == 1,
+        out.cost.stage_count("skb_alloc") == 1
+    );
+    println!("slow path cost: {:.0} ns/packet\n{}", out.cost.total_ns(), out.cost);
+
+    // 4. Attach the controller. It introspects the existing configuration
+    //    over netlink and deploys a minimal forwarding fast path.
+    let (controller, report) = Controller::attach(&mut kernel, ControllerConfig::default())?;
+    println!("--- LinuxFP attached ---");
+    println!(
+        "reaction time {:.3}s, programs: {:?}",
+        report.reaction.as_secs_f64(),
+        report.installed
+    );
+    println!(
+        "processing graph:\n{}\n",
+        serde_json::to_string_pretty(controller.graph())?
+    );
+
+    // 5. The same packet now takes the XDP fast path: no sk_buff, the
+    //    FIB consulted through bpf_fib_lookup, redirected in the driver.
+    let out = kernel.receive(eth0, make_frame(&kernel));
+    println!("--- accelerated ---");
+    println!(
+        "forwarded: {} (sk_buff allocated: {})",
+        out.transmissions().len() == 1,
+        out.cost.stage_count("skb_alloc") == 1
+    );
+    println!("fast path cost: {:.0} ns/packet\n{}", out.cost.total_ns(), out.cost);
+    Ok(())
+}

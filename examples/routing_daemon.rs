@@ -1,0 +1,163 @@
+//! Transparency with control-plane software (paper §I: "control plane
+//! software, such as FRRouting (FRR), work[s] without modification"):
+//! a miniature distance-vector routing daemon installs and withdraws
+//! routes through the standard API only, and the LinuxFP controller keeps
+//! the fast path in lockstep.
+//!
+//! ```text
+//! cargo run --example routing_daemon
+//! ```
+
+use linuxfp::packet::builder;
+use linuxfp::prelude::*;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// A received route advertisement (as an FRR peer session would deliver).
+struct Advertisement {
+    prefix: Prefix,
+    next_hop: Ipv4Addr,
+    metric: u32,
+    withdraw: bool,
+}
+
+/// The daemon's RIB: best metric per prefix, flushed into the kernel FIB
+/// with plain `ip route` operations.
+#[derive(Default)]
+struct MiniDaemon {
+    rib: HashMap<Prefix, (Ipv4Addr, u32)>,
+}
+
+impl MiniDaemon {
+    fn process(&mut self, kernel: &mut Kernel, adv: Advertisement) {
+        if adv.withdraw {
+            if self.rib.remove(&adv.prefix).is_some() {
+                let _ = kernel.ip_route_del(adv.prefix, None);
+                println!("daemon: withdraw {}", adv.prefix);
+            }
+            return;
+        }
+        let better = self
+            .rib
+            .get(&adv.prefix)
+            .map(|(_, m)| adv.metric < *m)
+            .unwrap_or(true);
+        if better {
+            if self.rib.contains_key(&adv.prefix) {
+                let _ = kernel.ip_route_del(adv.prefix, None);
+            }
+            self.rib.insert(adv.prefix, (adv.next_hop, adv.metric));
+            kernel
+                .ip_route_add(adv.prefix, Some(adv.next_hop), None)
+                .expect("gateway reachable");
+            println!(
+                "daemon: install {} via {} metric {}",
+                adv.prefix, adv.next_hop, adv.metric
+            );
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut kernel = Kernel::new(3);
+    let eth0 = kernel.add_physical("eth0")?;
+    let eth1 = kernel.add_physical("eth1")?;
+    let eth2 = kernel.add_physical("eth2")?;
+    kernel.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>()?)?;
+    kernel.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>()?)?;
+    kernel.ip_addr_add(eth2, "10.0.3.1/24".parse::<IfAddr>()?)?;
+    for d in [eth0, eth1, eth2] {
+        kernel.ip_link_set_up(d)?;
+    }
+    kernel.sysctl_set("net.ipv4.ip_forward", 1)?;
+    let now = kernel.now();
+    let peer_b: Ipv4Addr = "10.0.2.2".parse()?;
+    let peer_c: Ipv4Addr = "10.0.3.2".parse()?;
+    kernel.neigh.learn(peer_b, MacAddr::from_index(0xB), eth1, now);
+    kernel.neigh.learn(peer_c, MacAddr::from_index(0xC), eth2, now);
+    // The probe source host, resolved so ICMP errors route back warm.
+    kernel
+        .neigh
+        .learn("10.0.1.100".parse()?, MacAddr::from_index(0xAAAA), eth0, now);
+
+    let (mut controller, _) = Controller::attach(&mut kernel, ControllerConfig::default())?;
+    let mut daemon = MiniDaemon::default();
+
+    let probe = |kernel: &mut Kernel| {
+        let frame = builder::udp_packet(
+            MacAddr::from_index(0xAAAA),
+            kernel.device(eth0).unwrap().mac,
+            "10.0.1.100".parse().unwrap(),
+            "10.20.0.7".parse().unwrap(),
+            1,
+            2,
+            b"probe",
+        );
+        let out = kernel.receive(eth0, frame);
+        if !out.drops().is_empty() {
+            // With no route the slow path answers with an ICMP
+            // destination-unreachable toward the source.
+            return format!(
+                "dropped ({:?}), ICMP errors sent: {}",
+                out.drops(),
+                out.transmissions().len()
+            );
+        }
+        match out.transmissions().first() {
+            Some((dev, frame)) => {
+                let eth = linuxfp::packet::EthernetFrame::parse(frame).unwrap();
+                format!(
+                    "forwarded out {dev} to {} (fast path: {})",
+                    eth.dst,
+                    out.cost.stage_count("skb_alloc") == 0
+                )
+            }
+            None => "no output".to_string(),
+        }
+    };
+
+    println!("-- before any advertisement --");
+    println!("probe 10.20.0.7: {}\n", probe(&mut kernel));
+
+    // Peer B advertises the prefix.
+    daemon.process(
+        &mut kernel,
+        Advertisement {
+            prefix: "10.20.0.0/16".parse()?,
+            next_hop: peer_b,
+            metric: 10,
+            withdraw: false,
+        },
+    );
+    let r = controller.poll(&mut kernel)?.unwrap();
+    println!("controller reacted in {:.3}s", r.reaction.as_secs_f64());
+    println!("probe 10.20.0.7: {}\n", probe(&mut kernel));
+
+    // Peer C advertises a better path: the daemon replaces the route.
+    daemon.process(
+        &mut kernel,
+        Advertisement {
+            prefix: "10.20.0.0/16".parse()?,
+            next_hop: peer_c,
+            metric: 5,
+            withdraw: false,
+        },
+    );
+    controller.poll(&mut kernel)?;
+    println!("probe 10.20.0.7: {}\n", probe(&mut kernel));
+
+    // Peer C withdraws: traffic falls back to... nothing (dropped).
+    daemon.process(
+        &mut kernel,
+        Advertisement {
+            prefix: "10.20.0.0/16".parse()?,
+            next_hop: peer_c,
+            metric: 5,
+            withdraw: true,
+        },
+    );
+    controller.poll(&mut kernel)?;
+    println!("probe 10.20.0.7: {}", probe(&mut kernel));
+    println!("\nthe daemon never heard of LinuxFP; the fast path tracked every change.");
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! The paper's virtual-gateway evaluation (§VI-A1): forwarding plus an
+//! iptables blacklist, and the effect of aggregating it into an ipset.
+//!
+//! ```text
+//! cargo run --example virtual_gateway --release
+//! ```
+
+use linuxfp::prelude::*;
+use linuxfp::traffic::pktgen;
+
+fn main() {
+    println!("virtual gateway: 50 prefixes + blacklist on FORWARD, single core\n");
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>10}",
+        "platform", "1 rule", "100 rules", "500 rules", "1000 rules"
+    );
+
+    let sweep = |rules: u32, use_ipset: bool| Scenario {
+        prefixes: 50,
+        filter_rules: rules,
+        use_ipset,
+    };
+    let rule_counts = [1u32, 100, 500, 1000];
+
+    let print_row = |name: &str, use_ipset: bool, kind: &str| {
+        let mut cells = format!("{name:<18}");
+        for &rules in &rule_counts {
+            let s = sweep(rules, use_ipset);
+            let mpps = match kind {
+                "linux" => {
+                    let mut p = LinuxPlatform::new(s);
+                    let mac = p.dut_mac();
+                    pktgen::throughput_pps(&mut p, s, mac, 1, 64).pps / 1e6
+                }
+                "polycube" => {
+                    let mut p = PolycubePlatform::new(s);
+                    let mac = p.dut_mac();
+                    pktgen::throughput_pps(&mut p, s, mac, 1, 64).pps / 1e6
+                }
+                _ => {
+                    let mut p = LinuxFpPlatform::new(s);
+                    let mac = p.dut_mac();
+                    pktgen::throughput_pps(&mut p, s, mac, 1, 64).pps / 1e6
+                }
+            };
+            cells += &format!(" {mpps:>9.3}");
+        }
+        println!("{cells}  [Mpps]");
+    };
+
+    print_row("Linux", false, "linux");
+    print_row("Polycube", false, "polycube");
+    print_row("LinuxFP", false, "linuxfp");
+    print_row("LinuxFP (ipset)", true, "linuxfp");
+
+    // Demonstrate that filtering is actually enforced on the fast path.
+    let s = sweep(100, true);
+    let mut lfp = LinuxFpPlatform::new(s);
+    let mac = lfp.dut_mac();
+    let blocked = linuxfp::packet::builder::udp_packet(
+        linuxfp::platforms::scenario::SOURCE_MAC,
+        mac,
+        "10.0.1.100".parse().unwrap(),
+        s.blocked_dst(0),
+        1,
+        2,
+        b"blocked",
+    );
+    let out = lfp.process(blocked);
+    println!(
+        "\nblacklisted destination {} -> {:?} (dropped on the XDP fast path, \
+         sk_buff never allocated: {})",
+        s.blocked_dst(0),
+        out.drops(),
+        out.cost.stage_count("skb_alloc") == 0
+    );
+    println!("\npaper: the linear scan hurts Linux and LinuxFP as rules grow; ipset");
+    println!("aggregation keeps LinuxFP flat and ahead of Polycube's classifier.");
+}

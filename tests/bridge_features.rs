@@ -1,0 +1,168 @@
+//! End-to-end bridge feature coverage through the full LinuxFP stack:
+//! VLAN filtering and STP port states on the synthesized fast path must
+//! match slow-path semantics exactly.
+
+use linuxfp::netstack::bridge::StpState;
+use linuxfp::netstack::stack::Effect;
+use linuxfp::packet::{builder, EthernetFrame, VlanTag};
+use linuxfp::prelude::*;
+use std::net::Ipv4Addr;
+
+fn vlan_bridge(seed: u64) -> (Kernel, Vec<IfIndex>, IfIndex) {
+    let mut k = Kernel::new(seed);
+    let p1 = k.add_physical("p1").unwrap();
+    let p2 = k.add_physical("p2").unwrap();
+    let p3 = k.add_physical("p3").unwrap();
+    let br = k.add_bridge("br0").unwrap();
+    for p in [p1, p2, p3] {
+        k.brctl_addif(br, p).unwrap();
+    }
+    for d in [p1, p2, p3, br] {
+        k.ip_link_set_up(d).unwrap();
+    }
+    k.bridge_set_vlan_filtering(br, true).unwrap();
+    {
+        let bridge = k.bridge_mut(br).unwrap();
+        // p1 and p2 are in VLAN 10; p3 only in VLAN 20.
+        bridge.port_mut(p1).unwrap().vlans = vec![10];
+        bridge.port_mut(p1).unwrap().pvid = 10;
+        bridge.port_mut(p2).unwrap().vlans = vec![10, 20];
+        bridge.port_mut(p2).unwrap().pvid = 10;
+        bridge.port_mut(p3).unwrap().vlans = vec![20];
+        bridge.port_mut(p3).unwrap().pvid = 20;
+    }
+    (k, vec![p1, p2, p3], br)
+}
+
+fn tagged_frame(src: u64, dst: u64, vid: u16) -> Vec<u8> {
+    let mut f = builder::udp_packet(
+        MacAddr::from_index(0x100 + src),
+        MacAddr::from_index(0x100 + dst),
+        Ipv4Addr::new(192, 168, 0, src as u8 + 1),
+        Ipv4Addr::new(192, 168, 0, dst as u8 + 1),
+        1000,
+        2000,
+        b"vlan",
+    );
+    EthernetFrame::push_vlan(&mut f, VlanTag { vid, pcp: 0 });
+    f
+}
+
+fn untagged_frame(src: u64, dst: u64) -> Vec<u8> {
+    builder::udp_packet(
+        MacAddr::from_index(0x100 + src),
+        MacAddr::from_index(0x100 + dst),
+        Ipv4Addr::new(192, 168, 0, src as u8 + 1),
+        Ipv4Addr::new(192, 168, 0, dst as u8 + 1),
+        1000,
+        2000,
+        b"vlan",
+    )
+}
+
+fn observable(effects: &[Effect]) -> Vec<String> {
+    let mut v: Vec<String> = effects
+        .iter()
+        .filter_map(|e| match e {
+            Effect::Transmit { dev, frame } => Some(format!("tx:{}:{:x?}", dev.as_u32(), frame)),
+            Effect::Deliver { dev, frame } => Some(format!("rx:{}:{:x?}", dev.as_u32(), frame)),
+            Effect::Drop { .. } => None,
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn vlan_bridge_fast_path_equals_slow_path() {
+    let (mut plain, pp, _) = vlan_bridge(71);
+    let (mut fast, pf, _) = vlan_bridge(71);
+    let (_ctrl, report) = Controller::attach(&mut fast, ControllerConfig::default()).unwrap();
+    assert_eq!(report.installed.len(), 3);
+
+    // A conversation mixing tagged/untagged frames across VLANs; every
+    // packet must behave identically on both kernels.
+    let cases: Vec<(usize, Vec<u8>)> = vec![
+        (0, untagged_frame(1, 2)),      // learn h1 in vlan 10 (pvid)
+        (1, untagged_frame(2, 1)),      // learn h2, unicast back
+        (0, untagged_frame(1, 2)),      // now a pure fast-path candidate
+        (1, tagged_frame(2, 3, 20)),    // vlan 20: reaches only p3
+        (2, tagged_frame(3, 2, 20)),    // reply in vlan 20
+        (1, tagged_frame(2, 3, 20)),    // unicast in vlan 20
+        (0, tagged_frame(1, 3, 20)),    // p1 not a member of 20: drop
+        (0, tagged_frame(1, 2, 10)),    // explicit tag matching pvid
+        (2, untagged_frame(3, 1)),      // pvid 20 on p3: h1 unknown there
+    ];
+    for (i, (port, frame)) in cases.into_iter().enumerate() {
+        let out_p = plain.receive(pp[port], frame.clone());
+        let out_f = fast.receive(pf[port], frame);
+        assert_eq!(
+            observable(&out_p.effects),
+            observable(&out_f.effects),
+            "case {i} diverged"
+        );
+    }
+}
+
+#[test]
+fn vlan_unicast_uses_the_fast_path_with_tag_intact() {
+    let (mut fast, p, _) = vlan_bridge(72);
+    let (_ctrl, _) = Controller::attach(&mut fast, ControllerConfig::default()).unwrap();
+    // Learn both hosts in VLAN 20 (tagged via p2 and p3).
+    fast.receive(p[1], tagged_frame(2, 3, 20));
+    fast.receive(p[2], tagged_frame(3, 2, 20));
+    // Unicast now takes the fast path, forwarding the tagged frame as-is.
+    let out = fast.receive(p[1], tagged_frame(2, 3, 20));
+    assert_eq!(out.cost.stage_count("skb_alloc"), 0, "should be fast-pathed");
+    let tx = out.transmissions();
+    assert_eq!(tx.len(), 1);
+    assert_eq!(tx[0].0, p[2]);
+    let eth = EthernetFrame::parse(tx[0].1).unwrap();
+    assert_eq!(eth.vlan, Some(VlanTag { vid: 20, pcp: 0 }));
+}
+
+#[test]
+fn blocked_ingress_port_is_never_fast_forwarded() {
+    let (mut fast, p, br) = vlan_bridge(73);
+    let (_ctrl, _) = Controller::attach(&mut fast, ControllerConfig::default()).unwrap();
+    // Warm the FDB while ports are forwarding.
+    fast.receive(p[0], untagged_frame(1, 2));
+    fast.receive(p[1], untagged_frame(2, 1));
+    let out = fast.receive(p[0], untagged_frame(1, 2));
+    assert_eq!(out.transmissions().len(), 1, "baseline fast forward");
+    assert_eq!(out.cost.stage_count("skb_alloc"), 0);
+
+    // STP blocks p1 (slow-path protocol decision). The fast path must
+    // stop forwarding its traffic immediately — no controller round
+    // trip, because the helper consults live kernel state.
+    fast.bridge_mut(br).unwrap().port_mut(p[0]).unwrap().stp_state = StpState::Blocking;
+    let out = fast.receive(p[0], untagged_frame(1, 2));
+    assert!(
+        out.transmissions().is_empty(),
+        "blocked port's traffic forwarded: {:?}",
+        out.effects
+    );
+
+    // Egress blocking is honored too.
+    fast.bridge_mut(br).unwrap().port_mut(p[0]).unwrap().stp_state = StpState::Forwarding;
+    fast.bridge_mut(br).unwrap().port_mut(p[1]).unwrap().stp_state = StpState::Blocking;
+    let out = fast.receive(p[0], untagged_frame(1, 2));
+    assert!(out.transmissions().is_empty(), "{:?}", out.effects);
+}
+
+#[test]
+fn stp_state_changes_equivalent_on_both_paths() {
+    let (mut plain, pp, brp) = vlan_bridge(74);
+    let (mut fast, pf, brf) = vlan_bridge(74);
+    let (_ctrl, _) = Controller::attach(&mut fast, ControllerConfig::default()).unwrap();
+    for k_ports_br in [(&mut plain, &pp, brp), (&mut fast, &pf, brf)] {
+        let (k, ports, br) = k_ports_br;
+        k.receive(ports[0], untagged_frame(1, 2));
+        k.receive(ports[1], untagged_frame(2, 1));
+        k.bridge_mut(br).unwrap().port_mut(ports[0]).unwrap().stp_state = StpState::Learning;
+    }
+    let out_p = plain.receive(pp[0], untagged_frame(1, 2));
+    let out_f = fast.receive(pf[0], untagged_frame(1, 2));
+    assert_eq!(observable(&out_p.effects), observable(&out_f.effects));
+    assert!(out_p.transmissions().is_empty(), "learning port must not forward");
+}

@@ -1,0 +1,138 @@
+//! Cross-crate integration tests through the facade: the full
+//! introspect → synthesize → deploy → process loop, swap-under-traffic,
+//! and capability fallback.
+
+use linuxfp::netstack::netfilter::{ChainHook, IptRule};
+use linuxfp::packet::builder;
+use linuxfp::prelude::*;
+
+fn router_kernel() -> (Kernel, IfIndex, IfIndex) {
+    let mut k = Kernel::new(31);
+    let eth0 = k.add_physical("eth0").unwrap();
+    let eth1 = k.add_physical("eth1").unwrap();
+    k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap()).unwrap();
+    k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap()).unwrap();
+    k.ip_link_set_up(eth0).unwrap();
+    k.ip_link_set_up(eth1).unwrap();
+    k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
+    k.ip_route_add(
+        "10.10.0.0/16".parse::<Prefix>().unwrap(),
+        Some("10.0.2.2".parse().unwrap()),
+        None,
+    )
+    .unwrap();
+    let now = k.now();
+    k.neigh
+        .learn("10.0.2.2".parse().unwrap(), MacAddr::from_index(0xBEEF), eth1, now);
+    (k, eth0, eth1)
+}
+
+fn test_frame(k: &Kernel, eth0: IfIndex, last_octet: u8) -> Vec<u8> {
+    builder::udp_packet(
+        MacAddr::from_index(0xAAAA),
+        k.device(eth0).unwrap().mac,
+        "10.0.1.100".parse().unwrap(),
+        std::net::Ipv4Addr::new(10, 10, 3, last_octet),
+        1000,
+        2000,
+        b"e2e",
+    )
+}
+
+#[test]
+fn full_loop_accelerates_and_stays_correct() {
+    let (mut k, eth0, eth1) = router_kernel();
+    let (mut ctrl, report) = Controller::attach(&mut k, ControllerConfig::default()).unwrap();
+    assert!(report.changed);
+
+    // Accelerated forwarding.
+    let out = k.receive(eth0, test_frame(&k, eth0, 1));
+    assert_eq!(out.transmissions().len(), 1);
+    assert_eq!(out.transmissions()[0].0, eth1);
+    assert_eq!(out.cost.stage_count("skb_alloc"), 0);
+
+    // Add a rule mid-flight: the data path swaps atomically; traffic to
+    // the blocked prefix drops, everything else still flows.
+    k.iptables_append(
+        ChainHook::Forward,
+        IptRule::drop_dst("10.10.3.7/32".parse::<Prefix>().unwrap()),
+    );
+    let swap = ctrl.poll(&mut k).unwrap().unwrap();
+    assert!(swap.changed);
+    let blocked = k.receive(eth0, test_frame(&k, eth0, 7));
+    assert!(blocked.transmissions().is_empty());
+    let allowed = k.receive(eth0, test_frame(&k, eth0, 8));
+    assert_eq!(allowed.transmissions().len(), 1);
+    assert_eq!(allowed.cost.stage_count("helper_ipt_base"), 1);
+}
+
+#[test]
+fn swap_under_traffic_never_loses_service() {
+    // Interleave packets with continuous reconfiguration: every packet
+    // must either be forwarded or intentionally dropped by policy —
+    // never black-holed by a mid-swap window.
+    let (mut k, eth0, _) = router_kernel();
+    let (mut ctrl, _) = Controller::attach(&mut k, ControllerConfig::default()).unwrap();
+    for round in 0..32u32 {
+        // Reconfigure: alternately add and remove a route (changing the
+        // graph and forcing resynthesis + swap).
+        let extra: Prefix = "172.16.0.0/16".parse().unwrap();
+        if round % 2 == 0 {
+            k.ip_route_add(extra, Some("10.0.2.2".parse().unwrap()), None).unwrap();
+        } else {
+            k.ip_route_del(extra, None).unwrap();
+        }
+        ctrl.poll(&mut k).unwrap().unwrap();
+        let out = k.receive(eth0, test_frame(&k, eth0, (round % 200) as u8));
+        assert_eq!(
+            out.transmissions().len(),
+            1,
+            "round {round}: packet lost during swap"
+        );
+    }
+}
+
+#[test]
+fn stock_kernel_falls_back_to_slow_path_but_stays_correct() {
+    let (mut k, eth0, _) = router_kernel();
+    k.iptables_append(
+        ChainHook::Forward,
+        IptRule::drop_dst("10.10.3.7/32".parse::<Prefix>().unwrap()),
+    );
+    // A kernel without bpf_ipt_lookup: the filter stays in the slow
+    // path; the router FPM is still synthesized (bpf_fib_lookup is
+    // upstream).
+    let cfg = ControllerConfig {
+        hook: HookPoint::Xdp,
+        capabilities: Capabilities::stock_kernel(),
+        ..ControllerConfig::default()
+    };
+    let (_ctrl, report) = Controller::attach(&mut k, cfg).unwrap();
+    assert!(report.changed);
+    // Blocked traffic... the router FPM would forward it, bypassing the
+    // filter! The topology manager must therefore NOT have deployed a
+    // router-only pipeline when FORWARD rules exist without filter
+    // support. Verify the verdict is still DROP.
+    let out = k.receive(eth0, test_frame(&k, eth0, 7));
+    assert!(
+        out.transmissions().is_empty(),
+        "firewall bypassed on stock kernel: {:?}",
+        out.effects
+    );
+}
+
+#[test]
+fn facade_prelude_covers_the_workflow() {
+    // Compile-time check that the prelude exposes what a user needs.
+    let scenario = Scenario::router();
+    let mut lfp = LinuxFpPlatform::new(scenario);
+    let mac = lfp.dut_mac();
+    let service = lfp.service_time_ns(&mut |i| scenario.frame(mac, i, 60));
+    assert!(service > 100.0 && service < 2000.0);
+    let cost = CostModel::calibrated();
+    assert!(cost.line_rate_gbps > 0.0);
+    let mut s = Summary::new();
+    s.record(1.0);
+    assert_eq!(s.count(), 1);
+    let _ = Nanos::from_secs(1);
+}

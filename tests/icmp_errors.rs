@@ -1,0 +1,165 @@
+//! Slow-path ICMP error generation (paper Table I: ICMP and corner
+//! cases stay in Linux): TTL expiry produces Time Exceeded, missing
+//! routes produce Destination Unreachable — identically whether or not
+//! fast paths are attached (which always punt those packets).
+
+use linuxfp::packet::{builder, EthernetFrame, IcmpHeader, IcmpType, Ipv4Header};
+use linuxfp::prelude::*;
+use std::net::Ipv4Addr;
+
+fn router(seed: u64) -> (Kernel, IfIndex, IfIndex) {
+    let mut k = Kernel::new(seed);
+    let eth0 = k.add_physical("eth0").unwrap();
+    let eth1 = k.add_physical("eth1").unwrap();
+    k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap()).unwrap();
+    k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap()).unwrap();
+    k.ip_link_set_up(eth0).unwrap();
+    k.ip_link_set_up(eth1).unwrap();
+    k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
+    k.ip_route_add(
+        "10.10.0.0/16".parse::<Prefix>().unwrap(),
+        Some("10.0.2.2".parse().unwrap()),
+        None,
+    )
+    .unwrap();
+    let now = k.now();
+    k.neigh
+        .learn("10.0.2.2".parse().unwrap(), MacAddr::from_index(0xBEEF), eth1, now);
+    // The traffic source is resolved so error packets route back warm.
+    k.neigh
+        .learn("10.0.1.100".parse().unwrap(), MacAddr::from_index(0xAAAA), eth0, now);
+    (k, eth0, eth1)
+}
+
+fn frame_with_ttl(k: &Kernel, eth0: IfIndex, dst: Ipv4Addr, ttl: u8) -> Vec<u8> {
+    let mut f = builder::udp_packet(
+        MacAddr::from_index(0xAAAA),
+        k.device(eth0).unwrap().mac,
+        Ipv4Addr::new(10, 0, 1, 100),
+        dst,
+        33434,
+        33434,
+        b"probe",
+    );
+    let ip = Ipv4Header::parse(&f[14..]).unwrap();
+    Ipv4Header::write(&mut f[14..], ip.src, ip.dst, ip.proto, ttl, ip.id, ip.total_len, false);
+    f
+}
+
+fn parse_icmp_error(frame: &[u8]) -> (IcmpType, Ipv4Addr, Ipv4Addr) {
+    let eth = EthernetFrame::parse(frame).unwrap();
+    let ip = Ipv4Header::parse(&frame[eth.payload_offset..]).unwrap();
+    assert!(ip.verify_checksum(&frame[eth.payload_offset..]));
+    let icmp = IcmpHeader::parse(&frame[eth.payload_offset + ip.header_len..]).unwrap();
+    (icmp.icmp_type, ip.src, ip.dst)
+}
+
+#[test]
+fn ttl_expiry_generates_time_exceeded() {
+    let (mut k, eth0, _) = router(81);
+    let out = k.receive(eth0, frame_with_ttl(&k, eth0, Ipv4Addr::new(10, 10, 3, 7), 1));
+    assert_eq!(out.drops(), vec!["ttl exceeded"]);
+    let tx = out.transmissions();
+    assert_eq!(tx.len(), 1, "ICMP error expected: {:?}", out.effects);
+    assert_eq!(tx[0].0, eth0, "error goes back toward the source");
+    let (kind, src, dst) = parse_icmp_error(tx[0].1);
+    assert_eq!(kind, IcmpType::TimeExceeded);
+    assert_eq!(src, Ipv4Addr::new(10, 0, 1, 1), "router's ingress address");
+    assert_eq!(dst, Ipv4Addr::new(10, 0, 1, 100));
+    // The quoted original: IP header + 8 bytes (RFC 792).
+    let eth = EthernetFrame::parse(tx[0].1).unwrap();
+    let ip = Ipv4Header::parse(&tx[0].1[eth.payload_offset..]).unwrap();
+    let quoted = &tx[0].1[eth.payload_offset + ip.header_len + 8..];
+    let quoted_ip = Ipv4Header::parse(quoted).unwrap();
+    assert_eq!(quoted_ip.dst, Ipv4Addr::new(10, 10, 3, 7));
+}
+
+#[test]
+fn missing_route_generates_unreachable() {
+    let (mut k, eth0, _) = router(82);
+    let out = k.receive(eth0, frame_with_ttl(&k, eth0, Ipv4Addr::new(172, 16, 9, 9), 64));
+    assert_eq!(out.drops(), vec!["no route"]);
+    let tx = out.transmissions();
+    assert_eq!(tx.len(), 1);
+    let (kind, _, dst) = parse_icmp_error(tx[0].1);
+    assert_eq!(kind, IcmpType::DestUnreachable(0));
+    assert_eq!(dst, Ipv4Addr::new(10, 0, 1, 100));
+}
+
+#[test]
+fn no_error_about_an_icmp_error() {
+    let (mut k, eth0, _) = router(83);
+    // A Time Exceeded message transiting this router with TTL 1: the
+    // router must NOT generate an error about it.
+    let inner = IcmpHeader::build(IcmpType::TimeExceeded, 0, 0, &[0u8; 28]);
+    let total_len = (20 + inner.len()) as u16;
+    let mut f = vec![0u8; 14 + 20 + inner.len()];
+    EthernetFrame::write(
+        &mut f,
+        k.device(eth0).unwrap().mac,
+        MacAddr::from_index(0xAAAA),
+        linuxfp::packet::EtherType::Ipv4,
+    );
+    // dst/src swapped builder-style by hand:
+    Ipv4Header::write(
+        &mut f[14..],
+        Ipv4Addr::new(10, 0, 1, 100),
+        Ipv4Addr::new(10, 10, 3, 7),
+        linuxfp::packet::IpProto::Icmp,
+        1, // expires here
+        0,
+        total_len,
+        false,
+    );
+    f[14 + 20..].copy_from_slice(&inner);
+    // Fix the eth dst to the router.
+    let router_mac = k.device(eth0).unwrap().mac;
+    EthernetFrame::rewrite_macs(&mut f, router_mac, MacAddr::from_index(0xAAAA));
+    let out = k.receive(eth0, f);
+    assert_eq!(out.drops(), vec!["ttl exceeded"]);
+    assert!(out.transmissions().is_empty(), "{:?}", out.effects);
+}
+
+#[test]
+fn fast_path_punts_and_slow_path_answers_identically() {
+    let (mut plain, p0, _) = router(84);
+    let (mut fast, f0, _) = router(84);
+    let (_ctrl, _) = Controller::attach(&mut fast, ControllerConfig::default()).unwrap();
+    for ttl in [1u8, 64] {
+        for dst in [Ipv4Addr::new(10, 10, 3, 7), Ipv4Addr::new(172, 16, 0, 1)] {
+            let out_p = plain.receive(p0, frame_with_ttl(&plain, p0, dst, ttl));
+            let out_f = fast.receive(f0, frame_with_ttl(&fast, f0, dst, ttl));
+            assert_eq!(
+                out_p.transmissions(),
+                out_f.transmissions(),
+                "ttl={ttl} dst={dst} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn traceroute_hops_reveal_the_path() {
+    // A traceroute-style TTL sweep against a 2-hop route: TTL 1 expires
+    // at this router (time exceeded from 10.0.1.1); TTL >= 2 is
+    // forwarded toward the next hop on the fast path.
+    let (mut k, eth0, eth1) = router(85);
+    let (_ctrl, _) = Controller::attach(&mut k, ControllerConfig::default()).unwrap();
+
+    let out = k.receive(eth0, frame_with_ttl(&k, eth0, Ipv4Addr::new(10, 10, 3, 7), 1));
+    let tx = out.transmissions();
+    assert_eq!(tx.len(), 1);
+    assert_eq!(tx[0].0, eth0);
+    let (kind, src, _) = parse_icmp_error(tx[0].1);
+    assert_eq!((kind, src), (IcmpType::TimeExceeded, Ipv4Addr::new(10, 0, 1, 1)));
+    assert_eq!(out.cost.stage_count("skb_alloc"), 1, "corner case on slow path");
+
+    let out = k.receive(eth0, frame_with_ttl(&k, eth0, Ipv4Addr::new(10, 10, 3, 7), 2));
+    let tx = out.transmissions();
+    assert_eq!(tx.len(), 1);
+    assert_eq!(tx[0].0, eth1, "ttl=2 forwarded to the next hop");
+    assert_eq!(out.cost.stage_count("skb_alloc"), 0, "common case on fast path");
+    let eth = EthernetFrame::parse(tx[0].1).unwrap();
+    let ip = Ipv4Header::parse(&tx[0].1[eth.payload_offset..]).unwrap();
+    assert_eq!(ip.ttl, 1);
+}

@@ -1,0 +1,108 @@
+//! Kubernetes ClusterIP services via ipvs (kube-proxy IPVS mode): the
+//! two §VIII extensions composed — an unmodified "kube-proxy" installs
+//! virtual services through `ipvsadm` on every node, and LinuxFP
+//! accelerates pinned service flows transparently.
+
+use linuxfp::k8s::{Cluster, PodRef};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+const VIP: Ipv4Addr = Ipv4Addr::new(10, 96, 0, 53);
+
+fn cluster_with_service(accelerated: bool) -> (Cluster, PodRef, Vec<PodRef>) {
+    let mut c = Cluster::new(2, accelerated);
+    let client = c.add_pod(0);
+    // Two backends on node 0, one on node 1.
+    let backends = vec![c.add_pod(0), c.add_pod(0), c.add_pod(1)];
+    c.add_service(VIP, 53, &backends);
+    (c, client, backends)
+}
+
+#[test]
+fn service_round_robins_across_nodes() {
+    let (mut c, client, backends) = cluster_with_service(false);
+    let mut seen = HashSet::new();
+    for sport in 0..6u16 {
+        let receiver = c
+            .pod_send_to_service(client, VIP, 53, 42000 + sport, b"dns-query")
+            .expect("service delivered");
+        assert!(backends.contains(&receiver), "landed on {receiver:?}");
+        seen.insert((receiver.node, receiver.pod));
+    }
+    assert_eq!(seen.len(), 3, "all backends exercised: {seen:?}");
+}
+
+#[test]
+fn service_flows_are_pinned() {
+    let (mut c, client, _) = cluster_with_service(false);
+    let first = c
+        .pod_send_to_service(client, VIP, 53, 42000, b"q")
+        .expect("delivered");
+    for _ in 0..4 {
+        let again = c
+            .pod_send_to_service(client, VIP, 53, 42000, b"q")
+            .expect("delivered");
+        assert_eq!(again, first, "affinity broken");
+    }
+}
+
+#[test]
+fn accelerated_cluster_balances_identically() {
+    let (mut plain, pc, _) = cluster_with_service(false);
+    let (mut fast, fc, _) = cluster_with_service(true);
+    for sport in 0..8u16 {
+        let a = plain.pod_send_to_service(pc, VIP, 53, 43000 + sport, b"q");
+        let b = fast.pod_send_to_service(fc, VIP, 53, 43000 + sport, b"q");
+        let a = a.expect("plain delivered");
+        let b = b.expect("fast delivered");
+        assert_eq!(
+            (a.node, a.pod),
+            (b.node, b.pod),
+            "sport {sport}: same deterministic scheduling on both clusters"
+        );
+    }
+}
+
+#[test]
+fn service_with_unknown_vip_is_not_delivered() {
+    let (mut c, client, _) = cluster_with_service(false);
+    let receiver = c.pod_send_to_service(client, Ipv4Addr::new(10, 96, 0, 99), 53, 1, b"q");
+    assert!(receiver.is_none(), "unconfigured VIP must not resolve");
+}
+
+#[test]
+fn pinned_service_flows_ride_the_fast_path() {
+    // After the first (slow-path scheduled) packet, pod-to-VIP traffic is
+    // rewritten and forwarded by the TC fast path on the pod's veth.
+    let (mut c, client, _) = cluster_with_service(true);
+    c.pod_send_to_service(client, VIP, 53, 44000, b"warm")
+        .expect("delivered");
+    // Measure the steady-state path: the node kernel must use the
+    // conntrack helper (fast path) rather than the ipvs scheduler.
+    let src = c.pod(client);
+    let gw_mac = c.nodes[client.node]
+        .kernel
+        .device(c.nodes[client.node].net.cni0)
+        .expect("exists")
+        .mac;
+    let frame = linuxfp::packet::builder::udp_packet(
+        src.mac, gw_mac, src.ip, VIP, 44000, 53, b"steady",
+    );
+    let out = c.nodes[client.node]
+        .kernel
+        .transmit_frame(src.pod_if, frame);
+    assert_eq!(
+        out.cost.stage_count("ipvs_sched"),
+        0,
+        "pinned flow must not re-schedule: {:?}",
+        out.effects
+    );
+    assert!(
+        out.cost.stage_count("conntrack") >= 1,
+        "fast path consults the conntrack helper"
+    );
+    assert!(
+        out.cost.stage_count("helper_fib_lookup") >= 1,
+        "VIP flow handled by the synthesized pipeline"
+    );
+}
