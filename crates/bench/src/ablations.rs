@@ -59,7 +59,8 @@ pub fn ablation_state_sharing(sync_lag: u32) -> ExperimentTable {
         k.neigh.learn(NEW_HOP, NEW_HOP_MAC, eth1, now);
         // `ip route change 10.10.0.0/24 via 10.0.2.3` for every prefix.
         for i in 0..scenario.prefixes {
-            k.ip_route_del(Scenario::route_prefix(i), None).expect("route exists");
+            k.ip_route_del(Scenario::route_prefix(i), None)
+                .expect("route exists");
             k.ip_route_add(Scenario::route_prefix(i), Some(NEW_HOP), None)
                 .expect("gateway on subnet");
         }
@@ -169,8 +170,14 @@ pub fn ablation_minimality() -> ExperimentTable {
     let monolithic = measure(
         "monolithic (ipvs+router+filter)",
         &[
-            FpmInstance::Ipvs(IpvsConf { vip: [10, 96, 0, 10], port: 53 }),
-            FpmInstance::Ipvs(IpvsConf { vip: [10, 96, 0, 11], port: 80 }),
+            FpmInstance::Ipvs(IpvsConf {
+                vip: [10, 96, 0, 10],
+                port: 53,
+            }),
+            FpmInstance::Ipvs(IpvsConf {
+                vip: [10, 96, 0, 11],
+                port: 80,
+            }),
             FpmInstance::Router,
             FpmInstance::Filter(FilterConf {
                 rules: 0,

@@ -48,8 +48,7 @@ fn main() {
     if json {
         println!(
             "{}",
-            serde_json::to_string_pretty(&serde_json::Value::Array(json_tables))
-                .expect("tables serialize")
+            linuxfp_json::to_string_pretty(&linuxfp_json::Value::Array(json_tables))
         );
     }
     if failed {

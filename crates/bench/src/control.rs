@@ -51,7 +51,12 @@ pub fn table1_acceleration_model() -> ExperimentTable {
     let mut table = ExperimentTable::new(
         "Table I",
         "Acceleration model per subsystem",
-        &["subsystem", "fast path (FPM)", "helpers used", "control plane + slow path"],
+        &[
+            "subsystem",
+            "fast path (FPM)",
+            "helpers used",
+            "control plane + slow path",
+        ],
     );
     let rows: [(FpmKind, &str, &str); 4] = [
         (
@@ -88,7 +93,9 @@ pub fn table1_acceleration_model() -> ExperimentTable {
             slow.to_string(),
         ]);
     }
-    table.note("helpers column is derived from FpmKind::required_helpers() — the live code metadata");
+    table.note(
+        "helpers column is derived from FpmKind::required_helpers() — the live code metadata",
+    );
     table
 }
 
@@ -123,7 +130,9 @@ pub fn table2_platform_comparison() -> ExperimentTable {
             b(t.dedicated_cores),
         ]);
     }
-    table.note("LinuxFP is the only platform combining in-kernel acceleration with the standard API");
+    table.note(
+        "LinuxFP is the only platform combining in-kernel acceleration with the standard API",
+    );
     table
 }
 
@@ -156,17 +165,18 @@ pub fn table6_reaction_time() -> ExperimentTable {
     .unwrap();
     let (mut ctrl, _) = Controller::attach(&mut k, ControllerConfig::default()).unwrap();
 
-    let mut run_cmd = |cmd: &str, table: &mut ExperimentTable, k: &mut Kernel, f: &mut dyn FnMut(&mut Kernel)| {
-        f(k);
-        let report = ctrl
-            .poll(k)
-            .expect("deploy succeeds")
-            .expect("command produced events");
-        table.row(vec![
-            cmd.to_string(),
-            ExperimentTable::num(report.reaction.as_secs_f64(), 3),
-        ]);
-    };
+    let mut run_cmd =
+        |cmd: &str, table: &mut ExperimentTable, k: &mut Kernel, f: &mut dyn FnMut(&mut Kernel)| {
+            f(k);
+            let report = ctrl
+                .poll(k)
+                .expect("deploy succeeds")
+                .expect("command produced events");
+            table.row(vec![
+                cmd.to_string(),
+                ExperimentTable::num(report.reaction.as_secs_f64(), 3),
+            ]);
+        };
 
     run_cmd(
         "ip addr add 10.10.1.1/24 dev ens1f0np0",

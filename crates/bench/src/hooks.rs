@@ -10,9 +10,9 @@ use linuxfp_ebpf::maps::MapStore;
 use linuxfp_ebpf::program::LoadedProgram;
 use linuxfp_netstack::device::IfIndex;
 use linuxfp_netstack::stack::Kernel;
+use linuxfp_packet::{builder, MacAddr};
 use linuxfp_platforms::{LinuxFpPlatform, Platform, Scenario, Scheduling};
 use linuxfp_traffic::netperf::{run_rr, RrConfig};
-use linuxfp_packet::{builder, MacAddr};
 use std::net::Ipv4Addr;
 
 /// Builds a bare two-NIC kernel for chain experiments.
@@ -67,8 +67,8 @@ pub fn fig10_call_vs_tailcall() -> ExperimentTable {
     for &n in &ns {
         // Inlined composition (LinuxFP's approach).
         let (mut k, eth0, eth1) = chain_kernel();
-        let prog = LoadedProgram::load(trivial_chain_inline(n, eth1.as_u32()))
-            .expect("chain verifies");
+        let prog =
+            LoadedProgram::load(trivial_chain_inline(n, eth1.as_u32())).expect("chain verifies");
         attach(&mut k, eth0, HookPoint::Xdp, prog, MapStore::new()).unwrap();
         let service = chain_service_ns(&mut k, eth0);
         inline_cells.push(ExperimentTable::num(1e3 / service, 3));
@@ -109,8 +109,24 @@ fn bridged_linuxfp(hook: HookPoint) -> (Kernel, IfIndex, Vec<u8>) {
     let host_a = MacAddr::from_index(0xA1);
     let host_b = MacAddr::from_index(0xB1);
     // Learn both hosts so the fast path gets FDB hits.
-    let learn1 = builder::udp_packet(host_a, host_b, Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(1, 1, 1, 2), 1, 2, b"w");
-    let learn2 = builder::udp_packet(host_b, host_a, Ipv4Addr::new(1, 1, 1, 2), Ipv4Addr::new(1, 1, 1, 1), 2, 1, b"w");
+    let learn1 = builder::udp_packet(
+        host_a,
+        host_b,
+        Ipv4Addr::new(1, 1, 1, 1),
+        Ipv4Addr::new(1, 1, 1, 2),
+        1,
+        2,
+        b"w",
+    );
+    let learn2 = builder::udp_packet(
+        host_b,
+        host_a,
+        Ipv4Addr::new(1, 1, 1, 2),
+        Ipv4Addr::new(1, 1, 1, 1),
+        2,
+        1,
+        b"w",
+    );
     k.receive(p1, learn1);
     k.receive(p2, learn2);
     let frame = builder::udp_packet(
@@ -225,7 +241,10 @@ mod tests {
         let inline_drop = 1.0 - inline_16 / inline_1;
         assert!(inline_drop < 0.18, "inline drop {inline_drop:.3} {t}");
         let tc_drop = 1.0 - tc_16 / tc_1;
-        assert!((0.20..0.60).contains(&tc_drop), "tailcall drop {tc_drop:.3} {t}");
+        assert!(
+            (0.20..0.60).contains(&tc_drop),
+            "tailcall drop {tc_drop:.3} {t}"
+        );
         assert!(
             tc_drop > inline_drop * 2.5,
             "tail calls must decay much faster: {tc_drop:.3} vs {inline_drop:.3}"

@@ -60,8 +60,22 @@ pub fn run_experiment(id: &str) -> Option<ExperimentTable> {
 /// All experiment ids: the paper's artifacts in paper order, followed by
 /// the design-decision ablations DESIGN.md calls out.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "fig1", "table1", "table2", "fig5", "table3", "fig6", "fig7", "table4", "fig8", "fig9", "table5",
-    "table6", "fig10", "table7", "ablation_state", "ablation_minimal",
+    "fig1",
+    "table1",
+    "table2",
+    "fig5",
+    "table3",
+    "fig6",
+    "fig7",
+    "table4",
+    "fig8",
+    "fig9",
+    "table5",
+    "table6",
+    "fig10",
+    "table7",
+    "ablation_state",
+    "ablation_minimal",
 ];
 
 #[cfg(test)]

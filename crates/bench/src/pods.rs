@@ -47,7 +47,7 @@ pub fn table5_pod_latency() -> ExperimentTable {
         let mut cluster = Cluster::new(3, accelerated);
         let a = cluster.add_pod(0);
         let b = cluster.add_pod(if inter { 1 } else { 0 });
-        let mut r = pod_rr(&mut cluster, a, b, 4000, 23);
+        let r = pod_rr(&mut cluster, a, b, 4000, 23);
         table.row(vec![
             label.to_string(),
             ExperimentTable::num(r.rtt_ms.mean(), 3),
@@ -67,12 +67,16 @@ mod tests {
     fn fig9_linuxfp_above_linux_everywhere() {
         let t = fig9_pod_throughput(3);
         for pairs in 1..=3usize {
-            let ratio_intra =
-                t.value("LinuxFP (intra)", pairs) / t.value("Linux (intra)", pairs);
-            assert!((1.10..1.35).contains(&ratio_intra), "intra {ratio_intra:.3} {t}");
-            let ratio_inter =
-                t.value("LinuxFP (inter)", pairs) / t.value("Linux (inter)", pairs);
-            assert!((1.05..1.25).contains(&ratio_inter), "inter {ratio_inter:.3} {t}");
+            let ratio_intra = t.value("LinuxFP (intra)", pairs) / t.value("Linux (intra)", pairs);
+            assert!(
+                (1.10..1.35).contains(&ratio_intra),
+                "intra {ratio_intra:.3} {t}"
+            );
+            let ratio_inter = t.value("LinuxFP (inter)", pairs) / t.value("Linux (inter)", pairs);
+            assert!(
+                (1.05..1.25).contains(&ratio_inter),
+                "inter {ratio_inter:.3} {t}"
+            );
         }
         // Intra is faster than inter in absolute terms.
         assert!(t.value("Linux (intra)", 1) > t.value("Linux (inter)", 1));

@@ -59,7 +59,9 @@ impl ExperimentTable {
         self.rows[row][col]
             .replace(',', "")
             .parse()
-            .unwrap_or_else(|_| panic!("cell ({row},{col}) = {:?} not numeric", self.rows[row][col]))
+            .unwrap_or_else(|_| {
+                panic!("cell ({row},{col}) = {:?} not numeric", self.rows[row][col])
+            })
     }
 
     /// The row whose first cell equals `name` (for tests).
@@ -85,13 +87,13 @@ impl ExperimentTable {
 
 impl ExperimentTable {
     /// Machine-readable form of the table.
-    pub fn to_json(&self) -> serde_json::Value {
-        serde_json::json!({
+    pub fn to_json(&self) -> linuxfp_json::Value {
+        linuxfp_json::json!({
             "id": self.id,
             "title": self.title,
-            "headers": self.headers,
-            "rows": self.rows,
-            "notes": self.notes,
+            "headers": self.headers.clone(),
+            "rows": self.rows.clone(),
+            "notes": self.notes.clone(),
         })
     }
 }
@@ -114,7 +116,11 @@ impl fmt::Display for ExperimentTable {
                 .join("  ")
         };
         writeln!(f, "{}", fmt_row(&self.headers))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", fmt_row(row))?;
         }

@@ -21,7 +21,11 @@ fn platforms(scenario: Scenario) -> Vec<(String, Box<dyn Platform>, linuxfp_pack
     let lfp = LinuxFpPlatform::new(scenario);
     let lfp_mac = lfp.dut_mac();
     vec![
-        ("Linux".to_string(), Box::new(linux) as Box<dyn Platform>, linux_mac),
+        (
+            "Linux".to_string(),
+            Box::new(linux) as Box<dyn Platform>,
+            linux_mac,
+        ),
         ("Polycube".to_string(), Box::new(pcn), pcn_mac),
         ("VPP".to_string(), Box::new(vpp), vpp_mac),
         ("LinuxFP".to_string(), Box::new(lfp), lfp_mac),
@@ -46,7 +50,9 @@ pub fn fig5_router_throughput(max_cores: u32) -> ExperimentTable {
         }
         table.row(cells);
     }
-    table.note("paper: LinuxFP ~1.77x Linux, ~1.19x Polycube; VPP above all (batching, dedicated cores)");
+    table.note(
+        "paper: LinuxFP ~1.77x Linux, ~1.19x Polycube; VPP above all (batching, dedicated cores)",
+    );
     table
 }
 
@@ -132,18 +138,19 @@ fn latency_table(
     with_ipset_variants: bool,
 ) -> ExperimentTable {
     let mut table = ExperimentTable::new(id, title, &["platform", "avg", "p99", "stddev"]);
-    let measure = |name: String, platform: &mut dyn Platform, mac: linuxfp_packet::MacAddr, sc: Scenario| {
-        let service = platform.service_time_ns(&mut |i| sc.frame(mac, i, 60));
-        let mut result = run_rr(&RrConfig::paper_default(
-            service,
-            platform.traits().scheduling,
-        ));
-        let mut row = vec![name];
-        row.push(ExperimentTable::num(result.rtt_us.mean(), 3));
-        row.push(ExperimentTable::num(result.rtt_us.p99(), 3));
-        row.push(ExperimentTable::num(result.rtt_us.stddev(), 3));
-        row
-    };
+    let measure =
+        |name: String, platform: &mut dyn Platform, mac: linuxfp_packet::MacAddr, sc: Scenario| {
+            let service = platform.service_time_ns(&mut |i| sc.frame(mac, i, 60));
+            let result = run_rr(&RrConfig::paper_default(
+                service,
+                platform.traits().scheduling,
+            ));
+            let mut row = vec![name];
+            row.push(ExperimentTable::num(result.rtt_us.mean(), 3));
+            row.push(ExperimentTable::num(result.rtt_us.p99(), 3));
+            row.push(ExperimentTable::num(result.rtt_us.stddev(), 3));
+            row
+        };
     for (name, mut platform, mac) in platforms(scenario) {
         let row = measure(name, platform.as_mut(), mac, scenario);
         table.row(row);
@@ -243,7 +250,10 @@ mod tests {
         assert!((1.6..1.95).contains(&speedup), "speedup {speedup:.2}");
         // ~19% over Polycube (footnote 2).
         let over_pcn = lfp / pcn;
-        assert!((1.02..1.4).contains(&over_pcn), "over polycube {over_pcn:.2}");
+        assert!(
+            (1.02..1.4).contains(&over_pcn),
+            "over polycube {over_pcn:.2}"
+        );
         // 4-core scaling near-linear for every platform.
         for name in ["Linux", "Polycube", "VPP", "LinuxFP"] {
             let r = t.value(name, 4) / t.value(name, 1);
@@ -260,7 +270,10 @@ mod tests {
         assert!(vpp < lfp && lfp < linux, "{t}");
         // The paper's 53% latency reduction claim (LinuxFP vs Linux).
         let reduction = 1.0 - lfp / linux;
-        assert!((0.40..0.62).contains(&reduction), "reduction {reduction:.2}");
+        assert!(
+            (0.40..0.62).contains(&reduction),
+            "reduction {reduction:.2}"
+        );
         // p99 > avg for everyone.
         for row in &t.rows {
             let avg: f64 = row[1].parse().unwrap();
@@ -292,7 +305,10 @@ mod tests {
         let pcn = t.value("Polycube", 1);
         // LinuxFP ~2x Linux even with the linear scan.
         let speedup = lfp / linux;
-        assert!((1.6..2.6).contains(&speedup), "gateway speedup {speedup:.2}");
+        assert!(
+            (1.6..2.6).contains(&speedup),
+            "gateway speedup {speedup:.2}"
+        );
         // ipset variant beats Polycube (the paper's point).
         assert!(lfp_ipset > pcn, "{t}");
         // Plain LinuxFP (linear scan) is below Polycube's classifier.
@@ -306,7 +322,10 @@ mod tests {
         assert!(t.value("Linux (ipset)", 1) < t.value("Linux", 1));
         assert!(t.value("VPP", 1) < t.value("LinuxFP (ipset)", 1));
         // Paper ordering: LinuxFP(ipset) < Polycube.
-        assert!(t.value("LinuxFP (ipset)", 1) < t.value("Polycube", 1), "{t}");
+        assert!(
+            t.value("LinuxFP (ipset)", 1) < t.value("Polycube", 1),
+            "{t}"
+        );
     }
 
     #[test]

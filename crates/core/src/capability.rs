@@ -79,7 +79,12 @@ mod tests {
     #[test]
     fn full_supports_everything() {
         let caps = Capabilities::full();
-        for kind in [FpmKind::Bridge, FpmKind::Router, FpmKind::Filter, FpmKind::Ipvs] {
+        for kind in [
+            FpmKind::Bridge,
+            FpmKind::Router,
+            FpmKind::Filter,
+            FpmKind::Ipvs,
+        ] {
             assert!(caps.supports(kind), "{kind:?}");
         }
     }

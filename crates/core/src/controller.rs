@@ -10,17 +10,18 @@
 
 use crate::capability::Capabilities;
 use crate::deploy::{DeployError, Deployer};
+use crate::fpm::CustomFpm;
 use crate::graph::build_graph;
 use crate::objects::ObjectStore;
-use crate::fpm::CustomFpm;
 use crate::synth::synthesize_with_customs;
 use linuxfp_ebpf::hook::HookPoint;
 use linuxfp_ebpf::maps::MapStore;
+use linuxfp_json::Value;
 use linuxfp_netstack::device::IfIndex;
 use linuxfp_netstack::netlink::{NlGroup, SubscriberId};
 use linuxfp_netstack::stack::Kernel;
 use linuxfp_sim::Nanos;
-use serde_json::Value;
+use linuxfp_telemetry::{Registry, Scale};
 use std::collections::BTreeSet;
 
 /// Controller configuration.
@@ -36,6 +37,10 @@ pub struct ControllerConfig {
     /// path (paper §VIII, e.g. monitoring). Verifier-gated like all
     /// synthesized code.
     pub custom_modules: Vec<CustomFpm>,
+    /// Telemetry registry: when set, the controller records reconcile
+    /// latency histograms, graph-rebuild counts and verifier tallies, and
+    /// its deployer labels per-FPM hit/fallback counters.
+    pub telemetry: Option<Registry>,
 }
 
 impl Default for ControllerConfig {
@@ -44,6 +49,7 @@ impl Default for ControllerConfig {
             hook: HookPoint::Xdp,
             capabilities: Capabilities::full(),
             custom_modules: Vec::new(),
+            telemetry: None,
         }
     }
 }
@@ -117,7 +123,22 @@ impl Controller {
             NlGroup::Netfilter,
             NlGroup::Sysctl,
         ]);
-        let deployer = Deployer::new(cfg.hook, MapStore::new());
+        let mut deployer = Deployer::new(cfg.hook, MapStore::new());
+        if let Some(registry) = &cfg.telemetry {
+            registry.describe(
+                "linuxfp_reconcile_seconds",
+                "Controller reaction time per reconcile (configuration seen -> data path installed)",
+            );
+            registry.describe(
+                "linuxfp_graph_rebuilds_total",
+                "Processing-graph rebuilds performed by the controller",
+            );
+            registry.describe(
+                "linuxfp_reconciles_total",
+                "Controller reconcile rounds by whether the graph changed",
+            );
+            deployer.set_telemetry(registry.clone());
+        }
         let mut controller = Controller {
             cfg,
             subscription,
@@ -191,6 +212,24 @@ impl Controller {
         &self.deployer
     }
 
+    /// Records one reconcile round in the telemetry registry: the
+    /// reaction-latency histogram (modeled virtual time), the
+    /// changed/unchanged tally, and a trace event naming the triggers.
+    fn record_reconcile(&self, triggers: &[Trigger], reaction: Nanos, changed: bool) {
+        let Some(reg) = &self.cfg.telemetry else {
+            return;
+        };
+        reg.histogram("linuxfp_reconcile_seconds", &[], Scale::NanosToSeconds)
+            .record(reaction.as_nanos());
+        let label = if changed { "true" } else { "false" };
+        reg.counter("linuxfp_reconciles_total", &[("changed", label)])
+            .inc();
+        reg.events().push(
+            "reconcile",
+            format!("triggers {triggers:?}, reaction {reaction}, changed {changed}"),
+        );
+    }
+
     /// Runs the introspect → graph → synthesize → deploy pipeline,
     /// accumulating the modeled reaction time of each stage.
     fn sync(
@@ -238,6 +277,9 @@ impl Controller {
         let store = ObjectStore::snapshot(kernel);
         let graph = build_graph(&store, &self.cfg.capabilities);
         charge(&mut stages, "build_graph", cost.ctrl_graph_build_ns);
+        if let Some(reg) = &self.cfg.telemetry {
+            reg.counter("linuxfp_graph_rebuilds_total", &[]).inc();
+        }
 
         // The pipeline regenerates on every observed state change (as the
         // paper's Jinja-template + clang pipeline does); unchanged
@@ -259,6 +301,7 @@ impl Controller {
 
         if graph == self.graph {
             let reaction = stages.iter().map(|(_, ns)| *ns).sum();
+            self.record_reconcile(&triggers, reaction, false);
             return Ok(ReactionReport {
                 triggers,
                 reaction,
@@ -280,6 +323,7 @@ impl Controller {
 
         self.graph = graph;
         let reaction = stages.iter().map(|(_, ns)| *ns).sum();
+        self.record_reconcile(&triggers, reaction, true);
         Ok(ReactionReport {
             triggers,
             reaction,
@@ -317,8 +361,10 @@ mod tests {
         assert!(!initial.changed || initial.installed.is_empty());
 
         // The user runs plain `ip` commands; no LinuxFP-specific API.
-        k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap()).unwrap();
-        k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap()).unwrap();
+        k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap())
+            .unwrap();
+        k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap())
+            .unwrap();
         k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
         k.ip_route_add(
             "10.10.0.0/16".parse().unwrap(),
@@ -335,8 +381,12 @@ mod tests {
 
         // And traffic is now fast-pathed.
         let now = k.now();
-        k.neigh
-            .learn(Ipv4Addr::new(10, 0, 2, 2), MacAddr::from_index(0xBEEF), eth1, now);
+        k.neigh.learn(
+            Ipv4Addr::new(10, 0, 2, 2),
+            MacAddr::from_index(0xBEEF),
+            eth1,
+            now,
+        );
         let frame = builder::udp_packet(
             MacAddr::from_index(1),
             k.device(eth0).unwrap().mac,
@@ -357,8 +407,10 @@ mod tests {
         // brctl addbr (0.539) > brctl addif (0.493).
         let (mut k, eth0, eth1) = base_kernel();
         let (mut ctrl, _) = Controller::attach(&mut k, ControllerConfig::default()).unwrap();
-        k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap()).unwrap();
-        k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap()).unwrap();
+        k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap())
+            .unwrap();
+        k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap())
+            .unwrap();
         k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
         let addr_report = ctrl.poll(&mut k).unwrap().unwrap();
 
@@ -397,8 +449,10 @@ mod tests {
     fn removing_config_removes_fast_path() {
         let (mut k, eth0, eth1) = base_kernel();
         let (mut ctrl, _) = Controller::attach(&mut k, ControllerConfig::default()).unwrap();
-        k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap()).unwrap();
-        k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap()).unwrap();
+        k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap())
+            .unwrap();
+        k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap())
+            .unwrap();
         k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
         ctrl.poll(&mut k).unwrap().unwrap();
         assert_eq!(ctrl.deployer().active_interfaces().len(), 2);

@@ -15,6 +15,7 @@ use linuxfp_ebpf::verifier::VerifyError;
 use linuxfp_netstack::device::IfIndex;
 use linuxfp_netstack::stack::Kernel;
 use linuxfp_netstack::NetError;
+use linuxfp_telemetry::Registry;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -72,6 +73,7 @@ pub struct Deployer {
     hook: HookPoint,
     maps: MapStore,
     dispatchers: HashMap<IfIndex, Dispatcher>,
+    telemetry: Option<Registry>,
 }
 
 impl Deployer {
@@ -81,7 +83,31 @@ impl Deployer {
             hook,
             maps,
             dispatchers: HashMap::new(),
+            telemetry: None,
         }
+    }
+
+    /// Enables telemetry: dispatcher hit/fallback/VM counters, verifier
+    /// accept/reject tallies and swap trace events land in `registry`
+    /// (applies to existing and future dispatchers).
+    pub fn set_telemetry(&mut self, registry: Registry) {
+        registry.describe(
+            "linuxfp_verifier_accepted_total",
+            "Synthesized programs accepted by the in-kernel verifier",
+        );
+        registry.describe(
+            "linuxfp_verifier_rejected_total",
+            "Synthesized programs rejected by the in-kernel verifier",
+        );
+        for dispatcher in self.dispatchers.values() {
+            dispatcher.enable_telemetry(&registry);
+        }
+        self.telemetry = Some(registry);
+    }
+
+    /// The telemetry registry, if enabled.
+    pub fn telemetry(&self) -> Option<&Registry> {
+        self.telemetry.as_ref()
     }
 
     /// The hook point this deployer attaches to.
@@ -149,21 +175,39 @@ impl Deployer {
                     continue;
                 }
             }
-            let loaded =
-                LoadedProgram::load(fp.program.clone()).map_err(|error| DeployError::Rejected {
-                    ifname: fp.ifname.clone(),
-                    error,
-                })?;
+            let loaded = match LoadedProgram::load(fp.program.clone()) {
+                Ok(loaded) => {
+                    if let Some(reg) = &self.telemetry {
+                        reg.counter("linuxfp_verifier_accepted_total", &[]).inc();
+                    }
+                    loaded
+                }
+                Err(error) => {
+                    if let Some(reg) = &self.telemetry {
+                        reg.counter("linuxfp_verifier_rejected_total", &[]).inc();
+                        reg.events()
+                            .push("verifier_reject", format!("{}: {error}", fp.ifname));
+                    }
+                    return Err(DeployError::Rejected {
+                        ifname: fp.ifname.clone(),
+                        error,
+                    });
+                }
+            };
             let len = loaded.len();
             let dispatcher = match self.dispatchers.get(&fp.ifindex) {
                 Some(d) => d,
                 None => {
                     let d = Dispatcher::new(self.maps.clone());
+                    if let Some(reg) = &self.telemetry {
+                        d.enable_telemetry(reg);
+                    }
                     d.attach(kernel, fp.ifindex, self.hook)?;
                     self.dispatchers.insert(fp.ifindex, d);
                     self.dispatchers.get(&fp.ifindex).expect("just inserted")
                 }
             };
+            dispatcher.set_fpm_label(&fp.fpm_label);
             dispatcher.install(loaded);
             outcome.swapped += 1;
             outcome.installed.push((fp.ifname.clone(), len));
@@ -193,8 +237,10 @@ mod tests {
         let mut k = Kernel::new(5);
         let eth0 = k.add_physical("eth0").unwrap();
         let eth1 = k.add_physical("eth1").unwrap();
-        k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap()).unwrap();
-        k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap()).unwrap();
+        k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap())
+            .unwrap();
+        k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap())
+            .unwrap();
         k.ip_link_set_up(eth0).unwrap();
         k.ip_link_set_up(eth1).unwrap();
         k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
@@ -205,8 +251,12 @@ mod tests {
         )
         .unwrap();
         let now = k.now();
-        k.neigh
-            .learn(Ipv4Addr::new(10, 0, 2, 2), MacAddr::from_index(0xBEEF), eth1, now);
+        k.neigh.learn(
+            Ipv4Addr::new(10, 0, 2, 2),
+            MacAddr::from_index(0xBEEF),
+            eth1,
+            now,
+        );
         (k, eth0, eth1)
     }
 
@@ -280,6 +330,7 @@ mod tests {
             ifname: "eth0".into(),
             program: linuxfp_ebpf::program::Program::new("bogus", vec![Insn::Exit]),
             fpm_count: 1,
+            fpm_label: "bogus".into(),
         };
         let err = d.deploy(&mut k, &[bogus]).unwrap_err();
         assert!(matches!(err, DeployError::Rejected { .. }));
@@ -292,7 +343,9 @@ mod tests {
     fn missing_device_is_an_error() {
         let (mut k, _, _) = forwarding_kernel();
         let mut d = Deployer::new(HookPoint::Xdp, MapStore::new());
-        let err = d.deploy(&mut k, &[router_fp(IfIndex(99), "ghost")]).unwrap_err();
+        let err = d
+            .deploy(&mut k, &[router_fp(IfIndex(99), "ghost")])
+            .unwrap_err();
         assert!(matches!(err, DeployError::Device(_)));
         assert!(err.to_string().contains("device"));
     }

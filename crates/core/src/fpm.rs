@@ -25,7 +25,7 @@
 
 use linuxfp_ebpf::asm::Asm;
 use linuxfp_ebpf::insn::{Action, AluOp, HelperId, JmpCond, MemSize};
-use serde::{Deserialize, Serialize};
+use linuxfp_json::{json, Value};
 
 /// Stack offset of the `bpf_fib_lookup` parameter block.
 pub const FIB_BUF: i16 = -24;
@@ -44,8 +44,7 @@ pub const ETH_P_IPV4_LE: i64 = 0x0008;
 pub const ETH_P_VLAN_LE: i64 = 0x0081;
 
 /// The kinds of fast-path modules in the library.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FpmKind {
     /// L2 bridging: FDB lookup + forward (paper Table I, row 1).
     Bridge,
@@ -93,7 +92,7 @@ impl FpmKind {
 
 /// Configuration attributes of a bridge FPM instance (the `conf` subkeys
 /// of the JSON model).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BridgeConf {
     /// Whether STP is enabled on the bridge (BPDUs and port states are
     /// slow-path concerns, but the attribute is part of the model).
@@ -114,7 +113,7 @@ pub struct BridgeConf {
 }
 
 /// Configuration attributes of a filter FPM instance.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FilterConf {
     /// FORWARD rules currently configured (informational; the helper
     /// always evaluates live kernel state).
@@ -126,12 +125,129 @@ pub struct FilterConf {
 }
 
 /// Configuration attributes of an ipvs FPM instance (extension).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IpvsConf {
     /// The virtual service address the fast path intercepts.
     pub vip: [u8; 4],
     /// The virtual service port.
     pub port: u16,
+}
+
+// JSON projections of the conf structs (the `conf` subtree of the
+// processing-graph model). `from_value` is strict about field presence
+// and types — a malformed graph must surface as a structured error, not
+// synthesize from garbage — but tolerates unknown extra keys, matching
+// how the netlink introspection may grow attributes over time.
+
+fn conf_bool(v: &Value, key: &str) -> Result<bool, String> {
+    v.get(key)
+        .and_then(Value::as_bool)
+        .ok_or_else(|| format!("missing or non-boolean field `{key}`"))
+}
+
+fn conf_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+}
+
+fn conf_u16(v: &Value, key: &str) -> Result<u16, String> {
+    u16::try_from(conf_u64(v, key)?).map_err(|_| format!("field `{key}` out of u16 range"))
+}
+
+fn conf_bytes<const N: usize>(v: &Value, key: &str) -> Result<[u8; N], String> {
+    let arr = v
+        .get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("missing or non-array field `{key}`"))?;
+    if arr.len() != N {
+        return Err(format!("field `{key}` must have {N} bytes"));
+    }
+    let mut out = [0u8; N];
+    for (i, item) in arr.iter().enumerate() {
+        let byte = item
+            .as_u64()
+            .and_then(|b| u8::try_from(b).ok())
+            .ok_or_else(|| format!("field `{key}`[{i}] not a byte"))?;
+        out[i] = byte;
+    }
+    Ok(out)
+}
+
+impl BridgeConf {
+    /// The conf as a JSON object.
+    pub fn to_value(&self) -> Value {
+        json!({
+            "stp_enabled": self.stp_enabled,
+            "vlan_enabled": self.vlan_enabled,
+            "pvid": self.pvid,
+            "bridge_mac": self.bridge_mac,
+            "has_l3": self.has_l3,
+            "br_nf": self.br_nf,
+        })
+    }
+
+    /// Parses the conf back out of a JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_value(v: &Value) -> Result<BridgeConf, String> {
+        Ok(BridgeConf {
+            stp_enabled: conf_bool(v, "stp_enabled")?,
+            vlan_enabled: conf_bool(v, "vlan_enabled")?,
+            pvid: conf_u16(v, "pvid")?,
+            bridge_mac: conf_bytes(v, "bridge_mac")?,
+            has_l3: conf_bool(v, "has_l3")?,
+            br_nf: conf_bool(v, "br_nf")?,
+        })
+    }
+}
+
+impl FilterConf {
+    /// The conf as a JSON object.
+    pub fn to_value(&self) -> Value {
+        json!({
+            "rules": self.rules,
+            "ipset": self.ipset,
+            "match_ports": self.match_ports,
+        })
+    }
+
+    /// Parses the conf back out of a JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_value(v: &Value) -> Result<FilterConf, String> {
+        Ok(FilterConf {
+            rules: conf_u64(v, "rules")? as usize,
+            ipset: conf_bool(v, "ipset")?,
+            match_ports: conf_bool(v, "match_ports")?,
+        })
+    }
+}
+
+impl IpvsConf {
+    /// The conf as a JSON object.
+    pub fn to_value(&self) -> Value {
+        json!({
+            "vip": self.vip,
+            "port": self.port,
+        })
+    }
+
+    /// Parses the conf back out of a JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_value(v: &Value) -> Result<IpvsConf, String> {
+        Ok(IpvsConf {
+            vip: conf_bytes(v, "vip")?,
+            port: conf_u16(v, "port")?,
+        })
+    }
 }
 
 /// A user-supplied custom module (paper §VIII: "support the insertion of
@@ -245,15 +361,24 @@ pub fn validate_pipeline(pipeline: &[FpmInstance]) -> Result<(), String> {
         return Err("empty FPM pipeline".into());
     }
     let (head, tail) = pipeline.split_first().expect("non-empty");
-    let routers = pipeline.iter().filter(|f| matches!(f, FpmInstance::Router)).count();
-    let filters = pipeline.iter().filter(|f| matches!(f, FpmInstance::Filter(_))).count();
+    let routers = pipeline
+        .iter()
+        .filter(|f| matches!(f, FpmInstance::Router))
+        .count();
+    let filters = pipeline
+        .iter()
+        .filter(|f| matches!(f, FpmInstance::Filter(_)))
+        .count();
     if routers > 1 {
         return Err("at most one router FPM per pipeline".into());
     }
     if filters > 1 {
         return Err("at most one filter FPM per pipeline".into());
     }
-    if pipeline[1..].iter().any(|f| matches!(f, FpmInstance::Bridge(_))) {
+    if pipeline[1..]
+        .iter()
+        .any(|f| matches!(f, FpmInstance::Bridge(_)))
+    {
         return Err("bridge FPM must lead the pipeline".into());
     }
     match head {
@@ -660,7 +785,7 @@ fn emit_ipvs(a: &mut Asm, conf: &IpvsConf, index: usize) {
     a.jmp_imm(JmpCond::Ne, 2, i64::from(vip_le), &done);
     a.load(MemSize::B, 2, R_DATA, 23);
     a.jmp_imm(JmpCond::Ne, 2, 17, "pass"); // non-UDP to the VIP: slow path
-    // The port must match the service; other ports are plain traffic.
+                                           // The port must match the service; other ports are plain traffic.
     a.mov_reg(3, 10);
     a.alu_imm(AluOp::Add, 3, i64::from(META_BUF));
     a.load(MemSize::H, 2, 3, 12);
@@ -877,7 +1002,12 @@ mod tests {
 
     #[test]
     fn kind_metadata() {
-        for kind in [FpmKind::Bridge, FpmKind::Router, FpmKind::Filter, FpmKind::Ipvs] {
+        for kind in [
+            FpmKind::Bridge,
+            FpmKind::Router,
+            FpmKind::Filter,
+            FpmKind::Ipvs,
+        ] {
             assert_eq!(FpmKind::from_key(kind.key()), Some(kind));
             assert!(!kind.required_helpers().is_empty());
         }
@@ -901,7 +1031,11 @@ mod tests {
             FpmKind::Filter
         );
         assert_eq!(
-            FpmInstance::Ipvs(IpvsConf { vip: [0; 4], port: 0 }).kind(),
+            FpmInstance::Ipvs(IpvsConf {
+                vip: [0; 4],
+                port: 0
+            })
+            .kind(),
             FpmKind::Ipvs
         );
     }
@@ -913,21 +1047,27 @@ mod tests {
             ipset: false,
             match_ports: false,
         });
-        let br = |br_nf| FpmInstance::Bridge(BridgeConf { br_nf, ..bridge_conf(false, false) });
+        let br = |br_nf| {
+            FpmInstance::Bridge(BridgeConf {
+                br_nf,
+                ..bridge_conf(false, false)
+            })
+        };
         assert!(validate_pipeline(&[]).is_err());
         assert!(validate_pipeline(&[FpmInstance::Router]).is_ok());
-        assert!(validate_pipeline(&[filter.clone()]).is_err());
+        assert!(validate_pipeline(std::slice::from_ref(&filter)).is_err());
         assert!(validate_pipeline(&[FpmInstance::Router, filter.clone()]).is_ok());
         assert!(validate_pipeline(&[FpmInstance::Router, FpmInstance::Router]).is_err());
-        assert!(
-            validate_pipeline(&[FpmInstance::Router, filter.clone(), filter.clone()]).is_err()
-        );
+        assert!(validate_pipeline(&[FpmInstance::Router, filter.clone(), filter.clone()]).is_err());
         assert!(validate_pipeline(&[FpmInstance::Router, br(false)]).is_err());
         assert!(validate_pipeline(&[br(false)]).is_ok());
         assert!(validate_pipeline(&[br(true), filter.clone()]).is_ok());
         assert!(validate_pipeline(&[br(false), filter.clone()]).is_err());
         assert!(validate_pipeline(&[br(false), FpmInstance::Router, filter.clone()]).is_ok());
-        let ipvs = FpmInstance::Ipvs(IpvsConf { vip: [0; 4], port: 1 });
+        let ipvs = FpmInstance::Ipvs(IpvsConf {
+            vip: [0; 4],
+            port: 1,
+        });
         assert!(validate_pipeline(&[ipvs.clone(), FpmInstance::Router]).is_ok());
         assert!(validate_pipeline(&[br(false), ipvs]).is_err());
     }

@@ -10,8 +10,8 @@
 use crate::capability::Capabilities;
 use crate::fpm::{BridgeConf, FilterConf, FpmInstance, FpmKind, IpvsConf};
 use crate::objects::ObjectStore;
+use linuxfp_json::{json, Map, Value};
 use linuxfp_netstack::device::IfIndex;
-use serde_json::{json, Map, Value};
 
 /// Builds the JSON processing-graph model for the current kernel state.
 ///
@@ -169,10 +169,10 @@ fn push_filter(store: &ObjectStore, caps: &Capabilities, pipeline: &mut Vec<FpmI
 
 fn conf_json(fpm: &FpmInstance) -> Value {
     match fpm {
-        FpmInstance::Bridge(c) => serde_json::to_value(c).expect("bridge conf serializes"),
+        FpmInstance::Bridge(c) => c.to_value(),
         FpmInstance::Router => json!({}),
-        FpmInstance::Filter(c) => serde_json::to_value(c).expect("filter conf serializes"),
-        FpmInstance::Ipvs(c) => serde_json::to_value(c).expect("ipvs conf serializes"),
+        FpmInstance::Filter(c) => c.to_value(),
+        FpmInstance::Ipvs(c) => c.to_value(),
     }
 }
 
@@ -193,19 +193,22 @@ pub fn pipeline_from_json(entry: &Value) -> Result<(IfIndex, Vec<FpmInstance>), 
         .ok_or("missing pipeline")?;
     let mut pipeline = Vec::new();
     for node in nodes {
-        let key = node.get("nf").and_then(Value::as_str).ok_or("missing nf key")?;
+        let key = node
+            .get("nf")
+            .and_then(Value::as_str)
+            .ok_or("missing nf key")?;
         let kind = FpmKind::from_key(key).ok_or("unknown nf kind")?;
-        let conf = node.get("conf").cloned().unwrap_or(Value::Null);
+        let conf = node.get("conf").unwrap_or(&Value::Null);
         let fpm = match kind {
             FpmKind::Bridge => FpmInstance::Bridge(
-                serde_json::from_value(conf).map_err(|e| format!("bad bridge conf: {e}"))?,
+                BridgeConf::from_value(conf).map_err(|e| format!("bad bridge conf: {e}"))?,
             ),
             FpmKind::Router => FpmInstance::Router,
             FpmKind::Filter => FpmInstance::Filter(
-                serde_json::from_value(conf).map_err(|e| format!("bad filter conf: {e}"))?,
+                FilterConf::from_value(conf).map_err(|e| format!("bad filter conf: {e}"))?,
             ),
             FpmKind::Ipvs => FpmInstance::Ipvs(
-                serde_json::from_value(conf).map_err(|e| format!("bad ipvs conf: {e}"))?,
+                IpvsConf::from_value(conf).map_err(|e| format!("bad ipvs conf: {e}"))?,
             ),
         };
         pipeline.push(fpm);
@@ -235,8 +238,10 @@ mod tests {
         let mut k = Kernel::new(1);
         let eth0 = k.add_physical("eth0").unwrap();
         let eth1 = k.add_physical("eth1").unwrap();
-        k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap()).unwrap();
-        k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap()).unwrap();
+        k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap())
+            .unwrap();
+        k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap())
+            .unwrap();
         k.ip_link_set_up(eth0).unwrap();
         k.ip_link_set_up(eth1).unwrap();
         k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
@@ -323,8 +328,10 @@ mod tests {
         let br = k.add_bridge("cni0").unwrap();
         let eth0 = k.add_physical("eth0").unwrap();
         k.brctl_addif(br, p1).unwrap();
-        k.ip_addr_add(br, "10.244.1.1/24".parse::<IfAddr>().unwrap()).unwrap();
-        k.ip_addr_add(eth0, "192.168.0.1/24".parse::<IfAddr>().unwrap()).unwrap();
+        k.ip_addr_add(br, "10.244.1.1/24".parse::<IfAddr>().unwrap())
+            .unwrap();
+        k.ip_addr_add(eth0, "192.168.0.1/24".parse::<IfAddr>().unwrap())
+            .unwrap();
         for d in [p1, br, eth0] {
             k.ip_link_set_up(d).unwrap();
         }
@@ -368,12 +375,10 @@ mod tests {
     }
 
     #[test]
-    fn pipeline_from_json_rejects_malformed_entries(){
+    fn pipeline_from_json_rejects_malformed_entries() {
         assert!(pipeline_from_json(&json!({})).is_err());
         assert!(pipeline_from_json(&json!({"ifindex": 1})).is_err());
-        assert!(
-            pipeline_from_json(&json!({"ifindex": 1, "pipeline": [{"nf": "warp"}]})).is_err()
-        );
+        assert!(pipeline_from_json(&json!({"ifindex": 1, "pipeline": [{"nf": "warp"}]})).is_err());
         assert!(pipeline_from_json(
             &json!({"ifindex": 1, "pipeline": [{"nf": "bridge", "conf": {"bogus": true}}]})
         )

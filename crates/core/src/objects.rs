@@ -101,9 +101,7 @@ impl ObjectStore {
             .ipvs
             .services()
             .iter()
-            .filter(|s| {
-                s.proto == linuxfp_packet::ipv4::IpProto::Udp && !s.backends().is_empty()
-            })
+            .filter(|s| s.proto == linuxfp_packet::ipv4::IpProto::Udp && !s.backends().is_empty())
             .map(|s| IpvsServiceObject {
                 vip: s.vip.octets(),
                 port: s.port,
@@ -183,7 +181,8 @@ mod tests {
     fn snapshot_reflects_router_config() {
         let mut k = Kernel::new(1);
         let eth0 = k.add_physical("eth0").unwrap();
-        k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap()).unwrap();
+        k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap())
+            .unwrap();
         k.ip_link_set_up(eth0).unwrap();
         k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
         let store = ObjectStore::snapshot(&k);

@@ -14,8 +14,8 @@ use linuxfp_ebpf::asm::Asm;
 use linuxfp_ebpf::insn::{Action, AluOp, HelperId, MemSize};
 use linuxfp_ebpf::maps::MapStore;
 use linuxfp_ebpf::program::Program;
+use linuxfp_json::Value;
 use linuxfp_netstack::device::IfIndex;
-use serde_json::Value;
 use std::fmt;
 
 /// A synthesized (not yet verified/loaded) fast path for one interface.
@@ -29,6 +29,9 @@ pub struct SynthesizedFp {
     pub program: Program,
     /// How many FPM instances were fused into the program.
     pub fpm_count: usize,
+    /// The pipeline's FPM composition as a metric label, kinds joined
+    /// with `+` in pipeline order (e.g. `router+filter`).
+    pub fpm_label: String,
 }
 
 /// Synthesis failures (malformed graph or assembler errors).
@@ -73,6 +76,7 @@ pub fn synthesize_with_customs(
             continue;
         }
         fpm::validate_pipeline(&pipeline).map_err(|e| SynthError(format!("{name}: {e}")))?;
+        let fpm_label = fpm_label(&pipeline);
         let mut asm = Asm::new();
         let fpm_count = fpm::emit_pipeline_with_customs(&mut asm, &pipeline, customs);
         let insns = asm
@@ -83,6 +87,7 @@ pub fn synthesize_with_customs(
             ifname: name.clone(),
             program: Program::new(format!("linuxfp_{name}"), insns),
             fpm_count,
+            fpm_label,
         });
     }
     Ok(out)
@@ -107,7 +112,17 @@ pub fn synthesize_pipeline(
         ifname: name.to_string(),
         program: Program::new(format!("linuxfp_{name}"), insns),
         fpm_count,
+        fpm_label: fpm_label(pipeline),
     })
+}
+
+/// The metric label naming a pipeline's FPM composition.
+fn fpm_label(pipeline: &[FpmInstance]) -> String {
+    pipeline
+        .iter()
+        .map(|p| p.kind().key())
+        .collect::<Vec<_>>()
+        .join("+")
 }
 
 /// Emits one "trivial network function" snippet: reads a packet byte and
@@ -155,7 +170,10 @@ pub fn trivial_chain_inline(n: usize, out_if: u32) -> Program {
     }
     emit_chain_terminal(&mut a, out_if);
     fpm::emit_exits(&mut a);
-    Program::new(format!("chain_inline_{n}"), a.finish().expect("valid labels"))
+    Program::new(
+        format!("chain_inline_{n}"),
+        a.finish().expect("valid labels"),
+    )
 }
 
 /// Builds the same chain with **tail calls**: `n` programs each running
@@ -190,7 +208,8 @@ pub fn trivial_chain_tailcalls(
             a.finish().expect("valid labels"),
         ))
         .expect("chain programs verify");
-        maps.prog_array_set(prog_array, i, Some(prog)).expect("slot in range");
+        maps.prog_array_set(prog_array, i, Some(prog))
+            .expect("slot in range");
     }
     // Entry program (NF 0).
     let mut a = Asm::new();
@@ -207,7 +226,10 @@ pub fn trivial_chain_tailcalls(
     }
     fpm::emit_exits(&mut a);
     (
-        Program::new("chain_tc_entry".to_string(), a.finish().expect("valid labels")),
+        Program::new(
+            "chain_tc_entry".to_string(),
+            a.finish().expect("valid labels"),
+        ),
         prog_array,
     )
 }
@@ -236,8 +258,10 @@ mod tests {
         let mut k = Kernel::new(4);
         let eth0 = k.add_physical("eth0").unwrap();
         let eth1 = k.add_physical("eth1").unwrap();
-        k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap()).unwrap();
-        k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap()).unwrap();
+        k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap())
+            .unwrap();
+        k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap())
+            .unwrap();
         k.ip_link_set_up(eth0).unwrap();
         k.ip_link_set_up(eth1).unwrap();
         k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
@@ -288,9 +312,9 @@ mod tests {
 
     #[test]
     fn malformed_graph_is_an_error() {
-        assert!(synthesize(&serde_json::json!({})).is_err());
-        assert!(synthesize(&serde_json::json!({"interfaces": {"x": {}}})).is_err());
-        let empty = synthesize(&serde_json::json!({"interfaces": {}})).unwrap();
+        assert!(synthesize(&linuxfp_json::json!({})).is_err());
+        assert!(synthesize(&linuxfp_json::json!({"interfaces": {"x": {}}})).is_err());
+        let empty = synthesize(&linuxfp_json::json!({"interfaces": {}})).unwrap();
         assert!(empty.is_empty());
     }
 

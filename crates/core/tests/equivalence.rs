@@ -15,7 +15,7 @@ use linuxfp_netstack::netfilter::{ChainHook, IpSet, IptRule};
 use linuxfp_netstack::stack::{Effect, IfAddr, Kernel};
 use linuxfp_packet::ipv4::Prefix;
 use linuxfp_packet::{builder, EthernetFrame, Ipv4Header, MacAddr};
-use proptest::prelude::*;
+use linuxfp_sim::SimRng;
 use std::net::Ipv4Addr;
 
 /// Builds the virtual-gateway topology from the paper's evaluation:
@@ -24,8 +24,10 @@ fn build_gateway(seed: u64, rules: usize, use_ipset: bool) -> (Kernel, IfIndex, 
     let mut k = Kernel::new(seed);
     let eth0 = k.add_physical("eth0").unwrap();
     let eth1 = k.add_physical("eth1").unwrap();
-    k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap()).unwrap();
-    k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap()).unwrap();
+    k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap())
+        .unwrap();
+    k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap())
+        .unwrap();
     k.ip_link_set_up(eth0).unwrap();
     k.ip_link_set_up(eth1).unwrap();
     k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
@@ -40,7 +42,10 @@ fn build_gateway(seed: u64, rules: usize, use_ipset: bool) -> (Kernel, IfIndex, 
     if use_ipset {
         let mut set = IpSet::new_hash_net();
         for i in 0..rules as u32 {
-            set.add(Prefix::new(Ipv4Addr::new(10, 10, (i % 50) as u8, (i / 50) as u8 * 16), 28));
+            set.add(Prefix::new(
+                Ipv4Addr::new(10, 10, (i % 50) as u8, (i / 50) as u8 * 16),
+                28,
+            ));
         }
         k.ipset_create("blacklist", set);
         k.iptables_append(ChainHook::Forward, IptRule::drop_dst_set("blacklist"));
@@ -56,8 +61,12 @@ fn build_gateway(seed: u64, rules: usize, use_ipset: bool) -> (Kernel, IfIndex, 
         }
     }
     let now = k.now();
-    k.neigh
-        .learn(Ipv4Addr::new(10, 0, 2, 2), MacAddr::from_index(0xBEEF), eth1, now);
+    k.neigh.learn(
+        Ipv4Addr::new(10, 0, 2, 2),
+        MacAddr::from_index(0xBEEF),
+        eth1,
+        now,
+    );
     (k, eth0, eth1)
 }
 
@@ -67,12 +76,8 @@ fn observable(effects: &[Effect]) -> Vec<String> {
     let mut v: Vec<String> = effects
         .iter()
         .filter_map(|e| match e {
-            Effect::Transmit { dev, frame } => {
-                Some(format!("tx:{}:{}", dev.as_u32(), hex(frame)))
-            }
-            Effect::Deliver { dev, frame } => {
-                Some(format!("rx:{}:{}", dev.as_u32(), hex(frame)))
-            }
+            Effect::Transmit { dev, frame } => Some(format!("tx:{}:{}", dev.as_u32(), hex(frame))),
+            Effect::Deliver { dev, frame } => Some(format!("rx:{}:{}", dev.as_u32(), hex(frame))),
             // Drop reasons differ textually between paths ("xdp drop" vs
             // "nf forward drop"); what must match is everything else.
             Effect::Drop { .. } => None,
@@ -86,108 +91,109 @@ fn hex(b: &[u8]) -> String {
     b.iter().map(|x| format!("{x:02x}")).collect()
 }
 
-fn arb_packet(eth0_mac: MacAddr) -> impl Strategy<Value = Vec<u8>> {
-    (
-        any::<u8>(),          // dst third octet
-        any::<u8>(),          // dst fourth octet
-        1u8..255,             // ttl
-        any::<u16>(),         // sport
-        any::<u16>(),         // dport
-        0u8..4,               // protocol selector
-        prop::bool::weighted(0.1), // fragment?
-        prop::collection::vec(any::<u8>(), 0..64),
-    )
-        .prop_map(move |(d3, d4, ttl, sport, dport, proto_sel, frag, payload)| {
-            let dst = Ipv4Addr::new(10, 10, d3 % 64, d4); // mostly routed, some misses
-            let src = Ipv4Addr::new(10, 0, 1, 100);
-            let mut frame = match proto_sel {
-                0 | 1 => builder::udp_packet(
-                    MacAddr::from_index(0xAAAA),
-                    eth0_mac,
-                    src,
-                    dst,
-                    sport,
-                    dport,
-                    &payload,
-                ),
-                2 => builder::tcp_packet(
-                    MacAddr::from_index(0xAAAA),
-                    eth0_mac,
-                    src,
-                    dst,
-                    sport,
-                    dport,
-                    linuxfp_packet::tcp::TcpFlags::default(),
-                    &payload,
-                ),
-                _ => builder::icmp_echo_request(
-                    MacAddr::from_index(0xAAAA),
-                    eth0_mac,
-                    src,
-                    dst,
-                    sport,
-                    dport,
-                ),
-            };
-            // Rewrite TTL (and fragment bit) then fix the checksum by
-            // re-writing the header.
-            let eth = EthernetFrame::parse(&frame).unwrap();
-            let off = eth.payload_offset;
-            let ip = Ipv4Header::parse(&frame[off..]).unwrap();
-            Ipv4Header::write(
-                &mut frame[off..],
-                ip.src,
-                ip.dst,
-                ip.proto,
-                ttl,
-                ip.id,
-                ip.total_len,
-                false,
-            );
-            if frag {
-                // Set the more-fragments bit and refresh the checksum.
-                frame[off + 6] = 0x20;
-                frame[off + 10] = 0;
-                frame[off + 11] = 0;
-                let c = linuxfp_packet::checksum::checksum(&frame[off..off + 20]);
-                frame[off + 10..off + 12].copy_from_slice(&c.to_be_bytes());
-            }
-            frame
-        })
+fn rand_packet(rng: &mut SimRng, eth0_mac: MacAddr) -> Vec<u8> {
+    let d3 = rng.uniform_u64(256) as u8;
+    let d4 = rng.uniform_u64(256) as u8;
+    let ttl = 1 + rng.uniform_u64(254) as u8;
+    let sport = rng.uniform_u64(1 << 16) as u16;
+    let dport = rng.uniform_u64(1 << 16) as u16;
+    let proto_sel = rng.uniform_u64(4) as u8;
+    let frag = rng.chance(0.1);
+    let payload: Vec<u8> = (0..rng.uniform_u64(64))
+        .map(|_| rng.uniform_u64(256) as u8)
+        .collect();
+    let dst = Ipv4Addr::new(10, 10, d3 % 64, d4); // mostly routed, some misses
+    let src = Ipv4Addr::new(10, 0, 1, 100);
+    let mut frame = match proto_sel {
+        0 | 1 => builder::udp_packet(
+            MacAddr::from_index(0xAAAA),
+            eth0_mac,
+            src,
+            dst,
+            sport,
+            dport,
+            &payload,
+        ),
+        2 => builder::tcp_packet(
+            MacAddr::from_index(0xAAAA),
+            eth0_mac,
+            src,
+            dst,
+            sport,
+            dport,
+            linuxfp_packet::tcp::TcpFlags::default(),
+            &payload,
+        ),
+        _ => builder::icmp_echo_request(
+            MacAddr::from_index(0xAAAA),
+            eth0_mac,
+            src,
+            dst,
+            sport,
+            dport,
+        ),
+    };
+    // Rewrite TTL (and fragment bit) then fix the checksum by re-writing
+    // the header.
+    let eth = EthernetFrame::parse(&frame).unwrap();
+    let off = eth.payload_offset;
+    let ip = Ipv4Header::parse(&frame[off..]).unwrap();
+    Ipv4Header::write(
+        &mut frame[off..],
+        ip.src,
+        ip.dst,
+        ip.proto,
+        ttl,
+        ip.id,
+        ip.total_len,
+        false,
+    );
+    if frag {
+        // Set the more-fragments bit and refresh the checksum.
+        frame[off + 6] = 0x20;
+        frame[off + 10] = 0;
+        frame[off + 11] = 0;
+        let c = linuxfp_packet::checksum::checksum(&frame[off..off + 20]);
+        frame[off + 10..off + 12].copy_from_slice(&c.to_be_bytes());
+    }
+    frame
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Gateway equivalence: for random packets (routed, unrouted,
-    /// blacklisted, fragments, TTL edge cases, multiple protocols), the
-    /// accelerated kernel and the plain kernel produce identical
-    /// observable effects.
-    #[test]
-    fn gateway_fast_path_equals_slow_path(
-        packets in prop::collection::vec(arb_packet(MacAddr::from_index(0x1_0000 + 1)), 1..24),
-        rules in 0usize..60,
-        use_ipset in any::<bool>(),
-    ) {
+/// Gateway equivalence: for random packets (routed, unrouted,
+/// blacklisted, fragments, TTL edge cases, multiple protocols), the
+/// accelerated kernel and the plain kernel produce identical observable
+/// effects. 64 deterministic seeded cases.
+#[test]
+fn gateway_fast_path_equals_slow_path() {
+    let mut rng = SimRng::seed(0xE001_0001);
+    for _ in 0..64 {
+        let rules = rng.uniform_u64(60) as usize;
+        let use_ipset = rng.chance(0.5);
         let (mut plain, eth0_p, _) = build_gateway(1, rules, use_ipset);
         let (mut fast, eth0_f, _) = build_gateway(1, rules, use_ipset);
-        prop_assert_eq!(eth0_p, eth0_f);
+        assert_eq!(eth0_p, eth0_f);
         // Device MACs are seed-derived, so both kernels share addressing.
-        prop_assert_eq!(plain.device(eth0_p).unwrap().mac, fast.device(eth0_f).unwrap().mac);
-        let (mut ctrl, report) = Controller::attach(&mut fast, ControllerConfig::default()).unwrap();
-        prop_assert!(report.changed);
-        prop_assert!(!report.installed.is_empty());
+        assert_eq!(
+            plain.device(eth0_p).unwrap().mac,
+            fast.device(eth0_f).unwrap().mac
+        );
+        let (mut ctrl, report) =
+            Controller::attach(&mut fast, ControllerConfig::default()).unwrap();
+        assert!(report.changed);
+        assert!(!report.installed.is_empty());
 
-        for frame in packets {
+        let eth0_mac = plain.device(eth0_p).unwrap().mac;
+        for _ in 0..1 + rng.uniform_u64(23) {
+            let frame = rand_packet(&mut rng, eth0_mac);
             let out_plain = plain.receive(eth0_p, frame.clone());
             let out_fast = fast.receive(eth0_f, frame);
-            prop_assert_eq!(
+            assert_eq!(
                 observable(&out_plain.effects),
                 observable(&out_fast.effects),
                 "fast and slow paths diverged"
             );
             // Config never changed, so no redeploys mid-stream.
-            prop_assert!(ctrl.poll(&mut fast).unwrap().is_none());
+            assert!(ctrl.poll(&mut fast).unwrap().is_none());
         }
     }
 }
@@ -209,22 +215,25 @@ fn build_bridged(seed: u64) -> (Kernel, Vec<IfIndex>) {
     (k, vec![p1, p2, p3])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Bridging equivalence under random L2 conversations: learning,
-    /// flooding, unicast forwarding, broadcasts.
-    #[test]
-    fn bridge_fast_path_equals_slow_path(
-        convo in prop::collection::vec((0usize..3, 0u64..6, 0u64..6, prop::bool::weighted(0.15)), 1..32),
-    ) {
+/// Bridging equivalence under random L2 conversations: learning,
+/// flooding, unicast forwarding, broadcasts. 48 deterministic seeded
+/// cases.
+#[test]
+fn bridge_fast_path_equals_slow_path() {
+    let mut rng = SimRng::seed(0xE001_0002);
+    for _ in 0..48 {
         let (mut plain, ports_p) = build_bridged(2);
         let (mut fast, ports_f) = build_bridged(2);
-        let (mut ctrl, report) = Controller::attach(&mut fast, ControllerConfig::default()).unwrap();
-        prop_assert!(report.changed);
-        prop_assert_eq!(report.installed.len(), 3);
+        let (mut ctrl, report) =
+            Controller::attach(&mut fast, ControllerConfig::default()).unwrap();
+        assert!(report.changed);
+        assert_eq!(report.installed.len(), 3);
 
-        for (port_idx, src_host, dst_host, broadcast) in convo {
+        for _ in 0..1 + rng.uniform_u64(31) {
+            let port_idx = rng.uniform_u64(3) as usize;
+            let src_host = rng.uniform_u64(6);
+            let dst_host = rng.uniform_u64(6);
+            let broadcast = rng.chance(0.15);
             let src = MacAddr::from_index(0x100 + src_host);
             let dst = if broadcast {
                 MacAddr::BROADCAST
@@ -242,12 +251,12 @@ proptest! {
             );
             let out_plain = plain.receive(ports_p[port_idx], frame.clone());
             let out_fast = fast.receive(ports_f[port_idx], frame);
-            prop_assert_eq!(
+            assert_eq!(
                 observable(&out_plain.effects),
                 observable(&out_fast.effects),
                 "bridge paths diverged"
             );
-            prop_assert!(ctrl.poll(&mut fast).unwrap().is_none());
+            assert!(ctrl.poll(&mut fast).unwrap().is_none());
         }
     }
 }

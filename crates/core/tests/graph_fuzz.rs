@@ -1,118 +1,119 @@
 //! Robustness: the synthesizer must never panic on arbitrary (including
 //! hostile) JSON processing graphs — it either synthesizes verifiable
 //! programs or returns a structured error.
+//!
+//! Random graphs are generated with the workspace's seeded [`SimRng`]
+//! (the build is fully offline, so no external fuzzing framework).
 
 use linuxfp_core::synth::synthesize;
-use proptest::prelude::*;
-use serde_json::{json, Value};
+use linuxfp_json::{json, Map, Value};
+use linuxfp_sim::SimRng;
 
-fn arb_json(depth: u32) -> BoxedStrategy<Value> {
-    let leaf = prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::from),
-        any::<i64>().prop_map(Value::from),
-        any::<u16>().prop_map(Value::from),
-        "[a-z_]{0,12}".prop_map(Value::from),
-    ];
-    if depth == 0 {
-        return leaf.boxed();
-    }
-    prop_oneof![
-        4 => leaf,
-        1 => prop::collection::vec(arb_json(depth - 1), 0..4).prop_map(Value::from),
-        1 => prop::collection::btree_map("[a-z_]{1,8}", arb_json(depth - 1), 0..4)
-            .prop_map(|m| Value::Object(m.into_iter().collect())),
-    ]
-    .boxed()
+fn rand_key(rng: &mut SimRng, min: usize, max: usize) -> String {
+    let len = min + rng.uniform_u64((max - min + 1) as u64) as usize;
+    (0..len)
+        .map(|_| (b'a' + rng.uniform_u64(26) as u8) as char)
+        .collect()
 }
+
+/// Arbitrary JSON up to `depth` levels of nesting.
+fn rand_json(rng: &mut SimRng, depth: u32) -> Value {
+    let pick = if depth == 0 {
+        rng.uniform_u64(5)
+    } else {
+        rng.uniform_u64(7)
+    };
+    match pick {
+        0 => Value::Null,
+        1 => Value::from(rng.chance(0.5)),
+        2 => Value::from(rng.uniform_u64(u64::MAX) as i64),
+        3 => Value::from(rng.uniform_u64(1 << 16) as u16),
+        4 => Value::from(rand_key(rng, 0, 12)),
+        5 => Value::Array(
+            (0..rng.uniform_u64(4))
+                .map(|_| rand_json(rng, depth - 1))
+                .collect(),
+        ),
+        _ => {
+            let mut m = Map::new();
+            for _ in 0..rng.uniform_u64(4) {
+                m.insert(rand_key(rng, 1, 8), rand_json(rng, depth - 1));
+            }
+            Value::Object(m)
+        }
+    }
+}
+
+const NF_KINDS: [&str; 5] = ["bridge", "router", "filter", "ipvs", "warp_drive"];
 
 /// Keys the graph actually uses, mixed in so fuzzing reaches deep paths.
-fn arb_graph() -> impl Strategy<Value = Value> {
-    (
-        prop::collection::btree_map("[a-z]{1,6}", arb_json(2), 0..4),
-        prop::collection::vec(
-            (
-                prop_oneof![
-                    Just("bridge"),
-                    Just("router"),
-                    Just("filter"),
-                    Just("ipvs"),
-                    Just("warp_drive")
-                ],
-                arb_json(2),
-            ),
-            0..4,
-        ),
-        any::<u32>(),
-    )
-        .prop_map(|(noise, pipeline, ifindex)| {
-            let nodes: Vec<Value> = pipeline
-                .into_iter()
-                .map(|(nf, conf)| json!({"nf": nf, "conf": conf}))
-                .collect();
-            let mut ifaces = serde_json::Map::new();
-            ifaces.insert(
-                "fuzzed".to_string(),
-                json!({"ifindex": ifindex, "pipeline": nodes}),
-            );
-            for (k, v) in noise {
-                ifaces.insert(k, v);
-            }
-            json!({"interfaces": Value::Object(ifaces)})
+fn rand_graph(rng: &mut SimRng) -> Value {
+    let nodes: Vec<Value> = (0..rng.uniform_u64(4))
+        .map(|_| {
+            let nf = *rng.choose(&NF_KINDS);
+            let conf = rand_json(rng, 2);
+            json!({"nf": nf, "conf": conf})
         })
+        .collect();
+    let mut ifaces = Map::new();
+    ifaces.insert(
+        "fuzzed".to_string(),
+        json!({"ifindex": rng.uniform_u64(1 << 32) as u32, "pipeline": nodes}),
+    );
+    for _ in 0..rng.uniform_u64(4) {
+        let k = rand_key(rng, 1, 6);
+        let v = rand_json(rng, 2);
+        ifaces.insert(k, v);
+    }
+    json!({"interfaces": Value::Object(ifaces)})
 }
 
-fn arb_valid_conf(nf: &'static str) -> BoxedStrategy<Value> {
+fn rand_valid_conf(rng: &mut SimRng, nf: &str) -> Value {
     match nf {
-        "bridge" => (any::<bool>(), any::<bool>(), any::<u16>(), any::<[u8; 6]>(), any::<bool>(), any::<bool>())
-            .prop_map(|(stp, vlan, pvid, mac, l3, brnf)| {
-                json!({
-                    "stp_enabled": stp, "vlan_enabled": vlan, "pvid": pvid,
-                    "bridge_mac": mac, "has_l3": l3, "br_nf": brnf,
-                })
+        "bridge" => {
+            let mac: [u8; 6] = std::array::from_fn(|_| rng.uniform_u64(256) as u8);
+            json!({
+                "stp_enabled": rng.chance(0.5),
+                "vlan_enabled": rng.chance(0.5),
+                "pvid": rng.uniform_u64(1 << 16) as u16,
+                "bridge_mac": mac,
+                "has_l3": rng.chance(0.5),
+                "br_nf": rng.chance(0.5),
             })
-            .boxed(),
-        "filter" => (any::<u16>(), any::<bool>(), any::<bool>())
-            .prop_map(|(rules, ipset, ports)| {
-                json!({"rules": rules, "ipset": ipset, "match_ports": ports})
-            })
-            .boxed(),
-        "ipvs" => (any::<[u8; 4]>(), any::<u16>())
-            .prop_map(|(vip, port)| json!({"vip": vip, "port": port}))
-            .boxed(),
-        _ => Just(json!({})).boxed(),
+        }
+        "filter" => json!({
+            "rules": rng.uniform_u64(1 << 16) as u16,
+            "ipset": rng.chance(0.5),
+            "match_ports": rng.chance(0.5),
+        }),
+        "ipvs" => {
+            let vip: [u8; 4] = std::array::from_fn(|_| rng.uniform_u64(256) as u8);
+            json!({"vip": vip, "port": rng.uniform_u64(1 << 16) as u16})
+        }
+        _ => json!({}),
     }
 }
 
 /// Pipelines whose confs deserialize but whose composition may be
 /// structurally invalid (filter without router, trailing bridges, ...).
-fn arb_hostile_pipeline() -> impl Strategy<Value = Value> {
-    prop::collection::vec(
-        prop_oneof![Just("bridge"), Just("router"), Just("filter"), Just("ipvs")],
-        0..5,
-    )
-    .prop_flat_map(|kinds| {
-        let confs: Vec<BoxedStrategy<Value>> =
-            kinds.iter().map(|k| arb_valid_conf(k)).collect();
-        (Just(kinds), confs)
-    })
-    .prop_map(|(kinds, confs)| {
-        let nodes: Vec<Value> = kinds
-            .iter()
-            .zip(confs)
-            .map(|(nf, conf)| json!({"nf": nf, "conf": conf}))
-            .collect();
-        json!({"interfaces": {"hostile": {"ifindex": 1, "pipeline": nodes}}})
-    })
+fn rand_hostile_pipeline(rng: &mut SimRng) -> Value {
+    let nodes: Vec<Value> = (0..rng.uniform_u64(5))
+        .map(|_| {
+            let nf = *rng.choose(&NF_KINDS[..4]);
+            let conf = rand_valid_conf(rng, nf);
+            json!({"nf": nf, "conf": conf})
+        })
+        .collect();
+    json!({"interfaces": {"hostile": {"ifindex": 1, "pipeline": nodes}}})
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Structurally hostile but well-typed pipelines never panic: they
-    /// synthesize verifiable programs or return a structured error.
-    #[test]
-    fn synthesize_is_total_on_hostile_pipelines(g in arb_hostile_pipeline()) {
+/// Structurally hostile but well-typed pipelines never panic: they
+/// synthesize verifiable programs or return a structured error.
+#[test]
+fn synthesize_is_total_on_hostile_pipelines() {
+    let mut rng = SimRng::seed(0xF022_0001);
+    for _ in 0..256 {
+        let g = rand_hostile_pipeline(&mut rng);
         if let Ok(fps) = synthesize(&g) {
             for fp in fps {
                 linuxfp_ebpf::program::LoadedProgram::load(fp.program)
@@ -120,17 +121,25 @@ proptest! {
             }
         }
     }
+}
 
-    /// Arbitrary JSON never panics the synthesizer.
-    #[test]
-    fn synthesize_is_total_on_arbitrary_json(v in arb_json(3)) {
+/// Arbitrary JSON never panics the synthesizer.
+#[test]
+fn synthesize_is_total_on_arbitrary_json() {
+    let mut rng = SimRng::seed(0xF022_0002);
+    for _ in 0..256 {
+        let v = rand_json(&mut rng, 3);
         let _ = synthesize(&v);
     }
+}
 
-    /// Graph-shaped JSON with hostile confs never panics either, and any
-    /// programs produced pass the verifier.
-    #[test]
-    fn synthesize_is_total_on_graph_shaped_json(g in arb_graph()) {
+/// Graph-shaped JSON with hostile confs never panics either, and any
+/// programs produced pass the verifier.
+#[test]
+fn synthesize_is_total_on_graph_shaped_json() {
+    let mut rng = SimRng::seed(0xF022_0003);
+    for _ in 0..256 {
+        let g = rand_graph(&mut rng);
         if let Ok(fps) = synthesize(&g) {
             for fp in fps {
                 // Anything the synthesizer accepts must verify: the

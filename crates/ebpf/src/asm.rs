@@ -126,17 +126,32 @@ impl Asm {
 
     /// `dst = *(size*)(src + off)`.
     pub fn load(&mut self, size: MemSize, dst: u8, src: u8, off: i16) -> &mut Self {
-        self.raw(Insn::Load { size, dst, src, off })
+        self.raw(Insn::Load {
+            size,
+            dst,
+            src,
+            off,
+        })
     }
 
     /// `*(size*)(dst + off) = src`.
     pub fn store(&mut self, size: MemSize, dst: u8, off: i16, src: u8) -> &mut Self {
-        self.raw(Insn::Store { size, dst, off, src })
+        self.raw(Insn::Store {
+            size,
+            dst,
+            off,
+            src,
+        })
     }
 
     /// `*(size*)(dst + off) = imm`.
     pub fn store_imm(&mut self, size: MemSize, dst: u8, off: i16, imm: i64) -> &mut Self {
-        self.raw(Insn::StoreImm { size, dst, off, imm })
+        self.raw(Insn::StoreImm {
+            size,
+            dst,
+            off,
+            imm,
+        })
     }
 
     /// Unconditional jump to `label`.
@@ -210,8 +225,18 @@ impl Asm {
             let off = off as i32;
             insns[pos] = match pending {
                 Pending::Ja => Insn::Ja { off },
-                Pending::JmpImm { cond, dst, imm } => Insn::JmpImm { cond, dst, imm, off },
-                Pending::JmpReg { cond, dst, src } => Insn::JmpReg { cond, dst, src, off },
+                Pending::JmpImm { cond, dst, imm } => Insn::JmpImm {
+                    cond,
+                    dst,
+                    imm,
+                    off,
+                },
+                Pending::JmpReg { cond, dst, src } => Insn::JmpReg {
+                    cond,
+                    dst,
+                    src,
+                    off,
+                },
             };
         }
         Ok(insns)
@@ -268,7 +293,10 @@ mod tests {
         a.label("x");
         a.exit();
         a.label("x");
-        assert_eq!(a.finish().unwrap_err(), AsmError::DuplicateLabel("x".into()));
+        assert_eq!(
+            a.finish().unwrap_err(),
+            AsmError::DuplicateLabel("x".into())
+        );
     }
 
     #[test]
@@ -286,14 +314,29 @@ mod tests {
         assert_eq!(a.len(), 9);
         assert!(!a.is_empty());
         let prog = a.finish().unwrap();
-        assert!(matches!(prog[6], Insn::Call { helper: HelperId::KtimeGetNs }));
-        assert!(matches!(prog[7], Insn::TailCall { prog_array: 0, index: 3 }));
+        assert!(matches!(
+            prog[6],
+            Insn::Call {
+                helper: HelperId::KtimeGetNs
+            }
+        ));
+        assert!(matches!(
+            prog[7],
+            Insn::TailCall {
+                prog_array: 0,
+                index: 3
+            }
+        ));
         assert!(matches!(prog[8], Insn::Exit));
     }
 
     #[test]
     fn asm_error_display() {
-        assert!(AsmError::UnknownLabel("l".into()).to_string().contains("unknown"));
-        assert!(AsmError::DuplicateLabel("l".into()).to_string().contains("duplicate"));
+        assert!(AsmError::UnknownLabel("l".into())
+            .to_string()
+            .contains("unknown"));
+        assert!(AsmError::DuplicateLabel("l".into())
+            .to_string()
+            .contains("duplicate"));
     }
 }

@@ -81,13 +81,8 @@ impl HelperEnv for Kernel {
         dport: u16,
         proto: u8,
     ) -> Option<(Ipv4Addr, u16)> {
-        let key = linuxfp_netstack::conntrack::FlowKey::new(
-            src,
-            sport,
-            dst,
-            dport,
-            IpProto::from(proto),
-        );
+        let key =
+            linuxfp_netstack::conntrack::FlowKey::new(src, sport, dst, dport, IpProto::from(proto));
         let now = self.now();
         self.conntrack.lookup(&key, now).and_then(|e| e.backend)
     }
@@ -147,7 +142,13 @@ mod tests {
             FdbLookupOutcome::SrcUnknown
         );
         assert!(env
-            .env_ct_lookup(Ipv4Addr::new(1, 1, 1, 1), 1, Ipv4Addr::new(2, 2, 2, 2), 2, 6)
+            .env_ct_lookup(
+                Ipv4Addr::new(1, 1, 1, 1),
+                1,
+                Ipv4Addr::new(2, 2, 2, 2),
+                2,
+                6
+            )
             .is_none());
         let meta = PacketMeta {
             src: Ipv4Addr::new(1, 1, 1, 1),

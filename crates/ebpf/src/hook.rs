@@ -12,12 +12,13 @@ use crate::asm::Asm;
 use crate::insn::Action;
 use crate::maps::{MapId, MapStore};
 use crate::program::{LoadedProgram, Program};
-use crate::vm::{self, VmCtx};
+use crate::vm::{self, VmCtx, VmOutcome};
 use linuxfp_netstack::device::IfIndex;
 use linuxfp_netstack::stack::{HookFn, HookVerdict, Kernel};
 use linuxfp_netstack::NetError;
 use linuxfp_packet::EthernetFrame;
-use std::sync::Arc;
+use linuxfp_telemetry::{Counter, Registry};
+use std::sync::{Arc, Mutex};
 
 /// Which kernel hook to attach to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -28,9 +29,130 @@ pub enum HookPoint {
     Tc,
 }
 
+/// Telemetry handles for one hook's data path: which verdicts the VM
+/// returned, how much work it did, and whether packets were handled in
+/// the fast path or fell back to the kernel slow path.
+///
+/// Counter handles are resolved once (at install/relabel time), so the
+/// per-packet cost is a few relaxed atomic increments — no label or map
+/// lookups on the data path. The conservation law the metrics support:
+/// `linuxfp_fp_hits_total + linuxfp_slowpath_fallbacks_total` equals the
+/// number of packets that entered the hook.
+#[derive(Debug, Clone)]
+pub struct HookStats {
+    /// Packets fully handled by the fast path (any verdict except PASS).
+    pub hits: Counter,
+    /// Packets PASSed to the kernel slow path (including the dispatcher's
+    /// empty-slot default).
+    pub fallbacks: Counter,
+    /// VM instructions executed (across tail calls).
+    pub vm_insns: Counter,
+    /// Helper calls made by the program.
+    pub helper_calls: Counter,
+    verdict_pass: Counter,
+    verdict_drop: Counter,
+    verdict_redirect: Counter,
+    verdict_deliver_user: Counter,
+}
+
+impl HookStats {
+    /// Creates (or re-resolves) the counters in `registry`, labelling
+    /// hit/fallback counters with `fpm` and VM counters with `program`.
+    pub fn in_registry(registry: &Registry, program: &str, fpm: &str) -> HookStats {
+        registry.describe(
+            "linuxfp_fp_hits_total",
+            "Packets fully handled by an eBPF fast path (verdict != PASS)",
+        );
+        registry.describe(
+            "linuxfp_slowpath_fallbacks_total",
+            "Packets a fast path PASSed to the Linux slow path",
+        );
+        registry.describe("linuxfp_vm_insns_total", "eBPF VM instructions executed");
+        registry.describe("linuxfp_vm_helper_calls_total", "eBPF helper calls made");
+        registry.describe("linuxfp_vm_verdicts_total", "eBPF program verdicts by kind");
+        HookStats {
+            hits: registry.counter("linuxfp_fp_hits_total", &[("fpm", fpm)]),
+            fallbacks: registry.counter("linuxfp_slowpath_fallbacks_total", &[("fpm", fpm)]),
+            vm_insns: registry.counter("linuxfp_vm_insns_total", &[("program", program)]),
+            helper_calls: registry
+                .counter("linuxfp_vm_helper_calls_total", &[("program", program)]),
+            verdict_pass: registry.counter("linuxfp_vm_verdicts_total", &[("verdict", "pass")]),
+            verdict_drop: registry.counter("linuxfp_vm_verdicts_total", &[("verdict", "drop")]),
+            verdict_redirect: registry
+                .counter("linuxfp_vm_verdicts_total", &[("verdict", "redirect")]),
+            verdict_deliver_user: registry
+                .counter("linuxfp_vm_verdicts_total", &[("verdict", "deliver_user")]),
+        }
+    }
+
+    fn record(&self, out: &VmOutcome, verdict: &HookVerdict) {
+        self.vm_insns.add(out.insns_executed);
+        self.helper_calls.add(out.helper_calls);
+        match verdict {
+            HookVerdict::Pass => {
+                self.verdict_pass.inc();
+                self.fallbacks.inc();
+            }
+            HookVerdict::Drop => {
+                self.verdict_drop.inc();
+                self.hits.inc();
+            }
+            HookVerdict::Redirect(_) => {
+                self.verdict_redirect.inc();
+                self.hits.inc();
+            }
+            HookVerdict::DeliverUser => {
+                self.verdict_deliver_user.inc();
+                self.hits.inc();
+            }
+        }
+    }
+}
+
+/// Telemetry state shared between a dispatcher and its hook closure; the
+/// labels are re-resolved on every install so metrics follow the active
+/// data path.
+#[derive(Debug)]
+struct HookTelemetry {
+    registry: Registry,
+    program: String,
+    fpm: String,
+    stats: HookStats,
+}
+
+type TelemetryCell = Arc<Mutex<Option<HookTelemetry>>>;
+
 /// Builds a [`HookFn`] that executes `prog` in the VM against each
 /// packet, translating VM verdicts to kernel hook verdicts.
 pub fn hook_fn_for(prog: LoadedProgram, maps: MapStore, hook: HookPoint) -> HookFn {
+    hook_fn_with_cell(prog, maps, hook, Arc::new(Mutex::new(None)))
+}
+
+/// Like [`hook_fn_for`], recording per-packet telemetry into `registry`.
+/// Both the VM counters and the hit/fallback counters are labelled with
+/// the program's name (directly-attached programs have no FPM pipeline).
+pub fn hook_fn_instrumented(
+    prog: LoadedProgram,
+    maps: MapStore,
+    hook: HookPoint,
+    registry: &Registry,
+) -> HookFn {
+    let stats = HookStats::in_registry(registry, prog.name(), prog.name());
+    let cell = Arc::new(Mutex::new(Some(HookTelemetry {
+        registry: registry.clone(),
+        program: prog.name().to_string(),
+        fpm: prog.name().to_string(),
+        stats,
+    })));
+    hook_fn_with_cell(prog, maps, hook, cell)
+}
+
+fn hook_fn_with_cell(
+    prog: LoadedProgram,
+    maps: MapStore,
+    hook: HookPoint,
+    telemetry: TelemetryCell,
+) -> HookFn {
     Arc::new(move |kernel: &mut Kernel, packet, tracker| {
         let cost = kernel.cost_model().clone();
         let ingress = packet.ingress_ifindex;
@@ -44,7 +166,7 @@ pub fn hook_fn_for(prog: LoadedProgram, maps: MapStore, hook: HookPoint) -> Hook
             }
         }
         let out = vm::run(&prog, ctx, kernel, &maps, &cost, tracker);
-        match out.action {
+        let verdict = match out.action {
             Action::Pass => HookVerdict::Pass,
             // Real XDP treats ABORTED like DROP (plus a tracepoint).
             Action::Drop | Action::Aborted => HookVerdict::Drop,
@@ -57,7 +179,13 @@ pub fn hook_fn_for(prog: LoadedProgram, maps: MapStore, hook: HookPoint) -> Hook
                 None if out.to_user => HookVerdict::DeliverUser,
                 None => HookVerdict::Drop,
             },
+        };
+        // Telemetry counters are real atomics with no virtual-time
+        // charge: observability must not perturb the modeled costs.
+        if let Some(t) = telemetry.lock().unwrap().as_ref() {
+            t.stats.record(&out, &verdict);
         }
+        verdict
     })
 }
 
@@ -87,6 +215,7 @@ pub struct Dispatcher {
     maps: MapStore,
     prog_array: MapId,
     slot: usize,
+    telemetry: TelemetryCell,
 }
 
 impl Dispatcher {
@@ -97,7 +226,50 @@ impl Dispatcher {
             maps,
             prog_array,
             slot: 0,
+            telemetry: Arc::new(Mutex::new(None)),
         }
+    }
+
+    /// Enables telemetry for this dispatcher's hook: per-packet verdict,
+    /// instruction and hit/fallback counters land in `registry`. Until a
+    /// data path is installed the series carry `fpm="none"`.
+    pub fn enable_telemetry(&self, registry: &Registry) {
+        let mut cell = self.telemetry.lock().unwrap();
+        *cell = Some(HookTelemetry {
+            registry: registry.clone(),
+            program: "linuxfp_dispatcher".to_string(),
+            fpm: "none".to_string(),
+            stats: HookStats::in_registry(registry, "linuxfp_dispatcher", "none"),
+        });
+    }
+
+    /// Whether [`Dispatcher::enable_telemetry`] has been called.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.lock().unwrap().is_some()
+    }
+
+    /// Re-labels this dispatcher's hit/fallback counters with the FPM
+    /// composition of the installed pipeline (e.g. `router+filter`).
+    /// Labels are sticky across uninstall so late packets still count
+    /// against the last active data path. No-op without telemetry.
+    pub fn set_fpm_label(&self, fpm: &str) {
+        let mut cell = self.telemetry.lock().unwrap();
+        if let Some(t) = cell.as_mut() {
+            if t.fpm != fpm {
+                t.fpm = fpm.to_string();
+                t.stats = HookStats::in_registry(&t.registry, &t.program, &t.fpm);
+            }
+        }
+    }
+
+    /// The current snapshot of this dispatcher's counters, if telemetry
+    /// is enabled.
+    pub fn stats(&self) -> Option<HookStats> {
+        self.telemetry
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|t| t.stats.clone())
     }
 
     /// The dispatcher entry program: `r0 = PASS; tail_call(slot);
@@ -117,12 +289,39 @@ impl Dispatcher {
     /// # Errors
     ///
     /// Fails if the device does not exist.
-    pub fn attach(&self, kernel: &mut Kernel, dev: IfIndex, hook: HookPoint) -> Result<(), NetError> {
-        attach(kernel, dev, hook, self.entry_program(), self.maps.clone())
+    pub fn attach(
+        &self,
+        kernel: &mut Kernel,
+        dev: IfIndex,
+        hook: HookPoint,
+    ) -> Result<(), NetError> {
+        let f = hook_fn_with_cell(
+            self.entry_program(),
+            self.maps.clone(),
+            hook,
+            Arc::clone(&self.telemetry),
+        );
+        match hook {
+            HookPoint::Xdp => kernel.attach_xdp(dev, f),
+            HookPoint::Tc => kernel.attach_tc_ingress(dev, f),
+        }
     }
 
     /// Atomically installs (or replaces) the active data path.
     pub fn install(&self, prog: LoadedProgram) {
+        {
+            let mut cell = self.telemetry.lock().unwrap();
+            if let Some(t) = cell.as_mut() {
+                t.registry.events().push(
+                    "swap",
+                    format!("install {} ({} insns)", prog.name(), prog.len()),
+                );
+                if t.program != prog.name() {
+                    t.program = prog.name().to_string();
+                    t.stats = HookStats::in_registry(&t.registry, &t.program, &t.fpm);
+                }
+            }
+        }
         self.maps
             .prog_array_set(self.prog_array, self.slot, Some(prog))
             .expect("dispatcher prog array");
@@ -130,6 +329,11 @@ impl Dispatcher {
 
     /// Removes the active data path; packets fall back to the slow path.
     pub fn uninstall(&self) {
+        if let Some(t) = self.telemetry.lock().unwrap().as_ref() {
+            t.registry
+                .events()
+                .push("swap", "uninstall (slot empty, PASS)");
+        }
         self.maps
             .prog_array_set(self.prog_array, self.slot, None)
             .expect("dispatcher prog array");
@@ -156,7 +360,8 @@ mod tests {
     fn kernel_with_nic() -> (Kernel, IfIndex) {
         let mut k = Kernel::new(11);
         let eth0 = k.add_physical("eth0").unwrap();
-        k.ip_addr_add(eth0, "10.0.0.1/24".parse::<IfAddr>().unwrap()).unwrap();
+        k.ip_addr_add(eth0, "10.0.0.1/24".parse::<IfAddr>().unwrap())
+            .unwrap();
         k.ip_link_set_up(eth0).unwrap();
         (k, eth0)
     }
@@ -220,6 +425,94 @@ mod tests {
         d.uninstall();
         let out = k.receive(eth0, frame_for(&k, eth0));
         assert_eq!(out.deliveries().len(), 1);
+    }
+
+    #[test]
+    fn swap_cycle_conserves_every_packet() {
+        // The transparency ledger across install → uninstall → install:
+        // every injected packet is decided exactly once — counted either
+        // as a fast-path hit or a slow-path fallback, never both, never
+        // neither.
+        let (mut k, eth0) = kernel_with_nic();
+        let registry = Registry::new();
+        k.set_telemetry(registry.clone());
+        let d = Dispatcher::new(MapStore::new());
+        d.enable_telemetry(&registry);
+        assert!(d.telemetry_enabled());
+        d.attach(&mut k, eth0, HookPoint::Xdp).unwrap();
+
+        // Empty slot: the dispatcher PASSes; the slow path delivers.
+        for _ in 0..5 {
+            let out = k.receive(eth0, frame_for(&k, eth0));
+            assert_eq!(out.deliveries().len(), 1);
+        }
+        assert_eq!(
+            registry.counter_value("linuxfp_slowpath_fallbacks_total", &[("fpm", "none")]),
+            Some(5)
+        );
+
+        // Install a dropping data path (as a "filter" FPM).
+        d.set_fpm_label("filter");
+        d.install(drop_prog());
+        for _ in 0..7 {
+            let out = k.receive(eth0, frame_for(&k, eth0));
+            assert_eq!(out.drops(), vec!["xdp drop"]);
+        }
+        assert_eq!(
+            registry.counter_value("linuxfp_fp_hits_total", &[("fpm", "filter")]),
+            Some(7)
+        );
+
+        // Uninstall: the sticky label keeps attributing fallbacks to the
+        // last active pipeline.
+        d.uninstall();
+        for _ in 0..3 {
+            let out = k.receive(eth0, frame_for(&k, eth0));
+            assert_eq!(out.deliveries().len(), 1);
+        }
+        assert_eq!(
+            registry.counter_value("linuxfp_slowpath_fallbacks_total", &[("fpm", "filter")]),
+            Some(3)
+        );
+
+        // Reinstall: hits resume on the same series.
+        d.install(drop_prog());
+        for _ in 0..4 {
+            let out = k.receive(eth0, frame_for(&k, eth0));
+            assert_eq!(out.drops(), vec!["xdp drop"]);
+        }
+
+        // Conservation: hits + fallbacks == packets injected, across the
+        // whole swap cycle. Nothing lost, nothing double-counted.
+        let hits = registry.counter_total("linuxfp_fp_hits_total");
+        let fallbacks = registry.counter_total("linuxfp_slowpath_fallbacks_total");
+        let injected = registry.counter_total("linuxfp_packets_injected_total");
+        assert_eq!(hits, 11);
+        assert_eq!(fallbacks, 8);
+        assert_eq!(hits + fallbacks, injected);
+        assert_eq!(injected, 19);
+
+        // Verdict tallies agree with the ledger.
+        assert_eq!(
+            registry.counter_value("linuxfp_vm_verdicts_total", &[("verdict", "pass")]),
+            Some(8)
+        );
+        assert_eq!(
+            registry.counter_value("linuxfp_vm_verdicts_total", &[("verdict", "drop")]),
+            Some(11)
+        );
+
+        // The swap trail is in the event ring: install, uninstall, install.
+        let swaps: Vec<_> = registry
+            .events()
+            .recent()
+            .into_iter()
+            .filter(|e| e.kind == "swap")
+            .collect();
+        assert_eq!(swaps.len(), 3);
+        assert!(swaps[0].detail.starts_with("install drop_all"));
+        assert!(swaps[1].detail.starts_with("uninstall"));
+        assert!(swaps[2].detail.starts_with("install drop_all"));
     }
 
     #[test]

@@ -11,15 +11,14 @@
 //!    design LinuxFP argues against for transparency reasons. Keeping
 //!    them here lets the benchmarks compare both designs honestly.
 //!
-//! Maps use interior mutability (`parking_lot::RwLock`) so that programs
+//! Maps use interior mutability (`std::sync::RwLock`) so that programs
 //! holding shared references can update them, mirroring how real maps are
 //! shared kernel objects.
 
 use crate::program::LoadedProgram;
-use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Identifies a map within a [`MapStore`] (an "fd").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,19 +85,23 @@ pub struct XskSocket {
 
 impl fmt::Debug for XskSocket {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XskSocket({} pending)", self.queue.read().len())
+        write!(
+            f,
+            "XskSocket({} pending)",
+            self.queue.read().expect("xsk lock").len()
+        )
     }
 }
 
 impl XskSocket {
     /// Receives the next frame, if any.
     pub fn recv(&self) -> Option<Vec<u8>> {
-        self.queue.write().pop_front()
+        self.queue.write().expect("xsk lock").pop_front()
     }
 
     /// Frames currently queued.
     pub fn pending(&self) -> usize {
-        self.queue.read().len()
+        self.queue.read().expect("xsk lock").len()
     }
 }
 
@@ -111,7 +114,11 @@ pub struct MapStore {
 
 impl fmt::Debug for MapStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "MapStore({} maps)", self.maps.read().len())
+        write!(
+            f,
+            "MapStore({} maps)",
+            self.maps.read().expect("map lock").len()
+        )
     }
 }
 
@@ -122,7 +129,7 @@ impl MapStore {
     }
 
     fn push(&self, kind: MapKind) -> MapId {
-        let mut maps = self.maps.write();
+        let mut maps = self.maps.write().expect("map lock");
         maps.push(kind);
         MapId(maps.len() as u32 - 1)
     }
@@ -173,10 +180,10 @@ impl MapStore {
     /// does). Returns `false` when the map is not an XSK map or the ring
     /// is full (frame dropped).
     pub fn xsk_push(&self, id: MapId, frame: Vec<u8>) -> bool {
-        let maps = self.maps.read();
+        let maps = self.maps.read().expect("map lock");
         match maps.get(id.0 as usize) {
             Some(MapKind::Xsk { queue, capacity }) => {
-                let mut q = queue.write();
+                let mut q = queue.write().expect("xsk lock");
                 if q.len() >= *capacity {
                     return false;
                 }
@@ -192,7 +199,7 @@ impl MapStore {
         id: MapId,
         f: impl FnOnce(&mut MapKind) -> Result<R, MapError>,
     ) -> Result<R, MapError> {
-        let mut maps = self.maps.write();
+        let mut maps = self.maps.write().expect("map lock");
         let kind = maps
             .get_mut(id.0 as usize)
             .ok_or(MapError::NoSuchMap(id.0))?;
@@ -217,16 +224,18 @@ impl MapStore {
                 }
                 let addr = u32::from_be_bytes([key[0], key[1], key[2], key[3]]);
                 for (len, table) in by_len.iter().rev() {
-                    let masked = if *len == 0 { 0 } else { addr & (!0u32 << (32 - len)) };
+                    let masked = if *len == 0 {
+                        0
+                    } else {
+                        addr & (!0u32 << (32 - len))
+                    };
                     if let Some(v) = table.get(&masked) {
                         return Ok(Some(v.clone()));
                     }
                 }
                 Ok(None)
             }
-            MapKind::ProgArray { .. } | MapKind::Xsk { .. } => {
-                Err(MapError::WrongType("lookup"))
-            }
+            MapKind::ProgArray { .. } | MapKind::Xsk { .. } => Err(MapError::WrongType("lookup")),
         })
     }
 
@@ -261,13 +270,18 @@ impl MapStore {
                 }
                 let len = key[0];
                 let addr = u32::from_be_bytes([key[1], key[2], key[3], key[4]]);
-                let masked = if len == 0 { 0 } else { addr & (!0u32 << (32 - len)) };
-                by_len.entry(len).or_default().insert(masked, value.to_vec());
+                let masked = if len == 0 {
+                    0
+                } else {
+                    addr & (!0u32 << (32 - len))
+                };
+                by_len
+                    .entry(len)
+                    .or_default()
+                    .insert(masked, value.to_vec());
                 Ok(())
             }
-            MapKind::ProgArray { .. } | MapKind::Xsk { .. } => {
-                Err(MapError::WrongType("update"))
-            }
+            MapKind::ProgArray { .. } | MapKind::Xsk { .. } => Err(MapError::WrongType("update")),
         })
     }
 
@@ -285,8 +299,14 @@ impl MapStore {
                 }
                 let len = key[0];
                 let addr = u32::from_be_bytes([key[1], key[2], key[3], key[4]]);
-                let masked = if len == 0 { 0 } else { addr & (!0u32 << (32 - len)) };
-                Ok(by_len.get_mut(&len).is_some_and(|t| t.remove(&masked).is_some()))
+                let masked = if len == 0 {
+                    0
+                } else {
+                    addr & (!0u32 << (32 - len))
+                };
+                Ok(by_len
+                    .get_mut(&len)
+                    .is_some_and(|t| t.remove(&masked).is_some()))
             }
             _ => Err(MapError::WrongType("delete")),
         })
@@ -318,7 +338,7 @@ impl MapStore {
 
     /// Reads a program-array slot (what a tail call does).
     pub fn prog_array_get(&self, id: MapId, slot: usize) -> Option<LoadedProgram> {
-        let maps = self.maps.read();
+        let maps = self.maps.read().expect("map lock");
         match maps.get(id.0 as usize)? {
             MapKind::ProgArray { slots } => slots.get(slot)?.clone(),
             _ => None,
@@ -327,12 +347,12 @@ impl MapStore {
 
     /// Number of maps in the store.
     pub fn len(&self) -> usize {
-        self.maps.read().len()
+        self.maps.read().expect("map lock").len()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.maps.read().is_empty()
+        self.maps.read().expect("map lock").is_empty()
     }
 }
 
@@ -375,7 +395,10 @@ mod tests {
     fn array_map_indexing() {
         let store = MapStore::new();
         let m = store.create_array(4, 8);
-        assert_eq!(store.lookup(m, &2u32.to_le_bytes()).unwrap().unwrap().len(), 8);
+        assert_eq!(
+            store.lookup(m, &2u32.to_le_bytes()).unwrap().unwrap().len(),
+            8
+        );
         store.update(m, &2u32.to_le_bytes(), &[9; 8]).unwrap();
         assert_eq!(
             store.lookup(m, &2u32.to_le_bytes()).unwrap(),

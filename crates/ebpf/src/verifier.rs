@@ -138,7 +138,11 @@ impl fmt::Display for VerifyError {
                 write!(f, "pc {pc}: bad ctx access at offset {off}")
             }
             VerifyError::WriteToCtx { pc } => write!(f, "pc {pc}: write to ctx"),
-            VerifyError::PacketOutOfBounds { pc, needed, verified } => write!(
+            VerifyError::PacketOutOfBounds {
+                pc,
+                needed,
+                verified,
+            } => write!(
                 f,
                 "pc {pc}: packet access needs {needed} bytes, only {verified} verified"
             ),
@@ -424,7 +428,12 @@ fn transfer(pc: usize, insn: Insn, mut st: AbsState, n: usize) -> Result<Succs, 
             }
             Ok(vec![(pc + 1, fall), (target, taken)])
         }
-        Insn::Load { size, dst, src, off } => {
+        Insn::Load {
+            size,
+            dst,
+            src,
+            off,
+        } => {
             let base = read_reg(pc, &st, src)?;
             let bytes = size.bytes() as i64;
             let t = match base {
@@ -452,7 +461,12 @@ fn transfer(pc: usize, insn: Insn, mut st: AbsState, n: usize) -> Result<Succs, 
             write_reg(pc, &mut st, dst, t)?;
             Ok(vec![(pc + 1, st)])
         }
-        Insn::Store { size, dst, off, src } => {
+        Insn::Store {
+            size,
+            dst,
+            off,
+            src,
+        } => {
             read_reg(pc, &st, src)?;
             store_check(pc, &st, dst, off, size)?;
             Ok(vec![(pc + 1, st)])
@@ -593,7 +607,10 @@ mod tests {
         a.load(MemSize::B, 0, 2, 0); // no bounds check!
         a.exit();
         let err = verify(&a.finish().unwrap()).unwrap_err();
-        assert!(matches!(err, VerifyError::PacketOutOfBounds { .. }), "{err}");
+        assert!(
+            matches!(err, VerifyError::PacketOutOfBounds { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -610,7 +627,14 @@ mod tests {
         a.exit();
         let err = verify(&a.finish().unwrap()).unwrap_err();
         assert!(
-            matches!(err, VerifyError::PacketOutOfBounds { needed: 16, verified: 14, .. }),
+            matches!(
+                err,
+                VerifyError::PacketOutOfBounds {
+                    needed: 16,
+                    verified: 14,
+                    ..
+                }
+            ),
             "{err}"
         );
     }
@@ -631,7 +655,10 @@ mod tests {
         a.mov_imm(0, 1);
         a.exit();
         let err = verify(&a.finish().unwrap()).unwrap_err();
-        assert!(matches!(err, VerifyError::PacketOutOfBounds { .. }), "{err}");
+        assert!(
+            matches!(err, VerifyError::PacketOutOfBounds { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -652,13 +679,20 @@ mod tests {
         a.mov_imm(0, 2);
         a.exit();
         let err = verify(&a.finish().unwrap()).unwrap_err();
-        assert!(matches!(err, VerifyError::PacketOutOfBounds { .. }), "{err}");
+        assert!(
+            matches!(err, VerifyError::PacketOutOfBounds { .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn rejects_backward_jump() {
         let insns = vec![
-            Insn::AluImm { op: AluOp::Mov, dst: 0, imm: 2 },
+            Insn::AluImm {
+                op: AluOp::Mov,
+                dst: 0,
+                imm: 2,
+            },
             Insn::Ja { off: -2 },
             Insn::Exit,
         ];
@@ -668,7 +702,11 @@ mod tests {
     #[test]
     fn rejects_jump_out_of_bounds() {
         let insns = vec![
-            Insn::AluImm { op: AluOp::Mov, dst: 0, imm: 2 },
+            Insn::AluImm {
+                op: AluOp::Mov,
+                dst: 0,
+                imm: 2,
+            },
             Insn::Ja { off: 100 },
             Insn::Exit,
         ];
@@ -677,7 +715,11 @@ mod tests {
 
     #[test]
     fn rejects_fall_off_end() {
-        let insns = vec![Insn::AluImm { op: AluOp::Mov, dst: 0, imm: 2 }];
+        let insns = vec![Insn::AluImm {
+            op: AluOp::Mov,
+            dst: 0,
+            imm: 2,
+        }];
         assert_eq!(verify(&insns), Err(VerifyError::FallsOffEnd));
     }
 
@@ -690,7 +732,11 @@ mod tests {
         );
         // r5 never written before use.
         let insns = vec![
-            Insn::AluReg { op: AluOp::Mov, dst: 0, src: 5 },
+            Insn::AluReg {
+                op: AluOp::Mov,
+                dst: 0,
+                src: 5,
+            },
             Insn::Exit,
         ];
         assert_eq!(
@@ -711,13 +757,20 @@ mod tests {
         a.mov_reg(0, 5);
         a.exit();
         let err = verify(&a.finish().unwrap()).unwrap_err();
-        assert!(matches!(err, VerifyError::UninitRead { reg: 5, .. }), "{err}");
+        assert!(
+            matches!(err, VerifyError::UninitRead { reg: 5, .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn rejects_write_to_fp() {
         let insns = vec![
-            Insn::AluImm { op: AluOp::Mov, dst: 10, imm: 0 },
+            Insn::AluImm {
+                op: AluOp::Mov,
+                dst: 10,
+                imm: 0,
+            },
             Insn::Exit,
         ];
         assert_eq!(verify(&insns), Err(VerifyError::ReadOnlyFp { pc: 0 }));
@@ -934,7 +987,14 @@ mod tests {
     #[test]
     fn invalid_register_rejected() {
         assert_eq!(
-            verify(&[Insn::AluImm { op: AluOp::Mov, dst: 11, imm: 0 }, Insn::Exit]),
+            verify(&[
+                Insn::AluImm {
+                    op: AluOp::Mov,
+                    dst: 11,
+                    imm: 0
+                },
+                Insn::Exit
+            ]),
             Err(VerifyError::InvalidReg { pc: 0 })
         );
     }

@@ -103,6 +103,8 @@ pub struct VmOutcome {
     pub insns_executed: u64,
     /// Tail calls taken.
     pub tail_calls: u64,
+    /// Helper functions invoked (successful or faulting).
+    pub helper_calls: u64,
     /// Runtime fault, if any (implies `action == Aborted`).
     pub error: Option<VmError>,
     /// Whether the frame was pushed to an AF_XDP socket (a `Redirect`
@@ -232,10 +234,11 @@ pub fn run(
     let mut pc = 0usize;
     let mut executed = 0u64;
     let mut tail_calls = 0u64;
+    let mut helper_calls = 0u64;
 
     loop {
         if executed >= INSN_BUDGET {
-            return fault(VmError::BudgetExhausted, executed, tail_calls);
+            return fault(VmError::BudgetExhausted, executed, tail_calls, helper_calls);
         }
         let insn = cur.insns()[pc];
         executed += 1;
@@ -246,52 +249,78 @@ pub fn run(
                 let d = dst as usize;
                 match alu(op, m.regs[d], imm as u64) {
                     Ok(v) => m.regs[d] = v,
-                    Err(e) => return fault(e, executed, tail_calls),
+                    Err(e) => return fault(e, executed, tail_calls, helper_calls),
                 }
             }
             Insn::AluReg { op, dst, src } => {
                 let (d, s) = (dst as usize, src as usize);
                 match alu(op, m.regs[d], m.regs[s]) {
                     Ok(v) => m.regs[d] = v,
-                    Err(e) => return fault(e, executed, tail_calls),
+                    Err(e) => return fault(e, executed, tail_calls, helper_calls),
                 }
             }
             Insn::Ja { off } => {
                 pc = (pc as i64 + off as i64) as usize;
             }
-            Insn::JmpImm { cond, dst, imm, off } => {
+            Insn::JmpImm {
+                cond,
+                dst,
+                imm,
+                off,
+            } => {
                 if jump_taken(cond, m.regs[dst as usize], imm as u64) {
                     pc = (pc as i64 + off as i64) as usize;
                 }
             }
-            Insn::JmpReg { cond, dst, src, off } => {
+            Insn::JmpReg {
+                cond,
+                dst,
+                src,
+                off,
+            } => {
                 if jump_taken(cond, m.regs[dst as usize], m.regs[src as usize]) {
                     pc = (pc as i64 + off as i64) as usize;
                 }
             }
-            Insn::Load { size, dst, src, off } => {
+            Insn::Load {
+                size,
+                dst,
+                src,
+                off,
+            } => {
                 let addr = m.regs[src as usize].wrapping_add(off as i64 as u64);
                 match m.read_mem(addr, size) {
                     Ok(v) => m.regs[dst as usize] = v,
-                    Err(e) => return fault(e, executed, tail_calls),
+                    Err(e) => return fault(e, executed, tail_calls, helper_calls),
                 }
             }
-            Insn::Store { size, dst, off, src } => {
+            Insn::Store {
+                size,
+                dst,
+                off,
+                src,
+            } => {
                 let addr = m.regs[dst as usize].wrapping_add(off as i64 as u64);
                 let v = m.regs[src as usize];
                 if let Err(e) = m.write_mem(addr, size, v) {
-                    return fault(e, executed, tail_calls);
+                    return fault(e, executed, tail_calls, helper_calls);
                 }
             }
-            Insn::StoreImm { size, dst, off, imm } => {
+            Insn::StoreImm {
+                size,
+                dst,
+                off,
+                imm,
+            } => {
                 let addr = m.regs[dst as usize].wrapping_add(off as i64 as u64);
                 if let Err(e) = m.write_mem(addr, size, imm as u64) {
-                    return fault(e, executed, tail_calls);
+                    return fault(e, executed, tail_calls, helper_calls);
                 }
             }
             Insn::Call { helper } => {
+                helper_calls += 1;
                 if let Err(e) = call_helper(helper, &mut m, env, maps, cost, tracker) {
-                    return fault(e, executed, tail_calls);
+                    return fault(e, executed, tail_calls, helper_calls);
                 }
             }
             Insn::TailCall { prog_array, index } => {
@@ -320,6 +349,7 @@ pub fn run(
                     redirect: m.redirect,
                     insns_executed: executed,
                     tail_calls,
+                    helper_calls,
                     error: None,
                     to_user: m.to_user,
                 };
@@ -328,12 +358,13 @@ pub fn run(
     }
 }
 
-fn fault(error: VmError, insns_executed: u64, tail_calls: u64) -> VmOutcome {
+fn fault(error: VmError, insns_executed: u64, tail_calls: u64, helper_calls: u64) -> VmOutcome {
     VmOutcome {
         action: Action::Aborted,
         redirect: None,
         insns_executed,
         tail_calls,
+        helper_calls,
         error: Some(error),
         to_user: false,
     }
@@ -765,7 +796,10 @@ mod tests {
         assert_eq!(tracker.stage_count("map_update"), 1);
         assert_eq!(tracker.stage_count("map_lookup"), 1);
         // The map retains the value for user-space inspection.
-        assert_eq!(maps.lookup(map, &[0x42]).unwrap(), Some(1234u32.to_le_bytes().to_vec()));
+        assert_eq!(
+            maps.lookup(map, &[0x42]).unwrap(),
+            Some(1234u32.to_le_bytes().to_vec())
+        );
     }
 
     #[test]

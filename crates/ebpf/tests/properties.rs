@@ -2,8 +2,10 @@
 //!
 //! The key safety property mirrors the real verifier's contract: *any*
 //! program the verifier accepts must execute without memory faults on
-//! *any* packet. We generate random instruction soup, filter it through
-//! the verifier, and execute the survivors against random packets.
+//! *any* packet. We generate random instruction soup with the workspace's
+//! seeded [`SimRng`] (the build is fully offline, so no external
+//! property-testing framework), filter it through the verifier, and
+//! execute the survivors against random packets.
 
 use linuxfp_ebpf::helpers::NullEnv;
 use linuxfp_ebpf::insn::{AluOp, HelperId, Insn, JmpCond, MemSize};
@@ -11,108 +13,146 @@ use linuxfp_ebpf::maps::MapStore;
 use linuxfp_ebpf::program::{LoadedProgram, Program};
 use linuxfp_ebpf::verifier::verify;
 use linuxfp_ebpf::vm::{self, VmCtx, VmError};
-use linuxfp_sim::{CostModel, CostTracker};
-use proptest::prelude::*;
+use linuxfp_sim::{CostModel, CostTracker, SimRng};
 
-fn arb_alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::Div),
-        Just(AluOp::Or),
-        Just(AluOp::And),
-        Just(AluOp::Lsh),
-        Just(AluOp::Rsh),
-        Just(AluOp::Mod),
-        Just(AluOp::Xor),
-        Just(AluOp::Mov),
-        Just(AluOp::Arsh),
-    ]
+const ALU_OPS: [AluOp; 12] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Div,
+    AluOp::Or,
+    AluOp::And,
+    AluOp::Lsh,
+    AluOp::Rsh,
+    AluOp::Mod,
+    AluOp::Xor,
+    AluOp::Mov,
+    AluOp::Arsh,
+];
+
+const CONDS: [JmpCond; 9] = [
+    JmpCond::Eq,
+    JmpCond::Ne,
+    JmpCond::Gt,
+    JmpCond::Ge,
+    JmpCond::Lt,
+    JmpCond::Le,
+    JmpCond::Sgt,
+    JmpCond::Slt,
+    JmpCond::Set,
+];
+
+const SIZES: [MemSize; 4] = [MemSize::B, MemSize::H, MemSize::W, MemSize::DW];
+
+const HELPERS: [HelperId; 9] = [
+    HelperId::FibLookup,
+    HelperId::FdbLookup,
+    HelperId::IptLookup,
+    HelperId::Redirect,
+    HelperId::KtimeGetNs,
+    HelperId::MapLookup,
+    HelperId::MapUpdate,
+    HelperId::CtLookup,
+    HelperId::TrivialNf,
+];
+
+fn rand_reg(rng: &mut SimRng) -> u8 {
+    rng.uniform_u64(12) as u8
 }
 
-fn arb_cond() -> impl Strategy<Value = JmpCond> {
-    prop_oneof![
-        Just(JmpCond::Eq),
-        Just(JmpCond::Ne),
-        Just(JmpCond::Gt),
-        Just(JmpCond::Ge),
-        Just(JmpCond::Lt),
-        Just(JmpCond::Le),
-        Just(JmpCond::Sgt),
-        Just(JmpCond::Slt),
-        Just(JmpCond::Set),
-    ]
+fn rand_jmp_off(rng: &mut SimRng) -> i32 {
+    rng.uniform_u64(24) as i32 - 8
 }
 
-fn arb_size() -> impl Strategy<Value = MemSize> {
-    prop_oneof![
-        Just(MemSize::B),
-        Just(MemSize::H),
-        Just(MemSize::W),
-        Just(MemSize::DW),
-    ]
+fn rand_mem_off(rng: &mut SimRng) -> i16 {
+    rng.uniform_u64(128) as i16 - 64
 }
 
-fn arb_helper() -> impl Strategy<Value = HelperId> {
-    prop_oneof![
-        Just(HelperId::FibLookup),
-        Just(HelperId::FdbLookup),
-        Just(HelperId::IptLookup),
-        Just(HelperId::Redirect),
-        Just(HelperId::KtimeGetNs),
-        Just(HelperId::MapLookup),
-        Just(HelperId::MapUpdate),
-        Just(HelperId::CtLookup),
-        Just(HelperId::TrivialNf),
-    ]
+fn rand_imm32(rng: &mut SimRng) -> i64 {
+    rng.uniform_u64(1 << 32) as u32 as i32 as i64
 }
 
 /// Arbitrary (mostly invalid) instructions — a fuzzer for the verifier.
-fn arb_insn() -> impl Strategy<Value = Insn> {
-    prop_oneof![
-        (arb_alu_op(), 0u8..12, any::<i32>())
-            .prop_map(|(op, dst, imm)| Insn::AluImm { op, dst, imm: imm as i64 }),
-        (arb_alu_op(), 0u8..12, 0u8..12)
-            .prop_map(|(op, dst, src)| Insn::AluReg { op, dst, src }),
-        (-8i32..16).prop_map(|off| Insn::Ja { off }),
-        (arb_cond(), 0u8..12, any::<i16>(), -8i32..16).prop_map(|(cond, dst, imm, off)| {
-            Insn::JmpImm { cond, dst, imm: imm as i64, off }
-        }),
-        (arb_cond(), 0u8..12, 0u8..12, -8i32..16)
-            .prop_map(|(cond, dst, src, off)| Insn::JmpReg { cond, dst, src, off }),
-        (arb_size(), 0u8..12, 0u8..12, -64i16..64)
-            .prop_map(|(size, dst, src, off)| Insn::Load { size, dst, src, off }),
-        (arb_size(), 0u8..12, -64i16..64, 0u8..12)
-            .prop_map(|(size, dst, off, src)| Insn::Store { size, dst, off, src }),
-        (arb_size(), 0u8..12, -64i16..64, any::<i32>()).prop_map(|(size, dst, off, imm)| {
-            Insn::StoreImm { size, dst, off, imm: imm as i64 }
-        }),
-        arb_helper().prop_map(|helper| Insn::Call { helper }),
-        (0u32..4, 0u32..4).prop_map(|(prog_array, index)| Insn::TailCall { prog_array, index }),
-        Just(Insn::Exit),
-    ]
+fn rand_insn(rng: &mut SimRng) -> Insn {
+    match rng.uniform_u64(11) {
+        0 => Insn::AluImm {
+            op: *rng.choose(&ALU_OPS),
+            dst: rand_reg(rng),
+            imm: rand_imm32(rng),
+        },
+        1 => Insn::AluReg {
+            op: *rng.choose(&ALU_OPS),
+            dst: rand_reg(rng),
+            src: rand_reg(rng),
+        },
+        2 => Insn::Ja {
+            off: rand_jmp_off(rng),
+        },
+        3 => Insn::JmpImm {
+            cond: *rng.choose(&CONDS),
+            dst: rand_reg(rng),
+            imm: rng.uniform_u64(1 << 16) as u16 as i16 as i64,
+            off: rand_jmp_off(rng),
+        },
+        4 => Insn::JmpReg {
+            cond: *rng.choose(&CONDS),
+            dst: rand_reg(rng),
+            src: rand_reg(rng),
+            off: rand_jmp_off(rng),
+        },
+        5 => Insn::Load {
+            size: *rng.choose(&SIZES),
+            dst: rand_reg(rng),
+            src: rand_reg(rng),
+            off: rand_mem_off(rng),
+        },
+        6 => Insn::Store {
+            size: *rng.choose(&SIZES),
+            dst: rand_reg(rng),
+            off: rand_mem_off(rng),
+            src: rand_reg(rng),
+        },
+        7 => Insn::StoreImm {
+            size: *rng.choose(&SIZES),
+            dst: rand_reg(rng),
+            off: rand_mem_off(rng),
+            imm: rand_imm32(rng),
+        },
+        8 => Insn::Call {
+            helper: *rng.choose(&HELPERS),
+        },
+        9 => Insn::TailCall {
+            prog_array: rng.uniform_u64(4) as u32,
+            index: rng.uniform_u64(4) as u32,
+        },
+        _ => Insn::Exit,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn rand_insns(rng: &mut SimRng, min: usize, max: usize) -> Vec<Insn> {
+    let n = min + rng.uniform_u64((max - min) as u64) as usize;
+    (0..n).map(|_| rand_insn(rng)).collect()
+}
 
-    /// The verifier never panics on arbitrary instruction sequences.
-    #[test]
-    fn verifier_is_total(insns in proptest::collection::vec(arb_insn(), 0..64)) {
+/// The verifier never panics on arbitrary instruction sequences.
+#[test]
+fn verifier_is_total() {
+    let mut rng = SimRng::seed(0xEBBF_0001);
+    for _ in 0..512 {
+        let insns = rand_insns(&mut rng, 0, 64);
         let _ = verify(&insns);
     }
+}
 
-    /// Any program the verifier accepts runs to completion on any packet
-    /// without a runtime memory fault — the core safety contract.
-    #[test]
-    fn verified_programs_never_fault(
-        insns in proptest::collection::vec(arb_insn(), 1..48),
-        packet in proptest::collection::vec(any::<u8>(), 0..256),
-        ifindex in 0u32..16,
-    ) {
+/// Any program the verifier accepts runs to completion on any packet
+/// without a runtime memory fault — the core safety contract.
+#[test]
+fn verified_programs_never_fault() {
+    let mut rng = SimRng::seed(0xEBBF_0002);
+    for _ in 0..512 {
+        let insns = rand_insns(&mut rng, 1, 48);
         if verify(&insns).is_err() {
-            return Ok(()); // rejected: nothing to check
+            continue; // rejected: nothing to check
         }
         let prog = LoadedProgram::load(Program::new("fuzz", insns)).unwrap();
         let maps = MapStore::new();
@@ -122,26 +162,41 @@ proptest! {
         maps.create_prog_array(4);
         let cost = CostModel::calibrated();
         let mut tracker = CostTracker::new();
-        let mut pkt = packet;
+        let mut pkt: Vec<u8> = (0..rng.uniform_u64(256))
+            .map(|_| rng.uniform_u64(256) as u8)
+            .collect();
+        let ifindex = rng.uniform_u64(16) as u32;
         let ctx = VmCtx::xdp(&mut pkt, ifindex, 0);
         let out = vm::run(&prog, ctx, &mut NullEnv, &maps, &cost, &mut tracker);
         // Division by zero is a verdict-level abort, not a safety fault;
         // memory violations must be impossible.
         match out.error {
             None | Some(VmError::DivByZero) => {}
-            Some(other) => prop_assert!(false, "verified program faulted: {other}"),
+            Some(other) => panic!("verified program faulted: {other}"),
         }
     }
+}
 
-    /// Cost accounting: executing N instructions charges exactly N times
-    /// the per-instruction price (plus helper charges).
-    #[test]
-    fn instruction_costs_add_up(n in 1usize..64) {
+/// Cost accounting: executing N instructions charges exactly N times the
+/// per-instruction price (plus helper charges).
+#[test]
+fn instruction_costs_add_up() {
+    let mut rng = SimRng::seed(0xEBBF_0003);
+    for _ in 0..64 {
+        let n = 1 + rng.uniform_u64(63) as usize;
         let mut insns = Vec::new();
         for i in 0..n {
-            insns.push(Insn::AluImm { op: AluOp::Mov, dst: 0, imm: i as i64 });
+            insns.push(Insn::AluImm {
+                op: AluOp::Mov,
+                dst: 0,
+                imm: i as i64,
+            });
         }
-        insns.push(Insn::AluImm { op: AluOp::Mov, dst: 0, imm: 2 });
+        insns.push(Insn::AluImm {
+            op: AluOp::Mov,
+            dst: 0,
+            imm: 2,
+        });
         insns.push(Insn::Exit);
         let prog = LoadedProgram::load(Program::new("count", insns)).unwrap();
         let maps = MapStore::new();
@@ -150,8 +205,8 @@ proptest! {
         let mut pkt = vec![0u8; 64];
         let ctx = VmCtx::xdp(&mut pkt, 1, 0);
         let out = vm::run(&prog, ctx, &mut NullEnv, &maps, &cost, &mut tracker);
-        prop_assert_eq!(out.insns_executed, (n + 2) as u64);
+        assert_eq!(out.insns_executed, (n + 2) as u64);
         let expected = (n + 2) as f64 * cost.ebpf_insn_ns;
-        prop_assert!((tracker.total_ns() - expected).abs() < 1e-9);
+        assert!((tracker.total_ns() - expected).abs() < 1e-9);
     }
 }

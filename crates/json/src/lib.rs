@@ -1,0 +1,689 @@
+//! A minimal, dependency-free JSON document model.
+//!
+//! The LinuxFP controller models kernel configuration as a JSON
+//! *processing graph* (paper §IV-A1), and the telemetry layer renders
+//! metric snapshots as JSON. The build environment is fully offline, so
+//! instead of `serde_json` this crate provides the small surface the
+//! repository actually needs: a [`Value`] enum, the [`json!`]
+//! constructor macro, ordered [`Map`]s, indexing/accessor helpers, and
+//! compact + pretty renderers.
+//!
+//! The model intentionally mirrors `serde_json`'s shape (`Value`,
+//! `Map`, `json!`) so code reads the same and a future swap back to the
+//! real crate would be mechanical.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An ordered string-keyed map (deterministic iteration order, which
+/// keeps graph comparison and rendering stable across runs).
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON number: integers are kept exact, everything else is `f64`.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A non-negative integer.
+    U(u64),
+    /// A negative integer.
+    I(i64),
+    /// A float.
+    F(f64),
+}
+
+impl Number {
+    /// The value as `u64` when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(u) => Some(u),
+            Number::I(i) => u64::try_from(i).ok(),
+            Number::F(_) => None,
+        }
+    }
+
+    /// The value as `i64` when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U(u) => i64::try_from(u).ok(),
+            Number::I(i) => Some(i),
+            Number::F(_) => None,
+        }
+    }
+
+    /// The value as `f64` (always possible, possibly lossy).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(u) => u as f64,
+            Number::I(i) => i as f64,
+            Number::F(f) => f,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => return a == b,
+            (None, None) => {}
+            _ => {
+                // One side integer, other side float (or out-of-range):
+                // compare numerically.
+            }
+        }
+        if let (Some(a), Some(b)) = (self.as_u64(), other.as_u64()) {
+            return a == b;
+        }
+        self.as_f64() == other.as_f64()
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::U(u) => write!(f, "{u}"),
+            Number::I(i) => write!(f, "{i}"),
+            Number::F(x) if x.is_finite() => {
+                if x == x.trunc() && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            // JSON has no NaN/Inf; render as null like serde_json does
+            // for non-finite floats behind its arbitrary_precision gate.
+            Number::F(_) => write!(f, "null"),
+        }
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with deterministic key order.
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Member lookup on objects; `None` for anything else.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// `true` when the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean payload, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is an exactly-representable number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an exactly-representable number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if any.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The object payload, if any.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Conversions into `Value` (the surface `json!` relies on).
+// ---------------------------------------------------------------------
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Self {
+        Value::String(s.clone())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Number(Number::F(f))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(f: f32) -> Self {
+        Value::Number(Number::F(f64::from(f)))
+    }
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                Value::Number(Number::U(v as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                if v >= 0 {
+                    Value::Number(Number::U(v as u64))
+                } else {
+                    Value::Number(Number::I(v as i64))
+                }
+            }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, usize);
+from_signed!(i8, i16, i32, i64, isize);
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone, const N: usize> From<[T; N]> for Value {
+    fn from(v: [T; N]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Self {
+        Value::Object(m)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ergonomic comparisons (tests compare nodes against literals).
+// ---------------------------------------------------------------------
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(n) => *n == Number::from(*other),
+                    _ => false,
+                }
+            }
+        }
+    )*};
+}
+
+impl From<u64> for Number {
+    fn from(v: u64) -> Self {
+        Number::U(v)
+    }
+}
+impl From<i64> for Number {
+    fn from(v: i64) -> Self {
+        if v >= 0 {
+            Number::U(v as u64)
+        } else {
+            Number::I(v)
+        }
+    }
+}
+impl From<u32> for Number {
+    fn from(v: u32) -> Self {
+        Number::U(u64::from(v))
+    }
+}
+impl From<i32> for Number {
+    fn from(v: i32) -> Self {
+        Number::from(i64::from(v))
+    }
+}
+impl From<u16> for Number {
+    fn from(v: u16) -> Self {
+        Number::U(u64::from(v))
+    }
+}
+impl From<usize> for Number {
+    fn from(v: usize) -> Self {
+        Number::U(v as u64)
+    }
+}
+impl From<f64> for Number {
+    fn from(v: f64) -> Self {
+        Number::F(v)
+    }
+}
+
+eq_num!(u16, u32, u64, usize, i32, i64, f64);
+
+// ---------------------------------------------------------------------
+// Indexing: `value["key"]` / `value[0]`, `Null` for any miss.
+// ---------------------------------------------------------------------
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rendering.
+// ---------------------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_compact(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(a) => {
+            out.push('[');
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(out, k);
+                out.push(':');
+                write_compact(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    const PAD: &str = "  ";
+    match v {
+        Value::Array(a) if !a.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&PAD.repeat(indent + 1));
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&PAD.repeat(indent));
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&PAD.repeat(indent + 1));
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&PAD.repeat(indent));
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_compact(&mut s, self);
+        f.write_str(&s)
+    }
+}
+
+/// Renders a value in compact form (serde_json's `to_string`).
+pub fn to_string(v: &Value) -> String {
+    v.to_string()
+}
+
+/// Renders a value with two-space indentation (serde_json's
+/// `to_string_pretty`).
+pub fn to_string_pretty(v: &Value) -> String {
+    let mut s = String::new();
+    write_pretty(&mut s, v, 0);
+    s
+}
+
+// ---------------------------------------------------------------------
+// The `json!` constructor macro (subset of serde_json's).
+// ---------------------------------------------------------------------
+
+/// Builds a [`Value`] from a JSON-looking literal. Supports nested
+/// objects and arrays, `null`, and arbitrary Rust expressions in value
+/// position (anything with `Into<Value>`).
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_internal!($($tt)+) };
+}
+
+/// Token-muncher behind [`json!`]; not part of the public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal {
+    // --- array element munching: accumulate elements into [$elems] ---
+    (@array [$($elems:expr,)*]) => { vec![$($elems,)*] };
+    (@array [$($elems:expr),*]) => { vec![$($elems),*] };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($arr:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($arr)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // --- object entry munching: key tokens accumulate in ($key) ---
+    (@object $object:ident () () ()) => {};
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).to_string(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).to_string(), $value);
+    };
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($arr:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($arr)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    // --- leaves ---
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(vec![]) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Array($crate::json_internal!(@array [] $($tt)+)) };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object = $crate::Map::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_accepts_multi_token_expressions() {
+        let name = "eth0";
+        let v = json!({
+            "upper": name.to_uppercase(),
+            "len": name.len() + 1,
+            "list": [name.len(), 1 + 1, "x"],
+        });
+        assert_eq!(v["upper"], "ETH0");
+        assert_eq!(v["len"], 5u64);
+        assert_eq!(v["list"][1], 2u64);
+    }
+
+    #[test]
+    fn macro_builds_nested_structures() {
+        let pvid: u16 = 7;
+        let v = json!({
+            "name": "br0",
+            "ifindex": 3u32,
+            "stp": false,
+            "next": null,
+            "pvid": pvid,
+            "pipeline": [ {"nf": "bridge"}, {"nf": "router"} ],
+            "mac": [1u8, 2u8, 3u8],
+        });
+        assert_eq!(v["name"], "br0");
+        assert_eq!(v["ifindex"].as_u64(), Some(3));
+        assert_eq!(v["stp"], false);
+        assert_eq!(v["next"], Value::Null);
+        assert_eq!(v["pvid"], 7u16);
+        assert_eq!(v["pipeline"][1]["nf"], "router");
+        assert_eq!(v["pipeline"][2], Value::Null);
+        assert_eq!(v["mac"].as_array().unwrap().len(), 3);
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn numbers_compare_across_representations() {
+        assert_eq!(Value::from(3u64), Value::from(3i32));
+        assert_eq!(Value::from(3.0f64), Value::from(3u32));
+        assert_ne!(Value::from(-1i64), Value::from(1u64));
+        assert_eq!(Value::from(-5i32).as_i64(), Some(-5));
+        assert_eq!(Value::from(-5i32).as_u64(), None);
+    }
+
+    #[test]
+    fn compact_rendering_is_json() {
+        let v = json!({"a": [1, "x\"y", null, true], "b": {"c": 2.5}});
+        assert_eq!(v.to_string(), r#"{"a":[1,"x\"y",null,true],"b":{"c":2.5}}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = json!({"a": [1], "empty": {}});
+        let s = to_string_pretty(&v);
+        assert!(s.contains("\n  \"a\": [\n    1\n  ]"));
+        assert!(s.contains("\"empty\": {}"));
+    }
+
+    #[test]
+    fn float_rendering_round_trips_integral_floats() {
+        assert_eq!(Value::from(2.0).to_string(), "2.0");
+        assert_eq!(Value::from(2.5).to_string(), "2.5");
+        assert_eq!(Value::from(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn accessors_reject_wrong_types() {
+        let v = json!({"s": "x", "n": 1});
+        assert!(v["s"].as_u64().is_none());
+        assert!(v["n"].as_str().is_none());
+        assert!(v.get("s").is_some());
+        assert!(v["s"].get("nested").is_none());
+        assert!(v["n"].as_bool().is_none());
+        assert!(!v["n"].is_null());
+        assert_eq!(v["n"].as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn option_and_escape_handling() {
+        let some: Option<&str> = Some("a\nb");
+        let none: Option<&str> = None;
+        let v = json!({"s": some, "n": none});
+        assert_eq!(v.to_string(), r#"{"n":null,"s":"a\nb"}"#);
+    }
+}

@@ -149,10 +149,7 @@ impl Cluster {
             });
         }
 
-        let mut cluster = Cluster {
-            nodes,
-            accelerated,
-        };
+        let mut cluster = Cluster { nodes, accelerated };
         // The underlay is a warm L2 segment: every node has resolved its
         // peers (continuous VXLAN keep-alives keep ARP fresh).
         cluster.warm_underlay();
@@ -163,8 +160,7 @@ impl Cluster {
                     capabilities: Capabilities::full(),
                     ..ControllerConfig::default()
                 };
-                let (ctrl, _) =
-                    Controller::attach(&mut node.kernel, cfg).expect("initial deploy");
+                let (ctrl, _) = Controller::attach(&mut node.kernel, cfg).expect("initial deploy");
                 node.controller = Some(ctrl);
             }
         }
@@ -261,8 +257,7 @@ impl Cluster {
             .device(self.nodes[from.node].net.cni0)
             .expect("exists")
             .mac;
-        let frame =
-            builder::udp_packet(src.mac, gw_mac, src.ip, vip, sport, port, payload);
+        let frame = builder::udp_packet(src.mac, gw_mac, src.ip, vip, sport, port, payload);
         let mut wire: Vec<Vec<u8>> = Vec::new();
         let mut receiver: Option<PodRef> = None;
         let mut check_effects = |effects: &[Effect], node_idx: usize, nodes: &[Node]| {
@@ -270,10 +265,7 @@ impl Cluster {
             for effect in effects {
                 match effect {
                     Effect::Deliver { dev, frame } if frame.ends_with(payload) => {
-                        if let Some(p) = nodes[node_idx]
-                            .pods
-                            .iter()
-                            .position(|p| p.pod_if == *dev)
+                        if let Some(p) = nodes[node_idx].pods.iter().position(|p| p.pod_if == *dev)
                         {
                             receiver = Some(PodRef {
                                 node: node_idx,
@@ -341,8 +333,8 @@ impl Cluster {
             .transmit_frame(src.pod_if, frame);
         report.node_hops += 1;
         report.total_cost_ns += out.cost.total_ns();
-        report.fast_path_hits += out.cost.stage_count("helper_fdb_lookup")
-            + out.cost.stage_count("helper_fib_lookup");
+        report.fast_path_hits +=
+            out.cost.stage_count("helper_fdb_lookup") + out.cost.stage_count("helper_fib_lookup");
         let mut wire: Vec<Vec<u8>> = Vec::new();
         for effect in &out.effects {
             match effect {
@@ -503,9 +495,9 @@ mod tests {
             let b_ip = c.pod(b).ip;
             c.nodes[0].kernel.iptables_append(
                 ChainHook::Forward,
-                linuxfp_netstack::netfilter::IptRule::drop_dst(
-                    linuxfp_packet::ipv4::Prefix::host(b_ip),
-                ),
+                linuxfp_netstack::netfilter::IptRule::drop_dst(linuxfp_packet::ipv4::Prefix::host(
+                    b_ip,
+                )),
             );
             c.nodes[0].poll_controller();
             let r = c.pod_send(a, b, b"blocked");

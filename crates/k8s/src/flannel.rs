@@ -54,7 +54,8 @@ pub struct NodeNet {
 /// Panics on a non-fresh kernel (the CNI owns node configuration).
 pub fn setup_node(k: &mut Kernel, node_ip: Ipv4Addr, pod_cidr: Prefix) -> NodeNet {
     let eth0 = k.add_physical("eth0").expect("fresh kernel");
-    k.ip_addr_add(eth0, IfAddr::new(node_ip, 24)).expect("fresh kernel");
+    k.ip_addr_add(eth0, IfAddr::new(node_ip, 24))
+        .expect("fresh kernel");
     k.ip_link_set_up(eth0).expect("device exists");
 
     let flannel = k
@@ -68,10 +69,12 @@ pub fn setup_node(k: &mut Kernel, node_ip: Ipv4Addr, pod_cidr: Prefix) -> NodeNe
     let cni0 = k.add_bridge("cni0").expect("fresh kernel");
     // The bridge owns the pod subnet's gateway address (.1).
     let gw = pod_cidr.nth_host(1);
-    k.ip_addr_add(cni0, IfAddr::new(gw, pod_cidr.len())).expect("fresh kernel");
+    k.ip_addr_add(cni0, IfAddr::new(gw, pod_cidr.len()))
+        .expect("fresh kernel");
     k.ip_link_set_up(cni0).expect("device exists");
 
-    k.sysctl_set("net.ipv4.ip_forward", 1).expect("known sysctl");
+    k.sysctl_set("net.ipv4.ip_forward", 1)
+        .expect("known sysctl");
     k.sysctl_set("net.bridge.bridge-nf-call-iptables", 1)
         .expect("known sysctl");
     k.conntrack_forward = true;
@@ -94,7 +97,11 @@ pub fn setup_node(k: &mut Kernel, node_ip: Ipv4Addr, pod_cidr: Prefix) -> NodeNe
         );
     }
 
-    NodeNet { eth0, cni0, flannel }
+    NodeNet {
+        eth0,
+        cni0,
+        flannel,
+    }
 }
 
 /// Installs the overlay state for one peer node, as Flannel does when a
@@ -106,7 +113,8 @@ pub fn add_peer(k: &mut Kernel, net: NodeNet, peer: &PeerLease) {
     k.ip_route_add(peer.pod_cidr, Some(overlay_gw), Some(net.flannel))
         .expect("flannel device exists");
     let now = k.now();
-    k.neigh.learn(overlay_gw, peer.flannel_mac, net.flannel, now);
+    k.neigh
+        .learn(overlay_gw, peer.flannel_mac, net.flannel, now);
     k.vxlan_fdb_add(net.flannel, peer.flannel_mac, peer.node_ip)
         .expect("vxlan device");
     k.vxlan_add_default_remote(net.flannel, peer.node_ip)
@@ -124,7 +132,9 @@ pub fn add_pod(
 ) -> (IfIndex, IfIndex, Ipv4Addr, MacAddr) {
     let host_name = format!("veth{pod_index}h");
     let pod_name = format!("veth{pod_index}p");
-    let (host_if, pod_if) = k.add_veth_pair(&host_name, &pod_name).expect("unique names");
+    let (host_if, pod_if) = k
+        .add_veth_pair(&host_name, &pod_name)
+        .expect("unique names");
     k.brctl_addif(net.cni0, host_if).expect("cni0 exists");
     let pod_ip = pod_cidr.nth_host(10 + pod_index);
     // The pod's address lives in the pod's own network namespace, not in
@@ -159,7 +169,10 @@ mod tests {
             k.netfilter.rules(ChainHook::Forward).len(),
             KUBE_PROXY_RULES as usize
         );
-        assert!(k.device(net.cni0).unwrap().has_addr(Ipv4Addr::new(10, 244, 1, 1)));
+        assert!(k
+            .device(net.cni0)
+            .unwrap()
+            .has_addr(Ipv4Addr::new(10, 244, 1, 1)));
         assert_eq!(k.device(net.flannel).unwrap().kind.kind_name(), "vxlan");
         // cni0's connected route covers the pod subnet.
         let routes = k.dump_routes();

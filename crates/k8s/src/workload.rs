@@ -33,7 +33,13 @@ pub struct PodRrResult {
 /// # Panics
 ///
 /// Panics if the pods cannot reach each other (a cluster wiring bug).
-pub fn pod_rr(cluster: &mut Cluster, a: PodRef, b: PodRef, samples: usize, seed: u64) -> PodRrResult {
+pub fn pod_rr(
+    cluster: &mut Cluster,
+    a: PodRef,
+    b: PodRef,
+    samples: usize,
+    seed: u64,
+) -> PodRrResult {
     cluster.warm_pair(a, b);
     let fwd = cluster.pod_send(a, b, b"rr-request");
     let rev = cluster.pod_send(b, a, b"rr-response");
@@ -116,7 +122,7 @@ mod tests {
         // LinuxFP intra 7.918 / 15.9 / 1.53.
         let mut plain = Cluster::new(2, false);
         let (a, b) = (plain.add_pod(0), plain.add_pod(0));
-        let mut r = pod_rr(&mut plain, a, b, 4000, 3);
+        let r = pod_rr(&mut plain, a, b, 4000, 3);
         assert!(!r.inter_node);
         let mean = r.rtt_ms.mean();
         assert!((9.0..10.4).contains(&mean), "linux intra mean {mean:.2}");
@@ -125,7 +131,7 @@ mod tests {
 
         let mut fast = Cluster::new(2, true);
         let (a, b) = (fast.add_pod(0), fast.add_pod(0));
-        let mut rf = pod_rr(&mut fast, a, b, 4000, 3);
+        let rf = pod_rr(&mut fast, a, b, 4000, 3);
         let fmean = rf.rtt_ms.mean();
         assert!((7.3..8.6).contains(&fmean), "linuxfp intra mean {fmean:.2}");
         // The paper's headline: ~18% lower average latency intra-node.
@@ -151,7 +157,10 @@ mod tests {
         let (a, b) = (fast.add_pod(0), fast.add_pod(1));
         let rf = pod_rr(&mut fast, a, b, 4000, 5);
         let fmean = rf.rtt_ms.clone().mean();
-        assert!((24.0..27.5).contains(&fmean), "linuxfp inter mean {fmean:.2}");
+        assert!(
+            (24.0..27.5).contains(&fmean),
+            "linuxfp inter mean {fmean:.2}"
+        );
         let improvement = 1.0 - fmean / mean;
         assert!(
             (0.06..0.22).contains(&improvement),

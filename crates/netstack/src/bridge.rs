@@ -10,6 +10,7 @@
 use crate::device::IfIndex;
 use linuxfp_packet::MacAddr;
 use linuxfp_sim::Nanos;
+use linuxfp_telemetry::Counter;
 use std::collections::{BTreeMap, HashMap};
 
 /// STP port states (802.1D). Only `Forwarding` ports forward data frames;
@@ -117,6 +118,7 @@ pub struct Bridge {
     pub ageing_time: Nanos,
     ports: BTreeMap<IfIndex, BridgePort>,
     fdb: HashMap<(MacAddr, u16), FdbEntry>,
+    decisions: Option<Counter>,
 }
 
 impl Bridge {
@@ -130,7 +132,13 @@ impl Bridge {
             ageing_time: Nanos::from_secs(300),
             ports: BTreeMap::new(),
             fdb: HashMap::new(),
+            decisions: None,
         }
+    }
+
+    /// Counts every forwarding decision this bridge makes into `counter`.
+    pub fn set_decision_counter(&mut self, counter: Counter) {
+        self.decisions = Some(counter);
     }
 
     /// Adds a member port (idempotent).
@@ -251,6 +259,9 @@ impl Bridge {
         vlan_tag: Option<u16>,
         now: Nanos,
     ) -> BridgeDecision {
+        if let Some(c) = &self.decisions {
+            c.inc();
+        }
         let Some(port) = self.ports.get(&ingress) else {
             return BridgeDecision::Drop("not a bridge port");
         };
@@ -353,7 +364,10 @@ mod tests {
     fn fdb_ages_out() {
         let mut br = bridge();
         br.fdb_learn(mac(200), 0, IfIndex(2), Nanos::ZERO);
-        assert_eq!(br.fdb_lookup(mac(200), 0, Nanos::from_secs(10)), Some(IfIndex(2)));
+        assert_eq!(
+            br.fdb_lookup(mac(200), 0, Nanos::from_secs(10)),
+            Some(IfIndex(2))
+        );
         // Past the 300 s ageing time the entry is gone -> flood again.
         assert_eq!(br.fdb_lookup(mac(200), 0, Nanos::from_secs(301)), None);
         let d = br.decide(IfIndex(1), mac(100), mac(200), None, Nanos::from_secs(302));

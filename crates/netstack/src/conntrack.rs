@@ -122,7 +122,9 @@ impl Conntrack {
     ) -> CtState {
         let key = FlowKey::new(src, sport, dst, dport, proto);
         match self.entries.get_mut(&key) {
-            Some(entry) if !Self::expired(entry, self.new_timeout, self.established_timeout, now) => {
+            Some(entry)
+                if !Self::expired(entry, self.new_timeout, self.established_timeout, now) =>
+            {
                 entry.last_seen = now;
                 if entry.state == CtState::New && entry.orig_src != src {
                     entry.state = CtState::Established;
@@ -225,7 +227,10 @@ mod tests {
     fn same_direction_stays_new() {
         let (a, b) = ips();
         let mut ct = Conntrack::new();
-        assert_eq!(ct.track(a, 1, b, 2, IpProto::Udp, Nanos::ZERO), CtState::New);
+        assert_eq!(
+            ct.track(a, 1, b, 2, IpProto::Udp, Nanos::ZERO),
+            CtState::New
+        );
         assert_eq!(
             ct.track(a, 1, b, 2, IpProto::Udp, Nanos::from_secs(1)),
             CtState::New
@@ -264,7 +269,7 @@ mod tests {
         let mut ct = Conntrack::new();
         ct.track(a, 1, b, 2, IpProto::Tcp, Nanos::ZERO);
         ct.track(b, 2, a, 1, IpProto::Tcp, Nanos::from_secs(1)); // established
-        // Way past expiry, the same tuple is NEW again.
+                                                                 // Way past expiry, the same tuple is NEW again.
         let st = ct.track(a, 1, b, 2, IpProto::Tcp, Nanos::from_secs(5000));
         assert_eq!(st, CtState::New);
     }

@@ -127,7 +127,10 @@ impl NetDevice {
 
     /// The connected subnets implied by the assigned addresses.
     pub fn connected_prefixes(&self) -> Vec<Prefix> {
-        self.addrs.iter().map(|(a, l)| Prefix::new(*a, *l)).collect()
+        self.addrs
+            .iter()
+            .map(|(a, l)| Prefix::new(*a, *l))
+            .collect()
     }
 
     /// The first assigned address inside `subnet`, used as the source for

@@ -43,9 +43,17 @@ mod tests {
             NetError::NoSuchDevice("eth9".into()).to_string(),
             "no such device: eth9"
         );
-        assert!(NetError::Invalid("x".into()).to_string().contains("invalid"));
-        assert!(NetError::NotFound("r".into()).to_string().contains("not found"));
-        assert!(NetError::AlreadyExists("r".into()).to_string().contains("already"));
-        assert!(NetError::DeviceExists("e".into()).to_string().contains("exists"));
+        assert!(NetError::Invalid("x".into())
+            .to_string()
+            .contains("invalid"));
+        assert!(NetError::NotFound("r".into())
+            .to_string()
+            .contains("not found"));
+        assert!(NetError::AlreadyExists("r".into())
+            .to_string()
+            .contains("already"));
+        assert!(NetError::DeviceExists("e".into())
+            .to_string()
+            .contains("exists"));
     }
 }

@@ -6,6 +6,7 @@
 
 use crate::device::IfIndex;
 use linuxfp_packet::ipv4::Prefix;
+use linuxfp_telemetry::Counter;
 use std::net::Ipv4Addr;
 
 /// The scope of a route (mirrors the subset of `rtm_scope` we need).
@@ -82,6 +83,7 @@ struct TrieNode {
 pub struct Fib {
     nodes: Vec<TrieNode>,
     len: usize,
+    lookups: Option<Counter>,
 }
 
 impl Fib {
@@ -90,7 +92,14 @@ impl Fib {
         Fib {
             nodes: vec![TrieNode::default()],
             len: 0,
+            lookups: None,
         }
+    }
+
+    /// Counts every [`Fib::lookup`] (fast-path helper and slow-path
+    /// alike) into `counter`.
+    pub fn set_lookup_counter(&mut self, counter: Counter) {
+        self.lookups = Some(counter);
     }
 
     /// Number of routes installed.
@@ -166,6 +175,9 @@ impl Fib {
     /// Longest-prefix-match lookup; among routes on the winning prefix the
     /// lowest metric wins.
     pub fn lookup(&self, addr: Ipv4Addr) -> Option<&Route> {
+        if let Some(c) = &self.lookups {
+            c.inc();
+        }
         let bits = u32::from(addr);
         let mut node = 0;
         let mut best: Option<&Route> = self.best_at(0);
@@ -217,10 +229,22 @@ mod tests {
         fib.insert(Route::connected(p("10.0.0.0/8"), IfIndex(2)));
         fib.insert(Route::connected(p("10.1.0.0/16"), IfIndex(3)));
         fib.insert(Route::connected(p("10.1.2.0/24"), IfIndex(4)));
-        assert_eq!(fib.lookup(Ipv4Addr::new(8, 8, 8, 8)).unwrap().dev, IfIndex(1));
-        assert_eq!(fib.lookup(Ipv4Addr::new(10, 9, 0, 1)).unwrap().dev, IfIndex(2));
-        assert_eq!(fib.lookup(Ipv4Addr::new(10, 1, 9, 1)).unwrap().dev, IfIndex(3));
-        assert_eq!(fib.lookup(Ipv4Addr::new(10, 1, 2, 9)).unwrap().dev, IfIndex(4));
+        assert_eq!(
+            fib.lookup(Ipv4Addr::new(8, 8, 8, 8)).unwrap().dev,
+            IfIndex(1)
+        );
+        assert_eq!(
+            fib.lookup(Ipv4Addr::new(10, 9, 0, 1)).unwrap().dev,
+            IfIndex(2)
+        );
+        assert_eq!(
+            fib.lookup(Ipv4Addr::new(10, 1, 9, 1)).unwrap().dev,
+            IfIndex(3)
+        );
+        assert_eq!(
+            fib.lookup(Ipv4Addr::new(10, 1, 2, 9)).unwrap().dev,
+            IfIndex(4)
+        );
         assert_eq!(fib.len(), 4);
     }
 
@@ -240,7 +264,10 @@ mod tests {
         b.metric = 10;
         fib.insert(a);
         fib.insert(b);
-        assert_eq!(fib.lookup(Ipv4Addr::new(10, 0, 0, 1)).unwrap().dev, IfIndex(2));
+        assert_eq!(
+            fib.lookup(Ipv4Addr::new(10, 0, 0, 1)).unwrap().dev,
+            IfIndex(2)
+        );
     }
 
     #[test]
@@ -258,10 +285,17 @@ mod tests {
     fn remove_by_prefix_and_dev() {
         let mut fib = Fib::new();
         fib.insert(Route::connected(p("10.0.0.0/8"), IfIndex(1)));
-        fib.insert(Route::via_gateway(p("10.0.0.0/8"), Ipv4Addr::new(9, 9, 9, 9), IfIndex(2)));
+        fib.insert(Route::via_gateway(
+            p("10.0.0.0/8"),
+            Ipv4Addr::new(9, 9, 9, 9),
+            IfIndex(2),
+        ));
         assert_eq!(fib.remove(&p("10.0.0.0/8"), Some(IfIndex(1))), 1);
         assert_eq!(fib.len(), 1);
-        assert_eq!(fib.lookup(Ipv4Addr::new(10, 0, 0, 1)).unwrap().dev, IfIndex(2));
+        assert_eq!(
+            fib.lookup(Ipv4Addr::new(10, 0, 0, 1)).unwrap().dev,
+            IfIndex(2)
+        );
         assert_eq!(fib.remove(&p("10.0.0.0/8"), None), 1);
         assert!(fib.is_empty());
         assert_eq!(fib.remove(&p("172.16.0.0/12"), None), 0);
@@ -270,8 +304,15 @@ mod tests {
     #[test]
     fn default_route_matches_everything() {
         let mut fib = Fib::new();
-        fib.insert(Route::via_gateway(p("0.0.0.0/0"), Ipv4Addr::new(10, 0, 0, 254), IfIndex(7)));
-        assert_eq!(fib.lookup(Ipv4Addr::new(1, 2, 3, 4)).unwrap().dev, IfIndex(7));
+        fib.insert(Route::via_gateway(
+            p("0.0.0.0/0"),
+            Ipv4Addr::new(10, 0, 0, 254),
+            IfIndex(7),
+        ));
+        assert_eq!(
+            fib.lookup(Ipv4Addr::new(1, 2, 3, 4)).unwrap().dev,
+            IfIndex(7)
+        );
         assert_eq!(
             fib.lookup(Ipv4Addr::new(255, 255, 255, 255)).unwrap().dev,
             IfIndex(7)
@@ -292,7 +333,10 @@ mod tests {
     fn host_routes() {
         let mut fib = Fib::new();
         fib.insert(Route::connected(p("10.0.0.5/32"), IfIndex(3)));
-        assert_eq!(fib.lookup(Ipv4Addr::new(10, 0, 0, 5)).unwrap().dev, IfIndex(3));
+        assert_eq!(
+            fib.lookup(Ipv4Addr::new(10, 0, 0, 5)).unwrap().dev,
+            IfIndex(3)
+        );
         assert!(fib.lookup(Ipv4Addr::new(10, 0, 0, 6)).is_none());
     }
 }

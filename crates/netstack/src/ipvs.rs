@@ -12,6 +12,7 @@
 use crate::conntrack::{Conntrack, FlowKey};
 use linuxfp_packet::ipv4::IpProto;
 use linuxfp_sim::Nanos;
+use linuxfp_telemetry::Counter;
 use std::net::Ipv4Addr;
 
 /// Backend selection algorithms (`ipvsadm -s rr|lc`).
@@ -64,12 +65,18 @@ pub struct Ipvs {
     /// Monotonic generation, bumped on configuration changes (consumed by
     /// the LinuxFP controller like the netfilter generation).
     pub generation: u64,
+    selections: Option<Counter>,
 }
 
 impl Ipvs {
     /// Creates an empty subsystem.
     pub fn new() -> Self {
         Ipvs::default()
+    }
+
+    /// Counts every backend-selection attempt into `counter`.
+    pub fn set_selection_counter(&mut self, counter: Counter) {
+        self.selections = Some(counter);
     }
 
     /// Adds a virtual service; returns `false` if `(vip, port, proto)`
@@ -110,7 +117,11 @@ impl Ipvs {
             return false;
         };
         let svc = &mut self.services[idx];
-        if svc.backends.iter().any(|b| b.addr == addr && b.port == backend_port) {
+        if svc
+            .backends
+            .iter()
+            .any(|b| b.addr == addr && b.port == backend_port)
+        {
             return false;
         }
         svc.backends.push(Backend {
@@ -154,6 +165,9 @@ impl Ipvs {
         proto: IpProto,
         now: Nanos,
     ) -> Option<(Ipv4Addr, u16)> {
+        if let Some(c) = &self.selections {
+            c.inc();
+        }
         let idx = self.find(dst, dport, proto)?;
         let key = FlowKey::new(src, sport, dst, dport, proto);
         // Affinity: a pinned flow keeps its backend (fast path does the
@@ -238,17 +252,41 @@ mod tests {
     fn flows_are_pinned() {
         let (mut ipvs, mut ct) = setup(Scheduler::RoundRobin);
         let first = ipvs
-            .select_backend(&mut ct, Ipv4Addr::new(10, 0, 1, 100), 40000, vip(), 53, IpProto::Udp, Nanos::ZERO)
+            .select_backend(
+                &mut ct,
+                Ipv4Addr::new(10, 0, 1, 100),
+                40000,
+                vip(),
+                53,
+                IpProto::Udp,
+                Nanos::ZERO,
+            )
             .unwrap();
         for _ in 0..5 {
             let again = ipvs
-                .select_backend(&mut ct, Ipv4Addr::new(10, 0, 1, 100), 40000, vip(), 53, IpProto::Udp, Nanos::from_millis(1))
+                .select_backend(
+                    &mut ct,
+                    Ipv4Addr::new(10, 0, 1, 100),
+                    40000,
+                    vip(),
+                    53,
+                    IpProto::Udp,
+                    Nanos::from_millis(1),
+                )
                 .unwrap();
             assert_eq!(again, first, "affinity broken");
         }
         // A different flow advances the scheduler.
         let other = ipvs
-            .select_backend(&mut ct, Ipv4Addr::new(10, 0, 1, 100), 40001, vip(), 53, IpProto::Udp, Nanos::ZERO)
+            .select_backend(
+                &mut ct,
+                Ipv4Addr::new(10, 0, 1, 100),
+                40001,
+                vip(),
+                53,
+                IpProto::Udp,
+                Nanos::ZERO,
+            )
             .unwrap();
         assert_ne!(other, first);
     }
@@ -260,7 +298,15 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for sport in 0..3u16 {
             let b = ipvs
-                .select_backend(&mut ct, Ipv4Addr::new(10, 0, 1, 100), 41000 + sport, vip(), 53, IpProto::Udp, Nanos::ZERO)
+                .select_backend(
+                    &mut ct,
+                    Ipv4Addr::new(10, 0, 1, 100),
+                    41000 + sport,
+                    vip(),
+                    53,
+                    IpProto::Udp,
+                    Nanos::ZERO,
+                )
                 .unwrap();
             seen.insert(b);
         }
@@ -271,15 +317,39 @@ mod tests {
     fn non_service_traffic_ignored() {
         let (mut ipvs, mut ct) = setup(Scheduler::RoundRobin);
         assert!(ipvs
-            .select_backend(&mut ct, Ipv4Addr::new(10, 0, 1, 100), 1, Ipv4Addr::new(8, 8, 8, 8), 53, IpProto::Udp, Nanos::ZERO)
+            .select_backend(
+                &mut ct,
+                Ipv4Addr::new(10, 0, 1, 100),
+                1,
+                Ipv4Addr::new(8, 8, 8, 8),
+                53,
+                IpProto::Udp,
+                Nanos::ZERO
+            )
             .is_none());
         // Wrong port.
         assert!(ipvs
-            .select_backend(&mut ct, Ipv4Addr::new(10, 0, 1, 100), 1, vip(), 54, IpProto::Udp, Nanos::ZERO)
+            .select_backend(
+                &mut ct,
+                Ipv4Addr::new(10, 0, 1, 100),
+                1,
+                vip(),
+                54,
+                IpProto::Udp,
+                Nanos::ZERO
+            )
             .is_none());
         // Wrong proto.
         assert!(ipvs
-            .select_backend(&mut ct, Ipv4Addr::new(10, 0, 1, 100), 1, vip(), 53, IpProto::Tcp, Nanos::ZERO)
+            .select_backend(
+                &mut ct,
+                Ipv4Addr::new(10, 0, 1, 100),
+                1,
+                vip(),
+                53,
+                IpProto::Tcp,
+                Nanos::ZERO
+            )
             .is_none());
     }
 
@@ -289,7 +359,15 @@ mod tests {
         ipvs.add_service(vip(), 80, IpProto::Udp, Scheduler::RoundRobin);
         let mut ct = Conntrack::new();
         assert!(ipvs
-            .select_backend(&mut ct, Ipv4Addr::new(1, 1, 1, 1), 1, vip(), 80, IpProto::Udp, Nanos::ZERO)
+            .select_backend(
+                &mut ct,
+                Ipv4Addr::new(1, 1, 1, 1),
+                1,
+                vip(),
+                80,
+                IpProto::Udp,
+                Nanos::ZERO
+            )
             .is_none());
         assert!(ipvs.services()[0].backends().is_empty());
         assert!(!ipvs.is_empty());

@@ -239,7 +239,12 @@ mod tests {
     fn relearn_refreshes_timer() {
         let mut t = NeighTable::new();
         t.learn(ip(2), MacAddr::from_index(2), IfIndex(1), Nanos::ZERO);
-        t.learn(ip(2), MacAddr::from_index(2), IfIndex(1), Nanos::from_secs(29));
+        t.learn(
+            ip(2),
+            MacAddr::from_index(2),
+            IfIndex(1),
+            Nanos::from_secs(29),
+        );
         // 31s after first learn but only 2s after refresh: still reachable.
         assert_eq!(
             t.lookup(ip(2), Nanos::from_secs(31)).unwrap().state,

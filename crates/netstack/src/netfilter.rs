@@ -10,6 +10,7 @@
 use crate::device::IfIndex;
 use linuxfp_packet::ipv4::{IpProto, Prefix};
 use linuxfp_sim::{CostModel, CostTracker};
+use linuxfp_telemetry::Counter;
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
@@ -245,6 +246,7 @@ pub struct Netfilter {
     /// Monotonic generation counter bumped on every rule/set change; the
     /// controller uses it to detect configuration changes cheaply.
     pub generation: u64,
+    evaluations: Option<Counter>,
 }
 
 impl Netfilter {
@@ -265,12 +267,23 @@ impl Netfilter {
             user_chains: HashMap::new(),
             sets: HashMap::new(),
             generation: 0,
+            evaluations: None,
         }
+    }
+
+    /// Counts every chain evaluation (fast-path helper and slow-path
+    /// alike) into `counter`.
+    pub fn set_evaluation_counter(&mut self, counter: Counter) {
+        self.evaluations = Some(counter);
     }
 
     /// Appends a rule to a built-in chain (`iptables -A <CHAIN> ...`).
     pub fn append(&mut self, hook: ChainHook, rule: IptRule) {
-        self.builtin.get_mut(&hook).expect("builtin chain").rules.push(rule);
+        self.builtin
+            .get_mut(&hook)
+            .expect("builtin chain")
+            .rules
+            .push(rule);
         self.generation += 1;
     }
 
@@ -288,7 +301,11 @@ impl Netfilter {
 
     /// Removes all rules from a built-in chain (`iptables -F <CHAIN>`).
     pub fn flush(&mut self, hook: ChainHook) {
-        self.builtin.get_mut(&hook).expect("builtin chain").rules.clear();
+        self.builtin
+            .get_mut(&hook)
+            .expect("builtin chain")
+            .rules
+            .clear();
         self.generation += 1;
     }
 
@@ -367,7 +384,11 @@ impl Netfilter {
     /// whether a filter FPM is needed at all).
     pub fn total_rules(&self) -> usize {
         self.builtin.values().map(|c| c.rules.len()).sum::<usize>()
-            + self.user_chains.values().map(|c| c.rules.len()).sum::<usize>()
+            + self
+                .user_chains
+                .values()
+                .map(|c| c.rules.len())
+                .sum::<usize>()
     }
 
     /// Names of all ipsets.
@@ -404,6 +425,9 @@ impl Netfilter {
         tracker: &mut CostTracker,
         rule_ns: f64,
     ) -> NfVerdict {
+        if let Some(c) = &self.evaluations {
+            c.inc();
+        }
         let chain = &self.builtin[&hook];
         match self.eval_chain(chain, meta, cost, tracker, 0, rule_ns) {
             Some(v) => v,
@@ -549,7 +573,10 @@ mod tests {
     #[test]
     fn drop_rule_matches_destination() {
         let mut nf = Netfilter::new();
-        nf.append(ChainHook::Forward, IptRule::drop_dst("10.10.3.0/24".parse().unwrap()));
+        nf.append(
+            ChainHook::Forward,
+            IptRule::drop_dst("10.10.3.0/24".parse().unwrap()),
+        );
         let (v, _) = eval(&nf, ChainHook::Forward, &meta([10, 10, 3, 7]));
         assert_eq!(v, NfVerdict::Drop);
         let (v, _) = eval(&nf, ChainHook::Forward, &meta([10, 10, 4, 7]));
@@ -697,8 +724,14 @@ mod tests {
     #[test]
     fn delete_and_flush() {
         let mut nf = Netfilter::new();
-        nf.append(ChainHook::Forward, IptRule::drop_dst("10.0.0.0/8".parse().unwrap()));
-        nf.append(ChainHook::Forward, IptRule::drop_dst("11.0.0.0/8".parse().unwrap()));
+        nf.append(
+            ChainHook::Forward,
+            IptRule::drop_dst("10.0.0.0/8".parse().unwrap()),
+        );
+        nf.append(
+            ChainHook::Forward,
+            IptRule::drop_dst("11.0.0.0/8".parse().unwrap()),
+        );
         assert_eq!(nf.total_rules(), 2);
         assert!(nf.delete(ChainHook::Forward, 0).is_some());
         assert!(nf.delete(ChainHook::Forward, 5).is_none());

@@ -141,8 +141,9 @@ impl NetlinkMessage {
             NetlinkMessage::NewAddr { .. } | NetlinkMessage::DelAddr { .. } => NlGroup::Addr,
             NetlinkMessage::NewRoute(_) | NetlinkMessage::DelRoute { .. } => NlGroup::Route,
             NetlinkMessage::NewNeigh { .. } | NetlinkMessage::DelNeigh { .. } => NlGroup::Neigh,
-            NetlinkMessage::NetfilterChanged { .. }
-            | NetlinkMessage::IpvsChanged { .. } => NlGroup::Netfilter,
+            NetlinkMessage::NetfilterChanged { .. } | NetlinkMessage::IpvsChanged { .. } => {
+                NlGroup::Netfilter
+            }
             NetlinkMessage::SysctlChanged { .. } => NlGroup::Sysctl,
         }
     }
@@ -250,10 +251,7 @@ mod tests {
     #[test]
     fn messages_know_their_groups() {
         assert_eq!(link_msg(1).group(), NlGroup::Link);
-        assert_eq!(
-            NetlinkMessage::DelLink(IfIndex(1)).group(),
-            NlGroup::Link
-        );
+        assert_eq!(NetlinkMessage::DelLink(IfIndex(1)).group(), NlGroup::Link);
         assert_eq!(
             NetlinkMessage::NewAddr {
                 index: IfIndex(1),

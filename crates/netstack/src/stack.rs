@@ -25,6 +25,7 @@ use linuxfp_packet::ipv4::{IpProto, Ipv4Header, Prefix};
 use linuxfp_packet::udp::UdpHeader;
 use linuxfp_packet::{EtherType, EthernetFrame, MacAddr, Packet};
 use linuxfp_sim::{CostModel, CostTracker, Nanos};
+use linuxfp_telemetry::{Counter, Registry};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::Ipv4Addr;
 use std::str::FromStr;
@@ -107,7 +108,8 @@ pub enum HookVerdict {
 /// The signature of an attached hook program. The program receives the
 /// kernel itself so that helper calls can read and update kernel state —
 /// the unified-state design of the paper.
-pub type HookFn = Arc<dyn Fn(&mut Kernel, &mut Packet, &mut CostTracker) -> HookVerdict + Send + Sync>;
+pub type HookFn =
+    Arc<dyn Fn(&mut Kernel, &mut Packet, &mut CostTracker) -> HookVerdict + Send + Sync>;
 
 /// Externally visible result of processing a frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -231,6 +233,56 @@ pub struct FibFastResult {
 }
 
 /// The simulated kernel.
+/// Cached counter handles for the kernel's slow-path telemetry: resolved
+/// once in [`Kernel::set_telemetry`] so the per-packet cost is a relaxed
+/// atomic increment. Counters are real host atomics and charge no
+/// virtual time — observability must not perturb the calibrated costs.
+#[derive(Debug, Clone)]
+struct StackTelemetry {
+    registry: Registry,
+    packets_injected: Counter,
+    slow_bridge: Counter,
+    slow_ip: Counter,
+    slow_arp: Counter,
+    slow_local: Counter,
+    slow_netfilter: Counter,
+    slow_ipvs: Counter,
+}
+
+impl StackTelemetry {
+    fn new(registry: Registry) -> Self {
+        registry.describe(
+            "linuxfp_packets_injected_total",
+            "Frames injected into the kernel from outside (one per Kernel::receive)",
+        );
+        registry.describe(
+            "linuxfp_slowpath_packets_total",
+            "Slow-path packet visits per kernel subsystem",
+        );
+        registry.describe("linuxfp_drops_total", "Packets dropped, by reason");
+        registry.describe(
+            "linuxfp_subsystem_ops_total",
+            "Subsystem operations (fast-path helpers and slow path alike)",
+        );
+        let slow = |subsystem: &str| {
+            registry.counter(
+                "linuxfp_slowpath_packets_total",
+                &[("subsystem", subsystem)],
+            )
+        };
+        StackTelemetry {
+            packets_injected: registry.counter("linuxfp_packets_injected_total", &[]),
+            slow_bridge: slow("bridge"),
+            slow_ip: slow("ip"),
+            slow_arp: slow("arp"),
+            slow_local: slow("local"),
+            slow_netfilter: slow("netfilter"),
+            slow_ipvs: slow("ipvs"),
+            registry,
+        }
+    }
+}
+
 pub struct Kernel {
     cost: Arc<CostModel>,
     now: Nanos,
@@ -263,6 +315,7 @@ pub struct Kernel {
     counters: HashMap<IfIndex, DevCounters>,
     /// BPDUs consumed by STP processing.
     pub bpdus_processed: u64,
+    telemetry: Option<StackTelemetry>,
     seed: u64,
 }
 
@@ -307,8 +360,33 @@ impl Kernel {
             drop_counts: HashMap::new(),
             counters: HashMap::new(),
             bpdus_processed: 0,
+            telemetry: None,
             seed,
         }
+    }
+
+    /// Enables slow-path telemetry: injected-packet, per-subsystem and
+    /// per-reason drop counters land in `registry`, and the FIB,
+    /// netfilter, bridge and ipvs subsystems count their operations. The
+    /// counters are host atomics with no virtual-time charge.
+    pub fn set_telemetry(&mut self, registry: Registry) {
+        let t = StackTelemetry::new(registry);
+        let ops = |subsystem: &str| {
+            t.registry
+                .counter("linuxfp_subsystem_ops_total", &[("subsystem", subsystem)])
+        };
+        self.fib.set_lookup_counter(ops("fib"));
+        self.netfilter.set_evaluation_counter(ops("netfilter"));
+        self.ipvs.set_selection_counter(ops("ipvs"));
+        for bridge in self.bridges.values_mut() {
+            bridge.set_decision_counter(ops("bridge"));
+        }
+        self.telemetry = Some(t);
+    }
+
+    /// The telemetry registry, if [`Kernel::set_telemetry`] was called.
+    pub fn telemetry(&self) -> Option<&Registry> {
+        self.telemetry.as_ref().map(|t| &t.registry)
     }
 
     /// Replaces the cost model (for ablation experiments).
@@ -422,7 +500,14 @@ impl Kernel {
         self.ensure_name_free(name)?;
         let idx = self.alloc_index();
         let mac = self.gen_mac(idx);
-        self.bridges.insert(idx, Bridge::new(idx, mac));
+        let mut bridge = Bridge::new(idx, mac);
+        if let Some(t) = &self.telemetry {
+            bridge.set_decision_counter(
+                t.registry
+                    .counter("linuxfp_subsystem_ops_total", &[("subsystem", "bridge")]),
+            );
+        }
+        self.bridges.insert(idx, bridge);
         Ok(self.register(NetDevice::new(idx, name, DeviceKind::Bridge, mac)))
     }
 
@@ -476,7 +561,11 @@ impl Kernel {
     /// # Errors
     ///
     /// Fails if the device is not a VXLAN device.
-    pub fn vxlan_add_default_remote(&mut self, dev: IfIndex, vtep: Ipv4Addr) -> Result<(), NetError> {
+    pub fn vxlan_add_default_remote(
+        &mut self,
+        dev: IfIndex,
+        vtep: Ipv4Addr,
+    ) -> Result<(), NetError> {
         let defaults = self
             .vxlan_defaults
             .get_mut(&dev)
@@ -505,7 +594,10 @@ impl Kernel {
             .get_mut(&port)
             .ok_or_else(|| NetError::NoSuchDevice(port.to_string()))?;
         dev.master = Some(bridge);
-        self.bridges.get_mut(&bridge).expect("checked").add_port(port);
+        self.bridges
+            .get_mut(&bridge)
+            .expect("checked")
+            .add_port(port);
         let info = self.link_info(port).expect("exists");
         self.netlink.publish(NetlinkMessage::NewLink(info));
         Ok(())
@@ -673,8 +765,9 @@ impl Kernel {
             index: dev,
             addr: addr.addr,
         });
-        self.netlink
-            .publish(NetlinkMessage::DelRoute { prefix: addr.subnet() });
+        self.netlink.publish(NetlinkMessage::DelRoute {
+            prefix: addr.subnet(),
+        });
         Ok(())
     }
 
@@ -703,9 +796,9 @@ impl Kernel {
     ) -> Result<(), NetError> {
         let egress = match (dev, via) {
             (Some(d), _) => d,
-            (None, Some(gw)) => self
-                .device_for_subnet(gw)
-                .ok_or_else(|| NetError::Invalid(format!("no connected subnet for gateway {gw}")))?,
+            (None, Some(gw)) => self.device_for_subnet(gw).ok_or_else(|| {
+                NetError::Invalid(format!("no connected subnet for gateway {gw}"))
+            })?,
             (None, None) => {
                 return Err(NetError::Invalid("route needs via or dev".into()));
             }
@@ -820,7 +913,8 @@ impl Kernel {
         let ok = self.ipvs.add_service(vip, port, proto, scheduler);
         if ok {
             let generation = self.ipvs.generation;
-            self.netlink.publish(NetlinkMessage::IpvsChanged { generation });
+            self.netlink
+                .publish(NetlinkMessage::IpvsChanged { generation });
         }
         ok
     }
@@ -834,10 +928,13 @@ impl Kernel {
         backend: Ipv4Addr,
         backend_port: u16,
     ) -> bool {
-        let ok = self.ipvs.add_backend(vip, port, proto, backend, backend_port);
+        let ok = self
+            .ipvs
+            .add_backend(vip, port, proto, backend, backend_port);
         if ok {
             let generation = self.ipvs.generation;
-            self.netlink.publish(NetlinkMessage::IpvsChanged { generation });
+            self.netlink
+                .publish(NetlinkMessage::IpvsChanged { generation });
         }
         ok
     }
@@ -1057,6 +1154,9 @@ impl Kernel {
     /// Processes a frame received on `dev`, running hooks and the slow
     /// path, returning all externally visible effects and the cost.
     pub fn receive(&mut self, dev: IfIndex, frame: Vec<u8>) -> RxOutcome {
+        if let Some(t) = &self.telemetry {
+            t.packets_injected.inc();
+        }
         let mut out = RxOutcome::default();
         let mut queue: VecDeque<(IfIndex, Vec<u8>)> = VecDeque::new();
         queue.push_back((dev, frame));
@@ -1073,6 +1173,13 @@ impl Kernel {
     }
 
     fn drop(&mut self, out: &mut RxOutcome, reason: &'static str) {
+        if let Some(t) = &self.telemetry {
+            // Reasons are a small static set; get-or-create is off the
+            // common path (drops only).
+            t.registry
+                .counter("linuxfp_drops_total", &[("reason", reason)])
+                .inc();
+        }
         *self.drop_counts.entry(reason).or_insert(0) += 1;
         out.effects.push(Effect::Drop { reason });
     }
@@ -1179,8 +1286,7 @@ impl Kernel {
         // stack: deliver anything addressed to them (or broadcast).
         if endpoint {
             if eth.dst == dev_mac || eth.dst.is_multicast() {
-                out.cost
-                    .charge("local_deliver", self.cost.local_deliver_ns);
+                out.cost.charge("local_deliver", self.cost.local_deliver_ns);
                 out.effects.push(Effect::Deliver { dev, frame });
             } else {
                 self.drop(out, "wrong destination mac");
@@ -1213,6 +1319,9 @@ impl Kernel {
         queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
     ) {
         out.cost.charge("bridge_stack", self.cost.bridge_stack_ns);
+        if let Some(t) = &self.telemetry {
+            t.slow_bridge.inc();
+        }
 
         // STP BPDUs are consumed by slow-path protocol processing.
         if eth.dst == BPDU_MAC {
@@ -1239,8 +1348,10 @@ impl Kernel {
         // br_netfilter: bridged IPv4 frames about to be forwarded also
         // traverse the iptables FORWARD chain (and conntrack), exactly as
         // Kubernetes hosts configure via bridge-nf-call-iptables.
-        if matches!(decision, BridgeDecision::Forward(_) | BridgeDecision::Flood(_))
-            && eth.ethertype == EtherType::Ipv4
+        if matches!(
+            decision,
+            BridgeDecision::Forward(_) | BridgeDecision::Flood(_)
+        ) && eth.ethertype == EtherType::Ipv4
             && self.bridge_nf_enabled()
         {
             if let Ok(ip) = Ipv4Header::parse(&frame[eth.payload_offset..]) {
@@ -1251,9 +1362,12 @@ impl Kernel {
                     self.conntrack
                         .track(ip.src, meta.sport, ip.dst, meta.dport, ip.proto, now);
                 }
-                let verdict = self
-                    .netfilter
-                    .evaluate(ChainHook::Forward, &meta, &self.cost, &mut out.cost);
+                if let Some(t) = &self.telemetry {
+                    t.slow_netfilter.inc();
+                }
+                let verdict =
+                    self.netfilter
+                        .evaluate(ChainHook::Forward, &meta, &self.cost, &mut out.cost);
                 if verdict == NfVerdict::Drop {
                     self.drop(out, "nf forward drop");
                     return;
@@ -1310,6 +1424,9 @@ impl Kernel {
         out: &mut RxOutcome,
         queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
     ) {
+        if let Some(t) = &self.telemetry {
+            t.slow_arp.inc();
+        }
         let Ok(arp) = ArpPacket::parse(&frame[eth.payload_offset..]) else {
             self.drop(out, "malformed arp");
             return;
@@ -1373,6 +1490,9 @@ impl Kernel {
         queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
     ) {
         out.cost.charge("ip_rcv", self.cost.ip_rcv_ns);
+        if let Some(t) = &self.telemetry {
+            t.slow_ip.inc();
+        }
         let l3 = eth.payload_offset;
         let Ok(ip) = Ipv4Header::parse(&frame[l3..]) else {
             self.drop(out, "malformed ipv4");
@@ -1387,17 +1507,19 @@ impl Kernel {
 
         // Conntrack (when enabled for this host).
         if self.conntrack_forward {
-            out.cost
-                .charge("conntrack", self.cost.conntrack_lookup_ns);
+            out.cost.charge("conntrack", self.cost.conntrack_lookup_ns);
             let now = self.now;
             self.conntrack
                 .track(ip.src, meta.sport, ip.dst, meta.dport, ip.proto, now);
         }
 
         // PREROUTING.
-        let verdict = self
-            .netfilter
-            .evaluate(ChainHook::Prerouting, &meta, &self.cost, &mut out.cost);
+        if let Some(t) = &self.telemetry {
+            t.slow_netfilter.inc();
+        }
+        let verdict =
+            self.netfilter
+                .evaluate(ChainHook::Prerouting, &meta, &self.cost, &mut out.cost);
         if verdict == NfVerdict::Drop {
             self.drop(out, "nf prerouting drop");
             return;
@@ -1422,6 +1544,9 @@ impl Kernel {
                 now,
             );
             if let Some((backend_ip, backend_port)) = selected {
+                if let Some(t) = &self.telemetry {
+                    t.slow_ipvs.inc();
+                }
                 out.cost.charge("ipvs_sched", self.cost.ipvs_sched_ns);
                 Self::ipvs_nat_rewrite(&mut frame, l3, &ip, backend_ip, backend_port);
                 ip = Ipv4Header::parse(&frame[l3..]).expect("rewritten header valid");
@@ -1430,12 +1555,15 @@ impl Kernel {
         }
 
         // Local delivery?
-        let local = self.devices.values().any(|d| d.has_addr(ip.dst))
-            || ip.dst == Ipv4Addr::BROADCAST;
+        let local =
+            self.devices.values().any(|d| d.has_addr(ip.dst)) || ip.dst == Ipv4Addr::BROADCAST;
         if local {
-            let verdict = self
-                .netfilter
-                .evaluate(ChainHook::Input, &meta, &self.cost, &mut out.cost);
+            if let Some(t) = &self.telemetry {
+                t.slow_netfilter.inc();
+            }
+            let verdict =
+                self.netfilter
+                    .evaluate(ChainHook::Input, &meta, &self.cost, &mut out.cost);
             if verdict == NfVerdict::Drop {
                 self.drop(out, "nf input drop");
                 return;
@@ -1460,6 +1588,9 @@ impl Kernel {
             out_if: route.dev,
             ..meta
         };
+        if let Some(t) = &self.telemetry {
+            t.slow_netfilter.inc();
+        }
         let verdict = self
             .netfilter
             .evaluate(ChainHook::Forward, &meta, &self.cost, &mut out.cost);
@@ -1491,6 +1622,9 @@ impl Kernel {
                     .map(|d| d.mac)
                     .unwrap_or(MacAddr::ZERO);
                 EthernetFrame::rewrite_macs(&mut frame, dst_mac, src_mac);
+                if let Some(t) = &self.telemetry {
+                    t.slow_netfilter.inc();
+                }
                 let verdict = self.netfilter.evaluate(
                     ChainHook::Postrouting,
                     &meta,
@@ -1554,8 +1688,10 @@ impl Kernel {
         out: &mut RxOutcome,
         queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
     ) {
-        out.cost
-            .charge("local_deliver", self.cost.local_deliver_ns);
+        if let Some(t) = &self.telemetry {
+            t.slow_local.inc();
+        }
+        out.cost.charge("local_deliver", self.cost.local_deliver_ns);
         let l3 = eth.payload_offset;
         let l4 = l3 + ip.header_len;
 
@@ -1598,8 +1734,7 @@ impl Kernel {
                         total_len,
                         true,
                     );
-                    reply_frame[linuxfp_packet::ETH_HLEN + ip.header_len..]
-                        .copy_from_slice(&reply);
+                    reply_frame[linuxfp_packet::ETH_HLEN + ip.header_len..].copy_from_slice(&reply);
                     self.transmit(dev, reply_frame, out, queue);
                     return;
                 }
@@ -1806,7 +1941,11 @@ impl Kernel {
                     }
                 }
             }
-            DeviceKind::Vxlan { vni, local, port: _ } => {
+            DeviceKind::Vxlan {
+                vni,
+                local,
+                port: _,
+            } => {
                 out.cost.charge("vxlan_encap", self.cost.vxlan_encap_ns);
                 let Ok(eth) = EthernetFrame::parse(&frame) else {
                     self.drop(out, "malformed ethernet");

@@ -31,11 +31,19 @@ fn router() -> (Kernel, IfIndex, IfIndex) {
     k.ip_link_set_up(eth1).unwrap();
     k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
     // Destination network behind 10.0.2.2.
-    k.ip_route_add(prefix("10.10.0.0/16"), Some(Ipv4Addr::new(10, 0, 2, 2)), None)
-        .unwrap();
+    k.ip_route_add(
+        prefix("10.10.0.0/16"),
+        Some(Ipv4Addr::new(10, 0, 2, 2)),
+        None,
+    )
+    .unwrap();
     let now = k.now();
-    k.neigh
-        .learn(Ipv4Addr::new(10, 0, 2, 2), MacAddr::from_index(0xBEEF), eth1, now);
+    k.neigh.learn(
+        Ipv4Addr::new(10, 0, 2, 2),
+        MacAddr::from_index(0xBEEF),
+        eth1,
+        now,
+    );
     (k, eth0, eth1)
 }
 
@@ -233,7 +241,10 @@ fn udp_to_local_address_is_delivered() {
 #[test]
 fn netfilter_forward_drop_blocks_blacklisted() {
     let (mut k, eth0, _) = router();
-    k.iptables_append(ChainHook::Forward, IptRule::drop_dst(prefix("10.10.3.0/24")));
+    k.iptables_append(
+        ChainHook::Forward,
+        IptRule::drop_dst(prefix("10.10.3.0/24")),
+    );
     let out = k.receive(eth0, forward_test_frame(&k, eth0)); // dst 10.10.3.7
     assert_eq!(out.drops(), vec!["nf forward drop"]);
     // A destination outside the blacklist still forwards.
@@ -348,7 +359,12 @@ fn bpdus_are_consumed_by_stp() {
     k.ip_link_set_up(p1).unwrap();
     k.ip_link_set_up(br).unwrap();
     let mut bpdu = vec![0u8; 60];
-    EthernetFrame::write(&mut bpdu, BPDU_MAC, MacAddr::from_index(9), linuxfp_packet::EtherType::Other(0x0027));
+    EthernetFrame::write(
+        &mut bpdu,
+        BPDU_MAC,
+        MacAddr::from_index(9),
+        linuxfp_packet::EtherType::Other(0x0027),
+    );
     let out = k.receive(p1, bpdu);
     assert_eq!(out.drops(), vec!["bpdu consumed"]);
     assert_eq!(k.bpdus_processed, 1);
@@ -396,8 +412,11 @@ fn xdp_hook_runs_before_skb_alloc() {
 #[test]
 fn xdp_redirect_bypasses_slow_path() {
     let (mut k, eth0, eth1) = router();
-    k.attach_xdp(eth0, Arc::new(move |_k, _p, _t| HookVerdict::Redirect(eth1)))
-        .unwrap();
+    k.attach_xdp(
+        eth0,
+        Arc::new(move |_k, _p, _t| HookVerdict::Redirect(eth1)),
+    )
+    .unwrap();
     let out = k.receive(eth0, forward_test_frame(&k, eth0));
     assert_eq!(out.transmissions().len(), 1);
     assert_eq!(out.transmissions()[0].0, eth1);
@@ -455,7 +474,10 @@ fn helper_fib_lookup_matches_slow_path() {
 #[test]
 fn helper_ipt_lookup_uses_kernel_rules() {
     let (mut k, eth0, eth1) = router();
-    k.iptables_append(ChainHook::Forward, IptRule::drop_dst(prefix("10.10.3.0/24")));
+    k.iptables_append(
+        ChainHook::Forward,
+        IptRule::drop_dst(prefix("10.10.3.0/24")),
+    );
     let meta = PacketMeta {
         src: Ipv4Addr::new(10, 0, 1, 100),
         dst: Ipv4Addr::new(10, 10, 3, 7),
@@ -487,11 +509,15 @@ fn netlink_notifications_flow() {
     k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
     k.iptables_append(ChainHook::Forward, IptRule::default());
     let msgs = k.netlink_poll(sub);
-    assert!(msgs.iter().any(|m| matches!(m, NetlinkMessage::NewLink(l) if l.name == "eth0")));
+    assert!(msgs
+        .iter()
+        .any(|m| matches!(m, NetlinkMessage::NewLink(l) if l.name == "eth0")));
     assert!(msgs
         .iter()
         .any(|m| matches!(m, NetlinkMessage::NewAddr { prefix_len: 24, .. })));
-    assert!(msgs.iter().any(|m| matches!(m, NetlinkMessage::NewRoute(_))));
+    assert!(msgs
+        .iter()
+        .any(|m| matches!(m, NetlinkMessage::NewRoute(_))));
     assert!(msgs
         .iter()
         .any(|m| matches!(m, NetlinkMessage::SysctlChanged { value: 1, .. })));
@@ -510,7 +536,9 @@ fn dumps_reflect_configuration() {
     let routes = k.dump_routes();
     // Two connected + one static.
     assert_eq!(routes.len(), 3);
-    assert!(routes.iter().any(|r| r.via == Some(Ipv4Addr::new(10, 0, 2, 2))));
+    assert!(routes
+        .iter()
+        .any(|r| r.via == Some(Ipv4Addr::new(10, 0, 2, 2))));
     assert_eq!(k.ifindex("eth0"), Some(eth0));
     assert_eq!(k.ifindex("eth1"), Some(eth1));
     assert_eq!(k.ifindex("nope"), None);
@@ -527,10 +555,15 @@ fn vxlan_encapsulates_toward_remote_vtep() {
         .unwrap();
     k.ip_link_set_up(vx).unwrap();
     let inner_dst = MacAddr::from_index(0x22);
-    k.vxlan_fdb_add(vx, inner_dst, Ipv4Addr::new(192, 168, 0, 2)).unwrap();
+    k.vxlan_fdb_add(vx, inner_dst, Ipv4Addr::new(192, 168, 0, 2))
+        .unwrap();
     let now = k.now();
-    k.neigh
-        .learn(Ipv4Addr::new(192, 168, 0, 2), MacAddr::from_index(0x99), eth0, now);
+    k.neigh.learn(
+        Ipv4Addr::new(192, 168, 0, 2),
+        MacAddr::from_index(0x99),
+        eth0,
+        now,
+    );
 
     let inner = builder::udp_packet(
         MacAddr::from_index(0x11),
@@ -658,13 +691,29 @@ fn aging_after_advance_expires_fdb() {
     }
     let a = MacAddr::from_index(0xA);
     let b = MacAddr::from_index(0xB);
-    let f = builder::udp_packet(a, b, Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(1, 1, 1, 2), 1, 2, b"");
+    let f = builder::udp_packet(
+        a,
+        b,
+        Ipv4Addr::new(1, 1, 1, 1),
+        Ipv4Addr::new(1, 1, 1, 2),
+        1,
+        2,
+        b"",
+    );
     k.receive(p1, f); // learn a@p1
     assert_eq!(
         k.helper_fdb_lookup(p2, b, a, 0),
         FdbLookupOutcome::SrcUnknown
     ); // b unknown yet
-    let f_back = builder::udp_packet(b, a, Ipv4Addr::new(1, 1, 1, 2), Ipv4Addr::new(1, 1, 1, 1), 2, 1, b"");
+    let f_back = builder::udp_packet(
+        b,
+        a,
+        Ipv4Addr::new(1, 1, 1, 2),
+        Ipv4Addr::new(1, 1, 1, 1),
+        2,
+        1,
+        b"",
+    );
     k.receive(p2, f_back); // learn b@p2
     assert_eq!(k.helper_fdb_lookup(p1, a, b, 0), FdbLookupOutcome::Hit(p2));
     // After 301 simulated seconds both entries age out.
@@ -735,7 +784,8 @@ fn housekeeping_collects_expired_state() {
     );
     k.receive(p1, f);
     let now = k.now();
-    k.neigh.learn(Ipv4Addr::new(9, 9, 9, 9), MacAddr::from_index(9), p1, now);
+    k.neigh
+        .learn(Ipv4Addr::new(9, 9, 9, 9), MacAddr::from_index(9), p1, now);
     k.advance(Nanos::from_secs(3600));
     let report = k.run_housekeeping();
     assert!(report.fdb_expired >= 1, "{report:?}");
@@ -743,5 +793,8 @@ fn housekeeping_collects_expired_state() {
     assert_eq!(k.bridge(br).unwrap().fdb_len(), 0);
     // Nothing left to collect on a second pass.
     let again = k.run_housekeeping();
-    assert_eq!(again, linuxfp_netstack::stack::HousekeepingReport::default());
+    assert_eq!(
+        again,
+        linuxfp_netstack::stack::HousekeepingReport::default()
+    );
 }

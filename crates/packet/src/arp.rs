@@ -87,8 +87,7 @@ impl ArpPacket {
                 data[off + 5],
             ])
         };
-        let ip =
-            |off: usize| Ipv4Addr::new(data[off], data[off + 1], data[off + 2], data[off + 3]);
+        let ip = |off: usize| Ipv4Addr::new(data[off], data[off + 1], data[off + 2], data[off + 3]);
         Ok(ArpPacket {
             op,
             sender_mac: mac(8),

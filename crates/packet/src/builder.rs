@@ -63,9 +63,14 @@ pub fn udp_packet_sized(
     frame_len: usize,
 ) -> Vec<u8> {
     let min = ETH_HLEN + IPV4_MIN_HLEN + UDP_HLEN;
-    assert!(frame_len >= min, "frame_len {frame_len} below minimum {min}");
+    assert!(
+        frame_len >= min,
+        "frame_len {frame_len} below minimum {min}"
+    );
     let payload = vec![0u8; frame_len - min];
-    udp_packet(src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, &payload)
+    udp_packet(
+        src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, &payload,
+    )
 }
 
 /// Builds `eth / ipv4 / tcp / payload`.

@@ -112,8 +112,8 @@ mod tests {
     #[test]
     fn incremental_matches_full_recompute() {
         let mut data = [
-            0x45u8, 0x00, 0x00, 0x54, 0x12, 0x34, 0x40, 0x00, 0x40, 0x01, 0x00, 0x00, 10, 0, 0,
-            1, 10, 0, 0, 2,
+            0x45u8, 0x00, 0x00, 0x54, 0x12, 0x34, 0x40, 0x00, 0x40, 0x01, 0x00, 0x00, 10, 0, 0, 1,
+            10, 0, 0, 2,
         ];
         let before = checksum(&data);
         // Decrement TTL (byte 8) as a forwarder would: word 8..10 changes.

@@ -226,7 +226,10 @@ impl EthernetFrame {
     ///
     /// Panics if `buf` is shorter than [`ETH_HLEN`].
     pub fn write(buf: &mut [u8], dst: MacAddr, src: MacAddr, ethertype: EtherType) {
-        assert!(buf.len() >= ETH_HLEN, "buffer too small for ethernet header");
+        assert!(
+            buf.len() >= ETH_HLEN,
+            "buffer too small for ethernet header"
+        );
         buf[0..6].copy_from_slice(&dst.octets());
         buf[6..12].copy_from_slice(&src.octets());
         buf[12..14].copy_from_slice(&ethertype.to_u16().to_be_bytes());
@@ -239,7 +242,10 @@ impl EthernetFrame {
     ///
     /// Panics if `buf` is shorter than [`ETH_HLEN`].
     pub fn rewrite_macs(buf: &mut [u8], dst: MacAddr, src: MacAddr) {
-        assert!(buf.len() >= ETH_HLEN, "buffer too small for ethernet header");
+        assert!(
+            buf.len() >= ETH_HLEN,
+            "buffer too small for ethernet header"
+        );
         buf[0..6].copy_from_slice(&dst.octets());
         buf[6..12].copy_from_slice(&src.octets());
     }
@@ -293,7 +299,13 @@ mod tests {
     #[test]
     fn parse_truncated() {
         let err = EthernetFrame::parse(&[0u8; 5]).unwrap_err();
-        assert!(matches!(err, ParsePacketError::Truncated { layer: "ethernet", .. }));
+        assert!(matches!(
+            err,
+            ParsePacketError::Truncated {
+                layer: "ethernet",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -322,7 +334,10 @@ mod tests {
         let mut f = sample_frame()[..14].to_vec();
         f[12..14].copy_from_slice(&0x8100u16.to_be_bytes());
         let err = EthernetFrame::parse(&f).unwrap_err();
-        assert!(matches!(err, ParsePacketError::Truncated { layer: "vlan", .. }));
+        assert!(matches!(
+            err,
+            ParsePacketError::Truncated { layer: "vlan", .. }
+        ));
     }
 
     #[test]

@@ -159,7 +159,10 @@ impl Ipv4Header {
         total_len: u16,
         dont_fragment: bool,
     ) {
-        assert!(buf.len() >= IPV4_MIN_HLEN, "buffer too small for ipv4 header");
+        assert!(
+            buf.len() >= IPV4_MIN_HLEN,
+            "buffer too small for ipv4 header"
+        );
         buf[0] = 0x45;
         buf[1] = 0;
         buf[2..4].copy_from_slice(&total_len.to_be_bytes());
@@ -184,7 +187,10 @@ impl Ipv4Header {
     ///
     /// Panics if `buf` is shorter than [`IPV4_MIN_HLEN`].
     pub fn decrement_ttl(buf: &mut [u8]) -> Option<u8> {
-        assert!(buf.len() >= IPV4_MIN_HLEN, "buffer too small for ipv4 header");
+        assert!(
+            buf.len() >= IPV4_MIN_HLEN,
+            "buffer too small for ipv4 header"
+        );
         let ttl = buf[8];
         if ttl <= 1 {
             return None;
@@ -310,7 +316,8 @@ impl std::str::FromStr for Prefix {
             Some((a, l)) => (
                 a.parse::<Ipv4Addr>()
                     .map_err(|_| ParsePrefixError(s.to_string()))?,
-                l.parse::<u8>().map_err(|_| ParsePrefixError(s.to_string()))?,
+                l.parse::<u8>()
+                    .map_err(|_| ParsePrefixError(s.to_string()))?,
             ),
             None => (
                 s.parse::<Ipv4Addr>()
@@ -365,12 +372,18 @@ mod tests {
         buf[0] = 0x65; // version 6
         assert!(matches!(
             Ipv4Header::parse(&buf),
-            Err(ParsePacketError::Malformed { what: "version is not 4", .. })
+            Err(ParsePacketError::Malformed {
+                what: "version is not 4",
+                ..
+            })
         ));
         buf[0] = 0x43; // IHL 3 -> 12 bytes
         assert!(matches!(
             Ipv4Header::parse(&buf),
-            Err(ParsePacketError::Malformed { what: "IHL below minimum", .. })
+            Err(ParsePacketError::Malformed {
+                what: "IHL below minimum",
+                ..
+            })
         ));
     }
 
@@ -383,7 +396,11 @@ mod tests {
         with_opts[0] = 0x46; // IHL 6 -> 24 bytes, buffer only 20
         assert!(matches!(
             Ipv4Header::parse(&with_opts),
-            Err(ParsePacketError::Truncated { layer: "ipv4", needed: 24, .. })
+            Err(ParsePacketError::Truncated {
+                layer: "ipv4",
+                needed: 24,
+                ..
+            })
         ));
     }
 
@@ -457,7 +474,12 @@ mod tests {
 
     #[test]
     fn proto_round_trip() {
-        for p in [IpProto::Icmp, IpProto::Tcp, IpProto::Udp, IpProto::Other(89)] {
+        for p in [
+            IpProto::Icmp,
+            IpProto::Tcp,
+            IpProto::Udp,
+            IpProto::Other(89),
+        ] {
             assert_eq!(IpProto::from(p.to_u8()), p);
         }
     }

@@ -87,7 +87,10 @@ impl fmt::Display for ParsePacketError {
                 needed,
                 have,
             } => {
-                write!(f, "truncated {layer} header: need {needed} bytes, have {have}")
+                write!(
+                    f,
+                    "truncated {layer} header: need {needed} bytes, have {have}"
+                )
             }
             ParsePacketError::Malformed { layer, what } => {
                 write!(f, "malformed {layer} header: {what}")
@@ -147,7 +150,10 @@ mod tests {
             needed: 20,
             have: 3,
         };
-        assert_eq!(e.to_string(), "truncated ipv4 header: need 20 bytes, have 3");
+        assert_eq!(
+            e.to_string(),
+            "truncated ipv4 header: need 20 bytes, have 3"
+        );
         let m = ParsePacketError::Malformed {
             layer: "ipv4",
             what: "version is not 4",

@@ -1,172 +1,235 @@
 //! Property-based tests for the packet library: parse/build round-trips
 //! and checksum laws over randomly generated inputs.
+//!
+//! Inputs are generated with the workspace's own seeded [`SimRng`] (the
+//! build is fully offline, so no external property-testing framework);
+//! each property is checked over a few hundred deterministic cases.
 
 use linuxfp_packet::checksum::{checksum, fold, incremental_update_u16, sum_words};
 use linuxfp_packet::ipv4::Prefix;
-use linuxfp_packet::{builder, ArpPacket, EthernetFrame, Ipv4Header, MacAddr, TcpHeader, UdpHeader};
-use proptest::prelude::*;
+use linuxfp_packet::{
+    builder, ArpPacket, EthernetFrame, Ipv4Header, MacAddr, TcpHeader, UdpHeader,
+};
+use linuxfp_sim::SimRng;
 use std::net::Ipv4Addr;
 
-fn arb_mac() -> impl Strategy<Value = MacAddr> {
-    any::<[u8; 6]>().prop_map(MacAddr::new)
+fn rand_bytes(rng: &mut SimRng, min: usize, max: usize) -> Vec<u8> {
+    let len = min + rng.uniform_u64((max - min) as u64) as usize;
+    (0..len).map(|_| rng.uniform_u64(256) as u8).collect()
 }
 
-fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
-    any::<u32>().prop_map(Ipv4Addr::from)
+fn rand_mac(rng: &mut SimRng) -> MacAddr {
+    MacAddr::new(std::array::from_fn(|_| rng.uniform_u64(256) as u8))
 }
 
-proptest! {
-    /// Any data with its own checksum appended folds to 0xFFFF — the
-    /// receiver-side verification law of RFC 1071.
-    #[test]
-    fn checksum_self_verifies(data in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let mut with = data.clone();
+fn rand_ip(rng: &mut SimRng) -> Ipv4Addr {
+    Ipv4Addr::from(rng.uniform_u64(1 << 32) as u32)
+}
+
+/// Any data with its own checksum appended folds to 0xFFFF — the
+/// receiver-side verification law of RFC 1071.
+#[test]
+fn checksum_self_verifies() {
+    let mut rng = SimRng::seed(0x5EED_0001);
+    for _ in 0..256 {
+        let mut with = rand_bytes(&mut rng, 0, 256);
         // Checksums verify over even-length data (headers are always even).
         if with.len() % 2 == 1 {
             with.push(0);
         }
         let c = checksum(&with);
         with.extend_from_slice(&c.to_be_bytes());
-        prop_assert_eq!(fold(sum_words(&with, 0)), 0xFFFF);
+        assert_eq!(fold(sum_words(&with, 0)), 0xFFFF);
     }
+}
 
-    /// Incremental checksum update equals full recomputation for any
-    /// single-word change at any even offset.
-    #[test]
-    fn incremental_update_equals_recompute(
-        data in proptest::collection::vec(any::<u8>(), 2..128),
-        word_idx in any::<prop::sample::Index>(),
-        new_word in any::<u16>(),
-    ) {
-        let mut data = data;
+/// Incremental checksum update equals full recomputation for any
+/// single-word change at any even offset.
+#[test]
+fn incremental_update_equals_recompute() {
+    let mut rng = SimRng::seed(0x5EED_0002);
+    for _ in 0..256 {
+        let mut data = rand_bytes(&mut rng, 2, 128);
         if data.len() % 2 == 1 {
             data.push(0);
         }
         let words = data.len() / 2;
-        let idx = word_idx.index(words) * 2;
+        let idx = rng.uniform_u64(words as u64) as usize * 2;
+        let new_word = rng.uniform_u64(1 << 16) as u16;
         let before = checksum(&data);
         let old_word = u16::from_be_bytes([data[idx], data[idx + 1]]);
         data[idx..idx + 2].copy_from_slice(&new_word.to_be_bytes());
         let incremental = incremental_update_u16(before, old_word, new_word);
         let full = checksum(&data);
-        prop_assert_eq!(incremental, full);
+        assert_eq!(incremental, full);
     }
+}
 
-    /// UDP frames built by the builder always parse back to the inputs,
-    /// with a valid IPv4 checksum.
-    #[test]
-    fn udp_build_parse_round_trip(
-        src_mac in arb_mac(), dst_mac in arb_mac(),
-        src_ip in arb_ip(), dst_ip in arb_ip(),
-        src_port in any::<u16>(), dst_port in any::<u16>(),
-        payload in proptest::collection::vec(any::<u8>(), 0..1024),
-    ) {
-        let frame = builder::udp_packet(src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, &payload);
+/// UDP frames built by the builder always parse back to the inputs, with a
+/// valid IPv4 checksum.
+#[test]
+fn udp_build_parse_round_trip() {
+    let mut rng = SimRng::seed(0x5EED_0003);
+    for _ in 0..128 {
+        let (src_mac, dst_mac) = (rand_mac(&mut rng), rand_mac(&mut rng));
+        let (src_ip, dst_ip) = (rand_ip(&mut rng), rand_ip(&mut rng));
+        let src_port = rng.uniform_u64(1 << 16) as u16;
+        let dst_port = rng.uniform_u64(1 << 16) as u16;
+        let payload = rand_bytes(&mut rng, 0, 1024);
+        let frame = builder::udp_packet(
+            src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, &payload,
+        );
         let eth = EthernetFrame::parse(&frame).unwrap();
-        prop_assert_eq!(eth.src, src_mac);
-        prop_assert_eq!(eth.dst, dst_mac);
+        assert_eq!(eth.src, src_mac);
+        assert_eq!(eth.dst, dst_mac);
         let ip = Ipv4Header::parse(&frame[eth.payload_offset..]).unwrap();
-        prop_assert_eq!(ip.src, src_ip);
-        prop_assert_eq!(ip.dst, dst_ip);
-        prop_assert!(ip.verify_checksum(&frame[eth.payload_offset..]));
+        assert_eq!(ip.src, src_ip);
+        assert_eq!(ip.dst, dst_ip);
+        assert!(ip.verify_checksum(&frame[eth.payload_offset..]));
         let udp = UdpHeader::parse(&frame[eth.payload_offset + ip.header_len..]).unwrap();
-        prop_assert_eq!(udp.src_port, src_port);
-        prop_assert_eq!(udp.dst_port, dst_port);
-        prop_assert_eq!(&frame[eth.payload_offset + ip.header_len + 8..], payload.as_slice());
+        assert_eq!(udp.src_port, src_port);
+        assert_eq!(udp.dst_port, dst_port);
+        assert_eq!(
+            &frame[eth.payload_offset + ip.header_len + 8..],
+            payload.as_slice()
+        );
     }
+}
 
-    /// TTL decrement preserves checksum validity for any starting TTL > 1.
-    #[test]
-    fn ttl_decrement_keeps_checksums_valid(
-        src_ip in arb_ip(), dst_ip in arb_ip(), ttl in 2u8..=255,
-    ) {
+/// TTL decrement preserves checksum validity for any starting TTL > 1.
+#[test]
+fn ttl_decrement_keeps_checksums_valid() {
+    let mut rng = SimRng::seed(0x5EED_0004);
+    for _ in 0..256 {
+        let (src_ip, dst_ip) = (rand_ip(&mut rng), rand_ip(&mut rng));
+        let ttl = 2 + rng.uniform_u64(254) as u8;
         let mut buf = vec![0u8; 20];
-        Ipv4Header::write(&mut buf, src_ip, dst_ip, linuxfp_packet::IpProto::Udp, ttl, 1, 20, false);
+        Ipv4Header::write(
+            &mut buf,
+            src_ip,
+            dst_ip,
+            linuxfp_packet::IpProto::Udp,
+            ttl,
+            1,
+            20,
+            false,
+        );
         let new = Ipv4Header::decrement_ttl(&mut buf).unwrap();
-        prop_assert_eq!(new, ttl - 1);
+        assert_eq!(new, ttl - 1);
         let h = Ipv4Header::parse(&buf).unwrap();
-        prop_assert!(h.verify_checksum(&buf));
-        prop_assert_eq!(h.ttl, ttl - 1);
+        assert!(h.verify_checksum(&buf));
+        assert_eq!(h.ttl, ttl - 1);
     }
+}
 
-    /// Ethernet parsing never panics on arbitrary bytes: it returns either
-    /// a header or a structured error.
-    #[test]
-    fn eth_parse_total(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+/// Header parsing never panics on arbitrary bytes: it returns either a
+/// header or a structured error.
+#[test]
+fn parsing_is_total_on_arbitrary_bytes() {
+    let mut rng = SimRng::seed(0x5EED_0005);
+    for _ in 0..512 {
+        let data = rand_bytes(&mut rng, 0, 64);
         let _ = EthernetFrame::parse(&data);
-    }
-
-    /// IPv4 parsing never panics on arbitrary bytes.
-    #[test]
-    fn ipv4_parse_total(data in proptest::collection::vec(any::<u8>(), 0..64)) {
         let _ = Ipv4Header::parse(&data);
-    }
-
-    /// TCP parsing never panics on arbitrary bytes.
-    #[test]
-    fn tcp_parse_total(data in proptest::collection::vec(any::<u8>(), 0..64)) {
         let _ = TcpHeader::parse(&data);
     }
+}
 
-    /// ARP round-trips through bytes.
-    #[test]
-    fn arp_round_trip(
-        sender_mac in arb_mac(), sender_ip in arb_ip(),
-        target_mac in arb_mac(), target_ip in arb_ip(),
-        is_reply in any::<bool>(),
-    ) {
+/// ARP round-trips through bytes.
+#[test]
+fn arp_round_trip() {
+    let mut rng = SimRng::seed(0x5EED_0006);
+    for _ in 0..256 {
         let arp = ArpPacket {
-            op: if is_reply { linuxfp_packet::ArpOp::Reply } else { linuxfp_packet::ArpOp::Request },
-            sender_mac, sender_ip, target_mac, target_ip,
+            op: if rng.chance(0.5) {
+                linuxfp_packet::ArpOp::Reply
+            } else {
+                linuxfp_packet::ArpOp::Request
+            },
+            sender_mac: rand_mac(&mut rng),
+            sender_ip: rand_ip(&mut rng),
+            target_mac: rand_mac(&mut rng),
+            target_ip: rand_ip(&mut rng),
         };
-        prop_assert_eq!(ArpPacket::parse(&arp.to_bytes()).unwrap(), arp);
+        assert_eq!(ArpPacket::parse(&arp.to_bytes()).unwrap(), arp);
     }
+}
 
-    /// VXLAN encapsulation followed by decapsulation returns the inner
-    /// frame unchanged for any VNI and inner payload.
-    #[test]
-    fn vxlan_round_trip(
-        vni in 0u32..(1 << 24),
-        inner_payload in proptest::collection::vec(any::<u8>(), 0..512),
-        src_ip in arb_ip(), dst_ip in arb_ip(),
-    ) {
+/// VXLAN encapsulation followed by decapsulation returns the inner frame
+/// unchanged for any VNI and inner payload.
+#[test]
+fn vxlan_round_trip() {
+    let mut rng = SimRng::seed(0x5EED_0007);
+    for _ in 0..128 {
+        let vni = rng.uniform_u64(1 << 24) as u32;
+        let inner_payload = rand_bytes(&mut rng, 0, 512);
+        let (src_ip, dst_ip) = (rand_ip(&mut rng), rand_ip(&mut rng));
         let inner = builder::udp_packet(
-            MacAddr::from_index(1), MacAddr::from_index(2),
-            Ipv4Addr::new(10, 244, 0, 1), Ipv4Addr::new(10, 244, 0, 2),
-            1, 2, &inner_payload,
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(10, 244, 0, 1),
+            Ipv4Addr::new(10, 244, 0, 2),
+            1,
+            2,
+            &inner_payload,
         );
         let outer = builder::vxlan_encapsulate(
-            &inner, vni, MacAddr::from_index(3), MacAddr::from_index(4),
-            src_ip, dst_ip, 40000,
+            &inner,
+            vni,
+            MacAddr::from_index(3),
+            MacAddr::from_index(4),
+            src_ip,
+            dst_ip,
+            40000,
         );
         let (got_vni, got_inner) = builder::vxlan_decapsulate(&outer).unwrap();
-        prop_assert_eq!(got_vni, vni);
-        prop_assert_eq!(got_inner, inner);
+        assert_eq!(got_vni, vni);
+        assert_eq!(got_inner, inner);
     }
+}
 
-    /// Prefix membership agrees with a bit-twiddling oracle.
-    #[test]
-    fn prefix_contains_matches_oracle(addr in any::<u32>(), probe in any::<u32>(), len in 0u8..=32) {
+/// Prefix membership agrees with a bit-twiddling oracle.
+#[test]
+fn prefix_contains_matches_oracle() {
+    let mut rng = SimRng::seed(0x5EED_0008);
+    for _ in 0..512 {
+        let addr = rng.uniform_u64(1 << 32) as u32;
+        let probe = rng.uniform_u64(1 << 32) as u32;
+        let len = rng.uniform_u64(33) as u8;
         let p = Prefix::new(Ipv4Addr::from(addr), len);
-        let mask: u64 = if len == 0 { 0 } else { (!0u32 << (32 - len)) as u64 };
+        let mask: u64 = if len == 0 {
+            0
+        } else {
+            (!0u32 << (32 - len)) as u64
+        };
         let oracle = (u64::from(addr) & mask) == (u64::from(probe) & mask);
-        prop_assert_eq!(p.contains(Ipv4Addr::from(probe)), oracle);
+        assert_eq!(p.contains(Ipv4Addr::from(probe)), oracle);
     }
+}
 
-    /// VLAN push followed by pop restores the original frame.
-    #[test]
-    fn vlan_push_pop_identity(vid in 0u16..4096, pcp in 0u8..8, payload in proptest::collection::vec(any::<u8>(), 46..100)) {
+/// VLAN push followed by pop restores the original frame.
+#[test]
+fn vlan_push_pop_identity() {
+    let mut rng = SimRng::seed(0x5EED_0009);
+    for _ in 0..256 {
+        let vid = rng.uniform_u64(4096) as u16;
+        let pcp = rng.uniform_u64(8) as u8;
+        let payload = rand_bytes(&mut rng, 46, 100);
         let mut frame = builder::udp_packet(
-            MacAddr::from_index(1), MacAddr::from_index(2),
-            Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2),
-            1, 2, &payload,
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(1, 1, 1, 1),
+            Ipv4Addr::new(2, 2, 2, 2),
+            1,
+            2,
+            &payload,
         );
         let original = frame.clone();
         EthernetFrame::push_vlan(&mut frame, linuxfp_packet::VlanTag { vid, pcp });
         let parsed = EthernetFrame::parse(&frame).unwrap();
-        prop_assert_eq!(parsed.vlan, Some(linuxfp_packet::VlanTag { vid, pcp }));
+        assert_eq!(parsed.vlan, Some(linuxfp_packet::VlanTag { vid, pcp }));
         let tag = EthernetFrame::pop_vlan(&mut frame).unwrap();
-        prop_assert_eq!(tag.vid, vid);
-        prop_assert_eq!(frame, original);
+        assert_eq!(tag.vid, vid);
+        assert_eq!(frame, original);
     }
 }

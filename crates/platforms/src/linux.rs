@@ -91,7 +91,10 @@ mod tests {
         let gm = gateway.dut_mac();
         let tr = router.service_time_ns(&mut |i| sr.frame(rm, i, 60));
         let tg = gateway.service_time_ns(&mut |i| sg.frame(gm, i, 60));
-        assert!(tg > tr + 1500.0, "100-rule linear scan should cost ~2.2us: {tr} vs {tg}");
+        assert!(
+            tg > tr + 1500.0,
+            "100-rule linear scan should cost ~2.2us: {tr} vs {tg}"
+        );
     }
 
     #[test]

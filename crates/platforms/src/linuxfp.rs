@@ -7,6 +7,7 @@ use linuxfp_core::controller::{Controller, ControllerConfig};
 use linuxfp_ebpf::hook::HookPoint;
 use linuxfp_netstack::device::IfIndex;
 use linuxfp_netstack::stack::{Kernel, RxOutcome};
+use linuxfp_telemetry::Registry;
 
 /// Linux accelerated by LinuxFP-synthesized fast paths.
 #[derive(Debug)]
@@ -28,10 +29,26 @@ impl LinuxFpPlatform {
     /// (TC is what the paper uses for the Kubernetes scenario and
     /// Table VII's comparison).
     pub fn with_hook(scenario: Scenario, hook: HookPoint) -> Self {
+        LinuxFpPlatform::build(scenario, hook, None)
+    }
+
+    /// Like [`LinuxFpPlatform::with_hook`] but with observability on: the
+    /// registry is wired into the kernel slow path (packet/drop counters),
+    /// the dispatchers (fast-path hit/fallback and VM counters) and the
+    /// controller (reconcile latency, verifier tallies).
+    pub fn with_telemetry(scenario: Scenario, hook: HookPoint, registry: Registry) -> Self {
+        LinuxFpPlatform::build(scenario, hook, Some(registry))
+    }
+
+    fn build(scenario: Scenario, hook: HookPoint, telemetry: Option<Registry>) -> Self {
         let mut kernel = Kernel::new(100); // same seed as the baseline
         let (upstream, _) = scenario.configure_kernel(&mut kernel);
+        if let Some(registry) = &telemetry {
+            kernel.set_telemetry(registry.clone());
+        }
         let cfg = ControllerConfig {
             hook,
+            telemetry,
             ..ControllerConfig::default()
         };
         let (controller, report) =

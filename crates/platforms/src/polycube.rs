@@ -139,7 +139,8 @@ impl PolycubePlatform {
         if self.filter_levels.insert(prefix.len()) {
             let map = self.maps.create_hash(4096);
             self.filter_maps.push((prefix.len(), map));
-            self.filter_maps.sort_by_key(|(len, _)| std::cmp::Reverse(*len));
+            self.filter_maps
+                .sort_by_key(|(len, _)| std::cmp::Reverse(*len));
         }
         let map = self
             .filter_maps
@@ -209,7 +210,11 @@ impl PolycubePlatform {
         for (len, map) in &self.filter_maps {
             // Mask the (big-endian) destination bytes; AND is bytewise,
             // so a little-endian immediate of the byte-mask works.
-            let mask_be = if *len == 0 { 0u32 } else { u32::MAX << (32 - len) };
+            let mask_be = if *len == 0 {
+                0u32
+            } else {
+                u32::MAX << (32 - len)
+            };
             let mask_le = u32::from_le_bytes(mask_be.to_be_bytes());
             a.load(MemSize::W, 2, 6, 30);
             a.alu_imm(AluOp::And, 2, i64::from(mask_le));
@@ -254,7 +259,7 @@ impl PolycubePlatform {
         a.mov_imm(5, 4);
         a.call(HelperId::MapLookup);
         a.jmp_imm(JmpCond::Ne, 0, 0, "pass"); // no route: kernel decides
-        // Nexthop lookup: key = the index we just fetched.
+                                              // Nexthop lookup: key = the index we just fetched.
         a.mov_imm(1, i64::from(self.nexthops.0));
         a.mov_reg(2, 10);
         a.alu_imm(AluOp::Add, 2, -16);

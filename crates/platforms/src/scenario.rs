@@ -118,7 +118,8 @@ impl Scenario {
             .expect("fresh kernel");
         k.ip_link_set_up(eth0).expect("device exists");
         k.ip_link_set_up(eth1).expect("device exists");
-        k.sysctl_set("net.ipv4.ip_forward", 1).expect("known sysctl");
+        k.sysctl_set("net.ipv4.ip_forward", 1)
+            .expect("known sysctl");
         for i in 0..self.prefixes {
             k.ip_route_add(Scenario::route_prefix(i), Some(NEXT_HOP), None)
                 .expect("gateway on connected subnet");
@@ -191,12 +192,7 @@ mod tests {
         assert!(k.ip_forward_enabled());
         // 50 static + 2 connected routes.
         assert_eq!(k.dump_routes().len(), 52);
-        assert_eq!(
-            k.netfilter
-                .rules(ChainHook::Forward)
-                .len(),
-            100
-        );
+        assert_eq!(k.netfilter.rules(ChainHook::Forward).len(), 100);
         assert_ne!(eth0, eth1);
         let mut k2 = Kernel::new(43);
         Scenario::gateway_ipset().configure_kernel(&mut k2);

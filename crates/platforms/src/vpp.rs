@@ -61,7 +61,8 @@ impl VppPlatform {
 
     /// `vppctl ip route add <prefix> via <next-hop>`.
     pub fn vppctl_route_add(&mut self, prefix: Prefix) {
-        self.fib.insert(Route::via_gateway(prefix, NEXT_HOP, VPP_EGRESS_PORT));
+        self.fib
+            .insert(Route::via_gateway(prefix, NEXT_HOP, VPP_EGRESS_PORT));
     }
 
     /// `vppctl acl-add-replace ... deny dst <prefix>`.
@@ -103,28 +104,35 @@ impl Platform for VppPlatform {
         let mut out = RxOutcome::default();
         // Steady-state amortized vector cost: fixed per-batch work spread
         // over a full vector, plus per-packet graph-node work.
-        let amortized =
-            self.cost.vpp_batch_fixed_ns / f64::from(self.cost.vpp_batch_size.max(1));
+        let amortized = self.cost.vpp_batch_fixed_ns / f64::from(self.cost.vpp_batch_size.max(1));
         out.cost.charge("vpp_vector", amortized);
         out.cost.charge("vpp_node", self.cost.vpp_per_packet_ns);
 
         let Ok(eth) = EthernetFrame::parse(&frame) else {
-            out.effects.push(Effect::Drop { reason: "malformed ethernet" });
+            out.effects.push(Effect::Drop {
+                reason: "malformed ethernet",
+            });
             return out;
         };
         if eth.ethertype != linuxfp_packet::EtherType::Ipv4 {
-            out.effects.push(Effect::Drop { reason: "vpp: non-ip punted" });
+            out.effects.push(Effect::Drop {
+                reason: "vpp: non-ip punted",
+            });
             return out;
         }
         let l3 = eth.payload_offset;
         let Ok(ip) = Ipv4Header::parse(&frame[l3..]) else {
-            out.effects.push(Effect::Drop { reason: "malformed ipv4" });
+            out.effects.push(Effect::Drop {
+                reason: "malformed ipv4",
+            });
             return out;
         };
         if self.acl_rules > 0 {
             out.cost.charge("vpp_acl", self.cost.vpp_acl_ns);
             if self.acl_denies(ip.dst) {
-                out.effects.push(Effect::Drop { reason: "vpp acl deny" });
+                out.effects.push(Effect::Drop {
+                    reason: "vpp acl deny",
+                });
                 return out;
             }
         }
@@ -133,7 +141,9 @@ impl Platform for VppPlatform {
             return out;
         }
         if Ipv4Header::decrement_ttl(&mut frame[l3..]).is_none() {
-            out.effects.push(Effect::Drop { reason: "ttl exceeded" });
+            out.effects.push(Effect::Drop {
+                reason: "ttl exceeded",
+            });
             return out;
         }
         EthernetFrame::rewrite_macs(&mut frame, self.next_hop_mac, self.own_mac);
@@ -178,7 +188,10 @@ mod tests {
         let tv = vpp.service_time_ns(&mut |i| s.frame(mv, i, 60));
         let tf = lfp.service_time_ns(&mut |i| s.frame(mf, i, 60));
         let tl = linux.service_time_ns(&mut |i| s.frame(ml, i, 60));
-        assert!(tv < tf && tf < tl, "vpp {tv:.0} < linuxfp {tf:.0} < linux {tl:.0}");
+        assert!(
+            tv < tf && tf < tl,
+            "vpp {tv:.0} < linuxfp {tf:.0} < linux {tl:.0}"
+        );
     }
 
     #[test]
@@ -200,8 +213,16 @@ mod tests {
 
     #[test]
     fn acl_cost_is_flat_in_rules() {
-        let s10 = Scenario { prefixes: 50, filter_rules: 10, use_ipset: false };
-        let s1000 = Scenario { prefixes: 50, filter_rules: 1000, use_ipset: false };
+        let s10 = Scenario {
+            prefixes: 50,
+            filter_rules: 10,
+            use_ipset: false,
+        };
+        let s1000 = Scenario {
+            prefixes: 50,
+            filter_rules: 1000,
+            use_ipset: false,
+        };
         let mut small = VppPlatform::new(s10);
         let mut large = VppPlatform::new(s1000);
         let ms = small.dut_mac();

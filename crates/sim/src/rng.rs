@@ -3,10 +3,9 @@
 //! All stochastic behaviour (service-time jitter, softirq scheduling delays,
 //! flow selection) flows through [`SimRng`], a seeded wrapper around a
 //! cryptographically unnecessary but fast and portable PRNG, so that every
-//! experiment is exactly reproducible from its seed.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! experiment is exactly reproducible from its seed. The generator is
+//! self-contained (xoshiro256++ seeded through splitmix64) so the crate
+//! builds fully offline with no external dependencies.
 
 /// A seeded random source with the distributions the experiments need.
 ///
@@ -21,15 +20,43 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    rng: StdRng,
+    state: [u64; 4],
+}
+
+/// splitmix64 step: expands a 64-bit seed into well-mixed state words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
-        SimRng {
-            rng: StdRng::seed_from_u64(seed),
-        }
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { state }
+    }
+
+    /// The xoshiro256++ next step: full-period 64-bit output.
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform integer in `[0, bound)`.
@@ -39,12 +66,21 @@ impl SimRng {
     /// Panics if `bound == 0`.
     pub fn uniform_u64(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "uniform_u64 bound must be positive");
-        self.rng.gen_range(0..bound)
+        // Rejection sampling over the largest multiple of `bound` keeps
+        // the distribution exactly uniform.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn uniform_f64(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Exponentially distributed value with the given mean (inverse-CDF
@@ -54,7 +90,7 @@ impl SimRng {
         if mean <= 0.0 {
             return 0.0;
         }
-        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u = self.uniform_f64().max(f64::EPSILON);
         -mean * u.ln()
     }
 
@@ -66,15 +102,15 @@ impl SimRng {
             return 1.0;
         }
         // Box-Muller transform.
-        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = self.rng.gen::<f64>();
+        let u1 = self.uniform_f64().max(f64::EPSILON);
+        let u2 = self.uniform_f64();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         (sigma * z).exp()
     }
 
     /// Random boolean with probability `p` of `true`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.rng.gen::<f64>() < p
+        self.uniform_f64() < p
     }
 
     /// Chooses a uniformly random element of `items`.
@@ -84,14 +120,14 @@ impl SimRng {
     /// Panics if `items` is empty.
     pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
         assert!(!items.is_empty(), "choose from empty slice");
-        let idx = self.rng.gen_range(0..items.len());
+        let idx = self.uniform_u64(items.len() as u64) as usize;
         &items[idx]
     }
 
     /// A fresh child generator, deterministically derived; lets subsystems
     /// own independent streams without sharing a mutable reference.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed(self.rng.gen())
+        SimRng::seed(self.next_u64())
     }
 }
 
@@ -116,6 +152,25 @@ mod tests {
             .filter(|_| a.uniform_u64(u64::MAX) == b.uniform_u64(u64::MAX))
             .count();
         assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_u64_stays_in_bounds() {
+        let mut rng = SimRng::seed(3);
+        for bound in [1, 2, 3, 7, 1000, u64::MAX] {
+            for _ in 0..64 {
+                assert!(rng.uniform_u64(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_f64_stays_in_unit_interval() {
+        let mut rng = SimRng::seed(4);
+        for _ in 0..4096 {
+            let v = rng.uniform_f64();
+            assert!((0.0..1.0).contains(&v), "{v}");
+        }
     }
 
     #[test]

@@ -2,15 +2,80 @@
 //!
 //! The paper reports average, 99th-percentile, and standard deviation for
 //! every latency experiment (Tables III, IV, V); [`Summary`] produces all
-//! three from a stream of samples.
+//! three from a stream of samples. The quantile interpolation lives in
+//! [`weighted_percentile`] so other consumers (notably the telemetry
+//! crate's log2-bucketed histograms) reuse the same math instead of
+//! duplicating it.
 
 use std::fmt;
+use std::sync::Mutex;
+
+/// Linear-interpolated rank for percentile `p` over `n` ordered points:
+/// `(lower index, upper index, fraction of the upper point)`.
+fn rank_frac(n: usize, p: f64) -> (usize, usize, f64) {
+    let rank = p / 100.0 * (n as f64 - 1.0);
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    (lo, hi, rank - lo as f64)
+}
+
+/// Exact percentile over an already-sorted slice using the same
+/// nearest-rank interpolation as [`Summary::percentile`]. Returns 0.0
+/// when empty.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or NaN.
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    match sorted.len() {
+        0 => 0.0,
+        1 => sorted[0],
+        n => {
+            let (lo, hi, frac) = rank_frac(n, p);
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+}
+
+/// Percentile over value/count pairs (sorted by value ascending), as if
+/// each value appeared `count` times — the bucketed-histogram analogue
+/// of [`percentile_of_sorted`], sharing its rank interpolation. Pairs
+/// with zero count are ignored. Returns 0.0 when the total count is 0.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or NaN.
+pub fn weighted_percentile(pairs: &[(f64, u64)], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    let total: u64 = pairs.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let value_at = |index: usize| -> f64 {
+        let mut seen = 0usize;
+        for &(v, c) in pairs {
+            seen += c as usize;
+            if index < seen {
+                return v;
+            }
+        }
+        pairs.last().map_or(0.0, |&(v, _)| v)
+    };
+    let (lo, hi, frac) = rank_frac(total as usize, p);
+    if total == 1 {
+        return value_at(0);
+    }
+    value_at(lo) * (1.0 - frac) + value_at(hi) * frac
+}
 
 /// Collects samples and reports mean, standard deviation, min/max and exact
 /// percentiles.
 ///
 /// Samples are kept in full (latency experiments here produce at most a few
-/// million samples), so percentiles are exact rather than sketched.
+/// million samples), so percentiles are exact rather than sketched. The
+/// sorted order is computed lazily on the first percentile query and cached
+/// until the next `record`, so queries take `&self`.
 ///
 /// # Example
 ///
@@ -26,10 +91,13 @@ use std::fmt;
 /// assert_eq!(s.percentile(50.0), 3.0);
 /// assert_eq!(s.max(), 100.0);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Default)]
 pub struct Summary {
     samples: Vec<f64>,
-    sorted: bool,
+    /// Lazily computed sorted copy of `samples`; `None` when stale.
+    /// Interior mutability keeps percentile queries `&self` (and the
+    /// type `Send + Sync`) without re-sorting on every call.
+    sorted: Mutex<Option<Vec<f64>>>,
     mean: f64,
     m2: f64,
     min: f64,
@@ -41,7 +109,7 @@ impl Summary {
     pub fn new() -> Self {
         Summary {
             samples: Vec::new(),
-            sorted: true,
+            sorted: Mutex::new(None),
             mean: 0.0,
             m2: 0.0,
             min: f64::INFINITY,
@@ -51,7 +119,7 @@ impl Summary {
 
     /// Records one sample.
     pub fn record(&mut self, value: f64) {
-        self.sorted = false;
+        *self.sorted.get_mut().expect("stats cache lock") = None;
         self.samples.push(value);
         let n = self.samples.len() as f64;
         let delta = value - self.mean;
@@ -113,34 +181,28 @@ impl Summary {
     }
 
     /// Exact percentile `p` in `[0, 100]` using nearest-rank interpolation.
-    /// Returns 0.0 when empty.
+    /// Returns 0.0 when empty. The sort happens at most once per batch of
+    /// `record`s.
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 100]` or NaN.
-    pub fn percentile(&mut self, p: f64) -> f64 {
+    pub fn percentile(&self, p: f64) -> f64 {
         assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
         if self.samples.is_empty() {
             return 0.0;
         }
-        if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-            self.sorted = true;
-        }
-        let n = self.samples.len();
-        if n == 1 {
-            return self.samples[0];
-        }
-        let rank = p / 100.0 * (n as f64 - 1.0);
-        let lo = rank.floor() as usize;
-        let hi = rank.ceil() as usize;
-        let frac = rank - lo as f64;
-        self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac
+        let mut cache = self.sorted.lock().expect("stats cache lock");
+        let sorted = cache.get_or_insert_with(|| {
+            let mut v = self.samples.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            v
+        });
+        percentile_of_sorted(sorted, p)
     }
 
     /// 99th percentile (the paper's `P_99` column).
-    pub fn p99(&mut self) -> f64 {
+    pub fn p99(&self) -> f64 {
         self.percentile(99.0)
     }
 
@@ -151,10 +213,33 @@ impl Summary {
         }
     }
 
-    /// The raw samples recorded so far (in insertion or sorted order
-    /// depending on whether a percentile has been queried).
+    /// The raw samples recorded so far, in insertion order.
     pub fn samples(&self) -> &[f64] {
         &self.samples
+    }
+}
+
+impl Clone for Summary {
+    fn clone(&self) -> Self {
+        Summary {
+            samples: self.samples.clone(),
+            sorted: Mutex::new(self.sorted.lock().expect("stats cache lock").clone()),
+            mean: self.mean,
+            m2: self.m2,
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+impl fmt::Debug for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Summary")
+            .field("count", &self.count())
+            .field("mean", &self.mean())
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish()
     }
 }
 
@@ -176,14 +261,13 @@ impl FromIterator<f64> for Summary {
 
 impl fmt::Display for Summary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut s = self.clone();
         write!(
             f,
             "n={} mean={:.3} p99={:.3} stddev={:.3}",
-            s.count(),
-            s.mean(),
-            s.p99(),
-            s.stddev()
+            self.count(),
+            self.mean(),
+            self.p99(),
+            self.stddev()
         )
     }
 }
@@ -194,7 +278,7 @@ mod tests {
 
     #[test]
     fn empty_summary_is_safe() {
-        let mut s = Summary::new();
+        let s = Summary::new();
         assert!(s.is_empty());
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.stddev(), 0.0);
@@ -216,11 +300,50 @@ mod tests {
 
     #[test]
     fn percentiles_interpolate() {
-        let mut s: Summary = (1..=100).map(|v| v as f64).collect();
+        let s: Summary = (1..=100).map(|v| v as f64).collect();
         assert_eq!(s.percentile(0.0), 1.0);
         assert_eq!(s.percentile(100.0), 100.0);
         assert!((s.percentile(50.0) - 50.5).abs() < 1e-9);
         assert!((s.p99() - 99.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_takes_shared_reference_and_caches() {
+        let mut s: Summary = (1..=10).map(|v| v as f64).collect();
+        let by_ref: &Summary = &s;
+        assert_eq!(by_ref.percentile(100.0), 10.0);
+        assert_eq!(by_ref.percentile(0.0), 1.0);
+        // Samples stay in insertion order; the sort lives in the cache.
+        assert_eq!(s.samples()[0], 1.0);
+        // Recording invalidates the cache and new data is visible.
+        s.record(1000.0);
+        assert_eq!(s.percentile(100.0), 1000.0);
+    }
+
+    #[test]
+    fn summary_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Summary>();
+    }
+
+    #[test]
+    fn weighted_percentile_matches_expanded_samples() {
+        // 1×3, 2×1, 10×6 expanded and compared against the plain path.
+        let pairs = [(1.0, 3), (2.0, 1), (10.0, 6)];
+        let expanded: Vec<f64> = pairs
+            .iter()
+            .flat_map(|&(v, c)| std::iter::repeat_n(v, c as usize))
+            .collect();
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            let direct = percentile_of_sorted(&expanded, p);
+            let weighted = weighted_percentile(&pairs, p);
+            assert!(
+                (direct - weighted).abs() < 1e-12,
+                "p{p}: {direct} vs {weighted}"
+            );
+        }
+        assert_eq!(weighted_percentile(&[], 50.0), 0.0);
+        assert_eq!(weighted_percentile(&[(5.0, 1)], 50.0), 5.0);
     }
 
     #[test]
@@ -235,13 +358,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "percentile out of range")]
     fn percentile_rejects_out_of_range() {
-        let mut s: Summary = [1.0].into_iter().collect();
+        let s: Summary = [1.0].into_iter().collect();
         s.percentile(101.0);
     }
 
     #[test]
     fn single_sample_percentile() {
-        let mut s: Summary = [42.0].into_iter().collect();
+        let s: Summary = [42.0].into_iter().collect();
         assert_eq!(s.percentile(99.0), 42.0);
     }
 

@@ -83,10 +83,7 @@ pub fn run_rr(cfg: &RrConfig) -> RrResult {
             cost.softirq_jitter_linux_ns,
             cost.irq_service_overhead_linux_ns,
         ),
-        Scheduling::XdpResident => (
-            cost.softirq_jitter_xdp_ns,
-            cost.irq_service_overhead_xdp_ns,
-        ),
+        Scheduling::XdpResident => (cost.softirq_jitter_xdp_ns, cost.irq_service_overhead_xdp_ns),
         Scheduling::BusyPoll => (0.0, 0.0),
     };
     let crossing_ns = cfg.service_ns + irq_overhead;
@@ -145,15 +142,9 @@ pub fn run_rr(cfg: &RrConfig) -> RrResult {
                 // DUT core.
                 let delivered = done + Nanos::from_nanos_f64(rng.exponential(jitter_mean));
                 if is_response {
-                    queue.schedule(
-                        delivered + wire,
-                        Event::ArriveClient { session, txn_start },
-                    );
+                    queue.schedule(delivered + wire, Event::ArriveClient { session, txn_start });
                 } else {
-                    queue.schedule(
-                        delivered + wire,
-                        Event::ArriveServer { session, txn_start },
-                    );
+                    queue.schedule(delivered + wire, Event::ArriveServer { session, txn_start });
                 }
             }
             Event::ArriveServer { session, txn_start } => {
@@ -215,7 +206,7 @@ mod tests {
     fn linux_jitter_matches_paper_table3_shape() {
         // Linux virtual router: ~1.0 µs/crossing, interrupt jitter.
         let cfg = RrConfig::paper_default(1001.0, Scheduling::InterruptFullStack);
-        let mut r = run_rr(&cfg);
+        let r = run_rr(&cfg);
         let mean = r.rtt_us.mean();
         let p99 = r.rtt_us.p99();
         // Paper Table III Linux: avg 326.9, p99 512.4, stddev 109.3.
@@ -229,7 +220,7 @@ mod tests {
     fn xdp_platform_latency_shape() {
         // LinuxFP: ~0.565 µs/crossing, small jitter.
         let cfg = RrConfig::paper_default(565.0, Scheduling::XdpResident);
-        let mut r = run_rr(&cfg);
+        let r = run_rr(&cfg);
         let mean = r.rtt_us.mean();
         // Paper Table III LinuxFP: avg 151.7, p99 279.4.
         assert!((135.0..175.0).contains(&mean), "mean {mean:.1}");
@@ -240,8 +231,8 @@ mod tests {
     fn faster_service_means_lower_latency_and_more_txns() {
         let slow = run_rr(&RrConfig::paper_default(1000.0, Scheduling::XdpResident));
         let fast = run_rr(&RrConfig::paper_default(500.0, Scheduling::XdpResident));
-        let mut s = slow.rtt_us.clone();
-        let mut f = fast.rtt_us.clone();
+        let s = slow.rtt_us.clone();
+        let f = fast.rtt_us.clone();
         assert!(f.percentile(50.0) < s.percentile(50.0));
         assert!(fast.transactions_per_sec > slow.transactions_per_sec * 1.8);
     }

@@ -37,8 +37,7 @@ pub fn throughput_pps(
 ) -> ThroughputPoint {
     let on_wire_len = frame_len.max(64);
     let handed_len = (on_wire_len - 4) as usize;
-    let service_ns =
-        platform.service_time_ns(&mut |i| scenario.frame(dut_mac, i, handed_len));
+    let service_ns = platform.service_time_ns(&mut |i| scenario.frame(dut_mac, i, handed_len));
     let cost = CostModel::calibrated();
     let model = CoreModel::new(&cost);
     let pps = model.throughput_pps_capped(service_ns, cores, on_wire_len);

@@ -24,7 +24,7 @@ fn main() {
         let mut cluster = Cluster::new(3, accelerated);
         let a = cluster.add_pod(0);
         let b = cluster.add_pod(if inter { 1 } else { 0 });
-        let mut r = pod_rr(&mut cluster, a, b, 4000, 23);
+        let r = pod_rr(&mut cluster, a, b, 4000, 23);
         println!(
             "{:<18} {:>12.3} {:>12.1} {:>12.3} {:>14.1}",
             label,

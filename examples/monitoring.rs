@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     kernel.ip_link_set_up(eth0)?;
     kernel.ip_link_set_up(eth1)?;
     kernel.sysctl_set("net.ipv4.ip_forward", 1)?;
-    kernel.ip_route_add("10.10.0.0/16".parse::<Prefix>()?, Some("10.0.2.2".parse()?), None)?;
+    kernel.ip_route_add(
+        "10.10.0.0/16".parse::<Prefix>()?,
+        Some("10.0.2.2".parse()?),
+        None,
+    )?;
     let now = kernel.now();
     kernel
         .neigh
@@ -32,8 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Hot-install two monitoring modules into the live fast path.
     let counter = controller.deployer().maps().create_hash(4);
     let (xsk_map, capture) = controller.deployer().maps().create_xsk(1024);
-    let r1 = controller
-        .install_custom_module(&mut kernel, CustomFpm::packet_counter("pkt_count", counter.0))?;
+    let r1 = controller.install_custom_module(
+        &mut kernel,
+        CustomFpm::packet_counter("pkt_count", counter.0),
+    )?;
     let r2 = controller
         .install_custom_module(&mut kernel, CustomFpm::mirror_to_user("capture", xsk_map.0))?;
     println!(
@@ -66,12 +72,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|v| u64::from_le_bytes(v.try_into().expect("8-byte counter")))
         .unwrap_or(0);
     println!("fast-path packet counter: {count}");
-    println!("captured frames on the AF_XDP socket: {}", capture.pending());
+    println!(
+        "captured frames on the AF_XDP socket: {}",
+        capture.pending()
+    );
     if let Some(first) = capture.recv() {
         let eth = linuxfp::packet::EthernetFrame::parse(&first)?;
         let ip = linuxfp::packet::Ipv4Header::parse(&first[eth.payload_offset..])?;
-        println!("first capture: {} -> {} ({} bytes, as seen at the XDP layer)",
-            ip.src, ip.dst, first.len());
+        println!(
+            "first capture: {} -> {} ({} bytes, as seen at the XDP layer)",
+            ip.src,
+            ip.dst,
+            first.len()
+        );
     }
     println!("\nall of this was injected at runtime; forwarding never paused.");
     Ok(())

@@ -52,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         out.transmissions().len() == 1,
         out.cost.stage_count("skb_alloc") == 1
     );
-    println!("slow path cost: {:.0} ns/packet\n{}", out.cost.total_ns(), out.cost);
+    println!(
+        "slow path cost: {:.0} ns/packet\n{}",
+        out.cost.total_ns(),
+        out.cost
+    );
 
     // 4. Attach the controller. It introspects the existing configuration
     //    over netlink and deploys a minimal forwarding fast path.
@@ -65,7 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "processing graph:\n{}\n",
-        serde_json::to_string_pretty(controller.graph())?
+        linuxfp::json::to_string_pretty(controller.graph())
     );
 
     // 5. The same packet now takes the XDP fast path: no sk_buff, the
@@ -77,6 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         out.transmissions().len() == 1,
         out.cost.stage_count("skb_alloc") == 1
     );
-    println!("fast path cost: {:.0} ns/packet\n{}", out.cost.total_ns(), out.cost);
+    println!(
+        "fast path cost: {:.0} ns/packet\n{}",
+        out.cost.total_ns(),
+        out.cost
+    );
     Ok(())
 }

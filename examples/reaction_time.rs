@@ -6,8 +6,8 @@
 //! cargo run --example reaction_time
 //! ```
 
-use linuxfp::prelude::*;
 use linuxfp::netstack::netfilter::{ChainHook, IptRule};
+use linuxfp::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut kernel = Kernel::new(9);
@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     kernel.ip_addr_add(ens1f1, "10.10.2.1/24".parse::<IfAddr>()?)?;
     kernel.sysctl_set("net.ipv4.ip_forward", 1)?;
-    kernel.ip_route_add("10.20.0.0/16".parse::<Prefix>()?, Some("10.10.2.2".parse()?), None)?;
+    kernel.ip_route_add(
+        "10.20.0.0/16".parse::<Prefix>()?,
+        Some("10.10.2.2".parse()?),
+        None,
+    )?;
 
     let (mut controller, initial) = Controller::attach(&mut kernel, ControllerConfig::default())?;
     println!(
@@ -47,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     kernel.ip_addr_add(ens1f0, "10.10.1.1/24".parse::<IfAddr>()?)?;
-    show("ip addr add 10.10.1.1/24 dev ens1f0np0", &mut kernel, &mut controller);
+    show(
+        "ip addr add 10.10.1.1/24 dev ens1f0np0",
+        &mut kernel,
+        &mut controller,
+    );
 
     let br0 = kernel.add_bridge("br0")?;
     kernel.ip_link_set_up(br0)?;

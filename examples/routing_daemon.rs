@@ -73,12 +73,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let now = kernel.now();
     let peer_b: Ipv4Addr = "10.0.2.2".parse()?;
     let peer_c: Ipv4Addr = "10.0.3.2".parse()?;
-    kernel.neigh.learn(peer_b, MacAddr::from_index(0xB), eth1, now);
-    kernel.neigh.learn(peer_c, MacAddr::from_index(0xC), eth2, now);
-    // The probe source host, resolved so ICMP errors route back warm.
     kernel
         .neigh
-        .learn("10.0.1.100".parse()?, MacAddr::from_index(0xAAAA), eth0, now);
+        .learn(peer_b, MacAddr::from_index(0xB), eth1, now);
+    kernel
+        .neigh
+        .learn(peer_c, MacAddr::from_index(0xC), eth2, now);
+    // The probe source host, resolved so ICMP errors route back warm.
+    kernel.neigh.learn(
+        "10.0.1.100".parse()?,
+        MacAddr::from_index(0xAAAA),
+        eth0,
+        now,
+    );
 
     let (mut controller, _) = Controller::attach(&mut kernel, ControllerConfig::default())?;
     let mut daemon = MiniDaemon::default();

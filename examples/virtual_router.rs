@@ -20,7 +20,7 @@ fn main() {
     let run = |name: &str, platform: &mut dyn Platform, mac: MacAddr| {
         let one = pktgen::throughput_pps(platform, scenario, mac, 1, 64);
         let four = pktgen::throughput_pps(platform, scenario, mac, 4, 64);
-        let mut rr = run_rr(&RrConfig::paper_default(
+        let rr = run_rr(&RrConfig::paper_default(
             one.service_ns,
             platform.traits().scheduling,
         ));

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full local gate, in the order fastest-failure-first. Offline-safe:
+# no network access, no tool installation — everything here ships with a
+# stock Rust toolchain.
+#
+#   scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "ci: all green"

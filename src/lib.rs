@@ -49,11 +49,13 @@
 
 pub use linuxfp_core as core;
 pub use linuxfp_ebpf as ebpf;
+pub use linuxfp_json as json;
 pub use linuxfp_k8s as k8s;
 pub use linuxfp_netstack as netstack;
 pub use linuxfp_packet as packet;
 pub use linuxfp_platforms as platforms;
 pub use linuxfp_sim as sim;
+pub use linuxfp_telemetry as telemetry;
 pub use linuxfp_traffic as traffic;
 
 /// Commonly used items in one import.
@@ -69,4 +71,5 @@ pub mod prelude {
         LinuxFpPlatform, LinuxPlatform, Platform, PolycubePlatform, Scenario, VppPlatform,
     };
     pub use linuxfp_sim::{CostModel, Nanos, Summary};
+    pub use linuxfp_telemetry::{render_prometheus, snapshot_json, Registry};
 }

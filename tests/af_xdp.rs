@@ -17,8 +17,10 @@ fn router_kernel() -> (Kernel, IfIndex, IfIndex) {
     let mut k = Kernel::new(91);
     let eth0 = k.add_physical("eth0").unwrap();
     let eth1 = k.add_physical("eth1").unwrap();
-    k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap()).unwrap();
-    k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap()).unwrap();
+    k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap())
+        .unwrap();
+    k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap())
+        .unwrap();
     k.ip_link_set_up(eth0).unwrap();
     k.ip_link_set_up(eth1).unwrap();
     k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
@@ -29,8 +31,12 @@ fn router_kernel() -> (Kernel, IfIndex, IfIndex) {
     )
     .unwrap();
     let now = k.now();
-    k.neigh
-        .learn("10.0.2.2".parse().unwrap(), MacAddr::from_index(0xBEEF), eth1, now);
+    k.neigh.learn(
+        "10.0.2.2".parse().unwrap(),
+        MacAddr::from_index(0xBEEF),
+        eth1,
+        now,
+    );
     (k, eth0, eth1)
 }
 
@@ -52,7 +58,11 @@ fn arp_frame(k: &Kernel, eth0: IfIndex) -> Vec<u8> {
         Ipv4Addr::new(10, 0, 1, 100),
         Ipv4Addr::new(10, 0, 1, 1),
     );
-    builder::arp_frame(&req, MacAddr::from_index(0xAAAA), k.device(eth0).unwrap().mac)
+    builder::arp_frame(
+        &req,
+        MacAddr::from_index(0xAAAA),
+        k.device(eth0).unwrap().mac,
+    )
 }
 
 /// A hand-written steering program: ARP frames go to the AF_XDP socket
@@ -83,7 +93,14 @@ fn arp_frames_steered_to_user_space() {
     let (mut k, eth0, _) = router_kernel();
     let maps = MapStore::new();
     let (xsk_map, socket) = maps.create_xsk(64);
-    attach(&mut k, eth0, HookPoint::Xdp, arp_steer_program(xsk_map.0), maps).unwrap();
+    attach(
+        &mut k,
+        eth0,
+        HookPoint::Xdp,
+        arp_steer_program(xsk_map.0),
+        maps,
+    )
+    .unwrap();
 
     // ARP lands on the socket, never in the kernel's ARP handler.
     let frame = arp_frame(&k, eth0);
@@ -106,7 +123,14 @@ fn full_ring_drops_instead_of_blocking() {
     let (mut k, eth0, _) = router_kernel();
     let maps = MapStore::new();
     let (xsk_map, socket) = maps.create_xsk(2);
-    attach(&mut k, eth0, HookPoint::Xdp, arp_steer_program(xsk_map.0), maps).unwrap();
+    attach(
+        &mut k,
+        eth0,
+        HookPoint::Xdp,
+        arp_steer_program(xsk_map.0),
+        maps,
+    )
+    .unwrap();
     for _ in 0..4 {
         let f = arp_frame(&k, eth0);
         k.receive(eth0, f);

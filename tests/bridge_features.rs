@@ -83,15 +83,15 @@ fn vlan_bridge_fast_path_equals_slow_path() {
     // A conversation mixing tagged/untagged frames across VLANs; every
     // packet must behave identically on both kernels.
     let cases: Vec<(usize, Vec<u8>)> = vec![
-        (0, untagged_frame(1, 2)),      // learn h1 in vlan 10 (pvid)
-        (1, untagged_frame(2, 1)),      // learn h2, unicast back
-        (0, untagged_frame(1, 2)),      // now a pure fast-path candidate
-        (1, tagged_frame(2, 3, 20)),    // vlan 20: reaches only p3
-        (2, tagged_frame(3, 2, 20)),    // reply in vlan 20
-        (1, tagged_frame(2, 3, 20)),    // unicast in vlan 20
-        (0, tagged_frame(1, 3, 20)),    // p1 not a member of 20: drop
-        (0, tagged_frame(1, 2, 10)),    // explicit tag matching pvid
-        (2, untagged_frame(3, 1)),      // pvid 20 on p3: h1 unknown there
+        (0, untagged_frame(1, 2)),   // learn h1 in vlan 10 (pvid)
+        (1, untagged_frame(2, 1)),   // learn h2, unicast back
+        (0, untagged_frame(1, 2)),   // now a pure fast-path candidate
+        (1, tagged_frame(2, 3, 20)), // vlan 20: reaches only p3
+        (2, tagged_frame(3, 2, 20)), // reply in vlan 20
+        (1, tagged_frame(2, 3, 20)), // unicast in vlan 20
+        (0, tagged_frame(1, 3, 20)), // p1 not a member of 20: drop
+        (0, tagged_frame(1, 2, 10)), // explicit tag matching pvid
+        (2, untagged_frame(3, 1)),   // pvid 20 on p3: h1 unknown there
     ];
     for (i, (port, frame)) in cases.into_iter().enumerate() {
         let out_p = plain.receive(pp[port], frame.clone());
@@ -113,7 +113,11 @@ fn vlan_unicast_uses_the_fast_path_with_tag_intact() {
     fast.receive(p[2], tagged_frame(3, 2, 20));
     // Unicast now takes the fast path, forwarding the tagged frame as-is.
     let out = fast.receive(p[1], tagged_frame(2, 3, 20));
-    assert_eq!(out.cost.stage_count("skb_alloc"), 0, "should be fast-pathed");
+    assert_eq!(
+        out.cost.stage_count("skb_alloc"),
+        0,
+        "should be fast-pathed"
+    );
     let tx = out.transmissions();
     assert_eq!(tx.len(), 1);
     assert_eq!(tx[0].0, p[2]);
@@ -135,7 +139,11 @@ fn blocked_ingress_port_is_never_fast_forwarded() {
     // STP blocks p1 (slow-path protocol decision). The fast path must
     // stop forwarding its traffic immediately — no controller round
     // trip, because the helper consults live kernel state.
-    fast.bridge_mut(br).unwrap().port_mut(p[0]).unwrap().stp_state = StpState::Blocking;
+    fast.bridge_mut(br)
+        .unwrap()
+        .port_mut(p[0])
+        .unwrap()
+        .stp_state = StpState::Blocking;
     let out = fast.receive(p[0], untagged_frame(1, 2));
     assert!(
         out.transmissions().is_empty(),
@@ -144,8 +152,16 @@ fn blocked_ingress_port_is_never_fast_forwarded() {
     );
 
     // Egress blocking is honored too.
-    fast.bridge_mut(br).unwrap().port_mut(p[0]).unwrap().stp_state = StpState::Forwarding;
-    fast.bridge_mut(br).unwrap().port_mut(p[1]).unwrap().stp_state = StpState::Blocking;
+    fast.bridge_mut(br)
+        .unwrap()
+        .port_mut(p[0])
+        .unwrap()
+        .stp_state = StpState::Forwarding;
+    fast.bridge_mut(br)
+        .unwrap()
+        .port_mut(p[1])
+        .unwrap()
+        .stp_state = StpState::Blocking;
     let out = fast.receive(p[0], untagged_frame(1, 2));
     assert!(out.transmissions().is_empty(), "{:?}", out.effects);
 }
@@ -159,10 +175,17 @@ fn stp_state_changes_equivalent_on_both_paths() {
         let (k, ports, br) = k_ports_br;
         k.receive(ports[0], untagged_frame(1, 2));
         k.receive(ports[1], untagged_frame(2, 1));
-        k.bridge_mut(br).unwrap().port_mut(ports[0]).unwrap().stp_state = StpState::Learning;
+        k.bridge_mut(br)
+            .unwrap()
+            .port_mut(ports[0])
+            .unwrap()
+            .stp_state = StpState::Learning;
     }
     let out_p = plain.receive(pp[0], untagged_frame(1, 2));
     let out_f = fast.receive(pf[0], untagged_frame(1, 2));
     assert_eq!(observable(&out_p.effects), observable(&out_f.effects));
-    assert!(out_p.transmissions().is_empty(), "learning port must not forward");
+    assert!(
+        out_p.transmissions().is_empty(),
+        "learning port must not forward"
+    );
 }

@@ -13,8 +13,10 @@ fn router_kernel() -> (Kernel, IfIndex, IfIndex) {
     let mut k = Kernel::new(61);
     let eth0 = k.add_physical("eth0").unwrap();
     let eth1 = k.add_physical("eth1").unwrap();
-    k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap()).unwrap();
-    k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap()).unwrap();
+    k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap())
+        .unwrap();
+    k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap())
+        .unwrap();
     k.ip_link_set_up(eth0).unwrap();
     k.ip_link_set_up(eth1).unwrap();
     k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
@@ -25,8 +27,12 @@ fn router_kernel() -> (Kernel, IfIndex, IfIndex) {
     )
     .unwrap();
     let now = k.now();
-    k.neigh
-        .learn("10.0.2.2".parse().unwrap(), MacAddr::from_index(0xBEEF), eth1, now);
+    k.neigh.learn(
+        "10.0.2.2".parse().unwrap(),
+        MacAddr::from_index(0xBEEF),
+        eth1,
+        now,
+    );
     (k, eth0, eth1)
 }
 
@@ -94,7 +100,11 @@ fn unsafe_custom_module_is_rejected_and_rolled_back() {
     let out = k.receive(eth0, frame(&k, eth0));
     assert_eq!(out.transmissions().len(), 1);
     assert_eq!(out.cost.stage_count("skb_alloc"), 0);
-    assert_eq!(out.cost.stage_count("map_update"), 0, "evil module not present");
+    assert_eq!(
+        out.cost.stage_count("map_update"),
+        0,
+        "evil module not present"
+    );
 }
 
 #[test]

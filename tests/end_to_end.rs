@@ -10,8 +10,10 @@ fn router_kernel() -> (Kernel, IfIndex, IfIndex) {
     let mut k = Kernel::new(31);
     let eth0 = k.add_physical("eth0").unwrap();
     let eth1 = k.add_physical("eth1").unwrap();
-    k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap()).unwrap();
-    k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap()).unwrap();
+    k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap())
+        .unwrap();
+    k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap())
+        .unwrap();
     k.ip_link_set_up(eth0).unwrap();
     k.ip_link_set_up(eth1).unwrap();
     k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
@@ -22,8 +24,12 @@ fn router_kernel() -> (Kernel, IfIndex, IfIndex) {
     )
     .unwrap();
     let now = k.now();
-    k.neigh
-        .learn("10.0.2.2".parse().unwrap(), MacAddr::from_index(0xBEEF), eth1, now);
+    k.neigh.learn(
+        "10.0.2.2".parse().unwrap(),
+        MacAddr::from_index(0xBEEF),
+        eth1,
+        now,
+    );
     (k, eth0, eth1)
 }
 
@@ -78,7 +84,8 @@ fn swap_under_traffic_never_loses_service() {
         // graph and forcing resynthesis + swap).
         let extra: Prefix = "172.16.0.0/16".parse().unwrap();
         if round % 2 == 0 {
-            k.ip_route_add(extra, Some("10.0.2.2".parse().unwrap()), None).unwrap();
+            k.ip_route_add(extra, Some("10.0.2.2".parse().unwrap()), None)
+                .unwrap();
         } else {
             k.ip_route_del(extra, None).unwrap();
         }

@@ -11,8 +11,10 @@ fn router(seed: u64) -> (Kernel, IfIndex, IfIndex) {
     let mut k = Kernel::new(seed);
     let eth0 = k.add_physical("eth0").unwrap();
     let eth1 = k.add_physical("eth1").unwrap();
-    k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap()).unwrap();
-    k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap()).unwrap();
+    k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap())
+        .unwrap();
+    k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap())
+        .unwrap();
     k.ip_link_set_up(eth0).unwrap();
     k.ip_link_set_up(eth1).unwrap();
     k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
@@ -23,11 +25,19 @@ fn router(seed: u64) -> (Kernel, IfIndex, IfIndex) {
     )
     .unwrap();
     let now = k.now();
-    k.neigh
-        .learn("10.0.2.2".parse().unwrap(), MacAddr::from_index(0xBEEF), eth1, now);
+    k.neigh.learn(
+        "10.0.2.2".parse().unwrap(),
+        MacAddr::from_index(0xBEEF),
+        eth1,
+        now,
+    );
     // The traffic source is resolved so error packets route back warm.
-    k.neigh
-        .learn("10.0.1.100".parse().unwrap(), MacAddr::from_index(0xAAAA), eth0, now);
+    k.neigh.learn(
+        "10.0.1.100".parse().unwrap(),
+        MacAddr::from_index(0xAAAA),
+        eth0,
+        now,
+    );
     (k, eth0, eth1)
 }
 
@@ -42,7 +52,16 @@ fn frame_with_ttl(k: &Kernel, eth0: IfIndex, dst: Ipv4Addr, ttl: u8) -> Vec<u8> 
         b"probe",
     );
     let ip = Ipv4Header::parse(&f[14..]).unwrap();
-    Ipv4Header::write(&mut f[14..], ip.src, ip.dst, ip.proto, ttl, ip.id, ip.total_len, false);
+    Ipv4Header::write(
+        &mut f[14..],
+        ip.src,
+        ip.dst,
+        ip.proto,
+        ttl,
+        ip.id,
+        ip.total_len,
+        false,
+    );
     f
 }
 
@@ -57,7 +76,10 @@ fn parse_icmp_error(frame: &[u8]) -> (IcmpType, Ipv4Addr, Ipv4Addr) {
 #[test]
 fn ttl_expiry_generates_time_exceeded() {
     let (mut k, eth0, _) = router(81);
-    let out = k.receive(eth0, frame_with_ttl(&k, eth0, Ipv4Addr::new(10, 10, 3, 7), 1));
+    let out = k.receive(
+        eth0,
+        frame_with_ttl(&k, eth0, Ipv4Addr::new(10, 10, 3, 7), 1),
+    );
     assert_eq!(out.drops(), vec!["ttl exceeded"]);
     let tx = out.transmissions();
     assert_eq!(tx.len(), 1, "ICMP error expected: {:?}", out.effects);
@@ -77,7 +99,10 @@ fn ttl_expiry_generates_time_exceeded() {
 #[test]
 fn missing_route_generates_unreachable() {
     let (mut k, eth0, _) = router(82);
-    let out = k.receive(eth0, frame_with_ttl(&k, eth0, Ipv4Addr::new(172, 16, 9, 9), 64));
+    let out = k.receive(
+        eth0,
+        frame_with_ttl(&k, eth0, Ipv4Addr::new(172, 16, 9, 9), 64),
+    );
     assert_eq!(out.drops(), vec!["no route"]);
     let tx = out.transmissions();
     assert_eq!(tx.len(), 1);
@@ -146,19 +171,36 @@ fn traceroute_hops_reveal_the_path() {
     let (mut k, eth0, eth1) = router(85);
     let (_ctrl, _) = Controller::attach(&mut k, ControllerConfig::default()).unwrap();
 
-    let out = k.receive(eth0, frame_with_ttl(&k, eth0, Ipv4Addr::new(10, 10, 3, 7), 1));
+    let out = k.receive(
+        eth0,
+        frame_with_ttl(&k, eth0, Ipv4Addr::new(10, 10, 3, 7), 1),
+    );
     let tx = out.transmissions();
     assert_eq!(tx.len(), 1);
     assert_eq!(tx[0].0, eth0);
     let (kind, src, _) = parse_icmp_error(tx[0].1);
-    assert_eq!((kind, src), (IcmpType::TimeExceeded, Ipv4Addr::new(10, 0, 1, 1)));
-    assert_eq!(out.cost.stage_count("skb_alloc"), 1, "corner case on slow path");
+    assert_eq!(
+        (kind, src),
+        (IcmpType::TimeExceeded, Ipv4Addr::new(10, 0, 1, 1))
+    );
+    assert_eq!(
+        out.cost.stage_count("skb_alloc"),
+        1,
+        "corner case on slow path"
+    );
 
-    let out = k.receive(eth0, frame_with_ttl(&k, eth0, Ipv4Addr::new(10, 10, 3, 7), 2));
+    let out = k.receive(
+        eth0,
+        frame_with_ttl(&k, eth0, Ipv4Addr::new(10, 10, 3, 7), 2),
+    );
     let tx = out.transmissions();
     assert_eq!(tx.len(), 1);
     assert_eq!(tx[0].0, eth1, "ttl=2 forwarded to the next hop");
-    assert_eq!(out.cost.stage_count("skb_alloc"), 0, "common case on fast path");
+    assert_eq!(
+        out.cost.stage_count("skb_alloc"),
+        0,
+        "common case on fast path"
+    );
     let eth = EthernetFrame::parse(tx[0].1).unwrap();
     let ip = Ipv4Header::parse(&tx[0].1[eth.payload_offset..]).unwrap();
     assert_eq!(ip.ttl, 1);

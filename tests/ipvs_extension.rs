@@ -16,8 +16,10 @@ fn lb_kernel() -> (Kernel, IfIndex, IfIndex) {
     let mut k = Kernel::new(47);
     let eth0 = k.add_physical("eth0").unwrap();
     let eth1 = k.add_physical("eth1").unwrap();
-    k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap()).unwrap();
-    k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap()).unwrap();
+    k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap())
+        .unwrap();
+    k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap())
+        .unwrap();
     k.ip_link_set_up(eth0).unwrap();
     k.ip_link_set_up(eth1).unwrap();
     k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
@@ -50,7 +52,12 @@ fn vip_query(k: &Kernel, eth0: IfIndex, sport: u16) -> Vec<u8> {
 
 fn tx_backend(out: &linuxfp::netstack::RxOutcome) -> (Ipv4Addr, u16) {
     let tx = out.transmissions();
-    assert_eq!(tx.len(), 1, "expected one forwarded packet: {:?}", out.effects);
+    assert_eq!(
+        tx.len(),
+        1,
+        "expected one forwarded packet: {:?}",
+        out.effects
+    );
     let eth = EthernetFrame::parse(tx[0].1).unwrap();
     let ip = Ipv4Header::parse(&tx[0].1[eth.payload_offset..]).unwrap();
     assert!(ip.verify_checksum(&tx[0].1[eth.payload_offset..]));
@@ -83,7 +90,11 @@ fn fast_path_takes_over_pinned_flows() {
     // the slow path schedules backend .10 and pins it.
     let out = k.receive(eth0, vip_query(&k, eth0, 40000));
     let (first_backend, _) = tx_backend(&out);
-    assert_eq!(out.cost.stage_count("skb_alloc"), 1, "first packet is slow-path");
+    assert_eq!(
+        out.cost.stage_count("skb_alloc"),
+        1,
+        "first packet is slow-path"
+    );
     assert_eq!(out.cost.stage_count("ipvs_sched"), 1);
 
     // Subsequent packets: rewritten and forwarded entirely on the XDP
@@ -93,9 +104,17 @@ fn fast_path_takes_over_pinned_flows() {
         let (backend, port) = tx_backend(&out);
         assert_eq!(backend, first_backend, "affinity broken on fast path");
         assert_eq!(port, 53);
-        assert_eq!(out.cost.stage_count("skb_alloc"), 0, "pinned flow must be fast");
+        assert_eq!(
+            out.cost.stage_count("skb_alloc"),
+            0,
+            "pinned flow must be fast"
+        );
         assert_eq!(out.cost.stage_count("conntrack"), 1); // bpf_ct_lookup
-        assert_eq!(out.cost.stage_count("ipvs_sched"), 0, "no slow-path scheduling");
+        assert_eq!(
+            out.cost.stage_count("ipvs_sched"),
+            0,
+            "no slow-path scheduling"
+        );
     }
 }
 
@@ -131,7 +150,10 @@ fn tcp_to_vip_stays_on_slow_path_but_balances() {
         VIP,
         50000,
         80,
-        linuxfp::packet::tcp::TcpFlags { syn: true, ..Default::default() },
+        linuxfp::packet::tcp::TcpFlags {
+            syn: true,
+            ..Default::default()
+        },
         b"",
     );
     // Twice: both times slow path (TCP is not accelerated), both times
@@ -144,9 +166,8 @@ fn tcp_to_vip_stays_on_slow_path_but_balances() {
         let eth = EthernetFrame::parse(tx[0].1).unwrap();
         let ip = Ipv4Header::parse(&tx[0].1[eth.payload_offset..]).unwrap();
         assert_eq!(ip.dst, Ipv4Addr::new(10, 0, 2, 10));
-        let tcp =
-            linuxfp::packet::TcpHeader::parse(&tx[0].1[eth.payload_offset + ip.header_len..])
-                .unwrap();
+        let tcp = linuxfp::packet::TcpHeader::parse(&tx[0].1[eth.payload_offset + ip.header_len..])
+            .unwrap();
         assert_eq!(tcp.dst_port, 8080);
     }
 }
@@ -156,7 +177,13 @@ fn least_conn_scheduler_via_standard_api() {
     let (mut k, eth0, _) = lb_kernel();
     assert!(k.ipvsadm_add_service(VIP, 5353, IpProto::Udp, Scheduler::LeastConn));
     for i in 0..2u8 {
-        assert!(k.ipvsadm_add_backend(VIP, 5353, IpProto::Udp, Ipv4Addr::new(10, 0, 2, 10 + i), 5353));
+        assert!(k.ipvsadm_add_backend(
+            VIP,
+            5353,
+            IpProto::Udp,
+            Ipv4Addr::new(10, 0, 2, 10 + i),
+            5353
+        ));
     }
     let mut seen = std::collections::HashSet::new();
     for sport in 0..2u16 {

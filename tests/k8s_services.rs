@@ -85,9 +85,8 @@ fn pinned_service_flows_ride_the_fast_path() {
         .device(c.nodes[client.node].net.cni0)
         .expect("exists")
         .mac;
-    let frame = linuxfp::packet::builder::udp_packet(
-        src.mac, gw_mac, src.ip, VIP, 44000, 53, b"steady",
-    );
+    let frame =
+        linuxfp::packet::builder::udp_packet(src.mac, gw_mac, src.ip, VIP, 44000, 53, b"steady");
     let out = c.nodes[client.node]
         .kernel
         .transmit_frame(src.pod_if, frame);

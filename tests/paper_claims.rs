@@ -46,9 +46,12 @@ fn headline_latency_reduction_53_percent() {
     ))
     .rtt_us
     .mean();
-    let lfp_rtt = run_rr(&RrConfig::paper_default(lfp_service, lfp.traits().scheduling))
-        .rtt_us
-        .mean();
+    let lfp_rtt = run_rr(&RrConfig::paper_default(
+        lfp_service,
+        lfp.traits().scheduling,
+    ))
+    .rtt_us
+    .mean();
     let reduction = 1.0 - lfp_rtt / linux_rtt;
     assert!(
         (0.42..0.62).contains(&reduction),
@@ -88,8 +91,7 @@ fn kubernetes_20_percent_throughput_18_percent_latency() {
         (1.12..1.33).contains(&throughput_gain),
         "pod throughput gain {throughput_gain:.3}, paper claims ~1.20"
     );
-    let latency_cut =
-        1.0 - fast_rr.rtt_ms.clone().mean() / plain_rr.rtt_ms.clone().mean();
+    let latency_cut = 1.0 - fast_rr.rtt_ms.clone().mean() / plain_rr.rtt_ms.clone().mean();
     assert!(
         (0.12..0.25).contains(&latency_cut),
         "pod latency cut {latency_cut:.3}, paper claims ~0.18"
@@ -105,11 +107,14 @@ fn transparency_no_linuxfp_specific_configuration_anywhere() {
     let s = Scenario::gateway_ipset();
     let lfp = LinuxFpPlatform::new(s);
     let graph = lfp.controller().graph();
-    let text = serde_json::to_string(graph).unwrap();
+    let text = linuxfp::json::to_string(graph);
     assert!(text.contains("\"router\""));
     assert!(text.contains("\"filter\""));
     assert!(text.contains("\"ipset\":true"));
-    assert!(!text.contains("\"bridge\""), "no bridge configured, none synthesized");
+    assert!(
+        !text.contains("\"bridge\""),
+        "no bridge configured, none synthesized"
+    );
 }
 
 #[test]
