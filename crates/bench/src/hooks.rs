@@ -206,9 +206,8 @@ pub fn table7_hook_comparison() -> ExperimentTable {
     // Filtering: the gateway with a small rule set (10 rules), as the
     // standalone filtering function.
     let s = Scenario {
-        prefixes: 50,
         filter_rules: 10,
-        use_ipset: false,
+        ..Scenario::router()
     };
     let mut xdp = LinuxFpPlatform::with_hook(s, HookPoint::Xdp);
     let mx = xdp.dut_mac();

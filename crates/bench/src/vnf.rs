@@ -184,9 +184,9 @@ pub fn fig8_rules_sweep() -> ExperimentTable {
     );
 
     let make_scenario = |rules: u32, ipset: bool| Scenario {
-        prefixes: 50,
         filter_rules: rules,
         use_ipset: ipset,
+        ..Scenario::router()
     };
 
     let mut rows: Vec<(String, Vec<String>)> = vec![

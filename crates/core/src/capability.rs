@@ -31,6 +31,7 @@ impl Capabilities {
                 HelperId::MapLookup,
                 HelperId::MapUpdate,
                 HelperId::CtLookup,
+                HelperId::NatLookup,
                 HelperId::TrivialNf,
                 HelperId::XskRedirect,
             ]
@@ -46,6 +47,7 @@ impl Capabilities {
         caps.helpers.remove(&HelperId::FdbLookup);
         caps.helpers.remove(&HelperId::IptLookup);
         caps.helpers.remove(&HelperId::CtLookup);
+        caps.helpers.remove(&HelperId::NatLookup);
         caps
     }
 
@@ -84,6 +86,7 @@ mod tests {
             FpmKind::Router,
             FpmKind::Filter,
             FpmKind::Ipvs,
+            FpmKind::Nat,
         ] {
             assert!(caps.supports(kind), "{kind:?}");
         }
@@ -96,6 +99,7 @@ mod tests {
         assert!(!caps.supports(FpmKind::Bridge)); // needs bpf_fdb_lookup
         assert!(!caps.supports(FpmKind::Filter)); // needs bpf_ipt_lookup
         assert!(!caps.supports(FpmKind::Ipvs));
+        assert!(!caps.supports(FpmKind::Nat)); // needs bpf_nat_lookup
     }
 
     #[test]

@@ -21,7 +21,8 @@
 //!
 //! Stack layout (offsets from `r10`): the `bpf_fib_lookup` parameter block
 //! at −24, the `bpf_ipt_lookup` metadata block at −48, the
-//! `bpf_fdb_lookup` block at −72, and the conntrack block at −96.
+//! `bpf_fdb_lookup` block at −72, the conntrack block at −96, and the
+//! `bpf_nat_lookup` block at −128.
 
 use linuxfp_ebpf::asm::Asm;
 use linuxfp_ebpf::insn::{Action, AluOp, HelperId, JmpCond, MemSize};
@@ -35,6 +36,9 @@ pub const META_BUF: i16 = -48;
 pub const FDB_BUF: i16 = -72;
 /// Stack offset of the conntrack parameter block (ipvs extension).
 pub const CT_BUF: i16 = -96;
+/// Stack offset of the `bpf_nat_lookup` parameter block (NAT44
+/// extension): key tuple at +0..14, translated tuple at +16..28.
+pub const NAT_BUF: i16 = -128;
 
 /// EtherType constants as they appear when the wire bytes are read with a
 /// little-endian 16-bit load (the same `htons` dance real XDP C code
@@ -55,6 +59,10 @@ pub enum FpmKind {
     /// ipvs-style load balancing via conntrack (row 4; paper future work,
     /// prototyped here as an extension).
     Ipvs,
+    /// iptables NAT44 (DNAT/SNAT/MASQUERADE) via conntrack NAT bindings
+    /// (row 5; extension — established flows are translated inline with
+    /// incremental checksum updates, first packets bind in the slow path).
+    Nat,
 }
 
 impl FpmKind {
@@ -65,6 +73,7 @@ impl FpmKind {
             FpmKind::Router => &[HelperId::FibLookup, HelperId::Redirect],
             FpmKind::Filter => &[HelperId::IptLookup],
             FpmKind::Ipvs => &[HelperId::CtLookup],
+            FpmKind::Nat => &[HelperId::NatLookup],
         }
     }
 
@@ -75,6 +84,7 @@ impl FpmKind {
             FpmKind::Router => "router",
             FpmKind::Filter => "filter",
             FpmKind::Ipvs => "ipvs",
+            FpmKind::Nat => "nat",
         }
     }
 
@@ -85,6 +95,7 @@ impl FpmKind {
             "router" => Some(FpmKind::Router),
             "filter" => Some(FpmKind::Filter),
             "ipvs" => Some(FpmKind::Ipvs),
+            "nat" => Some(FpmKind::Nat),
             _ => None,
         }
     }
@@ -131,6 +142,17 @@ pub struct IpvsConf {
     pub vip: [u8; 4],
     /// The virtual service port.
     pub port: u16,
+}
+
+/// Configuration attributes of a NAT FPM instance (extension). The
+/// counts are informational — `bpf_nat_lookup` always consults live
+/// kernel bindings, so rule content never needs to be compiled in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NatConf {
+    /// DNAT rules currently in the PREROUTING chain.
+    pub dnat_rules: usize,
+    /// SNAT/MASQUERADE rules currently in the POSTROUTING chain.
+    pub snat_rules: usize,
 }
 
 // JSON projections of the conf structs (the `conf` subtree of the
@@ -250,6 +272,28 @@ impl IpvsConf {
     }
 }
 
+impl NatConf {
+    /// The conf as a JSON object.
+    pub fn to_value(&self) -> Value {
+        json!({
+            "dnat_rules": self.dnat_rules,
+            "snat_rules": self.snat_rules,
+        })
+    }
+
+    /// Parses the conf back out of a JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_value(v: &Value) -> Result<NatConf, String> {
+        Ok(NatConf {
+            dnat_rules: conf_u64(v, "dnat_rules")? as usize,
+            snat_rules: conf_u64(v, "snat_rules")? as usize,
+        })
+    }
+}
+
 /// A user-supplied custom module (paper §VIII: "support the insertion of
 /// custom functionality, e.g., for monitoring modules ... inject custom
 /// eBPF code at different points in the XDP processing pipeline").
@@ -334,6 +378,8 @@ pub enum FpmInstance {
     Filter(FilterConf),
     /// An ipvs load-balancer module (extension).
     Ipvs(IpvsConf),
+    /// A NAT44 module (extension).
+    Nat(NatConf),
 }
 
 impl FpmInstance {
@@ -344,6 +390,7 @@ impl FpmInstance {
             FpmInstance::Router => FpmKind::Router,
             FpmInstance::Filter(_) => FpmKind::Filter,
             FpmInstance::Ipvs(_) => FpmKind::Ipvs,
+            FpmInstance::Nat(_) => FpmKind::Nat,
         }
     }
 }
@@ -369,11 +416,18 @@ pub fn validate_pipeline(pipeline: &[FpmInstance]) -> Result<(), String> {
         .iter()
         .filter(|f| matches!(f, FpmInstance::Filter(_)))
         .count();
+    let nats = pipeline
+        .iter()
+        .filter(|f| matches!(f, FpmInstance::Nat(_)))
+        .count();
     if routers > 1 {
         return Err("at most one router FPM per pipeline".into());
     }
     if filters > 1 {
         return Err("at most one filter FPM per pipeline".into());
+    }
+    if nats > 1 {
+        return Err("at most one nat FPM per pipeline".into());
     }
     if pipeline[1..]
         .iter()
@@ -512,17 +566,19 @@ pub fn emit_pipeline_with_customs(
 fn emit_l3(a: &mut Asm, pipeline: &[FpmInstance]) -> usize {
     let mut filter: Option<&FilterConf> = None;
     let mut ipvs: Vec<&IpvsConf> = Vec::new();
+    let mut nat: Option<&NatConf> = None;
     let mut has_router = false;
     for fpm in pipeline {
         match fpm {
             FpmInstance::Router => has_router = true,
             FpmInstance::Filter(c) => filter = Some(c),
             FpmInstance::Ipvs(c) => ipvs.push(c),
+            FpmInstance::Nat(c) => nat = Some(c),
             FpmInstance::Bridge(_) => panic!("bridge FPM must lead the pipeline"),
         }
     }
     assert!(has_router, "L3 pipeline requires a router FPM");
-    emit_router(a, filter, &ipvs);
+    emit_router(a, filter, &ipvs, nat);
     pipeline.len()
 }
 
@@ -651,10 +707,15 @@ fn emit_bridge(a: &mut Asm, conf: &BridgeConf, has_l3_tail: bool, l2_filter: Opt
     }
 }
 
-/// Emits the router FPM (with optional ipvs and filter stages fused in,
-/// exactly as the synthesizer composes modules through function calls
-/// rather than tail calls — paper §VI-B).
-fn emit_router(a: &mut Asm, filter: Option<&FilterConf>, ipvs: &[&IpvsConf]) {
+/// Emits the router FPM (with optional ipvs, nat, and filter stages
+/// fused in, exactly as the synthesizer composes modules through
+/// function calls rather than tail calls — paper §VI-B).
+fn emit_router(
+    a: &mut Asm,
+    filter: Option<&FilterConf>,
+    ipvs: &[&IpvsConf],
+    nat: Option<&NatConf>,
+) {
     emit_guard(a, 34);
     // EtherType must be IPv4 (tagged frames go to the slow path).
     a.load(MemSize::H, 2, R_DATA, 12);
@@ -670,7 +731,8 @@ fn emit_router(a: &mut Asm, filter: Option<&FilterConf>, ipvs: &[&IpvsConf]) {
     a.load(MemSize::B, 2, R_DATA, 22);
     a.jmp_imm(JmpCond::Lt, 2, 2, "pass");
 
-    let need_ports = filter.map(|f| f.match_ports).unwrap_or(false) || !ipvs.is_empty();
+    let need_ports =
+        filter.map(|f| f.match_ports).unwrap_or(false) || !ipvs.is_empty() || nat.is_some();
     if need_ports {
         emit_parse_ports(a, "l3p");
     }
@@ -679,8 +741,13 @@ fn emit_router(a: &mut Asm, filter: Option<&FilterConf>, ipvs: &[&IpvsConf]) {
         emit_ipvs(a, conf, i);
     }
 
-    // bpf_fib_lookup: destination from the packet, result block on the
-    // stack.
+    if nat.is_some() {
+        emit_nat_prerouting(a);
+    }
+
+    // bpf_fib_lookup: destination from the packet (post-DNAT when the
+    // nat stage rewrote it — routing must see the translated address,
+    // just as PREROUTING runs before the route lookup in the kernel).
     a.mov_reg(3, 10);
     a.alu_imm(AluOp::Add, 3, i64::from(FIB_BUF));
     a.load(MemSize::W, 2, R_DATA, 30);
@@ -693,6 +760,13 @@ fn emit_router(a: &mut Asm, filter: Option<&FilterConf>, ipvs: &[&IpvsConf]) {
 
     if filter.is_some() {
         emit_filter(a);
+    }
+
+    if nat.is_some() {
+        // Source half of the translation runs after the filter so the
+        // FORWARD chain sees the pre-SNAT source, mirroring where
+        // POSTROUTING sits in the kernel.
+        emit_nat_postrouting(a);
     }
 
     // Rewrite MACs from the fib result.
@@ -834,6 +908,91 @@ fn emit_ipvs(a: &mut Asm, conf: &IpvsConf, index: usize) {
     a.label(&done);
 }
 
+/// NAT44 extension, destination half: look up the packet's tuple in the
+/// kernel's NAT binding table and, on a hit, rewrite the destination
+/// address/port with incremental checksum updates *before* the FIB
+/// lookup (PREROUTING position). `r9` records whether a binding hit so
+/// [`emit_nat_postrouting`] can apply the source half after the filter.
+///
+/// Helper outcomes: 0 = hit (translated tuple in the buffer), 1 = miss
+/// (slow path must evaluate rules and bind first), 2 = no NAT applies.
+fn emit_nat_prerouting(a: &mut Asm) {
+    a.mov_imm(R_VLAN, 0); // r9 doubles as the "binding hit" flag here
+                          // Fill the bpf_nat_lookup key: addresses and protocol straight from
+                          // the packet, ports from the parsed metadata block.
+    a.mov_reg(4, 10);
+    a.alu_imm(AluOp::Add, 4, i64::from(NAT_BUF));
+    a.load(MemSize::W, 2, R_DATA, 26);
+    a.store(MemSize::W, 4, 0, 2);
+    a.load(MemSize::W, 2, R_DATA, 30);
+    a.store(MemSize::W, 4, 4, 2);
+    a.load(MemSize::B, 2, R_DATA, 23);
+    a.store(MemSize::B, 4, 8, 2);
+    a.mov_reg(3, 10);
+    a.alu_imm(AluOp::Add, 3, i64::from(META_BUF));
+    a.load(MemSize::H, 2, 3, 10);
+    a.store(MemSize::H, 4, 10, 2);
+    a.load(MemSize::H, 2, 3, 12);
+    a.store(MemSize::H, 4, 12, 2);
+    a.mov_reg(1, R_CTX);
+    a.mov_reg(2, 4);
+    a.mov_imm(3, 32);
+    a.call(HelperId::NatLookup);
+    a.jmp_imm(JmpCond::Eq, 0, 2, "nat_done"); // no NAT: plain forwarding
+    a.jmp_imm(JmpCond::Ne, 0, 0, "pass"); // miss: slow path binds
+                                          // Hit (UDP only — the helper reports TCP as a miss). The rewrite
+                                          // touches bytes up to the UDP checksum; prove them available.
+    emit_guard(a, 42);
+    a.mov_imm(R_VLAN, 1);
+    a.mov_reg(4, 10);
+    a.alu_imm(AluOp::Add, 4, i64::from(NAT_BUF));
+    // Destination address: checksum deltas first (they read the old
+    // bytes from the packet), then the store.
+    emit_csum_word_update_from_stack(a, 30, 20);
+    emit_csum_word_update_from_stack(a, 32, 22);
+    a.load(MemSize::W, 2, 4, 20);
+    a.store(MemSize::W, R_DATA, 30, 2);
+    // Destination port: host-order in the result block, big-endian on
+    // the wire.
+    a.load(MemSize::H, 2, 4, 26);
+    a.mov_reg(3, 2);
+    a.alu_imm(AluOp::Rsh, 3, 8);
+    a.store(MemSize::B, R_DATA, 37, 2);
+    a.store(MemSize::B, R_DATA, 36, 3);
+    // The filter stage matches on the parsed metadata; keep its dport in
+    // sync with the rewritten packet (FORWARD runs after DNAT).
+    a.mov_reg(3, 10);
+    a.alu_imm(AluOp::Add, 3, i64::from(META_BUF));
+    a.store(MemSize::H, 3, 12, 2);
+    // A zero UDP checksum is legal over IPv4 — same as the slow path.
+    a.store_imm(MemSize::H, R_DATA, 40, 0);
+    a.label("nat_done");
+}
+
+/// NAT44 extension, source half: when [`emit_nat_prerouting`] recorded a
+/// binding hit in `r9`, rewrite the source address/port from the same
+/// result block (POSTROUTING position — after the filter, before the
+/// MAC rewrite). For pure-DNAT bindings the source words are unchanged
+/// and the updates degenerate to byte-identical no-ops.
+fn emit_nat_postrouting(a: &mut Asm) {
+    a.jmp_imm(JmpCond::Eq, R_VLAN, 0, "nat_nosrc");
+    // The 42-byte window was proven on the hit path, but joins with
+    // non-NAT paths lowered the verified bound; re-prove it.
+    emit_guard(a, 42);
+    a.mov_reg(4, 10);
+    a.alu_imm(AluOp::Add, 4, i64::from(NAT_BUF));
+    emit_csum_word_update_from_stack(a, 26, 16);
+    emit_csum_word_update_from_stack(a, 28, 18);
+    a.load(MemSize::W, 2, 4, 16);
+    a.store(MemSize::W, R_DATA, 26, 2);
+    a.load(MemSize::H, 2, 4, 24);
+    a.mov_reg(3, 2);
+    a.alu_imm(AluOp::Rsh, 3, 8);
+    a.store(MemSize::B, R_DATA, 35, 2);
+    a.store(MemSize::B, R_DATA, 34, 3);
+    a.label("nat_nosrc");
+}
+
 /// Applies one RFC 1624 incremental checksum update for the 16-bit word
 /// at packet offset `pkt_off`, whose new value sits at `CT_BUF +
 /// stack_off` (big-endian bytes). Assumes `r4` holds the CT_BUF pointer.
@@ -971,7 +1130,30 @@ mod tests {
             vec![
                 FpmInstance::Router,
                 FpmInstance::Ipvs(ipvs),
+                FpmInstance::Filter(filter.clone()),
+            ],
+            vec![
+                FpmInstance::Router,
+                FpmInstance::Nat(NatConf {
+                    dnat_rules: 1,
+                    snat_rules: 1,
+                }),
+            ],
+            vec![
+                FpmInstance::Router,
+                FpmInstance::Nat(NatConf {
+                    dnat_rules: 0,
+                    snat_rules: 2,
+                }),
                 FpmInstance::Filter(filter),
+            ],
+            vec![
+                FpmInstance::Bridge(bridge_conf(true, true)),
+                FpmInstance::Router,
+                FpmInstance::Nat(NatConf {
+                    dnat_rules: 1,
+                    snat_rules: 0,
+                }),
             ],
         ];
         for shape in shapes {
@@ -1007,6 +1189,7 @@ mod tests {
             FpmKind::Router,
             FpmKind::Filter,
             FpmKind::Ipvs,
+            FpmKind::Nat,
         ] {
             assert_eq!(FpmKind::from_key(kind.key()), Some(kind));
             assert!(!kind.required_helpers().is_empty());
@@ -1070,6 +1253,14 @@ mod tests {
         });
         assert!(validate_pipeline(&[ipvs.clone(), FpmInstance::Router]).is_ok());
         assert!(validate_pipeline(&[br(false), ipvs]).is_err());
+        let nat = FpmInstance::Nat(NatConf {
+            dnat_rules: 1,
+            snat_rules: 1,
+        });
+        assert!(validate_pipeline(&[FpmInstance::Router, nat.clone()]).is_ok());
+        assert!(validate_pipeline(std::slice::from_ref(&nat)).is_err());
+        assert!(validate_pipeline(&[FpmInstance::Router, nat.clone(), nat.clone()]).is_err());
+        assert!(validate_pipeline(&[br(false), nat]).is_err());
     }
 
     #[test]

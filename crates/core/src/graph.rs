@@ -8,7 +8,7 @@
 //! structures), matching the paper's pipeline of Fig. 3.
 
 use crate::capability::Capabilities;
-use crate::fpm::{BridgeConf, FilterConf, FpmInstance, FpmKind, IpvsConf};
+use crate::fpm::{BridgeConf, FilterConf, FpmInstance, FpmKind, IpvsConf, NatConf};
 use crate::objects::ObjectStore;
 use linuxfp_json::{json, Map, Value};
 use linuxfp_netstack::device::IfIndex;
@@ -74,6 +74,13 @@ pub fn plan_interface(
     let Some(iface) = store.interface(ifindex) else {
         return Vec::new();
     };
+    if store.nat_configured && !caps.supports(FpmKind::Nat) {
+        // NAT rules exist but the kernel lacks `bpf_nat_lookup`: any
+        // fast-path forwarding could bypass address translation (the
+        // binding a packet needs may be installed on *another*
+        // interface's return path), so no interface gets a fast path.
+        return Vec::new();
+    }
     let mut pipeline = Vec::new();
 
     if let Some((br_iface, bridge)) = store.bridge_of(ifindex) {
@@ -116,6 +123,7 @@ pub fn plan_interface(
                 }
             }
             pipeline.push(FpmInstance::Router);
+            push_nat(store, caps, &mut pipeline);
             push_filter(store, caps, &mut pipeline);
         } else if br_nf {
             push_filter(store, caps, &mut pipeline);
@@ -152,9 +160,19 @@ pub fn plan_interface(
             }
         }
         pipeline.push(FpmInstance::Router);
+        push_nat(store, caps, &mut pipeline);
         push_filter(store, caps, &mut pipeline);
     }
     pipeline
+}
+
+fn push_nat(store: &ObjectStore, caps: &Capabilities, pipeline: &mut Vec<FpmInstance>) {
+    if store.nat_configured && caps.supports(FpmKind::Nat) {
+        pipeline.push(FpmInstance::Nat(NatConf {
+            dnat_rules: store.nat.dnat_rules,
+            snat_rules: store.nat.snat_rules,
+        }));
+    }
 }
 
 fn push_filter(store: &ObjectStore, caps: &Capabilities, pipeline: &mut Vec<FpmInstance>) {
@@ -173,6 +191,7 @@ fn conf_json(fpm: &FpmInstance) -> Value {
         FpmInstance::Router => json!({}),
         FpmInstance::Filter(c) => c.to_value(),
         FpmInstance::Ipvs(c) => c.to_value(),
+        FpmInstance::Nat(c) => c.to_value(),
     }
 }
 
@@ -209,6 +228,9 @@ pub fn pipeline_from_json(entry: &Value) -> Result<(IfIndex, Vec<FpmInstance>), 
             ),
             FpmKind::Ipvs => FpmInstance::Ipvs(
                 IpvsConf::from_value(conf).map_err(|e| format!("bad ipvs conf: {e}"))?,
+            ),
+            FpmKind::Nat => FpmInstance::Nat(
+                NatConf::from_value(conf).map_err(|e| format!("bad nat conf: {e}"))?,
             ),
         };
         pipeline.push(fpm);
@@ -372,6 +394,55 @@ mod tests {
         let caps = caps.without(linuxfp_ebpf::insn::HelperId::FibLookup);
         let graph = build_graph(&store, &caps);
         assert!(graph["interfaces"].as_object().unwrap().is_empty());
+    }
+
+    #[test]
+    fn nat_config_appends_nat_fpm() {
+        use linuxfp_netstack::nat::{NatChain, NatRule, NatTarget};
+        let (mut k, _, _) = router_kernel();
+        k.iptables_nat_append(
+            NatChain::Prerouting,
+            NatRule::any(NatTarget::Dnat {
+                to: Ipv4Addr::new(10, 0, 2, 9),
+                to_port: Some(8080),
+            }),
+        );
+        k.iptables_nat_append(NatChain::Postrouting, NatRule::any(NatTarget::Masquerade));
+        let store = ObjectStore::snapshot(&k);
+        let graph = build_graph(&store, &Capabilities::full());
+        let entry = &graph["interfaces"]["eth0"];
+        // Paper Fig. 3 ordering: routing decides the egress, then the
+        // nat node rewrites; any filter node would follow it.
+        assert_eq!(entry["pipeline"][0]["nf"], "router");
+        assert_eq!(entry["pipeline"][0]["next_nf"], "nat");
+        assert_eq!(entry["pipeline"][1]["nf"], "nat");
+        let (_, pipeline) = pipeline_from_json(entry).unwrap();
+        assert_eq!(
+            pipeline[1],
+            FpmInstance::Nat(NatConf {
+                dnat_rules: 1,
+                snat_rules: 1,
+            })
+        );
+    }
+
+    #[test]
+    fn nat_without_helper_disables_all_fast_paths() {
+        use linuxfp_netstack::nat::{NatChain, NatRule, NatTarget};
+        let (mut k, _, _) = router_kernel();
+        k.iptables_nat_append(NatChain::Postrouting, NatRule::any(NatTarget::Masquerade));
+        let store = ObjectStore::snapshot(&k);
+        // Without `bpf_nat_lookup`, accelerated forwarding could skip a
+        // translation the packet needs — every interface stays slow.
+        let caps = Capabilities::full().without(linuxfp_ebpf::insn::HelperId::NatLookup);
+        let graph = build_graph(&store, &caps);
+        assert!(graph["interfaces"].as_object().unwrap().is_empty());
+        // Flushing the nat table restores the router fast path.
+        k.iptables_nat_flush();
+        let store = ObjectStore::snapshot(&k);
+        let graph = build_graph(&store, &caps);
+        let (_, pipeline) = pipeline_from_json(&graph["interfaces"]["eth0"]).unwrap();
+        assert_eq!(pipeline, vec![FpmInstance::Router]);
     }
 
     #[test]

@@ -68,6 +68,17 @@ pub struct NetfilterObject {
     pub generation: u64,
 }
 
+/// Summary of the iptables `nat` table relevant to synthesis.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NatObject {
+    /// DNAT rules in the PREROUTING chain.
+    pub dnat_rules: usize,
+    /// SNAT/MASQUERADE rules in the POSTROUTING chain.
+    pub snat_rules: usize,
+    /// Configuration generation (bumped on every change).
+    pub generation: u64,
+}
+
 /// The controller's coherent snapshot of kernel networking state.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ObjectStore {
@@ -85,6 +96,10 @@ pub struct ObjectStore {
     pub ipvs_services: Vec<IpvsServiceObject>,
     /// Whether any ipvs service exists at all (accelerable or not).
     pub ipvs_configured: bool,
+    /// Iptables `nat` table summary.
+    pub nat: NatObject,
+    /// Whether any NAT rule exists at all.
+    pub nat_configured: bool,
 }
 
 impl ObjectStore {
@@ -119,6 +134,12 @@ impl ObjectStore {
             },
             ipvs_services,
             ipvs_configured: !kernel.ipvs.is_empty(),
+            nat: NatObject {
+                dnat_rules: kernel.nat.dnat_rules(),
+                snat_rules: kernel.nat.snat_rules(),
+                generation: kernel.nat.generation,
+            },
+            nat_configured: kernel.nat.total_rules() > 0,
         }
     }
 

@@ -44,7 +44,7 @@ fn rand_json(rng: &mut SimRng, depth: u32) -> Value {
     }
 }
 
-const NF_KINDS: [&str; 5] = ["bridge", "router", "filter", "ipvs", "warp_drive"];
+const NF_KINDS: [&str; 6] = ["bridge", "router", "filter", "ipvs", "nat", "warp_drive"];
 
 /// Keys the graph actually uses, mixed in so fuzzing reaches deep paths.
 fn rand_graph(rng: &mut SimRng) -> Value {
@@ -90,6 +90,10 @@ fn rand_valid_conf(rng: &mut SimRng, nf: &str) -> Value {
             let vip: [u8; 4] = std::array::from_fn(|_| rng.uniform_u64(256) as u8);
             json!({"vip": vip, "port": rng.uniform_u64(1 << 16) as u16})
         }
+        "nat" => json!({
+            "dnat_rules": rng.uniform_u64(1 << 16) as u16,
+            "snat_rules": rng.uniform_u64(1 << 16) as u16,
+        }),
         _ => json!({}),
     }
 }
@@ -99,7 +103,7 @@ fn rand_valid_conf(rng: &mut SimRng, nf: &str) -> Value {
 fn rand_hostile_pipeline(rng: &mut SimRng) -> Value {
     let nodes: Vec<Value> = (0..rng.uniform_u64(5))
         .map(|_| {
-            let nf = *rng.choose(&NF_KINDS[..4]);
+            let nf = *rng.choose(&NF_KINDS[..5]);
             let conf = rand_valid_conf(rng, nf);
             json!({"nf": nf, "conf": conf})
         })

@@ -8,6 +8,7 @@
 //! slow path uses.
 
 use linuxfp_netstack::device::IfIndex;
+use linuxfp_netstack::nat::NatLookupOutcome;
 use linuxfp_netstack::netfilter::{NfVerdict, PacketMeta};
 use linuxfp_netstack::stack::{FdbLookupOutcome, FibFastResult, Kernel};
 use linuxfp_packet::ipv4::IpProto;
@@ -48,6 +49,19 @@ pub trait HelperEnv {
         dport: u16,
         proto: u8,
     ) -> Option<(Ipv4Addr, u16)>;
+
+    /// `bpf_nat_lookup`: NAT binding lookup against the kernel's
+    /// conntrack NAT state (NAT44 extension). Returns the translated
+    /// tuple for established flows, `Miss` for traffic the slow path
+    /// must bind first, and `NoNat` when no nat rule could ever apply.
+    fn env_nat_lookup(
+        &mut self,
+        src: Ipv4Addr,
+        sport: u16,
+        dst: Ipv4Addr,
+        dport: u16,
+        proto: u8,
+    ) -> NatLookupOutcome;
 }
 
 impl HelperEnv for Kernel {
@@ -85,6 +99,17 @@ impl HelperEnv for Kernel {
             linuxfp_netstack::conntrack::FlowKey::new(src, sport, dst, dport, IpProto::from(proto));
         let now = self.now();
         self.conntrack.lookup(&key, now).and_then(|e| e.backend)
+    }
+
+    fn env_nat_lookup(
+        &mut self,
+        src: Ipv4Addr,
+        sport: u16,
+        dst: Ipv4Addr,
+        dport: u16,
+        proto: u8,
+    ) -> NatLookupOutcome {
+        self.helper_nat_lookup(src, sport, dst, dport, proto)
     }
 }
 
@@ -126,6 +151,17 @@ impl HelperEnv for NullEnv {
     ) -> Option<(Ipv4Addr, u16)> {
         None
     }
+
+    fn env_nat_lookup(
+        &mut self,
+        _src: Ipv4Addr,
+        _sport: u16,
+        _dst: Ipv4Addr,
+        _dport: u16,
+        _proto: u8,
+    ) -> NatLookupOutcome {
+        NatLookupOutcome::NoNat
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +186,16 @@ mod tests {
                 6
             )
             .is_none());
+        assert_eq!(
+            env.env_nat_lookup(
+                Ipv4Addr::new(1, 1, 1, 1),
+                1,
+                Ipv4Addr::new(2, 2, 2, 2),
+                2,
+                17
+            ),
+            NatLookupOutcome::NoNat
+        );
         let meta = PacketMeta {
             src: Ipv4Addr::new(1, 1, 1, 1),
             dst: Ipv4Addr::new(2, 2, 2, 2),

@@ -123,6 +123,11 @@ pub enum HelperId {
     MapUpdate,
     /// Conntrack lookup (ipvs load-balancer extension).
     CtLookup,
+    /// `bpf_nat_lookup`: iptables-nat binding lookup via kernel
+    /// conntrack state (new helper; NAT44 fast-path extension). Returns
+    /// the translated tuple for established flows so the program can
+    /// rewrite addresses/ports with incremental checksum updates.
+    NatLookup,
     /// A deliberately trivial helper used by the function-call-vs-tail-
     /// call microbenchmark (paper Fig. 10).
     TrivialNf,

@@ -275,6 +275,7 @@ fn helper_contract(helper: HelperId) -> (u8, &'static [(u8, i64)]) {
         HelperId::FdbLookup => (3, &[(2, 20)]),
         HelperId::IptLookup => (3, &[(2, 24)]),
         HelperId::CtLookup => (3, &[(2, 24)]),
+        HelperId::NatLookup => (3, &[(2, 32)]),
         HelperId::Redirect => (2, &[]),
         HelperId::KtimeGetNs => (0, &[]),
         HelperId::MapLookup => (5, &[(2, 1), (4, 1)]),

@@ -487,6 +487,29 @@ fn call_helper(
                 None => 1,
             }
         }
+        HelperId::NatLookup => {
+            // Same price as a conntrack lookup: the helper walks the
+            // very same kernel table.
+            tracker.charge("nat_lookup", cost.conntrack_lookup_ns);
+            let buf = m.stack_slice(m.regs[2], 32)?;
+            let src = Ipv4Addr::new(buf[0], buf[1], buf[2], buf[3]);
+            let dst = Ipv4Addr::new(buf[4], buf[5], buf[6], buf[7]);
+            let proto = buf[8];
+            let sport = u16::from_le_bytes([buf[10], buf[11]]);
+            let dport = u16::from_le_bytes([buf[12], buf[13]]);
+            match env.env_nat_lookup(src, sport, dst, dport, proto) {
+                linuxfp_netstack::nat::NatLookupOutcome::Hit(x) => {
+                    let buf = m.stack_slice(m.regs[2], 32)?;
+                    buf[16..20].copy_from_slice(&x.src.octets());
+                    buf[20..24].copy_from_slice(&x.dst.octets());
+                    buf[24..26].copy_from_slice(&x.sport.to_le_bytes());
+                    buf[26..28].copy_from_slice(&x.dport.to_le_bytes());
+                    0
+                }
+                linuxfp_netstack::nat::NatLookupOutcome::Miss => 1,
+                linuxfp_netstack::nat::NatLookupOutcome::NoNat => 2,
+            }
+        }
         HelperId::Redirect => {
             tracker.charge("helper_redirect", cost.helper_redirect_ns);
             m.redirect = Some(IfIndex(m.regs[1] as u32));
@@ -750,6 +773,31 @@ mod tests {
         let (out, t) = run_prog(&prog, &mut pkt);
         assert_eq!(out.action, Action::Pass);
         assert_eq!(t.stage_count("helper_fib_lookup"), 1);
+    }
+
+    #[test]
+    fn nat_lookup_reports_no_nat_in_null_env() {
+        let mut a = Asm::new();
+        a.mov_reg(2, 10);
+        a.alu_imm(AluOp::Add, 2, -32);
+        a.store_imm(MemSize::W, 2, 0, 0x0a000001); // src
+        a.store_imm(MemSize::W, 2, 4, 0x0a000002); // dst
+        a.store_imm(MemSize::B, 2, 8, 17); // proto
+        a.store_imm(MemSize::H, 2, 10, 1234); // sport
+        a.store_imm(MemSize::H, 2, 12, 53); // dport
+        a.mov_imm(3, 32);
+        a.call(HelperId::NatLookup);
+        a.jmp_imm(JmpCond::Eq, 0, 2, "nonat");
+        a.mov_imm(0, Action::Drop.code() as i64);
+        a.exit();
+        a.label("nonat");
+        a.mov_imm(0, Action::Pass.code() as i64);
+        a.exit();
+        let prog = load(a, "nat");
+        let mut pkt = vec![0u8; 64];
+        let (out, t) = run_prog(&prog, &mut pkt);
+        assert_eq!(out.action, Action::Pass);
+        assert_eq!(t.stage_count("nat_lookup"), 1);
     }
 
     #[test]

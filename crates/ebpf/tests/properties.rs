@@ -44,7 +44,7 @@ const CONDS: [JmpCond; 9] = [
 
 const SIZES: [MemSize; 4] = [MemSize::B, MemSize::H, MemSize::W, MemSize::DW];
 
-const HELPERS: [HelperId; 9] = [
+const HELPERS: [HelperId; 10] = [
     HelperId::FibLookup,
     HelperId::FdbLookup,
     HelperId::IptLookup,
@@ -53,6 +53,7 @@ const HELPERS: [HelperId; 9] = [
     HelperId::MapLookup,
     HelperId::MapUpdate,
     HelperId::CtLookup,
+    HelperId::NatLookup,
     HelperId::TrivialNf,
 ];
 

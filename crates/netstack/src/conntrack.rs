@@ -8,6 +8,7 @@
 
 use linuxfp_packet::ipv4::IpProto;
 use linuxfp_sim::Nanos;
+use linuxfp_telemetry::Counter;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -43,6 +44,70 @@ impl FlowKey {
             }
         }
     }
+}
+
+/// A *directional* 5-tuple used by the NAT machinery. Unlike
+/// [`FlowKey`] it is not normalized: DNAT/SNAT translations are
+/// direction-specific, so the original and reply directions get their
+/// own entries in the NAT binding table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NatTuple {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Source port (0 for port-less protocols).
+    pub sport: u16,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Destination port.
+    pub dport: u16,
+    /// IP protocol number.
+    pub proto: u8,
+}
+
+impl NatTuple {
+    /// Builds a tuple from one packet direction.
+    pub fn new(src: Ipv4Addr, sport: u16, dst: Ipv4Addr, dport: u16, proto: u8) -> Self {
+        NatTuple {
+            src,
+            sport,
+            dst,
+            dport,
+            proto,
+        }
+    }
+
+    /// The same flow seen from the other direction.
+    pub fn reversed(&self) -> NatTuple {
+        NatTuple {
+            src: self.dst,
+            sport: self.dport,
+            dst: self.src,
+            dport: self.sport,
+            proto: self.proto,
+        }
+    }
+}
+
+/// One direction of an installed NAT binding.
+#[derive(Debug, Clone, Copy)]
+struct NatBinding {
+    /// The fully translated tuple for packets matching the entry key.
+    xlat: NatTuple,
+    /// Whether this entry translates the reply direction.
+    reply: bool,
+    /// A masquerade port owned by this entry, returned to the allocator
+    /// when the binding dies (only set on the original direction).
+    owns_port: Option<u16>,
+    last_seen: Nanos,
+}
+
+/// What a NAT binding lookup tells the translator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NatRewrite {
+    /// The tuple the packet must be rewritten to.
+    pub xlat: NatTuple,
+    /// Whether this is the reply direction being un-translated.
+    pub reply: bool,
 }
 
 /// Tracking state of a connection.
@@ -91,21 +156,48 @@ pub struct CtEntry {
 #[derive(Debug, Clone)]
 pub struct Conntrack {
     entries: HashMap<FlowKey, CtEntry>,
+    /// Per-direction NAT bindings (iptables `nat` table state).
+    nat: HashMap<NatTuple, NatBinding>,
+    /// Masquerade ports freed by lazy expiry, drained by the owner of
+    /// the port allocator.
+    freed_nat_ports: Vec<u16>,
     /// Idle timeout for `New` entries.
     pub new_timeout: Nanos,
     /// Idle timeout for `Established` entries.
     pub established_timeout: Nanos,
+    /// Flow-table capacity (`net.netfilter.nf_conntrack_max`): inserting
+    /// past this evicts the oldest entry instead of growing unboundedly.
+    pub max_entries: usize,
+    evictions: u64,
+    eviction_counter: Option<Counter>,
 }
 
 impl Conntrack {
     /// Creates an empty table with Linux-like timeouts (60 s NEW,
-    /// 432000 s established is unrealistic to simulate; we use 600 s).
+    /// 432000 s established is unrealistic to simulate; we use 600 s)
+    /// and a 65536-entry capacity.
     pub fn new() -> Self {
         Conntrack {
             entries: HashMap::new(),
+            nat: HashMap::new(),
+            freed_nat_ports: Vec::new(),
             new_timeout: Nanos::from_secs(60),
             established_timeout: Nanos::from_secs(600),
+            max_entries: 65536,
+            evictions: 0,
+            eviction_counter: None,
         }
+    }
+
+    /// Counts capacity evictions into `counter` as well as the local
+    /// [`Conntrack::evictions`] tally.
+    pub fn set_eviction_counter(&mut self, counter: Counter) {
+        self.eviction_counter = Some(counter);
+    }
+
+    /// Entries evicted because the table was at [`Conntrack::max_entries`].
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Processes one packet: creates the entry on first sight, upgrades to
@@ -132,6 +224,9 @@ impl Conntrack {
                 entry.state
             }
             _ => {
+                if !self.entries.contains_key(&key) && self.entries.len() >= self.max_entries {
+                    self.evict_oldest();
+                }
                 self.entries.insert(
                     key,
                     CtEntry {
@@ -142,6 +237,23 @@ impl Conntrack {
                     },
                 );
                 CtState::New
+            }
+        }
+    }
+
+    /// Removes the least-recently-seen entry (deterministic tie-break on
+    /// the key) to make room at capacity.
+    fn evict_oldest(&mut self) {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(k, e)| (e.last_seen, k.a_addr, k.a_port, k.b_addr, k.b_port, k.proto))
+            .map(|(k, _)| *k);
+        if let Some(k) = victim {
+            self.entries.remove(&k);
+            self.evictions += 1;
+            if let Some(c) = &self.eviction_counter {
+                c.inc();
             }
         }
     }
@@ -183,6 +295,102 @@ impl Conntrack {
         self.entries
             .retain(|_, e| !Self::expired(e, new_to, est_to, now));
         before - self.entries.len()
+    }
+
+    // ------------------------------------------------------------------
+    // NAT bindings (iptables `nat` table state)
+    // ------------------------------------------------------------------
+
+    /// Installs a NAT binding: packets matching `orig` are rewritten to
+    /// `xlat`, and reply packets (matching the reverse of `xlat`) are
+    /// rewritten back to the reverse of `orig`. `owns_port` records a
+    /// masquerade port to return to the allocator when the binding dies.
+    pub fn nat_install(
+        &mut self,
+        orig: NatTuple,
+        xlat: NatTuple,
+        owns_port: Option<u16>,
+        now: Nanos,
+    ) {
+        self.nat.insert(
+            orig,
+            NatBinding {
+                xlat,
+                reply: false,
+                owns_port,
+                last_seen: now,
+            },
+        );
+        self.nat.insert(
+            xlat.reversed(),
+            NatBinding {
+                xlat: orig.reversed(),
+                reply: true,
+                owns_port: None,
+                last_seen: now,
+            },
+        );
+    }
+
+    /// Looks up the NAT binding for a packet tuple, refreshing both
+    /// directions on a hit. Expired bindings read as absent (lazy
+    /// expiry, like [`Conntrack::lookup`]); any masquerade port they
+    /// owned is parked in the freed-port list.
+    pub fn nat_lookup(&mut self, tuple: &NatTuple, now: Nanos) -> Option<NatRewrite> {
+        let entry = self.nat.get(tuple)?;
+        // Partner key: for the original direction the partner is the
+        // reply entry keyed by the reversed translated tuple; for the
+        // reply direction it is the original entry — in both cases
+        // `xlat.reversed()`.
+        let partner = entry.xlat.reversed();
+        if now.saturating_sub(entry.last_seen) > self.established_timeout {
+            for key in [*tuple, partner] {
+                if let Some(dead) = self.nat.remove(&key) {
+                    if let Some(p) = dead.owns_port {
+                        self.freed_nat_ports.push(p);
+                    }
+                }
+            }
+            return None;
+        }
+        let rewrite = NatRewrite {
+            xlat: entry.xlat,
+            reply: entry.reply,
+        };
+        self.nat.get_mut(tuple).expect("present").last_seen = now;
+        if let Some(p) = self.nat.get_mut(&partner) {
+            p.last_seen = now;
+        }
+        Some(rewrite)
+    }
+
+    /// Eagerly removes expired NAT bindings; returns how many directional
+    /// entries were collected.
+    pub fn nat_gc(&mut self, now: Nanos) -> usize {
+        let timeout = self.established_timeout;
+        let before = self.nat.len();
+        let freed = &mut self.freed_nat_ports;
+        self.nat.retain(|_, e| {
+            let dead = now.saturating_sub(e.last_seen) > timeout;
+            if dead {
+                if let Some(p) = e.owns_port {
+                    freed.push(p);
+                }
+            }
+            !dead
+        });
+        before - self.nat.len()
+    }
+
+    /// Drains masquerade ports freed by expired bindings so the port
+    /// allocator can reuse them.
+    pub fn take_freed_nat_ports(&mut self) -> Vec<u16> {
+        std::mem::take(&mut self.freed_nat_ports)
+    }
+
+    /// Number of directional NAT binding entries.
+    pub fn nat_len(&self) -> usize {
+        self.nat.len()
     }
 
     /// Number of tracked flows.
@@ -296,5 +504,121 @@ mod tests {
         ct.track(a, 3, b, 4, IpProto::Udp, Nanos::from_secs(50));
         assert_eq!(ct.gc(Nanos::from_secs(70)), 1);
         assert_eq!(ct.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let (a, b) = ips();
+        let mut ct = Conntrack::new();
+        ct.max_entries = 3;
+        for sport in 0..3u16 {
+            ct.track(
+                a,
+                sport,
+                b,
+                80,
+                IpProto::Udp,
+                Nanos::from_millis(u64::from(sport)),
+            );
+        }
+        assert_eq!(ct.len(), 3);
+        assert_eq!(ct.evictions(), 0);
+        // A fourth flow evicts the oldest (sport 0), not the table.
+        ct.track(a, 99, b, 80, IpProto::Udp, Nanos::from_millis(10));
+        assert_eq!(ct.len(), 3);
+        assert_eq!(ct.evictions(), 1);
+        assert!(ct
+            .lookup(
+                &FlowKey::new(a, 0, b, 80, IpProto::Udp),
+                Nanos::from_millis(10)
+            )
+            .is_none());
+        assert!(ct
+            .lookup(
+                &FlowKey::new(a, 1, b, 80, IpProto::Udp),
+                Nanos::from_millis(10)
+            )
+            .is_some());
+        // Refreshing an existing flow at capacity does not evict.
+        ct.track(a, 1, b, 80, IpProto::Udp, Nanos::from_millis(11));
+        assert_eq!(ct.evictions(), 1);
+    }
+
+    fn tuple(sport: u16) -> NatTuple {
+        NatTuple::new(
+            Ipv4Addr::new(192, 168, 1, 10),
+            sport,
+            Ipv4Addr::new(8, 8, 8, 8),
+            53,
+            17,
+        )
+    }
+
+    #[test]
+    fn nat_binding_translates_both_directions() {
+        let mut ct = Conntrack::new();
+        let orig = tuple(40000);
+        let xlat = NatTuple::new(
+            Ipv4Addr::new(198, 51, 100, 1),
+            32768,
+            Ipv4Addr::new(8, 8, 8, 8),
+            53,
+            17,
+        );
+        ct.nat_install(orig, xlat, Some(32768), Nanos::ZERO);
+        assert_eq!(ct.nat_len(), 2);
+        let fwd = ct.nat_lookup(&orig, Nanos::from_secs(1)).unwrap();
+        assert_eq!(fwd.xlat, xlat);
+        assert!(!fwd.reply);
+        let rev = ct
+            .nat_lookup(&xlat.reversed(), Nanos::from_secs(1))
+            .unwrap();
+        assert_eq!(rev.xlat, orig.reversed());
+        assert!(rev.reply);
+        assert!(ct.nat_lookup(&tuple(41000), Nanos::from_secs(1)).is_none());
+    }
+
+    #[test]
+    fn nat_binding_expires_and_frees_port() {
+        let mut ct = Conntrack::new();
+        let orig = tuple(40000);
+        let xlat = NatTuple::new(
+            Ipv4Addr::new(198, 51, 100, 1),
+            32768,
+            Ipv4Addr::new(8, 8, 8, 8),
+            53,
+            17,
+        );
+        ct.nat_install(orig, xlat, Some(32768), Nanos::ZERO);
+        // Refreshes keep both directions alive.
+        ct.nat_lookup(&orig, Nanos::from_secs(500)).unwrap();
+        assert!(ct
+            .nat_lookup(&xlat.reversed(), Nanos::from_secs(900))
+            .is_some());
+        // Way past the timeout, the pair lazily dies and the port frees.
+        assert!(ct.nat_lookup(&orig, Nanos::from_secs(9000)).is_none());
+        assert_eq!(ct.nat_len(), 0);
+        assert_eq!(ct.take_freed_nat_ports(), vec![32768]);
+        assert!(ct.take_freed_nat_ports().is_empty());
+    }
+
+    #[test]
+    fn nat_gc_collects_pairs() {
+        let mut ct = Conntrack::new();
+        ct.nat_install(
+            tuple(1),
+            NatTuple::new(Ipv4Addr::new(198, 51, 100, 1), 32768, tuple(1).dst, 53, 17),
+            Some(32768),
+            Nanos::ZERO,
+        );
+        ct.nat_install(
+            tuple(2),
+            NatTuple::new(Ipv4Addr::new(198, 51, 100, 1), 32769, tuple(2).dst, 53, 17),
+            Some(32769),
+            Nanos::from_secs(500),
+        );
+        assert_eq!(ct.nat_gc(Nanos::from_secs(700)), 2);
+        assert_eq!(ct.nat_len(), 2);
+        assert_eq!(ct.take_freed_nat_ports(), vec![32768]);
     }
 }

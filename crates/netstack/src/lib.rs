@@ -15,7 +15,10 @@
 //! - **Netfilter** ([`netfilter`]): the `filter` table with built-in and
 //!   user chains, linear rule evaluation (whose cost the paper's Fig. 8
 //!   measures), and ipset aggregation.
-//! - **Conntrack** ([`conntrack`]): 5-tuple connection tracking.
+//! - **Conntrack** ([`conntrack`]): 5-tuple connection tracking with
+//!   per-direction NAT bindings.
+//! - **NAT** ([`nat`]): the iptables `nat` table — PREROUTING DNAT and
+//!   POSTROUTING SNAT/MASQUERADE with a deterministic port allocator.
 //! - **Netlink** ([`netlink`]): typed dump requests plus multicast change
 //!   notifications — the introspection surface the LinuxFP controller
 //!   consumes.
@@ -52,6 +55,7 @@ pub mod device;
 pub mod error;
 pub mod fib;
 pub mod ipvs;
+pub mod nat;
 pub mod neigh;
 pub mod netfilter;
 pub mod netlink;

@@ -1,0 +1,670 @@
+//! The iptables `nat` table: PREROUTING DNAT and POSTROUTING
+//! SNAT/MASQUERADE, with a deterministic port allocator.
+//!
+//! Like real netfilter NAT, rules are only consulted for the *first*
+//! packet of a flow; the resulting binding is pinned in
+//! [`Conntrack`] per direction so later packets (on either path) and
+//! replies are translated by table lookup alone. That lookup is exactly
+//! what the `bpf_nat_lookup` helper exposes to synthesized fast paths —
+//! rule evaluation, port allocation and binding installation stay
+//! slow-path work, mirroring the paper's split for conntrack and ipvs.
+//!
+//! NAT applies to TCP and UDP only; other protocols pass untranslated.
+
+use crate::conntrack::{Conntrack, NatTuple};
+use crate::device::IfIndex;
+use linuxfp_packet::ipv4::{IpProto, Prefix};
+use linuxfp_sim::Nanos;
+use linuxfp_telemetry::Counter;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+/// The two built-in chains of the `nat` table this model supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NatChain {
+    /// Destination NAT, applied before routing.
+    Prerouting,
+    /// Source NAT / masquerade, applied after routing.
+    Postrouting,
+}
+
+/// What a matching NAT rule does to the packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NatTarget {
+    /// `-j DNAT --to-destination <to>[:<to_port>]`.
+    Dnat {
+        /// New destination address.
+        to: Ipv4Addr,
+        /// New destination port (keep the original when `None`).
+        to_port: Option<u16>,
+    },
+    /// `-j SNAT --to-source <to>` (source port kept).
+    Snat {
+        /// New source address.
+        to: Ipv4Addr,
+    },
+    /// `-j MASQUERADE`: source becomes the egress interface address and
+    /// the source port is drawn from the allocator.
+    Masquerade,
+}
+
+/// One rule in the `nat` table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NatRule {
+    /// Match on source prefix (`-s`).
+    pub src: Option<Prefix>,
+    /// Match on destination prefix (`-d`).
+    pub dst: Option<Prefix>,
+    /// Match on protocol (`-p`).
+    pub proto: Option<IpProto>,
+    /// Match on destination port (`--dport`).
+    pub dport: Option<u16>,
+    /// Match on ingress interface (`-i`, PREROUTING only).
+    pub in_if: Option<IfIndex>,
+    /// Match on egress interface (`-o`, POSTROUTING only).
+    pub out_if: Option<IfIndex>,
+    /// The translation to apply.
+    pub target: NatTarget,
+}
+
+impl NatRule {
+    /// A rule with no matches (applies to everything) and the given
+    /// target; callers narrow it with struct update syntax.
+    pub fn any(target: NatTarget) -> Self {
+        NatRule {
+            src: None,
+            dst: None,
+            proto: None,
+            dport: None,
+            in_if: None,
+            out_if: None,
+            target,
+        }
+    }
+
+    /// Whether the rule matches a packet tuple and its interfaces.
+    /// Interface matches are skipped when the packet side is `None`
+    /// (used by the helper's conservative pre-check).
+    fn matches(&self, t: &NatTuple, in_if: Option<IfIndex>, out_if: Option<IfIndex>) -> bool {
+        self.src.is_none_or(|p| p.contains(t.src))
+            && self.dst.is_none_or(|p| p.contains(t.dst))
+            && self.proto.is_none_or(|p| p.to_u8() == t.proto)
+            && self.dport.is_none_or(|d| d == t.dport)
+            && match (self.in_if, in_if) {
+                (Some(want), Some(have)) => want == have,
+                _ => true,
+            }
+            && match (self.out_if, out_if) {
+                (Some(want), Some(have)) => want == have,
+                _ => true,
+            }
+    }
+}
+
+/// Translation context carried from PREROUTING to POSTROUTING for one
+/// packet.
+#[derive(Debug, Clone, Copy)]
+pub struct NatCtx {
+    /// The tuple as the packet arrived.
+    pub orig: NatTuple,
+    /// The (possibly still partial) translated tuple.
+    pub xlat: NatTuple,
+    /// Whether an existing binding's reply direction matched.
+    pub reply: bool,
+    /// Whether this is a first packet (rules consulted, binding not yet
+    /// installed).
+    pub fresh: bool,
+}
+
+/// POSTROUTING's verdict on the packet source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostOutcome {
+    /// Leave the source alone.
+    None,
+    /// Rewrite the source to this address and port.
+    Snat {
+        /// New source address.
+        src: Ipv4Addr,
+        /// New source port.
+        sport: u16,
+    },
+    /// A masquerade rule matched but the port range is exhausted: the
+    /// packet must be dropped (Linux drops too).
+    ExhaustedDrop,
+}
+
+/// What `bpf_nat_lookup` reports to a fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NatLookupOutcome {
+    /// A binding exists: rewrite the packet to this tuple.
+    Hit(NatTuple),
+    /// No binding yet, but a rule could claim this flow: the slow path
+    /// must see the packet so it can evaluate rules and bind.
+    Miss,
+    /// NAT provably does not apply to this flow; the fast path may keep
+    /// going without translation.
+    NoNat,
+}
+
+/// The `nat` table: rule chains, the port allocator, and generation
+/// counter for controller introspection.
+#[derive(Debug, Clone, Default)]
+pub struct Nat {
+    prerouting: Vec<NatRule>,
+    postrouting: Vec<NatRule>,
+    /// Masquerade source-port range, inclusive (Linux default
+    /// `net.ipv4.ip_local_port_range`-ish).
+    pub port_range: (u16, u16),
+    cursor: u16,
+    ports_in_use: BTreeSet<u16>,
+    /// Monotonic generation, bumped on configuration changes (consumed
+    /// by the LinuxFP controller like the netfilter generation).
+    pub generation: u64,
+    translations: Option<Counter>,
+    reply_hits: Option<Counter>,
+    port_exhaustion: Option<Counter>,
+}
+
+impl Nat {
+    /// Creates an empty table with the default masquerade port range.
+    pub fn new() -> Self {
+        Nat {
+            port_range: (32768, 61000),
+            cursor: 32768,
+            ..Nat::default()
+        }
+    }
+
+    /// Counts forward-direction translations into `counter`.
+    pub fn set_translation_counter(&mut self, counter: Counter) {
+        self.translations = Some(counter);
+    }
+
+    /// Counts reply-direction un-translations into `counter`.
+    pub fn set_reply_counter(&mut self, counter: Counter) {
+        self.reply_hits = Some(counter);
+    }
+
+    /// Counts masquerade port-exhaustion drops into `counter`.
+    pub fn set_exhaustion_counter(&mut self, counter: Counter) {
+        self.port_exhaustion = Some(counter);
+    }
+
+    /// Records a forward-direction translation performed outside rule
+    /// evaluation (the fast-path helper counts through the same
+    /// counters as the slow path).
+    pub fn note_translation(&self) {
+        if let Some(c) = &self.translations {
+            c.inc();
+        }
+    }
+
+    /// Records a reply-direction un-translation performed outside rule
+    /// evaluation.
+    pub fn note_reply_hit(&self) {
+        if let Some(c) = &self.reply_hits {
+            c.inc();
+        }
+    }
+
+    /// Appends a rule (`iptables -t nat -A <CHAIN> ...`). Returns
+    /// `false` without changes when the target is illegal for the chain
+    /// (DNAT only in PREROUTING, SNAT/MASQUERADE only in POSTROUTING).
+    pub fn append(&mut self, chain: NatChain, rule: NatRule) -> bool {
+        let legal = matches!(
+            (chain, rule.target),
+            (NatChain::Prerouting, NatTarget::Dnat { .. })
+                | (
+                    NatChain::Postrouting,
+                    NatTarget::Snat { .. } | NatTarget::Masquerade
+                )
+        );
+        if !legal {
+            return false;
+        }
+        match chain {
+            NatChain::Prerouting => self.prerouting.push(rule),
+            NatChain::Postrouting => self.postrouting.push(rule),
+        }
+        self.generation += 1;
+        true
+    }
+
+    /// Flushes both chains (`iptables -t nat -F`). Existing bindings in
+    /// conntrack keep translating their flows, as in Linux.
+    pub fn flush(&mut self) {
+        if !self.prerouting.is_empty() || !self.postrouting.is_empty() {
+            self.prerouting.clear();
+            self.postrouting.clear();
+            self.generation += 1;
+        }
+    }
+
+    /// Total configured rules across both chains.
+    pub fn total_rules(&self) -> usize {
+        self.prerouting.len() + self.postrouting.len()
+    }
+
+    /// Configured DNAT (PREROUTING) rules.
+    pub fn dnat_rules(&self) -> usize {
+        self.prerouting.len()
+    }
+
+    /// Configured SNAT/MASQUERADE (POSTROUTING) rules.
+    pub fn snat_rules(&self) -> usize {
+        self.postrouting.len()
+    }
+
+    /// Allocates a masquerade source port: a deterministic cursor scan
+    /// over the range, skipping ports in use. `None` when every port in
+    /// the range is taken (exhaustion).
+    pub fn alloc_port(&mut self) -> Option<u16> {
+        let (lo, hi) = self.port_range;
+        let span = u32::from(hi - lo) + 1;
+        let mut candidate = self.cursor.clamp(lo, hi);
+        for _ in 0..span {
+            let this = candidate;
+            candidate = if this == hi { lo } else { this + 1 };
+            if self.ports_in_use.insert(this) {
+                self.cursor = candidate;
+                return Some(this);
+            }
+        }
+        None
+    }
+
+    /// Returns a port to the allocator.
+    pub fn release_port(&mut self, port: u16) {
+        self.ports_in_use.remove(&port);
+    }
+
+    /// Ports currently held by live masquerade bindings.
+    pub fn ports_in_use(&self) -> usize {
+        self.ports_in_use.len()
+    }
+
+    /// Whether a flow with this tuple could be claimed by any configured
+    /// rule, ignoring interface matches (the helper's conservative
+    /// pre-check: interfaces aren't known until routing).
+    pub fn could_translate(&self, tuple: &NatTuple) -> bool {
+        self.prerouting
+            .iter()
+            .chain(&self.postrouting)
+            .any(|r| r.matches(tuple, None, None))
+    }
+
+    /// PREROUTING for one packet: an existing binding wins; otherwise
+    /// the first matching DNAT rule starts a fresh translation. Returns
+    /// `None` when NAT leaves this packet alone (so far — POSTROUTING
+    /// may still claim it).
+    ///
+    /// The caller applies the *destination* part of `NatCtx::xlat` to
+    /// the packet; the source part is applied at POSTROUTING.
+    pub fn prerouting(
+        &mut self,
+        conntrack: &mut Conntrack,
+        tuple: NatTuple,
+        in_if: IfIndex,
+        now: Nanos,
+    ) -> Option<NatCtx> {
+        if !matches!(tuple.proto, 6 | 17) {
+            return None;
+        }
+        if let Some(hit) = conntrack.nat_lookup(&tuple, now) {
+            if hit.reply {
+                self.note_reply_hit();
+            } else {
+                self.note_translation();
+            }
+            return Some(NatCtx {
+                orig: tuple,
+                xlat: hit.xlat,
+                reply: hit.reply,
+                fresh: false,
+            });
+        }
+        let rule = self
+            .prerouting
+            .iter()
+            .find(|r| r.matches(&tuple, Some(in_if), None))?;
+        let NatTarget::Dnat { to, to_port } = rule.target else {
+            unreachable!("append() admits only DNAT into PREROUTING");
+        };
+        let mut xlat = tuple;
+        xlat.dst = to;
+        xlat.dport = to_port.unwrap_or(tuple.dport);
+        Some(NatCtx {
+            orig: tuple,
+            xlat,
+            reply: false,
+            fresh: true,
+        })
+    }
+
+    /// POSTROUTING for one packet about to leave through `out_if`:
+    /// completes fresh translations (SNAT/MASQUERADE rule evaluation,
+    /// port allocation, binding installation) and applies the source
+    /// part of established bindings. `cur` is the packet tuple *after*
+    /// any PREROUTING rewrite; `egress_ip` is the primary address of the
+    /// egress interface (masquerade source).
+    pub fn postrouting(
+        &mut self,
+        conntrack: &mut Conntrack,
+        ctx: Option<NatCtx>,
+        cur: NatTuple,
+        out_if: IfIndex,
+        egress_ip: Option<Ipv4Addr>,
+        now: Nanos,
+    ) -> PostOutcome {
+        if !matches!(cur.proto, 6 | 17) {
+            return PostOutcome::None;
+        }
+        match ctx {
+            // Established binding: apply its recorded source part.
+            Some(c) if !c.fresh => {
+                if c.xlat.src == cur.src && c.xlat.sport == cur.sport {
+                    PostOutcome::None
+                } else {
+                    PostOutcome::Snat {
+                        src: c.xlat.src,
+                        sport: c.xlat.sport,
+                    }
+                }
+            }
+            // First packet: evaluate the POSTROUTING chain and bind.
+            ctx => {
+                let orig = ctx.map_or(cur, |c| c.orig);
+                let mut xlat = cur;
+                let mut owns_port = None;
+                match self
+                    .postrouting
+                    .iter()
+                    .find(|r| r.matches(&cur, None, Some(out_if)))
+                    .map(|r| r.target)
+                {
+                    Some(NatTarget::Snat { to }) => {
+                        xlat.src = to;
+                    }
+                    Some(NatTarget::Masquerade) => {
+                        let Some(src) = egress_ip else {
+                            return PostOutcome::None;
+                        };
+                        let Some(port) = self.alloc_port() else {
+                            if let Some(c) = &self.port_exhaustion {
+                                c.inc();
+                            }
+                            return PostOutcome::ExhaustedDrop;
+                        };
+                        xlat.src = src;
+                        xlat.sport = port;
+                        owns_port = Some(port);
+                    }
+                    Some(NatTarget::Dnat { .. }) | None => {}
+                }
+                if xlat == orig {
+                    // Fully identity: nothing to bind or rewrite.
+                    return PostOutcome::None;
+                }
+                conntrack.nat_install(orig, xlat, owns_port, now);
+                self.note_translation();
+                if xlat.src == cur.src && xlat.sport == cur.sport {
+                    PostOutcome::None
+                } else {
+                    PostOutcome::Snat {
+                        src: xlat.src,
+                        sport: xlat.sport,
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gw_public() -> Ipv4Addr {
+        Ipv4Addr::new(198, 51, 100, 1)
+    }
+
+    fn client_tuple(sport: u16) -> NatTuple {
+        NatTuple::new(
+            Ipv4Addr::new(192, 168, 1, 10),
+            sport,
+            Ipv4Addr::new(203, 0, 113, 9),
+            53,
+            17,
+        )
+    }
+
+    fn masq_table() -> Nat {
+        let mut nat = Nat::new();
+        assert!(nat.append(
+            NatChain::Postrouting,
+            NatRule {
+                src: Some("192.168.1.0/24".parse().unwrap()),
+                ..NatRule::any(NatTarget::Masquerade)
+            }
+        ));
+        nat
+    }
+
+    #[test]
+    fn chain_target_legality_enforced() {
+        let mut nat = Nat::new();
+        let g0 = nat.generation;
+        assert!(!nat.append(NatChain::Prerouting, NatRule::any(NatTarget::Masquerade)));
+        assert!(!nat.append(
+            NatChain::Postrouting,
+            NatRule::any(NatTarget::Dnat {
+                to: gw_public(),
+                to_port: None
+            })
+        ));
+        assert_eq!(nat.generation, g0);
+        assert!(nat.append(
+            NatChain::Prerouting,
+            NatRule::any(NatTarget::Dnat {
+                to: gw_public(),
+                to_port: Some(8080)
+            })
+        ));
+        assert!(nat.generation > g0);
+        assert_eq!((nat.dnat_rules(), nat.snat_rules()), (1, 0));
+    }
+
+    #[test]
+    fn masquerade_binds_and_untranslates_reply() {
+        let mut nat = masq_table();
+        let mut ct = Conntrack::new();
+        let t = client_tuple(40000);
+        // First packet: PREROUTING leaves it alone...
+        assert!(nat
+            .prerouting(&mut ct, t, IfIndex(1), Nanos::ZERO)
+            .is_none());
+        // ...POSTROUTING masquerades and binds.
+        let out = nat.postrouting(&mut ct, None, t, IfIndex(2), Some(gw_public()), Nanos::ZERO);
+        let PostOutcome::Snat { src, sport } = out else {
+            panic!("expected SNAT, got {out:?}");
+        };
+        assert_eq!(src, gw_public());
+        assert_eq!(sport, 32768);
+        assert_eq!(ct.nat_len(), 2);
+        // The reply is un-translated at PREROUTING via the binding.
+        let reply = NatTuple::new(t.dst, t.dport, gw_public(), sport, 17);
+        let ctx = nat
+            .prerouting(&mut ct, reply, IfIndex(2), Nanos::from_secs(1))
+            .unwrap();
+        assert!(ctx.reply && !ctx.fresh);
+        assert_eq!((ctx.xlat.dst, ctx.xlat.dport), (t.src, t.sport));
+        // Its POSTROUTING pass leaves the source (the outside server) alone.
+        assert_eq!(
+            nat.postrouting(
+                &mut ct,
+                Some(ctx),
+                ctx.xlat,
+                IfIndex(1),
+                Some(gw_public()),
+                Nanos::from_secs(1)
+            ),
+            PostOutcome::None
+        );
+        // Later forward packets reuse the binding, not the allocator.
+        let ctx = nat
+            .prerouting(&mut ct, t, IfIndex(1), Nanos::from_secs(2))
+            .unwrap();
+        assert!(!ctx.fresh);
+        assert_eq!(
+            nat.postrouting(
+                &mut ct,
+                Some(ctx),
+                t,
+                IfIndex(2),
+                Some(gw_public()),
+                Nanos::from_secs(2)
+            ),
+            PostOutcome::Snat {
+                src: gw_public(),
+                sport: 32768
+            }
+        );
+        assert_eq!(nat.ports_in_use(), 1);
+    }
+
+    #[test]
+    fn dnat_rewrites_and_reply_restores() {
+        let mut nat = Nat::new();
+        let server = Ipv4Addr::new(10, 0, 2, 20);
+        assert!(nat.append(
+            NatChain::Prerouting,
+            NatRule {
+                dst: Some(Prefix::new(gw_public(), 32)),
+                dport: Some(80),
+                ..NatRule::any(NatTarget::Dnat {
+                    to: server,
+                    to_port: Some(8080)
+                })
+            }
+        ));
+        let mut ct = Conntrack::new();
+        let t = NatTuple::new(Ipv4Addr::new(203, 0, 113, 9), 5555, gw_public(), 80, 6);
+        let ctx = nat.prerouting(&mut ct, t, IfIndex(1), Nanos::ZERO).unwrap();
+        assert!(ctx.fresh);
+        assert_eq!((ctx.xlat.dst, ctx.xlat.dport), (server, 8080));
+        // POSTROUTING installs the binding even though the source is kept.
+        assert_eq!(
+            nat.postrouting(&mut ct, Some(ctx), ctx.xlat, IfIndex(2), None, Nanos::ZERO),
+            PostOutcome::None
+        );
+        assert_eq!(ct.nat_len(), 2);
+        // Server's reply is source-rewritten back to the public address.
+        let reply = NatTuple::new(server, 8080, t.src, t.sport, 6);
+        let rctx = nat
+            .prerouting(&mut ct, reply, IfIndex(2), Nanos::from_secs(1))
+            .unwrap();
+        assert!(rctx.reply);
+        assert_eq!(
+            nat.postrouting(
+                &mut ct,
+                Some(rctx),
+                reply,
+                IfIndex(1),
+                None,
+                Nanos::from_secs(1)
+            ),
+            PostOutcome::Snat {
+                src: gw_public(),
+                sport: 80
+            }
+        );
+    }
+
+    #[test]
+    fn port_allocator_is_deterministic_and_exhausts() {
+        let mut nat = Nat::new();
+        nat.port_range = (100, 102);
+        nat.cursor = 100;
+        assert_eq!(nat.alloc_port(), Some(100));
+        assert_eq!(nat.alloc_port(), Some(101));
+        assert_eq!(nat.alloc_port(), Some(102));
+        assert_eq!(nat.alloc_port(), None);
+        nat.release_port(101);
+        // The cursor wraps and finds the freed port.
+        assert_eq!(nat.alloc_port(), Some(101));
+        assert_eq!(nat.alloc_port(), None);
+    }
+
+    #[test]
+    fn exhaustion_drops_fresh_masquerade_flows() {
+        let mut nat = masq_table();
+        nat.port_range = (100, 100);
+        nat.cursor = 100;
+        let mut ct = Conntrack::new();
+        let first = nat.postrouting(
+            &mut ct,
+            None,
+            client_tuple(1),
+            IfIndex(2),
+            Some(gw_public()),
+            Nanos::ZERO,
+        );
+        assert!(matches!(first, PostOutcome::Snat { sport: 100, .. }));
+        let second = nat.postrouting(
+            &mut ct,
+            None,
+            client_tuple(2),
+            IfIndex(2),
+            Some(gw_public()),
+            Nanos::ZERO,
+        );
+        assert_eq!(second, PostOutcome::ExhaustedDrop);
+        // The established flow still works.
+        assert!(nat
+            .prerouting(&mut ct, client_tuple(1), IfIndex(1), Nanos::ZERO)
+            .is_some());
+    }
+
+    #[test]
+    fn non_tcp_udp_is_never_translated() {
+        let mut nat = masq_table();
+        let mut ct = Conntrack::new();
+        let mut icmp = client_tuple(0);
+        icmp.proto = 1;
+        assert!(nat
+            .prerouting(&mut ct, icmp, IfIndex(1), Nanos::ZERO)
+            .is_none());
+        assert_eq!(
+            nat.postrouting(
+                &mut ct,
+                None,
+                icmp,
+                IfIndex(2),
+                Some(gw_public()),
+                Nanos::ZERO
+            ),
+            PostOutcome::None
+        );
+        assert_eq!(ct.nat_len(), 0);
+    }
+
+    #[test]
+    fn could_translate_ignores_interfaces() {
+        let mut nat = Nat::new();
+        assert!(nat.append(
+            NatChain::Postrouting,
+            NatRule {
+                src: Some("192.168.1.0/24".parse().unwrap()),
+                out_if: Some(IfIndex(7)),
+                ..NatRule::any(NatTarget::Masquerade)
+            }
+        ));
+        assert!(nat.could_translate(&client_tuple(1)));
+        let mut outside = client_tuple(1);
+        outside.src = Ipv4Addr::new(10, 9, 9, 9);
+        assert!(!nat.could_translate(&outside));
+        nat.flush();
+        assert_eq!(nat.total_rules(), 0);
+        assert!(!nat.could_translate(&client_tuple(1)));
+    }
+}

@@ -124,6 +124,11 @@ pub enum NetlinkMessage {
         /// Generation after the change.
         generation: u64,
     },
+    /// The iptables `nat` table changed (rules appended or flushed).
+    NatChanged {
+        /// Generation after the change.
+        generation: u64,
+    },
     /// A sysctl changed.
     SysctlChanged {
         /// Sysctl name (e.g. `net.ipv4.ip_forward`).
@@ -141,9 +146,9 @@ impl NetlinkMessage {
             NetlinkMessage::NewAddr { .. } | NetlinkMessage::DelAddr { .. } => NlGroup::Addr,
             NetlinkMessage::NewRoute(_) | NetlinkMessage::DelRoute { .. } => NlGroup::Route,
             NetlinkMessage::NewNeigh { .. } | NetlinkMessage::DelNeigh { .. } => NlGroup::Neigh,
-            NetlinkMessage::NetfilterChanged { .. } | NetlinkMessage::IpvsChanged { .. } => {
-                NlGroup::Netfilter
-            }
+            NetlinkMessage::NetfilterChanged { .. }
+            | NetlinkMessage::IpvsChanged { .. }
+            | NetlinkMessage::NatChanged { .. } => NlGroup::Netfilter,
             NetlinkMessage::SysctlChanged { .. } => NlGroup::Sysctl,
         }
     }
@@ -309,6 +314,10 @@ mod tests {
             }
             .group(),
             NlGroup::Addr
+        );
+        assert_eq!(
+            NetlinkMessage::NatChanged { generation: 1 }.group(),
+            NlGroup::Netfilter
         );
     }
 

@@ -11,10 +11,11 @@
 //! the acceleration transparent.
 
 use crate::bridge::{Bridge, BridgeDecision};
-use crate::conntrack::Conntrack;
+use crate::conntrack::{Conntrack, NatTuple};
 use crate::device::{DeviceKind, IfIndex, NetDevice};
 use crate::error::NetError;
 use crate::fib::{Fib, Route, RouteScope};
+use crate::nat::{Nat, NatChain, NatCtx, NatLookupOutcome, NatRule, PostOutcome};
 use crate::neigh::NeighTable;
 use crate::netfilter::{ChainHook, IptRule, Netfilter, NfVerdict, PacketMeta};
 use crate::netlink::{LinkInfo, NetlinkBus, NetlinkMessage, NlGroup, RouteInfo, SubscriberId};
@@ -203,6 +204,8 @@ pub struct HousekeepingReport {
     pub conntrack_expired: usize,
     /// Expired neighbor entries removed.
     pub neigh_expired: usize,
+    /// Expired NAT binding entries removed (per direction).
+    pub nat_expired: usize,
 }
 
 /// Outcome of the `bpf_fdb_lookup` helper.
@@ -247,6 +250,7 @@ struct StackTelemetry {
     slow_local: Counter,
     slow_netfilter: Counter,
     slow_ipvs: Counter,
+    slow_nat: Counter,
 }
 
 impl StackTelemetry {
@@ -264,6 +268,22 @@ impl StackTelemetry {
             "linuxfp_subsystem_ops_total",
             "Subsystem operations (fast-path helpers and slow path alike)",
         );
+        registry.describe(
+            "linuxfp_nat_translations_total",
+            "Forward-direction packets translated by a NAT binding (both paths)",
+        );
+        registry.describe(
+            "linuxfp_nat_reply_hits_total",
+            "Reply-direction packets un-translated by a NAT binding (both paths)",
+        );
+        registry.describe(
+            "linuxfp_nat_port_exhaustion_total",
+            "Fresh masquerade flows dropped because the port range was exhausted",
+        );
+        registry.describe(
+            "linuxfp_conntrack_evictions_total",
+            "Conntrack entries evicted because the table was at capacity",
+        );
         let slow = |subsystem: &str| {
             registry.counter(
                 "linuxfp_slowpath_packets_total",
@@ -278,6 +298,7 @@ impl StackTelemetry {
             slow_local: slow("local"),
             slow_netfilter: slow("netfilter"),
             slow_ipvs: slow("ipvs"),
+            slow_nat: slow("nat"),
             registry,
         }
     }
@@ -300,6 +321,10 @@ pub struct Kernel {
     pub conntrack: Conntrack,
     /// The ipvs load-balancing subsystem.
     pub ipvs: crate::ipvs::Ipvs,
+    /// The iptables `nat` table.
+    pub nat: Nat,
+    /// Last coarse-interval conntrack/NAT GC run from the packet path.
+    last_ct_gc: Nanos,
     /// Whether forwarded traffic is connection-tracked (Kubernetes-style
     /// hosts enable this; plain routers usually do not).
     pub conntrack_forward: bool,
@@ -349,6 +374,8 @@ impl Kernel {
             netfilter: Netfilter::new(),
             conntrack: Conntrack::new(),
             ipvs: crate::ipvs::Ipvs::new(),
+            nat: Nat::new(),
+            last_ct_gc: Nanos::ZERO,
             conntrack_forward: false,
             sysctls,
             netlink: NetlinkBus::new(),
@@ -378,6 +405,14 @@ impl Kernel {
         self.fib.set_lookup_counter(ops("fib"));
         self.netfilter.set_evaluation_counter(ops("netfilter"));
         self.ipvs.set_selection_counter(ops("ipvs"));
+        self.nat
+            .set_translation_counter(t.registry.counter("linuxfp_nat_translations_total", &[]));
+        self.nat
+            .set_reply_counter(t.registry.counter("linuxfp_nat_reply_hits_total", &[]));
+        self.nat
+            .set_exhaustion_counter(t.registry.counter("linuxfp_nat_port_exhaustion_total", &[]));
+        self.conntrack
+            .set_eviction_counter(t.registry.counter("linuxfp_conntrack_evictions_total", &[]));
         for bridge in self.bridges.values_mut() {
             bridge.set_decision_counter(ops("bridge"));
         }
@@ -419,6 +454,10 @@ impl Kernel {
             report.fdb_expired += bridge.fdb_gc(now);
         }
         report.conntrack_expired = self.conntrack.gc(now);
+        report.nat_expired = self.conntrack.nat_gc(now);
+        for port in self.conntrack.take_freed_nat_ports() {
+            self.nat.release_port(port);
+        }
         report.neigh_expired = self.neigh.gc(now);
         report
     }
@@ -939,6 +978,29 @@ impl Kernel {
         ok
     }
 
+    /// Appends a NAT rule (`iptables -t nat -A <CHAIN> ...`); returns
+    /// `false` when the target is illegal for the chain.
+    pub fn iptables_nat_append(&mut self, chain: NatChain, rule: NatRule) -> bool {
+        let ok = self.nat.append(chain, rule);
+        if ok {
+            self.publish_nat_changed();
+        }
+        ok
+    }
+
+    /// Flushes the `nat` table (`iptables -t nat -F`). Established
+    /// bindings keep translating their flows, as in Linux.
+    pub fn iptables_nat_flush(&mut self) {
+        self.nat.flush();
+        self.publish_nat_changed();
+    }
+
+    fn publish_nat_changed(&mut self) {
+        let generation = self.nat.generation;
+        self.netlink
+            .publish(NetlinkMessage::NatChanged { generation });
+    }
+
     fn publish_nf_changed(&mut self) {
         let generation = self.netfilter.generation;
         self.netlink
@@ -1147,6 +1209,49 @@ impl Kernel {
         )
     }
 
+    /// `bpf_nat_lookup` (the fifth subsystem's helper): reads the
+    /// *kernel's* NAT binding table — never shadow state. A `Hit` tells
+    /// the fast path the full translated tuple; a `Miss` means the slow
+    /// path must see the packet (rule evaluation, port allocation and
+    /// binding creation are slow-path work, like conntrack entry
+    /// creation in the paper's split); `NoNat` lets untranslated
+    /// traffic keep to the fast path.
+    ///
+    /// Only UDP is fast-path translated (TCP reports `Miss`), mirroring
+    /// the ipvs fast path's protocol split.
+    pub fn helper_nat_lookup(
+        &mut self,
+        src: Ipv4Addr,
+        sport: u16,
+        dst: Ipv4Addr,
+        dport: u16,
+        proto: u8,
+    ) -> NatLookupOutcome {
+        let tuple = NatTuple::new(src, sport, dst, dport, proto);
+        if !matches!(proto, 6 | 17) {
+            return NatLookupOutcome::NoNat;
+        }
+        let now = self.now;
+        if let Some(hit) = self.conntrack.nat_lookup(&tuple, now) {
+            if proto != 17 {
+                return NatLookupOutcome::Miss;
+            }
+            // Count through the same counters as the slow path: the
+            // translation happens either way.
+            if hit.reply {
+                self.nat.note_reply_hit();
+            } else {
+                self.nat.note_translation();
+            }
+            return NatLookupOutcome::Hit(hit.xlat);
+        }
+        if self.nat.could_translate(&tuple) {
+            NatLookupOutcome::Miss
+        } else {
+            NatLookupOutcome::NoNat
+        }
+    }
+
     // ------------------------------------------------------------------
     // The data path
     // ------------------------------------------------------------------
@@ -1156,6 +1261,18 @@ impl Kernel {
     pub fn receive(&mut self, dev: IfIndex, frame: Vec<u8>) -> RxOutcome {
         if let Some(t) = &self.telemetry {
             t.packets_injected.inc();
+        }
+        // Coarse-interval GC from the packet path: Linux ties conntrack
+        // expiry to timers and packet processing; without this, tables
+        // only shrink when callers remember to run housekeeping.
+        if self.now.saturating_sub(self.last_ct_gc) >= Nanos::from_secs(1) {
+            self.last_ct_gc = self.now;
+            let now = self.now;
+            self.conntrack.gc(now);
+            self.conntrack.nat_gc(now);
+            for port in self.conntrack.take_freed_nat_ports() {
+                self.nat.release_port(port);
+            }
         }
         let mut out = RxOutcome::default();
         let mut queue: VecDeque<(IfIndex, Vec<u8>)> = VecDeque::new();
@@ -1525,12 +1642,45 @@ impl Kernel {
             return;
         }
 
-        // ipvs NAT: traffic to a virtual service is rewritten toward a
-        // backend — pinned flows reuse their backend; new flows are
-        // scheduled here (slow-path work per paper Table I, row 4).
         let mut frame = frame;
         let mut ip = ip;
         let mut meta = meta;
+
+        // nat PREROUTING: an established binding or a DNAT rule rewrites
+        // the destination before routing; the source half (SNAT /
+        // masquerade) is applied at POSTROUTING. Rule evaluation and
+        // binding management are slow-path work — the fast path reads
+        // the resulting bindings through `bpf_nat_lookup`.
+        let mut nat_ctx: Option<NatCtx> = None;
+        let nat_active = self.nat.total_rules() > 0 || self.conntrack.nat_len() > 0;
+        if nat_active && matches!(ip.proto, IpProto::Udp | IpProto::Tcp) {
+            out.cost.charge("nat_lookup", self.cost.conntrack_lookup_ns);
+            let now = self.now;
+            let tuple = NatTuple::new(ip.src, meta.sport, ip.dst, meta.dport, ip.proto.to_u8());
+            nat_ctx = self.nat.prerouting(&mut self.conntrack, tuple, dev, now);
+            if let Some(ctx) = &nat_ctx {
+                if ctx.xlat.dst != tuple.dst || ctx.xlat.dport != tuple.dport {
+                    if let Some(t) = &self.telemetry {
+                        t.slow_nat.inc();
+                    }
+                    linuxfp_packet::rewrite_ipv4(
+                        &mut frame,
+                        l3,
+                        &linuxfp_packet::FieldRewrite {
+                            dst: Some(ctx.xlat.dst),
+                            dport: Some(ctx.xlat.dport),
+                            ..Default::default()
+                        },
+                    );
+                    ip = Ipv4Header::parse(&frame[l3..]).expect("rewritten header valid");
+                    meta = self.packet_meta(dev, &frame, l3, &ip);
+                }
+            }
+        }
+
+        // ipvs NAT: traffic to a virtual service is rewritten toward a
+        // backend — pinned flows reuse their backend; new flows are
+        // scheduled here (slow-path work per paper Table I, row 4).
         if !self.ipvs.is_empty() && matches!(ip.proto, IpProto::Udp | IpProto::Tcp) {
             out.cost.charge("conntrack", self.cost.conntrack_lookup_ns);
             let now = self.now;
@@ -1605,6 +1755,56 @@ impl Kernel {
             self.icmp_error(&frame, l3, &ip, IcmpType::TimeExceeded, out, queue);
             self.drop(out, "ttl exceeded");
             return;
+        }
+
+        // nat POSTROUTING: complete fresh translations (SNAT/MASQUERADE
+        // rule evaluation, port allocation, binding install) and apply
+        // the source half of established bindings. Done before neighbor
+        // resolution so ARP-queued frames already carry the rewrite.
+        // The POSTROUTING filter chain below still sees the pre-SNAT
+        // source, as mangle/filter hooks do in Linux.
+        if nat_active && matches!(ip.proto, IpProto::Udp | IpProto::Tcp) {
+            let now = self.now;
+            let cur = NatTuple::new(ip.src, meta.sport, ip.dst, meta.dport, ip.proto.to_u8());
+            let egress_ip = self
+                .devices
+                .get(&route.dev)
+                .and_then(|d| d.addrs.first().map(|(a, _)| *a));
+            let bindings_before = self.conntrack.nat_len();
+            let outcome = self.nat.postrouting(
+                &mut self.conntrack,
+                nat_ctx.take(),
+                cur,
+                route.dev,
+                egress_ip,
+                now,
+            );
+            if self.conntrack.nat_len() > bindings_before {
+                // A fresh binding was installed (conntrack-entry-creation
+                // class work).
+                out.cost.charge("nat_bind", self.cost.conntrack_create_ns);
+            }
+            match outcome {
+                PostOutcome::Snat { src, sport } => {
+                    if let Some(t) = &self.telemetry {
+                        t.slow_nat.inc();
+                    }
+                    linuxfp_packet::rewrite_ipv4(
+                        &mut frame,
+                        l3,
+                        &linuxfp_packet::FieldRewrite {
+                            src: Some(src),
+                            sport: Some(sport),
+                            ..Default::default()
+                        },
+                    );
+                }
+                PostOutcome::ExhaustedDrop => {
+                    self.drop(out, "nat port exhaustion");
+                    return;
+                }
+                PostOutcome::None => {}
+            }
         }
 
         // Neighbor resolution for the next hop.
@@ -1808,29 +2008,26 @@ impl Kernel {
         self.ip_output(error_frame, ip.src, out, queue);
     }
 
-    /// Rewrites the destination of a frame to an ipvs backend: dst IP,
-    /// L4 dst port, full IPv4 checksum recompute, UDP checksum cleared
-    /// (legal over IPv4; TCP checksum fixups are assumed offloaded).
+    /// Rewrites the destination of a frame to an ipvs backend through
+    /// the shared incremental checksum-delta helper — the same audited
+    /// implementation NAT and the synthesized fast paths use (UDP
+    /// checksum cleared, TCP checksum delta-updated).
     fn ipvs_nat_rewrite(
         frame: &mut [u8],
         l3: usize,
-        ip: &Ipv4Header,
+        _ip: &Ipv4Header,
         backend_ip: Ipv4Addr,
         backend_port: u16,
     ) {
-        frame[l3 + 16..l3 + 20].copy_from_slice(&backend_ip.octets());
-        frame[l3 + 10] = 0;
-        frame[l3 + 11] = 0;
-        let c = linuxfp_packet::checksum::checksum(&frame[l3..l3 + ip.header_len]);
-        frame[l3 + 10..l3 + 12].copy_from_slice(&c.to_be_bytes());
-        let l4 = l3 + ip.header_len;
-        if frame.len() >= l4 + 8 {
-            frame[l4 + 2..l4 + 4].copy_from_slice(&backend_port.to_be_bytes());
-            if ip.proto == IpProto::Udp {
-                frame[l4 + 6] = 0;
-                frame[l4 + 7] = 0;
-            }
-        }
+        linuxfp_packet::rewrite_ipv4(
+            frame,
+            l3,
+            &linuxfp_packet::FieldRewrite {
+                dst: Some(backend_ip),
+                dport: Some(backend_port),
+                ..Default::default()
+            },
+        );
     }
 
     fn vxlan_device_for(&self, dst: Ipv4Addr, port: u16) -> Option<IfIndex> {

@@ -7,8 +7,9 @@
 //! - typed, bounds-checked **views** over raw bytes ([`EthernetFrame`],
 //!   [`Ipv4Header`], [`ArpPacket`], [`UdpHeader`], [`TcpHeader`],
 //!   [`IcmpHeader`], [`VxlanHeader`]);
-//! - in-place **mutation** (MAC rewrite, TTL decrement with incremental
-//!   checksum update — the operations a forwarding fast path performs);
+//! - in-place **mutation** (MAC rewrite, TTL decrement, and NAT-style
+//!   address/port rewriting with incremental checksum updates — the
+//!   operations a forwarding fast path performs, see [`rewrite`]);
 //! - **builders** for synthesizing workload traffic;
 //! - the RFC 1071 internet [`checksum`] with incremental updates.
 //!
@@ -44,6 +45,7 @@ pub mod checksum;
 pub mod eth;
 pub mod icmp;
 pub mod ipv4;
+pub mod rewrite;
 pub mod tcp;
 pub mod udp;
 pub mod vxlan;
@@ -52,6 +54,7 @@ pub use arp::{ArpOp, ArpPacket};
 pub use eth::{EtherType, EthernetFrame, MacAddr, VlanTag, ETH_HLEN};
 pub use icmp::{IcmpHeader, IcmpType};
 pub use ipv4::{IpProto, Ipv4Header, IPV4_MIN_HLEN};
+pub use rewrite::{rewrite_ipv4, FieldRewrite};
 pub use tcp::TcpHeader;
 pub use udp::UdpHeader;
 pub use vxlan::VxlanHeader;

@@ -1,0 +1,199 @@
+//! In-place IPv4/L4 field rewriting with RFC 1624 incremental checksum
+//! updates — the one audited implementation shared by the slow path's
+//! NAT/ipvs translation and mirrored instruction-for-instruction by the
+//! synthesized eBPF rewrite code.
+//!
+//! Address and port changes patch the IPv4 header checksum (and the TCP
+//! checksum, which covers the pseudo-header) by word deltas instead of
+//! re-summing. UDP checksums are *cleared* on any change: a zero UDP
+//! checksum is legal over IPv4 (RFC 768), and this is exactly what the
+//! fast path emits, keeping both paths byte-identical.
+
+use crate::checksum::incremental_update_u16;
+use std::net::Ipv4Addr;
+
+/// Which IPv4/L4 fields to rewrite. `None` fields are left alone; a
+/// `Some` equal to the current value is a no-op that still counts as a
+/// change for the UDP checksum-clearing rule only if any field actually
+/// differs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FieldRewrite {
+    /// New source address.
+    pub src: Option<Ipv4Addr>,
+    /// New destination address.
+    pub dst: Option<Ipv4Addr>,
+    /// New L4 source port.
+    pub sport: Option<u16>,
+    /// New L4 destination port.
+    pub dport: Option<u16>,
+}
+
+/// Reads the big-endian word at `off`.
+fn word(frame: &[u8], off: usize) -> u16 {
+    u16::from_be_bytes([frame[off], frame[off + 1]])
+}
+
+/// Replaces the big-endian word at `off`, returning `(old, new)` for
+/// checksum deltas.
+fn put_word(frame: &mut [u8], off: usize, new: u16) -> (u16, u16) {
+    let old = word(frame, off);
+    frame[off..off + 2].copy_from_slice(&new.to_be_bytes());
+    (old, new)
+}
+
+/// Applies `rw` to the IPv4 packet starting at `frame[l3..]`, fixing
+/// the IPv4 header checksum and the TCP checksum incrementally and
+/// clearing the UDP checksum when anything changed. Ports are only
+/// touched for TCP/UDP packets with a complete L4 header in the buffer
+/// (unfragmented first fragments — the only thing either path rewrites).
+/// Returns whether any byte of the packet changed.
+pub fn rewrite_ipv4(frame: &mut [u8], l3: usize, rw: &FieldRewrite) -> bool {
+    if frame.len() < l3 + 20 {
+        return false;
+    }
+    let ihl = usize::from(frame[l3] & 0x0f) * 4;
+    let l4 = l3 + ihl;
+    let proto = frame[l3 + 9];
+    let is_tcp = proto == 6;
+    let is_udp = proto == 17;
+    let has_ports = (is_tcp || is_udp) && frame.len() >= l4 + 8;
+
+    // Collect the (offset-in-header, old, new) word deltas.
+    let mut ip_deltas: Vec<(u16, u16)> = Vec::new();
+    let mut l4_deltas: Vec<(u16, u16)> = Vec::new();
+    for (addr, off) in [(rw.src, l3 + 12), (rw.dst, l3 + 16)] {
+        if let Some(a) = addr {
+            let o = a.octets();
+            let d0 = put_word(frame, off, u16::from_be_bytes([o[0], o[1]]));
+            let d1 = put_word(frame, off + 2, u16::from_be_bytes([o[2], o[3]]));
+            ip_deltas.push(d0);
+            ip_deltas.push(d1);
+            // Addresses are in the TCP pseudo-header.
+            l4_deltas.push(d0);
+            l4_deltas.push(d1);
+        }
+    }
+    if has_ports {
+        for (port, off) in [(rw.sport, l4), (rw.dport, l4 + 2)] {
+            if let Some(p) = port {
+                l4_deltas.push(put_word(frame, off, p));
+            }
+        }
+    }
+
+    let changed = ip_deltas.iter().chain(&l4_deltas).any(|(o, n)| o != n);
+    if !changed {
+        return false;
+    }
+
+    let mut ip_csum = word(frame, l3 + 10);
+    for (old, new) in &ip_deltas {
+        ip_csum = incremental_update_u16(ip_csum, *old, *new);
+    }
+    frame[l3 + 10..l3 + 12].copy_from_slice(&ip_csum.to_be_bytes());
+
+    if is_tcp && frame.len() >= l4 + 18 {
+        let mut tcp_csum = word(frame, l4 + 16);
+        for (old, new) in &l4_deltas {
+            tcp_csum = incremental_update_u16(tcp_csum, *old, *new);
+        }
+        frame[l4 + 16..l4 + 18].copy_from_slice(&tcp_csum.to_be_bytes());
+    } else if is_udp && has_ports {
+        frame[l4 + 6] = 0;
+        frame[l4 + 7] = 0;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use crate::checksum::checksum;
+    use crate::{EthernetFrame, Ipv4Header, MacAddr};
+    use std::net::Ipv4Addr;
+
+    fn udp_frame() -> (Vec<u8>, usize) {
+        let frame = builder::udp_packet(
+            MacAddr::new([2, 0, 0, 0, 0, 1]),
+            MacAddr::new([2, 0, 0, 0, 0, 2]),
+            Ipv4Addr::new(192, 168, 1, 10),
+            Ipv4Addr::new(8, 8, 8, 8),
+            40000,
+            53,
+            b"query",
+        );
+        (frame, crate::ETH_HLEN)
+    }
+
+    #[test]
+    fn identity_rewrite_changes_nothing() {
+        let (mut frame, l3) = udp_frame();
+        let before = frame.clone();
+        assert!(!rewrite_ipv4(&mut frame, l3, &FieldRewrite::default()));
+        assert!(!rewrite_ipv4(
+            &mut frame,
+            l3,
+            &FieldRewrite {
+                src: Some(Ipv4Addr::new(192, 168, 1, 10)),
+                sport: Some(40000),
+                ..FieldRewrite::default()
+            }
+        ));
+        assert_eq!(frame, before);
+    }
+
+    #[test]
+    fn udp_rewrite_fixes_ip_checksum_and_clears_udp() {
+        let (mut frame, l3) = udp_frame();
+        assert!(rewrite_ipv4(
+            &mut frame,
+            l3,
+            &FieldRewrite {
+                src: Some(Ipv4Addr::new(198, 51, 100, 1)),
+                sport: Some(32768),
+                ..FieldRewrite::default()
+            }
+        ));
+        let eth = EthernetFrame::parse(&frame).unwrap();
+        let ip = Ipv4Header::parse(&frame[eth.payload_offset..]).unwrap();
+        assert_eq!(ip.src, Ipv4Addr::new(198, 51, 100, 1));
+        assert!(ip.verify_checksum(&frame[eth.payload_offset..]));
+        let l4 = l3 + ip.header_len;
+        assert_eq!(&frame[l4..l4 + 2], &32768u16.to_be_bytes());
+        assert_eq!(&frame[l4 + 6..l4 + 8], &[0, 0]);
+    }
+
+    #[test]
+    fn incremental_ip_checksum_matches_full_recompute() {
+        let (mut frame, l3) = udp_frame();
+        rewrite_ipv4(
+            &mut frame,
+            l3,
+            &FieldRewrite {
+                dst: Some(Ipv4Addr::new(10, 0, 2, 20)),
+                dport: Some(8080),
+                ..FieldRewrite::default()
+            },
+        );
+        let mut scratch = frame[l3..l3 + 20].to_vec();
+        scratch[10] = 0;
+        scratch[11] = 0;
+        let full = checksum(&scratch);
+        assert_eq!(word(&frame, l3 + 10), full);
+    }
+
+    #[test]
+    fn short_frames_are_left_alone() {
+        let mut tiny = vec![0u8; 20];
+        assert!(!rewrite_ipv4(
+            &mut tiny,
+            14,
+            &FieldRewrite {
+                src: Some(Ipv4Addr::new(1, 2, 3, 4)),
+                ..FieldRewrite::default()
+            }
+        ));
+        assert_eq!(tiny, vec![0u8; 20]);
+    }
+}

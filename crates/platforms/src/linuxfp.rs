@@ -225,6 +225,26 @@ mod tests {
     }
 
     #[test]
+    fn nat_gateway_translates_identically_but_faster() {
+        let s = Scenario::nat_gateway();
+        let mut linux = LinuxPlatform::new(s);
+        let mut lfp = LinuxFpPlatform::new(s);
+        let mac = lfp.dut_mac();
+        // Same mixed client sequence: masquerade allocations and
+        // established-flow rewrites stay byte-identical across paths.
+        for i in 0..9u64 {
+            let client = 2 + (i % 3) as u8;
+            let out_l = linux.process(s.client_frame(mac, client, i % 2, 60));
+            let out_f = lfp.process(s.client_frame(mac, client, i % 2, 60));
+            assert_eq!(out_l.transmissions(), out_f.transmissions(), "frame {i}");
+        }
+        // An established flow translates entirely on the fast path.
+        let out = lfp.process(s.client_frame(mac, 2, 0, 60));
+        assert_eq!(out.cost.stage_count("skb_alloc"), 0, "must stay fast");
+        assert_eq!(out.cost.stage_count("nat_lookup"), 1, "bpf_nat_lookup");
+    }
+
+    #[test]
     fn traits_table() {
         let p = LinuxFpPlatform::new(Scenario::router());
         let t = p.traits();

@@ -359,14 +359,12 @@ mod tests {
     #[test]
     fn classifier_drops_blacklisted_and_stays_flat() {
         let s10 = Scenario {
-            prefixes: 50,
             filter_rules: 10,
-            use_ipset: false,
+            ..Scenario::router()
         };
         let s1000 = Scenario {
-            prefixes: 50,
             filter_rules: 1000,
-            use_ipset: false,
+            ..Scenario::router()
         };
         let mut small = PolycubePlatform::new(s10);
         let mut large = PolycubePlatform::new(s1000);

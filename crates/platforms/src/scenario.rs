@@ -8,6 +8,7 @@
 //! Linux configuration".
 
 use linuxfp_netstack::device::IfIndex;
+use linuxfp_netstack::nat::{NatChain, NatRule, NatTarget};
 use linuxfp_netstack::netfilter::{ChainHook, IpSet, IptRule};
 use linuxfp_netstack::stack::{IfAddr, Kernel};
 use linuxfp_packet::ipv4::Prefix;
@@ -32,6 +33,10 @@ pub struct Scenario {
     pub filter_rules: u32,
     /// Whether the blacklist is aggregated into one ipset.
     pub use_ipset: bool,
+    /// Whether inside clients are masqueraded behind the downstream
+    /// interface's address (`iptables -t nat -A POSTROUTING -o <down>
+    /// -j MASQUERADE`).
+    pub masquerade: bool,
 }
 
 impl Scenario {
@@ -41,6 +46,7 @@ impl Scenario {
             prefixes: 50,
             filter_rules: 0,
             use_ipset: false,
+            masquerade: false,
         }
     }
 
@@ -50,6 +56,16 @@ impl Scenario {
             prefixes: 50,
             filter_rules: 100,
             use_ipset: false,
+            masquerade: false,
+        }
+    }
+
+    /// A NAT gateway: the router with many inside clients sharing the
+    /// downstream interface's single public address (home-router style).
+    pub fn nat_gateway() -> Self {
+        Scenario {
+            masquerade: true,
+            ..Scenario::router()
         }
     }
 
@@ -101,6 +117,20 @@ impl Scenario {
         )
     }
 
+    /// The NAT-gateway workload frame: inside client `client` (one of
+    /// many sharing the single public address) sending flow `i`.
+    pub fn client_frame(&self, dut_mac: MacAddr, client: u8, i: u64, frame_len: usize) -> Vec<u8> {
+        builder::udp_packet_sized(
+            SOURCE_MAC,
+            dut_mac,
+            Ipv4Addr::new(10, 0, 1, client),
+            self.allowed_dst(i),
+            (1024 + (i % 512)) as u16,
+            4791,
+            frame_len,
+        )
+    }
+
     /// Applies this scenario to a kernel using only standard Linux
     /// configuration (iproute2 / sysctl / iptables / ipset equivalents).
     /// Returns `(upstream, downstream)` interface indices.
@@ -140,6 +170,15 @@ impl Scenario {
                     );
                 }
             }
+        }
+        if self.masquerade {
+            k.iptables_nat_append(
+                NatChain::Postrouting,
+                NatRule {
+                    out_if: Some(eth1),
+                    ..NatRule::any(NatTarget::Masquerade)
+                },
+            );
         }
         // The testbed pre-resolves both neighbors (pktgen sends
         // continuously, so ARP is always warm).
@@ -198,6 +237,27 @@ mod tests {
         Scenario::gateway_ipset().configure_kernel(&mut k2);
         assert_eq!(k2.netfilter.rules(ChainHook::Forward).len(), 1);
         assert_eq!(k2.netfilter.set("blacklist").unwrap().len(), 100);
+    }
+
+    #[test]
+    fn nat_gateway_masquerades_inside_clients() {
+        let mut k = Kernel::new(44);
+        let s = Scenario::nat_gateway();
+        let (eth0, _) = s.configure_kernel(&mut k);
+        assert_eq!(k.nat.snat_rules(), 1);
+        let mac = k.device(eth0).unwrap().mac;
+        let mut ports = std::collections::HashSet::new();
+        for client in 2..5u8 {
+            let out = k.receive(eth0, s.client_frame(mac, client, 0, 60));
+            let tx = out.transmissions();
+            assert_eq!(tx.len(), 1, "client {client} forwarded");
+            let ip = linuxfp_packet::Ipv4Header::parse(&tx[0].1[14..]).unwrap();
+            assert_eq!(ip.src, Ipv4Addr::new(10, 0, 2, 1), "masqueraded");
+            let udp = linuxfp_packet::UdpHeader::parse(&tx[0].1[14 + ip.header_len..]).unwrap();
+            ports.insert(udp.src_port);
+        }
+        // Many inside clients, one public IP, distinct allocated ports.
+        assert_eq!(ports.len(), 3);
     }
 
     #[test]

@@ -214,14 +214,12 @@ mod tests {
     #[test]
     fn acl_cost_is_flat_in_rules() {
         let s10 = Scenario {
-            prefixes: 50,
             filter_rules: 10,
-            use_ipset: false,
+            ..Scenario::router()
         };
         let s1000 = Scenario {
-            prefixes: 50,
             filter_rules: 1000,
-            use_ipset: false,
+            ..Scenario::router()
         };
         let mut small = VppPlatform::new(s10);
         let mut large = VppPlatform::new(s1000);

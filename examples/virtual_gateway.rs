@@ -16,9 +16,9 @@ fn main() {
     );
 
     let sweep = |rules: u32, use_ipset: bool| Scenario {
-        prefixes: 50,
         filter_rules: rules,
         use_ipset,
+        ..Scenario::router()
     };
     let rule_counts = [1u32, 100, 500, 1000];
 

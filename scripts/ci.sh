@@ -16,6 +16,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --workspace --release
 
+echo "==> cargo build --release --examples --benches"
+cargo build --workspace --release --examples --benches
+
 echo "==> cargo test"
 cargo test --workspace -q
 
