@@ -197,10 +197,10 @@ pub fn table7_hook_comparison() -> ExperimentTable {
     let s = Scenario::router();
     let mut xdp = LinuxFpPlatform::with_hook(s, HookPoint::Xdp);
     let mx = xdp.dut_mac();
-    let fx = xdp.service_time_ns(&mut |i| s.frame(mx, i, 60));
+    let fx = xdp.service_time_ns(&mut |i, buf| s.fill_frame(mx, i, 60, buf));
     let mut tc = LinuxFpPlatform::with_hook(s, HookPoint::Tc);
     let mt = tc.dut_mac();
-    let ft = tc.service_time_ns(&mut |i| s.frame(mt, i, 60));
+    let ft = tc.service_time_ns(&mut |i, buf| s.fill_frame(mt, i, 60, buf));
     row("forwarding", fx, ft);
 
     // Filtering: the gateway with a small rule set (10 rules), as the
@@ -211,10 +211,10 @@ pub fn table7_hook_comparison() -> ExperimentTable {
     };
     let mut xdp = LinuxFpPlatform::with_hook(s, HookPoint::Xdp);
     let mx = xdp.dut_mac();
-    let gx = xdp.service_time_ns(&mut |i| s.frame(mx, i, 60));
+    let gx = xdp.service_time_ns(&mut |i, buf| s.fill_frame(mx, i, 60, buf));
     let mut tc = LinuxFpPlatform::with_hook(s, HookPoint::Tc);
     let mt = tc.dut_mac();
-    let gt = tc.service_time_ns(&mut |i| s.frame(mt, i, 60));
+    let gt = tc.service_time_ns(&mut |i, buf| s.fill_frame(mt, i, 60, buf));
     row("filtering", gx, gt);
 
     table.note("paper: XDP ~2x TC pps (sk_buff avoidance); filtering measured with 10 rules");

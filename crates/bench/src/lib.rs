@@ -26,6 +26,7 @@
 //! | `table7` | Table VII XDP vs TC | [`hooks::table7_hook_comparison`] |
 
 pub mod ablations;
+pub mod batch;
 pub mod control;
 pub mod hooks;
 pub mod pods;
@@ -53,6 +54,7 @@ pub fn run_experiment(id: &str) -> Option<ExperimentTable> {
         "table7" => hooks::table7_hook_comparison(),
         "ablation_state" => ablations::ablation_state_sharing(16),
         "ablation_minimal" => ablations::ablation_minimality(),
+        "batch_sweep" => batch::batch_sweep(),
         _ => return None,
     })
 }
@@ -76,6 +78,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "table7",
     "ablation_state",
     "ablation_minimal",
+    "batch_sweep",
 ];
 
 #[cfg(test)]
@@ -91,6 +94,6 @@ mod tests {
             assert!(!t.rows.is_empty(), "{id} produced no rows");
         }
         assert!(run_experiment("fig99").is_none());
-        assert_eq!(ALL_EXPERIMENTS.len(), 16);
+        assert_eq!(ALL_EXPERIMENTS.len(), 17);
     }
 }

@@ -140,7 +140,7 @@ fn latency_table(
     let mut table = ExperimentTable::new(id, title, &["platform", "avg", "p99", "stddev"]);
     let measure =
         |name: String, platform: &mut dyn Platform, mac: linuxfp_packet::MacAddr, sc: Scenario| {
-            let service = platform.service_time_ns(&mut |i| sc.frame(mac, i, 60));
+            let service = platform.service_time_ns(&mut |i, buf| sc.fill_frame(mac, i, 60, buf));
             let result = run_rr(&RrConfig::paper_default(
                 service,
                 platform.traits().scheduling,

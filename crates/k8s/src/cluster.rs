@@ -258,7 +258,7 @@ impl Cluster {
             .expect("exists")
             .mac;
         let frame = builder::udp_packet(src.mac, gw_mac, src.ip, vip, sport, port, payload);
-        let mut wire: Vec<Vec<u8>> = Vec::new();
+        let mut wire: Vec<linuxfp_packet::PacketBuf> = Vec::new();
         let mut receiver: Option<PodRef> = None;
         let mut check_effects = |effects: &[Effect], node_idx: usize, nodes: &[Node]| {
             let mut tx = Vec::new();
@@ -335,7 +335,7 @@ impl Cluster {
         report.total_cost_ns += out.cost.total_ns();
         report.fast_path_hits +=
             out.cost.stage_count("helper_fdb_lookup") + out.cost.stage_count("helper_fib_lookup");
-        let mut wire: Vec<Vec<u8>> = Vec::new();
+        let mut wire: Vec<linuxfp_packet::PacketBuf> = Vec::new();
         for effect in &out.effects {
             match effect {
                 Effect::Deliver { dev, frame }

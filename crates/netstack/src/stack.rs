@@ -24,9 +24,9 @@ use linuxfp_packet::builder;
 use linuxfp_packet::icmp::{IcmpHeader, IcmpType};
 use linuxfp_packet::ipv4::{IpProto, Ipv4Header, Prefix};
 use linuxfp_packet::udp::UdpHeader;
-use linuxfp_packet::{EtherType, EthernetFrame, MacAddr, Packet};
+use linuxfp_packet::{Batch, EtherType, EthernetFrame, MacAddr, Packet, PacketBuf};
 use linuxfp_sim::{CostModel, CostTracker, Nanos};
-use linuxfp_telemetry::{Counter, Registry};
+use linuxfp_telemetry::{Counter, Histogram, Registry, Scale};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::Ipv4Addr;
 use std::str::FromStr;
@@ -119,15 +119,16 @@ pub enum Effect {
     Transmit {
         /// Egress device.
         dev: IfIndex,
-        /// The frame as transmitted.
-        frame: Vec<u8>,
+        /// The frame as transmitted. Pool-backed when the packet came
+        /// from a pooled injection: dropping the outcome recycles it.
+        frame: PacketBuf,
     },
     /// The frame was delivered to the local socket layer.
     Deliver {
         /// Device the packet was addressed through.
         dev: IfIndex,
         /// The delivered frame.
-        frame: Vec<u8>,
+        frame: PacketBuf,
     },
     /// The frame was dropped.
     Drop {
@@ -251,6 +252,7 @@ struct StackTelemetry {
     slow_netfilter: Counter,
     slow_ipvs: Counter,
     slow_nat: Counter,
+    batch_size: Histogram,
 }
 
 impl StackTelemetry {
@@ -284,6 +286,10 @@ impl StackTelemetry {
             "linuxfp_conntrack_evictions_total",
             "Conntrack entries evicted because the table was at capacity",
         );
+        registry.describe(
+            "linuxfp_batch_size",
+            "Frames per injected burst (1 for single-packet Kernel::receive)",
+        );
         let slow = |subsystem: &str| {
             registry.counter(
                 "linuxfp_slowpath_packets_total",
@@ -299,6 +305,7 @@ impl StackTelemetry {
             slow_netfilter: slow("netfilter"),
             slow_ipvs: slow("ipvs"),
             slow_nat: slow("nat"),
+            batch_size: registry.histogram("linuxfp_batch_size", &[], Scale::Identity),
             registry,
         }
     }
@@ -332,7 +339,7 @@ pub struct Kernel {
     netlink: NetlinkBus,
     xdp_hooks: HashMap<IfIndex, HookFn>,
     tc_hooks: HashMap<IfIndex, HookFn>,
-    pending_arp: HashMap<Ipv4Addr, Vec<(IfIndex, Vec<u8>)>>,
+    pending_arp: HashMap<Ipv4Addr, Vec<(IfIndex, PacketBuf)>>,
     vxlan_fdb: HashMap<IfIndex, HashMap<MacAddr, Ipv4Addr>>,
     vxlan_defaults: HashMap<IfIndex, Vec<Ipv4Addr>>,
     /// Per-reason drop counters.
@@ -341,7 +348,36 @@ pub struct Kernel {
     /// BPDUs consumed by STP processing.
     pub bpdus_processed: u64,
     telemetry: Option<StackTelemetry>,
+    /// Bumped on every injection (single or batched); hook dispatchers
+    /// use it to cache per-burst lookups (see the ebpf crate).
+    batch_epoch: u64,
     seed: u64,
+}
+
+/// Result of [`Kernel::inject_batch`]: one [`RxOutcome`] per injected
+/// frame (in order) plus the per-burst fixed cost amortized across them.
+#[derive(Debug, Default)]
+pub struct BatchOutcome {
+    /// Per-frame outcomes, in injection order.
+    pub outcomes: Vec<RxOutcome>,
+    /// Fixed per-burst work (driver receive setup, hook dispatch),
+    /// charged once under the same stage names the per-packet trackers
+    /// use for their remainders.
+    pub batch_cost: CostTracker,
+    /// Number of frames injected.
+    pub batch_size: usize,
+}
+
+impl BatchOutcome {
+    /// Total virtual time for the burst: fixed cost + all per-frame cost.
+    pub fn total_ns(&self) -> f64 {
+        self.batch_cost.total_ns() + self.outcomes.iter().map(|o| o.cost.total_ns()).sum::<f64>()
+    }
+
+    /// Average per-packet service time for the burst.
+    pub fn per_packet_ns(&self) -> f64 {
+        self.total_ns() / self.batch_size.max(1) as f64
+    }
 }
 
 impl std::fmt::Debug for Kernel {
@@ -388,6 +424,7 @@ impl Kernel {
             counters: HashMap::new(),
             bpdus_processed: 0,
             telemetry: None,
+            batch_epoch: 0,
             seed,
         }
     }
@@ -434,6 +471,21 @@ impl Kernel {
         &self.cost
     }
 
+    /// Shared handle to the active cost model — lets hook closures keep
+    /// a reference across packets instead of cloning the struct per
+    /// frame.
+    pub fn cost_model_arc(&self) -> Arc<CostModel> {
+        Arc::clone(&self.cost)
+    }
+
+    /// The current injection epoch: bumped once per [`Kernel::receive`]
+    /// or [`Kernel::inject_batch`] call. Hook implementations compare it
+    /// to cache work (e.g. the attached-program fetch) across a burst —
+    /// within one epoch the set of installed programs cannot change.
+    pub fn batch_epoch(&self) -> u64 {
+        self.batch_epoch
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> Nanos {
         self.now
@@ -442,29 +494,6 @@ impl Kernel {
     /// Traffic counters for a device (zeroes for unknown devices).
     pub fn dev_counters(&self, dev: IfIndex) -> DevCounters {
         self.counters.get(&dev).copied().unwrap_or_default()
-    }
-
-    /// Runs the periodic slow-path housekeeping Linux timers perform:
-    /// FDB aging, conntrack expiry, neighbor GC (paper Table I's
-    /// "manage FDB (aging)" column).
-    pub fn run_housekeeping(&mut self) -> HousekeepingReport {
-        let now = self.now;
-        let mut report = HousekeepingReport::default();
-        for bridge in self.bridges.values_mut() {
-            report.fdb_expired += bridge.fdb_gc(now);
-        }
-        report.conntrack_expired = self.conntrack.gc(now);
-        report.nat_expired = self.conntrack.nat_gc(now);
-        for port in self.conntrack.take_freed_nat_ports() {
-            self.nat.release_port(port);
-        }
-        report.neigh_expired = self.neigh.gc(now);
-        report
-    }
-
-    /// Advances virtual time (drives FDB/neighbor/conntrack aging).
-    pub fn advance(&mut self, delta: Nanos) {
-        self.now += delta;
     }
 
     // ------------------------------------------------------------------
@@ -1251,966 +1280,30 @@ impl Kernel {
             NatLookupOutcome::NoNat
         }
     }
-
-    // ------------------------------------------------------------------
-    // The data path
-    // ------------------------------------------------------------------
-
-    /// Processes a frame received on `dev`, running hooks and the slow
-    /// path, returning all externally visible effects and the cost.
-    pub fn receive(&mut self, dev: IfIndex, frame: Vec<u8>) -> RxOutcome {
-        if let Some(t) = &self.telemetry {
-            t.packets_injected.inc();
-        }
-        // Coarse-interval GC from the packet path: Linux ties conntrack
-        // expiry to timers and packet processing; without this, tables
-        // only shrink when callers remember to run housekeeping.
-        if self.now.saturating_sub(self.last_ct_gc) >= Nanos::from_secs(1) {
-            self.last_ct_gc = self.now;
-            let now = self.now;
-            self.conntrack.gc(now);
-            self.conntrack.nat_gc(now);
-            for port in self.conntrack.take_freed_nat_ports() {
-                self.nat.release_port(port);
-            }
-        }
-        let mut out = RxOutcome::default();
-        let mut queue: VecDeque<(IfIndex, Vec<u8>)> = VecDeque::new();
-        queue.push_back((dev, frame));
-        let mut hops = 0;
-        while let Some((dev, frame)) = queue.pop_front() {
-            hops += 1;
-            if hops > 64 {
-                self.drop(&mut out, "forwarding loop");
-                break;
-            }
-            self.receive_one(dev, frame, &mut out, &mut queue);
-        }
-        out
-    }
-
-    fn drop(&mut self, out: &mut RxOutcome, reason: &'static str) {
-        if let Some(t) = &self.telemetry {
-            // Reasons are a small static set; get-or-create is off the
-            // common path (drops only).
-            t.registry
-                .counter("linuxfp_drops_total", &[("reason", reason)])
-                .inc();
-        }
-        *self.drop_counts.entry(reason).or_insert(0) += 1;
-        out.effects.push(Effect::Drop { reason });
-    }
-
-    fn receive_one(
-        &mut self,
-        dev: IfIndex,
-        frame: Vec<u8>,
-        out: &mut RxOutcome,
-        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
-    ) {
-        let Some(device) = self.devices.get(&dev) else {
-            self.drop(out, "no such device");
-            return;
-        };
-        if !device.up {
-            self.drop(out, "device down");
-            return;
-        }
-        match device.kind {
-            DeviceKind::Physical => out.cost.charge("driver_rx", self.cost.driver_rx_ns),
-            DeviceKind::Veth { .. } => out.cost.charge("veth_cross", self.cost.veth_cross_ns),
-            DeviceKind::Bridge | DeviceKind::Vxlan { .. } => {}
-        }
-        {
-            let c = self.counters.entry(dev).or_default();
-            c.rx_packets += 1;
-            c.rx_bytes += frame.len() as u64;
-        }
-
-        let mut pkt = Packet::new(frame, dev.as_u32());
-
-        // XDP hook: before any sk_buff exists.
-        if let Some(hook) = self.xdp_hooks.get(&dev).cloned() {
-            out.cost.charge("xdp_entry", self.cost.xdp_entry_ns);
-            match hook(self, &mut pkt, &mut out.cost) {
-                HookVerdict::Pass => {}
-                HookVerdict::Drop => {
-                    self.drop(out, "xdp drop");
-                    return;
-                }
-                HookVerdict::Redirect(target) => {
-                    self.transmit(target, pkt.data, out, queue);
-                    return;
-                }
-                HookVerdict::DeliverUser => {
-                    // Consumed onto an AF_XDP ring: user space owns it
-                    // now, without any sk_buff ever existing.
-                    out.effects.push(Effect::Deliver {
-                        dev,
-                        frame: pkt.data,
-                    });
-                    return;
-                }
-            }
-        }
-
-        // sk_buff allocation: the cost XDP avoids.
-        out.cost.charge("skb_alloc", self.cost.skb_alloc_ns);
-
-        // TC ingress hook.
-        if let Some(hook) = self.tc_hooks.get(&dev).cloned() {
-            out.cost.charge("tc_entry", self.cost.tc_entry_ns);
-            match hook(self, &mut pkt, &mut out.cost) {
-                HookVerdict::Pass => {}
-                HookVerdict::Drop => {
-                    self.drop(out, "tc drop");
-                    return;
-                }
-                HookVerdict::Redirect(target) => {
-                    self.transmit(target, pkt.data, out, queue);
-                    return;
-                }
-                HookVerdict::DeliverUser => {
-                    out.effects.push(Effect::Deliver {
-                        dev,
-                        frame: pkt.data,
-                    });
-                    return;
-                }
-            }
-        }
-
-        self.slow_path(dev, pkt.data, out, queue);
-    }
-
-    fn slow_path(
-        &mut self,
-        dev: IfIndex,
-        frame: Vec<u8>,
-        out: &mut RxOutcome,
-        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
-    ) {
-        let Ok(eth) = EthernetFrame::parse(&frame) else {
-            self.drop(out, "malformed ethernet");
-            return;
-        };
-        let (master, dev_mac, endpoint) = {
-            let device = self.devices.get(&dev).expect("checked in receive_one");
-            (device.master, device.mac, device.endpoint)
-        };
-
-        // Endpoint devices (pod-side veths) hand frames to an external
-        // stack: deliver anything addressed to them (or broadcast).
-        if endpoint {
-            if eth.dst == dev_mac || eth.dst.is_multicast() {
-                out.cost.charge("local_deliver", self.cost.local_deliver_ns);
-                out.effects.push(Effect::Deliver { dev, frame });
-            } else {
-                self.drop(out, "wrong destination mac");
-            }
-            return;
-        }
-
-        // Bridge port: L2 processing first.
-        if let Some(bridge_idx) = master {
-            self.bridge_input(bridge_idx, dev, eth, frame, out, queue);
-            return;
-        }
-
-        // Non-promiscuous check for ordinary devices.
-        if eth.dst != dev_mac && eth.dst.is_unicast() {
-            self.drop(out, "wrong destination mac");
-            return;
-        }
-
-        self.up_stack(dev, eth, frame, out, queue);
-    }
-
-    fn bridge_input(
-        &mut self,
-        bridge_idx: IfIndex,
-        port: IfIndex,
-        eth: EthernetFrame,
-        frame: Vec<u8>,
-        out: &mut RxOutcome,
-        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
-    ) {
-        out.cost.charge("bridge_stack", self.cost.bridge_stack_ns);
-        if let Some(t) = &self.telemetry {
-            t.slow_bridge.inc();
-        }
-
-        // STP BPDUs are consumed by slow-path protocol processing.
-        if eth.dst == BPDU_MAC {
-            let stp_on = self
-                .bridges
-                .get(&bridge_idx)
-                .map(|b| b.stp_enabled)
-                .unwrap_or(false);
-            if stp_on {
-                self.bpdus_processed += 1;
-            }
-            self.drop(out, "bpdu consumed");
-            return;
-        }
-
-        let now = self.now;
-        let vlan_tag = eth.vlan.map(|t| t.vid);
-        let Some(bridge) = self.bridges.get_mut(&bridge_idx) else {
-            self.drop(out, "missing bridge");
-            return;
-        };
-        let decision = bridge.decide(port, eth.src, eth.dst, vlan_tag, now);
-
-        // br_netfilter: bridged IPv4 frames about to be forwarded also
-        // traverse the iptables FORWARD chain (and conntrack), exactly as
-        // Kubernetes hosts configure via bridge-nf-call-iptables.
-        if matches!(
-            decision,
-            BridgeDecision::Forward(_) | BridgeDecision::Flood(_)
-        ) && eth.ethertype == EtherType::Ipv4
-            && self.bridge_nf_enabled()
-        {
-            if let Ok(ip) = Ipv4Header::parse(&frame[eth.payload_offset..]) {
-                let meta = self.packet_meta(port, &frame, eth.payload_offset, &ip);
-                if self.conntrack_forward {
-                    out.cost.charge("conntrack", self.cost.conntrack_lookup_ns);
-                    let now = self.now;
-                    self.conntrack
-                        .track(ip.src, meta.sport, ip.dst, meta.dport, ip.proto, now);
-                }
-                if let Some(t) = &self.telemetry {
-                    t.slow_netfilter.inc();
-                }
-                let verdict =
-                    self.netfilter
-                        .evaluate(ChainHook::Forward, &meta, &self.cost, &mut out.cost);
-                if verdict == NfVerdict::Drop {
-                    self.drop(out, "nf forward drop");
-                    return;
-                }
-            }
-        }
-
-        match decision {
-            BridgeDecision::Forward(egress) => {
-                self.transmit(egress, frame, out, queue);
-            }
-            BridgeDecision::Flood(ports) => {
-                for (i, egress) in ports.iter().enumerate() {
-                    if i > 0 {
-                        out.cost
-                            .charge("bridge_flood", self.cost.bridge_flood_per_port_ns);
-                    }
-                    self.transmit(*egress, frame.clone(), out, queue);
-                }
-                // Broadcast (e.g. ARP) also goes up the bridge's own stack.
-                if eth.dst.is_broadcast() || eth.dst.is_multicast() {
-                    self.up_stack(bridge_idx, eth, frame, out, queue);
-                }
-            }
-            BridgeDecision::Local => {
-                self.up_stack(bridge_idx, eth, frame, out, queue);
-            }
-            BridgeDecision::Drop(reason) => {
-                self.drop(out, reason);
-            }
-        }
-    }
-
-    fn up_stack(
-        &mut self,
-        dev: IfIndex,
-        eth: EthernetFrame,
-        frame: Vec<u8>,
-        out: &mut RxOutcome,
-        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
-    ) {
-        match eth.ethertype {
-            EtherType::Arp => self.arp_input(dev, &eth, &frame, out, queue),
-            EtherType::Ipv4 => self.ip_input(dev, &eth, frame, out, queue),
-            _ => self.drop(out, "unhandled ethertype"),
-        }
-    }
-
-    fn arp_input(
-        &mut self,
-        dev: IfIndex,
-        eth: &EthernetFrame,
-        frame: &[u8],
-        out: &mut RxOutcome,
-        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
-    ) {
-        if let Some(t) = &self.telemetry {
-            t.slow_arp.inc();
-        }
-        let Ok(arp) = ArpPacket::parse(&frame[eth.payload_offset..]) else {
-            self.drop(out, "malformed arp");
-            return;
-        };
-        let device = self.devices.get(&dev).expect("exists");
-        let our_mac = device.mac;
-        let target_is_ours = device.has_addr(arp.target_ip);
-
-        // Learn the sender (Linux learns from both requests and replies
-        // addressed to it).
-        if target_is_ours || arp.op == ArpOp::Reply {
-            let now = self.now;
-            self.neigh.learn(arp.sender_ip, arp.sender_mac, dev, now);
-            self.netlink.publish(NetlinkMessage::NewNeigh {
-                addr: arp.sender_ip,
-                mac: arp.sender_mac,
-                dev,
-            });
-            self.flush_pending_arp(arp.sender_ip, out, queue);
-        }
-
-        if arp.op == ArpOp::Request && target_is_ours {
-            let reply = arp.reply_to(our_mac);
-            let reply_frame = builder::arp_frame(&reply, our_mac, arp.sender_mac);
-            self.transmit(dev, reply_frame, out, queue);
-        } else {
-            out.effects.push(Effect::Drop {
-                reason: "arp consumed",
-            });
-        }
-    }
-
-    fn flush_pending_arp(
-        &mut self,
-        resolved: Ipv4Addr,
-        out: &mut RxOutcome,
-        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
-    ) {
-        let Some(waiting) = self.pending_arp.remove(&resolved) else {
-            return;
-        };
-        let now = self.now;
-        let Some((mac, _)) = self.neigh.resolved_mac(resolved, now) else {
-            return;
-        };
-        for (egress, mut frame) in waiting {
-            if let Some(egress_dev) = self.devices.get(&egress) {
-                let src = egress_dev.mac;
-                EthernetFrame::rewrite_macs(&mut frame, mac, src);
-                self.transmit(egress, frame, out, queue);
-            }
-        }
-    }
-
-    fn ip_input(
-        &mut self,
-        dev: IfIndex,
-        eth: &EthernetFrame,
-        frame: Vec<u8>,
-        out: &mut RxOutcome,
-        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
-    ) {
-        out.cost.charge("ip_rcv", self.cost.ip_rcv_ns);
-        if let Some(t) = &self.telemetry {
-            t.slow_ip.inc();
-        }
-        let l3 = eth.payload_offset;
-        let Ok(ip) = Ipv4Header::parse(&frame[l3..]) else {
-            self.drop(out, "malformed ipv4");
-            return;
-        };
-        if !ip.verify_checksum(&frame[l3..]) {
-            self.drop(out, "bad ipv4 checksum");
-            return;
-        }
-
-        let meta = self.packet_meta(dev, &frame, l3, &ip);
-
-        // Conntrack (when enabled for this host).
-        if self.conntrack_forward {
-            out.cost.charge("conntrack", self.cost.conntrack_lookup_ns);
-            let now = self.now;
-            self.conntrack
-                .track(ip.src, meta.sport, ip.dst, meta.dport, ip.proto, now);
-        }
-
-        // PREROUTING.
-        if let Some(t) = &self.telemetry {
-            t.slow_netfilter.inc();
-        }
-        let verdict =
-            self.netfilter
-                .evaluate(ChainHook::Prerouting, &meta, &self.cost, &mut out.cost);
-        if verdict == NfVerdict::Drop {
-            self.drop(out, "nf prerouting drop");
-            return;
-        }
-
-        let mut frame = frame;
-        let mut ip = ip;
-        let mut meta = meta;
-
-        // nat PREROUTING: an established binding or a DNAT rule rewrites
-        // the destination before routing; the source half (SNAT /
-        // masquerade) is applied at POSTROUTING. Rule evaluation and
-        // binding management are slow-path work — the fast path reads
-        // the resulting bindings through `bpf_nat_lookup`.
-        let mut nat_ctx: Option<NatCtx> = None;
-        let nat_active = self.nat.total_rules() > 0 || self.conntrack.nat_len() > 0;
-        if nat_active && matches!(ip.proto, IpProto::Udp | IpProto::Tcp) {
-            out.cost.charge("nat_lookup", self.cost.conntrack_lookup_ns);
-            let now = self.now;
-            let tuple = NatTuple::new(ip.src, meta.sport, ip.dst, meta.dport, ip.proto.to_u8());
-            nat_ctx = self.nat.prerouting(&mut self.conntrack, tuple, dev, now);
-            if let Some(ctx) = &nat_ctx {
-                if ctx.xlat.dst != tuple.dst || ctx.xlat.dport != tuple.dport {
-                    if let Some(t) = &self.telemetry {
-                        t.slow_nat.inc();
-                    }
-                    linuxfp_packet::rewrite_ipv4(
-                        &mut frame,
-                        l3,
-                        &linuxfp_packet::FieldRewrite {
-                            dst: Some(ctx.xlat.dst),
-                            dport: Some(ctx.xlat.dport),
-                            ..Default::default()
-                        },
-                    );
-                    ip = Ipv4Header::parse(&frame[l3..]).expect("rewritten header valid");
-                    meta = self.packet_meta(dev, &frame, l3, &ip);
-                }
-            }
-        }
-
-        // ipvs NAT: traffic to a virtual service is rewritten toward a
-        // backend — pinned flows reuse their backend; new flows are
-        // scheduled here (slow-path work per paper Table I, row 4).
-        if !self.ipvs.is_empty() && matches!(ip.proto, IpProto::Udp | IpProto::Tcp) {
-            out.cost.charge("conntrack", self.cost.conntrack_lookup_ns);
-            let now = self.now;
-            let selected = self.ipvs.select_backend(
-                &mut self.conntrack,
-                ip.src,
-                meta.sport,
-                ip.dst,
-                meta.dport,
-                ip.proto,
-                now,
-            );
-            if let Some((backend_ip, backend_port)) = selected {
-                if let Some(t) = &self.telemetry {
-                    t.slow_ipvs.inc();
-                }
-                out.cost.charge("ipvs_sched", self.cost.ipvs_sched_ns);
-                Self::ipvs_nat_rewrite(&mut frame, l3, &ip, backend_ip, backend_port);
-                ip = Ipv4Header::parse(&frame[l3..]).expect("rewritten header valid");
-                meta = self.packet_meta(dev, &frame, l3, &ip);
-            }
-        }
-
-        // Local delivery?
-        let local =
-            self.devices.values().any(|d| d.has_addr(ip.dst)) || ip.dst == Ipv4Addr::BROADCAST;
-        if local {
-            if let Some(t) = &self.telemetry {
-                t.slow_netfilter.inc();
-            }
-            let verdict =
-                self.netfilter
-                    .evaluate(ChainHook::Input, &meta, &self.cost, &mut out.cost);
-            if verdict == NfVerdict::Drop {
-                self.drop(out, "nf input drop");
-                return;
-            }
-            self.local_deliver(dev, eth, frame, &ip, out, queue);
-            return;
-        }
-
-        // Forwarding path.
-        if !self.ip_forward_enabled() {
-            self.drop(out, "forwarding disabled");
-            return;
-        }
-        out.cost
-            .charge("fib_lookup", self.cost.fib_lookup_kernel_ns);
-        let Some(route) = self.fib.lookup(ip.dst).copied() else {
-            self.icmp_error(&frame, l3, &ip, IcmpType::DestUnreachable(0), out, queue);
-            self.drop(out, "no route");
-            return;
-        };
-        let meta = PacketMeta {
-            out_if: route.dev,
-            ..meta
-        };
-        if let Some(t) = &self.telemetry {
-            t.slow_netfilter.inc();
-        }
-        let verdict = self
-            .netfilter
-            .evaluate(ChainHook::Forward, &meta, &self.cost, &mut out.cost);
-        if verdict == NfVerdict::Drop {
-            self.drop(out, "nf forward drop");
-            return;
-        }
-
-        out.cost
-            .charge("ip_forward", self.cost.ip_forward_finish_ns);
-        if Ipv4Header::decrement_ttl(&mut frame[l3..]).is_none() {
-            self.icmp_error(&frame, l3, &ip, IcmpType::TimeExceeded, out, queue);
-            self.drop(out, "ttl exceeded");
-            return;
-        }
-
-        // nat POSTROUTING: complete fresh translations (SNAT/MASQUERADE
-        // rule evaluation, port allocation, binding install) and apply
-        // the source half of established bindings. Done before neighbor
-        // resolution so ARP-queued frames already carry the rewrite.
-        // The POSTROUTING filter chain below still sees the pre-SNAT
-        // source, as mangle/filter hooks do in Linux.
-        if nat_active && matches!(ip.proto, IpProto::Udp | IpProto::Tcp) {
-            let now = self.now;
-            let cur = NatTuple::new(ip.src, meta.sport, ip.dst, meta.dport, ip.proto.to_u8());
-            let egress_ip = self
-                .devices
-                .get(&route.dev)
-                .and_then(|d| d.addrs.first().map(|(a, _)| *a));
-            let bindings_before = self.conntrack.nat_len();
-            let outcome = self.nat.postrouting(
-                &mut self.conntrack,
-                nat_ctx.take(),
-                cur,
-                route.dev,
-                egress_ip,
-                now,
-            );
-            if self.conntrack.nat_len() > bindings_before {
-                // A fresh binding was installed (conntrack-entry-creation
-                // class work).
-                out.cost.charge("nat_bind", self.cost.conntrack_create_ns);
-            }
-            match outcome {
-                PostOutcome::Snat { src, sport } => {
-                    if let Some(t) = &self.telemetry {
-                        t.slow_nat.inc();
-                    }
-                    linuxfp_packet::rewrite_ipv4(
-                        &mut frame,
-                        l3,
-                        &linuxfp_packet::FieldRewrite {
-                            src: Some(src),
-                            sport: Some(sport),
-                            ..Default::default()
-                        },
-                    );
-                }
-                PostOutcome::ExhaustedDrop => {
-                    self.drop(out, "nat port exhaustion");
-                    return;
-                }
-                PostOutcome::None => {}
-            }
-        }
-
-        // Neighbor resolution for the next hop.
-        out.cost.charge("neigh_lookup", self.cost.neigh_lookup_ns);
-        let next_hop = match route.scope {
-            RouteScope::Link => ip.dst,
-            RouteScope::Universe => route.via.unwrap_or(ip.dst),
-        };
-        let now = self.now;
-        match self.neigh.resolved_mac(next_hop, now) {
-            Some((dst_mac, _)) => {
-                let src_mac = self
-                    .devices
-                    .get(&route.dev)
-                    .map(|d| d.mac)
-                    .unwrap_or(MacAddr::ZERO);
-                EthernetFrame::rewrite_macs(&mut frame, dst_mac, src_mac);
-                if let Some(t) = &self.telemetry {
-                    t.slow_netfilter.inc();
-                }
-                let verdict = self.netfilter.evaluate(
-                    ChainHook::Postrouting,
-                    &meta,
-                    &self.cost,
-                    &mut out.cost,
-                );
-                if verdict == NfVerdict::Drop {
-                    self.drop(out, "nf postrouting drop");
-                    return;
-                }
-                out.cost.charge("qdisc_xmit", self.cost.qdisc_xmit_ns);
-                self.transmit(route.dev, frame, out, queue);
-            }
-            None => {
-                self.arp_resolve_and_queue(route.dev, next_hop, frame, out, queue);
-            }
-        }
-    }
-
-    fn arp_resolve_and_queue(
-        &mut self,
-        egress: IfIndex,
-        next_hop: Ipv4Addr,
-        frame: Vec<u8>,
-        out: &mut RxOutcome,
-        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
-    ) {
-        self.pending_arp
-            .entry(next_hop)
-            .or_default()
-            .push((egress, frame));
-        let now = self.now;
-        let fresh = self.neigh.mark_incomplete(next_hop, egress, now);
-        if fresh {
-            let Some(egress_dev) = self.devices.get(&egress) else {
-                return;
-            };
-            let our_mac = egress_dev.mac;
-            let our_ip = egress_dev
-                .connected_prefixes()
-                .iter()
-                .find(|p| p.contains(next_hop))
-                .and_then(|p| egress_dev.addr_in(p))
-                .or_else(|| egress_dev.addrs.first().map(|(a, _)| *a));
-            let Some(our_ip) = our_ip else {
-                self.drop(out, "no source address for arp");
-                return;
-            };
-            let req = ArpPacket::request(our_mac, our_ip, next_hop);
-            let req_frame = builder::arp_frame(&req, our_mac, MacAddr::BROADCAST);
-            self.transmit(egress, req_frame, out, queue);
-        }
-    }
-
-    fn local_deliver(
-        &mut self,
-        dev: IfIndex,
-        eth: &EthernetFrame,
-        frame: Vec<u8>,
-        ip: &Ipv4Header,
-        out: &mut RxOutcome,
-        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
-    ) {
-        if let Some(t) = &self.telemetry {
-            t.slow_local.inc();
-        }
-        out.cost.charge("local_deliver", self.cost.local_deliver_ns);
-        let l3 = eth.payload_offset;
-        let l4 = l3 + ip.header_len;
-
-        // VXLAN termination: UDP to the VXLAN port of a local VXLAN
-        // device decapsulates and re-enters as a frame on that device's
-        // bridge context.
-        if ip.proto == IpProto::Udp {
-            if let Ok(udp) = UdpHeader::parse(&frame[l4..]) {
-                if let Some(vxlan_dev) = self.vxlan_device_for(ip.dst, udp.dst_port) {
-                    out.cost.charge("vxlan_decap", self.cost.vxlan_decap_ns);
-                    if let Ok((_vni, inner)) = builder::vxlan_decapsulate(&frame) {
-                        // The inner frame appears as if received on the
-                        // VXLAN device, which is typically a bridge port.
-                        queue.push_back((vxlan_dev, inner));
-                        return;
-                    }
-                    self.drop(out, "malformed vxlan");
-                    return;
-                }
-            }
-        }
-
-        // ICMP echo responder.
-        if ip.proto == IpProto::Icmp {
-            if let Ok(icmp) = IcmpHeader::parse(&frame[l4..]) {
-                if icmp.icmp_type == IcmpType::EchoRequest {
-                    let payload = &frame[l4 + 8..];
-                    let reply = IcmpHeader::build(IcmpType::EchoReply, icmp.id, icmp.seq, payload);
-                    let total_len = (ip.header_len + reply.len()) as u16;
-                    let mut reply_frame =
-                        vec![0u8; linuxfp_packet::ETH_HLEN + ip.header_len + reply.len()];
-                    EthernetFrame::write(&mut reply_frame, eth.src, eth.dst, EtherType::Ipv4);
-                    Ipv4Header::write(
-                        &mut reply_frame[linuxfp_packet::ETH_HLEN..],
-                        ip.dst,
-                        ip.src,
-                        IpProto::Icmp,
-                        64,
-                        ip.id,
-                        total_len,
-                        true,
-                    );
-                    reply_frame[linuxfp_packet::ETH_HLEN + ip.header_len..].copy_from_slice(&reply);
-                    self.transmit(dev, reply_frame, out, queue);
-                    return;
-                }
-            }
-        }
-
-        out.effects.push(Effect::Deliver { dev, frame });
-    }
-
-    /// Generates an ICMP error about `frame` back toward its source —
-    /// the slow-path corner-case handling the fast path always punts
-    /// (paper Table I: "IP (de)fragmentation, ICMP" stay in Linux).
-    /// Suppressed for ICMP originals (other than echo requests), per the
-    /// never-error-about-an-error rule.
-    fn icmp_error(
-        &mut self,
-        frame: &[u8],
-        l3: usize,
-        ip: &Ipv4Header,
-        kind: IcmpType,
-        out: &mut RxOutcome,
-        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
-    ) {
-        if ip.proto == IpProto::Icmp {
-            let is_echo_request = IcmpHeader::parse(&frame[l3 + ip.header_len..])
-                .map(|h| h.icmp_type == IcmpType::EchoRequest)
-                .unwrap_or(false);
-            if !is_echo_request {
-                return;
-            }
-        }
-        // Source: an address on the device the packet came in through
-        // (fall back to any local address).
-        let Some(src_addr) = self
-            .device_for_subnet(ip.src)
-            .and_then(|d| self.devices.get(&d))
-            .and_then(|d| d.addrs.first().map(|(a, _)| *a))
-            .or_else(|| {
-                self.devices
-                    .values()
-                    .find_map(|d| d.addrs.first().map(|(a, _)| *a))
-            })
-        else {
-            return;
-        };
-        out.cost.charge("icmp_error", self.cost.icmp_error_ns);
-        // Payload: the offending IP header + first 8 bytes, per RFC 792.
-        let quoted_len = (ip.header_len + 8).min(frame.len() - l3);
-        let icmp = IcmpHeader::build(kind, 0, 0, &frame[l3..l3 + quoted_len]);
-        let total_len = (linuxfp_packet::ipv4::IPV4_MIN_HLEN + icmp.len()) as u16;
-        let mut error_frame =
-            vec![0u8; linuxfp_packet::ETH_HLEN + linuxfp_packet::ipv4::IPV4_MIN_HLEN + icmp.len()];
-        EthernetFrame::write(
-            &mut error_frame,
-            MacAddr::ZERO, // resolved by ip_output
-            MacAddr::ZERO,
-            EtherType::Ipv4,
-        );
-        Ipv4Header::write(
-            &mut error_frame[linuxfp_packet::ETH_HLEN..],
-            src_addr,
-            ip.src,
-            IpProto::Icmp,
-            64,
-            0,
-            total_len,
-            false,
-        );
-        error_frame[linuxfp_packet::ETH_HLEN + linuxfp_packet::ipv4::IPV4_MIN_HLEN..]
-            .copy_from_slice(&icmp);
-        self.ip_output(error_frame, ip.src, out, queue);
-    }
-
-    /// Rewrites the destination of a frame to an ipvs backend through
-    /// the shared incremental checksum-delta helper — the same audited
-    /// implementation NAT and the synthesized fast paths use (UDP
-    /// checksum cleared, TCP checksum delta-updated).
-    fn ipvs_nat_rewrite(
-        frame: &mut [u8],
-        l3: usize,
-        _ip: &Ipv4Header,
-        backend_ip: Ipv4Addr,
-        backend_port: u16,
-    ) {
-        linuxfp_packet::rewrite_ipv4(
-            frame,
-            l3,
-            &linuxfp_packet::FieldRewrite {
-                dst: Some(backend_ip),
-                dport: Some(backend_port),
-                ..Default::default()
-            },
-        );
-    }
-
-    fn vxlan_device_for(&self, dst: Ipv4Addr, port: u16) -> Option<IfIndex> {
-        self.devices
-            .values()
-            .find(|d| match d.kind {
-                DeviceKind::Vxlan {
-                    local, port: vport, ..
-                } => vport == port && (local == dst || self.owns_addr(dst)),
-                _ => false,
-            })
-            .map(|d| d.index)
-    }
-
-    fn owns_addr(&self, addr: Ipv4Addr) -> bool {
-        self.devices.values().any(|d| d.has_addr(addr))
-    }
-
-    fn packet_meta(&self, dev: IfIndex, frame: &[u8], l3: usize, ip: &Ipv4Header) -> PacketMeta {
-        let l4 = l3 + ip.header_len;
-        let (sport, dport) = match ip.proto {
-            IpProto::Udp => UdpHeader::parse(&frame[l4..])
-                .map(|u| (u.src_port, u.dst_port))
-                .unwrap_or((0, 0)),
-            IpProto::Tcp => linuxfp_packet::TcpHeader::parse(&frame[l4..])
-                .map(|t| (t.src_port, t.dst_port))
-                .unwrap_or((0, 0)),
-            _ => (0, 0),
-        };
-        PacketMeta {
-            src: ip.src,
-            dst: ip.dst,
-            proto: ip.proto,
-            sport,
-            dport,
-            in_if: dev,
-            out_if: IfIndex::NONE,
-        }
-    }
-
-    /// Transmits a frame out `dev`, following device semantics: physical
-    /// NICs emit an [`Effect::Transmit`], veth re-enters the peer, bridge
-    /// masters forward/flood, VXLAN devices encapsulate.
-    pub fn transmit_frame(&mut self, dev: IfIndex, frame: Vec<u8>) -> RxOutcome {
-        let mut out = RxOutcome::default();
-        let mut queue = VecDeque::new();
-        self.transmit(dev, frame, &mut out, &mut queue);
-        while let Some((d, f)) = queue.pop_front() {
-            self.receive_one(d, f, &mut out, &mut queue);
-        }
-        out
-    }
-
-    fn transmit(
-        &mut self,
-        dev: IfIndex,
-        frame: Vec<u8>,
-        out: &mut RxOutcome,
-        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
-    ) {
-        let Some(device) = self.devices.get(&dev) else {
-            self.drop(out, "transmit on missing device");
-            return;
-        };
-        if !device.up {
-            self.drop(out, "transmit on down device");
-            return;
-        }
-        match device.kind.clone() {
-            DeviceKind::Physical => {
-                out.cost.charge("driver_tx", self.cost.driver_tx_ns);
-                let c = self.counters.entry(dev).or_default();
-                c.tx_packets += 1;
-                c.tx_bytes += frame.len() as u64;
-                out.effects.push(Effect::Transmit { dev, frame });
-            }
-            DeviceKind::Veth { peer } => {
-                queue.push_back((peer, frame));
-            }
-            DeviceKind::Bridge => {
-                // Transmit *on* the bridge device: forward by FDB.
-                let Ok(eth) = EthernetFrame::parse(&frame) else {
-                    self.drop(out, "malformed ethernet");
-                    return;
-                };
-                let now = self.now;
-                let vlan = eth.vlan.map(|t| t.vid).unwrap_or(0);
-                let lookup = match self.bridges.get_mut(&dev) {
-                    Some(bridge) => bridge.fdb_lookup(eth.dst, vlan, now),
-                    None => {
-                        self.drop(out, "missing bridge");
-                        return;
-                    }
-                };
-                match lookup {
-                    Some(egress) => self.transmit(egress, frame, out, queue),
-                    None => {
-                        let ports = self
-                            .bridges
-                            .get(&dev)
-                            .map(|b| b.flood_ports(IfIndex::NONE, vlan))
-                            .unwrap_or_default();
-                        for egress in ports {
-                            out.cost
-                                .charge("bridge_flood", self.cost.bridge_flood_per_port_ns);
-                            self.transmit(egress, frame.clone(), out, queue);
-                        }
-                    }
-                }
-            }
-            DeviceKind::Vxlan {
-                vni,
-                local,
-                port: _,
-            } => {
-                out.cost.charge("vxlan_encap", self.cost.vxlan_encap_ns);
-                let Ok(eth) = EthernetFrame::parse(&frame) else {
-                    self.drop(out, "malformed ethernet");
-                    return;
-                };
-                let remotes: Vec<Ipv4Addr> = if eth.dst.is_unicast() {
-                    match self.vxlan_fdb.get(&dev).and_then(|m| m.get(&eth.dst)) {
-                        Some(vtep) => vec![*vtep],
-                        None => self.vxlan_defaults.get(&dev).cloned().unwrap_or_default(),
-                    }
-                } else {
-                    self.vxlan_defaults.get(&dev).cloned().unwrap_or_default()
-                };
-                if remotes.is_empty() {
-                    self.drop(out, "vxlan no remote vtep");
-                    return;
-                }
-                for vtep in remotes {
-                    let outer = builder::vxlan_encapsulate(
-                        &frame,
-                        vni,
-                        MacAddr::ZERO, // filled by ip_output below
-                        MacAddr::ZERO,
-                        local,
-                        vtep,
-                        49152,
-                    );
-                    self.ip_output(outer, vtep, out, queue);
-                }
-            }
-        }
-    }
-
-    /// Routes a locally generated IP frame (MACs unresolved) toward
-    /// `next_ip` and transmits it.
-    fn ip_output(
-        &mut self,
-        mut frame: Vec<u8>,
-        next_ip: Ipv4Addr,
-        out: &mut RxOutcome,
-        queue: &mut VecDeque<(IfIndex, Vec<u8>)>,
-    ) {
-        out.cost
-            .charge("fib_lookup", self.cost.fib_lookup_kernel_ns);
-        let Some(route) = self.fib.lookup(next_ip).copied() else {
-            self.drop(out, "no route (output)");
-            return;
-        };
-        let next_hop = match route.scope {
-            RouteScope::Link => next_ip,
-            RouteScope::Universe => route.via.unwrap_or(next_ip),
-        };
-        out.cost.charge("neigh_lookup", self.cost.neigh_lookup_ns);
-        let now = self.now;
-        match self.neigh.resolved_mac(next_hop, now) {
-            Some((dst_mac, _)) => {
-                let src_mac = self
-                    .devices
-                    .get(&route.dev)
-                    .map(|d| d.mac)
-                    .unwrap_or(MacAddr::ZERO);
-                EthernetFrame::rewrite_macs(&mut frame, dst_mac, src_mac);
-                out.cost.charge("qdisc_xmit", self.cost.qdisc_xmit_ns);
-                self.transmit(route.dev, frame, out, queue);
-            }
-            None => {
-                self.arp_resolve_and_queue(route.dev, next_hop, frame, out, queue);
-            }
-        }
-    }
 }
+
+/// Wires a buffer pool's occupancy into `registry`: the gauges
+/// `linuxfp_pool_buffers{state="free"|"outstanding"|"allocated"}` follow
+/// every acquire/recycle/detach. The `linuxfp-packet` crate stays
+/// dependency-free, so the telemetry hookup lives here, at the first
+/// layer that knows both sides. The observer runs outside virtual time —
+/// observability must not perturb the modeled costs.
+pub fn wire_pool_telemetry(pool: &linuxfp_packet::BufferPool, registry: &Registry) {
+    registry.describe(
+        "linuxfp_pool_buffers",
+        "Packet buffer pool occupancy by state",
+    );
+    let free = registry.gauge("linuxfp_pool_buffers", &[("state", "free")]);
+    let outstanding = registry.gauge("linuxfp_pool_buffers", &[("state", "outstanding")]);
+    let allocated = registry.gauge("linuxfp_pool_buffers", &[("state", "allocated")]);
+    pool.set_occupancy_observer(Arc::new(move |s: &linuxfp_packet::PoolStats| {
+        free.set(s.free as i64);
+        outstanding.set(s.outstanding as i64);
+        allocated.set(s.allocated as i64);
+    }));
+}
+
+mod forward;
+mod housekeeping;
+mod local;
+mod rx;

@@ -1,0 +1,28 @@
+//! Periodic slow-path maintenance: the timer work Linux performs off
+//! the datapath (FDB aging, conntrack/NAT expiry, neighbor GC).
+use super::*;
+
+impl Kernel {
+    /// Runs the periodic slow-path housekeeping Linux timers perform:
+    /// FDB aging, conntrack expiry, neighbor GC (paper Table I's
+    /// "manage FDB (aging)" column).
+    pub fn run_housekeeping(&mut self) -> HousekeepingReport {
+        let now = self.now;
+        let mut report = HousekeepingReport::default();
+        for bridge in self.bridges.values_mut() {
+            report.fdb_expired += bridge.fdb_gc(now);
+        }
+        report.conntrack_expired = self.conntrack.gc(now);
+        report.nat_expired = self.conntrack.nat_gc(now);
+        for port in self.conntrack.take_freed_nat_ports() {
+            self.nat.release_port(port);
+        }
+        report.neigh_expired = self.neigh.gc(now);
+        report
+    }
+
+    /// Advances virtual time (drives FDB/neighbor/conntrack aging).
+    pub fn advance(&mut self, delta: Nanos) {
+        self.now += delta;
+    }
+}

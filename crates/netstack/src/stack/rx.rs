@@ -1,0 +1,400 @@
+//! Receive-side entry points: frame injection (single and batched), hook
+//! dispatch, the bridge input decision, and the punt up the stack.
+use super::*;
+
+/// Per-burst amortization state for [`Kernel::inject_batch`].
+///
+/// The cost model splits the driver-receive and hook-entry prices into a
+/// per-burst-fixed part and a per-packet remainder (`rx_batch_fixed_ns`,
+/// `hook_batch_fixed_ns`). In batched mode the first packet to reach each
+/// stage charges the fixed part **once** into the shared batch tracker;
+/// every packet then pays only the remainder. Single-packet injection
+/// charges full prices, so a batch of one costs exactly the same total
+/// as [`Kernel::receive`] — amortization changes cost accounting only,
+/// never processing order or verdicts.
+#[derive(Default)]
+pub(super) struct BatchAmort {
+    pub(super) batch_cost: CostTracker,
+    rx_charged: bool,
+    xdp_charged: bool,
+    tc_charged: bool,
+}
+
+impl Kernel {
+    /// Processes a frame received on `dev`, running hooks and the slow
+    /// path, returning all externally visible effects and the cost.
+    pub fn receive(&mut self, dev: IfIndex, frame: impl Into<PacketBuf>) -> RxOutcome {
+        self.batch_epoch += 1;
+        if let Some(t) = &self.telemetry {
+            t.packets_injected.inc();
+            t.batch_size.record(1);
+        }
+        self.packet_path_gc();
+        let mut out = RxOutcome::default();
+        self.run_to_completion(dev, frame.into(), &mut out, None);
+        out
+    }
+
+    /// Processes a burst of frames received on `dev` as one unit,
+    /// draining `batch`.
+    ///
+    /// Frames are processed strictly in order with full per-packet
+    /// semantics (each gets its own [`RxOutcome`]); what batching changes
+    /// is the accounting of per-burst fixed work — driver receive setup
+    /// and hook dispatch are charged once into
+    /// [`BatchOutcome::batch_cost`] instead of once per packet — and
+    /// housekeeping (conntrack GC, telemetry) runs once per burst. Frames
+    /// a packet re-queues internally (veth crossings, ARP replies) are
+    /// charged full single-packet prices: they are new arrivals, not part
+    /// of the received burst.
+    pub fn inject_batch(&mut self, dev: IfIndex, batch: &mut Batch) -> BatchOutcome {
+        let n = batch.len();
+        self.batch_epoch += 1;
+        if let Some(t) = &self.telemetry {
+            t.batch_size.record(n as u64);
+            t.packets_injected.add(n as u64);
+        }
+        self.packet_path_gc();
+        let mut amort = BatchAmort::default();
+        let mut outcomes = Vec::with_capacity(n);
+        for buf in batch.drain() {
+            let mut out = RxOutcome::default();
+            self.run_to_completion(dev, buf, &mut out, Some(&mut amort));
+            outcomes.push(out);
+        }
+        BatchOutcome {
+            outcomes,
+            batch_cost: amort.batch_cost,
+            batch_size: n,
+        }
+    }
+
+    /// Coarse-interval GC from the packet path: Linux ties conntrack
+    /// expiry to timers and packet processing; without this, tables only
+    /// shrink when callers remember to run housekeeping. Batched
+    /// injection runs it once per burst — equivalent, since virtual time
+    /// does not advance mid-burst.
+    fn packet_path_gc(&mut self) {
+        if self.now.saturating_sub(self.last_ct_gc) >= Nanos::from_secs(1) {
+            self.last_ct_gc = self.now;
+            let now = self.now;
+            self.conntrack.gc(now);
+            self.conntrack.nat_gc(now);
+            for port in self.conntrack.take_freed_nat_ports() {
+                self.nat.release_port(port);
+            }
+        }
+    }
+
+    /// Drives one injected frame and everything it re-queues (veth
+    /// crossings, bridge floods, ARP replies) to completion.
+    fn run_to_completion(
+        &mut self,
+        dev: IfIndex,
+        frame: PacketBuf,
+        out: &mut RxOutcome,
+        mut amort: Option<&mut BatchAmort>,
+    ) {
+        let mut queue: VecDeque<(IfIndex, PacketBuf)> = VecDeque::new();
+        queue.push_back((dev, frame));
+        let mut hops = 0;
+        let mut injected = true;
+        while let Some((dev, frame)) = queue.pop_front() {
+            hops += 1;
+            if hops > 64 {
+                self.drop(out, "forwarding loop");
+                break;
+            }
+            // Only the injected frame itself belongs to the burst;
+            // anything re-queued is a fresh arrival at another device
+            // and pays full single-packet prices.
+            let pass = if injected { amort.as_deref_mut() } else { None };
+            injected = false;
+            self.receive_one(dev, frame, out, &mut queue, pass);
+        }
+    }
+
+    pub(super) fn drop(&mut self, out: &mut RxOutcome, reason: &'static str) {
+        if let Some(t) = &self.telemetry {
+            // Reasons are a small static set; get-or-create is off the
+            // common path (drops only).
+            t.registry
+                .counter("linuxfp_drops_total", &[("reason", reason)])
+                .inc();
+        }
+        *self.drop_counts.entry(reason).or_insert(0) += 1;
+        out.effects.push(Effect::Drop { reason });
+    }
+
+    pub(super) fn receive_one(
+        &mut self,
+        dev: IfIndex,
+        frame: PacketBuf,
+        out: &mut RxOutcome,
+        queue: &mut VecDeque<(IfIndex, PacketBuf)>,
+        mut amort: Option<&mut BatchAmort>,
+    ) {
+        let Some(device) = self.devices.get(&dev) else {
+            self.drop(out, "no such device");
+            return;
+        };
+        if !device.up {
+            self.drop(out, "device down");
+            return;
+        }
+        match device.kind {
+            DeviceKind::Physical => match amort.as_deref_mut() {
+                Some(a) => {
+                    if !a.rx_charged {
+                        a.rx_charged = true;
+                        a.batch_cost
+                            .charge("driver_rx", self.cost.rx_batch_fixed_ns);
+                    }
+                    out.cost.charge(
+                        "driver_rx",
+                        self.cost.driver_rx_ns - self.cost.rx_batch_fixed_ns,
+                    );
+                }
+                None => out.cost.charge("driver_rx", self.cost.driver_rx_ns),
+            },
+            DeviceKind::Veth { .. } => out.cost.charge("veth_cross", self.cost.veth_cross_ns),
+            DeviceKind::Bridge | DeviceKind::Vxlan { .. } => {}
+        }
+        {
+            let c = self.counters.entry(dev).or_default();
+            c.rx_packets += 1;
+            c.rx_bytes += frame.len() as u64;
+        }
+
+        let mut pkt = Packet::new(frame, dev.as_u32());
+
+        // XDP hook: before any sk_buff exists.
+        if let Some(hook) = self.xdp_hooks.get(&dev).cloned() {
+            match amort.as_deref_mut() {
+                Some(a) => {
+                    if !a.xdp_charged {
+                        a.xdp_charged = true;
+                        a.batch_cost
+                            .charge("xdp_entry", self.cost.hook_batch_fixed_ns);
+                    }
+                    out.cost.charge(
+                        "xdp_entry",
+                        self.cost.xdp_entry_ns - self.cost.hook_batch_fixed_ns,
+                    );
+                }
+                None => out.cost.charge("xdp_entry", self.cost.xdp_entry_ns),
+            }
+            match hook(self, &mut pkt, &mut out.cost) {
+                HookVerdict::Pass => {}
+                HookVerdict::Drop => {
+                    self.drop(out, "xdp drop");
+                    return;
+                }
+                HookVerdict::Redirect(target) => {
+                    self.transmit(target, pkt.data, out, queue);
+                    return;
+                }
+                HookVerdict::DeliverUser => {
+                    // Consumed onto an AF_XDP ring: user space owns it
+                    // now, without any sk_buff ever existing.
+                    out.effects.push(Effect::Deliver {
+                        dev,
+                        frame: pkt.data,
+                    });
+                    return;
+                }
+            }
+        }
+
+        // sk_buff allocation: the cost XDP avoids.
+        out.cost.charge("skb_alloc", self.cost.skb_alloc_ns);
+
+        // TC ingress hook.
+        if let Some(hook) = self.tc_hooks.get(&dev).cloned() {
+            match amort {
+                Some(a) => {
+                    if !a.tc_charged {
+                        a.tc_charged = true;
+                        a.batch_cost
+                            .charge("tc_entry", self.cost.hook_batch_fixed_ns);
+                    }
+                    out.cost.charge(
+                        "tc_entry",
+                        self.cost.tc_entry_ns - self.cost.hook_batch_fixed_ns,
+                    );
+                }
+                None => out.cost.charge("tc_entry", self.cost.tc_entry_ns),
+            }
+            match hook(self, &mut pkt, &mut out.cost) {
+                HookVerdict::Pass => {}
+                HookVerdict::Drop => {
+                    self.drop(out, "tc drop");
+                    return;
+                }
+                HookVerdict::Redirect(target) => {
+                    self.transmit(target, pkt.data, out, queue);
+                    return;
+                }
+                HookVerdict::DeliverUser => {
+                    out.effects.push(Effect::Deliver {
+                        dev,
+                        frame: pkt.data,
+                    });
+                    return;
+                }
+            }
+        }
+
+        self.slow_path(dev, pkt.data, out, queue);
+    }
+
+    pub(super) fn slow_path(
+        &mut self,
+        dev: IfIndex,
+        frame: PacketBuf,
+        out: &mut RxOutcome,
+        queue: &mut VecDeque<(IfIndex, PacketBuf)>,
+    ) {
+        let Ok(eth) = EthernetFrame::parse(&frame) else {
+            self.drop(out, "malformed ethernet");
+            return;
+        };
+        let (master, dev_mac, endpoint) = {
+            let device = self.devices.get(&dev).expect("checked in receive_one");
+            (device.master, device.mac, device.endpoint)
+        };
+
+        // Endpoint devices (pod-side veths) hand frames to an external
+        // stack: deliver anything addressed to them (or broadcast).
+        if endpoint {
+            if eth.dst == dev_mac || eth.dst.is_multicast() {
+                out.cost.charge("local_deliver", self.cost.local_deliver_ns);
+                out.effects.push(Effect::Deliver { dev, frame });
+            } else {
+                self.drop(out, "wrong destination mac");
+            }
+            return;
+        }
+
+        // Bridge port: L2 processing first.
+        if let Some(bridge_idx) = master {
+            self.bridge_input(bridge_idx, dev, eth, frame, out, queue);
+            return;
+        }
+
+        // Non-promiscuous check for ordinary devices.
+        if eth.dst != dev_mac && eth.dst.is_unicast() {
+            self.drop(out, "wrong destination mac");
+            return;
+        }
+
+        self.up_stack(dev, eth, frame, out, queue);
+    }
+
+    pub(super) fn bridge_input(
+        &mut self,
+        bridge_idx: IfIndex,
+        port: IfIndex,
+        eth: EthernetFrame,
+        frame: PacketBuf,
+        out: &mut RxOutcome,
+        queue: &mut VecDeque<(IfIndex, PacketBuf)>,
+    ) {
+        out.cost.charge("bridge_stack", self.cost.bridge_stack_ns);
+        if let Some(t) = &self.telemetry {
+            t.slow_bridge.inc();
+        }
+
+        // STP BPDUs are consumed by slow-path protocol processing.
+        if eth.dst == BPDU_MAC {
+            let stp_on = self
+                .bridges
+                .get(&bridge_idx)
+                .map(|b| b.stp_enabled)
+                .unwrap_or(false);
+            if stp_on {
+                self.bpdus_processed += 1;
+            }
+            self.drop(out, "bpdu consumed");
+            return;
+        }
+
+        let now = self.now;
+        let vlan_tag = eth.vlan.map(|t| t.vid);
+        let Some(bridge) = self.bridges.get_mut(&bridge_idx) else {
+            self.drop(out, "missing bridge");
+            return;
+        };
+        let decision = bridge.decide(port, eth.src, eth.dst, vlan_tag, now);
+
+        // br_netfilter: bridged IPv4 frames about to be forwarded also
+        // traverse the iptables FORWARD chain (and conntrack), exactly as
+        // Kubernetes hosts configure via bridge-nf-call-iptables.
+        if matches!(
+            decision,
+            BridgeDecision::Forward(_) | BridgeDecision::Flood(_)
+        ) && eth.ethertype == EtherType::Ipv4
+            && self.bridge_nf_enabled()
+        {
+            if let Ok(ip) = Ipv4Header::parse(&frame[eth.payload_offset..]) {
+                let meta = self.packet_meta(port, &frame, eth.payload_offset, &ip);
+                if self.conntrack_forward {
+                    out.cost.charge("conntrack", self.cost.conntrack_lookup_ns);
+                    let now = self.now;
+                    self.conntrack
+                        .track(ip.src, meta.sport, ip.dst, meta.dport, ip.proto, now);
+                }
+                if let Some(t) = &self.telemetry {
+                    t.slow_netfilter.inc();
+                }
+                let verdict =
+                    self.netfilter
+                        .evaluate(ChainHook::Forward, &meta, &self.cost, &mut out.cost);
+                if verdict == NfVerdict::Drop {
+                    self.drop(out, "nf forward drop");
+                    return;
+                }
+            }
+        }
+
+        match decision {
+            BridgeDecision::Forward(egress) => {
+                self.transmit(egress, frame, out, queue);
+            }
+            BridgeDecision::Flood(ports) => {
+                for (i, egress) in ports.iter().enumerate() {
+                    if i > 0 {
+                        out.cost
+                            .charge("bridge_flood", self.cost.bridge_flood_per_port_ns);
+                    }
+                    self.transmit(*egress, frame.clone(), out, queue);
+                }
+                // Broadcast (e.g. ARP) also goes up the bridge's own stack.
+                if eth.dst.is_broadcast() || eth.dst.is_multicast() {
+                    self.up_stack(bridge_idx, eth, frame, out, queue);
+                }
+            }
+            BridgeDecision::Local => {
+                self.up_stack(bridge_idx, eth, frame, out, queue);
+            }
+            BridgeDecision::Drop(reason) => {
+                self.drop(out, reason);
+            }
+        }
+    }
+
+    pub(super) fn up_stack(
+        &mut self,
+        dev: IfIndex,
+        eth: EthernetFrame,
+        frame: PacketBuf,
+        out: &mut RxOutcome,
+        queue: &mut VecDeque<(IfIndex, PacketBuf)>,
+    ) {
+        match eth.ethertype {
+            EtherType::Arp => self.arp_input(dev, &eth, &frame, out, queue),
+            EtherType::Ipv4 => self.ip_input(dev, &eth, frame, out, queue),
+            _ => self.drop(out, "unhandled ethertype"),
+        }
+    }
+}

@@ -67,10 +67,56 @@ pub fn udp_packet_sized(
         frame_len >= min,
         "frame_len {frame_len} below minimum {min}"
     );
-    let payload = vec![0u8; frame_len - min];
-    udp_packet(
-        src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, &payload,
-    )
+    let mut frame = Vec::with_capacity(frame_len);
+    udp_packet_sized_into(
+        src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, frame_len, &mut frame,
+    );
+    frame
+}
+
+/// Like [`udp_packet_sized`] but writing into a reusable buffer (cleared
+/// and resized in place) — the zero-allocation path pooled workload
+/// generators use in steady state.
+///
+/// # Panics
+///
+/// Panics if `frame_len` cannot hold the headers.
+#[allow(clippy::too_many_arguments)]
+pub fn udp_packet_sized_into(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    frame_len: usize,
+    buf: &mut Vec<u8>,
+) {
+    let min = ETH_HLEN + IPV4_MIN_HLEN + UDP_HLEN;
+    assert!(
+        frame_len >= min,
+        "frame_len {frame_len} below minimum {min}"
+    );
+    buf.clear();
+    buf.resize(frame_len, 0);
+    let ip_len = frame_len - ETH_HLEN;
+    EthernetFrame::write(buf, dst_mac, src_mac, EtherType::Ipv4);
+    Ipv4Header::write(
+        &mut buf[ETH_HLEN..],
+        src_ip,
+        dst_ip,
+        IpProto::Udp,
+        DEFAULT_TTL,
+        0,
+        ip_len as u16,
+        true,
+    );
+    UdpHeader::write(
+        &mut buf[ETH_HLEN + IPV4_MIN_HLEN..],
+        src_port,
+        dst_port,
+        (ip_len - IPV4_MIN_HLEN) as u16,
+    );
 }
 
 /// Builds `eth / ipv4 / tcp / payload`.

@@ -13,9 +13,11 @@
 //! - **builders** for synthesizing workload traffic;
 //! - the RFC 1071 internet [`checksum`] with incremental updates.
 //!
-//! Frames are plain `Vec<u8>` wrapped in [`Packet`] together with receive
-//! metadata, mirroring how an `xdp_buff` carries little more than the buffer
-//! and the ingress interface index.
+//! Frames live in pooled [`PacketBuf`] buffers (recycled through a
+//! [`BufferPool`] free list so the steady-state datapath never allocates)
+//! wrapped in [`Packet`] together with receive metadata, mirroring how an
+//! `xdp_buff` carries little more than the buffer and the ingress
+//! interface index. Bursts travel as a [`Batch`].
 //!
 //! # Example
 //!
@@ -40,20 +42,24 @@
 //! ```
 
 pub mod arp;
+pub mod batch;
 pub mod builder;
 pub mod checksum;
 pub mod eth;
 pub mod icmp;
 pub mod ipv4;
+pub mod pool;
 pub mod rewrite;
 pub mod tcp;
 pub mod udp;
 pub mod vxlan;
 
 pub use arp::{ArpOp, ArpPacket};
+pub use batch::Batch;
 pub use eth::{EtherType, EthernetFrame, MacAddr, VlanTag, ETH_HLEN};
 pub use icmp::{IcmpHeader, IcmpType};
 pub use ipv4::{IpProto, Ipv4Header, IPV4_MIN_HLEN};
+pub use pool::{BufferPool, PacketBuf, PoolStats};
 pub use rewrite::{rewrite_ipv4, FieldRewrite};
 pub use tcp::TcpHeader;
 pub use udp::UdpHeader;
@@ -108,8 +114,8 @@ impl std::error::Error for ParsePacketError {}
 /// operate on, analogous to an `xdp_buff` before any `sk_buff` exists.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Packet {
-    /// Raw L2 frame bytes (without FCS).
-    pub data: Vec<u8>,
+    /// Raw L2 frame bytes (without FCS), possibly pool-backed.
+    pub data: PacketBuf,
     /// Interface index the packet arrived on (0 = locally generated).
     pub ingress_ifindex: u32,
     /// Receive queue index (RSS queue), as exposed to XDP programs.
@@ -118,16 +124,16 @@ pub struct Packet {
 
 impl Packet {
     /// Wraps raw frame bytes received on interface `ingress_ifindex`.
-    pub fn new(data: Vec<u8>, ingress_ifindex: u32) -> Self {
+    pub fn new(data: impl Into<PacketBuf>, ingress_ifindex: u32) -> Self {
         Packet {
-            data,
+            data: data.into(),
             ingress_ifindex,
             rx_queue: 0,
         }
     }
 
     /// A locally generated packet (no ingress interface).
-    pub fn local(data: Vec<u8>) -> Self {
+    pub fn local(data: impl Into<PacketBuf>) -> Self {
         Packet::new(data, 0)
     }
 

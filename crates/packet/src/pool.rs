@@ -1,0 +1,356 @@
+//! Recyclable packet buffers: a free-list [`BufferPool`] and the
+//! [`PacketBuf`] handle the whole datapath passes around.
+//!
+//! The real systems the paper compares never allocate per packet in
+//! steady state: NIC drivers recycle DMA buffers through page pools, and
+//! VPP hands vectors of pre-allocated `vlib_buffer_t`s from node to node.
+//! `PacketBuf` reproduces that discipline for the simulation: a buffer is
+//! checked out of a pool, flows through hooks / the slow path / transmit
+//! effects, and is returned to the pool's free list when the last holder
+//! drops it — on *every* exit path (transmit, deliver, drop, punt),
+//! because the return lives in `Drop`.
+//!
+//! A `PacketBuf` derefs to `Vec<u8>`, so all existing parsing and
+//! rewriting code operates on it unchanged. Detaching (`into_vec`) or
+//! cloning yields a plain unpooled buffer.
+//!
+//! The pool deliberately has **no dependencies** (this crate is the
+//! workspace leaf); observability is wired from the outside through
+//! [`BufferPool::set_occupancy_observer`].
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex};
+
+/// Callback invoked with fresh [`PoolStats`] after every acquire/recycle
+/// (how the telemetry crate exports a pool-occupancy gauge without this
+/// crate depending on it).
+pub type OccupancyObserver = Arc<dyn Fn(&PoolStats) + Send + Sync>;
+
+/// Counters describing a pool's behavior. `allocated` only grows when the
+/// free list is empty at acquire time — a warmed-up steady state shows
+/// `allocated` constant while `reused` climbs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers ever created by this pool (heap allocations).
+    pub allocated: u64,
+    /// Acquisitions served from the free list (no allocation).
+    pub reused: u64,
+    /// Buffers handed back to the free list.
+    pub recycled: u64,
+    /// Buffers currently checked out (held by live `PacketBuf`s).
+    pub outstanding: u64,
+    /// Buffers currently sitting in the free list.
+    pub free: u64,
+}
+
+#[derive(Default)]
+struct PoolState {
+    free: Vec<Vec<u8>>,
+    stats: PoolStats,
+}
+
+/// Shared pool internals; `PacketBuf` holds an `Arc` to return itself.
+pub struct PoolInner {
+    state: Mutex<PoolState>,
+    observer: Mutex<Option<OccupancyObserver>>,
+}
+
+impl PoolInner {
+    fn observe(&self, stats: PoolStats) {
+        let observer = self.observer.lock().expect("pool observer poisoned");
+        if let Some(f) = observer.as_ref() {
+            f(&stats);
+        }
+    }
+
+    /// A checked-out buffer left the pool for good (`into_vec`).
+    fn detach(&self) {
+        let stats = {
+            let mut state = self.state.lock().expect("pool poisoned");
+            state.stats.outstanding = state.stats.outstanding.saturating_sub(1);
+            state.stats
+        };
+        self.observe(stats);
+    }
+
+    fn recycle(&self, mut buf: Vec<u8>) {
+        buf.clear();
+        let stats = {
+            let mut state = self.state.lock().expect("pool poisoned");
+            state.free.push(buf);
+            state.stats.recycled += 1;
+            state.stats.outstanding = state.stats.outstanding.saturating_sub(1);
+            state.stats.free = state.free.len() as u64;
+            state.stats
+        };
+        self.observe(stats);
+    }
+}
+
+impl fmt::Debug for PoolInner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.lock().expect("pool poisoned");
+        f.debug_struct("PoolInner")
+            .field("stats", &state.stats)
+            .finish()
+    }
+}
+
+/// A free-list buffer pool. Cloning is cheap (shared handle).
+#[derive(Clone, Debug, Default)]
+pub struct BufferPool {
+    inner: Arc<PoolInner>,
+}
+
+impl Default for PoolInner {
+    fn default() -> Self {
+        PoolInner {
+            state: Mutex::new(PoolState::default()),
+            observer: Mutex::new(None),
+        }
+    }
+}
+
+impl BufferPool {
+    /// An empty pool; buffers are allocated lazily on first acquire.
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// Checks out an empty buffer, reusing a free one when available.
+    pub fn acquire(&self) -> PacketBuf {
+        let (data, stats) = {
+            let mut state = self.inner.state.lock().expect("pool poisoned");
+            let data = match state.free.pop() {
+                Some(buf) => {
+                    state.stats.reused += 1;
+                    buf
+                }
+                None => {
+                    state.stats.allocated += 1;
+                    Vec::new()
+                }
+            };
+            state.stats.outstanding += 1;
+            state.stats.free = state.free.len() as u64;
+            (data, state.stats)
+        };
+        self.inner.observe(stats);
+        PacketBuf {
+            data,
+            pool: Some(Arc::clone(&self.inner)),
+        }
+    }
+
+    /// Checks out a buffer pre-filled with a copy of `bytes`.
+    pub fn acquire_from(&self, bytes: &[u8]) -> PacketBuf {
+        let mut buf = self.acquire();
+        buf.extend_from_slice(bytes);
+        buf
+    }
+
+    /// Current pool counters.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.state.lock().expect("pool poisoned").stats
+    }
+
+    /// Registers (or replaces) the observer called after every
+    /// acquire/recycle with the post-operation [`PoolStats`].
+    pub fn set_occupancy_observer(&self, observer: OccupancyObserver) {
+        *self.inner.observer.lock().expect("pool observer poisoned") = Some(observer);
+    }
+}
+
+/// An owned frame buffer that returns itself to its pool on drop.
+///
+/// Derefs to `Vec<u8>` so parsing/rewriting code is agnostic to pooling.
+/// A `PacketBuf` built from a plain `Vec<u8>` (or by `clone`) has no
+/// pool and drops normally.
+pub struct PacketBuf {
+    data: Vec<u8>,
+    pool: Option<Arc<PoolInner>>,
+}
+
+impl PacketBuf {
+    /// Wraps an unpooled buffer.
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        PacketBuf { data, pool: None }
+    }
+
+    /// Whether this buffer will return to a pool on drop.
+    pub fn is_pooled(&self) -> bool {
+        self.pool.is_some()
+    }
+
+    /// Detaches the bytes, consuming the handle without recycling.
+    pub fn into_vec(mut self) -> Vec<u8> {
+        if let Some(pool) = self.pool.take() {
+            pool.detach();
+        }
+        std::mem::take(&mut self.data)
+    }
+
+    /// The frame bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Drop for PacketBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.recycle(std::mem::take(&mut self.data));
+        }
+    }
+}
+
+impl Deref for PacketBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.data
+    }
+}
+
+impl DerefMut for PacketBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.data
+    }
+}
+
+impl Clone for PacketBuf {
+    /// Clones detach from the pool: the copy is a plain heap buffer.
+    fn clone(&self) -> Self {
+        PacketBuf::from_vec(self.data.clone())
+    }
+}
+
+impl fmt::Debug for PacketBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Forward to the byte vector so `{:x?}` renders frames the same
+        // way they rendered when effects carried plain `Vec<u8>`s.
+        fmt::Debug::fmt(&self.data, f)
+    }
+}
+
+impl PartialEq for PacketBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for PacketBuf {}
+
+impl PartialEq<Vec<u8>> for PacketBuf {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        &self.data == other
+    }
+}
+
+impl PartialEq<[u8]> for PacketBuf {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.data == other
+    }
+}
+
+impl From<Vec<u8>> for PacketBuf {
+    fn from(data: Vec<u8>) -> Self {
+        PacketBuf::from_vec(data)
+    }
+}
+
+impl From<PacketBuf> for Vec<u8> {
+    fn from(buf: PacketBuf) -> Vec<u8> {
+        buf.into_vec()
+    }
+}
+
+impl AsRef<[u8]> for PacketBuf {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn acquire_recycle_round_trip() {
+        let pool = BufferPool::new();
+        let mut a = pool.acquire();
+        a.extend_from_slice(b"hello");
+        assert!(a.is_pooled());
+        assert_eq!(pool.stats().allocated, 1);
+        assert_eq!(pool.stats().outstanding, 1);
+        drop(a);
+        let s = pool.stats();
+        assert_eq!((s.recycled, s.outstanding, s.free), (1, 0, 1));
+        // The next acquire reuses the buffer, cleared.
+        let b = pool.acquire();
+        assert!(b.is_empty());
+        let s = pool.stats();
+        assert_eq!((s.allocated, s.reused), (1, 1));
+    }
+
+    #[test]
+    fn steady_state_stops_allocating() {
+        let pool = BufferPool::new();
+        for _ in 0..4 {
+            let _warm = [pool.acquire(), pool.acquire()];
+        }
+        let before = pool.stats().allocated;
+        for _ in 0..100 {
+            let a = pool.acquire_from(b"frame");
+            assert_eq!(a.as_slice(), b"frame");
+            drop(a);
+        }
+        assert_eq!(pool.stats().allocated, before, "no growth after warm-up");
+    }
+
+    #[test]
+    fn into_vec_detaches_without_recycling() {
+        let pool = BufferPool::new();
+        let a = pool.acquire_from(b"xyz");
+        let v = a.into_vec();
+        assert_eq!(v, b"xyz");
+        let s = pool.stats();
+        assert_eq!(s.recycled, 0);
+        assert_eq!(s.outstanding, 0, "detached buffers leave the pool");
+    }
+
+    #[test]
+    fn clone_is_unpooled_and_equal() {
+        let pool = BufferPool::new();
+        let a = pool.acquire_from(&[1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(!b.is_pooled());
+        assert_eq!(b, vec![1u8, 2, 3]);
+    }
+
+    #[test]
+    fn observer_sees_occupancy() {
+        let pool = BufferPool::new();
+        let peak = Arc::new(AtomicU64::new(0));
+        let p = Arc::clone(&peak);
+        pool.set_occupancy_observer(Arc::new(move |s: &PoolStats| {
+            p.fetch_max(s.outstanding, Ordering::Relaxed);
+        }));
+        let a = pool.acquire();
+        let b = pool.acquire();
+        drop(a);
+        drop(b);
+        assert_eq!(peak.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn unpooled_from_vec() {
+        let buf = PacketBuf::from(vec![9u8; 4]);
+        assert!(!buf.is_pooled());
+        assert_eq!(buf.len(), 4);
+        let back: Vec<u8> = buf.into();
+        assert_eq!(back, vec![9u8; 4]);
+    }
+}

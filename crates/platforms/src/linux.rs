@@ -4,7 +4,8 @@
 use crate::platform::{Platform, PlatformTraits, Scheduling};
 use crate::scenario::Scenario;
 use linuxfp_netstack::device::IfIndex;
-use linuxfp_netstack::stack::{Kernel, RxOutcome};
+use linuxfp_netstack::stack::{BatchOutcome, Kernel, RxOutcome};
+use linuxfp_packet::Batch;
 
 /// Plain Linux forwarding/filtering through the full kernel stack.
 #[derive(Debug)]
@@ -45,6 +46,10 @@ impl Platform for LinuxPlatform {
         }
     }
 
+    fn process_batch(&mut self, batch: &mut Batch) -> BatchOutcome {
+        self.kernel.inject_batch(self.upstream, batch)
+    }
+
     fn process(&mut self, frame: Vec<u8>) -> RxOutcome {
         self.kernel.receive(self.upstream, frame)
     }
@@ -77,7 +82,7 @@ mod tests {
         let s = Scenario::router();
         let mut p = LinuxPlatform::new(s);
         let mac = p.dut_mac();
-        let t = p.service_time_ns(&mut |i| s.frame(mac, i, 60));
+        let t = p.service_time_ns(&mut |i, buf| s.fill_frame(mac, i, 60, buf));
         assert!((900.0..1150.0).contains(&t), "service {t} ns");
     }
 
@@ -89,8 +94,8 @@ mod tests {
         let mut gateway = LinuxPlatform::new(sg);
         let rm = router.dut_mac();
         let gm = gateway.dut_mac();
-        let tr = router.service_time_ns(&mut |i| sr.frame(rm, i, 60));
-        let tg = gateway.service_time_ns(&mut |i| sg.frame(gm, i, 60));
+        let tr = router.service_time_ns(&mut |i, buf| sr.fill_frame(rm, i, 60, buf));
+        let tg = gateway.service_time_ns(&mut |i, buf| sg.fill_frame(gm, i, 60, buf));
         assert!(
             tg > tr + 1500.0,
             "100-rule linear scan should cost ~2.2us: {tr} vs {tg}"
@@ -105,8 +110,8 @@ mod tests {
         let mut ipset = LinuxPlatform::new(si);
         let lm = linear.dut_mac();
         let im = ipset.dut_mac();
-        let tl = linear.service_time_ns(&mut |i| sg.frame(lm, i, 60));
-        let ti = ipset.service_time_ns(&mut |i| si.frame(im, i, 60));
+        let tl = linear.service_time_ns(&mut |i, buf| sg.fill_frame(lm, i, 60, buf));
+        let ti = ipset.service_time_ns(&mut |i, buf| si.fill_frame(im, i, 60, buf));
         assert!(ti < tl - 1000.0, "ipset {ti} should beat linear {tl}");
     }
 

@@ -6,7 +6,8 @@ use crate::scenario::Scenario;
 use linuxfp_core::controller::{Controller, ControllerConfig};
 use linuxfp_ebpf::hook::HookPoint;
 use linuxfp_netstack::device::IfIndex;
-use linuxfp_netstack::stack::{Kernel, RxOutcome};
+use linuxfp_netstack::stack::{BatchOutcome, Kernel, RxOutcome};
+use linuxfp_packet::Batch;
 use linuxfp_telemetry::Registry;
 
 /// Linux accelerated by LinuxFP-synthesized fast paths.
@@ -97,6 +98,10 @@ impl Platform for LinuxFpPlatform {
         }
     }
 
+    fn process_batch(&mut self, batch: &mut Batch) -> BatchOutcome {
+        self.kernel.inject_batch(self.upstream, batch)
+    }
+
     fn process(&mut self, frame: Vec<u8>) -> RxOutcome {
         self.kernel.receive(self.upstream, frame)
     }
@@ -151,8 +156,8 @@ mod tests {
         let mut lfp = LinuxFpPlatform::new(s);
         let ml = linux.dut_mac();
         let mf = lfp.dut_mac();
-        let tl = linux.service_time_ns(&mut |i| s.frame(ml, i, 60));
-        let tf = lfp.service_time_ns(&mut |i| s.frame(mf, i, 60));
+        let tl = linux.service_time_ns(&mut |i, buf| s.fill_frame(ml, i, 60, buf));
+        let tf = lfp.service_time_ns(&mut |i, buf| s.fill_frame(mf, i, 60, buf));
         let speedup = tl / tf;
         assert!(
             (1.55..2.0).contains(&speedup),
@@ -169,8 +174,8 @@ mod tests {
         assert_eq!(tc.hook_name(), "LinuxFP (TC)");
         let mx = xdp.dut_mac();
         let mt = tc.dut_mac();
-        let tx = xdp.service_time_ns(&mut |i| s.frame(mx, i, 60));
-        let tt = tc.service_time_ns(&mut |i| s.frame(mt, i, 60));
+        let tx = xdp.service_time_ns(&mut |i, buf| s.fill_frame(mx, i, 60, buf));
+        let tt = tc.service_time_ns(&mut |i, buf| s.fill_frame(mt, i, 60, buf));
         // Paper Table VII: XDP ≈ 2x TC for forwarding.
         let ratio = tt / tx;
         assert!((1.7..2.4).contains(&ratio), "TC/XDP ratio {ratio:.2}");

@@ -27,8 +27,9 @@ use linuxfp_ebpf::insn::{Action, AluOp, HelperId, JmpCond, MemSize};
 use linuxfp_ebpf::maps::{MapId, MapStore};
 use linuxfp_ebpf::program::{LoadedProgram, Program};
 use linuxfp_netstack::device::IfIndex;
-use linuxfp_netstack::stack::{Kernel, RxOutcome};
+use linuxfp_netstack::stack::{BatchOutcome, Kernel, RxOutcome};
 use linuxfp_packet::ipv4::Prefix;
+use linuxfp_packet::Batch;
 use linuxfp_packet::MacAddr;
 use std::collections::BTreeSet;
 
@@ -304,6 +305,10 @@ impl Platform for PolycubePlatform {
         }
     }
 
+    fn process_batch(&mut self, batch: &mut Batch) -> BatchOutcome {
+        self.kernel.inject_batch(self.upstream, batch)
+    }
+
     fn process(&mut self, frame: Vec<u8>) -> RxOutcome {
         self.kernel.receive(self.upstream, frame)
     }
@@ -347,8 +352,8 @@ mod tests {
         let mut lfp = LinuxFpPlatform::new(s);
         let mp = pcn.dut_mac();
         let mf = lfp.dut_mac();
-        let tp = pcn.service_time_ns(&mut |i| s.frame(mp, i, 60));
-        let tf = lfp.service_time_ns(&mut |i| s.frame(mf, i, 60));
+        let tp = pcn.service_time_ns(&mut |i, buf| s.fill_frame(mp, i, 60, buf));
+        let tf = lfp.service_time_ns(&mut |i, buf| s.fill_frame(mf, i, 60, buf));
         let ratio = tp / tf;
         assert!(
             (1.02..1.45).contains(&ratio),
@@ -384,8 +389,8 @@ mod tests {
         // Cost is ~flat from 10 to 1000 rules (hash classifier).
         let ms = small.dut_mac();
         let ml = large.dut_mac();
-        let t_small = small.service_time_ns(&mut |i| s10.frame(ms, i, 60));
-        let t_large = large.service_time_ns(&mut |i| s1000.frame(ml, i, 60));
+        let t_small = small.service_time_ns(&mut |i, buf| s10.fill_frame(ms, i, 60, buf));
+        let t_large = large.service_time_ns(&mut |i, buf| s1000.fill_frame(ml, i, 60, buf));
         assert!(
             (t_large - t_small).abs() < 60.0,
             "classifier should be flat: {t_small:.0} vs {t_large:.0}"

@@ -131,6 +131,43 @@ impl Scenario {
         )
     }
 
+    /// Writes the workload frame for flow `i` into a reusable buffer —
+    /// the zero-allocation variant of [`Scenario::frame`] that pooled
+    /// measurement loops use.
+    pub fn fill_frame(&self, dut_mac: MacAddr, i: u64, frame_len: usize, buf: &mut Vec<u8>) {
+        builder::udp_packet_sized_into(
+            SOURCE_MAC,
+            dut_mac,
+            Ipv4Addr::new(10, 0, 1, 100),
+            self.allowed_dst(i),
+            (1024 + (i % 512)) as u16,
+            4791,
+            frame_len,
+            buf,
+        );
+    }
+
+    /// The in-place variant of [`Scenario::client_frame`].
+    pub fn fill_client_frame(
+        &self,
+        dut_mac: MacAddr,
+        client: u8,
+        i: u64,
+        frame_len: usize,
+        buf: &mut Vec<u8>,
+    ) {
+        builder::udp_packet_sized_into(
+            SOURCE_MAC,
+            dut_mac,
+            Ipv4Addr::new(10, 0, 1, client),
+            self.allowed_dst(i),
+            (1024 + (i % 512)) as u16,
+            4791,
+            frame_len,
+            buf,
+        );
+    }
+
     /// Applies this scenario to a kernel using only standard Linux
     /// configuration (iproute2 / sysctl / iptables / ipset equivalents).
     /// Returns `(upstream, downstream)` interface indices.

@@ -13,8 +13,9 @@ use crate::platform::{Platform, PlatformTraits, Scheduling};
 use crate::scenario::{Scenario, NEXT_HOP, SINK_MAC};
 use linuxfp_netstack::device::IfIndex;
 use linuxfp_netstack::fib::{Fib, Route};
-use linuxfp_netstack::stack::{Effect, RxOutcome};
+use linuxfp_netstack::stack::{BatchOutcome, Effect, RxOutcome};
 use linuxfp_packet::ipv4::Prefix;
+use linuxfp_packet::{Batch, PacketBuf};
 use linuxfp_packet::{EthernetFrame, Ipv4Header, MacAddr};
 use linuxfp_sim::CostModel;
 use std::collections::BTreeMap;
@@ -86,6 +87,65 @@ impl VppPlatform {
             nets.contains(&masked)
         })
     }
+
+    /// The fixed per-vector cost amortized at full vector size — VPP
+    /// busy-polls a NIC ring that refills faster than packets drain, so
+    /// its vectors run full in steady state regardless of how large a
+    /// burst the harness injects.
+    fn amortized_vector_ns(&self) -> f64 {
+        self.cost.vpp_batch_fixed_ns / f64::from(self.cost.vpp_batch_size.max(1))
+    }
+
+    /// One packet through the graph-node walk: parse, ACL, FIB, TTL,
+    /// MAC rewrite. Per-packet costs only — vector-fixed cost is charged
+    /// by the caller.
+    fn forward_one(&mut self, mut frame: PacketBuf, out: &mut RxOutcome) {
+        out.cost.charge("vpp_node", self.cost.vpp_per_packet_ns);
+
+        let Ok(eth) = EthernetFrame::parse(&frame) else {
+            out.effects.push(Effect::Drop {
+                reason: "malformed ethernet",
+            });
+            return;
+        };
+        if eth.ethertype != linuxfp_packet::EtherType::Ipv4 {
+            out.effects.push(Effect::Drop {
+                reason: "vpp: non-ip punted",
+            });
+            return;
+        }
+        let l3 = eth.payload_offset;
+        let Ok(ip) = Ipv4Header::parse(&frame[l3..]) else {
+            out.effects.push(Effect::Drop {
+                reason: "malformed ipv4",
+            });
+            return;
+        };
+        if self.acl_rules > 0 {
+            out.cost.charge("vpp_acl", self.cost.vpp_acl_ns);
+            if self.acl_denies(ip.dst) {
+                out.effects.push(Effect::Drop {
+                    reason: "vpp acl deny",
+                });
+                return;
+            }
+        }
+        if self.fib.lookup(ip.dst).is_none() {
+            out.effects.push(Effect::Drop { reason: "no route" });
+            return;
+        }
+        if Ipv4Header::decrement_ttl(&mut frame[l3..]).is_none() {
+            out.effects.push(Effect::Drop {
+                reason: "ttl exceeded",
+            });
+            return;
+        }
+        EthernetFrame::rewrite_macs(&mut frame, self.next_hop_mac, self.own_mac);
+        out.effects.push(Effect::Transmit {
+            dev: VPP_EGRESS_PORT,
+            frame,
+        });
+    }
 }
 
 impl Platform for VppPlatform {
@@ -100,57 +160,31 @@ impl Platform for VppPlatform {
         }
     }
 
-    fn process(&mut self, mut frame: Vec<u8>) -> RxOutcome {
-        let mut out = RxOutcome::default();
-        // Steady-state amortized vector cost: fixed per-batch work spread
-        // over a full vector, plus per-packet graph-node work.
-        let amortized = self.cost.vpp_batch_fixed_ns / f64::from(self.cost.vpp_batch_size.max(1));
-        out.cost.charge("vpp_vector", amortized);
-        out.cost.charge("vpp_node", self.cost.vpp_per_packet_ns);
+    fn process_batch(&mut self, batch: &mut Batch) -> BatchOutcome {
+        let mut out = BatchOutcome {
+            batch_size: batch.len(),
+            ..BatchOutcome::default()
+        };
+        // Steady-state amortized vector cost: fixed per-vector work
+        // spread over a full 256-packet vector (see
+        // `amortized_vector_ns`), charged for the burst as a whole.
+        out.batch_cost.charge(
+            "vpp_vector",
+            self.amortized_vector_ns() * out.batch_size as f64,
+        );
+        let bufs: Vec<PacketBuf> = batch.drain().collect();
+        for frame in bufs {
+            let mut rx = RxOutcome::default();
+            self.forward_one(frame, &mut rx);
+            out.outcomes.push(rx);
+        }
+        out
+    }
 
-        let Ok(eth) = EthernetFrame::parse(&frame) else {
-            out.effects.push(Effect::Drop {
-                reason: "malformed ethernet",
-            });
-            return out;
-        };
-        if eth.ethertype != linuxfp_packet::EtherType::Ipv4 {
-            out.effects.push(Effect::Drop {
-                reason: "vpp: non-ip punted",
-            });
-            return out;
-        }
-        let l3 = eth.payload_offset;
-        let Ok(ip) = Ipv4Header::parse(&frame[l3..]) else {
-            out.effects.push(Effect::Drop {
-                reason: "malformed ipv4",
-            });
-            return out;
-        };
-        if self.acl_rules > 0 {
-            out.cost.charge("vpp_acl", self.cost.vpp_acl_ns);
-            if self.acl_denies(ip.dst) {
-                out.effects.push(Effect::Drop {
-                    reason: "vpp acl deny",
-                });
-                return out;
-            }
-        }
-        if self.fib.lookup(ip.dst).is_none() {
-            out.effects.push(Effect::Drop { reason: "no route" });
-            return out;
-        }
-        if Ipv4Header::decrement_ttl(&mut frame[l3..]).is_none() {
-            out.effects.push(Effect::Drop {
-                reason: "ttl exceeded",
-            });
-            return out;
-        }
-        EthernetFrame::rewrite_macs(&mut frame, self.next_hop_mac, self.own_mac);
-        out.effects.push(Effect::Transmit {
-            dev: VPP_EGRESS_PORT,
-            frame,
-        });
+    fn process(&mut self, frame: Vec<u8>) -> RxOutcome {
+        let mut out = RxOutcome::default();
+        out.cost.charge("vpp_vector", self.amortized_vector_ns());
+        self.forward_one(frame.into(), &mut out);
         out
     }
 }
@@ -185,9 +219,9 @@ mod tests {
         let mv = vpp.dut_mac();
         let mf = lfp.dut_mac();
         let ml = linux.dut_mac();
-        let tv = vpp.service_time_ns(&mut |i| s.frame(mv, i, 60));
-        let tf = lfp.service_time_ns(&mut |i| s.frame(mf, i, 60));
-        let tl = linux.service_time_ns(&mut |i| s.frame(ml, i, 60));
+        let tv = vpp.service_time_ns(&mut |i, buf| s.fill_frame(mv, i, 60, buf));
+        let tf = lfp.service_time_ns(&mut |i, buf| s.fill_frame(mf, i, 60, buf));
+        let tl = linux.service_time_ns(&mut |i, buf| s.fill_frame(ml, i, 60, buf));
         assert!(
             tv < tf && tf < tl,
             "vpp {tv:.0} < linuxfp {tf:.0} < linux {tl:.0}"
@@ -225,8 +259,8 @@ mod tests {
         let mut large = VppPlatform::new(s1000);
         let ms = small.dut_mac();
         let ml = large.dut_mac();
-        let ts = small.service_time_ns(&mut |i| s10.frame(ms, i, 60));
-        let tl = large.service_time_ns(&mut |i| s1000.frame(ml, i, 60));
+        let ts = small.service_time_ns(&mut |i, buf| s10.fill_frame(ms, i, 60, buf));
+        let tl = large.service_time_ns(&mut |i, buf| s1000.fill_frame(ml, i, 60, buf));
         assert!((tl - ts).abs() < 5.0, "{ts} vs {tl}");
     }
 

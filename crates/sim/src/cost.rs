@@ -70,6 +70,19 @@ pub struct CostModel {
     pub skb_alloc_ns: f64,
     /// Dispatch cost of entering an attached TC (clsact) program.
     pub tc_entry_ns: f64,
+    /// The portion of [`driver_rx_ns`](Self::driver_rx_ns) that is fixed
+    /// per receive burst rather than per packet (IRQ entry, NAPI poll
+    /// scheduling, ring-doorbell/index reads). Batched injection charges
+    /// it once per burst; single-packet injection pays it per frame, so
+    /// a batch of 1 costs exactly `driver_rx_ns`.
+    pub rx_batch_fixed_ns: f64,
+    /// The per-burst-fixed portion of hook dispatch
+    /// ([`xdp_entry_ns`](Self::xdp_entry_ns) /
+    /// [`tc_entry_ns`](Self::tc_entry_ns)): reading the attached-program
+    /// pointer and setting up dispatch state, amortized across a burst
+    /// the way a driver's XDP invocation loop hoists `READ_ONCE(prog)`
+    /// out of the poll loop.
+    pub hook_batch_fixed_ns: f64,
 
     // ---- Linux slow-path stages (beyond skb alloc) ----
     /// `ip_rcv` style validation: header length, version, checksum verify.
@@ -252,6 +265,8 @@ impl CostModel {
             xdp_entry_ns: 17.0,
             skb_alloc_ns: 594.0,
             tc_entry_ns: 35.0,
+            rx_batch_fixed_ns: 60.0,
+            hook_batch_fixed_ns: 12.0,
 
             ip_rcv_ns: 45.0,
             fib_lookup_kernel_ns: 60.0,

@@ -35,9 +35,26 @@ pub fn throughput_pps(
     cores: u32,
     frame_len: u32,
 ) -> ThroughputPoint {
+    throughput_pps_burst(platform, scenario, dut_mac, cores, frame_len, 1)
+}
+
+/// Like [`throughput_pps`] but handing the platform bursts of `burst`
+/// frames, the way a NAPI poll drains several frames per interrupt —
+/// per-burst fixed costs amortize and the per-packet service time drops.
+pub fn throughput_pps_burst(
+    platform: &mut dyn Platform,
+    scenario: Scenario,
+    dut_mac: linuxfp_packet::MacAddr,
+    cores: u32,
+    frame_len: u32,
+    burst: usize,
+) -> ThroughputPoint {
     let on_wire_len = frame_len.max(64);
     let handed_len = (on_wire_len - 4) as usize;
-    let service_ns = platform.service_time_ns(&mut |i| scenario.frame(dut_mac, i, handed_len));
+    let service_ns = platform.service_time_ns_batched(
+        &mut |i, buf| scenario.fill_frame(dut_mac, i, handed_len, buf),
+        burst,
+    );
     let cost = CostModel::calibrated();
     let model = CoreModel::new(&cost);
     let pps = model.throughput_pps_capped(service_ns, cores, on_wire_len);
@@ -72,6 +89,26 @@ pub fn sweep_packet_sizes(
     sizes
         .iter()
         .map(|s| throughput_pps(platform, scenario, dut_mac, 1, *s))
+        .collect()
+}
+
+/// Sweeps NAPI burst sizes at minimum frame size on one core: the
+/// batch-size dimension of the evaluation. Returns `(burst, point)`
+/// pairs in the order given.
+pub fn sweep_batch_sizes(
+    platform: &mut dyn Platform,
+    scenario: Scenario,
+    dut_mac: linuxfp_packet::MacAddr,
+    bursts: &[usize],
+) -> Vec<(usize, ThroughputPoint)> {
+    bursts
+        .iter()
+        .map(|&b| {
+            (
+                b,
+                throughput_pps_burst(platform, scenario, dut_mac, 1, 64, b),
+            )
+        })
         .collect()
 }
 
@@ -111,6 +148,28 @@ mod tests {
         // Roughly linear: 6 cores within [5x, 6x] of 1 core.
         let ratio = points[5].pps / points[0].pps;
         assert!((5.0..6.01).contains(&ratio), "scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn batch_sweep_amortizes_fixed_costs() {
+        let s = Scenario::router();
+        let mut lfp = LinuxFpPlatform::new(s);
+        let mac = lfp.dut_mac();
+        let points = sweep_batch_sizes(&mut lfp, s, mac, &[1, 8, 32, 64]);
+        assert_eq!(points.len(), 4);
+        for w in points.windows(2) {
+            assert!(
+                w[1].1.service_ns < w[0].1.service_ns,
+                "burst {} ({:.1} ns) not cheaper than burst {} ({:.1} ns)",
+                w[1].0,
+                w[1].1.service_ns,
+                w[0].0,
+                w[0].1.service_ns
+            );
+        }
+        // Burst of one is the historical per-packet measurement.
+        let single = throughput_pps(&mut lfp, s, mac, 1, 64);
+        assert!((points[0].1.service_ns - single.service_ns).abs() < 1e-9);
     }
 
     #[test]

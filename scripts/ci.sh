@@ -22,4 +22,19 @@ cargo build --workspace --release --examples --benches
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> bench smoke: batching must not regress (burst 32 <= burst 1)"
+cargo run -q -p linuxfp-bench --bin repro --release -- batch_sweep \
+  | awk '
+    / LinuxFP / && NF >= 5 {
+      b1 = $2; b32 = $4
+      if (b32 + 0 > b1 + 0) {
+        printf "FAIL: LinuxFP burst-32 %s ns/pkt > burst-1 %s ns/pkt\n", b32, b1
+        exit 1
+      }
+      printf "ok: LinuxFP %s ns/pkt at burst 1 -> %s at burst 32\n", b1, b32
+      found = 1
+    }
+    END { if (!found) { print "FAIL: LinuxFP row not found in batch_sweep"; exit 1 } }
+  '
+
 echo "ci: all green"

@@ -1,0 +1,194 @@
+//! Batching must never change what the datapath *does* — only what it
+//! costs. These tests drive the same deterministic packet sequence
+//! through a one-at-a-time platform and a batched platform (under
+//! arbitrary burst splits) and require byte-identical outputs, identical
+//! verdicts, and an intact hit/fallback conservation ledger.
+
+use linuxfp::ebpf::hook::HookPoint;
+use linuxfp::packet::{builder, Batch, BufferPool};
+use linuxfp::platforms::scenario::SOURCE_MAC;
+use linuxfp::platforms::{LinuxFpPlatform, Platform, Scenario};
+use linuxfp::telemetry::Registry;
+use std::net::Ipv4Addr;
+
+/// A deterministic split of `total` packets into bursts of 1..=max — a
+/// cheap LCG so the test needs no rand dependency but still exercises
+/// ragged, "arbitrary" batch boundaries.
+fn splits(total: usize, max: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed | 1;
+    let mut left = total;
+    let mut out = Vec::new();
+    while left > 0 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let n = ((state >> 33) as usize % max + 1).min(left);
+        out.push(n);
+        left -= n;
+    }
+    out
+}
+
+/// The mixed workload: forwarded flows, blacklisted flows (fast-path
+/// drops), and frames addressed to the DUT itself (slow-path delivery) —
+/// every verdict class the hook can produce.
+fn workload(scenario: Scenario, mac: linuxfp::packet::MacAddr, n: usize) -> Vec<Vec<u8>> {
+    (0..n as u64)
+        .map(|i| match i % 5 {
+            3 => builder::udp_packet(
+                SOURCE_MAC,
+                mac,
+                Ipv4Addr::new(10, 0, 1, 100),
+                scenario.blocked_dst(i as u32),
+                1000 + i as u16,
+                4791,
+                b"blocked",
+            ),
+            4 => builder::udp_packet(
+                SOURCE_MAC,
+                mac,
+                Ipv4Addr::new(10, 0, 1, 100),
+                Ipv4Addr::new(10, 0, 1, 1),
+                1000 + i as u16,
+                4791,
+                b"for the host",
+            ),
+            _ => scenario.frame(mac, i, 60),
+        })
+        .collect()
+}
+
+/// Flattened observable behavior of a sequence of outcomes.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    transmissions: Vec<(u32, Vec<u8>)>,
+    deliveries: Vec<(u32, Vec<u8>)>,
+    drops: Vec<String>,
+}
+
+fn observe<'a>(
+    outcomes: impl Iterator<Item = &'a linuxfp::netstack::stack::RxOutcome>,
+) -> Observed {
+    let mut obs = Observed {
+        transmissions: Vec::new(),
+        deliveries: Vec::new(),
+        drops: Vec::new(),
+    };
+    for out in outcomes {
+        for (dev, frame) in out.transmissions() {
+            obs.transmissions.push((dev.as_u32(), frame.to_vec()));
+        }
+        for (dev, frame) in out.deliveries() {
+            obs.deliveries.push((dev.as_u32(), frame.to_vec()));
+        }
+        for reason in out.drops() {
+            obs.drops.push(reason.to_string());
+        }
+    }
+    obs
+}
+
+fn equivalence_under_splits(hook: HookPoint, seed: u64) {
+    let scenario = Scenario::gateway();
+    let mut single = LinuxFpPlatform::with_hook(scenario, hook);
+    let registry = Registry::new();
+    let mut batched = LinuxFpPlatform::with_telemetry(scenario, hook, registry.clone());
+    assert_eq!(single.dut_mac(), batched.dut_mac(), "same seed, same MACs");
+    let mac = single.dut_mac();
+
+    const TOTAL: usize = 60;
+    let frames = workload(scenario, mac, TOTAL);
+
+    // Reference: one packet at a time.
+    let singles: Vec<_> = frames.iter().map(|f| single.process(f.clone())).collect();
+    let expect = observe(singles.iter());
+
+    // Same frames, ragged bursts, pooled buffers.
+    let pool = BufferPool::new();
+    let mut batched_outcomes = Vec::new();
+    let mut cursor = frames.iter();
+    for burst in splits(TOTAL, 9, seed) {
+        let mut batch = Batch::with_capacity(burst);
+        for frame in cursor.by_ref().take(burst) {
+            let mut buf = pool.acquire();
+            buf.extend_from_slice(frame);
+            batch.push(buf);
+        }
+        let out = batched.process_batch(&mut batch);
+        assert_eq!(out.batch_size, burst);
+        batched_outcomes.extend(out.outcomes);
+    }
+    assert_eq!(batched_outcomes.len(), TOTAL);
+    let got = observe(batched_outcomes.iter());
+
+    // Byte-identical outputs, identical verdicts, in identical order.
+    assert_eq!(expect, got, "hook {hook:?} seed {seed}");
+
+    // Conservation: every injected packet was decided exactly once.
+    drop(batched_outcomes);
+    let hits = registry.counter_total("linuxfp_fp_hits_total");
+    let fallbacks = registry.counter_total("linuxfp_slowpath_fallbacks_total");
+    let injected = registry.counter_total("linuxfp_packets_injected_total");
+    assert_eq!(injected, TOTAL as u64);
+    assert_eq!(
+        hits + fallbacks,
+        injected,
+        "hits {hits} + fallbacks {fallbacks}"
+    );
+    // The mixed workload produced both classes.
+    assert!(hits > 0 && fallbacks > 0);
+}
+
+#[test]
+fn xdp_batching_never_changes_behavior() {
+    for seed in [2, 77, 1234] {
+        equivalence_under_splits(HookPoint::Xdp, seed);
+    }
+}
+
+#[test]
+fn tc_batching_never_changes_behavior() {
+    equivalence_under_splits(HookPoint::Tc, 42);
+}
+
+#[test]
+fn burst_of_one_costs_exactly_single_packet_processing() {
+    // The wrapper contract: a batch of one is bit-identical — cost
+    // included — to historical per-packet processing.
+    let scenario = Scenario::router();
+    let mut a = LinuxFpPlatform::new(scenario);
+    let mut b = LinuxFpPlatform::new(scenario);
+    let mac = a.dut_mac();
+    for i in 0..16u64 {
+        let frame = scenario.frame(mac, i, 60);
+        let single = a.process(frame.clone());
+        let mut batch = Batch::with_capacity(1);
+        batch.push(frame);
+        let batched = b.process_batch(&mut batch);
+        assert_eq!(batched.batch_size, 1);
+        assert_eq!(
+            single.cost.total_ns(),
+            batched.total_ns(),
+            "frame {i}: batch-of-one cost must be exact"
+        );
+        assert_eq!(
+            observe(std::iter::once(&single)),
+            observe(batched.outcomes.iter())
+        );
+    }
+}
+
+#[test]
+fn batching_is_strictly_cheaper_per_packet() {
+    // The acceptance criterion: ns/pkt at burst 32 strictly below
+    // burst 1 on the router fast path.
+    let scenario = Scenario::router();
+    let mut p = LinuxFpPlatform::new(scenario);
+    let mac = p.dut_mac();
+    let t1 = p.service_time_ns_batched(&mut |i, buf| scenario.fill_frame(mac, i, 60, buf), 1);
+    let t32 = p.service_time_ns_batched(&mut |i, buf| scenario.fill_frame(mac, i, 60, buf), 32);
+    assert!(
+        t32 < t1,
+        "burst 32 ({t32:.1} ns) must beat burst 1 ({t1:.1} ns)"
+    );
+}

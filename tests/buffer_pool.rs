@@ -1,0 +1,218 @@
+//! The pooled-buffer contract: after warm-up the datapath performs no
+//! per-packet heap allocation — every buffer the workload acquires comes
+//! back to the free list, on every exit path (forwarded, dropped,
+//! punted up the stack).
+
+use linuxfp::packet::{builder, Batch, BufferPool};
+use linuxfp::platforms::scenario::SOURCE_MAC;
+use linuxfp::platforms::{LinuxFpPlatform, Platform, Scenario};
+use std::net::Ipv4Addr;
+
+const BURST: usize = 32;
+
+fn fill_mixed_burst(
+    pool: &BufferPool,
+    scenario: Scenario,
+    mac: linuxfp::packet::MacAddr,
+    base: u64,
+) -> Batch {
+    let mut batch = Batch::with_capacity(BURST);
+    for j in 0..BURST as u64 {
+        let i = base + j;
+        let mut buf = pool.acquire();
+        match i % 5 {
+            // Fast-path drop: blacklisted destination.
+            3 => buf.extend_from_slice(&builder::udp_packet(
+                SOURCE_MAC,
+                mac,
+                Ipv4Addr::new(10, 0, 1, 100),
+                scenario.blocked_dst(i as u32),
+                1000 + i as u16,
+                4791,
+                b"blocked",
+            )),
+            // Slow-path punt: addressed to the DUT itself.
+            4 => buf.extend_from_slice(&builder::udp_packet(
+                SOURCE_MAC,
+                mac,
+                Ipv4Addr::new(10, 0, 1, 100),
+                Ipv4Addr::new(10, 0, 1, 1),
+                1000 + i as u16,
+                4791,
+                b"for the host",
+            )),
+            // Fast-path redirect: forwarded flow.
+            _ => scenario.fill_frame(mac, i, 60, &mut buf),
+        }
+        batch.push(buf);
+    }
+    batch
+}
+
+#[test]
+fn pool_stops_allocating_after_warmup_on_every_exit_path() {
+    let scenario = Scenario::gateway();
+    let mut p = LinuxFpPlatform::new(scenario);
+    let mac = p.dut_mac();
+    let pool = BufferPool::new();
+
+    // Warm-up: the pool grows to the working set.
+    for round in 0..4u64 {
+        let mut batch = fill_mixed_burst(&pool, scenario, mac, round * BURST as u64);
+        let out = p.process_batch(&mut batch);
+        assert_eq!(out.outcomes.len(), BURST);
+        drop(out);
+    }
+    let warm = pool.stats();
+    assert!(warm.allocated > 0);
+    assert_eq!(warm.outstanding, 0, "all buffers returned after warm-up");
+
+    // Steady state: zero pool growth across many more mixed bursts.
+    for round in 4..40u64 {
+        let mut batch = fill_mixed_burst(&pool, scenario, mac, round * BURST as u64);
+        let out = p.process_batch(&mut batch);
+        // While outcomes are alive, their frames hold pool buffers.
+        assert!(pool.stats().outstanding > 0);
+        drop(out);
+        let now = pool.stats();
+        assert_eq!(
+            now.allocated, warm.allocated,
+            "round {round}: pool grew in steady state"
+        );
+        assert_eq!(now.outstanding, 0, "round {round}: buffer leaked");
+        assert_eq!(now.free, now.allocated, "round {round}");
+    }
+    let end = pool.stats();
+    assert!(
+        end.reused > end.allocated,
+        "steady state reuses, not allocates"
+    );
+    assert_eq!(end.recycled, end.allocated + end.reused);
+}
+
+#[test]
+fn buffers_come_back_on_drop_punt_and_redirect_individually() {
+    let scenario = Scenario::gateway();
+    let mut p = LinuxFpPlatform::new(scenario);
+    let mac = p.dut_mac();
+    let pool = BufferPool::new();
+
+    type Fill<'a> = Box<dyn Fn(&mut Vec<u8>) + 'a>;
+    let cases: [(&str, Fill<'_>); 3] = [
+        (
+            "redirect",
+            Box::new(|buf: &mut Vec<u8>| scenario.fill_frame(mac, 1, 60, buf)),
+        ),
+        (
+            "drop",
+            Box::new(move |buf: &mut Vec<u8>| {
+                buf.extend_from_slice(&builder::udp_packet(
+                    SOURCE_MAC,
+                    mac,
+                    Ipv4Addr::new(10, 0, 1, 100),
+                    scenario.blocked_dst(3),
+                    1001,
+                    4791,
+                    b"blocked",
+                ))
+            }),
+        ),
+        (
+            "punt",
+            Box::new(move |buf: &mut Vec<u8>| {
+                buf.extend_from_slice(&builder::udp_packet(
+                    SOURCE_MAC,
+                    mac,
+                    Ipv4Addr::new(10, 0, 1, 100),
+                    Ipv4Addr::new(10, 0, 1, 1),
+                    1002,
+                    4791,
+                    b"for the host",
+                ))
+            }),
+        ),
+    ];
+    for (name, fill) in &cases {
+        let mut buf = pool.acquire();
+        fill(&mut buf);
+        let mut batch = Batch::with_capacity(1);
+        batch.push(buf);
+        assert_eq!(pool.stats().outstanding, 1, "{name}: buffer in flight");
+        let out = p.process_batch(&mut batch);
+        drop(out);
+        assert_eq!(pool.stats().outstanding, 0, "{name}: buffer not returned");
+    }
+    // Three exit paths, one buffer: perfect reuse after the first.
+    assert_eq!(pool.stats().allocated, 1);
+    assert_eq!(pool.stats().reused, 2);
+}
+
+#[test]
+fn pool_occupancy_and_batch_size_land_in_telemetry() {
+    use linuxfp::ebpf::hook::HookPoint;
+    use linuxfp::netstack::stack::wire_pool_telemetry;
+    use linuxfp::telemetry::Registry;
+
+    let scenario = Scenario::router();
+    let registry = Registry::new();
+    let mut p = LinuxFpPlatform::with_telemetry(scenario, HookPoint::Xdp, registry.clone());
+    let mac = p.dut_mac();
+    let pool = BufferPool::new();
+    wire_pool_telemetry(&pool, &registry);
+
+    for round in 0..3u64 {
+        let mut batch = Batch::with_capacity(8);
+        for j in 0..8u64 {
+            let mut buf = pool.acquire();
+            scenario.fill_frame(mac, round * 8 + j, 60, &mut buf);
+            batch.push(buf);
+        }
+        let _ = p.process_batch(&mut batch);
+    }
+    // Gauges reflect the drained steady state: everything back on the
+    // free list, nothing outstanding.
+    let gauge = |state: &str| {
+        registry
+            .gauge("linuxfp_pool_buffers", &[("state", state)])
+            .get()
+    };
+    assert_eq!(gauge("outstanding"), 0);
+    assert!(gauge("allocated") > 0);
+    assert_eq!(gauge("free"), gauge("allocated"));
+
+    // The kernel's burst-size histogram saw three bursts of eight.
+    let h = registry.histogram(
+        "linuxfp_batch_size",
+        &[],
+        linuxfp::telemetry::Scale::Identity,
+    );
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.sum(), 24);
+}
+
+#[test]
+fn measurement_loop_itself_is_allocation_free_in_steady_state() {
+    // service_time_ns_batched uses its own internal pool; verify via an
+    // external pool driving the same pattern that the combination of
+    // fill_frame + recycling never grows past the burst working set.
+    let scenario = Scenario::router();
+    let mut p = LinuxFpPlatform::new(scenario);
+    let mac = p.dut_mac();
+    let pool = BufferPool::new();
+    for round in 0..32u64 {
+        let mut batch = Batch::with_capacity(8);
+        for j in 0..8u64 {
+            let mut buf = pool.acquire();
+            scenario.fill_frame(mac, round * 8 + j, 60, &mut buf);
+            batch.push(buf);
+        }
+        let _ = p.process_batch(&mut batch);
+    }
+    let s = pool.stats();
+    assert!(
+        s.allocated <= 8,
+        "working set is one burst, allocated {}",
+        s.allocated
+    );
+    assert_eq!(s.outstanding, 0);
+}

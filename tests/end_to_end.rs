@@ -134,7 +134,7 @@ fn facade_prelude_covers_the_workflow() {
     let scenario = Scenario::router();
     let mut lfp = LinuxFpPlatform::new(scenario);
     let mac = lfp.dut_mac();
-    let service = lfp.service_time_ns(&mut |i| scenario.frame(mac, i, 60));
+    let service = lfp.service_time_ns(&mut |i, buf| scenario.fill_frame(mac, i, 60, buf));
     assert!(service > 100.0 && service < 2000.0);
     let cost = CostModel::calibrated();
     assert!(cost.line_rate_gbps > 0.0);

@@ -36,10 +36,10 @@ fn headline_latency_reduction_53_percent() {
     let s = Scenario::router();
     let mut linux = LinuxPlatform::new(s);
     let mac = linux.dut_mac();
-    let linux_service = linux.service_time_ns(&mut |i| s.frame(mac, i, 60));
+    let linux_service = linux.service_time_ns(&mut |i, buf| s.fill_frame(mac, i, 60, buf));
     let mut lfp = LinuxFpPlatform::new(s);
     let mac = lfp.dut_mac();
-    let lfp_service = lfp.service_time_ns(&mut |i| s.frame(mac, i, 60));
+    let lfp_service = lfp.service_time_ns(&mut |i, buf| s.fill_frame(mac, i, 60, buf));
     let linux_rtt = run_rr(&RrConfig::paper_default(
         linux_service,
         linux.traits().scheduling,
