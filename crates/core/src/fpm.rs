@@ -723,6 +723,7 @@ fn emit_router(
     // Version 4, IHL 5 (options are a slow-path corner case).
     a.load(MemSize::B, 2, R_DATA, 14);
     a.jmp_imm(JmpCond::Ne, 2, 0x45, "pass");
+    emit_ipv4_csum_verify(a);
     // Fragments are slow-path corner cases (paper Table I).
     a.load(MemSize::H, 2, R_DATA, 20);
     a.alu_imm(AluOp::And, 2, 0xFFBF); // ignore the DF bit
@@ -991,6 +992,31 @@ fn emit_nat_postrouting(a: &mut Asm) {
     a.store(MemSize::B, R_DATA, 35, 2);
     a.store(MemSize::B, R_DATA, 34, 3);
     a.label("nat_nosrc");
+}
+
+/// Emits full IPv4 header-checksum verification for the 20-byte header
+/// the preceding `0x45` check proved (and the 34-byte guard made
+/// loadable): sums the ten header halfwords, folds, and punts to the
+/// slow path unless the one's-complement sum is all-ones. Linux drops
+/// bad-checksum datagrams in `ip_rcv`; without this stage the fast path
+/// forwards frames the slow path rejects — a transparency divergence
+/// found by the differential fuzzer (`crates/difftest`). Halfwords are
+/// summed in load order: the one's-complement checksum is byte-order
+/// independent (RFC 1071 §2.B), so the all-ones test needs no swaps.
+fn emit_ipv4_csum_verify(a: &mut Asm) {
+    a.mov_imm(5, 0);
+    for off in (14..34).step_by(2) {
+        a.load(MemSize::H, 2, R_DATA, off);
+        a.alu_reg(AluOp::Add, 5, 2);
+    }
+    // Two folds suffice: ten halfwords carry at most 4 bits past 16.
+    for _ in 0..2 {
+        a.mov_reg(2, 5);
+        a.alu_imm(AluOp::Rsh, 2, 16);
+        a.alu_imm(AluOp::And, 5, 0xFFFF);
+        a.alu_reg(AluOp::Add, 5, 2);
+    }
+    a.jmp_imm(JmpCond::Ne, 5, 0xFFFF, "pass");
 }
 
 /// Applies one RFC 1624 incremental checksum update for the 16-bit word

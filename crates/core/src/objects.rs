@@ -98,7 +98,9 @@ pub struct ObjectStore {
     pub ipvs_configured: bool,
     /// Iptables `nat` table summary.
     pub nat: NatObject,
-    /// Whether any NAT rule exists at all.
+    /// Whether NAT can touch traffic: any rule exists, or established
+    /// bindings from since-removed rules are still live in conntrack
+    /// (the slow path keeps honoring those, so the fast path must too).
     pub nat_configured: bool,
 }
 
@@ -139,7 +141,11 @@ impl ObjectStore {
                 snat_rules: kernel.nat.snat_rules(),
                 generation: kernel.nat.generation,
             },
-            nat_configured: kernel.nat.total_rules() > 0,
+            // Mirrors the slow path's own `nat_active` condition: rules
+            // OR live bindings. A flush with established flows must keep
+            // the NAT stage deployed, or the fast path forwards frames
+            // the slow path would still translate.
+            nat_configured: kernel.nat.total_rules() > 0 || kernel.conntrack.nat_len() > 0,
         }
     }
 
@@ -197,6 +203,43 @@ mod tests {
     use super::*;
     use linuxfp_netstack::netfilter::{ChainHook, IptRule};
     use linuxfp_netstack::stack::IfAddr;
+
+    #[test]
+    fn nat_configured_survives_rule_flush_while_bindings_live() {
+        use linuxfp_netstack::conntrack::NatTuple;
+        use linuxfp_netstack::nat::{NatChain, NatRule, NatTarget};
+        use std::net::Ipv4Addr;
+
+        let mut k = Kernel::new(1);
+        k.iptables_nat_append(NatChain::Postrouting, NatRule::any(NatTarget::Masquerade));
+        assert!(ObjectStore::snapshot(&k).nat_configured);
+
+        // An established flow binds, then the rules are flushed. The
+        // slow path keeps translating through the binding, so the
+        // controller must keep the NAT stage deployed.
+        let orig = NatTuple::new(
+            Ipv4Addr::new(10, 0, 1, 5),
+            4000,
+            Ipv4Addr::new(10, 10, 0, 7),
+            53,
+            17,
+        );
+        let mut xlat = orig;
+        xlat.src = Ipv4Addr::new(10, 0, 2, 1);
+        xlat.sport = 32768;
+        let now = k.now();
+        k.conntrack.nat_install(orig, xlat, Some(32768), now);
+        k.iptables_nat_flush();
+        assert!(
+            ObjectStore::snapshot(&k).nat_configured,
+            "live bindings keep NAT configured after a flush"
+        );
+
+        // Once the bindings expire and are collected, the stage can go.
+        k.advance(linuxfp_sim::Nanos::from_secs(3600));
+        k.conntrack.nat_gc(k.now());
+        assert!(!ObjectStore::snapshot(&k).nat_configured);
+    }
 
     #[test]
     fn snapshot_reflects_router_config() {

@@ -1,0 +1,122 @@
+//! Differential-fuzzing CLI.
+//!
+//! ```text
+//! difftest run --seeds N [--start S] [--corpus DIR]   sweep N seeded scenarios
+//! difftest replay FILE...                             replay stored fixtures
+//! ```
+//!
+//! Exit status is non-zero on any divergence. `run` shrinks each failure
+//! and, with `--corpus`, writes the minimal repro there as JSON.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        _ => {
+            eprintln!("usage: difftest run --seeds N [--start S] [--corpus DIR]");
+            eprintln!("       difftest replay FILE...");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_u64(args: &[String], flag: &str) -> Option<u64> {
+    let pos = args.iter().position(|a| a == flag)?;
+    args.get(pos + 1)?.parse().ok()
+}
+
+fn parse_str<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    let pos = args.iter().position(|a| a == flag)?;
+    args.get(pos + 1).map(String::as_str)
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let seeds = parse_u64(args, "--seeds").unwrap_or(200);
+    let start = parse_u64(args, "--start").unwrap_or(0);
+    let corpus = parse_str(args, "--corpus");
+
+    let mut packets = 0usize;
+    let mut failures = 0u32;
+    for seed in start..start + seeds {
+        let scenario = linuxfp_difftest::generate(seed);
+        let outcome = linuxfp_difftest::run(&scenario);
+        packets += outcome.packets;
+        if let Some(div) = &outcome.divergence {
+            failures += 1;
+            eprintln!(
+                "difftest: seed {seed} DIVERGED at op {} [{}]",
+                div.op, div.kind
+            );
+            eprintln!("  {}", div.detail);
+            let minimal = linuxfp_difftest::shrink(&scenario);
+            eprintln!(
+                "  shrunk to {} ops (from {})",
+                minimal.ops.len(),
+                scenario.ops.len()
+            );
+            if let Some(dir) = corpus {
+                let path = format!("{dir}/{}.json", minimal.name);
+                match std::fs::write(&path, minimal.to_json()) {
+                    Ok(()) => eprintln!("  wrote fixture {path}"),
+                    Err(e) => eprintln!("  failed to write fixture {path}: {e}"),
+                }
+            } else {
+                eprintln!("  minimal repro:\n{}", minimal.to_json());
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("difftest: {failures}/{seeds} seeds diverged");
+        return ExitCode::FAILURE;
+    }
+    println!("difftest: {seeds} seeds, {packets} packets, zero divergence");
+    ExitCode::SUCCESS
+}
+
+fn cmd_replay(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        eprintln!("difftest replay: no fixture files given");
+        return ExitCode::from(2);
+    }
+    let mut failures = 0u32;
+    for file in files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("difftest: cannot read {file}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let scenario = match linuxfp_difftest::DiffScenario::from_json(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("difftest: cannot parse {file}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        let outcome = linuxfp_difftest::run(&scenario);
+        match &outcome.divergence {
+            Some(div) => {
+                failures += 1;
+                eprintln!(
+                    "difftest: {file} ({}) DIVERGED at op {} [{}]: {}",
+                    scenario.name, div.op, div.kind, div.detail
+                );
+            }
+            None => println!(
+                "difftest: {file} ({}) transparent, {} packets",
+                scenario.name, outcome.packets
+            ),
+        }
+    }
+    if failures > 0 {
+        eprintln!("difftest: {failures} fixture(s) diverged");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

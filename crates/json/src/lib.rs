@@ -5,8 +5,9 @@
 //! metric snapshots as JSON. The build environment is fully offline, so
 //! instead of `serde_json` this crate provides the small surface the
 //! repository actually needs: a [`Value`] enum, the [`json!`]
-//! constructor macro, ordered [`Map`]s, indexing/accessor helpers, and
-//! compact + pretty renderers.
+//! constructor macro, ordered [`Map`]s, indexing/accessor helpers,
+//! compact + pretty renderers, and a [`from_str`] parser (used by the
+//! differential fuzzer to replay regression fixtures).
 //!
 //! The model intentionally mirrors `serde_json`'s shape (`Value`,
 //! `Map`, `json!`) so code reads the same and a future swap back to the
@@ -503,6 +504,289 @@ pub fn to_string_pretty(v: &Value) -> String {
 }
 
 // ---------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------
+
+/// A parse failure: byte offset plus a short description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What the parser expected or rejected.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a JSON document (serde_json's `from_str`, but always into
+/// [`Value`]). Accepts exactly one top-level value; trailing
+/// whitespace is fine, trailing tokens are an error. Used by the
+/// differential fuzzer to replay regression fixtures.
+pub fn from_str(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') if self.eat("null") => Ok(Value::Null),
+            Some(b't') if self.eat("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.pos += 1; // consume '{'
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string key in object"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected ':' after object key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.pos += 1; // consume opening '"'
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                // Multi-byte UTF-8: the input is a &str, so continuation
+                // bytes are guaranteed well-formed — copy them through.
+                _ => {
+                    let start = self.pos - 1;
+                    while self
+                        .peek()
+                        .is_some_and(|c| c != b'"' && c != b'\\' && c >= 0x20)
+                    {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .expect("input is valid UTF-8");
+                    if chunk.chars().any(|c| (c as u32) < 0x20) {
+                        return Err(self.err("unescaped control character in string"));
+                    }
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let unit = self.hex4()?;
+        // Surrogate pairs (escaped non-BMP characters).
+        if (0xD800..0xDC00).contains(&unit) {
+            if !self.eat("\\u") {
+                return Err(self.err("unpaired high surrogate"));
+            }
+            let low = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&low) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            let cp = 0x10000 + ((u32::from(unit) - 0xD800) << 10) + (u32::from(low) - 0xDC00);
+            return char::from_u32(cp).ok_or_else(|| self.err("invalid surrogate pair"));
+        }
+        char::from_u32(u32::from(unit)).ok_or_else(|| self.err("invalid \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u16, ParseError> {
+        let mut v: u16 = 0;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err(self.err("truncated \\u escape"));
+            };
+            let digit = match b {
+                b'0'..=b'9' => b - b'0',
+                b'a'..=b'f' => b - b'a' + 10,
+                b'A'..=b'F' => b - b'A' + 10,
+                _ => return Err(self.err("non-hex digit in \\u escape")),
+            };
+            self.pos += 1;
+            v = (v << 4) | u16::from(digit);
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            return Err(self.err("expected digit"));
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                return Err(self.err("expected digit after decimal point"));
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                return Err(self.err("expected digit in exponent"));
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I(i)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::F(f)))
+            .map_err(|_| ParseError {
+                offset: start,
+                message: "invalid number".to_string(),
+            })
+    }
+}
+
+// ---------------------------------------------------------------------
 // The `json!` constructor macro (subset of serde_json's).
 // ---------------------------------------------------------------------
 
@@ -685,5 +969,71 @@ mod tests {
         let none: Option<&str> = None;
         let v = json!({"s": some, "n": none});
         assert_eq!(v.to_string(), r#"{"n":null,"s":"a\nb"}"#);
+    }
+
+    #[test]
+    fn parser_round_trips_compact_and_pretty() {
+        let v = json!({
+            "name": "fixture",
+            "seed": 12648430u64,
+            "neg": -7,
+            "ratio": 2.5,
+            "flags": [true, false, null],
+            "nested": {"list": [1, 2, 3], "empty": {}, "none": []},
+            "text": "quote \" slash \\ newline \n tab \t",
+        });
+        assert_eq!(from_str(&to_string(&v)).unwrap(), v);
+        assert_eq!(from_str(&to_string_pretty(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        assert_eq!(from_str(r#""a\u0041b""#).unwrap(), "aAb");
+        assert_eq!(from_str(r#""\ud83d\ude00""#).unwrap(), "\u{1F600}");
+        assert_eq!(from_str(r#""caf\u00e9 naïve""#).unwrap(), "café naïve");
+        assert_eq!(from_str("\"\\/\\b\\f\"").unwrap(), "/\u{8}\u{c}");
+    }
+
+    #[test]
+    fn parser_number_representations() {
+        assert_eq!(from_str("42").unwrap(), 42u64);
+        assert_eq!(from_str("-42").unwrap().as_i64(), Some(-42));
+        assert_eq!(from_str("2.5").unwrap(), 2.5f64);
+        assert_eq!(from_str("1e3").unwrap(), 1000.0f64);
+        assert_eq!(from_str("-1.5e-1").unwrap(), -0.15f64);
+        assert_eq!(
+            from_str("18446744073709551615").unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{\"a\":1,}",
+            "{a:1}",
+            "\"unterminated",
+            "nul",
+            "truex",
+            "01x",
+            "-",
+            "1.",
+            "1e",
+            "\"\\q\"",
+            "\"\\u12\"",
+            "\"\\ud800x\"",
+            "[] []",
+            "\u{1}",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted malformed input: {bad:?}");
+        }
+        let err = from_str("[1, 2, oops]").unwrap_err();
+        assert_eq!(err.offset, 7);
+        assert!(err.to_string().contains("byte 7"));
     }
 }

@@ -168,8 +168,18 @@ pub struct Conntrack {
     /// Flow-table capacity (`net.netfilter.nf_conntrack_max`): inserting
     /// past this evicts the oldest entry instead of growing unboundedly.
     pub max_entries: usize,
+    /// NAT binding-table capacity in *directional* entries (a binding
+    /// pair occupies two). Installing past this evicts the
+    /// least-recently-seen pair instead of growing unboundedly, exactly
+    /// like the flow map above.
+    pub max_nat_entries: usize,
     evictions: u64,
+    nat_evictions: u64,
     eviction_counter: Option<Counter>,
+    nat_eviction_counter: Option<Counter>,
+    /// ipvs backends unpinned by flow eviction, drained by the owner of
+    /// the ipvs subsystem so `Backend::active` can be decremented.
+    freed_backends: Vec<(Ipv4Addr, u16)>,
 }
 
 impl Conntrack {
@@ -184,8 +194,12 @@ impl Conntrack {
             new_timeout: Nanos::from_secs(60),
             established_timeout: Nanos::from_secs(600),
             max_entries: 65536,
+            max_nat_entries: 65536,
             evictions: 0,
+            nat_evictions: 0,
             eviction_counter: None,
+            nat_eviction_counter: None,
+            freed_backends: Vec::new(),
         }
     }
 
@@ -195,9 +209,21 @@ impl Conntrack {
         self.eviction_counter = Some(counter);
     }
 
+    /// Counts NAT-binding capacity evictions into `counter` as well as
+    /// the local [`Conntrack::nat_evictions`] tally.
+    pub fn set_nat_eviction_counter(&mut self, counter: Counter) {
+        self.nat_eviction_counter = Some(counter);
+    }
+
     /// Entries evicted because the table was at [`Conntrack::max_entries`].
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Binding pairs evicted because the NAT table was at
+    /// [`Conntrack::max_nat_entries`].
+    pub fn nat_evictions(&self) -> u64 {
+        self.nat_evictions
     }
 
     /// Processes one packet: creates the entry on first sight, upgrades to
@@ -242,7 +268,11 @@ impl Conntrack {
     }
 
     /// Removes the least-recently-seen entry (deterministic tie-break on
-    /// the key) to make room at capacity.
+    /// the key) to make room at capacity. The flow's companion state goes
+    /// with it: paired NAT bindings are evicted (returning any owned
+    /// masquerade port to the freed list) and a pinned ipvs backend is
+    /// parked for the scheduler to unpin — a forgotten flow must not keep
+    /// a port or a connection slot bound forever.
     fn evict_oldest(&mut self) {
         let victim = self
             .entries
@@ -250,7 +280,16 @@ impl Conntrack {
             .min_by_key(|(k, e)| (e.last_seen, k.a_addr, k.a_port, k.b_addr, k.b_port, k.proto))
             .map(|(k, _)| *k);
         if let Some(k) = victim {
-            self.entries.remove(&k);
+            let entry = self.entries.remove(&k).expect("victim present");
+            for tuple in [
+                NatTuple::new(k.a_addr, k.a_port, k.b_addr, k.b_port, k.proto),
+                NatTuple::new(k.b_addr, k.b_port, k.a_addr, k.a_port, k.proto),
+            ] {
+                self.nat_remove_pair(&tuple);
+            }
+            if let Some(backend) = entry.backend {
+                self.freed_backends.push(backend);
+            }
             self.evictions += 1;
             if let Some(c) = &self.eviction_counter {
                 c.inc();
@@ -305,6 +344,11 @@ impl Conntrack {
     /// `xlat`, and reply packets (matching the reverse of `xlat`) are
     /// rewritten back to the reverse of `orig`. `owns_port` records a
     /// masquerade port to return to the allocator when the binding dies.
+    ///
+    /// The binding table is capped at [`Conntrack::max_nat_entries`]
+    /// directional entries: installing past capacity evicts the
+    /// least-recently-seen pair first (its owned port lands in the
+    /// freed-port list), mirroring the flow map's `evict_oldest`.
     pub fn nat_install(
         &mut self,
         orig: NatTuple,
@@ -312,6 +356,19 @@ impl Conntrack {
         owns_port: Option<u16>,
         now: Nanos,
     ) {
+        let reply_key = xlat.reversed();
+        let mut new_keys = 0;
+        if !self.nat.contains_key(&orig) {
+            new_keys += 1;
+        }
+        if !self.nat.contains_key(&reply_key) {
+            new_keys += 1;
+        }
+        while new_keys > 0 && self.nat.len() + new_keys > self.max_nat_entries {
+            if !self.nat_evict_oldest_pair() {
+                break;
+            }
+        }
         self.nat.insert(
             orig,
             NatBinding {
@@ -330,6 +387,44 @@ impl Conntrack {
                 last_seen: now,
             },
         );
+    }
+
+    /// Evicts the least-recently-seen NAT binding pair (deterministic
+    /// tie-break on the key) to make room at capacity. Returns `false`
+    /// when the table is empty.
+    fn nat_evict_oldest_pair(&mut self) -> bool {
+        let victim = self
+            .nat
+            .iter()
+            .min_by_key(|(k, e)| (e.last_seen, k.src, k.sport, k.dst, k.dport, k.proto))
+            .map(|(k, _)| *k);
+        let Some(key) = victim else {
+            return false;
+        };
+        self.nat_remove_pair(&key);
+        self.nat_evictions += 1;
+        if let Some(c) = &self.nat_eviction_counter {
+            c.inc();
+        }
+        true
+    }
+
+    /// Removes a directional NAT entry and its partner (the other
+    /// direction of the same binding), parking any owned masquerade port
+    /// in the freed-port list. Returns whether `key` was present.
+    fn nat_remove_pair(&mut self, key: &NatTuple) -> bool {
+        let Some(dead) = self.nat.remove(key) else {
+            return false;
+        };
+        if let Some(p) = dead.owns_port {
+            self.freed_nat_ports.push(p);
+        }
+        if let Some(partner) = self.nat.remove(&dead.xlat.reversed()) {
+            if let Some(p) = partner.owns_port {
+                self.freed_nat_ports.push(p);
+            }
+        }
+        true
     }
 
     /// Looks up the NAT binding for a packet tuple, refreshing both
@@ -386,6 +481,12 @@ impl Conntrack {
     /// allocator can reuse them.
     pub fn take_freed_nat_ports(&mut self) -> Vec<u16> {
         std::mem::take(&mut self.freed_nat_ports)
+    }
+
+    /// Drains ipvs backends unpinned by flow eviction so the scheduler
+    /// can decrement their live-connection counts.
+    pub fn take_freed_backends(&mut self) -> Vec<(Ipv4Addr, u16)> {
+        std::mem::take(&mut self.freed_backends)
     }
 
     /// Number of directional NAT binding entries.
@@ -600,6 +701,87 @@ mod tests {
         assert_eq!(ct.nat_len(), 0);
         assert_eq!(ct.take_freed_nat_ports(), vec![32768]);
         assert!(ct.take_freed_nat_ports().is_empty());
+    }
+
+    #[test]
+    fn nat_install_respects_capacity_cap() {
+        // Pre-fix, the NAT map grew without bound: installing a third
+        // pair with max_nat_entries = 4 left six directional entries.
+        let mut ct = Conntrack::new();
+        ct.max_nat_entries = 4;
+        let gw = Ipv4Addr::new(198, 51, 100, 1);
+        for (i, sport) in [40000u16, 40001, 40002].iter().enumerate() {
+            ct.nat_install(
+                tuple(*sport),
+                NatTuple::new(gw, 32768 + i as u16, tuple(*sport).dst, 53, 17),
+                Some(32768 + i as u16),
+                Nanos::from_secs(i as u64),
+            );
+        }
+        assert_eq!(ct.nat_len(), 4, "cap must hold");
+        assert_eq!(ct.nat_evictions(), 1);
+        // The oldest pair (sport 40000, installed at t=0) was evicted and
+        // its masquerade port returned; the newer two still translate.
+        assert_eq!(ct.take_freed_nat_ports(), vec![32768]);
+        assert!(ct.nat_lookup(&tuple(40000), Nanos::from_secs(3)).is_none());
+        assert!(ct.nat_lookup(&tuple(40001), Nanos::from_secs(3)).is_some());
+        assert!(ct.nat_lookup(&tuple(40002), Nanos::from_secs(3)).is_some());
+    }
+
+    #[test]
+    fn nat_reinstall_at_capacity_does_not_evict() {
+        let mut ct = Conntrack::new();
+        ct.max_nat_entries = 2;
+        let gw = Ipv4Addr::new(198, 51, 100, 1);
+        let xlat = NatTuple::new(gw, 32768, tuple(40000).dst, 53, 17);
+        ct.nat_install(tuple(40000), xlat, Some(32768), Nanos::ZERO);
+        // Re-installing the same pair overwrites in place.
+        ct.nat_install(tuple(40000), xlat, Some(32768), Nanos::from_secs(1));
+        assert_eq!(ct.nat_len(), 2);
+        assert_eq!(ct.nat_evictions(), 0);
+        assert!(ct.take_freed_nat_ports().is_empty());
+    }
+
+    #[test]
+    fn flow_eviction_takes_companion_nat_bindings() {
+        // Pre-fix, evicting a flow at capacity left its NAT pair (and the
+        // masquerade port it owned) alive forever.
+        let (a, b) = ips();
+        let mut ct = Conntrack::new();
+        ct.max_entries = 1;
+        let gw = Ipv4Addr::new(198, 51, 100, 1);
+        // Flow a:1000 -> b:53 is tracked and masqueraded as gw:32768.
+        ct.track(a, 1000, b, 53, IpProto::Udp, Nanos::ZERO);
+        let orig = NatTuple::new(a, 1000, b, 53, 17);
+        let xlat = NatTuple::new(gw, 32768, b, 53, 17);
+        ct.nat_install(orig, xlat, Some(32768), Nanos::ZERO);
+        assert_eq!((ct.len(), ct.nat_len()), (1, 2));
+        // A second flow evicts the first (capacity 1)...
+        ct.track(a, 2000, b, 53, IpProto::Udp, Nanos::from_secs(1));
+        assert_eq!(ct.evictions(), 1);
+        // ...and the companion NAT pair dies with it, freeing the port.
+        assert_eq!(ct.nat_len(), 0, "companion NAT bindings must be evicted");
+        assert_eq!(ct.take_freed_nat_ports(), vec![32768]);
+        assert!(ct.nat_lookup(&orig, Nanos::from_secs(1)).is_none());
+        assert!(ct
+            .nat_lookup(&xlat.reversed(), Nanos::from_secs(1))
+            .is_none());
+    }
+
+    #[test]
+    fn flow_eviction_unpins_ipvs_backend() {
+        let (a, b) = ips();
+        let mut ct = Conntrack::new();
+        ct.max_entries = 1;
+        ct.track(a, 1000, b, 53, IpProto::Udp, Nanos::ZERO);
+        let key = FlowKey::new(a, 1000, b, 53, IpProto::Udp);
+        assert!(ct.set_backend(&key, (Ipv4Addr::new(10, 0, 2, 10), 5300)));
+        ct.track(a, 2000, b, 53, IpProto::Udp, Nanos::from_secs(1));
+        assert_eq!(
+            ct.take_freed_backends(),
+            vec![(Ipv4Addr::new(10, 0, 2, 10), 5300)]
+        );
+        assert!(ct.take_freed_backends().is_empty());
     }
 
     #[test]

@@ -139,6 +139,20 @@ impl Ipvs {
             .position(|s| s.vip == vip && s.port == port && s.proto == proto)
     }
 
+    /// Releases one pinned connection from a backend (saturating): called
+    /// when conntrack evicts a flow whose entry carried a backend pin, so
+    /// `LeastConn` scheduling stops counting the forgotten flow.
+    pub fn release_backend(&mut self, addr: Ipv4Addr, port: u16) {
+        for svc in &mut self.services {
+            for b in &mut svc.backends {
+                if b.addr == addr && b.port == port {
+                    b.active = b.active.saturating_sub(1);
+                    return;
+                }
+            }
+        }
+    }
+
     /// The configured services.
     pub fn services(&self) -> &[VirtualService] {
         &self.services
@@ -311,6 +325,37 @@ mod tests {
             seen.insert(b);
         }
         assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn release_backend_decrements_and_saturates() {
+        let (mut ipvs, mut ct) = setup(Scheduler::LeastConn);
+        let first = ipvs
+            .select_backend(
+                &mut ct,
+                Ipv4Addr::new(10, 0, 1, 100),
+                41000,
+                vip(),
+                53,
+                IpProto::Udp,
+                Nanos::ZERO,
+            )
+            .unwrap();
+        let active = |ipvs: &Ipvs, b: (Ipv4Addr, u16)| {
+            ipvs.services()[0]
+                .backends()
+                .iter()
+                .find(|x| (x.addr, x.port) == b)
+                .unwrap()
+                .active
+        };
+        assert_eq!(active(&ipvs, first), 1);
+        ipvs.release_backend(first.0, first.1);
+        assert_eq!(active(&ipvs, first), 0);
+        // Saturates instead of underflowing; unknown backends are no-ops.
+        ipvs.release_backend(first.0, first.1);
+        assert_eq!(active(&ipvs, first), 0);
+        ipvs.release_backend(Ipv4Addr::new(9, 9, 9, 9), 1);
     }
 
     #[test]

@@ -153,8 +153,9 @@ pub struct Nat {
     prerouting: Vec<NatRule>,
     postrouting: Vec<NatRule>,
     /// Masquerade source-port range, inclusive (Linux default
-    /// `net.ipv4.ip_local_port_range`-ish).
-    pub port_range: (u16, u16),
+    /// `net.ipv4.ip_local_port_range`-ish). Kept private so an inverted
+    /// range can never be configured: use [`Nat::set_port_range`].
+    port_range: (u16, u16),
     cursor: u16,
     ports_in_use: BTreeSet<u16>,
     /// Monotonic generation, bumped on configuration changes (consumed
@@ -255,11 +256,36 @@ impl Nat {
         self.postrouting.len()
     }
 
+    /// The configured masquerade source-port range, inclusive.
+    pub fn port_range(&self) -> (u16, u16) {
+        self.port_range
+    }
+
+    /// Configures the masquerade source-port range (inclusive) like
+    /// `net.ipv4.ip_local_port_range`. An inverted range (`hi < lo`) is
+    /// rejected without changes, so the allocator's span arithmetic can
+    /// never underflow. The cursor is clamped into the new range.
+    pub fn set_port_range(&mut self, lo: u16, hi: u16) -> bool {
+        if hi < lo {
+            return false;
+        }
+        self.port_range = (lo, hi);
+        self.cursor = self.cursor.clamp(lo, hi);
+        true
+    }
+
     /// Allocates a masquerade source port: a deterministic cursor scan
     /// over the range, skipping ports in use. `None` when every port in
     /// the range is taken (exhaustion).
+    ///
+    /// Total: an inverted range (impossible via [`Nat::set_port_range`],
+    /// but conceivable through struct surgery or a future deserializer)
+    /// reads as exhausted instead of underflowing the span.
     pub fn alloc_port(&mut self) -> Option<u16> {
         let (lo, hi) = self.port_range;
+        if hi < lo {
+            return None;
+        }
         let span = u32::from(hi - lo) + 1;
         let mut candidate = self.cursor.clamp(lo, hi);
         for _ in 0..span {
@@ -373,6 +399,29 @@ impl Nat {
             }
             // First packet: evaluate the POSTROUTING chain and bind.
             ctx => {
+                // PREROUTING looked up the *arrival* tuple, but the
+                // destination may have been rewritten between the chains
+                // (ipvs schedules after PREROUTING). An established
+                // binding is then keyed on `cur` and only discoverable
+                // here — honor it instead of allocating a second port
+                // for the same connection.
+                if ctx.is_none() {
+                    if let Some(hit) = conntrack.nat_lookup(&cur, now) {
+                        if hit.reply {
+                            self.note_reply_hit();
+                        } else {
+                            self.note_translation();
+                        }
+                        return if hit.xlat.src == cur.src && hit.xlat.sport == cur.sport {
+                            PostOutcome::None
+                        } else {
+                            PostOutcome::Snat {
+                                src: hit.xlat.src,
+                                sport: hit.xlat.sport,
+                            }
+                        };
+                    }
+                }
                 let orig = ctx.map_or(cur, |c| c.orig);
                 let mut xlat = cur;
                 let mut owns_port = None;
@@ -581,9 +630,32 @@ mod tests {
     }
 
     #[test]
+    fn port_range_validation_rejects_inverted_ranges() {
+        let mut nat = Nat::new();
+        assert!(!nat.set_port_range(61000, 32768));
+        assert_eq!(nat.port_range(), (32768, 61000), "rejected without changes");
+        assert!(nat.set_port_range(100, 102));
+        assert_eq!(nat.port_range(), (100, 102));
+        assert_eq!(nat.cursor, 102, "cursor clamped into the new range");
+        // Single-port ranges are legal.
+        assert!(nat.set_port_range(7, 7));
+        assert_eq!(nat.alloc_port(), Some(7));
+    }
+
+    #[test]
+    fn alloc_port_is_total_on_inverted_range() {
+        // Pre-fix, `hi - lo` underflowed here and panicked in debug
+        // builds. Struct surgery bypasses set_port_range on purpose.
+        let mut nat = Nat::new();
+        nat.port_range = (102, 100);
+        assert_eq!(nat.alloc_port(), None);
+        assert_eq!(nat.ports_in_use(), 0);
+    }
+
+    #[test]
     fn port_allocator_is_deterministic_and_exhausts() {
         let mut nat = Nat::new();
-        nat.port_range = (100, 102);
+        assert!(nat.set_port_range(100, 102));
         nat.cursor = 100;
         assert_eq!(nat.alloc_port(), Some(100));
         assert_eq!(nat.alloc_port(), Some(101));
@@ -598,7 +670,7 @@ mod tests {
     #[test]
     fn exhaustion_drops_fresh_masquerade_flows() {
         let mut nat = masq_table();
-        nat.port_range = (100, 100);
+        assert!(nat.set_port_range(100, 100));
         nat.cursor = 100;
         let mut ct = Conntrack::new();
         let first = nat.postrouting(
@@ -646,6 +718,36 @@ mod tests {
             PostOutcome::None
         );
         assert_eq!(ct.nat_len(), 0);
+    }
+
+    #[test]
+    fn postrouting_honors_binding_keyed_on_rewritten_tuple() {
+        // When something between the chains rewrites the destination
+        // (ipvs backend scheduling), PREROUTING sees the arrival tuple
+        // and misses, so `ctx` is `None` — but the established binding
+        // is keyed on the rewritten tuple. POSTROUTING must reuse it,
+        // not allocate a second port for the same connection.
+        let mut nat = masq_table();
+        let mut ct = Conntrack::new();
+        let now = Nanos::from_secs(1);
+        // `cur` is the tuple after the ipvs-style rewrite.
+        let cur = client_tuple(40000);
+        let first = nat.postrouting(&mut ct, None, cur, IfIndex(2), Some(gw_public()), now);
+        let PostOutcome::Snat { src, sport } = first else {
+            panic!("first packet masquerades: {first:?}");
+        };
+        assert_eq!(ct.nat_len(), 2);
+        assert_eq!(nat.ports_in_use(), 1);
+        // The next packet of the connection again reaches POSTROUTING
+        // with no PREROUTING context. Same translation, no new port.
+        let second = nat.postrouting(&mut ct, None, cur, IfIndex(2), Some(gw_public()), now);
+        assert_eq!(
+            second,
+            PostOutcome::Snat { src, sport },
+            "established connection must keep its translation"
+        );
+        assert_eq!(nat.ports_in_use(), 1, "no second allocation");
+        assert_eq!(ct.nat_len(), 2, "no duplicate binding");
     }
 
     #[test]

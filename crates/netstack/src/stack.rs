@@ -287,6 +287,10 @@ impl StackTelemetry {
             "Conntrack entries evicted because the table was at capacity",
         );
         registry.describe(
+            "linuxfp_nat_evictions_total",
+            "NAT binding pairs evicted because the binding table was at capacity",
+        );
+        registry.describe(
             "linuxfp_batch_size",
             "Frames per injected burst (1 for single-packet Kernel::receive)",
         );
@@ -450,6 +454,8 @@ impl Kernel {
             .set_exhaustion_counter(t.registry.counter("linuxfp_nat_port_exhaustion_total", &[]));
         self.conntrack
             .set_eviction_counter(t.registry.counter("linuxfp_conntrack_evictions_total", &[]));
+        self.conntrack
+            .set_nat_eviction_counter(t.registry.counter("linuxfp_nat_evictions_total", &[]));
         for bridge in self.bridges.values_mut() {
             bridge.set_decision_counter(ops("bridge"));
         }

@@ -83,6 +83,9 @@ impl Kernel {
             for port in self.conntrack.take_freed_nat_ports() {
                 self.nat.release_port(port);
             }
+            for (addr, port) in self.conntrack.take_freed_backends() {
+                self.ipvs.release_backend(addr, port);
+            }
         }
     }
 

@@ -77,6 +77,25 @@ impl Scenario {
         }
     }
 
+    /// A randomized scenario drawn from `rng`, spanning the full
+    /// configuration space the presets cover: 1–50 routed prefixes,
+    /// an empty / small / paper-sized blacklist (linear or ipset), and
+    /// optional masquerading. Deterministic per seed — the differential
+    /// fuzzer uses this to sample kernel configurations.
+    pub fn randomized(rng: &mut linuxfp_sim::SimRng) -> Self {
+        let filter_rules = match rng.uniform_u64(3) {
+            0 => 0,
+            1 => 1 + rng.uniform_u64(20) as u32,
+            _ => 100,
+        };
+        Scenario {
+            prefixes: 1 + rng.uniform_u64(50) as u32,
+            filter_rules,
+            use_ipset: filter_rules > 0 && rng.chance(0.5),
+            masquerade: rng.chance(0.5),
+        }
+    }
+
     /// The `i`-th routed destination prefix.
     pub fn route_prefix(i: u32) -> Prefix {
         Prefix::new(Ipv4Addr::new(10, 10, (i % 256) as u8, 0), 24)
@@ -236,6 +255,21 @@ mod tests {
         assert_eq!(Scenario::router().filter_rules, 0);
         assert_eq!(Scenario::gateway().filter_rules, 100);
         assert!(Scenario::gateway_ipset().use_ipset);
+    }
+
+    #[test]
+    fn randomized_scenarios_are_deterministic_and_configurable() {
+        for seed in 0..32 {
+            let mut a = linuxfp_sim::SimRng::seed(seed);
+            let mut b = linuxfp_sim::SimRng::seed(seed);
+            let s = Scenario::randomized(&mut a);
+            assert_eq!(s, Scenario::randomized(&mut b), "seed {seed}");
+            assert!(s.prefixes >= 1);
+            assert!(!s.use_ipset || s.filter_rules > 0);
+            // Every sampled scenario must configure a kernel cleanly.
+            let mut k = Kernel::new(100);
+            s.configure_kernel(&mut k);
+        }
     }
 
     #[test]

@@ -37,4 +37,10 @@ cargo run -q -p linuxfp-bench --bin repro --release -- batch_sweep \
     END { if (!found) { print "FAIL: LinuxFP row not found in batch_sweep"; exit 1 } }
   '
 
+echo "==> difftest: corpus replay + 200-seed differential sweep"
+cargo run -q -p linuxfp-difftest --bin difftest --release -- \
+  replay tests/difftest_corpus/*.json
+cargo run -q -p linuxfp-difftest --bin difftest --release -- \
+  run --seeds 200
+
 echo "ci: all green"

@@ -1,0 +1,56 @@
+//! Differential-transparency regression gate.
+//!
+//! Every fixture under `tests/difftest_corpus/` is a shrunk repro of a
+//! divergence the fuzzer once found (each named after the bug it
+//! demonstrates); replaying them pins the fixes. The smoke test then
+//! runs a band of freshly generated seeds end to end.
+
+use linuxfp_difftest::{generate, run, DiffScenario};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/difftest_corpus")
+}
+
+#[test]
+fn every_corpus_fixture_replays_transparent() {
+    let mut replayed = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("corpus directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("readable fixture");
+        let scenario =
+            DiffScenario::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let outcome = run(&scenario);
+        assert!(
+            outcome.transparent(),
+            "{} ({}) diverged: {:?}",
+            path.display(),
+            scenario.name,
+            outcome.divergence
+        );
+        replayed += 1;
+    }
+    assert!(replayed >= 3, "corpus unexpectedly small: {replayed}");
+}
+
+#[test]
+fn seeded_scenarios_stay_transparent() {
+    // A smoke band; CI sweeps a much larger range via scripts/ci.sh.
+    let mut packets = 0;
+    for seed in 0..25 {
+        let scenario = generate(seed);
+        let outcome = run(&scenario);
+        assert!(
+            outcome.transparent(),
+            "seed {seed} diverged: {:?}",
+            outcome.divergence
+        );
+        packets += outcome.packets;
+    }
+    assert!(packets > 500, "smoke band suspiciously small: {packets}");
+}

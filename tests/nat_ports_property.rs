@@ -1,0 +1,261 @@
+//! Seeded property test for the masquerade port allocator.
+//!
+//! Drives `Nat` + `Conntrack` through randomized interleavings of the
+//! four ways a masquerade port changes hands — fresh-flow allocation in
+//! POSTROUTING, lazy expiry inside `nat_lookup`, eager `nat_gc`, and
+//! flow-map capacity eviction tearing down companion NAT bindings — and
+//! checks the conservation law after every single operation:
+//!
+//! ```text
+//! ports_in_use == live bindings   (no leak, no phantom)
+//! allocated    == live + freed    (every port accounted for)
+//! ```
+//!
+//! plus: the allocator never hands out a port that is still owned by a
+//! live binding (no double-allocation), and every freed port was
+//! actually live (no double-free). A tiny port range, flow-table cap,
+//! and NAT-table cap force reuse, exhaustion, and both eviction paths.
+
+use linuxfp::netstack::conntrack::{Conntrack, NatTuple};
+use linuxfp::netstack::device::IfIndex;
+use linuxfp::netstack::nat::{Nat, NatChain, NatRule, NatTarget, PostOutcome};
+use linuxfp::packet::ipv4::IpProto;
+use linuxfp::sim::{Nanos, SimRng};
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+const GW: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 1);
+const SERVER: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 9);
+const PORT_LO: u16 = 100;
+const PORT_HI: u16 = 119; // 20 ports: exhaustion is easy to hit.
+
+fn masq_world() -> (Nat, Conntrack) {
+    let mut nat = Nat::new();
+    assert!(nat.set_port_range(PORT_LO, PORT_HI));
+    assert!(nat.append(
+        NatChain::Postrouting,
+        NatRule {
+            src: Some("192.168.1.0/24".parse().unwrap()),
+            ..NatRule::any(NatTarget::Masquerade)
+        }
+    ));
+    let mut ct = Conntrack::new();
+    ct.max_entries = 12; // small: flow churn evicts NAT'd flows
+    ct.max_nat_entries = 16; // 8 pairs: install-time eviction fires too
+    (nat, ct)
+}
+
+fn client_tuple(rng_ip: u8, sport: u16) -> NatTuple {
+    NatTuple::new(
+        Ipv4Addr::new(192, 168, 1, 10 + rng_ip % 4),
+        sport,
+        SERVER,
+        53,
+        17,
+    )
+}
+
+/// Book-keeping mirror of the allocator: which ports live bindings own.
+#[derive(Default)]
+struct Ledger {
+    /// (flow tuple, owned port) for every live masquerade binding.
+    flows: Vec<(NatTuple, u16)>,
+    /// Ports owned by live bindings.
+    live: BTreeSet<u16>,
+    allocated: u64,
+    freed: u64,
+}
+
+impl Ledger {
+    fn allocate(&mut self, tuple: NatTuple, port: u16) {
+        assert!(
+            self.live.insert(port),
+            "allocator double-allocated port {port} (still owned by a live binding)"
+        );
+        self.flows.push((tuple, port));
+        self.allocated += 1;
+    }
+
+    /// Drains the conntrack freed list into the allocator, checking each
+    /// freed port was actually live, then verifies conservation.
+    fn drain_and_check(&mut self, nat: &mut Nat, ct: &mut Conntrack) {
+        for port in ct.take_freed_nat_ports() {
+            assert!(
+                self.live.remove(&port),
+                "freed port {port} was not owned by any live binding (double-free or phantom)"
+            );
+            self.flows.retain(|(_, p)| *p != port);
+            self.freed += 1;
+            nat.release_port(port);
+        }
+        assert_eq!(
+            nat.ports_in_use(),
+            self.live.len(),
+            "allocator in-use count diverged from live bindings"
+        );
+        assert_eq!(
+            self.allocated,
+            self.live.len() as u64 + self.freed,
+            "ports leaked: allocated != live + freed"
+        );
+    }
+}
+
+/// Runs one full randomized interleaving for a seed.
+fn run_interleaving(seed: u64) {
+    let (mut nat, mut ct) = masq_world();
+    let mut rng = SimRng::seed(seed);
+    let mut ledger = Ledger::default();
+    let mut now = Nanos::ZERO;
+    let mut next_sport: u16 = 1000;
+    let mut next_decoy: u16 = 1;
+
+    for _ in 0..400 {
+        match rng.uniform_u64(100) {
+            // Fresh (or re-fresh after expiry) masquerade flow.
+            0..=34 => {
+                let tuple = if ledger.flows.is_empty() || rng.uniform_u64(4) > 0 {
+                    next_sport += 1;
+                    client_tuple(rng.uniform_u64(4) as u8, next_sport)
+                } else {
+                    // Re-send on an existing flow: must reuse its binding,
+                    // not the allocator.
+                    let i = rng.uniform_u64(ledger.flows.len() as u64) as usize;
+                    ledger.flows[i].0
+                };
+                let ctx = nat.prerouting(&mut ct, tuple, IfIndex(1), now);
+                let fresh = ctx.is_none_or(|c| c.fresh);
+                let out = nat.postrouting(&mut ct, ctx, tuple, IfIndex(2), Some(GW), now);
+                match out {
+                    PostOutcome::Snat { src, sport } if fresh => {
+                        assert_eq!(src, GW);
+                        assert!((PORT_LO..=PORT_HI).contains(&sport));
+                        // Track the flow so flow-map eviction can later
+                        // tear the binding down.
+                        ct.track(
+                            tuple.src,
+                            tuple.sport,
+                            tuple.dst,
+                            tuple.dport,
+                            IpProto::Udp,
+                            now,
+                        );
+                        ledger.allocate(tuple, sport);
+                    }
+                    PostOutcome::Snat { sport, .. } => {
+                        // Established binding: the port must already be live.
+                        assert!(
+                            ledger.live.contains(&sport),
+                            "established flow used a dead port"
+                        );
+                    }
+                    PostOutcome::ExhaustedDrop => {
+                        assert_eq!(
+                            nat.ports_in_use(),
+                            usize::from(PORT_HI - PORT_LO) + 1,
+                            "exhaustion reported with ports still free"
+                        );
+                    }
+                    PostOutcome::None => panic!("masquerade rule must claim in-prefix flows"),
+                }
+            }
+            // Refresh a random live flow (exercises lazy expiry when a
+            // big time jump happened since the last touch).
+            35..=59 if !ledger.flows.is_empty() => {
+                let i = rng.uniform_u64(ledger.flows.len() as u64) as usize;
+                let (tuple, _) = ledger.flows[i];
+                let _ = nat.prerouting(&mut ct, tuple, IfIndex(1), now);
+            }
+            // Decoy flow: occupies the flow table without NAT, pushing
+            // NAT'd flows toward capacity eviction.
+            60..=69 => {
+                next_decoy += 1;
+                let src = Ipv4Addr::new(10, 9, (next_decoy >> 8) as u8, next_decoy as u8);
+                ct.track(src, next_decoy, SERVER, 80, IpProto::Tcp, now);
+            }
+            // Small time advance (bindings stay alive).
+            70..=79 => now += Nanos::from_secs(1 + rng.uniform_u64(29)),
+            // Big time advance (past established_timeout: everything
+            // currently idle is expiry-eligible).
+            80..=84 => now += Nanos::from_secs(601 + rng.uniform_u64(300)),
+            // Eager GC paths.
+            85..=92 => {
+                ct.nat_gc(now);
+            }
+            _ => {
+                ct.gc(now);
+            }
+        }
+        ledger.drain_and_check(&mut nat, &mut ct);
+    }
+
+    // Cool-down: advance past every timeout and collect. Everything must
+    // drain back to the allocator.
+    now += Nanos::from_secs(2000);
+    ct.nat_gc(now);
+    ct.gc(now);
+    ledger.live.clear();
+    ledger.flows.clear();
+    for port in ct.take_freed_nat_ports() {
+        ledger.freed += 1;
+        nat.release_port(port);
+    }
+    assert_eq!(
+        nat.ports_in_use(),
+        0,
+        "ports leaked past full expiry (seed {seed})"
+    );
+    assert_eq!(
+        ledger.allocated, ledger.freed,
+        "lifetime conservation failed (seed {seed}): allocated != freed"
+    );
+    assert_eq!(ct.nat_len(), 0, "NAT bindings survived full expiry");
+}
+
+#[test]
+fn masquerade_ports_conserve_across_random_interleavings() {
+    for seed in 0..64 {
+        run_interleaving(seed);
+    }
+}
+
+#[test]
+fn interleavings_exercise_every_reclaim_path() {
+    // The property above is vacuous if the random walk never hits the
+    // interesting paths; check the union of a few seeds covers both
+    // eviction flavors, exhaustion, and expiry-driven reuse.
+    let mut flow_evictions = 0;
+    let mut nat_evictions = 0;
+    for seed in 0..8 {
+        let (mut nat, mut ct) = masq_world();
+        let mut rng = SimRng::seed(0xC0FFEE ^ seed);
+        let mut now = Nanos::ZERO;
+        for sport in 0..200u16 {
+            let tuple = client_tuple(rng.uniform_u64(4) as u8, 2000 + sport);
+            let ctx = nat.prerouting(&mut ct, tuple, IfIndex(1), now);
+            let out = nat.postrouting(&mut ct, ctx, tuple, IfIndex(2), Some(GW), now);
+            if matches!(out, PostOutcome::Snat { .. }) {
+                ct.track(
+                    tuple.src,
+                    tuple.sport,
+                    tuple.dst,
+                    tuple.dport,
+                    IpProto::Udp,
+                    now,
+                );
+            }
+            if rng.uniform_u64(10) == 0 {
+                now += Nanos::from_secs(700);
+                ct.nat_gc(now);
+            }
+            for port in ct.take_freed_nat_ports() {
+                nat.release_port(port);
+            }
+            now += Nanos::from_secs(1);
+        }
+        flow_evictions += ct.evictions();
+        nat_evictions += ct.nat_evictions();
+    }
+    assert!(flow_evictions > 0, "walk never hit flow-map eviction");
+    assert!(nat_evictions > 0, "walk never hit NAT-table eviction");
+}
