@@ -28,6 +28,7 @@
 pub mod ablations;
 pub mod batch;
 pub mod control;
+pub mod flow_cache;
 pub mod hooks;
 pub mod pods;
 pub mod table;
@@ -55,6 +56,7 @@ pub fn run_experiment(id: &str) -> Option<ExperimentTable> {
         "ablation_state" => ablations::ablation_state_sharing(16),
         "ablation_minimal" => ablations::ablation_minimality(),
         "batch_sweep" => batch::batch_sweep(),
+        "flow_cache" => flow_cache::flow_cache_experiment(),
         _ => return None,
     })
 }
@@ -79,6 +81,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ablation_state",
     "ablation_minimal",
     "batch_sweep",
+    "flow_cache",
 ];
 
 #[cfg(test)]
@@ -94,6 +97,6 @@ mod tests {
             assert!(!t.rows.is_empty(), "{id} produced no rows");
         }
         assert!(run_experiment("fig99").is_none());
-        assert_eq!(ALL_EXPERIMENTS.len(), 17);
+        assert_eq!(ALL_EXPERIMENTS.len(), 18);
     }
 }

@@ -331,6 +331,7 @@ mod tests {
             program: linuxfp_ebpf::program::Program::new("bogus", vec![Insn::Exit]),
             fpm_count: 1,
             fpm_label: "bogus".into(),
+            cacheable: true,
         };
         let err = d.deploy(&mut k, &[bogus]).unwrap_err();
         assert!(matches!(err, DeployError::Rejected { .. }));

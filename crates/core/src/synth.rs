@@ -32,6 +32,13 @@ pub struct SynthesizedFp {
     /// The pipeline's FPM composition as a metric label, kinds joined
     /// with `+` in pipeline order (e.g. `router+filter`).
     pub fpm_label: String,
+    /// The synthesizer's cacheability contract: whether the microflow
+    /// verdict cache may record this program's verdicts. Template-only
+    /// pipelines are cacheable (every helper they call is covered by the
+    /// coherence generation); pipelines with inlined custom modules are
+    /// not — custom bytecode can carry state the generation does not see.
+    /// The loader's static helper scan independently rechecks this.
+    pub cacheable: bool,
 }
 
 /// Synthesis failures (malformed graph or assembler errors).
@@ -88,6 +95,7 @@ pub fn synthesize_with_customs(
             program: Program::new(format!("linuxfp_{name}"), insns),
             fpm_count,
             fpm_label,
+            cacheable: customs.is_empty(),
         });
     }
     Ok(out)
@@ -113,6 +121,7 @@ pub fn synthesize_pipeline(
         program: Program::new(format!("linuxfp_{name}"), insns),
         fpm_count,
         fpm_label: fpm_label(pipeline),
+        cacheable: true,
     })
 }
 

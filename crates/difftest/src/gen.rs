@@ -26,12 +26,19 @@ pub fn generate(seed: u64) -> DiffScenario {
     let n_ops = 12 + rng.uniform_u64(20);
     for _ in 0..n_ops {
         match rng.uniform_u64(100) {
-            0..=59 => {
+            0..=54 => {
                 let burst = gen_burst(&mut rng, &base, ipvs, dnat, &mut masq_upper);
                 ops.push(burst);
             }
-            60..=74 => ops.push(Op::Churn(gen_churn(&mut rng, &base, ipvs))),
-            75..=89 => {
+            55..=69 => ops.push(Op::Churn(gen_churn(&mut rng, &base, ipvs))),
+            70..=77 => ops.extend(gen_established_churn(
+                &mut rng,
+                &base,
+                ipvs,
+                dnat,
+                &mut masq_upper,
+            )),
+            78..=89 => {
                 let ns = if rng.chance(0.1) {
                     // Rarely jump past the conntrack established timeout.
                     NANOS_PER_SEC * (601 + rng.uniform_u64(120))
@@ -141,31 +148,100 @@ fn gen_packet(
 }
 
 fn gen_churn(rng: &mut SimRng, base: &Scenario, ipvs: bool) -> ChurnOp {
+    // Guarded arms that don't apply fall through to the thrash subset,
+    // which is always applicable.
+    match rng.uniform_u64(12) {
+        0 => ChurnOp::IptAppend {
+            rule: rng.uniform_u64(100) as u32,
+        },
+        1 if base.filter_rules > 0 => ChurnOp::IptFlush,
+        2 => ChurnOp::RouteAdd {
+            i: rng.uniform_u64(8) as u32,
+        },
+        3 => ChurnOp::RouteDel {
+            i: rng.uniform_u64(u64::from(base.prefixes)) as u32,
+        },
+        4 => ChurnOp::NatAppendDnat {
+            dport: 8081 + rng.uniform_u64(16) as u16,
+        },
+        5 if base.masquerade => ChurnOp::NatFlush,
+        6 if base.use_ipset => ChurnOp::IpsetAdd {
+            i: rng.uniform_u64(200) as u32,
+        },
+        7 if ipvs => ChurnOp::IpvsAddBackend {
+            i: rng.uniform_u64(16) as u8,
+        },
+        _ => gen_thrash(rng, base, ipvs),
+    }
+}
+
+/// The cache-thrashing churn subset: configuration events whose *point*
+/// is invalidating derived fast-path state (verdict cache, batch-resolved
+/// programs) with little or no semantic change.
+fn gen_thrash(rng: &mut SimRng, base: &Scenario, ipvs: bool) -> ChurnOp {
     loop {
-        return match rng.uniform_u64(8) {
-            0 => ChurnOp::IptAppend {
-                rule: rng.uniform_u64(100) as u32,
+        return match rng.uniform_u64(4) {
+            0 => ChurnOp::RouteReplace {
+                i: rng.uniform_u64(u64::from(base.prefixes.max(1))) as u32,
             },
-            1 if base.filter_rules > 0 => ChurnOp::IptFlush,
-            2 => ChurnOp::RouteAdd {
-                i: rng.uniform_u64(8) as u32,
+            1 if base.use_ipset => ChurnOp::IpsetFlush,
+            2 if ipvs || base.masquerade => ChurnOp::CtCap {
+                cap: 8 + rng.uniform_u64(56) as u32,
             },
-            3 => ChurnOp::RouteDel {
-                i: rng.uniform_u64(u64::from(base.prefixes)) as u32,
-            },
-            4 => ChurnOp::NatAppendDnat {
-                dport: 8081 + rng.uniform_u64(16) as u16,
-            },
-            5 if base.masquerade => ChurnOp::NatFlush,
-            6 if base.use_ipset => ChurnOp::IpsetAdd {
-                i: rng.uniform_u64(200) as u32,
-            },
-            7 if ipvs => ChurnOp::IpvsAddBackend {
-                i: rng.uniform_u64(16) as u8,
-            },
+            3 => ChurnOp::FpmSwap,
             _ => continue,
         };
     }
+}
+
+/// The microflow verdict cache's regression surface: an established flow
+/// whose packets interleave with cache-thrashing churn. Every churn op
+/// bumps the coherence generation, so each following packet must
+/// re-derive its verdict from scratch — and still emit byte-identical
+/// output.
+fn gen_established_churn(
+    rng: &mut SimRng,
+    base: &Scenario,
+    ipvs: bool,
+    dnat: bool,
+    masq_upper: &mut u16,
+) -> Vec<Op> {
+    let spec = loop {
+        break match rng.uniform_u64(4) {
+            0 => PacketSpec::Forward {
+                flow: rng.uniform_u64(1 + 2 * u64::from(base.prefixes)),
+                len: 60 + rng.uniform_u64(1437) as u16,
+            },
+            1 if base.masquerade => {
+                *masq_upper = masq_upper.saturating_add(1);
+                PacketSpec::Client {
+                    client: rng.uniform_u64(u64::from(CLIENTS)) as u8,
+                    flow: rng.uniform_u64(u64::from(base.prefixes)),
+                }
+            }
+            2 if ipvs => PacketSpec::Vip {
+                sport: 1024 + rng.uniform_u64(40000) as u16,
+            },
+            3 if dnat => PacketSpec::Dnat {
+                sport: 1024 + rng.uniform_u64(40000) as u16,
+            },
+            _ => continue,
+        };
+    };
+    // Two packets establish and cache the flow, then churn and repeat
+    // packets alternate.
+    let mut ops = vec![Op::Burst {
+        dir: Dir::Up,
+        packets: vec![spec, spec],
+    }];
+    for _ in 0..2 + rng.uniform_u64(3) {
+        ops.push(Op::Churn(gen_thrash(rng, base, ipvs)));
+        ops.push(Op::Burst {
+            dir: Dir::Up,
+            packets: vec![spec],
+        });
+    }
+    ops
 }
 
 #[cfg(test)]

@@ -335,6 +335,29 @@ fn apply_churn(k: &mut Kernel, c: &ChurnOp, base: &Scenario, down: IfIndex) {
                 .learn(backend, MacAddr::from_index(0xD0 + u64::from(i)), down, now);
             let _ = k.ipvsadm_add_backend(VIP, 53, IpProto::Udp, backend, 53);
         }
+        // Re-adding an existing prefix with its existing next hop is how
+        // `ip route replace` (or an FRR resync) looks on the wire: no
+        // semantic change, one netlink event, full fast-path rebuild.
+        ChurnOp::RouteReplace { i } => {
+            let _ = k.ip_route_add(
+                Scenario::route_prefix(i % base.prefixes.max(1)),
+                Some(NEXT_HOP),
+                None,
+            );
+        }
+        ChurnOp::IpsetFlush => {
+            let _ = k.ipset_flush("blacklist");
+        }
+        ChurnOp::CtCap { cap } => {
+            k.conntrack.max_entries = cap.clamp(8, 4096) as usize;
+        }
+        // Scratch prefix far past anything the traffic can hit: the add
+        // and delete cancel out, leaving only the two redeployments.
+        ChurnOp::FpmSwap => {
+            let scratch = Scenario::route_prefix(240);
+            let _ = k.ip_route_add(scratch, Some(NEXT_HOP), None);
+            let _ = k.ip_route_del(scratch, None);
+        }
     }
 }
 
@@ -504,6 +527,25 @@ pub fn run(ds: &DiffScenario) -> RunOutcome {
                 detail: format!(
                     "hits {hits} + fallbacks {fallbacks} != injected {injected} \
                      (expected {packets})"
+                ),
+            }),
+        };
+    }
+    // And one level down: every packet that entered a hook either hit the
+    // microflow verdict cache or was counted a miss (ineligible packets
+    // included). A gap here means a packet was served from the cache
+    // without the ledger knowing — exactly the kind of silent shortcut
+    // the differential test exists to catch.
+    let fc_hits = registry.counter_total("linuxfp_flowcache_hits_total");
+    let fc_misses = registry.counter_total("linuxfp_flowcache_misses_total");
+    if fc_hits + fc_misses != injected {
+        return RunOutcome {
+            packets,
+            divergence: Some(Divergence {
+                op: ds.ops.len(),
+                kind: "ledger",
+                detail: format!(
+                    "flowcache hits {fc_hits} + misses {fc_misses} != injected {injected}"
                 ),
             }),
         };

@@ -129,6 +129,26 @@ pub enum ChurnOp {
         /// Backend selector (maps to 10.0.2.13..).
         i: u8,
     },
+    /// `ip route replace` of a base prefix with its existing next hop: a
+    /// semantics-free netlink event (FRR resyncing over FPM does this
+    /// constantly) that still invalidates every derived fast-path state.
+    RouteReplace {
+        /// Base prefix index (mod `base.prefixes`).
+        i: u32,
+    },
+    /// `ipset flush blacklist` (ipset scenarios only): every member gone
+    /// in one event, previously-blocked flows start forwarding.
+    IpsetFlush,
+    /// Shrinks the conntrack table capacity (`nf_conntrack_max`), so new
+    /// tracked flows evict the least-recently-seen entries.
+    CtCap {
+        /// The new capacity (small, to force eviction pressure).
+        cap: u32,
+    },
+    /// A scratch route added and deleted back-to-back: net configuration
+    /// unchanged, but the controller resynthesizes and swaps the FPM
+    /// program twice.
+    FpmSwap,
 }
 
 /// One step of a scenario.
@@ -212,6 +232,10 @@ fn churn_json(c: &ChurnOp) -> Value {
         ChurnOp::NatFlush => ("nat_flush", 0),
         ChurnOp::IpsetAdd { i } => ("ipset_add", u64::from(i)),
         ChurnOp::IpvsAddBackend { i } => ("ipvs_add_backend", u64::from(i)),
+        ChurnOp::RouteReplace { i } => ("route_replace", u64::from(i)),
+        ChurnOp::IpsetFlush => ("ipset_flush", 0),
+        ChurnOp::CtCap { cap } => ("ct_cap", u64::from(cap)),
+        ChurnOp::FpmSwap => ("fpm_swap", 0),
     };
     json!({"kind": kind, "a": a})
 }
@@ -361,6 +385,10 @@ fn parse_churn(v: &Value) -> Result<ChurnOp, String> {
         Some("nat_flush") => Ok(ChurnOp::NatFlush),
         Some("ipset_add") => Ok(ChurnOp::IpsetAdd { i: a as u32 }),
         Some("ipvs_add_backend") => Ok(ChurnOp::IpvsAddBackend { i: a as u8 }),
+        Some("route_replace") => Ok(ChurnOp::RouteReplace { i: a as u32 }),
+        Some("ipset_flush") => Ok(ChurnOp::IpsetFlush),
+        Some("ct_cap") => Ok(ChurnOp::CtCap { cap: a as u32 }),
+        Some("fpm_swap") => Ok(ChurnOp::FpmSwap),
         other => Err(format!("bad churn kind {other:?}")),
     }
 }
@@ -387,6 +415,10 @@ mod tests {
                     ],
                 },
                 Op::Churn(ChurnOp::RouteDel { i: 1 }),
+                Op::Churn(ChurnOp::RouteReplace { i: 0 }),
+                Op::Churn(ChurnOp::IpsetFlush),
+                Op::Churn(ChurnOp::CtCap { cap: 32 }),
+                Op::Churn(ChurnOp::FpmSwap),
                 Op::Advance { ns: 1_000_000 },
                 Op::Housekeeping,
                 Op::Burst {

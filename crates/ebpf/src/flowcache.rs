@@ -1,0 +1,661 @@
+//! The microflow verdict cache: skip the interpreter on steady flows.
+//!
+//! The dispatcher's fast path still pays interpretation for every packet:
+//! entry program, tail call, synthesized program, and one kernel helper
+//! per traversed subsystem. For the packets that dominate real traffic —
+//! later packets of established flows — all of that work recomputes a
+//! verdict that has not changed. This module caches it, OVS-microflow
+//! style, as **derived state with explicit invalidation**:
+//!
+//! * On a cache **miss** the dispatcher runs the program normally while a
+//!   [`RecordingEnv`] captures every helper call. Afterwards the net
+//!   packet transformation is recovered by diffing the frame
+//!   ([`linuxfp_packet::rewrite::derive_ops`]) and the `(flow key →
+//!   verdict, rewrite ops, helper touches)` entry is stored — but only if
+//!   the recording passes every gate: the program's static cacheability
+//!   contract, a replayable diff, a cacheable verdict, and a measured
+//!   interpretation cost above the hit price (caching must never
+//!   decelerate).
+//! * On a **hit** the recorded rewrite ops are applied directly and the
+//!   helper touches are **replayed** against the live kernel, so every
+//!   side effect interpretation would have had — FDB/NAT timestamp
+//!   refreshes, lazy expiries, subsystem telemetry — happens identically.
+//!   The packet is charged the flat [`flowcache_hit_ns`] price instead of
+//!   the interpretation cost.
+//! * **Coherence** comes from one number: the kernel-wide
+//!   [`state_generation`] plus the map store's program generation. Every
+//!   netlink-driven mutation, conntrack/NAT eviction, virtual-time
+//!   advance, and data-path swap changes it; the cache compares the
+//!   combined generation on every access and clears itself lazily on
+//!   mismatch. There is no per-entry dependency tracking and no shadow
+//!   state to reconcile — the cache can always be dropped and rebuilt
+//!   from a miss.
+//!
+//! [`flowcache_hit_ns`]: linuxfp_sim::CostModel::flowcache_hit_ns
+//! [`state_generation`]: linuxfp_netstack::stack::Kernel::state_generation
+
+use crate::helpers::HelperEnv;
+use linuxfp_netstack::device::IfIndex;
+use linuxfp_netstack::nat::NatLookupOutcome;
+use linuxfp_netstack::netfilter::{NfVerdict, PacketMeta};
+use linuxfp_netstack::stack::{FdbLookupOutcome, FibFastResult, HookVerdict, Kernel};
+use linuxfp_packet::checksum::checksum;
+use linuxfp_packet::rewrite::RewriteOp;
+use linuxfp_packet::MacAddr;
+use linuxfp_sim::{CostTracker, Nanos};
+use linuxfp_telemetry::{Counter, Registry};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Default capacity of a per-hook cache (entries). Beyond it the least-
+/// recently-used flow is evicted; 4k microflows comfortably covers the
+/// simulated workloads while bounding memory like a real percpu map.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// The exact-match flow key.
+///
+/// It pins **every header byte a synthesized program can read**: the
+/// ingress interface, frame length, both MAC addresses, the VLAN tag, and
+/// the full IPv4 header *except* the identification and checksum fields
+/// (which change per packet without affecting any forwarding decision),
+/// plus the L4 ports. Two packets with equal keys are indistinguishable
+/// to the fast path, so replaying the recorded verdict is exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    ingress: u32,
+    /// L3 offset (14 or 18); distinguishes untagged frames from frames
+    /// tagged with TCI 0.
+    l3: u8,
+    vlan_tci: u16,
+    frame_len: u32,
+    eth_dst: [u8; 6],
+    eth_src: [u8; 6],
+    vihl: u8,
+    tos: u8,
+    total_len: u16,
+    flags_frag: u16,
+    ttl: u8,
+    proto: u8,
+    src: u32,
+    dst: u32,
+    sport: u16,
+    dport: u16,
+}
+
+fn be16(b: &[u8], off: usize) -> u16 {
+    u16::from_be_bytes([b[off], b[off + 1]])
+}
+
+impl FlowKey {
+    /// Extracts the key from a raw frame, or `None` if the packet is not
+    /// **cache-eligible**. Eligible means: IPv4 over Ethernet (optionally
+    /// one 802.1Q tag), header length ≥ 20 with a *valid* header checksum
+    /// (the checksum is not part of the key, so an entry recorded from a
+    /// valid packet must never be served to a corrupt one), not a
+    /// fragment, TCP or UDP with a complete L4 header. Everything else —
+    /// ARP, ICMP, fragments, truncated frames — takes the interpreter.
+    pub fn extract(frame: &[u8], ingress: IfIndex) -> Option<FlowKey> {
+        if frame.len() < 14 {
+            return None;
+        }
+        let mut l3 = 14usize;
+        let mut vlan_tci = 0u16;
+        let mut ethertype = be16(frame, 12);
+        if ethertype == 0x8100 {
+            if frame.len() < 18 {
+                return None;
+            }
+            vlan_tci = be16(frame, 14);
+            ethertype = be16(frame, 16);
+            l3 = 18;
+        }
+        if ethertype != 0x0800 || frame.len() < l3 + 20 {
+            return None;
+        }
+        let vihl = frame[l3];
+        let ihl = usize::from(vihl & 0x0F) * 4;
+        if vihl >> 4 != 4 || ihl < 20 || frame.len() < l3 + ihl {
+            return None;
+        }
+        if checksum(&frame[l3..l3 + ihl]) != 0 {
+            return None;
+        }
+        let flags_frag = be16(frame, l3 + 6);
+        if flags_frag & 0x3FFF != 0 {
+            // A fragment (MF set or nonzero offset): L4 offsets would
+            // point into payload, so fragments are never cached.
+            return None;
+        }
+        let proto = frame[l3 + 9];
+        if proto != 6 && proto != 17 {
+            return None;
+        }
+        let l4 = l3 + ihl;
+        let min_l4 = if proto == 6 { 20 } else { 8 };
+        if frame.len() < l4 + min_l4 {
+            return None;
+        }
+        Some(FlowKey {
+            ingress: ingress.as_u32(),
+            l3: l3 as u8,
+            vlan_tci,
+            frame_len: frame.len() as u32,
+            eth_dst: frame[0..6].try_into().expect("6 bytes"),
+            eth_src: frame[6..12].try_into().expect("6 bytes"),
+            vihl,
+            tos: frame[l3 + 1],
+            total_len: be16(frame, l3 + 2),
+            flags_frag,
+            ttl: frame[l3 + 8],
+            proto,
+            src: u32::from(be16(frame, l3 + 12)) << 16 | u32::from(be16(frame, l3 + 14)),
+            dst: u32::from(be16(frame, l3 + 16)) << 16 | u32::from(be16(frame, l3 + 18)),
+            sport: be16(frame, l4),
+            dport: be16(frame, l4 + 2),
+        })
+    }
+
+    /// The L3 (IPv4 header) offset within the frame.
+    pub fn l3_offset(&self) -> usize {
+        usize::from(self.l3)
+    }
+}
+
+/// One recorded helper call: the helper plus the arguments it was called
+/// with. Replaying the sequence against the live kernel reproduces all
+/// slow-path-visible side effects of interpretation (timestamp
+/// refreshes, lazy expiries, subsystem op counters) exactly — within one
+/// coherence generation helper results are deterministic functions of
+/// their arguments, so the replayed calls return what was recorded.
+#[derive(Debug, Clone)]
+pub enum HelperTouch {
+    /// `bpf_fib_lookup`.
+    Fib {
+        /// Destination address looked up.
+        dst: Ipv4Addr,
+    },
+    /// `bpf_fdb_lookup` (refreshes the source MAC's FDB entry).
+    Fdb {
+        /// Ingress port.
+        ingress: IfIndex,
+        /// Source MAC (learned/refreshed).
+        src: MacAddr,
+        /// Destination MAC looked up.
+        dst: MacAddr,
+        /// VLAN id.
+        vlan: u16,
+    },
+    /// `bpf_ipt_lookup`.
+    Ipt {
+        /// The metadata the rules were evaluated against.
+        meta: PacketMeta,
+    },
+    /// Conntrack lookup (ipvs backend resolution).
+    Ct {
+        /// Source address.
+        src: Ipv4Addr,
+        /// Source port.
+        sport: u16,
+        /// Destination address.
+        dst: Ipv4Addr,
+        /// Destination port.
+        dport: u16,
+        /// IP protocol.
+        proto: u8,
+    },
+    /// `bpf_nat_lookup` (refreshes the NAT binding's last-seen time).
+    Nat {
+        /// Source address.
+        src: Ipv4Addr,
+        /// Source port.
+        sport: u16,
+        /// Destination address.
+        dst: Ipv4Addr,
+        /// Destination port.
+        dport: u16,
+        /// IP protocol.
+        proto: u8,
+    },
+}
+
+/// Replays a recorded helper-call sequence against the live kernel.
+///
+/// Results are discarded — the cached verdict and rewrite ops already
+/// encode them — but the calls' side effects land exactly as they would
+/// under interpretation. No virtual time is charged: the hit price
+/// ([`linuxfp_sim::CostModel::flowcache_hit_ns`]) covers the whole hit
+/// path, which is the very cost the cache exists to elide.
+pub fn replay_touches(touches: &[HelperTouch], kernel: &mut Kernel) {
+    for touch in touches {
+        match *touch {
+            HelperTouch::Fib { dst } => {
+                let _ = kernel.env_fib_lookup(dst);
+            }
+            HelperTouch::Fdb {
+                ingress,
+                src,
+                dst,
+                vlan,
+            } => {
+                let _ = kernel.env_fdb_lookup(ingress, src, dst, vlan);
+            }
+            HelperTouch::Ipt { ref meta } => {
+                // The rule walk's virtual cost is covered by the flat hit
+                // price; a throwaway tracker absorbs the helper's charge.
+                let mut throwaway = CostTracker::new();
+                let _ = kernel.env_ipt_lookup(meta, &mut throwaway);
+            }
+            HelperTouch::Ct {
+                src,
+                sport,
+                dst,
+                dport,
+                proto,
+            } => {
+                let _ = kernel.env_ct_lookup(src, sport, dst, dport, proto);
+            }
+            HelperTouch::Nat {
+                src,
+                sport,
+                dst,
+                dport,
+                proto,
+            } => {
+                let _ = kernel.env_nat_lookup(src, sport, dst, dport, proto);
+            }
+        }
+    }
+}
+
+/// A [`HelperEnv`] that delegates to the kernel while logging every call
+/// — the recorder half of the microflow cache.
+pub struct RecordingEnv<'a> {
+    inner: &'a mut Kernel,
+    touches: Vec<HelperTouch>,
+}
+
+impl<'a> RecordingEnv<'a> {
+    /// Wraps the kernel for one recorded program run.
+    pub fn new(inner: &'a mut Kernel) -> Self {
+        RecordingEnv {
+            inner,
+            touches: Vec::new(),
+        }
+    }
+
+    /// The recorded helper-call log.
+    pub fn into_touches(self) -> Vec<HelperTouch> {
+        self.touches
+    }
+}
+
+impl HelperEnv for RecordingEnv<'_> {
+    fn env_now(&self) -> Nanos {
+        // Not recorded: programs that read the clock fail the static
+        // cacheability contract, so a logged `now` could never be used.
+        self.inner.env_now()
+    }
+
+    fn env_fib_lookup(&mut self, dst: Ipv4Addr) -> Option<FibFastResult> {
+        self.touches.push(HelperTouch::Fib { dst });
+        self.inner.env_fib_lookup(dst)
+    }
+
+    fn env_fdb_lookup(
+        &mut self,
+        ingress: IfIndex,
+        src: MacAddr,
+        dst: MacAddr,
+        vlan: u16,
+    ) -> FdbLookupOutcome {
+        self.touches.push(HelperTouch::Fdb {
+            ingress,
+            src,
+            dst,
+            vlan,
+        });
+        self.inner.env_fdb_lookup(ingress, src, dst, vlan)
+    }
+
+    fn env_ipt_lookup(&mut self, meta: &PacketMeta, tracker: &mut CostTracker) -> NfVerdict {
+        self.touches.push(HelperTouch::Ipt { meta: *meta });
+        self.inner.env_ipt_lookup(meta, tracker)
+    }
+
+    fn env_ct_lookup(
+        &mut self,
+        src: Ipv4Addr,
+        sport: u16,
+        dst: Ipv4Addr,
+        dport: u16,
+        proto: u8,
+    ) -> Option<(Ipv4Addr, u16)> {
+        self.touches.push(HelperTouch::Ct {
+            src,
+            sport,
+            dst,
+            dport,
+            proto,
+        });
+        self.inner.env_ct_lookup(src, sport, dst, dport, proto)
+    }
+
+    fn env_nat_lookup(
+        &mut self,
+        src: Ipv4Addr,
+        sport: u16,
+        dst: Ipv4Addr,
+        dport: u16,
+        proto: u8,
+    ) -> NatLookupOutcome {
+        self.touches.push(HelperTouch::Nat {
+            src,
+            sport,
+            dst,
+            dport,
+            proto,
+        });
+        self.inner.env_nat_lookup(src, sport, dst, dport, proto)
+    }
+}
+
+/// One cached flow: the final hook verdict, the frame transformation, and
+/// the helper calls to replay. Shared via `Arc` so a hit clones a pointer,
+/// not the op vectors.
+#[derive(Debug)]
+pub struct FlowEntry {
+    /// The verdict interpretation reached.
+    pub verdict: HookVerdict,
+    /// The net frame rewrite (MAC/IP/port sets + checksum deltas).
+    pub ops: Vec<RewriteOp>,
+    /// The helper-call log to replay for side-effect fidelity.
+    pub touches: Vec<HelperTouch>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct CacheCounters {
+    hits: Option<Counter>,
+    misses: Option<Counter>,
+    invalidations: Option<Counter>,
+    evictions: Option<Counter>,
+}
+
+/// The per-hook microflow verdict cache.
+///
+/// Entries are valid for exactly one combined coherence generation; the
+/// first access under a different generation clears the whole map
+/// (counted as one invalidation per dropped entry). Capacity is bounded;
+/// inserts beyond it evict the least-recently-used flow.
+#[derive(Debug)]
+pub struct FlowCache {
+    entries: HashMap<FlowKey, (u64, Arc<FlowEntry>)>,
+    generation: u64,
+    tick: u64,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+    evictions: u64,
+    counters: CacheCounters,
+}
+
+impl FlowCache {
+    /// Creates an empty cache holding at most `capacity` flows.
+    pub fn new(capacity: usize) -> Self {
+        FlowCache {
+            entries: HashMap::new(),
+            generation: 0,
+            tick: 0,
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+            evictions: 0,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Resolves the cache's telemetry counters in `registry` (idempotent;
+    /// the series carry no labels, so re-resolution is cheap and safe).
+    pub fn wire_telemetry(&mut self, registry: &Registry) {
+        if self.counters.hits.is_some() {
+            return;
+        }
+        registry.describe(
+            "linuxfp_flowcache_hits_total",
+            "Packets whose verdict was served by the microflow cache",
+        );
+        registry.describe(
+            "linuxfp_flowcache_misses_total",
+            "Packets that took the interpreter (no valid cache entry)",
+        );
+        registry.describe(
+            "linuxfp_flowcache_invalidations_total",
+            "Cache entries dropped by a coherence generation change",
+        );
+        registry.describe(
+            "linuxfp_flowcache_evictions_total",
+            "Cache entries evicted by the capacity bound (LRU)",
+        );
+        self.counters = CacheCounters {
+            hits: Some(registry.counter("linuxfp_flowcache_hits_total", &[])),
+            misses: Some(registry.counter("linuxfp_flowcache_misses_total", &[])),
+            invalidations: Some(registry.counter("linuxfp_flowcache_invalidations_total", &[])),
+            evictions: Some(registry.counter("linuxfp_flowcache_evictions_total", &[])),
+        };
+    }
+
+    /// Whether [`FlowCache::wire_telemetry`] has been called.
+    pub fn telemetry_wired(&self) -> bool {
+        self.counters.hits.is_some()
+    }
+
+    fn validate(&mut self, generation: u64) {
+        if self.generation != generation {
+            let dropped = self.entries.len() as u64;
+            if dropped > 0 {
+                self.invalidations += dropped;
+                if let Some(c) = &self.counters.invalidations {
+                    c.add(dropped);
+                }
+            }
+            self.entries.clear();
+            self.generation = generation;
+        }
+    }
+
+    /// Looks up a flow under the given combined generation. Counts a hit
+    /// and refreshes the entry's LRU position on success; **does not**
+    /// count a miss (the caller counts misses via [`FlowCache::note_miss`]
+    /// so ineligible packets are part of the ledger too).
+    pub fn lookup(&mut self, generation: u64, key: &FlowKey) -> Option<Arc<FlowEntry>> {
+        self.validate(generation);
+        self.tick += 1;
+        let tick = self.tick;
+        let (last_used, entry) = self.entries.get_mut(key)?;
+        *last_used = tick;
+        self.hits += 1;
+        if let Some(c) = &self.counters.hits {
+            c.inc();
+        }
+        Some(Arc::clone(entry))
+    }
+
+    /// Counts one cache miss (entry absent, stale, or packet ineligible).
+    pub fn note_miss(&mut self) {
+        self.misses += 1;
+        if let Some(c) = &self.counters.misses {
+            c.inc();
+        }
+    }
+
+    /// Inserts a recorded flow under the given combined generation,
+    /// evicting the least-recently-used entry if the cache is full.
+    pub fn insert(&mut self, generation: u64, key: FlowKey, entry: FlowEntry) {
+        self.validate(generation);
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (last_used, _))| *last_used)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&victim);
+                self.evictions += 1;
+                if let Some(c) = &self.counters.evictions {
+                    c.inc();
+                }
+            }
+        }
+        self.tick += 1;
+        self.entries.insert(key, (self.tick, Arc::new(entry)));
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime counters: `(hits, misses, invalidations, evictions)`.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (self.hits, self.misses, self.invalidations, self.evictions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linuxfp_packet::builder;
+
+    fn frame(sport: u16) -> Vec<u8> {
+        builder::udp_packet(
+            MacAddr::from_index(1),
+            MacAddr::from_index(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            sport,
+            53,
+            b"payload",
+        )
+    }
+
+    fn entry() -> FlowEntry {
+        FlowEntry {
+            verdict: HookVerdict::Drop,
+            ops: vec![],
+            touches: vec![],
+        }
+    }
+
+    #[test]
+    fn key_pins_flow_identity_not_packet_identity() {
+        let a = FlowKey::extract(&frame(1000), IfIndex(1)).unwrap();
+        // Same flow, different IPv4 id + checksum: identical key.
+        let mut sibling = frame(1000);
+        sibling[14 + 4] = 0xAB;
+        sibling[14 + 5] = 0xCD;
+        // Fix the header checksum for the new id.
+        sibling[14 + 10] = 0;
+        sibling[14 + 11] = 0;
+        let csum = checksum(&sibling[14..14 + 20]);
+        sibling[14 + 10..14 + 12].copy_from_slice(&csum.to_be_bytes());
+        assert_eq!(FlowKey::extract(&sibling, IfIndex(1)), Some(a));
+        // Different port: different key. Different ingress: different key.
+        assert_ne!(FlowKey::extract(&frame(1001), IfIndex(1)), Some(a));
+        assert_ne!(FlowKey::extract(&frame(1000), IfIndex(2)), Some(a));
+        assert_eq!(a.l3_offset(), 14);
+    }
+
+    #[test]
+    fn ineligible_packets_have_no_key() {
+        // Too short.
+        assert!(FlowKey::extract(&[0u8; 10], IfIndex(1)).is_none());
+        // Non-IPv4 ethertype (ARP).
+        let mut arp = frame(1);
+        arp[12] = 0x08;
+        arp[13] = 0x06;
+        assert!(FlowKey::extract(&arp, IfIndex(1)).is_none());
+        // Corrupt IP header checksum.
+        let mut bad = frame(1);
+        bad[14 + 10] ^= 0xFF;
+        assert!(FlowKey::extract(&bad, IfIndex(1)).is_none());
+        // Fragment (MF bit).
+        let mut frag = frame(1);
+        frag[14 + 6] = 0x20;
+        frag[14 + 10] = 0;
+        frag[14 + 11] = 0;
+        let csum = checksum(&frag[14..14 + 20]);
+        frag[14 + 10..14 + 12].copy_from_slice(&csum.to_be_bytes());
+        assert!(FlowKey::extract(&frag, IfIndex(1)).is_none());
+        // Non-TCP/UDP protocol (ICMP).
+        let mut icmp = frame(1);
+        icmp[14 + 9] = 1;
+        icmp[14 + 10] = 0;
+        icmp[14 + 11] = 0;
+        let csum = checksum(&icmp[14..14 + 20]);
+        icmp[14 + 10..14 + 12].copy_from_slice(&csum.to_be_bytes());
+        assert!(FlowKey::extract(&icmp, IfIndex(1)).is_none());
+    }
+
+    #[test]
+    fn generation_change_clears_all_entries() {
+        let mut cache = FlowCache::new(16);
+        let key = FlowKey::extract(&frame(1), IfIndex(1)).unwrap();
+        cache.insert(7, key, entry());
+        assert!(cache.lookup(7, &key).is_some());
+        // Same generation: still there. New generation: gone.
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(8, &key).is_none());
+        assert!(cache.is_empty());
+        let (hits, _, invalidations, _) = cache.stats();
+        assert_eq!(hits, 1);
+        assert_eq!(invalidations, 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let mut cache = FlowCache::new(2);
+        let k1 = FlowKey::extract(&frame(1), IfIndex(1)).unwrap();
+        let k2 = FlowKey::extract(&frame(2), IfIndex(1)).unwrap();
+        let k3 = FlowKey::extract(&frame(3), IfIndex(1)).unwrap();
+        cache.insert(0, k1, entry());
+        cache.insert(0, k2, entry());
+        // Touch k1 so k2 becomes the LRU victim.
+        assert!(cache.lookup(0, &k1).is_some());
+        cache.insert(0, k3, entry());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(0, &k2).is_none());
+        assert!(cache.lookup(0, &k1).is_some());
+        assert!(cache.lookup(0, &k3).is_some());
+        assert_eq!(cache.stats().3, 1);
+    }
+
+    #[test]
+    fn recording_env_logs_and_delegates() {
+        let mut k = Kernel::new(1);
+        let mut env = RecordingEnv::new(&mut k);
+        assert!(env.env_fib_lookup(Ipv4Addr::new(10, 0, 0, 9)).is_none());
+        assert!(env
+            .env_ct_lookup(
+                Ipv4Addr::new(1, 1, 1, 1),
+                1,
+                Ipv4Addr::new(2, 2, 2, 2),
+                2,
+                17
+            )
+            .is_none());
+        let touches = env.into_touches();
+        assert_eq!(touches.len(), 2);
+        assert!(matches!(touches[0], HelperTouch::Fib { .. }));
+        assert!(matches!(touches[1], HelperTouch::Ct { .. }));
+        // Replay is side-effect-equivalent (here: no-ops on an empty
+        // kernel) and must not panic.
+        replay_touches(&touches, &mut k);
+    }
+}

@@ -9,6 +9,8 @@
 //! the old or the new program.
 
 use crate::asm::Asm;
+use crate::flowcache::{self, FlowCache, FlowEntry, FlowKey};
+use crate::helpers::HelperEnv;
 use crate::insn::Action;
 use crate::maps::{MapId, MapStore};
 use crate::program::{LoadedProgram, Program};
@@ -16,7 +18,8 @@ use crate::vm::{self, VmCtx, VmOutcome};
 use linuxfp_netstack::device::IfIndex;
 use linuxfp_netstack::stack::{HookFn, HookVerdict, Kernel};
 use linuxfp_netstack::NetError;
-use linuxfp_packet::EthernetFrame;
+use linuxfp_packet::{rewrite, EthernetFrame};
+use linuxfp_sim::CostTracker;
 use linuxfp_telemetry::{Counter, Registry};
 use std::sync::{Arc, Mutex};
 
@@ -88,6 +91,17 @@ impl HookStats {
     fn record(&self, out: &VmOutcome, verdict: &HookVerdict) {
         self.vm_insns.add(out.insns_executed);
         self.helper_calls.add(out.helper_calls);
+        self.record_verdict(verdict);
+    }
+
+    /// Counts a packet served by the microflow verdict cache: the
+    /// hit/fallback ledger and verdict tallies advance exactly as under
+    /// interpretation, but no VM instructions or helper calls ran.
+    fn record_cached(&self, verdict: &HookVerdict) {
+        self.record_verdict(verdict);
+    }
+
+    fn record_verdict(&self, verdict: &HookVerdict) {
         match verdict {
             HookVerdict::Pass => {
                 self.verdict_pass.inc();
@@ -122,17 +136,19 @@ struct HookTelemetry {
 
 type TelemetryCell = Arc<Mutex<Option<HookTelemetry>>>;
 
-/// Per-burst resolution of a dispatcher's program-array slot.
+/// Cached resolution of a dispatcher's program-array slot.
 ///
-/// The kernel bumps its batch epoch once per injected burst; the first
-/// packet of a burst walks the dispatcher (paying the entry insns and
-/// the tail-call charge) and records the slot's resolved program here.
-/// Later packets of the *same* burst run the resolved program directly —
-/// the per-packet indirection is amortized exactly once per burst, and a
-/// burst of one is indistinguishable from historical per-packet cost.
+/// The first packet after any coherence change walks the dispatcher
+/// (paying the entry insns and the tail-call charge) and records the
+/// slot's resolved program here, stamped with the combined generation
+/// ([`Kernel::state_generation`] + [`MapStore::prog_generation`]). Later
+/// packets run the resolved program directly until the generation moves —
+/// a data-path swap bumps the program generation, so a stale resolution
+/// can never outlive the program it points to. This is the same (and
+/// only) invalidation mechanism the microflow verdict cache uses.
 #[derive(Debug)]
 struct BatchCache {
-    epoch: u64,
+    gen: u64,
     resolved: LoadedProgram,
 }
 
@@ -180,11 +196,52 @@ fn hook_fn_inner(
     dispatch: Option<(MapId, usize)>,
 ) -> HookFn {
     let batch_cache: BatchCacheCell = Arc::new(Mutex::new(None));
+    let flow_cache = Arc::new(Mutex::new(FlowCache::new(flowcache::DEFAULT_CAPACITY)));
     Arc::new(move |kernel: &mut Kernel, packet, tracker| {
         let cost = kernel.cost_model_arc();
-        let epoch = kernel.batch_epoch();
+        // The one coherence number both caches key on: any kernel state
+        // mutation, time advance, or data-path swap changes it.
+        let gen = kernel
+            .state_generation()
+            .wrapping_add(maps.prog_generation());
         let ingress = packet.ingress_ifindex;
         let rx_queue = packet.rx_queue;
+
+        // ---- microflow verdict cache: hit path -----------------------
+        // Only dispatcher-driven hooks cache verdicts (directly attached
+        // programs bypass the whole mechanism), and only while the
+        // net.linuxfp.flow_cache sysctl is on.
+        let cache_on = dispatch.is_some() && kernel.flow_cache_enabled();
+        let key = if cache_on {
+            FlowKey::extract(&packet.data, IfIndex(ingress))
+        } else {
+            None
+        };
+        if cache_on {
+            let mut fc = flow_cache.lock().unwrap();
+            if !fc.telemetry_wired() {
+                if let Some(t) = telemetry.lock().unwrap().as_ref() {
+                    fc.wire_telemetry(&t.registry);
+                }
+            }
+            if let Some(k) = &key {
+                if let Some(entry) = fc.lookup(gen, k) {
+                    drop(fc);
+                    rewrite::apply_ops(&mut packet.data, &entry.ops);
+                    flowcache::replay_touches(&entry.touches, kernel);
+                    tracker.charge("flowcache_hit", cost.flowcache_hit_ns);
+                    if let Some(t) = telemetry.lock().unwrap().as_ref() {
+                        t.stats.record_cached(&entry.verdict);
+                    }
+                    return entry.verdict;
+                }
+            }
+            fc.note_miss();
+        }
+
+        // ---- miss: interpret (recording helper touches) --------------
+        let record_candidate = cache_on && key.is_some();
+        let before_frame = record_candidate.then(|| packet.data.to_vec());
         let mut ctx = VmCtx::xdp(&mut packet.data, ingress, rx_queue);
         if hook == HookPoint::Tc {
             // TC programs see parsed sk_buff fields.
@@ -193,27 +250,47 @@ fn hook_fn_inner(
                 ctx.vlan_tci = eth.vlan.map(|t| u32::from(t.vid)).unwrap_or(0);
             }
         }
-        // A later packet of the current burst runs the slot's program
+        // A packet under an unchanged generation runs the slot's program
         // directly, skipping the dispatcher walk (see [`BatchCache`]).
         let cached = dispatch.and_then(|_| {
             let cache = batch_cache.lock().unwrap();
             cache
                 .as_ref()
-                .filter(|c| c.epoch == epoch)
+                .filter(|c| c.gen == gen)
                 .map(|c| c.resolved.clone())
         });
-        let out = match cached {
-            Some(resolved) => vm::run(&resolved, ctx, kernel, &maps, &cost, tracker),
-            None => {
-                let out = vm::run(&prog, ctx, kernel, &maps, &cost, tracker);
-                if let Some((prog_array, slot)) = dispatch {
-                    *batch_cache.lock().unwrap() = maps
-                        .prog_array_get(prog_array, slot)
-                        .map(|resolved| BatchCache { epoch, resolved });
+        let interp_start = tracker.total_ns();
+        let run = |env: &mut dyn HelperEnv, tracker: &mut CostTracker| -> (VmOutcome, bool) {
+            match cached {
+                Some(resolved) => {
+                    let cacheable = resolved.cacheable();
+                    (
+                        vm::run(&resolved, ctx, env, &maps, &cost, tracker),
+                        cacheable,
+                    )
                 }
-                out
+                None => {
+                    let out = vm::run(&prog, ctx, env, &maps, &cost, tracker);
+                    let resolved = dispatch.and_then(|(pa, slot)| maps.prog_array_get(pa, slot));
+                    let cacheable =
+                        prog.cacheable() && resolved.as_ref().is_none_or(|r| r.cacheable());
+                    if dispatch.is_some() {
+                        *batch_cache.lock().unwrap() =
+                            resolved.map(|resolved| BatchCache { gen, resolved });
+                    }
+                    (out, cacheable)
+                }
             }
         };
+        let (out, ran_cacheable, touches) = if record_candidate {
+            let mut rec = flowcache::RecordingEnv::new(kernel);
+            let (out, cacheable) = run(&mut rec, tracker);
+            (out, cacheable, rec.into_touches())
+        } else {
+            let (out, cacheable) = run(&mut *kernel, tracker);
+            (out, cacheable, Vec::new())
+        };
+        let interp_ns = tracker.total_ns() - interp_start;
         let verdict = match out.action {
             Action::Pass => HookVerdict::Pass,
             // Real XDP treats ABORTED like DROP (plus a tracepoint).
@@ -228,6 +305,36 @@ fn hook_fn_inner(
                 None => HookVerdict::Drop,
             },
         };
+
+        // ---- record the flow, if every gate passes -------------------
+        // Gates: the programs that ran honor the static cacheability
+        // contract; the verdict is replayable (no AF_XDP delivery, no
+        // aborted run); interpretation cost exceeded the hit price (the
+        // cache must never decelerate a path — trivial programs stay
+        // interpreted); and the frame diff reduces to replayable rewrite
+        // ops that verifiably reproduce the observed output.
+        if let (Some(before), Some(k)) = (before_frame, key) {
+            let replayable_verdict =
+                !matches!(verdict, HookVerdict::DeliverUser) && out.action != Action::Aborted;
+            if ran_cacheable && replayable_verdict && interp_ns > cost.flowcache_hit_ns {
+                if let Some(ops) = rewrite::derive_ops(&before, &packet.data, k.l3_offset()) {
+                    let mut check = before;
+                    rewrite::apply_ops(&mut check, &ops);
+                    if check[..] == packet.data[..] {
+                        flow_cache.lock().unwrap().insert(
+                            gen,
+                            k,
+                            FlowEntry {
+                                verdict,
+                                ops,
+                                touches,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
         // Telemetry counters are real atomics with no virtual-time
         // charge: observability must not perturb the modeled costs.
         if let Some(t) = telemetry.lock().unwrap().as_ref() {
@@ -565,18 +672,26 @@ mod tests {
     }
 
     #[test]
-    fn dispatcher_amortizes_program_fetch_across_a_burst() {
+    fn dispatcher_amortizes_program_fetch_across_generations() {
         use linuxfp_packet::Batch;
         let (mut k, eth0) = kernel_with_nic();
         let d = Dispatcher::new(MapStore::new());
         d.attach(&mut k, eth0, HookPoint::Xdp).unwrap();
         d.install(drop_prog());
 
-        // Reference: one frame injected alone (a burst of one is
-        // bit-identical to historical single-packet processing).
-        let single = k.receive(eth0, frame_for(&k, eth0));
-        let single_ns = single.cost.total_ns();
-        assert_eq!(single.drops(), vec!["xdp drop"]);
+        // The first packet after an install walks the dispatcher (entry
+        // insns + tail call) and caches the slot resolution under the
+        // current coherence generation.
+        let cold = k.receive(eth0, frame_for(&k, eth0));
+        assert_eq!(cold.drops(), vec!["xdp drop"]);
+        assert_eq!(cold.cost.stage_count("tail_call"), 1);
+
+        // Until the generation moves, every later packet — across single
+        // receives *and* burst boundaries — skips the dispatcher walk.
+        let warm = k.receive(eth0, frame_for(&k, eth0));
+        let warm_ns = warm.cost.total_ns();
+        assert_eq!(warm.cost.stage_count("tail_call"), 0);
+        assert!(warm_ns < cold.cost.total_ns());
 
         let mut batch = Batch::new();
         for _ in 0..8 {
@@ -586,25 +701,29 @@ mod tests {
         assert_eq!(out.batch_size, 8);
         for rx in &out.outcomes {
             assert_eq!(rx.drops(), vec!["xdp drop"]);
+            assert_eq!(rx.cost.stage_count("tail_call"), 0);
         }
-        // Later packets of the burst skip the dispatcher walk (entry
-        // insns + tail call) on top of the per-burst fixed driver/hook
-        // costs, so the burst is strictly cheaper than 8 singles.
+        // Warm burst total is strictly cheaper than 8 cold singles.
         assert!(
-            out.total_ns() < 8.0 * single_ns,
-            "burst {} vs 8x single {}",
+            out.total_ns() < 8.0 * cold.cost.total_ns(),
+            "burst {} vs 8x cold single {}",
             out.total_ns(),
-            8.0 * single_ns
+            8.0 * cold.cost.total_ns()
         );
-        // The second packet pays no tail_call; the first one does.
-        assert_eq!(out.outcomes[0].cost.stage_count("tail_call"), 1);
-        assert_eq!(out.outcomes[1].cost.stage_count("tail_call"), 0);
 
-        // A batch of one costs exactly what receive() costs.
+        // A warm batch of one costs exactly what a warm receive() costs.
         let mut one = Batch::new();
         one.push(frame_for(&k, eth0));
         let out1 = k.inject_batch(eth0, &mut one);
-        assert_eq!(out1.total_ns(), single_ns);
+        assert_eq!(out1.total_ns(), warm_ns);
+
+        // A swap bumps the program generation: the next packet re-pays
+        // the dispatcher walk exactly once.
+        d.install(drop_prog());
+        let after_swap = k.receive(eth0, frame_for(&k, eth0));
+        assert_eq!(after_swap.cost.stage_count("tail_call"), 1);
+        let rewarm = k.receive(eth0, frame_for(&k, eth0));
+        assert_eq!(rewarm.cost.stage_count("tail_call"), 0);
     }
 
     #[test]

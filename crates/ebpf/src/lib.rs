@@ -37,6 +37,7 @@
 //! ```
 
 pub mod asm;
+pub mod flowcache;
 pub mod helpers;
 pub mod hook;
 pub mod insn;
@@ -46,6 +47,7 @@ pub mod verifier;
 pub mod vm;
 
 pub use asm::Asm;
+pub use flowcache::{FlowCache, FlowKey};
 pub use hook::{Dispatcher, HookPoint};
 pub use insn::{Action, HelperId};
 pub use maps::{MapId, MapStore};

@@ -18,6 +18,7 @@
 use crate::program::LoadedProgram;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Identifies a map within a [`MapStore`] (an "fd").
@@ -110,6 +111,12 @@ impl XskSocket {
 #[derive(Clone, Default)]
 pub struct MapStore {
     maps: Arc<RwLock<Vec<MapKind>>>,
+    /// Bumped on every program-array slot write (install, uninstall,
+    /// swap). Shared across clones, like the maps themselves. Hook
+    /// dispatchers fold it into their coherence generation so cached
+    /// slot resolutions and microflow verdict-cache entries are
+    /// invalidated by data-path swaps.
+    prog_generation: Arc<AtomicU64>,
 }
 
 impl fmt::Debug for MapStore {
@@ -330,10 +337,16 @@ impl MapStore {
             MapKind::ProgArray { slots } => {
                 let s = slots.get_mut(slot).ok_or(MapError::BadKey)?;
                 *s = prog;
+                self.prog_generation.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
             _ => Err(MapError::WrongType("prog_array_set")),
         })
+    }
+
+    /// Monotonic count of program-array slot writes (see the field docs).
+    pub fn prog_generation(&self) -> u64 {
+        self.prog_generation.load(Ordering::Relaxed)
     }
 
     /// Reads a program-array slot (what a tail call does).

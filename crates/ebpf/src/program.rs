@@ -1,7 +1,7 @@
 //! Program objects: raw instruction sequences and verified, loadable
 //! programs.
 
-use crate::insn::Insn;
+use crate::insn::{HelperId, Insn};
 use crate::verifier::{self, VerifyError};
 use std::fmt;
 use std::sync::Arc;
@@ -44,6 +44,7 @@ impl Program {
 #[derive(Clone)]
 pub struct LoadedProgram {
     inner: Arc<Program>,
+    cacheable: bool,
 }
 
 impl LoadedProgram {
@@ -55,9 +56,26 @@ impl LoadedProgram {
     /// verifier rejects a `BPF_PROG_LOAD`.
     pub fn load(program: Program) -> Result<Self, VerifyError> {
         verifier::verify(&program.insns)?;
+        let cacheable = program.insns.iter().all(|i| match i {
+            Insn::Call { helper } => helper_is_cacheable(*helper),
+            _ => true,
+        });
         Ok(LoadedProgram {
             inner: Arc::new(program),
+            cacheable,
         })
+    }
+
+    /// The static cacheability contract: whether every helper this
+    /// program calls has a result fully determined by its arguments plus
+    /// kernel state covered by the coherence generation. Programs that
+    /// read the clock, touch custom maps, or redirect into AF_XDP rings
+    /// are not cacheable — their verdicts can change without any
+    /// generation bump (or replaying them has side effects the microflow
+    /// verdict cache cannot reproduce). Tail calls are fine: the
+    /// dispatcher checks the contract on the *resolved* program too.
+    pub fn cacheable(&self) -> bool {
+        self.cacheable
     }
 
     /// The program name.
@@ -81,6 +99,16 @@ impl LoadedProgram {
     pub fn is_empty(&self) -> bool {
         self.inner.insns.is_empty()
     }
+}
+
+/// Whether a helper's result is safe to capture and replay: deterministic
+/// given its arguments and generation-covered kernel state, with side
+/// effects the slow-path replay reproduces exactly.
+fn helper_is_cacheable(helper: HelperId) -> bool {
+    !matches!(
+        helper,
+        HelperId::KtimeGetNs | HelperId::MapLookup | HelperId::MapUpdate | HelperId::XskRedirect
+    )
 }
 
 impl fmt::Debug for LoadedProgram {

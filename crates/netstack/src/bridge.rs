@@ -119,6 +119,7 @@ pub struct Bridge {
     ports: BTreeMap<IfIndex, BridgePort>,
     fdb: HashMap<(MacAddr, u16), FdbEntry>,
     decisions: Option<Counter>,
+    generation: u64,
 }
 
 impl Bridge {
@@ -133,7 +134,24 @@ impl Bridge {
             ports: BTreeMap::new(),
             fdb: HashMap::new(),
             decisions: None,
+            generation: 0,
         }
+    }
+
+    /// Monotonic generation, bumped on every forwarding-relevant change
+    /// (FDB entry add/move/expiry, port membership or state changes).
+    /// Pure timestamp refreshes of an existing entry do *not* bump it —
+    /// they change no forwarding decision. Consumed by the microflow
+    /// verdict cache's coherence check.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Forces a generation bump. Used by callers that hand out mutable
+    /// access to the bridge (e.g. `Kernel::bridge_mut`) and must
+    /// conservatively assume a forwarding-relevant change follows.
+    pub fn touch_generation(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
     }
 
     /// Counts every forwarding decision this bridge makes into `counter`.
@@ -143,6 +161,7 @@ impl Bridge {
 
     /// Adds a member port (idempotent).
     pub fn add_port(&mut self, ifindex: IfIndex) {
+        self.generation = self.generation.wrapping_add(1);
         self.ports
             .entry(ifindex)
             .or_insert_with(|| BridgePort::new(ifindex));
@@ -152,6 +171,7 @@ impl Bridge {
     pub fn remove_port(&mut self, ifindex: IfIndex) -> bool {
         let existed = self.ports.remove(&ifindex).is_some();
         if existed {
+            self.generation = self.generation.wrapping_add(1);
             self.fdb.retain(|_, e| e.port != ifindex);
         }
         existed
@@ -162,8 +182,11 @@ impl Bridge {
         self.ports.values()
     }
 
-    /// Mutable access to one port's configuration.
+    /// Mutable access to one port's configuration. Conservatively counts
+    /// as a forwarding-relevant change (callers use this to flip STP
+    /// state or VLAN membership), so the generation is bumped.
     pub fn port_mut(&mut self, ifindex: IfIndex) -> Option<&mut BridgePort> {
+        self.generation = self.generation.wrapping_add(1);
         self.ports.get_mut(&ifindex)
     }
 
@@ -196,6 +219,7 @@ impl Bridge {
         let entry = self.fdb.get(&(mac, vlan))?;
         if !entry.is_static && now.saturating_sub(entry.updated) > self.ageing_time {
             self.fdb.remove(&(mac, vlan));
+            self.generation = self.generation.wrapping_add(1);
             return None;
         }
         let port = self.ports.get(&entry.port)?;
@@ -207,6 +231,12 @@ impl Bridge {
     pub fn fdb_learn(&mut self, mac: MacAddr, vlan: u16, port: IfIndex, now: Nanos) {
         if mac.is_multicast() {
             return;
+        }
+        // A brand-new address or a station move changes forwarding
+        // decisions (generation bump); refreshing the timestamp of an
+        // entry already on this port does not.
+        if self.fdb.get(&(mac, vlan)).map(|e| e.port) != Some(port) {
+            self.generation = self.generation.wrapping_add(1);
         }
         self.fdb.insert(
             (mac, vlan),
@@ -220,6 +250,7 @@ impl Bridge {
 
     /// Installs a static FDB entry (`bridge fdb add ... static`).
     pub fn fdb_add_static(&mut self, mac: MacAddr, vlan: u16, port: IfIndex) {
+        self.generation = self.generation.wrapping_add(1);
         self.fdb.insert(
             (mac, vlan),
             FdbEntry {
@@ -243,7 +274,11 @@ impl Bridge {
         let before = self.fdb.len();
         self.fdb
             .retain(|_, e| e.is_static || now.saturating_sub(e.updated) <= ageing);
-        before - self.fdb.len()
+        let removed = before - self.fdb.len();
+        if removed > 0 {
+            self.generation = self.generation.wrapping_add(1);
+        }
+        removed
     }
 
     /// Full forwarding decision for a frame entering the bridge on

@@ -180,6 +180,13 @@ pub struct Conntrack {
     /// ipvs backends unpinned by flow eviction, drained by the owner of
     /// the ipvs subsystem so `Backend::active` can be decremented.
     freed_backends: Vec<(Ipv4Addr, u16)>,
+    /// Monotonic generation, bumped on every change a fast-path helper
+    /// could observe: entry/binding removal (eviction, lazy expiry, GC),
+    /// backend pinning, and NAT binding installs. Plain entry creation
+    /// and `last_seen` refreshes do not bump it — `bpf_ct_lookup` and
+    /// `bpf_nat_lookup` return identical results either way. Consumed by
+    /// the microflow verdict cache's coherence check.
+    generation: u64,
 }
 
 impl Conntrack {
@@ -200,7 +207,13 @@ impl Conntrack {
             eviction_counter: None,
             nat_eviction_counter: None,
             freed_backends: Vec::new(),
+            generation: 0,
         }
+    }
+
+    /// The coherence generation (see the field docs).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Counts capacity evictions into `counter` as well as the local
@@ -280,6 +293,7 @@ impl Conntrack {
             .min_by_key(|(k, e)| (e.last_seen, k.a_addr, k.a_port, k.b_addr, k.b_port, k.proto))
             .map(|(k, _)| *k);
         if let Some(k) = victim {
+            self.generation = self.generation.wrapping_add(1);
             let entry = self.entries.remove(&k).expect("victim present");
             for tuple in [
                 NatTuple::new(k.a_addr, k.a_port, k.b_addr, k.b_port, k.proto),
@@ -311,6 +325,7 @@ impl Conntrack {
         let entry = self.entries.get(key)?;
         if Self::expired(entry, self.new_timeout, self.established_timeout, now) {
             self.entries.remove(key);
+            self.generation = self.generation.wrapping_add(1);
             return None;
         }
         Some(*entry)
@@ -321,6 +336,7 @@ impl Conntrack {
         match self.entries.get_mut(key) {
             Some(e) => {
                 e.backend = Some(backend);
+                self.generation = self.generation.wrapping_add(1);
                 true
             }
             None => false,
@@ -333,7 +349,11 @@ impl Conntrack {
         let before = self.entries.len();
         self.entries
             .retain(|_, e| !Self::expired(e, new_to, est_to, now));
-        before - self.entries.len()
+        let removed = before - self.entries.len();
+        if removed > 0 {
+            self.generation = self.generation.wrapping_add(1);
+        }
+        removed
     }
 
     // ------------------------------------------------------------------
@@ -369,6 +389,7 @@ impl Conntrack {
                 break;
             }
         }
+        self.generation = self.generation.wrapping_add(1);
         self.nat.insert(
             orig,
             NatBinding {
@@ -416,6 +437,7 @@ impl Conntrack {
         let Some(dead) = self.nat.remove(key) else {
             return false;
         };
+        self.generation = self.generation.wrapping_add(1);
         if let Some(p) = dead.owns_port {
             self.freed_nat_ports.push(p);
         }
@@ -439,6 +461,7 @@ impl Conntrack {
         // `xlat.reversed()`.
         let partner = entry.xlat.reversed();
         if now.saturating_sub(entry.last_seen) > self.established_timeout {
+            self.generation = self.generation.wrapping_add(1);
             for key in [*tuple, partner] {
                 if let Some(dead) = self.nat.remove(&key) {
                     if let Some(p) = dead.owns_port {
@@ -474,7 +497,11 @@ impl Conntrack {
             }
             !dead
         });
-        before - self.nat.len()
+        let removed = before - self.nat.len();
+        if removed > 0 {
+            self.generation = self.generation.wrapping_add(1);
+        }
+        removed
     }
 
     /// Drains masquerade ports freed by expired bindings so the port

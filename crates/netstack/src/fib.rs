@@ -84,6 +84,7 @@ pub struct Fib {
     nodes: Vec<TrieNode>,
     len: usize,
     lookups: Option<Counter>,
+    generation: u64,
 }
 
 impl Fib {
@@ -93,7 +94,14 @@ impl Fib {
             nodes: vec![TrieNode::default()],
             len: 0,
             lookups: None,
+            generation: 0,
         }
+    }
+
+    /// Monotonic generation, bumped on every route mutation (consumed by
+    /// the microflow verdict cache's coherence check).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Counts every [`Fib::lookup`] (fast-path helper and slow-path
@@ -138,6 +146,7 @@ impl Fib {
     /// its metric is updated instead; returns `true` if a new route was
     /// added.
     pub fn insert(&mut self, route: Route) -> bool {
+        self.generation = self.generation.wrapping_add(1);
         let node = self.node_for_prefix(&route.prefix);
         let routes = &mut self.nodes[node].routes;
         if let Some(existing) = routes
@@ -169,6 +178,9 @@ impl Fib {
         routes.retain(|r| dev.is_some_and(|d| r.dev != d));
         let removed = before - routes.len();
         self.len -= removed;
+        if removed > 0 {
+            self.generation = self.generation.wrapping_add(1);
+        }
         removed
     }
 

@@ -60,6 +60,13 @@ pub struct NeighTable {
     pub reachable_time: Nanos,
     /// How long a `Stale` entry survives before garbage collection.
     pub gc_stale_time: Nanos,
+    /// Monotonic generation, bumped on every resolution-relevant change:
+    /// new entries, station moves (mac or dev changed), removals, and GC.
+    /// Timer refreshes that re-learn the same `(mac, dev)` and the
+    /// `Reachable` → `Stale` transition do not bump it — `resolved_mac`
+    /// returns the same answer either way. Consumed by the microflow
+    /// verdict cache's coherence check.
+    generation: u64,
 }
 
 impl NeighTable {
@@ -69,12 +76,26 @@ impl NeighTable {
             entries: HashMap::new(),
             reachable_time: Nanos::from_secs(30),
             gc_stale_time: Nanos::from_secs(60),
+            generation: 0,
         }
+    }
+
+    /// The coherence generation (see the field docs).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Records a confirmed neighbor (from an ARP reply or learned from a
     /// request's sender fields).
     pub fn learn(&mut self, ip: Ipv4Addr, mac: MacAddr, dev: IfIndex, now: Nanos) {
+        if self
+            .entries
+            .get(&ip)
+            .map(|e| (e.mac, e.dev, e.state == NeighState::Incomplete))
+            != Some((mac, dev, false))
+        {
+            self.generation = self.generation.wrapping_add(1);
+        }
         self.entries.insert(
             ip,
             NeighEntry {
@@ -92,6 +113,7 @@ impl NeighTable {
         if self.entries.contains_key(&ip) {
             return false;
         }
+        self.generation = self.generation.wrapping_add(1);
         self.entries.insert(
             ip,
             NeighEntry {
@@ -119,6 +141,7 @@ impl NeighTable {
             NeighState::Stale => {
                 if now.saturating_sub(entry.updated) > self.gc_stale_time {
                     self.entries.remove(&ip);
+                    self.generation = self.generation.wrapping_add(1);
                     return None;
                 }
             }
@@ -137,7 +160,11 @@ impl NeighTable {
 
     /// Removes an entry; returns whether it existed.
     pub fn remove(&mut self, ip: Ipv4Addr) -> bool {
-        self.entries.remove(&ip).is_some()
+        let existed = self.entries.remove(&ip).is_some();
+        if existed {
+            self.generation = self.generation.wrapping_add(1);
+        }
+        existed
     }
 
     /// Number of entries (all states).
@@ -166,7 +193,11 @@ impl NeighTable {
             NeighState::Stale => now.saturating_sub(e.updated) <= stale,
             NeighState::Incomplete => now.saturating_sub(e.updated) <= reachable,
         });
-        before - self.entries.len()
+        let removed = before - self.entries.len();
+        if removed > 0 {
+            self.generation = self.generation.wrapping_add(1);
+        }
+        removed
     }
 }
 

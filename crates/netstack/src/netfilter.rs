@@ -235,6 +235,14 @@ impl IpSet {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Removes every member, keeping the set's kind.
+    pub fn clear(&mut self) {
+        match self {
+            IpSet::HashIp(set) => set.clear(),
+            IpSet::HashNet(by_len) => by_len.clear(),
+        }
+    }
 }
 
 /// The netfilter subsystem: built-in chains, user chains, and ipsets.
@@ -363,6 +371,21 @@ impl Netfilter {
             self.generation += 1;
         }
         ok
+    }
+
+    /// Empties an ipset (`ipset flush <name>`); returns `false` if the
+    /// set does not exist. Flushing an already-empty set still counts as
+    /// a configuration change (real `ipset flush` emits a netlink event
+    /// regardless), so the generation always advances.
+    pub fn set_flush(&mut self, name: &str) -> bool {
+        match self.sets.get_mut(name) {
+            Some(s) => {
+                s.clear();
+                self.generation += 1;
+                true
+            }
+            None => false,
+        }
     }
 
     /// An ipset by name.

@@ -163,6 +163,7 @@ pub struct SubscriberId(usize);
 #[derive(Debug, Default)]
 pub struct NetlinkBus {
     subscribers: Vec<Subscriber>,
+    generation: u64,
 }
 
 #[derive(Debug)]
@@ -187,13 +188,25 @@ impl NetlinkBus {
     }
 
     /// Publishes a message to every subscriber of its group.
+    ///
+    /// Every publish also bumps the bus generation: netlink is the one
+    /// funnel every configuration mutation announces itself through, so
+    /// the generation is a complete summary of "has any netlink-visible
+    /// state changed" — the coherence signal the microflow verdict cache
+    /// keys on.
     pub fn publish(&mut self, msg: NetlinkMessage) {
+        self.generation = self.generation.wrapping_add(1);
         let group = msg.group();
         for sub in &mut self.subscribers {
             if sub.groups.contains(&group) {
                 sub.queue.push_back(msg.clone());
             }
         }
+    }
+
+    /// Monotonic count of messages ever published on this bus.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Drains all pending messages for a subscriber.

@@ -352,9 +352,11 @@ pub struct Kernel {
     /// BPDUs consumed by STP processing.
     pub bpdus_processed: u64,
     telemetry: Option<StackTelemetry>,
-    /// Bumped on every injection (single or batched); hook dispatchers
-    /// use it to cache per-burst lookups (see the ebpf crate).
-    batch_epoch: u64,
+    /// Bumped whenever virtual time advances; folded into
+    /// [`Kernel::state_generation`] so anything derived from
+    /// time-dependent lookups (lazy expiry in conntrack, neighbor and FDB
+    /// tables) is invalidated when the clock moves.
+    time_generation: u64,
     seed: u64,
 }
 
@@ -402,6 +404,7 @@ impl Kernel {
         let mut sysctls = BTreeMap::new();
         sysctls.insert("net.ipv4.ip_forward".to_string(), 0);
         sysctls.insert("net.bridge.bridge-nf-call-iptables".to_string(), 0);
+        sysctls.insert("net.linuxfp.flow_cache".to_string(), 1);
         Kernel {
             cost: Arc::new(CostModel::calibrated()),
             now: Nanos::ZERO,
@@ -428,7 +431,7 @@ impl Kernel {
             counters: HashMap::new(),
             bpdus_processed: 0,
             telemetry: None,
-            batch_epoch: 0,
+            time_generation: 0,
             seed,
         }
     }
@@ -484,12 +487,33 @@ impl Kernel {
         Arc::clone(&self.cost)
     }
 
-    /// The current injection epoch: bumped once per [`Kernel::receive`]
-    /// or [`Kernel::inject_batch`] call. Hook implementations compare it
-    /// to cache work (e.g. the attached-program fetch) across a burst —
-    /// within one epoch the set of installed programs cannot change.
-    pub fn batch_epoch(&self) -> u64 {
-        self.batch_epoch
+    /// The kernel-wide state generation: the wrapping sum of every
+    /// subsystem's coherence generation plus the time generation. Any
+    /// change a fast-path program could observe — route/neighbor/FDB/
+    /// rule/ipset/NAT/ipvs mutation, conntrack or NAT eviction, netlink
+    /// publish, virtual-time advance — changes this value. Hook
+    /// dispatchers compare it against cached work (resolved tail-call
+    /// slots, microflow verdict-cache entries) and lazily invalidate on
+    /// mismatch. Individual bumps may coincide across subsystems in
+    /// principle (it is a sum, not a vector clock), but every mutation
+    /// funnels through at least one addend, so equality after a mutation
+    /// would require another subsystem to wrap — not reachable in
+    /// simulation runs.
+    pub fn state_generation(&self) -> u64 {
+        let mut g = self
+            .netlink
+            .generation()
+            .wrapping_add(self.fib.generation())
+            .wrapping_add(self.neigh.generation())
+            .wrapping_add(self.conntrack.generation())
+            .wrapping_add(self.netfilter.generation)
+            .wrapping_add(self.nat.generation)
+            .wrapping_add(self.ipvs.generation)
+            .wrapping_add(self.time_generation);
+        for bridge in self.bridges.values() {
+            g = g.wrapping_add(bridge.generation());
+        }
+        g
     }
 
     /// Current virtual time.
@@ -731,9 +755,13 @@ impl Kernel {
     }
 
     /// Direct access to a bridge (for port VLAN/STP state configuration
-    /// and FDB inspection).
+    /// and FDB inspection). Conservatively bumps the bridge's coherence
+    /// generation: callers use this to flip forwarding-relevant port
+    /// state without going through netlink.
     pub fn bridge_mut(&mut self, bridge: IfIndex) -> Option<&mut Bridge> {
-        self.bridges.get_mut(&bridge)
+        let b = self.bridges.get_mut(&bridge)?;
+        b.touch_generation();
+        Some(b)
     }
 
     /// Read access to a bridge.
@@ -942,6 +970,12 @@ impl Kernel {
         self.sysctl_get("net.bridge.bridge-nf-call-iptables") == Some(1)
     }
 
+    /// Whether the fast path's microflow verdict cache is enabled
+    /// (`net.linuxfp.flow_cache`, default on).
+    pub fn flow_cache_enabled(&self) -> bool {
+        self.sysctl_get("net.linuxfp.flow_cache") == Some(1)
+    }
+
     // ------------------------------------------------------------------
     // iptables / ipset surface
     // ------------------------------------------------------------------
@@ -970,6 +1004,15 @@ impl Kernel {
     /// Adds a member to an ipset.
     pub fn ipset_add(&mut self, name: &str, prefix: Prefix) -> bool {
         let ok = self.netfilter.set_add(name, prefix);
+        if ok {
+            self.publish_nf_changed();
+        }
+        ok
+    }
+
+    /// Empties an ipset (`ipset flush <name>`).
+    pub fn ipset_flush(&mut self, name: &str) -> bool {
+        let ok = self.netfilter.set_flush(name);
         if ok {
             self.publish_nf_changed();
         }

@@ -25,7 +25,13 @@ impl Kernel {
     }
 
     /// Advances virtual time (drives FDB/neighbor/conntrack aging).
+    ///
+    /// Bumps the time generation: lookups that lazily expire entries
+    /// (conntrack, neighbor, FDB) can change their answers whenever the
+    /// clock moves, so everything the microflow verdict cache recorded
+    /// before the advance is invalidated.
     pub fn advance(&mut self, delta: Nanos) {
         self.now += delta;
+        self.time_generation = self.time_generation.wrapping_add(1);
     }
 }

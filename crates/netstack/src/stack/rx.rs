@@ -24,7 +24,6 @@ impl Kernel {
     /// Processes a frame received on `dev`, running hooks and the slow
     /// path, returning all externally visible effects and the cost.
     pub fn receive(&mut self, dev: IfIndex, frame: impl Into<PacketBuf>) -> RxOutcome {
-        self.batch_epoch += 1;
         if let Some(t) = &self.telemetry {
             t.packets_injected.inc();
             t.batch_size.record(1);
@@ -49,7 +48,6 @@ impl Kernel {
     /// of the received burst.
     pub fn inject_batch(&mut self, dev: IfIndex, batch: &mut Batch) -> BatchOutcome {
         let n = batch.len();
-        self.batch_epoch += 1;
         if let Some(t) = &self.telemetry {
             t.batch_size.record(n as u64);
             t.packets_injected.add(n as u64);

@@ -9,8 +9,159 @@
 //! checksum is legal over IPv4 (RFC 768), and this is exactly what the
 //! fast path emits, keeping both paths byte-identical.
 
-use crate::checksum::incremental_update_u16;
+use crate::checksum::{fold, incremental_update_u16};
 use std::net::Ipv4Addr;
+
+/// One replayable packet edit, recorded by diffing a frame before and
+/// after a fast-path run ([`derive_ops`]) and applied verbatim to later
+/// packets of the same flow ([`apply_ops`]).
+///
+/// `Set` stores absolute bytes (correct whenever the covered field is
+/// part of the flow key, i.e. identical across packets of the flow);
+/// `CsumAdd` stores an RFC 1624 one's-complement delta, which is the
+/// *same* for every packet of a flow even though the checksums
+/// themselves differ packet to packet (the IPv4 id field varies, but the
+/// field rewrites it absorbs are constant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteOp {
+    /// Overwrite `frame[off..off + bytes.len()]` with `bytes`.
+    Set {
+        /// Absolute frame offset.
+        off: usize,
+        /// Replacement bytes.
+        bytes: Vec<u8>,
+    },
+    /// Incrementally adjust the big-endian checksum word at `off` by a
+    /// constant one's-complement delta.
+    CsumAdd {
+        /// Absolute frame offset of the checksum word.
+        off: usize,
+        /// One's-complement delta: `new = !fold(!old + delta)`.
+        delta: u16,
+    },
+}
+
+/// The one's-complement delta that turns checksum `old` into `new`
+/// under [`RewriteOp::CsumAdd`].
+fn csum_delta(old: u16, new: u16) -> u16 {
+    // new = !fold(!old + delta)  =>  delta = fold(!new - !old) in
+    // one's-complement arithmetic (subtraction = addition of complement).
+    fold(u32::from(!new) + u32::from(old))
+}
+
+/// Applies `ops` to `frame` in place. Ops whose range falls outside the
+/// frame are skipped (callers only replay ops on same-length frames of
+/// the recorded flow, so this is purely defensive).
+pub fn apply_ops(frame: &mut [u8], ops: &[RewriteOp]) {
+    for op in ops {
+        match op {
+            RewriteOp::Set { off, bytes } => {
+                if frame.len() >= off + bytes.len() {
+                    frame[*off..off + bytes.len()].copy_from_slice(bytes);
+                }
+            }
+            RewriteOp::CsumAdd { off, delta } => {
+                if frame.len() >= off + 2 {
+                    let old = word(frame, *off);
+                    let new = !fold(u32::from(!old) + u32::from(*delta));
+                    frame[*off..off + 2].copy_from_slice(&new.to_be_bytes());
+                }
+            }
+        }
+    }
+}
+
+/// Derives the replayable op list that transforms `before` into `after`,
+/// where both are the same IPv4 frame (L3 at `l3`) observed before and
+/// after a fast-path program ran.
+///
+/// Only edits a synthesized pipeline can legitimately make are accepted:
+/// Ethernet MAC rewrites, TTL decrement, source/destination address and
+/// port NAT, and the corresponding IPv4/TCP checksum fixups (recorded as
+/// deltas) or UDP checksum clear (recorded absolutely — the fast path
+/// clears it to zero on any change, per RFC 768). A difference anywhere
+/// else, or a length change, means the transformation is not expressible
+/// as a per-flow replay and `None` is returned.
+pub fn derive_ops(before: &[u8], after: &[u8], l3: usize) -> Option<Vec<RewriteOp>> {
+    if before.len() != after.len() || before.len() < l3 + 20 {
+        return None;
+    }
+    let ihl = usize::from(before[l3] & 0x0f) * 4;
+    if ihl < 20 {
+        return None;
+    }
+    let l4 = l3 + ihl;
+    let proto = before[l3 + 9];
+    let is_tcp = proto == 6;
+    let is_udp = proto == 17;
+
+    // (start, end, kind) allowed regions; kind: 0 = Set, 1 = CsumAdd.
+    let mut regions: Vec<(usize, usize, u8)> = vec![
+        (0, 6, 0),             // eth dst
+        (6, 12, 0),            // eth src
+        (l3 + 8, l3 + 9, 0),   // TTL
+        (l3 + 10, l3 + 12, 1), // IPv4 header checksum
+        (l3 + 12, l3 + 16, 0), // src addr
+        (l3 + 16, l3 + 20, 0), // dst addr
+    ];
+    if (is_tcp || is_udp) && before.len() >= l4 + 8 {
+        regions.push((l4, l4 + 2, 0)); // sport
+        regions.push((l4 + 2, l4 + 4, 0)); // dport
+        if is_udp {
+            regions.push((l4 + 6, l4 + 8, 0)); // UDP checksum (cleared)
+        }
+    }
+    if is_tcp && before.len() >= l4 + 18 {
+        regions.push((l4 + 16, l4 + 18, 1)); // TCP checksum
+    }
+
+    let mut ops = Vec::new();
+    let mut covered = vec![false; before.len()];
+    let mut nat_rewrite = false;
+    for &(start, end, kind) in &regions {
+        for c in &mut covered[start..end] {
+            *c = true;
+        }
+        if before[start..end] == after[start..end] {
+            continue;
+        }
+        if start >= l3 + 12 {
+            // An address or port changed (NAT/ipvs rewrite).
+            nat_rewrite = true;
+        }
+        match kind {
+            0 => ops.push(RewriteOp::Set {
+                off: start,
+                bytes: after[start..end].to_vec(),
+            }),
+            _ => ops.push(RewriteOp::CsumAdd {
+                off: start,
+                delta: csum_delta(word(before, start), word(after, start)),
+            }),
+        }
+    }
+    // Any difference outside the allowed regions is uncacheable.
+    for (i, c) in covered.iter().enumerate() {
+        if !c && before[i] != after[i] {
+            return None;
+        }
+    }
+    // The fast path clears the UDP checksum on any address/port change.
+    // If the recorded packet's checksum was already zero the diff shows
+    // nothing, but later packets of the flow may carry nonzero checksums
+    // (payload varies), so the clear must be recorded unconditionally.
+    if is_udp && nat_rewrite && before.len() >= l4 + 8 {
+        let clear = RewriteOp::Set {
+            off: l4 + 6,
+            bytes: vec![0, 0],
+        };
+        if !ops.contains(&clear) {
+            ops.retain(|op| !matches!(op, RewriteOp::Set { off, .. } if *off == l4 + 6));
+            ops.push(clear);
+        }
+    }
+    Some(ops)
+}
 
 /// Which IPv4/L4 fields to rewrite. `None` fields are left alone; a
 /// `Some` equal to the current value is a no-op that still counts as a
@@ -181,6 +332,133 @@ mod tests {
         scratch[11] = 0;
         let full = checksum(&scratch);
         assert_eq!(word(&frame, l3 + 10), full);
+    }
+
+    fn udp_frame_with(src: Ipv4Addr, sport: u16, payload: &[u8]) -> Vec<u8> {
+        builder::udp_packet(
+            MacAddr::new([2, 0, 0, 0, 0, 1]),
+            MacAddr::new([2, 0, 0, 0, 0, 2]),
+            src,
+            Ipv4Addr::new(8, 8, 8, 8),
+            sport,
+            53,
+            payload,
+        )
+    }
+
+    #[test]
+    fn derived_ops_replay_a_nat_rewrite_on_sibling_packets() {
+        // Record a source-NAT rewrite on one packet...
+        let (before, l3) = udp_frame();
+        let mut after = before.clone();
+        rewrite_ipv4(
+            &mut after,
+            l3,
+            &FieldRewrite {
+                src: Some(Ipv4Addr::new(198, 51, 100, 1)),
+                sport: Some(32768),
+                ..FieldRewrite::default()
+            },
+        );
+        let ops = derive_ops(&before, &after, l3).expect("nat rewrite is replayable");
+
+        // ...replaying on the recorded packet reproduces it exactly...
+        let mut replay = before.clone();
+        apply_ops(&mut replay, &ops);
+        assert_eq!(replay, after);
+
+        // ...and replaying on a *different* packet of the same flow (same
+        // headers, different payload, hence different UDP checksum)
+        // matches what the rewrite itself would have produced.
+        let mut sibling = udp_frame_with(Ipv4Addr::new(192, 168, 1, 10), 40000, b"other");
+        let mut expected = sibling.clone();
+        rewrite_ipv4(
+            &mut expected,
+            l3,
+            &FieldRewrite {
+                src: Some(Ipv4Addr::new(198, 51, 100, 1)),
+                sport: Some(32768),
+                ..FieldRewrite::default()
+            },
+        );
+        apply_ops(&mut sibling, &ops);
+        assert_eq!(sibling, expected);
+    }
+
+    #[test]
+    fn derived_csum_delta_is_flow_constant() {
+        // A TTL decrement's IP-checksum delta must replay correctly on a
+        // packet whose IPv4 id (and therefore checksum) differs.
+        let (before, l3) = udp_frame();
+        let mut after = before.clone();
+        after[l3 + 8] -= 1; // TTL 64 -> 63
+        let csum = word(&after, l3 + 10);
+        let fixed = incremental_update_u16(csum, word(&before, l3 + 8), word(&after, l3 + 8));
+        after[l3 + 10..l3 + 12].copy_from_slice(&fixed.to_be_bytes());
+        let ops = derive_ops(&before, &after, l3).unwrap();
+
+        // Sibling: same flow, different IPv4 id -> different base csum.
+        let mut sibling = before.clone();
+        sibling[l3 + 4..l3 + 6].copy_from_slice(&0x1234u16.to_be_bytes());
+        let id_fixed =
+            incremental_update_u16(word(&sibling, l3 + 10), word(&before, l3 + 4), 0x1234);
+        sibling[l3 + 10..l3 + 12].copy_from_slice(&id_fixed.to_be_bytes());
+
+        let mut expected = sibling.clone();
+        expected[l3 + 8] -= 1;
+        let ecs = incremental_update_u16(
+            word(&sibling, l3 + 10),
+            word(&sibling, l3 + 8),
+            word(&expected, l3 + 8),
+        );
+        expected[l3 + 10..l3 + 12].copy_from_slice(&ecs.to_be_bytes());
+
+        apply_ops(&mut sibling, &ops);
+        assert_eq!(sibling, expected);
+    }
+
+    #[test]
+    fn udp_checksum_clear_is_recorded_even_when_already_zero() {
+        // The recorded packet happens to carry a zero UDP checksum, so
+        // the before/after diff alone would not show the clear; the ops
+        // must still zero the checksum of later packets.
+        let (mut before, l3) = udp_frame();
+        let l4 = l3 + 20;
+        before[l4 + 6] = 0;
+        before[l4 + 7] = 0;
+        let mut after = before.clone();
+        rewrite_ipv4(
+            &mut after,
+            l3,
+            &FieldRewrite {
+                sport: Some(32768),
+                ..FieldRewrite::default()
+            },
+        );
+        let ops = derive_ops(&before, &after, l3).unwrap();
+        let mut sibling = udp_frame().0; // nonzero UDP checksum
+        apply_ops(&mut sibling, &ops);
+        assert_eq!(&sibling[l4 + 6..l4 + 8], &[0, 0]);
+        assert_eq!(&sibling[l4..l4 + 2], &32768u16.to_be_bytes());
+    }
+
+    #[test]
+    fn payload_changes_are_not_replayable() {
+        let (before, l3) = udp_frame();
+        let mut after = before.clone();
+        let last = after.len() - 1;
+        after[last] ^= 0xFF;
+        assert_eq!(derive_ops(&before, &after, l3), None);
+        // Length changes are likewise uncacheable.
+        let mut longer = before.clone();
+        longer.push(0);
+        assert_eq!(derive_ops(&before, &longer, l3), None);
+    }
+
+    #[test]
+    fn identity_diff_yields_empty_ops() {
+        let (frame, l3) = udp_frame();
+        assert_eq!(derive_ops(&frame, &frame, l3), Some(Vec::new()));
     }
 
     #[test]

@@ -128,6 +128,12 @@ pub struct CostModel {
     // ---- eBPF runtime ----
     /// Interpreting one eBPF instruction.
     pub ebpf_insn_ns: f64,
+    /// One microflow verdict-cache hit on the dispatcher path: exact-match
+    /// flow-key hash lookup plus replay of the recorded header rewrite.
+    /// Calibrated well under the synthesized forwarding program (~334 ns
+    /// of interpretation + helper time) that a hit elides, and in the
+    /// ballpark of an OVS-style exact-match microflow cache probe.
+    pub flowcache_hit_ns: f64,
     /// One tail call (program-array dereference + context reset). Calibrated
     /// to ≈ 1 % of the forwarding data path, matching paper Fig. 10's
     /// "about one percent per added function".
@@ -288,6 +294,7 @@ impl CostModel {
             icmp_error_ns: 240.0,
 
             ebpf_insn_ns: 1.0,
+            flowcache_hit_ns: 85.0,
             tail_call_ns: 5.7,
             helper_fib_lookup_ns: 215.0,
             helper_fdb_lookup_ns: 205.0,

@@ -49,12 +49,36 @@ pub fn throughput_pps_burst(
     frame_len: u32,
     burst: usize,
 ) -> ThroughputPoint {
+    throughput_pps_burst_from(platform, scenario, dut_mac, cores, frame_len, burst, &mut 0)
+}
+
+/// The sweep-aware measurement primitive: generates flows starting at
+/// `*flow_base` and advances it past the flows consumed. Sweeps that
+/// revisit the *same* platform must thread one counter through every
+/// point, the way a real Pktgen run keeps one monotone flow sequence —
+/// restarting at zero would replay flows from earlier points and measure
+/// LinuxFP's microflow verdict cache instead of the datapath under test.
+fn throughput_pps_burst_from(
+    platform: &mut dyn Platform,
+    scenario: Scenario,
+    dut_mac: linuxfp_packet::MacAddr,
+    cores: u32,
+    frame_len: u32,
+    burst: usize,
+    flow_base: &mut u64,
+) -> ThroughputPoint {
     let on_wire_len = frame_len.max(64);
     let handed_len = (on_wire_len - 4) as usize;
+    let base = *flow_base;
+    let mut used = 0u64;
     let service_ns = platform.service_time_ns_batched(
-        &mut |i, buf| scenario.fill_frame(dut_mac, i, handed_len, buf),
+        &mut |i, buf| {
+            used = used.max(i + 1);
+            scenario.fill_frame(dut_mac, base + i, handed_len, buf)
+        },
         burst,
     );
+    *flow_base = base + used;
     let cost = CostModel::calibrated();
     let model = CoreModel::new(&cost);
     let pps = model.throughput_pps_capped(service_ns, cores, on_wire_len);
@@ -67,46 +91,53 @@ pub fn throughput_pps_burst(
     }
 }
 
-/// Sweeps core counts at minimum frame size (paper Figs. 5 and 7).
+/// Sweeps core counts at minimum frame size (paper Figs. 5 and 7). One
+/// monotone flow sequence spans the whole sweep (see
+/// [`throughput_pps_burst_from`]).
 pub fn sweep_cores(
     platform: &mut dyn Platform,
     scenario: Scenario,
     dut_mac: linuxfp_packet::MacAddr,
     max_cores: u32,
 ) -> Vec<ThroughputPoint> {
+    let mut flow_base = 0u64;
     (1..=max_cores)
-        .map(|c| throughput_pps(platform, scenario, dut_mac, c, 64))
+        .map(|c| throughput_pps_burst_from(platform, scenario, dut_mac, c, 64, 1, &mut flow_base))
         .collect()
 }
 
-/// Sweeps frame sizes on one core (paper Fig. 6).
+/// Sweeps frame sizes on one core (paper Fig. 6), one monotone flow
+/// sequence across the sizes.
 pub fn sweep_packet_sizes(
     platform: &mut dyn Platform,
     scenario: Scenario,
     dut_mac: linuxfp_packet::MacAddr,
     sizes: &[u32],
 ) -> Vec<ThroughputPoint> {
+    let mut flow_base = 0u64;
     sizes
         .iter()
-        .map(|s| throughput_pps(platform, scenario, dut_mac, 1, *s))
+        .map(|s| throughput_pps_burst_from(platform, scenario, dut_mac, 1, *s, 1, &mut flow_base))
         .collect()
 }
 
 /// Sweeps NAPI burst sizes at minimum frame size on one core: the
 /// batch-size dimension of the evaluation. Returns `(burst, point)`
-/// pairs in the order given.
+/// pairs in the order given. One monotone flow sequence spans the whole
+/// sweep.
 pub fn sweep_batch_sizes(
     platform: &mut dyn Platform,
     scenario: Scenario,
     dut_mac: linuxfp_packet::MacAddr,
     bursts: &[usize],
 ) -> Vec<(usize, ThroughputPoint)> {
+    let mut flow_base = 0u64;
     bursts
         .iter()
         .map(|&b| {
             (
                 b,
-                throughput_pps_burst(platform, scenario, dut_mac, 1, 64, b),
+                throughput_pps_burst_from(platform, scenario, dut_mac, 1, 64, b, &mut flow_base),
             )
         })
         .collect()
@@ -167,8 +198,11 @@ mod tests {
                 w[0].1.service_ns
             );
         }
-        // Burst of one is the historical per-packet measurement.
-        let single = throughput_pps(&mut lfp, s, mac, 1, 64);
+        // Burst of one is the historical per-packet measurement — on a
+        // fresh (identically seeded) platform, since re-measuring the
+        // swept one would replay flows its verdict cache already holds.
+        let mut fresh = LinuxFpPlatform::new(s);
+        let single = throughput_pps(&mut fresh, s, mac, 1, 64);
         assert!((points[0].1.service_ns - single.service_ns).abs() < 1e-9);
     }
 

@@ -59,6 +59,17 @@ fn draw(round: usize, reg: &Registry) {
         slow.join(" "),
         reg.counter_total("linuxfp_drops_total"),
     );
+    let fc_hits = reg.counter_total("linuxfp_flowcache_hits_total");
+    let fc_misses = reg.counter_total("linuxfp_flowcache_misses_total");
+    let fc_total = fc_hits + fc_misses;
+    if fc_total > 0 {
+        println!(
+            "flow cache: hits={fc_hits} misses={fc_misses} hit%={:.1} invalidations={} evictions={}",
+            100.0 * fc_hits as f64 / fc_total as f64,
+            reg.counter_total("linuxfp_flowcache_invalidations_total"),
+            reg.counter_total("linuxfp_flowcache_evictions_total"),
+        );
+    }
     let reconcile = reg.histogram("linuxfp_reconcile_seconds", &[], Scale::NanosToSeconds);
     if reconcile.count() > 0 {
         println!(
@@ -131,6 +142,16 @@ fn main() {
         hits + fallbacks,
         injected,
         "no packet lost or double-counted"
+    );
+    // One level down, the microflow verdict cache keeps the same ledger:
+    // every hook-entered packet either hit the cache or counted a miss.
+    let fc_hits = registry.counter_total("linuxfp_flowcache_hits_total");
+    let fc_misses = registry.counter_total("linuxfp_flowcache_misses_total");
+    println!("flow cache:   {fc_hits} hits + {fc_misses} misses = {injected} injected");
+    assert_eq!(
+        fc_hits + fc_misses,
+        injected,
+        "flow-cache ledger must balance"
     );
 
     println!("\nrecent control-plane events:");

@@ -37,6 +37,25 @@ cargo run -q -p linuxfp-bench --bin repro --release -- batch_sweep \
     END { if (!found) { print "FAIL: LinuxFP row not found in batch_sweep"; exit 1 } }
   '
 
+echo "==> bench smoke: flow cache (steady >=20% under 487 ns/pkt; churn-heavy never slower)"
+cargo run -q -p linuxfp-bench --bin repro --release -- flow_cache \
+  | awk '
+    /steady single flow/ { on = $(NF-1) }
+    /churn-heavy/        { coff = $(NF-2); con = $(NF-1) }
+    END {
+      if (on == "" || coff == "") { print "FAIL: flow_cache rows not found"; exit 1 }
+      if (on + 0 > 487 * 0.8) {
+        printf "FAIL: steady cache-on %s ns/pkt is not 20%% under the 487 ns/pkt baseline\n", on
+        exit 1
+      }
+      if (con + 0 > coff + 0) {
+        printf "FAIL: churn-heavy cache-on %s ns/pkt > cache-off %s ns/pkt\n", con, coff
+        exit 1
+      }
+      printf "ok: steady %s ns/pkt with the cache on; churn-heavy %s vs %s off\n", on, con, coff
+    }
+  '
+
 echo "==> difftest: corpus replay + 200-seed differential sweep"
 cargo run -q -p linuxfp-difftest --bin difftest --release -- \
   replay tests/difftest_corpus/*.json

@@ -135,6 +135,14 @@ fn mixed_traffic_conserves_packets_per_fpm() {
     assert_eq!(total, injected.values().sum::<u64>());
     assert_eq!(hits + fallbacks, total, "packet lost or double-counted");
 
+    // The microflow verdict cache keeps the same ledger one level down:
+    // every packet that entered a dispatcher hook either hit the cache or
+    // was counted a miss (ineligible packets included), so hits + misses
+    // must also equal the injected count.
+    let fc_hits = registry.counter_total("linuxfp_flowcache_hits_total");
+    let fc_misses = registry.counter_total("linuxfp_flowcache_misses_total");
+    assert_eq!(fc_hits + fc_misses, total, "flow-cache ledger must balance");
+
     // The layers below agree: VM verdicts sum to the hook decisions, and
     // the verifier accepted every deployed program.
     assert_eq!(registry.counter_total("linuxfp_vm_verdicts_total"), total);
