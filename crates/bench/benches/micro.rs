@@ -229,19 +229,43 @@ fn bench_telemetry_overhead() {
     let mac_on = on.dut_mac();
     let frame_on = s.frame(mac_on, 1, 60);
 
-    let (mut best_off, mut best_on) = (f64::MAX, f64::MAX);
+    // Third lane: counters *and* the flight recorder at 1-in-64 — the
+    // sampled tracing must fit inside the same 5% budget.
+    let traced_registry = Registry::new();
+    let mut traced = LinuxFpPlatform::with_telemetry(s, HookPoint::Xdp, traced_registry);
+    let mac_traced = traced.dut_mac();
+    let frame_traced = s.frame(mac_traced, 1, 60);
+    let ring = traced.kernel_mut().enable_flight_recorder(1024, 64);
+
+    let (mut best_off, mut best_on, mut best_traced) = (f64::MAX, f64::MAX, f64::MAX);
     for _ in 0..3 {
         best_off = best_off.min(time_ns(|| off.process(frame_off.clone())));
         best_on = best_on.min(time_ns(|| on.process(frame_on.clone())));
+        best_traced = best_traced.min(time_ns(|| traced.process(frame_traced.clone())));
     }
     report("fastpath_forward_telemetry_off", best_off);
     report("fastpath_forward_telemetry_on", best_on);
+    report("fastpath_forward_trace_1in64", best_traced);
     let overhead = (best_on - best_off) / best_off * 100.0;
     let verdict = if overhead <= 5.0 { "within" } else { "OVER" };
     println!("telemetry overhead: {overhead:+.2}% ({verdict} the 5% budget)");
+    let trace_overhead = (best_traced - best_off) / best_off * 100.0;
+    let trace_verdict = if trace_overhead <= 5.0 {
+        "within"
+    } else {
+        "OVER"
+    };
+    println!(
+        "telemetry overhead (trace 1-in-64): {trace_overhead:+.2}% \
+         ({trace_verdict} the 5% budget)"
+    );
     assert!(
         registry.counter_total("linuxfp_fp_hits_total") > 0,
         "instrumented run must actually count packets"
+    );
+    assert!(
+        ring.total_pushed() > 0,
+        "1-in-64 sampling must have recorded spans"
     );
 }
 

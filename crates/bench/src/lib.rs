@@ -32,6 +32,7 @@ pub mod flow_cache;
 pub mod hooks;
 pub mod pods;
 pub mod table;
+pub mod trace;
 pub mod vnf;
 
 pub use table::ExperimentTable;
@@ -57,6 +58,7 @@ pub fn run_experiment(id: &str) -> Option<ExperimentTable> {
         "ablation_minimal" => ablations::ablation_minimality(),
         "batch_sweep" => batch::batch_sweep(),
         "flow_cache" => flow_cache::flow_cache_experiment(),
+        "trace_breakdown" => trace::trace_breakdown_experiment(),
         _ => return None,
     })
 }
@@ -82,6 +84,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ablation_minimal",
     "batch_sweep",
     "flow_cache",
+    "trace_breakdown",
 ];
 
 #[cfg(test)]
@@ -97,6 +100,6 @@ mod tests {
             assert!(!t.rows.is_empty(), "{id} produced no rows");
         }
         assert!(run_experiment("fig99").is_none());
-        assert_eq!(ALL_EXPERIMENTS.len(), 18);
+        assert_eq!(ALL_EXPERIMENTS.len(), 19);
     }
 }

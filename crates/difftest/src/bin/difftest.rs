@@ -57,14 +57,26 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 minimal.ops.len(),
                 scenario.ops.len()
             );
+            // Re-run the minimal repro with the flight recorder forced
+            // on and embed the diverging packet's trace (both kernels)
+            // in the fixture, so the repro explains itself.
+            let trace = linuxfp_difftest::run(&minimal)
+                .divergence
+                .as_ref()
+                .and_then(|d| linuxfp_difftest::divergence_trace(&minimal, d));
+            let mut doc = minimal.to_json_value();
+            if let (Some(t), linuxfp_json::Value::Object(obj)) = (trace, &mut doc) {
+                obj.insert("trace".to_string(), t);
+            }
+            let fixture = linuxfp_json::to_string_pretty(&doc);
             if let Some(dir) = corpus {
                 let path = format!("{dir}/{}.json", minimal.name);
-                match std::fs::write(&path, minimal.to_json()) {
+                match std::fs::write(&path, &fixture) {
                     Ok(()) => eprintln!("  wrote fixture {path}"),
                     Err(e) => eprintln!("  failed to write fixture {path}: {e}"),
                 }
             } else {
-                eprintln!("  minimal repro:\n{}", minimal.to_json());
+                eprintln!("  minimal repro:\n{fixture}");
             }
         }
     }

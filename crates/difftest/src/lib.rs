@@ -23,6 +23,6 @@ pub mod scenario;
 pub mod shrink;
 
 pub use gen::generate;
-pub use runner::{run, Divergence, RunOutcome};
+pub use runner::{divergence_trace, run, trace_scenario, Divergence, RunOutcome};
 pub use scenario::{ChurnOp, DiffScenario, Dir, Op, PacketSpec};
 pub use shrink::shrink;

@@ -8,6 +8,7 @@
 //! during a steady-state replay of the traffic.
 
 use crate::scenario::{ChurnOp, DiffScenario, Dir, Op, PacketSpec};
+use linuxfp_json::Value;
 use linuxfp_netstack::device::IfIndex;
 use linuxfp_netstack::ipvs::Scheduler;
 use linuxfp_netstack::nat::{NatChain, NatRule, NatTarget};
@@ -19,6 +20,7 @@ use linuxfp_packet::{builder, Batch, BufferPool, MacAddr};
 use linuxfp_platforms::scenario::{Scenario, NEXT_HOP, SINK_MAC, SOURCE_MAC};
 use linuxfp_platforms::{LinuxFpPlatform, LinuxPlatform};
 use linuxfp_sim::Nanos;
+use linuxfp_telemetry::trace::TraceRing;
 use linuxfp_telemetry::Registry;
 use std::net::Ipv4Addr;
 
@@ -40,6 +42,10 @@ pub struct Divergence {
     /// Short machine-readable class: `output`, `housekeeping`, `ledger`,
     /// `pool-growth`.
     pub kind: &'static str,
+    /// Whether the divergence appeared during the steady-state replay
+    /// pass (bursts only, configuration frozen) rather than the first
+    /// full pass.
+    pub steady: bool,
     /// Human-readable explanation.
     pub detail: String,
 }
@@ -437,6 +443,7 @@ pub fn run(ds: &DiffScenario) -> RunOutcome {
                     return Some(Divergence {
                         op: op_index,
                         kind: "output",
+                        steady: bursts_only,
                         detail: format!("{}{pass}", summarize_mismatch(&expect, &got)),
                     });
                 }
@@ -462,6 +469,7 @@ pub fn run(ds: &DiffScenario) -> RunOutcome {
                     return Some(Divergence {
                         op: op_index,
                         kind: "housekeeping",
+                        steady: false,
                         detail: format!("linux {a:?} vs linuxfp {b:?}"),
                     });
                 }
@@ -506,6 +514,7 @@ pub fn run(ds: &DiffScenario) -> RunOutcome {
             divergence: Some(Divergence {
                 op: ds.ops.len(),
                 kind: "pool-growth",
+                steady: false,
                 detail: format!(
                     "buffer pool grew after warm-up: linux +{grown_l}, linuxfp +{grown_f}"
                 ),
@@ -524,6 +533,7 @@ pub fn run(ds: &DiffScenario) -> RunOutcome {
             divergence: Some(Divergence {
                 op: ds.ops.len(),
                 kind: "ledger",
+                steady: false,
                 detail: format!(
                     "hits {hits} + fallbacks {fallbacks} != injected {injected} \
                      (expected {packets})"
@@ -544,6 +554,7 @@ pub fn run(ds: &DiffScenario) -> RunOutcome {
             divergence: Some(Divergence {
                 op: ds.ops.len(),
                 kind: "ledger",
+                steady: false,
                 detail: format!(
                     "flowcache hits {fc_hits} + misses {fc_misses} != injected {injected}"
                 ),
@@ -555,6 +566,176 @@ pub fn run(ds: &DiffScenario) -> RunOutcome {
         packets,
         divergence: None,
     }
+}
+
+/// Replays `ds` with the flight recorder forced to 1-in-1 sampling on
+/// *both* kernels and returns the per-packet trace of the first packet
+/// whose solo behavior differs in the diverging burst — the span pair
+/// explains *where* in the datapath the two kernels parted ways, not
+/// just that they did.
+///
+/// Only `output` divergences have a meaningful per-packet trace;
+/// anything else (ledger, pool growth, housekeeping) returns `None`.
+/// The returned JSON is embedded in shrunk repro fixtures under a
+/// `trace` key, which [`DiffScenario::from_json`] ignores on replay.
+pub fn divergence_trace(ds: &DiffScenario, div: &Divergence) -> Option<Value> {
+    if div.kind != "output" || div.op >= ds.ops.len() {
+        return None;
+    }
+    let registry = Registry::new();
+    let mut linux = LinuxPlatform::new(ds.base);
+    let mut lfp = LinuxFpPlatform::with_telemetry(ds.base, ds.hook, registry.clone());
+    let ring_l = linux.kernel_mut().enable_flight_recorder(4096, 1);
+    let ring_f = lfp.kernel_mut().enable_flight_recorder(4096, 1);
+
+    let (up_l, down_l) = interfaces(linux.kernel_mut());
+    let (up_f, down_f) = interfaces(lfp.kernel_mut());
+    let up_mac = linux.dut_mac();
+    let down_mac = linux.kernel_mut().device(down_l).expect("down").mac;
+    configure_extras(linux.kernel_mut(), ds, up_l, down_l);
+    configure_extras(lfp.kernel_mut(), ds, up_f, down_f);
+    lfp.poll_controller();
+
+    let side_l = Side {
+        pool: BufferPool::new(),
+        up: up_l,
+        down: down_l,
+    };
+    let side_f = Side {
+        pool: BufferPool::new(),
+        up: up_f,
+        down: down_f,
+    };
+
+    let replay = |linux: &mut LinuxPlatform,
+                  lfp: &mut LinuxFpPlatform,
+                  op_index: usize,
+                  op: &Op,
+                  bursts_only: bool|
+     -> Option<Value> {
+        match op {
+            Op::Burst {
+                dir,
+                packets: specs,
+            } => {
+                let frames: Vec<Vec<u8>> = specs
+                    .iter()
+                    .map(|s| build_frame(s, &ds.base, up_mac, down_mac))
+                    .collect();
+                let out_l = side_l.inject(linux.kernel_mut(), *dir, &frames);
+                let out_f = side_f.inject(lfp.kernel_mut(), *dir, &frames);
+                if op_index == div.op && bursts_only == div.steady {
+                    // The first packet whose *solo* observation differs;
+                    // if the burst only diverges in aggregate (e.g. a
+                    // reordering), fall back to its first packet.
+                    let packet = out_l
+                        .iter()
+                        .zip(&out_f)
+                        .position(|(a, b)| {
+                            observe(std::iter::once(a)) != observe(std::iter::once(b))
+                        })
+                        .unwrap_or(0);
+                    // With 1-in-1 sampling every injected packet pushed
+                    // exactly one span, so the burst occupies the last
+                    // `frames.len()` slots of each ring.
+                    let span_json = |ring: &TraceRing| -> Value {
+                        let spans = ring.recent();
+                        spans
+                            .get(spans.len().saturating_sub(frames.len()) + packet)
+                            .map(|s| s.to_json())
+                            .unwrap_or(Value::Null)
+                    };
+                    let mut doc = linuxfp_json::Map::new();
+                    doc.insert("op".to_string(), Value::from(div.op as u64));
+                    doc.insert("steady".to_string(), Value::from(div.steady));
+                    doc.insert("packet".to_string(), Value::from(packet as u64));
+                    doc.insert("linux".to_string(), span_json(&ring_l));
+                    doc.insert("linuxfp".to_string(), span_json(&ring_f));
+                    return Some(Value::Object(doc));
+                }
+            }
+            Op::Churn(c) if !bursts_only => {
+                apply_churn(linux.kernel_mut(), c, &ds.base, down_l);
+                apply_churn(lfp.kernel_mut(), c, &ds.base, down_f);
+                lfp.poll_controller();
+            }
+            Op::Advance { ns } if !bursts_only => {
+                linux.kernel_mut().advance(Nanos::from_nanos(*ns));
+                lfp.kernel_mut().advance(Nanos::from_nanos(*ns));
+                warm_neighbors(linux.kernel_mut(), ds, up_l, down_l);
+                warm_neighbors(lfp.kernel_mut(), ds, up_f, down_f);
+            }
+            Op::Housekeeping if !bursts_only => {
+                linux.kernel_mut().run_housekeeping();
+                lfp.kernel_mut().run_housekeeping();
+            }
+            _ => {}
+        }
+        None
+    };
+
+    for (i, op) in ds.ops.iter().enumerate() {
+        if let Some(v) = replay(&mut linux, &mut lfp, i, op, false) {
+            return Some(v);
+        }
+    }
+    if div.steady {
+        warm_neighbors(linux.kernel_mut(), ds, up_l, down_l);
+        warm_neighbors(lfp.kernel_mut(), ds, up_f, down_f);
+        for (i, op) in ds.ops.iter().enumerate() {
+            if let Some(v) = replay(&mut linux, &mut lfp, i, op, true) {
+                return Some(v);
+            }
+        }
+    }
+    None
+}
+
+/// Replays the scenario on the accelerated (LinuxFP) kernel alone with
+/// the flight recorder at 1-in-`every` sampling and returns every span
+/// it records, in arrival order. This is the `linuxfp_trace` explain
+/// path: any corpus fixture can be turned into per-packet traces
+/// without touching the comparison machinery.
+pub fn trace_scenario(ds: &DiffScenario, every: u64) -> Vec<linuxfp_telemetry::trace::TraceSpan> {
+    let registry = Registry::new();
+    let mut lfp = LinuxFpPlatform::with_telemetry(ds.base, ds.hook, registry);
+    let ring = lfp.kernel_mut().enable_flight_recorder(65536, every.max(1));
+    let (up_f, down_f) = interfaces(lfp.kernel_mut());
+    let up_mac = lfp.dut_mac();
+    let down_mac = lfp.kernel_mut().device(down_f).expect("down").mac;
+    configure_extras(lfp.kernel_mut(), ds, up_f, down_f);
+    lfp.poll_controller();
+    let side = Side {
+        pool: BufferPool::new(),
+        up: up_f,
+        down: down_f,
+    };
+    for op in &ds.ops {
+        match op {
+            Op::Burst {
+                dir,
+                packets: specs,
+            } => {
+                let frames: Vec<Vec<u8>> = specs
+                    .iter()
+                    .map(|s| build_frame(s, &ds.base, up_mac, down_mac))
+                    .collect();
+                side.inject(lfp.kernel_mut(), *dir, &frames);
+            }
+            Op::Churn(c) => {
+                apply_churn(lfp.kernel_mut(), c, &ds.base, down_f);
+                lfp.poll_controller();
+            }
+            Op::Advance { ns } => {
+                lfp.kernel_mut().advance(Nanos::from_nanos(*ns));
+                warm_neighbors(lfp.kernel_mut(), ds, up_f, down_f);
+            }
+            Op::Housekeeping => {
+                lfp.kernel_mut().run_housekeeping();
+            }
+        }
+    }
+    ring.recent()
 }
 
 /// Re-learns every neighbor the scenario ever resolved, at the current

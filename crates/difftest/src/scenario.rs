@@ -243,6 +243,14 @@ fn churn_json(c: &ChurnOp) -> Value {
 impl DiffScenario {
     /// Renders the scenario as a pretty-printed JSON fixture.
     pub fn to_json(&self) -> String {
+        linuxfp_json::to_string_pretty(&self.to_json_value())
+    }
+
+    /// The fixture document as a JSON value, for callers that attach
+    /// extra keys (e.g. the `trace` of a captured divergence) before
+    /// serializing. [`DiffScenario::from_json`] ignores unknown keys, so
+    /// decorated fixtures still round-trip.
+    pub fn to_json_value(&self) -> Value {
         let ops: Vec<Value> = self
             .ops
             .iter()
@@ -270,7 +278,7 @@ impl DiffScenario {
             "dnat": self.dnat,
             "ops": ops,
         });
-        linuxfp_json::to_string_pretty(&doc)
+        doc
     }
 
     /// Parses a fixture produced by [`DiffScenario::to_json`].

@@ -522,6 +522,14 @@ impl FlowCache {
         self.entries.is_empty()
     }
 
+    /// The combined coherence generation the current entries are valid
+    /// under. A lookup under a different generation will flush first —
+    /// comparing this *before* the lookup distinguishes an invalidation
+    /// miss from a cold miss.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Lifetime counters: `(hits, misses, invalidations, evictions)`.
     pub fn stats(&self) -> (u64, u64, u64, u64) {
         (self.hits, self.misses, self.invalidations, self.evictions)

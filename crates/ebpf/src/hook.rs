@@ -20,6 +20,7 @@ use linuxfp_netstack::stack::{HookFn, HookVerdict, Kernel};
 use linuxfp_netstack::NetError;
 use linuxfp_packet::{rewrite, EthernetFrame};
 use linuxfp_sim::CostTracker;
+use linuxfp_telemetry::trace::{FlowCacheOutcome, PuntReason, TraceEvent};
 use linuxfp_telemetry::{Counter, Registry};
 use std::sync::{Arc, Mutex};
 
@@ -197,7 +198,11 @@ fn hook_fn_inner(
 ) -> HookFn {
     let batch_cache: BatchCacheCell = Arc::new(Mutex::new(None));
     let flow_cache = Arc::new(Mutex::new(FlowCache::new(flowcache::DEFAULT_CAPACITY)));
-    Arc::new(move |kernel: &mut Kernel, packet, tracker| {
+    let hook_name = match hook {
+        HookPoint::Xdp => "xdp",
+        HookPoint::Tc => "tc",
+    };
+    Arc::new(move |kernel: &mut Kernel, packet, tracker, trace| {
         let cost = kernel.cost_model_arc();
         // The one coherence number both caches key on: any kernel state
         // mutation, time advance, or data-path swap changes it.
@@ -224,12 +229,24 @@ fn hook_fn_inner(
                     fc.wire_telemetry(&t.registry);
                 }
             }
+            // Compared *before* lookup (which flushes lazily on a
+            // generation change) to tell an invalidation miss from a
+            // cold one; only the sampled path pays the reads.
+            let invalidated = trace.enabled() && !fc.is_empty() && fc.generation() != gen;
             if let Some(k) = &key {
                 if let Some(entry) = fc.lookup(gen, k) {
                     drop(fc);
                     rewrite::apply_ops(&mut packet.data, &entry.ops);
                     flowcache::replay_touches(&entry.touches, kernel);
                     tracker.charge("flowcache_hit", cost.flowcache_hit_ns);
+                    trace.event(|| TraceEvent::FlowCache {
+                        outcome: FlowCacheOutcome::Hit,
+                    });
+                    if matches!(entry.verdict, HookVerdict::Pass) {
+                        trace.event(|| TraceEvent::Punt {
+                            reason: PuntReason::CachedPass,
+                        });
+                    }
                     if let Some(t) = telemetry.lock().unwrap().as_ref() {
                         t.stats.record_cached(&entry.verdict);
                     }
@@ -237,6 +254,19 @@ fn hook_fn_inner(
                 }
             }
             fc.note_miss();
+            trace.event(|| TraceEvent::FlowCache {
+                outcome: if key.is_none() {
+                    FlowCacheOutcome::MissIneligible
+                } else if invalidated {
+                    FlowCacheOutcome::MissInvalidated
+                } else {
+                    FlowCacheOutcome::MissCold
+                },
+            });
+        } else if dispatch.is_some() {
+            trace.event(|| TraceEvent::FlowCache {
+                outcome: FlowCacheOutcome::MissDisabled,
+            });
         }
 
         // ---- miss: interpret (recording helper touches) --------------
@@ -260,35 +290,49 @@ fn hook_fn_inner(
                 .map(|c| c.resolved.clone())
         });
         let interp_start = tracker.total_ns();
-        let run = |env: &mut dyn HelperEnv, tracker: &mut CostTracker| -> (VmOutcome, bool) {
+        // Resolving a human-readable program name is only worth the
+        // String when this packet is sampled.
+        let traced = trace.enabled();
+        // (outcome, cacheable, traced program name, dispatcher slot empty)
+        let run = |env: &mut dyn HelperEnv,
+                   tracker: &mut CostTracker|
+         -> (VmOutcome, bool, Option<String>, bool) {
             match cached {
                 Some(resolved) => {
                     let cacheable = resolved.cacheable();
+                    let name = traced.then(|| resolved.name().to_string());
                     (
                         vm::run(&resolved, ctx, env, &maps, &cost, tracker),
                         cacheable,
+                        name,
+                        false,
                     )
                 }
                 None => {
                     let out = vm::run(&prog, ctx, env, &maps, &cost, tracker);
                     let resolved = dispatch.and_then(|(pa, slot)| maps.prog_array_get(pa, slot));
+                    let slot_empty = dispatch.is_some() && resolved.is_none();
+                    let name = traced.then(|| match &resolved {
+                        Some(r) => r.name().to_string(),
+                        None => prog.name().to_string(),
+                    });
                     let cacheable =
                         prog.cacheable() && resolved.as_ref().is_none_or(|r| r.cacheable());
                     if dispatch.is_some() {
                         *batch_cache.lock().unwrap() =
                             resolved.map(|resolved| BatchCache { gen, resolved });
                     }
-                    (out, cacheable)
+                    (out, cacheable, name, slot_empty)
                 }
             }
         };
-        let (out, ran_cacheable, touches) = if record_candidate {
+        let (out, ran_cacheable, prog_name, slot_empty, touches) = if record_candidate {
             let mut rec = flowcache::RecordingEnv::new(kernel);
-            let (out, cacheable) = run(&mut rec, tracker);
-            (out, cacheable, rec.into_touches())
+            let (out, cacheable, name, slot_empty) = run(&mut rec, tracker);
+            (out, cacheable, name, slot_empty, rec.into_touches())
         } else {
-            let (out, cacheable) = run(&mut *kernel, tracker);
-            (out, cacheable, Vec::new())
+            let (out, cacheable, name, slot_empty) = run(&mut *kernel, tracker);
+            (out, cacheable, name, slot_empty, Vec::new())
         };
         let interp_ns = tracker.total_ns() - interp_start;
         let verdict = match out.action {
@@ -305,6 +349,29 @@ fn hook_fn_inner(
                 None => HookVerdict::Drop,
             },
         };
+        trace.event(|| TraceEvent::Vm {
+            program: prog_name.unwrap_or_default(),
+            hook: hook_name,
+            insns: out.insns_executed,
+            helpers: out.helper_calls,
+            tail_calls: out.tail_calls,
+            verdict: match verdict {
+                HookVerdict::Pass => "pass",
+                HookVerdict::Drop => "drop",
+                HookVerdict::Redirect(_) => "redirect",
+                HookVerdict::DeliverUser => "deliver_user",
+            },
+            ns: interp_ns,
+        });
+        if matches!(verdict, HookVerdict::Pass) {
+            trace.event(|| TraceEvent::Punt {
+                reason: if slot_empty {
+                    PuntReason::EmptySlot
+                } else {
+                    PuntReason::ProgramPass
+                },
+            });
+        }
 
         // ---- record the flow, if every gate passes -------------------
         // Gates: the programs that ran honor the static cacheability

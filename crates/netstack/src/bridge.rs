@@ -10,6 +10,7 @@
 use crate::device::IfIndex;
 use linuxfp_packet::MacAddr;
 use linuxfp_sim::Nanos;
+use linuxfp_telemetry::trace::DropReason;
 use linuxfp_telemetry::Counter;
 use std::collections::{BTreeMap, HashMap};
 
@@ -80,7 +81,7 @@ pub enum BridgeDecision {
     /// Frame is addressed to the bridge itself; send up the IP stack.
     Local,
     /// Drop (ingress port not forwarding, VLAN violation, ...).
-    Drop(&'static str),
+    Drop(DropReason),
 }
 
 /// A software bridge instance.
@@ -298,18 +299,18 @@ impl Bridge {
             c.inc();
         }
         let Some(port) = self.ports.get(&ingress) else {
-            return BridgeDecision::Drop("not a bridge port");
+            return BridgeDecision::Drop(DropReason::NotABridgePort);
         };
         if matches!(port.stp_state, StpState::Blocking | StpState::Listening) {
-            return BridgeDecision::Drop("ingress port not learning/forwarding");
+            return BridgeDecision::Drop(DropReason::IngressPortBlocked);
         }
         let learning_only = port.stp_state == StpState::Learning;
         let Some(vlan) = self.ingress_vlan(port, vlan_tag) else {
-            return BridgeDecision::Drop("vlan filtered");
+            return BridgeDecision::Drop(DropReason::VlanFiltered);
         };
         self.fdb_learn(src, vlan, ingress, now);
         if learning_only {
-            return BridgeDecision::Drop("ingress port learning only");
+            return BridgeDecision::Drop(DropReason::IngressPortLearningOnly);
         }
         if dst == self.mac {
             return BridgeDecision::Local;
@@ -318,7 +319,7 @@ impl Bridge {
             return BridgeDecision::Flood(self.flood_ports(ingress, vlan));
         }
         match self.fdb_lookup(dst, vlan, now) {
-            Some(port) if port == ingress => BridgeDecision::Drop("hairpin"),
+            Some(port) if port == ingress => BridgeDecision::Drop(DropReason::Hairpin),
             Some(port) => BridgeDecision::Forward(port),
             None => BridgeDecision::Flood(self.flood_ports(ingress, vlan)),
         }
@@ -392,7 +393,7 @@ mod tests {
         let mut br = bridge();
         br.fdb_learn(mac(200), 0, IfIndex(1), Nanos::ZERO);
         let d = br.decide(IfIndex(1), mac(100), mac(200), None, Nanos::ZERO);
-        assert_eq!(d, BridgeDecision::Drop("hairpin"));
+        assert_eq!(d, BridgeDecision::Drop(DropReason::Hairpin));
     }
 
     #[test]
@@ -471,7 +472,7 @@ mod tests {
         assert_eq!(d, BridgeDecision::Flood(vec![IfIndex(2)]));
         // Tagged vlan 20 on port 1 (not a member) -> dropped.
         let d = br.decide(IfIndex(1), mac(100), mac(200), Some(20), Nanos::ZERO);
-        assert_eq!(d, BridgeDecision::Drop("vlan filtered"));
+        assert_eq!(d, BridgeDecision::Drop(DropReason::VlanFiltered));
         // Learning is per-vlan: mac learned in vlan 10 is unknown in 20.
         let d = br.decide(IfIndex(3), mac(300), mac(100), Some(20), Nanos::ZERO);
         assert!(matches!(d, BridgeDecision::Flood(_)));
@@ -498,6 +499,6 @@ mod tests {
     fn unknown_ingress_port_drops() {
         let mut br = bridge();
         let d = br.decide(IfIndex(99), mac(1), mac(2), None, Nanos::ZERO);
-        assert_eq!(d, BridgeDecision::Drop("not a bridge port"));
+        assert_eq!(d, BridgeDecision::Drop(DropReason::NotABridgePort));
     }
 }

@@ -15,6 +15,7 @@ use crate::conntrack::{Conntrack, NatTuple};
 use crate::device::IfIndex;
 use linuxfp_packet::ipv4::{IpProto, Prefix};
 use linuxfp_sim::Nanos;
+use linuxfp_telemetry::trace::{TraceCtx, TraceEvent};
 use linuxfp_telemetry::Counter;
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
@@ -167,6 +168,13 @@ pub struct Nat {
 }
 
 impl Nat {
+    /// Appends a flight-recorder event for one NAT hook traversal.
+    /// `ns` must already have been charged to the packet's cost
+    /// tracker — this only records the attribution, never the cost.
+    pub fn trace_hook(trace: &mut TraceCtx, op: &'static str, rewritten: bool, ns: f64) {
+        trace.event(|| TraceEvent::Nat { op, rewritten, ns });
+    }
+
     /// Creates an empty table with the default masquerade port range.
     pub fn new() -> Self {
         Nat {

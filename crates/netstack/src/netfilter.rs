@@ -10,6 +10,7 @@
 use crate::device::IfIndex;
 use linuxfp_packet::ipv4::{IpProto, Prefix};
 use linuxfp_sim::{CostModel, CostTracker};
+use linuxfp_telemetry::trace::{TraceCtx, TraceEvent};
 use linuxfp_telemetry::Counter;
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
@@ -433,6 +434,32 @@ impl Netfilter {
     ) -> NfVerdict {
         tracker.charge("nf_hook", cost.nf_hook_base_ns);
         self.evaluate_with_rule_cost(hook, meta, cost, tracker, cost.nf_rule_linear_ns)
+    }
+
+    /// Like [`Netfilter::evaluate`], but appends a flight-recorder
+    /// event carrying the chain, the verdict, and the virtual time the
+    /// traversal charged. Costs are identical to [`Netfilter::evaluate`]
+    /// — the trace context never charges time itself.
+    pub fn evaluate_traced(
+        &self,
+        hook: ChainHook,
+        meta: &PacketMeta,
+        cost: &CostModel,
+        tracker: &mut CostTracker,
+        trace: &mut TraceCtx,
+    ) -> NfVerdict {
+        let before = tracker.total_ns();
+        let verdict = self.evaluate(hook, meta, cost, tracker);
+        let ns = tracker.total_ns() - before;
+        trace.event(|| TraceEvent::Netfilter {
+            chain: hook.name(),
+            verdict: match verdict {
+                NfVerdict::Accept => "accept",
+                NfVerdict::Drop => "drop",
+            },
+            ns,
+        });
+        verdict
     }
 
     /// Like [`Netfilter::evaluate`], but charging a caller-chosen per-rule

@@ -26,7 +26,12 @@ use linuxfp_packet::ipv4::{IpProto, Ipv4Header, Prefix};
 use linuxfp_packet::udp::UdpHeader;
 use linuxfp_packet::{Batch, EtherType, EthernetFrame, MacAddr, Packet, PacketBuf};
 use linuxfp_sim::{CostModel, CostTracker, Nanos};
+use linuxfp_telemetry::trace::{
+    Disposition, FlightRecorder, TraceCtx, TraceEvent, TraceRing, TraceSpan,
+};
 use linuxfp_telemetry::{Counter, Histogram, Registry, Scale};
+
+pub use linuxfp_telemetry::trace::{DropReason, PuntReason};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::Ipv4Addr;
 use std::str::FromStr;
@@ -108,9 +113,12 @@ pub enum HookVerdict {
 
 /// The signature of an attached hook program. The program receives the
 /// kernel itself so that helper calls can read and update kernel state —
-/// the unified-state design of the paper.
-pub type HookFn =
-    Arc<dyn Fn(&mut Kernel, &mut Packet, &mut CostTracker) -> HookVerdict + Send + Sync>;
+/// the unified-state design of the paper — plus the packet's trace
+/// context so sampled packets carry hook-level events (flow-cache
+/// outcome, VM verdict, punt reason).
+pub type HookFn = Arc<
+    dyn Fn(&mut Kernel, &mut Packet, &mut CostTracker, &mut TraceCtx) -> HookVerdict + Send + Sync,
+>;
 
 /// Externally visible result of processing a frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -132,8 +140,8 @@ pub enum Effect {
     },
     /// The frame was dropped.
     Drop {
-        /// Why.
-        reason: &'static str,
+        /// Why, from the unified taxonomy.
+        reason: DropReason,
     },
 }
 
@@ -146,9 +154,24 @@ pub struct RxOutcome {
     pub effects: Vec<Effect>,
     /// Cost of all processing performed.
     pub cost: CostTracker,
+    /// Flight-recorder context: enabled only when this packet was
+    /// sampled, in which case the finished span lands in the kernel's
+    /// trace ring. Disabled (the default) it allocates nothing and
+    /// charges nothing.
+    pub trace: TraceCtx,
 }
 
 impl RxOutcome {
+    /// Charges virtual time at `stage` and mirrors it into the trace
+    /// context (a no-op unless this packet is sampled). All datapath
+    /// stage charges route through here so span stage events stay in
+    /// sync with the cost tracker.
+    #[inline]
+    pub(crate) fn charge(&mut self, stage: &'static str, ns: f64) {
+        self.cost.charge(stage, ns);
+        self.trace.stage(stage, ns);
+    }
+
     /// Frames transmitted out physical NICs, as `(dev, frame)` pairs.
     pub fn transmissions(&self) -> Vec<(IfIndex, &[u8])> {
         self.effects
@@ -171,8 +194,19 @@ impl RxOutcome {
             .collect()
     }
 
-    /// Drop reasons recorded.
+    /// Drop reasons recorded, as their stable string labels.
     pub fn drops(&self) -> Vec<&'static str> {
+        self.effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Drop { reason } => Some(reason.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Drop reasons recorded, as taxonomy values.
+    pub fn drop_reasons(&self) -> Vec<DropReason> {
         self.effects
             .iter()
             .filter_map(|e| match e {
@@ -352,6 +386,10 @@ pub struct Kernel {
     /// BPDUs consumed by STP processing.
     pub bpdus_processed: u64,
     telemetry: Option<StackTelemetry>,
+    /// The per-packet flight recorder (sampler + span ring). `None`
+    /// until [`Kernel::enable_flight_recorder`] — the datapath checks a
+    /// single `Option` per burst, so recording off costs nothing.
+    pub(crate) recorder: Option<FlightRecorder>,
     /// Bumped whenever virtual time advances; folded into
     /// [`Kernel::state_generation`] so anything derived from
     /// time-dependent lookups (lazy expiry in conntrack, neighbor and FDB
@@ -405,6 +443,7 @@ impl Kernel {
         sysctls.insert("net.ipv4.ip_forward".to_string(), 0);
         sysctls.insert("net.bridge.bridge-nf-call-iptables".to_string(), 0);
         sysctls.insert("net.linuxfp.flow_cache".to_string(), 1);
+        sysctls.insert("net.linuxfp.trace_sample".to_string(), 0);
         Kernel {
             cost: Arc::new(CostModel::calibrated()),
             now: Nanos::ZERO,
@@ -431,6 +470,7 @@ impl Kernel {
             counters: HashMap::new(),
             bpdus_processed: 0,
             telemetry: None,
+            recorder: None,
             time_generation: 0,
             seed,
         }
@@ -947,6 +987,11 @@ impl Kernel {
             return Err(NetError::NotFound(name.to_string()));
         }
         self.sysctls.insert(name.to_string(), value);
+        if name == "net.linuxfp.trace_sample" {
+            if let Some(recorder) = &mut self.recorder {
+                recorder.set_every(value.max(0) as u64);
+            }
+        }
         self.netlink.publish(NetlinkMessage::SysctlChanged {
             name: name.to_string(),
             value,
@@ -974,6 +1019,42 @@ impl Kernel {
     /// (`net.linuxfp.flow_cache`, default on).
     pub fn flow_cache_enabled(&self) -> bool {
         self.sysctl_get("net.linuxfp.flow_cache") == Some(1)
+    }
+
+    /// Enables the per-packet flight recorder: keeps up to `capacity`
+    /// sampled spans, sampling 1-in-`every` packets (`0` = off; also
+    /// settable at runtime via the `net.linuxfp.trace_sample` sysctl).
+    /// Returns a shared handle to the span ring. The recorder reads
+    /// virtual time and cost trackers but never charges them: with
+    /// sampling off the datapath is bit-identical to a kernel without a
+    /// recorder.
+    pub fn enable_flight_recorder(&mut self, capacity: usize, every: u64) -> TraceRing {
+        let recorder = FlightRecorder::new(capacity, every);
+        let ring = recorder.ring();
+        self.recorder = Some(recorder);
+        self.sysctls
+            .insert("net.linuxfp.trace_sample".to_string(), every as i64);
+        ring
+    }
+
+    /// The flight-recorder span ring, if enabled.
+    pub fn trace_ring(&self) -> Option<TraceRing> {
+        self.recorder.as_ref().map(FlightRecorder::ring)
+    }
+
+    /// Records a housekeeping marker span when the recorder is active.
+    pub(crate) fn record_housekeeping_span(&self, report: &HousekeepingReport) {
+        if let Some(recorder) = &self.recorder {
+            if recorder.every() > 0 {
+                recorder.record(TraceSpan::housekeeping(
+                    self.now.as_nanos(),
+                    report.fdb_expired,
+                    report.conntrack_expired,
+                    report.neigh_expired,
+                    report.nat_expired,
+                ));
+            }
+        }
     }
 
     // ------------------------------------------------------------------

@@ -11,17 +11,17 @@ impl Kernel {
         out: &mut RxOutcome,
         queue: &mut VecDeque<(IfIndex, PacketBuf)>,
     ) {
-        out.cost.charge("ip_rcv", self.cost.ip_rcv_ns);
+        out.charge("ip_rcv", self.cost.ip_rcv_ns);
         if let Some(t) = &self.telemetry {
             t.slow_ip.inc();
         }
         let l3 = eth.payload_offset;
         let Ok(ip) = Ipv4Header::parse(&frame[l3..]) else {
-            self.drop(out, "malformed ipv4");
+            self.drop(out, DropReason::MalformedIpv4);
             return;
         };
         if !ip.verify_checksum(&frame[l3..]) {
-            self.drop(out, "bad ipv4 checksum");
+            self.drop(out, DropReason::BadIpv4Checksum);
             return;
         }
 
@@ -29,7 +29,7 @@ impl Kernel {
 
         // Conntrack (when enabled for this host).
         if self.conntrack_forward {
-            out.cost.charge("conntrack", self.cost.conntrack_lookup_ns);
+            out.charge("conntrack", self.cost.conntrack_lookup_ns);
             let now = self.now;
             self.conntrack
                 .track(ip.src, meta.sport, ip.dst, meta.dport, ip.proto, now);
@@ -39,11 +39,15 @@ impl Kernel {
         if let Some(t) = &self.telemetry {
             t.slow_netfilter.inc();
         }
-        let verdict =
-            self.netfilter
-                .evaluate(ChainHook::Prerouting, &meta, &self.cost, &mut out.cost);
+        let verdict = self.netfilter.evaluate_traced(
+            ChainHook::Prerouting,
+            &meta,
+            &self.cost,
+            &mut out.cost,
+            &mut out.trace,
+        );
         if verdict == NfVerdict::Drop {
-            self.drop(out, "nf prerouting drop");
+            self.drop(out, DropReason::NfPreroutingDrop);
             return;
         }
 
@@ -59,10 +63,11 @@ impl Kernel {
         let mut nat_ctx: Option<NatCtx> = None;
         let nat_active = self.nat.total_rules() > 0 || self.conntrack.nat_len() > 0;
         if nat_active && matches!(ip.proto, IpProto::Udp | IpProto::Tcp) {
-            out.cost.charge("nat_lookup", self.cost.conntrack_lookup_ns);
+            out.charge("nat_lookup", self.cost.conntrack_lookup_ns);
             let now = self.now;
             let tuple = NatTuple::new(ip.src, meta.sport, ip.dst, meta.dport, ip.proto.to_u8());
             nat_ctx = self.nat.prerouting(&mut self.conntrack, tuple, dev, now);
+            let mut rewritten = false;
             if let Some(ctx) = &nat_ctx {
                 if ctx.xlat.dst != tuple.dst || ctx.xlat.dport != tuple.dport {
                     if let Some(t) = &self.telemetry {
@@ -79,15 +84,22 @@ impl Kernel {
                     );
                     ip = Ipv4Header::parse(&frame[l3..]).expect("rewritten header valid");
                     meta = self.packet_meta(dev, &frame, l3, &ip);
+                    rewritten = true;
                 }
             }
+            Nat::trace_hook(
+                &mut out.trace,
+                "prerouting",
+                rewritten,
+                self.cost.conntrack_lookup_ns,
+            );
         }
 
         // ipvs NAT: traffic to a virtual service is rewritten toward a
         // backend — pinned flows reuse their backend; new flows are
         // scheduled here (slow-path work per paper Table I, row 4).
         if !self.ipvs.is_empty() && matches!(ip.proto, IpProto::Udp | IpProto::Tcp) {
-            out.cost.charge("conntrack", self.cost.conntrack_lookup_ns);
+            out.charge("conntrack", self.cost.conntrack_lookup_ns);
             let now = self.now;
             let selected = self.ipvs.select_backend(
                 &mut self.conntrack,
@@ -102,7 +114,7 @@ impl Kernel {
                 if let Some(t) = &self.telemetry {
                     t.slow_ipvs.inc();
                 }
-                out.cost.charge("ipvs_sched", self.cost.ipvs_sched_ns);
+                out.charge("ipvs_sched", self.cost.ipvs_sched_ns);
                 Self::ipvs_nat_rewrite(&mut frame, l3, &ip, backend_ip, backend_port);
                 ip = Ipv4Header::parse(&frame[l3..]).expect("rewritten header valid");
                 meta = self.packet_meta(dev, &frame, l3, &ip);
@@ -116,11 +128,15 @@ impl Kernel {
             if let Some(t) = &self.telemetry {
                 t.slow_netfilter.inc();
             }
-            let verdict =
-                self.netfilter
-                    .evaluate(ChainHook::Input, &meta, &self.cost, &mut out.cost);
+            let verdict = self.netfilter.evaluate_traced(
+                ChainHook::Input,
+                &meta,
+                &self.cost,
+                &mut out.cost,
+                &mut out.trace,
+            );
             if verdict == NfVerdict::Drop {
-                self.drop(out, "nf input drop");
+                self.drop(out, DropReason::NfInputDrop);
                 return;
             }
             self.local_deliver(dev, eth, frame, &ip, out, queue);
@@ -129,14 +145,13 @@ impl Kernel {
 
         // Forwarding path.
         if !self.ip_forward_enabled() {
-            self.drop(out, "forwarding disabled");
+            self.drop(out, DropReason::ForwardingDisabled);
             return;
         }
-        out.cost
-            .charge("fib_lookup", self.cost.fib_lookup_kernel_ns);
+        out.charge("fib_lookup", self.cost.fib_lookup_kernel_ns);
         let Some(route) = self.fib.lookup(ip.dst).copied() else {
             self.icmp_error(&frame, l3, &ip, IcmpType::DestUnreachable(0), out, queue);
-            self.drop(out, "no route");
+            self.drop(out, DropReason::NoRoute);
             return;
         };
         let meta = PacketMeta {
@@ -146,19 +161,22 @@ impl Kernel {
         if let Some(t) = &self.telemetry {
             t.slow_netfilter.inc();
         }
-        let verdict = self
-            .netfilter
-            .evaluate(ChainHook::Forward, &meta, &self.cost, &mut out.cost);
+        let verdict = self.netfilter.evaluate_traced(
+            ChainHook::Forward,
+            &meta,
+            &self.cost,
+            &mut out.cost,
+            &mut out.trace,
+        );
         if verdict == NfVerdict::Drop {
-            self.drop(out, "nf forward drop");
+            self.drop(out, DropReason::NfForwardDrop);
             return;
         }
 
-        out.cost
-            .charge("ip_forward", self.cost.ip_forward_finish_ns);
+        out.charge("ip_forward", self.cost.ip_forward_finish_ns);
         if Ipv4Header::decrement_ttl(&mut frame[l3..]).is_none() {
             self.icmp_error(&frame, l3, &ip, IcmpType::TimeExceeded, out, queue);
-            self.drop(out, "ttl exceeded");
+            self.drop(out, DropReason::TtlExceeded);
             return;
         }
 
@@ -184,10 +202,12 @@ impl Kernel {
                 egress_ip,
                 now,
             );
+            let mut bind_ns = 0.0;
             if self.conntrack.nat_len() > bindings_before {
                 // A fresh binding was installed (conntrack-entry-creation
                 // class work).
-                out.cost.charge("nat_bind", self.cost.conntrack_create_ns);
+                bind_ns = self.cost.conntrack_create_ns;
+                out.charge("nat_bind", bind_ns);
             }
             match outcome {
                 PostOutcome::Snat { src, sport } => {
@@ -203,17 +223,21 @@ impl Kernel {
                             ..Default::default()
                         },
                     );
+                    Nat::trace_hook(&mut out.trace, "postrouting", true, bind_ns);
                 }
                 PostOutcome::ExhaustedDrop => {
-                    self.drop(out, "nat port exhaustion");
+                    Nat::trace_hook(&mut out.trace, "postrouting", false, bind_ns);
+                    self.drop(out, DropReason::NatPortExhaustion);
                     return;
                 }
-                PostOutcome::None => {}
+                PostOutcome::None => {
+                    Nat::trace_hook(&mut out.trace, "postrouting", false, bind_ns);
+                }
             }
         }
 
         // Neighbor resolution for the next hop.
-        out.cost.charge("neigh_lookup", self.cost.neigh_lookup_ns);
+        out.charge("neigh_lookup", self.cost.neigh_lookup_ns);
         let next_hop = match route.scope {
             RouteScope::Link => ip.dst,
             RouteScope::Universe => route.via.unwrap_or(ip.dst),
@@ -230,17 +254,18 @@ impl Kernel {
                 if let Some(t) = &self.telemetry {
                     t.slow_netfilter.inc();
                 }
-                let verdict = self.netfilter.evaluate(
+                let verdict = self.netfilter.evaluate_traced(
                     ChainHook::Postrouting,
                     &meta,
                     &self.cost,
                     &mut out.cost,
+                    &mut out.trace,
                 );
                 if verdict == NfVerdict::Drop {
-                    self.drop(out, "nf postrouting drop");
+                    self.drop(out, DropReason::NfPostroutingDrop);
                     return;
                 }
-                out.cost.charge("qdisc_xmit", self.cost.qdisc_xmit_ns);
+                out.charge("qdisc_xmit", self.cost.qdisc_xmit_ns);
                 self.transmit(route.dev, frame, out, queue);
             }
             None => {
@@ -275,7 +300,7 @@ impl Kernel {
                 .and_then(|p| egress_dev.addr_in(p))
                 .or_else(|| egress_dev.addrs.first().map(|(a, _)| *a));
             let Some(our_ip) = our_ip else {
-                self.drop(out, "no source address for arp");
+                self.drop(out, DropReason::NoArpSourceAddress);
                 return;
             };
             let req = ArpPacket::request(our_mac, our_ip, next_hop);
@@ -319,7 +344,7 @@ impl Kernel {
         else {
             return;
         };
-        out.cost.charge("icmp_error", self.cost.icmp_error_ns);
+        out.charge("icmp_error", self.cost.icmp_error_ns);
         // Payload: the offending IP header + first 8 bytes, per RFC 792.
         let quoted_len = (ip.header_len + 8).min(frame.len() - l3);
         let icmp = IcmpHeader::build(kind, 0, 0, &frame[l3..l3 + quoted_len]);
@@ -389,16 +414,16 @@ impl Kernel {
         queue: &mut VecDeque<(IfIndex, PacketBuf)>,
     ) {
         let Some(device) = self.devices.get(&dev) else {
-            self.drop(out, "transmit on missing device");
+            self.drop(out, DropReason::TransmitMissingDevice);
             return;
         };
         if !device.up {
-            self.drop(out, "transmit on down device");
+            self.drop(out, DropReason::TransmitDownDevice);
             return;
         }
         match device.kind.clone() {
             DeviceKind::Physical => {
-                out.cost.charge("driver_tx", self.cost.driver_tx_ns);
+                out.charge("driver_tx", self.cost.driver_tx_ns);
                 let c = self.counters.entry(dev).or_default();
                 c.tx_packets += 1;
                 c.tx_bytes += frame.len() as u64;
@@ -410,7 +435,7 @@ impl Kernel {
             DeviceKind::Bridge => {
                 // Transmit *on* the bridge device: forward by FDB.
                 let Ok(eth) = EthernetFrame::parse(&frame) else {
-                    self.drop(out, "malformed ethernet");
+                    self.drop(out, DropReason::MalformedEthernet);
                     return;
                 };
                 let now = self.now;
@@ -418,7 +443,7 @@ impl Kernel {
                 let lookup = match self.bridges.get_mut(&dev) {
                     Some(bridge) => bridge.fdb_lookup(eth.dst, vlan, now),
                     None => {
-                        self.drop(out, "missing bridge");
+                        self.drop(out, DropReason::MissingBridge);
                         return;
                     }
                 };
@@ -431,8 +456,7 @@ impl Kernel {
                             .map(|b| b.flood_ports(IfIndex::NONE, vlan))
                             .unwrap_or_default();
                         for egress in ports {
-                            out.cost
-                                .charge("bridge_flood", self.cost.bridge_flood_per_port_ns);
+                            out.charge("bridge_flood", self.cost.bridge_flood_per_port_ns);
                             self.transmit(egress, frame.clone(), out, queue);
                         }
                     }
@@ -443,9 +467,9 @@ impl Kernel {
                 local,
                 port: _,
             } => {
-                out.cost.charge("vxlan_encap", self.cost.vxlan_encap_ns);
+                out.charge("vxlan_encap", self.cost.vxlan_encap_ns);
                 let Ok(eth) = EthernetFrame::parse(&frame) else {
-                    self.drop(out, "malformed ethernet");
+                    self.drop(out, DropReason::MalformedEthernet);
                     return;
                 };
                 let remotes: Vec<Ipv4Addr> = if eth.dst.is_unicast() {
@@ -457,7 +481,7 @@ impl Kernel {
                     self.vxlan_defaults.get(&dev).cloned().unwrap_or_default()
                 };
                 if remotes.is_empty() {
-                    self.drop(out, "vxlan no remote vtep");
+                    self.drop(out, DropReason::VxlanNoRemoteVtep);
                     return;
                 }
                 for vtep in remotes {
@@ -485,17 +509,16 @@ impl Kernel {
         out: &mut RxOutcome,
         queue: &mut VecDeque<(IfIndex, PacketBuf)>,
     ) {
-        out.cost
-            .charge("fib_lookup", self.cost.fib_lookup_kernel_ns);
+        out.charge("fib_lookup", self.cost.fib_lookup_kernel_ns);
         let Some(route) = self.fib.lookup(next_ip).copied() else {
-            self.drop(out, "no route (output)");
+            self.drop(out, DropReason::NoRouteOutput);
             return;
         };
         let next_hop = match route.scope {
             RouteScope::Link => next_ip,
             RouteScope::Universe => route.via.unwrap_or(next_ip),
         };
-        out.cost.charge("neigh_lookup", self.cost.neigh_lookup_ns);
+        out.charge("neigh_lookup", self.cost.neigh_lookup_ns);
         let now = self.now;
         match self.neigh.resolved_mac(next_hop, now) {
             Some((dst_mac, _)) => {
@@ -505,7 +528,7 @@ impl Kernel {
                     .map(|d| d.mac)
                     .unwrap_or(MacAddr::ZERO);
                 EthernetFrame::rewrite_macs(&mut frame, dst_mac, src_mac);
-                out.cost.charge("qdisc_xmit", self.cost.qdisc_xmit_ns);
+                out.charge("qdisc_xmit", self.cost.qdisc_xmit_ns);
                 self.transmit(route.dev, frame, out, queue);
             }
             None => {

@@ -21,6 +21,7 @@ impl Kernel {
             self.ipvs.release_backend(addr, port);
         }
         report.neigh_expired = self.neigh.gc(now);
+        self.record_housekeeping_span(&report);
         report
     }
 

@@ -15,7 +15,7 @@ impl Kernel {
             t.slow_arp.inc();
         }
         let Ok(arp) = ArpPacket::parse(&frame[eth.payload_offset..]) else {
-            self.drop(out, "malformed arp");
+            self.drop(out, DropReason::MalformedArp);
             return;
         };
         let device = self.devices.get(&dev).expect("exists");
@@ -40,8 +40,13 @@ impl Kernel {
             let reply_frame = builder::arp_frame(&reply, our_mac, arp.sender_mac);
             self.transmit(dev, reply_frame.into(), out, queue);
         } else {
+            // Consumed by the ARP state machine: recorded as an effect
+            // (but intentionally not counted as a datapath drop).
+            out.trace.event(|| TraceEvent::Drop {
+                reason: DropReason::ArpConsumed,
+            });
             out.effects.push(Effect::Drop {
-                reason: "arp consumed",
+                reason: DropReason::ArpConsumed,
             });
         }
     }
@@ -79,7 +84,7 @@ impl Kernel {
         if let Some(t) = &self.telemetry {
             t.slow_local.inc();
         }
-        out.cost.charge("local_deliver", self.cost.local_deliver_ns);
+        out.charge("local_deliver", self.cost.local_deliver_ns);
         let l3 = eth.payload_offset;
         let l4 = l3 + ip.header_len;
 
@@ -89,14 +94,14 @@ impl Kernel {
         if ip.proto == IpProto::Udp {
             if let Ok(udp) = UdpHeader::parse(&frame[l4..]) {
                 if let Some(vxlan_dev) = self.vxlan_device_for(ip.dst, udp.dst_port) {
-                    out.cost.charge("vxlan_decap", self.cost.vxlan_decap_ns);
+                    out.charge("vxlan_decap", self.cost.vxlan_decap_ns);
                     if let Ok((_vni, inner)) = builder::vxlan_decapsulate(&frame) {
                         // The inner frame appears as if received on the
                         // VXLAN device, which is typically a bridge port.
                         queue.push_back((vxlan_dev, inner.into()));
                         return;
                     }
-                    self.drop(out, "malformed vxlan");
+                    self.drop(out, DropReason::MalformedVxlan);
                     return;
                 }
             }

@@ -96,6 +96,14 @@ impl Kernel {
         out: &mut RxOutcome,
         mut amort: Option<&mut BatchAmort>,
     ) {
+        // Flight recorder: decide up front whether this packet gets a
+        // span. With sampling off (or no recorder) `out.trace` stays the
+        // inert default — no allocation, no virtual-time charge.
+        if let Some(recorder) = &mut self.recorder {
+            if let Some(ctx) = recorder.sample(dev.as_u32(), self.now.as_nanos()) {
+                out.trace = ctx;
+            }
+        }
         let mut queue: VecDeque<(IfIndex, PacketBuf)> = VecDeque::new();
         queue.push_back((dev, frame));
         let mut hops = 0;
@@ -103,7 +111,7 @@ impl Kernel {
         while let Some((dev, frame)) = queue.pop_front() {
             hops += 1;
             if hops > 64 {
-                self.drop(out, "forwarding loop");
+                self.drop(out, DropReason::ForwardingLoop);
                 break;
             }
             // Only the injected frame itself belongs to the burst;
@@ -113,17 +121,50 @@ impl Kernel {
             injected = false;
             self.receive_one(dev, frame, out, &mut queue, pass);
         }
+        self.finish_trace(out);
     }
 
-    pub(super) fn drop(&mut self, out: &mut RxOutcome, reason: &'static str) {
+    /// Closes a sampled packet's span and lands it in the trace ring.
+    /// No-op for unsampled packets.
+    fn finish_trace(&mut self, out: &mut RxOutcome) {
+        if !out.trace.enabled() {
+            return;
+        }
+        // A packet can have several effects (bridge floods); summarize
+        // by the strongest outcome: anything that left or reached a
+        // socket beats an incidental drop, a drop beats nothing at all
+        // (queued behind ARP resolution).
+        let mut disposition = Disposition::Queued;
+        for e in &out.effects {
+            match e {
+                Effect::Transmit { .. } => {
+                    disposition = Disposition::Transmitted;
+                    break;
+                }
+                Effect::Deliver { .. } => disposition = Disposition::Delivered,
+                Effect::Drop { reason } => {
+                    if disposition == Disposition::Queued {
+                        disposition = Disposition::Dropped(*reason);
+                    }
+                }
+            }
+        }
+        let span = std::mem::take(&mut out.trace).finish(&out.cost, disposition);
+        if let Some(recorder) = &self.recorder {
+            recorder.record(span);
+        }
+    }
+
+    pub(super) fn drop(&mut self, out: &mut RxOutcome, reason: DropReason) {
         if let Some(t) = &self.telemetry {
             // Reasons are a small static set; get-or-create is off the
             // common path (drops only).
             t.registry
-                .counter("linuxfp_drops_total", &[("reason", reason)])
+                .counter("linuxfp_drops_total", &[("reason", reason.as_str())])
                 .inc();
         }
-        *self.drop_counts.entry(reason).or_insert(0) += 1;
+        *self.drop_counts.entry(reason.as_str()).or_insert(0) += 1;
+        out.trace.event(|| TraceEvent::Drop { reason });
         out.effects.push(Effect::Drop { reason });
     }
 
@@ -136,11 +177,11 @@ impl Kernel {
         mut amort: Option<&mut BatchAmort>,
     ) {
         let Some(device) = self.devices.get(&dev) else {
-            self.drop(out, "no such device");
+            self.drop(out, DropReason::NoSuchDevice);
             return;
         };
         if !device.up {
-            self.drop(out, "device down");
+            self.drop(out, DropReason::DeviceDown);
             return;
         }
         match device.kind {
@@ -151,14 +192,14 @@ impl Kernel {
                         a.batch_cost
                             .charge("driver_rx", self.cost.rx_batch_fixed_ns);
                     }
-                    out.cost.charge(
+                    out.charge(
                         "driver_rx",
                         self.cost.driver_rx_ns - self.cost.rx_batch_fixed_ns,
                     );
                 }
-                None => out.cost.charge("driver_rx", self.cost.driver_rx_ns),
+                None => out.charge("driver_rx", self.cost.driver_rx_ns),
             },
-            DeviceKind::Veth { .. } => out.cost.charge("veth_cross", self.cost.veth_cross_ns),
+            DeviceKind::Veth { .. } => out.charge("veth_cross", self.cost.veth_cross_ns),
             DeviceKind::Bridge | DeviceKind::Vxlan { .. } => {}
         }
         {
@@ -178,17 +219,17 @@ impl Kernel {
                         a.batch_cost
                             .charge("xdp_entry", self.cost.hook_batch_fixed_ns);
                     }
-                    out.cost.charge(
+                    out.charge(
                         "xdp_entry",
                         self.cost.xdp_entry_ns - self.cost.hook_batch_fixed_ns,
                     );
                 }
-                None => out.cost.charge("xdp_entry", self.cost.xdp_entry_ns),
+                None => out.charge("xdp_entry", self.cost.xdp_entry_ns),
             }
-            match hook(self, &mut pkt, &mut out.cost) {
+            match hook(self, &mut pkt, &mut out.cost, &mut out.trace) {
                 HookVerdict::Pass => {}
                 HookVerdict::Drop => {
-                    self.drop(out, "xdp drop");
+                    self.drop(out, DropReason::XdpDrop);
                     return;
                 }
                 HookVerdict::Redirect(target) => {
@@ -208,7 +249,7 @@ impl Kernel {
         }
 
         // sk_buff allocation: the cost XDP avoids.
-        out.cost.charge("skb_alloc", self.cost.skb_alloc_ns);
+        out.charge("skb_alloc", self.cost.skb_alloc_ns);
 
         // TC ingress hook.
         if let Some(hook) = self.tc_hooks.get(&dev).cloned() {
@@ -219,17 +260,17 @@ impl Kernel {
                         a.batch_cost
                             .charge("tc_entry", self.cost.hook_batch_fixed_ns);
                     }
-                    out.cost.charge(
+                    out.charge(
                         "tc_entry",
                         self.cost.tc_entry_ns - self.cost.hook_batch_fixed_ns,
                     );
                 }
-                None => out.cost.charge("tc_entry", self.cost.tc_entry_ns),
+                None => out.charge("tc_entry", self.cost.tc_entry_ns),
             }
-            match hook(self, &mut pkt, &mut out.cost) {
+            match hook(self, &mut pkt, &mut out.cost, &mut out.trace) {
                 HookVerdict::Pass => {}
                 HookVerdict::Drop => {
-                    self.drop(out, "tc drop");
+                    self.drop(out, DropReason::TcDrop);
                     return;
                 }
                 HookVerdict::Redirect(target) => {
@@ -257,7 +298,7 @@ impl Kernel {
         queue: &mut VecDeque<(IfIndex, PacketBuf)>,
     ) {
         let Ok(eth) = EthernetFrame::parse(&frame) else {
-            self.drop(out, "malformed ethernet");
+            self.drop(out, DropReason::MalformedEthernet);
             return;
         };
         let (master, dev_mac, endpoint) = {
@@ -269,10 +310,10 @@ impl Kernel {
         // stack: deliver anything addressed to them (or broadcast).
         if endpoint {
             if eth.dst == dev_mac || eth.dst.is_multicast() {
-                out.cost.charge("local_deliver", self.cost.local_deliver_ns);
+                out.charge("local_deliver", self.cost.local_deliver_ns);
                 out.effects.push(Effect::Deliver { dev, frame });
             } else {
-                self.drop(out, "wrong destination mac");
+                self.drop(out, DropReason::WrongDestinationMac);
             }
             return;
         }
@@ -285,7 +326,7 @@ impl Kernel {
 
         // Non-promiscuous check for ordinary devices.
         if eth.dst != dev_mac && eth.dst.is_unicast() {
-            self.drop(out, "wrong destination mac");
+            self.drop(out, DropReason::WrongDestinationMac);
             return;
         }
 
@@ -301,7 +342,7 @@ impl Kernel {
         out: &mut RxOutcome,
         queue: &mut VecDeque<(IfIndex, PacketBuf)>,
     ) {
-        out.cost.charge("bridge_stack", self.cost.bridge_stack_ns);
+        out.charge("bridge_stack", self.cost.bridge_stack_ns);
         if let Some(t) = &self.telemetry {
             t.slow_bridge.inc();
         }
@@ -316,14 +357,14 @@ impl Kernel {
             if stp_on {
                 self.bpdus_processed += 1;
             }
-            self.drop(out, "bpdu consumed");
+            self.drop(out, DropReason::BpduConsumed);
             return;
         }
 
         let now = self.now;
         let vlan_tag = eth.vlan.map(|t| t.vid);
         let Some(bridge) = self.bridges.get_mut(&bridge_idx) else {
-            self.drop(out, "missing bridge");
+            self.drop(out, DropReason::MissingBridge);
             return;
         };
         let decision = bridge.decide(port, eth.src, eth.dst, vlan_tag, now);
@@ -340,7 +381,7 @@ impl Kernel {
             if let Ok(ip) = Ipv4Header::parse(&frame[eth.payload_offset..]) {
                 let meta = self.packet_meta(port, &frame, eth.payload_offset, &ip);
                 if self.conntrack_forward {
-                    out.cost.charge("conntrack", self.cost.conntrack_lookup_ns);
+                    out.charge("conntrack", self.cost.conntrack_lookup_ns);
                     let now = self.now;
                     self.conntrack
                         .track(ip.src, meta.sport, ip.dst, meta.dport, ip.proto, now);
@@ -348,11 +389,15 @@ impl Kernel {
                 if let Some(t) = &self.telemetry {
                     t.slow_netfilter.inc();
                 }
-                let verdict =
-                    self.netfilter
-                        .evaluate(ChainHook::Forward, &meta, &self.cost, &mut out.cost);
+                let verdict = self.netfilter.evaluate_traced(
+                    ChainHook::Forward,
+                    &meta,
+                    &self.cost,
+                    &mut out.cost,
+                    &mut out.trace,
+                );
                 if verdict == NfVerdict::Drop {
-                    self.drop(out, "nf forward drop");
+                    self.drop(out, DropReason::NfForwardDrop);
                     return;
                 }
             }
@@ -365,8 +410,7 @@ impl Kernel {
             BridgeDecision::Flood(ports) => {
                 for (i, egress) in ports.iter().enumerate() {
                     if i > 0 {
-                        out.cost
-                            .charge("bridge_flood", self.cost.bridge_flood_per_port_ns);
+                        out.charge("bridge_flood", self.cost.bridge_flood_per_port_ns);
                     }
                     self.transmit(*egress, frame.clone(), out, queue);
                 }
@@ -395,7 +439,7 @@ impl Kernel {
         match eth.ethertype {
             EtherType::Arp => self.arp_input(dev, &eth, &frame, out, queue),
             EtherType::Ipv4 => self.ip_input(dev, &eth, frame, out, queue),
-            _ => self.drop(out, "unhandled ethertype"),
+            _ => self.drop(out, DropReason::UnhandledEthertype),
         }
     }
 }

@@ -4,7 +4,9 @@
 use linuxfp_netstack::device::IfIndex;
 use linuxfp_netstack::netfilter::{ChainHook, IpSet, IptRule, PacketMeta};
 use linuxfp_netstack::netlink::{NetlinkMessage, NlGroup};
-use linuxfp_netstack::stack::{Effect, FdbLookupOutcome, HookVerdict, IfAddr, Kernel, BPDU_MAC};
+use linuxfp_netstack::stack::{
+    DropReason, Effect, FdbLookupOutcome, HookVerdict, IfAddr, Kernel, BPDU_MAC,
+};
 use linuxfp_packet::ipv4::{IpProto, Prefix};
 use linuxfp_packet::{builder, EthernetFrame, Ipv4Header, MacAddr};
 use linuxfp_sim::Nanos;
@@ -401,7 +403,7 @@ fn veth_pair_carries_frames_between_ends() {
 #[test]
 fn xdp_hook_runs_before_skb_alloc() {
     let (mut k, eth0, _) = router();
-    k.attach_xdp(eth0, Arc::new(|_k, _p, _t| HookVerdict::Drop))
+    k.attach_xdp(eth0, Arc::new(|_k, _p, _t, _tr| HookVerdict::Drop))
         .unwrap();
     let out = k.receive(eth0, forward_test_frame(&k, eth0));
     assert_eq!(out.drops(), vec!["xdp drop"]);
@@ -414,7 +416,7 @@ fn xdp_redirect_bypasses_slow_path() {
     let (mut k, eth0, eth1) = router();
     k.attach_xdp(
         eth0,
-        Arc::new(move |_k, _p, _t| HookVerdict::Redirect(eth1)),
+        Arc::new(move |_k, _p, _t, _tr| HookVerdict::Redirect(eth1)),
     )
     .unwrap();
     let out = k.receive(eth0, forward_test_frame(&k, eth0));
@@ -427,7 +429,7 @@ fn xdp_redirect_bypasses_slow_path() {
 #[test]
 fn tc_hook_runs_after_skb_alloc() {
     let (mut k, eth0, _) = router();
-    k.attach_tc_ingress(eth0, Arc::new(|_k, _p, _t| HookVerdict::Drop))
+    k.attach_tc_ingress(eth0, Arc::new(|_k, _p, _t, _tr| HookVerdict::Drop))
         .unwrap();
     let out = k.receive(eth0, forward_test_frame(&k, eth0));
     assert_eq!(out.drops(), vec!["tc drop"]);
@@ -438,7 +440,7 @@ fn tc_hook_runs_after_skb_alloc() {
 #[test]
 fn hook_pass_falls_through_to_slow_path() {
     let (mut k, eth0, eth1) = router();
-    k.attach_xdp(eth0, Arc::new(|_k, _p, _t| HookVerdict::Pass))
+    k.attach_xdp(eth0, Arc::new(|_k, _p, _t, _tr| HookVerdict::Pass))
         .unwrap();
     let out = k.receive(eth0, forward_test_frame(&k, eth0));
     assert_eq!(out.transmissions().len(), 1);
@@ -449,7 +451,7 @@ fn hook_pass_falls_through_to_slow_path() {
 #[test]
 fn detached_hooks_no_longer_run() {
     let (mut k, eth0, _) = router();
-    k.attach_xdp(eth0, Arc::new(|_k, _p, _t| HookVerdict::Drop))
+    k.attach_xdp(eth0, Arc::new(|_k, _p, _t, _tr| HookVerdict::Drop))
         .unwrap();
     k.detach_xdp(eth0);
     let out = k.receive(eth0, forward_test_frame(&k, eth0));
@@ -726,7 +728,9 @@ fn aging_after_advance_expires_fdb() {
 
 #[test]
 fn effects_and_outcome_accessors() {
-    let e = Effect::Drop { reason: "x" };
+    let e = Effect::Drop {
+        reason: DropReason::NoRoute,
+    };
     assert!(format!("{e:?}").contains("Drop"));
     let (mut k, eth0, _) = router();
     let out = k.receive(eth0, forward_test_frame(&k, eth0));

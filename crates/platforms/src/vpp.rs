@@ -13,7 +13,7 @@ use crate::platform::{Platform, PlatformTraits, Scheduling};
 use crate::scenario::{Scenario, NEXT_HOP, SINK_MAC};
 use linuxfp_netstack::device::IfIndex;
 use linuxfp_netstack::fib::{Fib, Route};
-use linuxfp_netstack::stack::{BatchOutcome, Effect, RxOutcome};
+use linuxfp_netstack::stack::{BatchOutcome, DropReason, Effect, RxOutcome};
 use linuxfp_packet::ipv4::Prefix;
 use linuxfp_packet::{Batch, PacketBuf};
 use linuxfp_packet::{EthernetFrame, Ipv4Header, MacAddr};
@@ -104,20 +104,20 @@ impl VppPlatform {
 
         let Ok(eth) = EthernetFrame::parse(&frame) else {
             out.effects.push(Effect::Drop {
-                reason: "malformed ethernet",
+                reason: DropReason::MalformedEthernet,
             });
             return;
         };
         if eth.ethertype != linuxfp_packet::EtherType::Ipv4 {
             out.effects.push(Effect::Drop {
-                reason: "vpp: non-ip punted",
+                reason: DropReason::VppNonIpPunted,
             });
             return;
         }
         let l3 = eth.payload_offset;
         let Ok(ip) = Ipv4Header::parse(&frame[l3..]) else {
             out.effects.push(Effect::Drop {
-                reason: "malformed ipv4",
+                reason: DropReason::MalformedIpv4,
             });
             return;
         };
@@ -125,18 +125,20 @@ impl VppPlatform {
             out.cost.charge("vpp_acl", self.cost.vpp_acl_ns);
             if self.acl_denies(ip.dst) {
                 out.effects.push(Effect::Drop {
-                    reason: "vpp acl deny",
+                    reason: DropReason::VppAclDeny,
                 });
                 return;
             }
         }
         if self.fib.lookup(ip.dst).is_none() {
-            out.effects.push(Effect::Drop { reason: "no route" });
+            out.effects.push(Effect::Drop {
+                reason: DropReason::NoRoute,
+            });
             return;
         }
         if Ipv4Header::decrement_ttl(&mut frame[l3..]).is_none() {
             out.effects.push(Effect::Drop {
-                reason: "ttl exceeded",
+                reason: DropReason::TtlExceeded,
             });
             return;
         }

@@ -27,6 +27,8 @@ use std::sync::{Arc, Mutex};
 use linuxfp_json::{json, Value};
 use linuxfp_sim::stats::weighted_percentile;
 
+pub mod trace;
+
 /// Monotonically increasing event counter.
 ///
 /// Cloning shares the underlying cell, so a component can keep a handle while
@@ -533,7 +535,13 @@ fn fmt_f64(v: f64) -> String {
 fn fmt_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
     let mut parts: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .map(|(k, v)| {
+            let escaped = v
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n");
+            format!("{k}=\"{escaped}\"")
+        })
         .collect();
     if let Some((k, v)) = extra {
         parts.push(format!("{k}=\"{v}\""));
@@ -772,6 +780,50 @@ mod tests {
         assert!(text.contains("linuxfp_reconcile_seconds_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("linuxfp_reconcile_seconds_sum 1"));
         assert!(text.contains("linuxfp_reconcile_seconds_count 1"));
+    }
+
+    #[test]
+    fn prometheus_label_escaping() {
+        // Backslashes, double quotes and newlines in label values must be
+        // escaped per the exposition format, or the scrape line splits.
+        let reg = Registry::new();
+        reg.counter("weird_total", &[("reason", "path\\to \"x\"\nnext")])
+            .inc();
+        let text = render_prometheus(&reg);
+        assert!(
+            text.contains(r#"weird_total{reason="path\\to \"x\"\nnext"} 1"#),
+            "bad escaping in: {text}"
+        );
+        // Every series still renders as exactly one line.
+        let lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("weird_total"))
+            .collect();
+        assert_eq!(lines.len(), 1, "series split across lines: {text}");
+    }
+
+    #[test]
+    fn histogram_single_bucket_quantiles() {
+        // With every sample in one bucket, all percentiles collapse to
+        // that bucket's representative edge.
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record(5); // bucket edge 7
+        }
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.quantile(p), 7.0, "p{p}");
+        }
+    }
+
+    #[test]
+    fn histogram_saturated_bucket_quantile() {
+        // The top bucket's edge is u64::MAX; the quantile must surface it
+        // rather than overflow or clamp to a smaller edge.
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.quantile(100.0), u64::MAX as f64);
+        assert_eq!(h.count(), 2);
     }
 
     #[test]

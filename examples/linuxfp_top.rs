@@ -9,35 +9,43 @@
 
 use linuxfp::packet::builder;
 use linuxfp::prelude::*;
+use linuxfp::telemetry::trace::{CostBreakdown, TraceRing};
 use linuxfp::telemetry::Scale;
 
-/// One refresh of the dashboard: the per-FPM table plus the slow-path and
-/// controller gauges underneath.
-fn draw(round: usize, reg: &Registry) {
+/// One refresh of the dashboard: the per-FPM table plus the slow-path,
+/// drop-reason, flight-recorder and controller gauges underneath. Every
+/// section is omitted (with a stub line where that would be confusing)
+/// rather than rendered blank when its counter family has no series yet.
+fn draw(round: usize, reg: &Registry, ring: &TraceRing) {
     println!("── round {round} ──────────────────────────────────────────");
-    println!(
-        "{:<16} {:>8} {:>10} {:>9}",
-        "FPM", "hits", "fallbacks", "hit%"
-    );
-    let fallbacks = reg.counter_series("linuxfp_slowpath_fallbacks_total");
-    for (labels, hits) in reg.counter_series("linuxfp_fp_hits_total") {
-        let fpm = labels
-            .iter()
-            .find(|(k, _)| k == "fpm")
-            .map(|(_, v)| v.as_str())
-            .unwrap_or("?");
-        let fb = fallbacks
-            .iter()
-            .find(|(ls, _)| ls == &labels)
-            .map(|&(_, v)| v)
-            .unwrap_or(0);
-        let total = hits + fb;
-        let ratio = if total == 0 {
-            0.0
-        } else {
-            100.0 * hits as f64 / total as f64
-        };
-        println!("{fpm:<16} {hits:>8} {fb:>10} {ratio:>8.1}%");
+    let hits_series = reg.counter_series("linuxfp_fp_hits_total");
+    if hits_series.is_empty() {
+        println!("(no fast-path telemetry yet — dispatcher not installed)");
+    } else {
+        println!(
+            "{:<16} {:>8} {:>10} {:>9}",
+            "FPM", "hits", "fallbacks", "hit%"
+        );
+        let fallbacks = reg.counter_series("linuxfp_slowpath_fallbacks_total");
+        for (labels, hits) in hits_series {
+            let fpm = labels
+                .iter()
+                .find(|(k, _)| k == "fpm")
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("?");
+            let fb = fallbacks
+                .iter()
+                .find(|(ls, _)| ls == &labels)
+                .map(|&(_, v)| v)
+                .unwrap_or(0);
+            let total = hits + fb;
+            let ratio = if total == 0 {
+                0.0
+            } else {
+                100.0 * hits as f64 / total as f64
+            };
+            println!("{fpm:<16} {hits:>8} {fb:>10} {ratio:>8.1}%");
+        }
     }
     let slow: Vec<String> = reg
         .counter_series("linuxfp_slowpath_packets_total")
@@ -53,12 +61,43 @@ fn draw(round: usize, reg: &Registry) {
             format!("{s}={v}")
         })
         .collect();
+    let slow_detail = if slow.is_empty() {
+        String::new()
+    } else {
+        format!(" [{}]", slow.join(" "))
+    };
     println!(
-        "slow path: injected={} [{}]  drops={}",
+        "slow path: injected={}{slow_detail}  drops={}",
         reg.counter_total("linuxfp_packets_injected_total"),
-        slow.join(" "),
         reg.counter_total("linuxfp_drops_total"),
     );
+
+    // Top-k drop reasons, straight from the taxonomy labels on
+    // linuxfp_drops_total. Silent when nothing has been dropped.
+    let mut drops: Vec<(String, u64)> = reg
+        .counter_series("linuxfp_drops_total")
+        .into_iter()
+        .filter(|&(_, v)| v > 0)
+        .map(|(ls, v)| {
+            let reason = ls
+                .iter()
+                .find(|(k, _)| k == "reason")
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("?")
+                .to_string();
+            (reason, v)
+        })
+        .collect();
+    if !drops.is_empty() {
+        drops.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let top: Vec<String> = drops
+            .iter()
+            .take(5)
+            .map(|(r, v)| format!("{r}={v}"))
+            .collect();
+        println!("drop reasons: {}", top.join(" "));
+    }
+
     let fc_hits = reg.counter_total("linuxfp_flowcache_hits_total");
     let fc_misses = reg.counter_total("linuxfp_flowcache_misses_total");
     let fc_total = fc_hits + fc_misses;
@@ -70,13 +109,31 @@ fn draw(round: usize, reg: &Registry) {
             reg.counter_total("linuxfp_flowcache_evictions_total"),
         );
     }
+
+    // Per-stage cost attribution from the flight recorder's sampled
+    // spans: one compact row per regime/disposition, costliest stage
+    // first.
+    let breakdown = CostBreakdown::from_spans(&ring.recent());
+    for (regime, disposition, pkts, ns_per_pkt, _p50, _p99) in breakdown.rows() {
+        let group = format!("{}/{disposition}", regime.as_str());
+        let stages: Vec<String> = breakdown
+            .top_stages(regime, disposition, 3)
+            .into_iter()
+            .map(|(stage, ns)| format!("{stage} {ns:.0}"))
+            .collect();
+        println!(
+            "trace: {group:<22} {pkts:>5} pkts {ns_per_pkt:>8.1} ns/pkt  top: {}",
+            stages.join(", ")
+        );
+    }
+
     let reconcile = reg.histogram("linuxfp_reconcile_seconds", &[], Scale::NanosToSeconds);
     if reconcile.count() > 0 {
         println!(
             "controller: {} reconciles, p50 {:.2}ms, p99 {:.2}ms, rebuilds={}",
             reconcile.count(),
-            reconcile.quantile(0.5) / 1e6,
-            reconcile.quantile(0.99) / 1e6,
+            reconcile.quantile(50.0) / 1e6,
+            reconcile.quantile(99.0) / 1e6,
             reg.counter_total("linuxfp_graph_rebuilds_total"),
         );
     }
@@ -88,13 +145,16 @@ fn main() {
     let scenario = Scenario::router();
     let mut host = LinuxFpPlatform::with_telemetry(scenario, HookPoint::Xdp, registry.clone());
     let mac = host.dut_mac();
+    // Flight recorder on every packet: the demo is tiny, so trade the
+    // sampling budget for a complete per-stage breakdown panel.
+    let ring = host.kernel_mut().enable_flight_recorder(4096, 1);
 
     // Rounds 1-2: pure forwarding — everything should hit the fast path.
     for round in 1..=2 {
         for i in 0..50u64 {
             host.process(scenario.frame(mac, i, 60));
         }
-        draw(round, &registry);
+        draw(round, &registry, &ring);
     }
 
     // Reconfigure at runtime: add an iptables blacklist. The controller
@@ -129,7 +189,7 @@ fn main() {
             );
             host.process(blocked);
         }
-        draw(round, &registry);
+        draw(round, &registry, &ring);
     }
 
     // The transparency ledger: every injected packet was decided exactly

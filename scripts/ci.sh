@@ -56,6 +56,35 @@ cargo run -q -p linuxfp-bench --bin repro --release -- flow_cache \
     }
   '
 
+echo "==> bench smoke: sampled tracing at 1-in-64 stays inside the 5% telemetry budget"
+cargo bench -q -p linuxfp-bench --bench micro \
+  | awk '
+    /telemetry overhead \(trace 1-in-64\):/ {
+      found = 1
+      if (index($0, "within the 5% budget") == 0) {
+        printf "FAIL: %s\n", $0
+        exit 1
+      }
+      printf "ok: %s\n", $0
+    }
+    END { if (!found) { print "FAIL: trace 1-in-64 budget line not found"; exit 1 } }
+  '
+
+echo "==> linuxfp_trace --json parses and records spans on a corpus fixture"
+cargo run -q --release --example linuxfp_trace -- --json \
+  tests/difftest_corpus/bad-ipv4-checksum.json \
+  | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+spans = doc["spans"]
+assert spans, "no spans recorded"
+for s in spans:
+    assert s["total_ns"] > 0 and s["stages"], f"empty span: {s}"
+pkts = doc["breakdown"]["packets"]
+assert pkts > 0, "empty breakdown"
+print(f"ok: {len(spans)} span(s), breakdown over {pkts} packet(s)")
+'
+
 echo "==> difftest: corpus replay + 200-seed differential sweep"
 cargo run -q -p linuxfp-difftest --bin difftest --release -- \
   replay tests/difftest_corpus/*.json

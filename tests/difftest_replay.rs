@@ -5,7 +5,7 @@
 //! demonstrates); replaying them pins the fixes. The smoke test then
 //! runs a band of freshly generated seeds end to end.
 
-use linuxfp_difftest::{generate, run, DiffScenario};
+use linuxfp_difftest::{divergence_trace, generate, run, DiffScenario, Divergence};
 use std::path::PathBuf;
 
 fn corpus_dir() -> PathBuf {
@@ -36,6 +36,48 @@ fn every_corpus_fixture_replays_transparent() {
         replayed += 1;
     }
     assert!(replayed >= 3, "corpus unexpectedly small: {replayed}");
+}
+
+#[test]
+fn divergence_trace_captures_both_kernels() {
+    // The corpus fixtures no longer diverge (that's the point of the
+    // regression gate), so exercise the capture machinery by pointing it
+    // at a burst directly: replay with sampling forced to 1-in-1 must
+    // yield a full span from *each* kernel, attributing every stage.
+    let text = std::fs::read_to_string(corpus_dir().join("bad-ipv4-checksum.json"))
+        .expect("readable fixture");
+    let scenario = DiffScenario::from_json(&text).expect("parses");
+    let burst_op = scenario
+        .ops
+        .iter()
+        .position(|op| matches!(op, linuxfp_difftest::Op::Burst { .. }))
+        .expect("fixture has a burst");
+    let synthetic = Divergence {
+        op: burst_op,
+        kind: "output",
+        steady: false,
+        detail: String::new(),
+    };
+    let trace = divergence_trace(&scenario, &synthetic).expect("burst op yields a trace");
+    for side in ["linux", "linuxfp"] {
+        let span = trace
+            .get(side)
+            .unwrap_or_else(|| panic!("{side} span present"));
+        assert!(
+            span.get("total_ns").and_then(|v| v.as_f64()).unwrap_or(0.0) > 0.0,
+            "{side} span has no cost: {span}"
+        );
+        let stages = span["stages"].as_array().expect("stages array");
+        assert!(!stages.is_empty(), "{side} span has no stages");
+    }
+    // Non-output divergences have no per-packet trace to capture.
+    let ledger = Divergence {
+        op: scenario.ops.len(),
+        kind: "ledger",
+        steady: false,
+        detail: String::new(),
+    };
+    assert!(divergence_trace(&scenario, &ledger).is_none());
 }
 
 #[test]

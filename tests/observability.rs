@@ -4,9 +4,13 @@
 //! == packets_injected`, globally and per FPM pipeline) and that both
 //! renderers emit every registered metric.
 
+use linuxfp::netstack::ipvs::Scheduler;
+use linuxfp::netstack::nat::{NatChain, NatRule, NatTarget};
 use linuxfp::netstack::netfilter::{ChainHook, IptRule};
 use linuxfp::packet::builder;
+use linuxfp::packet::ipv4::IpProto;
 use linuxfp::prelude::*;
+use linuxfp::telemetry::trace::{TraceEvent, TraceSpan};
 use linuxfp::telemetry::Scale;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
@@ -204,4 +208,216 @@ fn both_renderers_emit_every_registered_metric() {
     assert!(prom.contains("linuxfp_reconcile_seconds_bucket"));
     assert!(prom.contains("linuxfp_reconcile_seconds_sum"));
     assert!(prom.contains("linuxfp_reconcile_seconds_count"));
+}
+
+// ---------------------------------------------------------------------
+// Flight-recorder stage attribution: for every accelerated subsystem,
+// each sampled span's per-stage costs must sum to exactly the virtual
+// time the packet was charged — no stage unaccounted, none counted
+// twice, in every regime (slow path, fast path, flow-cache hit).
+// ---------------------------------------------------------------------
+
+/// Every span conserves cost: stage sums equal the charged total.
+fn assert_spans_conserve(spans: &[TraceSpan], subsystem: &str) {
+    assert!(!spans.is_empty(), "{subsystem}: no spans sampled");
+    for s in spans {
+        assert!(
+            s.total_ns > 0.0,
+            "{subsystem}: span #{} cost nothing",
+            s.seq
+        );
+        assert!(
+            !s.stages.is_empty(),
+            "{subsystem}: span #{} has no stages",
+            s.seq
+        );
+        assert!(
+            (s.attributed_ns() - s.total_ns).abs() < 1e-6,
+            "{subsystem}: span #{} attributes {:.3} of {:.3} ns",
+            s.seq,
+            s.attributed_ns(),
+            s.total_ns
+        );
+    }
+}
+
+#[test]
+fn router_spans_conserve_stage_attribution() {
+    let scenario = Scenario::router();
+    let mut lfp = LinuxFpPlatform::new(scenario);
+    let mac = lfp.dut_mac();
+    let ring = lfp.kernel_mut().enable_flight_recorder(256, 1);
+    for i in 0..8u64 {
+        lfp.process(scenario.frame(mac, i, 60));
+    }
+    let spans = ring.recent();
+    assert_eq!(spans.len(), 8, "1-in-1 sampling records every packet");
+    assert_spans_conserve(&spans, "router");
+    // The steady state must include fast-path spans, and those must
+    // attribute the VM run.
+    assert!(
+        spans.iter().any(|s| s.events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Vm {
+                verdict: "redirect",
+                ..
+            }
+        ))),
+        "router never redirected on the fast path"
+    );
+}
+
+#[test]
+fn bridge_spans_conserve_stage_attribution() {
+    let registry = Registry::new();
+    let (mut k, [p1, p2, _eth0, _eth1]) = mixed_kernel();
+    k.set_telemetry(registry.clone());
+    let cfg = ControllerConfig {
+        telemetry: Some(registry),
+        ..ControllerConfig::default()
+    };
+    let (_ctrl, _) = Controller::attach(&mut k, cfg).unwrap();
+    let ring = k.enable_flight_recorder(256, 1);
+    k.receive(p1, bridged_frame(1, 2)); // flood + learn
+    for _ in 0..4 {
+        k.receive(p2, bridged_frame(2, 1)); // learned unicast
+    }
+    let spans = ring.recent();
+    assert_eq!(spans.len(), 5);
+    assert_spans_conserve(&spans, "bridge");
+}
+
+#[test]
+fn filter_spans_conserve_stage_attribution_and_carry_drop_reasons() {
+    let registry = Registry::new();
+    let (mut k, [_p1, _p2, eth0, _eth1]) = mixed_kernel();
+    k.set_telemetry(registry.clone());
+    let cfg = ControllerConfig {
+        telemetry: Some(registry),
+        ..ControllerConfig::default()
+    };
+    let (_ctrl, _) = Controller::attach(&mut k, cfg).unwrap();
+    let ring = k.enable_flight_recorder(256, 1);
+    for _ in 0..4 {
+        let out = k.receive(eth0, routed_frame(&k, eth0, 7));
+        assert!(out.transmissions().is_empty(), "blacklisted dst forwarded");
+    }
+    let spans = ring.recent();
+    assert_eq!(spans.len(), 4);
+    assert_spans_conserve(&spans, "filter");
+    // Every drop names a machine-readable taxonomy reason.
+    for s in &spans {
+        let reasons: Vec<&str> = s
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Drop { reason } => Some(reason.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reasons.len(), 1, "span #{} drops: {reasons:?}", s.seq);
+    }
+}
+
+#[test]
+fn ipvs_spans_conserve_stage_attribution() {
+    const VIP: Ipv4Addr = Ipv4Addr::new(10, 96, 0, 10);
+    let mut k = Kernel::new(47);
+    let eth0 = k.add_physical("eth0").unwrap();
+    let eth1 = k.add_physical("eth1").unwrap();
+    k.ip_addr_add(eth0, "10.0.1.1/24".parse::<IfAddr>().unwrap())
+        .unwrap();
+    k.ip_addr_add(eth1, "10.0.2.1/24".parse::<IfAddr>().unwrap())
+        .unwrap();
+    k.ip_link_set_up(eth0).unwrap();
+    k.ip_link_set_up(eth1).unwrap();
+    k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
+    let now = k.now();
+    assert!(k.ipvsadm_add_service(VIP, 53, IpProto::Udp, Scheduler::RoundRobin));
+    for i in 0..2u8 {
+        let backend = Ipv4Addr::new(10, 0, 2, 10 + i);
+        k.neigh
+            .learn(backend, MacAddr::from_index(0xB0 + u64::from(i)), eth1, now);
+        assert!(k.ipvsadm_add_backend(VIP, 53, IpProto::Udp, backend, 53));
+    }
+    let (_ctrl, _) = Controller::attach(&mut k, ControllerConfig::default()).unwrap();
+    let ring = k.enable_flight_recorder(256, 1);
+    // Same flow twice: first packet schedules in the slow path and pins
+    // the binding, the second rewrites on the fast path.
+    for _ in 0..2 {
+        let q = builder::udp_packet(
+            MacAddr::from_index(0xAAAA),
+            k.device(eth0).unwrap().mac,
+            Ipv4Addr::new(10, 0, 1, 100),
+            VIP,
+            40001,
+            53,
+            b"query",
+        );
+        let out = k.receive(eth0, q);
+        assert_eq!(out.transmissions().len(), 1, "vip query not forwarded");
+    }
+    let spans = ring.recent();
+    assert_eq!(spans.len(), 2);
+    assert_spans_conserve(&spans, "ipvs");
+}
+
+#[test]
+fn nat_spans_conserve_stage_attribution_and_record_rewrites() {
+    const PUBLIC_IP: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 1);
+    const UPSTREAM_GW: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 254);
+    const REMOTE: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 7);
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 1, 100);
+    let mut k = Kernel::new(48);
+    let lan = k.add_physical("lan0").unwrap();
+    let wan = k.add_physical("wan0").unwrap();
+    k.ip_addr_add(lan, "10.0.1.1/24".parse::<IfAddr>().unwrap())
+        .unwrap();
+    k.ip_addr_add(wan, format!("{PUBLIC_IP}/24").parse::<IfAddr>().unwrap())
+        .unwrap();
+    k.ip_link_set_up(lan).unwrap();
+    k.ip_link_set_up(wan).unwrap();
+    k.sysctl_set("net.ipv4.ip_forward", 1).unwrap();
+    k.ip_route_add("198.51.100.0/24".parse().unwrap(), Some(UPSTREAM_GW), None)
+        .unwrap();
+    let now = k.now();
+    k.neigh
+        .learn(UPSTREAM_GW, MacAddr::from_index(0x0E0E), wan, now);
+    k.neigh.learn(CLIENT, MacAddr::from_index(0xC11E), lan, now);
+    assert!(k.iptables_nat_append(
+        NatChain::Postrouting,
+        NatRule {
+            out_if: Some(wan),
+            ..NatRule::any(NatTarget::Masquerade)
+        },
+    ));
+    let (_ctrl, _) = Controller::attach(&mut k, ControllerConfig::default()).unwrap();
+    let ring = k.enable_flight_recorder(256, 1);
+    for _ in 0..2 {
+        let pkt = builder::udp_packet(
+            MacAddr::from_index(0xC11E),
+            k.device(lan).unwrap().mac,
+            CLIENT,
+            REMOTE,
+            5000,
+            443,
+            b"out",
+        );
+        let out = k.receive(lan, pkt);
+        assert_eq!(out.transmissions().len(), 1, "masqueraded packet dropped");
+    }
+    let spans = ring.recent();
+    assert_eq!(spans.len(), 2);
+    assert_spans_conserve(&spans, "nat");
+    // At least the slow-path packet records its rewrite as a NAT event.
+    assert!(
+        spans.iter().any(|s| s.events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Nat {
+                rewritten: true,
+                ..
+            }
+        ))),
+        "no NAT rewrite event in {spans:?}"
+    );
 }
