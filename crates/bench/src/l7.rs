@@ -1,0 +1,90 @@
+//! L7 gateway experiment: per-request service time with the policy
+//! verdict offloaded versus punted.
+//!
+//! The API-gateway scenario runs three workloads. Well-formed allowed
+//! requests on LinuxFP are the offloaded case: the first request of a
+//! flow pins the connection verdict, and every revisit resolves in the
+//! fast path (or the microflow cache) without an sk_buff. The same
+//! workload on plain Linux is the slow-path baseline. Binary-garbage
+//! payloads on LinuxFP are the punt case: `bpf_l7_policy_lookup`
+//! cannot parse them, so every frame punts (`PuntReason::L7Unparseable`)
+//! and pays the full slow path on top of the fast-path attempt — the
+//! transparency tax for traffic the bounded parser refuses to judge.
+
+use crate::table::ExperimentTable;
+use linuxfp_platforms::{LinuxFpPlatform, LinuxPlatform, Platform, Scenario};
+
+/// Flows in the working set (every pin fits the connection table).
+const FLOWS: u64 = 256;
+
+/// A TLS-handshake-looking payload no HTTP parser will accept.
+const GARBAGE: &[u8] = &[0x16, 0x03, 0x01, 0x00, 0x2a, 0x01, 0x00, 0x00];
+
+/// The L7 gateway experiment at burst 32.
+pub fn l7_gateway_experiment() -> ExperimentTable {
+    let s = Scenario::api_gateway();
+    let requests: Vec<Vec<u8>> = (0..64).map(Scenario::http_request).collect();
+
+    let mut table = ExperimentTable::new(
+        "l7_gateway",
+        "L7 policy offload: request service time, API gateway at burst 32",
+        &["workload", "ns/request"],
+    );
+
+    let mut lfp_allow = LinuxFpPlatform::new(s);
+    let mac = lfp_allow.dut_mac();
+    let allow_ns = lfp_allow.service_time_ns_batched(
+        &mut |i, buf| s.fill_http_frame(mac, i % FLOWS, &requests[(i % 64) as usize], buf),
+        32,
+    );
+    table.row(vec![
+        "allow (offloaded)".to_string(),
+        ExperimentTable::num(allow_ns, 1),
+    ]);
+
+    let mut linux = LinuxPlatform::new(s);
+    let mac = linux.dut_mac();
+    let linux_ns = linux.service_time_ns_batched(
+        &mut |i, buf| s.fill_http_frame(mac, i % FLOWS, &requests[(i % 64) as usize], buf),
+        32,
+    );
+    table.row(vec![
+        "allow (linux slow path)".to_string(),
+        ExperimentTable::num(linux_ns, 1),
+    ]);
+
+    let mut lfp_punt = LinuxFpPlatform::new(s);
+    let mac = lfp_punt.dut_mac();
+    let punt_ns = lfp_punt.service_time_ns_batched(
+        &mut |i, buf| s.fill_http_frame(mac, i % FLOWS, GARBAGE, buf),
+        32,
+    );
+    table.row(vec![
+        "unparseable (punted)".to_string(),
+        ExperimentTable::num(punt_ns, 1),
+    ]);
+
+    table.note(format!(
+        "{} deny policies; unparseable requests punt to the slow-path parser \
+         and still forward byte-identically",
+        s.l7_policies
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offloaded_requests_beat_the_punted_slow_path() {
+        let t = l7_gateway_experiment();
+        let offloaded = t.value("allow (offloaded)", 1);
+        let linux = t.value("allow (linux slow path)", 1);
+        let punted = t.value("unparseable (punted)", 1);
+        assert!(offloaded < linux, "offload slower than the slow path: {t}");
+        assert!(offloaded < punted, "offload slower than the punt path: {t}");
+        // Punts pay the fast-path attempt *plus* the slow path.
+        assert!(punted >= linux, "punt cheaper than the slow path: {t}");
+    }
+}

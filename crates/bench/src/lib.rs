@@ -30,6 +30,7 @@ pub mod batch;
 pub mod control;
 pub mod flow_cache;
 pub mod hooks;
+pub mod l7;
 pub mod pods;
 pub mod table;
 pub mod trace;
@@ -59,6 +60,7 @@ pub fn run_experiment(id: &str) -> Option<ExperimentTable> {
         "batch_sweep" => batch::batch_sweep(),
         "flow_cache" => flow_cache::flow_cache_experiment(),
         "trace_breakdown" => trace::trace_breakdown_experiment(),
+        "l7_gateway" => l7::l7_gateway_experiment(),
         _ => return None,
     })
 }
@@ -85,6 +87,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "batch_sweep",
     "flow_cache",
     "trace_breakdown",
+    "l7_gateway",
 ];
 
 #[cfg(test)]
@@ -100,6 +103,6 @@ mod tests {
             assert!(!t.rows.is_empty(), "{id} produced no rows");
         }
         assert!(run_experiment("fig99").is_none());
-        assert_eq!(ALL_EXPERIMENTS.len(), 19);
+        assert_eq!(ALL_EXPERIMENTS.len(), 20);
     }
 }

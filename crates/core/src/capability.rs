@@ -32,6 +32,7 @@ impl Capabilities {
                 HelperId::MapUpdate,
                 HelperId::CtLookup,
                 HelperId::NatLookup,
+                HelperId::L7PolicyLookup,
                 HelperId::TrivialNf,
                 HelperId::XskRedirect,
             ]
@@ -48,6 +49,7 @@ impl Capabilities {
         caps.helpers.remove(&HelperId::IptLookup);
         caps.helpers.remove(&HelperId::CtLookup);
         caps.helpers.remove(&HelperId::NatLookup);
+        caps.helpers.remove(&HelperId::L7PolicyLookup);
         caps
     }
 
@@ -81,13 +83,7 @@ mod tests {
     #[test]
     fn full_supports_everything() {
         let caps = Capabilities::full();
-        for kind in [
-            FpmKind::Bridge,
-            FpmKind::Router,
-            FpmKind::Filter,
-            FpmKind::Ipvs,
-            FpmKind::Nat,
-        ] {
+        for kind in FpmKind::ALL {
             assert!(caps.supports(kind), "{kind:?}");
         }
     }
@@ -100,6 +96,7 @@ mod tests {
         assert!(!caps.supports(FpmKind::Filter)); // needs bpf_ipt_lookup
         assert!(!caps.supports(FpmKind::Ipvs));
         assert!(!caps.supports(FpmKind::Nat)); // needs bpf_nat_lookup
+        assert!(!caps.supports(FpmKind::L7)); // needs bpf_l7_policy_lookup
     }
 
     #[test]

@@ -63,9 +63,25 @@ pub enum FpmKind {
     /// (row 5; extension — established flows are translated inline with
     /// incremental checksum updates, first packets bind in the slow path).
     Nat,
+    /// L7 HTTP/1.x request-policy offload via `bpf_l7_policy_lookup`
+    /// (row 6; extension — the helper parses the request line inside the
+    /// kernel against the live policy table; anything unparseable punts).
+    L7,
 }
 
 impl FpmKind {
+    /// Every FPM kind in the library, in paper-table order. Tests iterate
+    /// this instead of hand-maintained lists so a new kind cannot be
+    /// silently skipped.
+    pub const ALL: [FpmKind; 6] = [
+        FpmKind::Bridge,
+        FpmKind::Router,
+        FpmKind::Filter,
+        FpmKind::Ipvs,
+        FpmKind::Nat,
+        FpmKind::L7,
+    ];
+
     /// The kernel helpers this FPM's template calls.
     pub fn required_helpers(self) -> &'static [HelperId] {
         match self {
@@ -74,6 +90,7 @@ impl FpmKind {
             FpmKind::Filter => &[HelperId::IptLookup],
             FpmKind::Ipvs => &[HelperId::CtLookup],
             FpmKind::Nat => &[HelperId::NatLookup],
+            FpmKind::L7 => &[HelperId::L7PolicyLookup],
         }
     }
 
@@ -85,6 +102,7 @@ impl FpmKind {
             FpmKind::Filter => "filter",
             FpmKind::Ipvs => "ipvs",
             FpmKind::Nat => "nat",
+            FpmKind::L7 => "l7",
         }
     }
 
@@ -96,6 +114,7 @@ impl FpmKind {
             "filter" => Some(FpmKind::Filter),
             "ipvs" => Some(FpmKind::Ipvs),
             "nat" => Some(FpmKind::Nat),
+            "l7" => Some(FpmKind::L7),
             _ => None,
         }
     }
@@ -272,6 +291,35 @@ impl IpvsConf {
     }
 }
 
+/// Configuration attributes of an L7 policy FPM instance (extension).
+/// The count is informational — `bpf_l7_policy_lookup` always evaluates
+/// the live kernel policy table, so rule content never compiles in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L7Conf {
+    /// Request policies currently configured.
+    pub rules: usize,
+}
+
+impl L7Conf {
+    /// The conf as a JSON object.
+    pub fn to_value(&self) -> Value {
+        json!({
+            "rules": self.rules,
+        })
+    }
+
+    /// Parses the conf back out of a JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_value(v: &Value) -> Result<L7Conf, String> {
+        Ok(L7Conf {
+            rules: conf_u64(v, "rules")? as usize,
+        })
+    }
+}
+
 impl NatConf {
     /// The conf as a JSON object.
     pub fn to_value(&self) -> Value {
@@ -380,6 +428,8 @@ pub enum FpmInstance {
     Ipvs(IpvsConf),
     /// A NAT44 module (extension).
     Nat(NatConf),
+    /// An L7 request-policy module (extension).
+    L7(L7Conf),
 }
 
 impl FpmInstance {
@@ -391,6 +441,7 @@ impl FpmInstance {
             FpmInstance::Filter(_) => FpmKind::Filter,
             FpmInstance::Ipvs(_) => FpmKind::Ipvs,
             FpmInstance::Nat(_) => FpmKind::Nat,
+            FpmInstance::L7(_) => FpmKind::L7,
         }
     }
 }
@@ -420,6 +471,10 @@ pub fn validate_pipeline(pipeline: &[FpmInstance]) -> Result<(), String> {
         .iter()
         .filter(|f| matches!(f, FpmInstance::Nat(_)))
         .count();
+    let l7s = pipeline
+        .iter()
+        .filter(|f| matches!(f, FpmInstance::L7(_)))
+        .count();
     if routers > 1 {
         return Err("at most one router FPM per pipeline".into());
     }
@@ -428,6 +483,9 @@ pub fn validate_pipeline(pipeline: &[FpmInstance]) -> Result<(), String> {
     }
     if nats > 1 {
         return Err("at most one nat FPM per pipeline".into());
+    }
+    if l7s > 1 {
+        return Err("at most one l7 FPM per pipeline".into());
     }
     if pipeline[1..]
         .iter()
@@ -567,6 +625,7 @@ fn emit_l3(a: &mut Asm, pipeline: &[FpmInstance]) -> usize {
     let mut filter: Option<&FilterConf> = None;
     let mut ipvs: Vec<&IpvsConf> = Vec::new();
     let mut nat: Option<&NatConf> = None;
+    let mut l7: Option<&L7Conf> = None;
     let mut has_router = false;
     for fpm in pipeline {
         match fpm {
@@ -574,11 +633,12 @@ fn emit_l3(a: &mut Asm, pipeline: &[FpmInstance]) -> usize {
             FpmInstance::Filter(c) => filter = Some(c),
             FpmInstance::Ipvs(c) => ipvs.push(c),
             FpmInstance::Nat(c) => nat = Some(c),
+            FpmInstance::L7(c) => l7 = Some(c),
             FpmInstance::Bridge(_) => panic!("bridge FPM must lead the pipeline"),
         }
     }
     assert!(has_router, "L3 pipeline requires a router FPM");
-    emit_router(a, filter, &ipvs, nat);
+    emit_router(a, filter, &ipvs, nat, l7);
     pipeline.len()
 }
 
@@ -715,6 +775,7 @@ fn emit_router(
     filter: Option<&FilterConf>,
     ipvs: &[&IpvsConf],
     nat: Option<&NatConf>,
+    l7: Option<&L7Conf>,
 ) {
     emit_guard(a, 34);
     // EtherType must be IPv4 (tagged frames go to the slow path).
@@ -744,6 +805,12 @@ fn emit_router(
 
     if nat.is_some() {
         emit_nat_prerouting(a);
+    }
+
+    if l7.is_some() {
+        // Post-DNAT so connection pins key on the same tuple the slow
+        // path sees, pre-FIB so a deny precedes any route-miss ICMP.
+        emit_l7(a);
     }
 
     // bpf_fib_lookup: destination from the packet (post-DNAT when the
@@ -994,6 +1061,59 @@ fn emit_nat_postrouting(a: &mut Asm) {
     a.label("nat_nosrc");
 }
 
+/// L7 extension: evaluate the HTTP/1.x request policy over the TCP
+/// payload via `bpf_l7_policy_lookup`. Sits post-DNAT / pre-FIB, exactly
+/// where the slow path evaluates its policy table.
+///
+/// This is the library's only **variable-length** payload access: the TCP
+/// data offset is read from the packet, shifted into a byte count, and
+/// added to a packet pointer — a `PtrPacketVar` in the verifier — whose
+/// bound against the segment end must be proven by explicit guards before
+/// the first payload byte is loaded or the pointer is passed to the
+/// helper. Every malformed shape (short segment, doff < 5, doff past the
+/// segment end) branches to `pass`: the slow path re-runs the same policy
+/// via its own parser, so punting is always transparent.
+///
+/// Helper results: 0 = allow (pinned), 1 = deny, 2 = punt (steer or
+/// unparseable — the slow path decides), 3 = allow-without-pin (no
+/// request data; the pipeline continues but the verdict must not be
+/// flow-cached).
+fn emit_l7(a: &mut Asm) {
+    // Non-TCP traffic never carries a request; skip the stage entirely.
+    a.load(MemSize::B, 2, R_DATA, 23);
+    a.jmp_imm(JmpCond::Ne, 2, 6, "l7_done");
+    // Ethernet (14) + IPv4 IHL=5 (20) + minimal TCP (20) = 54 bytes.
+    emit_guard(a, 54);
+    // Data offset: high nibble of byte 46, in 32-bit words.
+    a.load(MemSize::B, 2, R_DATA, 46);
+    a.alu_imm(AluOp::Rsh, 2, 4);
+    // doff < 5 is a malformed header the slow path rejects while
+    // parsing: punt so both paths agree.
+    a.jmp_imm(JmpCond::Lt, 2, 5, "pass");
+    a.alu_imm(AluOp::Lsh, 2, 2); // header length in bytes (20..=60)
+                                 // Payload pointer = data + 34 + doff*4 (a variable offset).
+    a.mov_reg(5, R_DATA);
+    a.alu_imm(AluOp::Add, 5, 34);
+    a.alu_reg(AluOp::Add, 5, 2);
+    // Data offset past the segment end: punt (the slow path sees a
+    // truncated payload and punts identically).
+    a.jmp_reg(JmpCond::Gt, 5, R_END, "pass");
+    // First payload byte, or the 0x100 sentinel for an empty segment.
+    a.mov_imm(4, 0x100);
+    a.mov_reg(2, 5);
+    a.alu_imm(AluOp::Add, 2, 1);
+    a.jmp_reg(JmpCond::Gt, 2, R_END, "l7_call");
+    a.load(MemSize::B, 4, 5, 0);
+    a.label("l7_call");
+    a.mov_reg(1, R_CTX);
+    a.mov_reg(2, 5);
+    a.mov_imm(3, linuxfp_netstack::l7::PARSE_WINDOW as i64);
+    a.call(HelperId::L7PolicyLookup);
+    a.jmp_imm(JmpCond::Eq, 0, 1, "drop"); // policy deny
+    a.jmp_imm(JmpCond::Eq, 0, 2, "pass"); // steer / unparseable: punt
+    a.label("l7_done");
+}
+
 /// Emits full IPv4 header-checksum verification for the 20-byte header
 /// the preceding `0x45` check proved (and the 34-byte guard made
 /// loadable): sums the ten header halfwords, folds, and punts to the
@@ -1171,7 +1291,7 @@ mod tests {
                     dnat_rules: 0,
                     snat_rules: 2,
                 }),
-                FpmInstance::Filter(filter),
+                FpmInstance::Filter(filter.clone()),
             ],
             vec![
                 FpmInstance::Bridge(bridge_conf(true, true)),
@@ -1180,6 +1300,21 @@ mod tests {
                     dnat_rules: 1,
                     snat_rules: 0,
                 }),
+            ],
+            vec![FpmInstance::Router, FpmInstance::L7(L7Conf { rules: 3 })],
+            vec![
+                FpmInstance::Router,
+                FpmInstance::Nat(NatConf {
+                    dnat_rules: 1,
+                    snat_rules: 1,
+                }),
+                FpmInstance::L7(L7Conf { rules: 1 }),
+                FpmInstance::Filter(filter.clone()),
+            ],
+            vec![
+                FpmInstance::Bridge(bridge_conf(false, true)),
+                FpmInstance::Router,
+                FpmInstance::L7(L7Conf { rules: 2 }),
             ],
         ];
         for shape in shapes {
@@ -1210,17 +1345,40 @@ mod tests {
 
     #[test]
     fn kind_metadata() {
-        for kind in [
-            FpmKind::Bridge,
-            FpmKind::Router,
-            FpmKind::Filter,
-            FpmKind::Ipvs,
-            FpmKind::Nat,
-        ] {
+        for kind in FpmKind::ALL {
             assert_eq!(FpmKind::from_key(kind.key()), Some(kind));
             assert!(!kind.required_helpers().is_empty());
         }
         assert_eq!(FpmKind::from_key("nonsense"), None);
+    }
+
+    #[test]
+    fn kind_keys_round_trip_exhaustively() {
+        // Property over the whole key space the model can emit: every
+        // kind's key parses back to exactly that kind, keys are unique,
+        // and from_key accepts *only* those strings — perturbations
+        // (case, whitespace, prefixes) must all be rejected, since an
+        // unknown nf key has to fail graph parsing rather than silently
+        // alias another module.
+        let keys: Vec<&str> = FpmKind::ALL.iter().map(|k| k.key()).collect();
+        let unique: std::collections::HashSet<&str> = keys.iter().copied().collect();
+        assert_eq!(unique.len(), FpmKind::ALL.len(), "duplicate FPM keys");
+        for kind in FpmKind::ALL {
+            let key = kind.key();
+            assert_eq!(FpmKind::from_key(key), Some(kind));
+            for perturbed in [
+                key.to_uppercase(),
+                format!(" {key}"),
+                format!("{key} "),
+                format!("{key}x"),
+                format!("x{key}"),
+                key.chars().rev().collect::<String>(),
+            ] {
+                if !keys.contains(&perturbed.as_str()) {
+                    assert_eq!(FpmKind::from_key(&perturbed), None, "{perturbed:?}");
+                }
+            }
+        }
     }
 
     #[test]
@@ -1287,6 +1445,11 @@ mod tests {
         assert!(validate_pipeline(std::slice::from_ref(&nat)).is_err());
         assert!(validate_pipeline(&[FpmInstance::Router, nat.clone(), nat.clone()]).is_err());
         assert!(validate_pipeline(&[br(false), nat]).is_err());
+        let l7 = FpmInstance::L7(L7Conf { rules: 1 });
+        assert!(validate_pipeline(&[FpmInstance::Router, l7.clone()]).is_ok());
+        assert!(validate_pipeline(std::slice::from_ref(&l7)).is_err());
+        assert!(validate_pipeline(&[FpmInstance::Router, l7.clone(), l7.clone()]).is_err());
+        assert!(validate_pipeline(&[br(false), l7]).is_err());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! structures), matching the paper's pipeline of Fig. 3.
 
 use crate::capability::Capabilities;
-use crate::fpm::{BridgeConf, FilterConf, FpmInstance, FpmKind, IpvsConf, NatConf};
+use crate::fpm::{BridgeConf, FilterConf, FpmInstance, FpmKind, IpvsConf, L7Conf, NatConf};
 use crate::objects::ObjectStore;
 use linuxfp_json::{json, Map, Value};
 use linuxfp_netstack::device::IfIndex;
@@ -81,6 +81,12 @@ pub fn plan_interface(
         // interface's return path), so no interface gets a fast path.
         return Vec::new();
     }
+    if store.l7_configured && !caps.supports(FpmKind::L7) {
+        // Same reasoning for L7 policies: accelerated forwarding would
+        // skip a request verdict (deny/steer) the slow path enforces,
+        // so no interface gets a fast path.
+        return Vec::new();
+    }
     let mut pipeline = Vec::new();
 
     if let Some((br_iface, bridge)) = store.bridge_of(ifindex) {
@@ -124,6 +130,7 @@ pub fn plan_interface(
             }
             pipeline.push(FpmInstance::Router);
             push_nat(store, caps, &mut pipeline);
+            push_l7(store, caps, &mut pipeline);
             push_filter(store, caps, &mut pipeline);
         } else if br_nf {
             push_filter(store, caps, &mut pipeline);
@@ -161,6 +168,7 @@ pub fn plan_interface(
         }
         pipeline.push(FpmInstance::Router);
         push_nat(store, caps, &mut pipeline);
+        push_l7(store, caps, &mut pipeline);
         push_filter(store, caps, &mut pipeline);
     }
     pipeline
@@ -171,6 +179,14 @@ fn push_nat(store: &ObjectStore, caps: &Capabilities, pipeline: &mut Vec<FpmInst
         pipeline.push(FpmInstance::Nat(NatConf {
             dnat_rules: store.nat.dnat_rules,
             snat_rules: store.nat.snat_rules,
+        }));
+    }
+}
+
+fn push_l7(store: &ObjectStore, caps: &Capabilities, pipeline: &mut Vec<FpmInstance>) {
+    if store.l7_configured && caps.supports(FpmKind::L7) {
+        pipeline.push(FpmInstance::L7(L7Conf {
+            rules: store.l7.rules,
         }));
     }
 }
@@ -192,6 +208,7 @@ fn conf_json(fpm: &FpmInstance) -> Value {
         FpmInstance::Filter(c) => c.to_value(),
         FpmInstance::Ipvs(c) => c.to_value(),
         FpmInstance::Nat(c) => c.to_value(),
+        FpmInstance::L7(c) => c.to_value(),
     }
 }
 
@@ -232,6 +249,9 @@ pub fn pipeline_from_json(entry: &Value) -> Result<(IfIndex, Vec<FpmInstance>), 
             FpmKind::Nat => FpmInstance::Nat(
                 NatConf::from_value(conf).map_err(|e| format!("bad nat conf: {e}"))?,
             ),
+            FpmKind::L7 => {
+                FpmInstance::L7(L7Conf::from_value(conf).map_err(|e| format!("bad l7 conf: {e}"))?)
+            }
         };
         pipeline.push(fpm);
     }
@@ -443,6 +463,91 @@ mod tests {
         let graph = build_graph(&store, &caps);
         let (_, pipeline) = pipeline_from_json(&graph["interfaces"]["eth0"]).unwrap();
         assert_eq!(pipeline, vec![FpmInstance::Router]);
+    }
+
+    #[test]
+    fn l7_config_appends_l7_fpm() {
+        use linuxfp_netstack::l7::{L7Action, L7Policy};
+        let (mut k, _, _) = router_kernel();
+        k.l7_policy_append(L7Policy::prefix(b"/admin", L7Action::Deny));
+        k.l7_policy_append(L7Policy::prefix(b"/", L7Action::Allow));
+        let store = ObjectStore::snapshot(&k);
+        assert!(store.l7_configured);
+        assert_eq!(store.l7.rules, 2);
+        let graph = build_graph(&store, &Capabilities::full());
+        let entry = &graph["interfaces"]["eth0"];
+        assert_eq!(entry["pipeline"][0]["nf"], "router");
+        assert_eq!(entry["pipeline"][0]["next_nf"], "l7");
+        assert_eq!(entry["pipeline"][1]["nf"], "l7");
+        let (_, pipeline) = pipeline_from_json(entry).unwrap();
+        assert_eq!(
+            pipeline[1],
+            FpmInstance::L7(crate::fpm::L7Conf { rules: 2 })
+        );
+    }
+
+    #[test]
+    fn l7_without_helper_disables_all_fast_paths() {
+        use linuxfp_netstack::l7::{L7Action, L7Policy};
+        let (mut k, _, _) = router_kernel();
+        k.l7_policy_append(L7Policy::prefix(b"/", L7Action::Deny));
+        let store = ObjectStore::snapshot(&k);
+        // Without `bpf_l7_policy_lookup`, accelerated forwarding would
+        // skip request verdicts — every interface stays slow.
+        let caps = Capabilities::full().without(linuxfp_ebpf::insn::HelperId::L7PolicyLookup);
+        let graph = build_graph(&store, &caps);
+        assert!(graph["interfaces"].as_object().unwrap().is_empty());
+        // Flushing the policies (which also clears pins) restores the
+        // router fast path.
+        k.l7_policy_flush();
+        let store = ObjectStore::snapshot(&k);
+        let graph = build_graph(&store, &caps);
+        let (_, pipeline) = pipeline_from_json(&graph["interfaces"]["eth0"]).unwrap();
+        assert_eq!(pipeline, vec![FpmInstance::Router]);
+    }
+
+    #[test]
+    fn graph_node_names_are_model_consistent() {
+        // Satellite check: every `nf` name a built graph can emit parses
+        // back through `FpmKind::from_key`, its conf round-trips through
+        // `pipeline_from_json`, and every `next_nf` names the following
+        // node exactly. Builds a maximal configuration so all L3 node
+        // kinds appear in one graph.
+        use linuxfp_netstack::l7::{L7Action, L7Policy};
+        use linuxfp_netstack::nat::{NatChain, NatRule, NatTarget};
+        use linuxfp_netstack::netfilter::{ChainHook, IptRule};
+        let (mut k, _, _) = router_kernel();
+        k.iptables_append(
+            ChainHook::Forward,
+            IptRule::drop_dst("10.10.3.0/24".parse().unwrap()),
+        );
+        k.iptables_nat_append(NatChain::Postrouting, NatRule::any(NatTarget::Masquerade));
+        k.l7_policy_append(L7Policy::prefix(b"/", L7Action::Allow));
+        let store = ObjectStore::snapshot(&k);
+        let graph = build_graph(&store, &Capabilities::full());
+        let ifaces = graph["interfaces"].as_object().unwrap();
+        assert!(!ifaces.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for (name, entry) in ifaces {
+            let nodes = entry["pipeline"].as_array().unwrap();
+            for (i, node) in nodes.iter().enumerate() {
+                let nf = node["nf"].as_str().unwrap();
+                let kind = FpmKind::from_key(nf)
+                    .unwrap_or_else(|| panic!("{name}: unknown nf key {nf:?}"));
+                assert_eq!(kind.key(), nf, "{name}: key round-trip");
+                seen.insert(nf.to_string());
+                match nodes.get(i + 1) {
+                    Some(next) => assert_eq!(node["next_nf"], next["nf"], "{name}[{i}]"),
+                    None => assert_eq!(node["next_nf"], Value::Null, "{name}[{i}]"),
+                }
+            }
+            // The JSON is the synthesizer's real input: it must parse.
+            let (_, pipeline) = pipeline_from_json(entry).unwrap();
+            assert_eq!(pipeline.len(), nodes.len());
+        }
+        for expected in ["router", "nat", "l7", "filter"] {
+            assert!(seen.contains(expected), "graph never emitted {expected}");
+        }
     }
 
     #[test]

@@ -79,6 +79,16 @@ pub struct NatObject {
     pub generation: u64,
 }
 
+/// Summary of the L7 request-policy table relevant to synthesis.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct L7Object {
+    /// Request policies currently configured.
+    pub rules: usize,
+    /// Configuration generation (bumped on policy changes, flushes, and
+    /// connection-pin evictions).
+    pub generation: u64,
+}
+
 /// The controller's coherent snapshot of kernel networking state.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct ObjectStore {
@@ -102,6 +112,12 @@ pub struct ObjectStore {
     /// bindings from since-removed rules are still live in conntrack
     /// (the slow path keeps honoring those, so the fast path must too).
     pub nat_configured: bool,
+    /// L7 request-policy table summary.
+    pub l7: L7Object,
+    /// Whether the L7 policy engine can touch traffic: any policy
+    /// exists, or connection pins are still live (the slow path keeps
+    /// honoring pinned verdicts, so the fast path must too).
+    pub l7_configured: bool,
 }
 
 impl ObjectStore {
@@ -146,6 +162,15 @@ impl ObjectStore {
             // the NAT stage deployed, or the fast path forwards frames
             // the slow path would still translate.
             nat_configured: kernel.nat.total_rules() > 0 || kernel.conntrack.nat_len() > 0,
+            l7: L7Object {
+                rules: kernel.l7.total_rules(),
+                generation: kernel.l7.generation,
+            },
+            // Same shape as `nat_configured`: policies OR live pins. A
+            // flush clears both atomically, so the stage retires with
+            // the table — but a defensive disjunction keeps any future
+            // pin-retaining operation transparent by construction.
+            l7_configured: kernel.l7.total_rules() > 0 || kernel.l7.pinned_len() > 0,
         }
     }
 
@@ -239,6 +264,41 @@ mod tests {
         k.advance(linuxfp_sim::Nanos::from_secs(3600));
         k.conntrack.nat_gc(k.now());
         assert!(!ObjectStore::snapshot(&k).nat_configured);
+    }
+
+    #[test]
+    fn l7_configured_tracks_policies_and_pins() {
+        use linuxfp_netstack::l7::{L7Action, L7ConnKey, L7Policy};
+        use std::net::Ipv4Addr;
+
+        let mut k = Kernel::new(9);
+        assert!(!ObjectStore::snapshot(&k).l7_configured);
+        k.l7_policy_append(L7Policy::prefix(b"/api", L7Action::Deny));
+        let store = ObjectStore::snapshot(&k);
+        assert!(store.l7_configured);
+        assert_eq!(store.l7.rules, 1);
+        let gen_before = store.l7.generation;
+
+        // A parsed request pins the connection verdict; the snapshot
+        // keeps the stage deployed (rules still present) and the
+        // generation is what coherence keys on.
+        let key = L7ConnKey {
+            src: Ipv4Addr::new(10, 0, 1, 5),
+            sport: 4000,
+            dst: Ipv4Addr::new(10, 10, 0, 7),
+            dport: 80,
+        };
+        let _ = k.l7.lookup(key, b"GET /api/x HTTP/1.1\r\n");
+        assert_eq!(k.l7.pinned_len(), 1);
+        assert!(ObjectStore::snapshot(&k).l7_configured);
+
+        // Flush clears policies AND pins atomically: the stage retires,
+        // and the generation moved so deployed caches invalidate.
+        k.l7_policy_flush();
+        let store = ObjectStore::snapshot(&k);
+        assert!(!store.l7_configured);
+        assert_eq!(k.l7.pinned_len(), 0);
+        assert!(store.l7.generation > gen_before);
     }
 
     #[test]

@@ -307,6 +307,23 @@ mod tests {
     }
 
     #[test]
+    fn l7_policies_add_the_policy_helper_call() {
+        use linuxfp_netstack::l7::{L7Action, L7Policy};
+        let mut k = gateway_kernel();
+        k.l7_policy_append(L7Policy::prefix(b"/admin", L7Action::Deny));
+        let store = ObjectStore::snapshot(&k);
+        let graph = build_graph(&store, &Capabilities::full());
+        let fps = synthesize(&graph).unwrap();
+        assert_eq!(fps.len(), 2);
+        for fp in &fps {
+            assert_eq!(fp.fpm_count, 3, "{}: router+l7+filter", fp.ifname);
+            LoadedProgram::load(fp.program.clone())
+                .unwrap_or_else(|e| panic!("{} failed verification: {e}", fp.ifname));
+            assert!(program_calls(&fp.program, HelperId::L7PolicyLookup));
+        }
+    }
+
+    #[test]
     fn minimality_no_filter_module_without_rules() {
         let mut k = gateway_kernel();
         k.iptables_flush(ChainHook::Forward);

@@ -106,9 +106,17 @@ fn gen_packet(
 ) -> PacketSpec {
     loop {
         return match rng.uniform_u64(100) {
-            0..=39 => PacketSpec::Forward {
+            0..=31 => PacketSpec::Forward {
                 flow: rng.uniform_u64(1 + 2 * u64::from(base.prefixes)),
                 len: 60 + rng.uniform_u64(1437) as u16,
+            },
+            // HTTP-ish TCP payloads regardless of configured policies:
+            // with none, the L7 stage must stay invisible; with some,
+            // every variant (allowed, blocked, split, garbage, empty)
+            // must decide identically on both paths.
+            32..=39 => PacketSpec::Http {
+                flow: rng.uniform_u64(1 + 2 * u64::from(base.prefixes)),
+                variant: rng.uniform_u64(crate::scenario::HTTP_VARIANTS.len() as u64) as u8,
             },
             40..=54 if base.masquerade => {
                 // Any fresh client flow may allocate one masquerade port;
@@ -150,7 +158,7 @@ fn gen_packet(
 fn gen_churn(rng: &mut SimRng, base: &Scenario, ipvs: bool) -> ChurnOp {
     // Guarded arms that don't apply fall through to the thrash subset,
     // which is always applicable.
-    match rng.uniform_u64(12) {
+    match rng.uniform_u64(14) {
         0 => ChurnOp::IptAppend {
             rule: rng.uniform_u64(100) as u32,
         },
@@ -171,6 +179,10 @@ fn gen_churn(rng: &mut SimRng, base: &Scenario, ipvs: bool) -> ChurnOp {
         7 if ipvs => ChurnOp::IpvsAddBackend {
             i: rng.uniform_u64(16) as u8,
         },
+        8 => ChurnOp::L7Append {
+            i: rng.uniform_u64(16) as u32,
+        },
+        9 if base.l7_policies > 0 => ChurnOp::L7Flush,
         _ => gen_thrash(rng, base, ipvs),
     }
 }
@@ -207,10 +219,16 @@ fn gen_established_churn(
     masq_upper: &mut u16,
 ) -> Vec<Op> {
     let spec = loop {
-        break match rng.uniform_u64(4) {
+        break match rng.uniform_u64(5) {
             0 => PacketSpec::Forward {
                 flow: rng.uniform_u64(1 + 2 * u64::from(base.prefixes)),
                 len: 60 + rng.uniform_u64(1437) as u16,
+            },
+            // A pinned L7 connection: churn flushes the pin, and the
+            // next segment must re-derive the same verdict.
+            4 if base.l7_policies > 0 => PacketSpec::Http {
+                flow: rng.uniform_u64(1 + u64::from(base.prefixes)),
+                variant: 0,
             },
             1 if base.masquerade => {
                 *masq_upper = masq_upper.saturating_add(1);

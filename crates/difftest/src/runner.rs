@@ -11,6 +11,7 @@ use crate::scenario::{ChurnOp, DiffScenario, Dir, Op, PacketSpec};
 use linuxfp_json::Value;
 use linuxfp_netstack::device::IfIndex;
 use linuxfp_netstack::ipvs::Scheduler;
+use linuxfp_netstack::l7::{L7Action, L7Policy};
 use linuxfp_netstack::nat::{NatChain, NatRule, NatTarget};
 use linuxfp_netstack::netfilter::{ChainHook, IptRule};
 use linuxfp_netstack::stack::{Kernel, RxOutcome};
@@ -81,7 +82,9 @@ struct Observed {
 /// else (malformed, no route, ttl, exhaustion) compares verbatim.
 fn canonical_drop(reason: &str) -> &str {
     match reason {
-        "xdp drop" | "tc drop" | "nf input drop" | "nf forward drop" => "policy drop",
+        "xdp drop" | "tc drop" | "nf input drop" | "nf forward drop" | "l7 policy deny" => {
+            "policy drop"
+        }
         other => other,
     }
 }
@@ -234,6 +237,16 @@ fn build_frame(spec: &PacketSpec, base: &Scenario, up_mac: MacAddr, down_mac: Ma
             id,
             1,
         ),
+        PacketSpec::Http { flow, variant } => {
+            let payload: Vec<u8> = match variant % 5 {
+                0 => Scenario::http_request(flow),
+                1 => base.blocked_http_request(flow),
+                2 => b"GET /api/v1/items".to_vec(), // line split mid-URL
+                3 => vec![0x16, 0x03, 0x01, 0x00, 0x2a, 0x00, 0xff],
+                _ => Vec::new(), // bare ACK
+            };
+            base.http_frame(up_mac, flow, &payload)
+        }
         PacketSpec::Malformed { kind, flow } => {
             let mut frame = base.frame(up_mac, flow, 60);
             match kind % 7 {
@@ -364,6 +377,16 @@ fn apply_churn(k: &mut Kernel, c: &ChurnOp, base: &Scenario, down: IfIndex) {
             let _ = k.ip_route_add(scratch, Some(NEXT_HOP), None);
             let _ = k.ip_route_del(scratch, None);
         }
+        ChurnOp::L7Append { i } => {
+            // Small modulus so appends overlap the prefixes blocked
+            // traffic actually requests (including `/blocked/0`, the
+            // target when no base policies exist).
+            k.l7_policy_append(L7Policy::prefix(
+                format!("/blocked/{}", i % 8).as_bytes(),
+                L7Action::Deny,
+            ));
+        }
+        ChurnOp::L7Flush => k.l7_policy_flush(),
     }
 }
 

@@ -78,7 +78,20 @@ pub enum PacketSpec {
         /// Flow selector for the template frame.
         flow: u64,
     },
+    /// A routed TCP segment carrying an HTTP-ish payload (see
+    /// [`HTTP_VARIANTS`] for the payload taxonomy).
+    Http {
+        /// Flow selector (picks the destination and source port).
+        flow: u64,
+        /// Index into [`HTTP_VARIANTS`].
+        variant: u8,
+    },
 }
+
+/// The HTTP payload taxonomy, by `Http::variant` index: a well-formed
+/// allowed request, a request every L7 deny policy matches, a request
+/// line split across segments, binary garbage, and an empty payload.
+pub const HTTP_VARIANTS: &[&str] = &["allowed", "blocked", "split", "garbage", "empty"];
 
 /// The malformed-frame taxonomy, by `Malformed::kind` index.
 pub const MALFORMED_KINDS: &[&str] = &[
@@ -149,6 +162,14 @@ pub enum ChurnOp {
     /// unchanged, but the controller resynthesizes and swaps the FPM
     /// program twice.
     FpmSwap,
+    /// Appends one L7 deny policy for a `/blocked/<i>` URL prefix.
+    L7Append {
+        /// Blocked-prefix index.
+        i: u32,
+    },
+    /// Flushes the L7 policy table (and every pinned connection
+    /// verdict) in one event.
+    L7Flush,
 }
 
 /// One step of a scenario.
@@ -218,6 +239,7 @@ fn packet_json(p: &PacketSpec) -> Value {
         PacketSpec::Tcp { flow } => ("tcp", flow, 0),
         PacketSpec::Icmp { id } => ("icmp", u64::from(id), 0),
         PacketSpec::Malformed { kind, flow } => ("malformed", u64::from(kind), flow),
+        PacketSpec::Http { flow, variant } => ("http", flow, u64::from(variant)),
     };
     json!({"kind": kind, "a": a, "b": b})
 }
@@ -236,6 +258,8 @@ fn churn_json(c: &ChurnOp) -> Value {
         ChurnOp::IpsetFlush => ("ipset_flush", 0),
         ChurnOp::CtCap { cap } => ("ct_cap", u64::from(cap)),
         ChurnOp::FpmSwap => ("fpm_swap", 0),
+        ChurnOp::L7Append { i } => ("l7_append", u64::from(i)),
+        ChurnOp::L7Flush => ("l7_flush", 0),
     };
     json!({"kind": kind, "a": a})
 }
@@ -272,6 +296,7 @@ impl DiffScenario {
                 "filter_rules": self.base.filter_rules,
                 "use_ipset": self.base.use_ipset,
                 "masquerade": self.base.masquerade,
+                "l7_policies": self.base.l7_policies,
             },
             "hook": match self.hook { HookPoint::Xdp => "xdp", HookPoint::Tc => "tc" },
             "ipvs": self.ipvs,
@@ -291,6 +316,8 @@ impl DiffScenario {
             filter_rules: field_u64(base_v, "filter_rules")? as u32,
             use_ipset: field_bool(base_v, "use_ipset")?,
             masquerade: field_bool(base_v, "masquerade")?,
+            // Absent in fixtures checked in before the L7 subsystem.
+            l7_policies: base_v["l7_policies"].as_u64().unwrap_or(0) as u32,
         };
         let hook = match doc["hook"].as_str() {
             Some("xdp") => HookPoint::Xdp,
@@ -378,6 +405,10 @@ fn parse_packet(v: &Value) -> Result<PacketSpec, String> {
             kind: a as u8,
             flow: b,
         }),
+        Some("http") => Ok(PacketSpec::Http {
+            flow: a,
+            variant: b as u8,
+        }),
         other => Err(format!("bad packet kind {other:?}")),
     }
 }
@@ -397,6 +428,8 @@ fn parse_churn(v: &Value) -> Result<ChurnOp, String> {
         Some("ipset_flush") => Ok(ChurnOp::IpsetFlush),
         Some("ct_cap") => Ok(ChurnOp::CtCap { cap: a as u32 }),
         Some("fpm_swap") => Ok(ChurnOp::FpmSwap),
+        Some("l7_append") => Ok(ChurnOp::L7Append { i: a as u32 }),
+        Some("l7_flush") => Ok(ChurnOp::L7Flush),
         other => Err(format!("bad churn kind {other:?}")),
     }
 }
@@ -420,9 +453,15 @@ mod tests {
                         PacketSpec::Forward { flow: 3, len: 60 },
                         PacketSpec::Client { client: 1, flow: 2 },
                         PacketSpec::Malformed { kind: 5, flow: 0 },
+                        PacketSpec::Http {
+                            flow: 1,
+                            variant: 3,
+                        },
                     ],
                 },
                 Op::Churn(ChurnOp::RouteDel { i: 1 }),
+                Op::Churn(ChurnOp::L7Append { i: 4 }),
+                Op::Churn(ChurnOp::L7Flush),
                 Op::Churn(ChurnOp::RouteReplace { i: 0 }),
                 Op::Churn(ChurnOp::IpsetFlush),
                 Op::Churn(ChurnOp::CtCap { cap: 32 }),

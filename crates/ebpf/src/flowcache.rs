@@ -36,6 +36,7 @@
 
 use crate::helpers::HelperEnv;
 use linuxfp_netstack::device::IfIndex;
+use linuxfp_netstack::l7::L7LookupOutcome;
 use linuxfp_netstack::nat::NatLookupOutcome;
 use linuxfp_netstack::netfilter::{NfVerdict, PacketMeta};
 use linuxfp_netstack::stack::{FdbLookupOutcome, FibFastResult, HookVerdict, Kernel};
@@ -217,6 +218,23 @@ pub enum HelperTouch {
         /// IP protocol.
         proto: u8,
     },
+    /// `bpf_l7_policy_lookup` (refreshes request/verdict counters and may
+    /// pin a connection verdict). The payload window is recorded so a
+    /// replayed parse counts exactly like the recorded one.
+    L7 {
+        /// Source address.
+        src: Ipv4Addr,
+        /// Source port.
+        sport: u16,
+        /// Destination address.
+        dst: Ipv4Addr,
+        /// Destination port.
+        dport: u16,
+        /// TCP payload window (bounded by the parse limit).
+        payload: Vec<u8>,
+        /// First payload byte the program loaded, if any.
+        first: Option<u8>,
+    },
 }
 
 /// Replays a recorded helper-call sequence against the live kernel.
@@ -263,6 +281,16 @@ pub fn replay_touches(touches: &[HelperTouch], kernel: &mut Kernel) {
                 proto,
             } => {
                 let _ = kernel.env_nat_lookup(src, sport, dst, dport, proto);
+            }
+            HelperTouch::L7 {
+                src,
+                sport,
+                dst,
+                dport,
+                ref payload,
+                first,
+            } => {
+                let _ = kernel.env_l7_lookup(src, sport, dst, dport, payload, first);
             }
         }
     }
@@ -357,6 +385,27 @@ impl HelperEnv for RecordingEnv<'_> {
             proto,
         });
         self.inner.env_nat_lookup(src, sport, dst, dport, proto)
+    }
+
+    fn env_l7_lookup(
+        &mut self,
+        src: Ipv4Addr,
+        sport: u16,
+        dst: Ipv4Addr,
+        dport: u16,
+        payload: &[u8],
+        first: Option<u8>,
+    ) -> L7LookupOutcome {
+        self.touches.push(HelperTouch::L7 {
+            src,
+            sport,
+            dst,
+            dport,
+            payload: payload.to_vec(),
+            first,
+        });
+        self.inner
+            .env_l7_lookup(src, sport, dst, dport, payload, first)
     }
 }
 

@@ -8,6 +8,7 @@
 //! slow path uses.
 
 use linuxfp_netstack::device::IfIndex;
+use linuxfp_netstack::l7::L7LookupOutcome;
 use linuxfp_netstack::nat::NatLookupOutcome;
 use linuxfp_netstack::netfilter::{NfVerdict, PacketMeta};
 use linuxfp_netstack::stack::{FdbLookupOutcome, FibFastResult, Kernel};
@@ -62,6 +63,22 @@ pub trait HelperEnv {
         dport: u16,
         proto: u8,
     ) -> NatLookupOutcome;
+
+    /// `bpf_l7_policy_lookup`: HTTP/1.x request-policy evaluation over
+    /// the kernel's live policy table and connection pins (L7 offload
+    /// extension). `payload` is the TCP payload window the program
+    /// proved in bounds; `first` is the first payload byte the program
+    /// loaded (None when the segment carries no payload).
+    #[allow(clippy::too_many_arguments)]
+    fn env_l7_lookup(
+        &mut self,
+        src: Ipv4Addr,
+        sport: u16,
+        dst: Ipv4Addr,
+        dport: u16,
+        payload: &[u8],
+        first: Option<u8>,
+    ) -> L7LookupOutcome;
 }
 
 impl HelperEnv for Kernel {
@@ -110,6 +127,18 @@ impl HelperEnv for Kernel {
         proto: u8,
     ) -> NatLookupOutcome {
         self.helper_nat_lookup(src, sport, dst, dport, proto)
+    }
+
+    fn env_l7_lookup(
+        &mut self,
+        src: Ipv4Addr,
+        sport: u16,
+        dst: Ipv4Addr,
+        dport: u16,
+        payload: &[u8],
+        first: Option<u8>,
+    ) -> L7LookupOutcome {
+        self.helper_l7_lookup(src, sport, dst, dport, payload, first)
     }
 }
 
@@ -162,6 +191,18 @@ impl HelperEnv for NullEnv {
     ) -> NatLookupOutcome {
         NatLookupOutcome::NoNat
     }
+
+    fn env_l7_lookup(
+        &mut self,
+        _src: Ipv4Addr,
+        _sport: u16,
+        _dst: Ipv4Addr,
+        _dport: u16,
+        _payload: &[u8],
+        _first: Option<u8>,
+    ) -> L7LookupOutcome {
+        L7LookupOutcome::NoRequest
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +236,17 @@ mod tests {
                 17
             ),
             NatLookupOutcome::NoNat
+        );
+        assert_eq!(
+            env.env_l7_lookup(
+                Ipv4Addr::new(1, 1, 1, 1),
+                1,
+                Ipv4Addr::new(2, 2, 2, 2),
+                80,
+                b"GET / HTTP/1.1\r\n",
+                Some(b'G')
+            ),
+            L7LookupOutcome::NoRequest
         );
         let meta = PacketMeta {
             src: Ipv4Addr::new(1, 1, 1, 1),

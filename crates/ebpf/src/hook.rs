@@ -367,6 +367,10 @@ fn hook_fn_inner(
             trace.event(|| TraceEvent::Punt {
                 reason: if slot_empty {
                     PuntReason::EmptySlot
+                } else if out.l7_punt {
+                    // The L7 helper could not parse the request line; the
+                    // PASS defers the verdict to the slow-path parser.
+                    PuntReason::L7Unparseable
                 } else {
                     PuntReason::ProgramPass
                 },
@@ -383,7 +387,13 @@ fn hook_fn_inner(
         if let (Some(before), Some(k)) = (before_frame, key) {
             let replayable_verdict =
                 !matches!(verdict, HookVerdict::DeliverUser) && out.action != Action::Aborted;
-            if ran_cacheable && replayable_verdict && interp_ns > cost.flowcache_hit_ns {
+            // An allow-without-pin L7 verdict depends on this segment's
+            // payload, which the flow key does not pin — never cache it.
+            if ran_cacheable
+                && replayable_verdict
+                && !out.l7_uncacheable
+                && interp_ns > cost.flowcache_hit_ns
+            {
                 if let Some(ops) = rewrite::derive_ops(&before, &packet.data, k.l3_offset()) {
                     let mut check = before;
                     rewrite::apply_ops(&mut check, &ops);

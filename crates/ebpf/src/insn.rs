@@ -128,6 +128,12 @@ pub enum HelperId {
     /// the translated tuple for established flows so the program can
     /// rewrite addresses/ports with incremental checksum updates.
     NatLookup,
+    /// `bpf_l7_policy_lookup`: HTTP/1.x request-policy evaluation via
+    /// the live kernel policy table (new helper; L7 offload extension).
+    /// Takes a bounds-verified packet pointer to the TCP payload plus a
+    /// parse-limit, parses the request line in the kernel, and returns
+    /// the policy verdict (allow / deny / punt / allow-unpinned).
+    L7PolicyLookup,
     /// A deliberately trivial helper used by the function-call-vs-tail-
     /// call microbenchmark (paper Fig. 10).
     TrivialNf,

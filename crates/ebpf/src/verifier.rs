@@ -21,12 +21,22 @@
 //!   struct-pointer arguments must point at sufficiently large, in-bounds
 //!   stack buffers.
 //!
+//! - **Variable-offset packet pointers**: adding a *bounded* scalar (a
+//!   byte/halfword load, or the result of masks and shifts over one) to a
+//!   constant packet pointer yields a variable packet pointer. Loads
+//!   through it are only allowed after a `if (var_ptr + K > data_end)`
+//!   guard has proven K bytes available for *that* pointer — the
+//!   mechanism behind L7 payload parsing, where the payload offset
+//!   depends on the TCP data offset read from the packet itself.
+//!
 //! Simplifications relative to the real verifier (documented, deliberate):
-//! no variable-offset packet pointers, no pointer spilling to the stack
-//! (spilled values read back as scalars), no bounded loops. The
-//! synthesizer only emits code inside this subset.
+//! no pointer spilling to the stack (spilled values read back as
+//! scalars), no bounded loops, and variable packet pointers track a
+//! single definition site rather than full value ranges. The synthesizer
+//! only emits code inside this subset.
 
 use crate::insn::{AluOp, HelperId, Insn, JmpCond, MemSize, REG_FP, STACK_SIZE};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Why a program was rejected.
@@ -172,16 +182,50 @@ impl std::error::Error for VerifyError {}
 enum RType {
     Uninit,
     Scalar,
+    /// A scalar with a proven unsigned upper bound (from a byte or
+    /// halfword load, or masks/shifts over one). Only bounded scalars
+    /// may be added to packet pointers.
+    ScalarBounded(u64),
     PtrCtx,
     PtrPacket(i64),
+    /// A packet pointer at a variable offset: formed by adding a bounded
+    /// scalar to a constant packet pointer. `id` names the forming
+    /// instruction; `delta` is the constant adjustment applied since.
+    /// Loads require bytes proven for that `id` in `var_verified`.
+    PtrPacketVar {
+        /// Defining instruction index.
+        id: usize,
+        /// Constant byte offset relative to the formed pointer.
+        delta: i64,
+    },
     PtrPacketEnd,
     PtrStack(i64),
+}
+
+fn is_scalar(t: RType) -> bool {
+    matches!(t, RType::Scalar | RType::ScalarBounded(_))
+}
+
+fn join_rtype(a: RType, b: RType) -> RType {
+    if a == b {
+        return a;
+    }
+    match (a, b) {
+        // Widening: the larger bound covers both paths.
+        (RType::ScalarBounded(x), RType::ScalarBounded(y)) => RType::ScalarBounded(x.max(y)),
+        (RType::Scalar, RType::ScalarBounded(_)) | (RType::ScalarBounded(_), RType::Scalar) => {
+            RType::Scalar
+        }
+        _ => RType::Uninit,
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
 struct AbsState {
     regs: [RType; 11],
     pkt_verified: i64,
+    /// Bytes proven available per variable packet pointer definition.
+    var_verified: BTreeMap<usize, i64>,
 }
 
 impl AbsState {
@@ -192,21 +236,26 @@ impl AbsState {
         AbsState {
             regs,
             pkt_verified: 0,
+            var_verified: BTreeMap::new(),
         }
     }
 
     fn join(&self, other: &AbsState) -> AbsState {
         let mut regs = [RType::Uninit; 11];
         for (i, slot) in regs.iter_mut().enumerate() {
-            *slot = if self.regs[i] == other.regs[i] {
-                self.regs[i]
-            } else {
-                RType::Uninit
-            };
+            *slot = join_rtype(self.regs[i], other.regs[i]);
         }
+        // Only windows proven on *both* paths survive, at the smaller of
+        // the two proofs.
+        let var_verified = self
+            .var_verified
+            .iter()
+            .filter_map(|(id, v)| other.var_verified.get(id).map(|w| (*id, (*v).min(*w))))
+            .collect();
         AbsState {
             regs,
             pkt_verified: self.pkt_verified.min(other.pkt_verified),
+            var_verified,
         }
     }
 }
@@ -268,20 +317,24 @@ fn check_stack_access(pc: usize, off: i64, size: i64) -> Result<(), VerifyError>
 }
 
 /// Per-helper contract: `(argument count, stack-pointer args with their
-/// required buffer sizes)`.
-fn helper_contract(helper: HelperId) -> (u8, &'static [(u8, i64)]) {
+/// required buffer sizes, packet-pointer args)`. Packet-pointer args
+/// must be proven in bounds (`offset <= verified window`) — the helper
+/// clamps its reads to `data_end`, but it must never receive a pointer
+/// that could sit past the packet.
+fn helper_contract(helper: HelperId) -> (u8, &'static [(u8, i64)], &'static [u8]) {
     match helper {
-        HelperId::FibLookup => (3, &[(2, 24)]),
-        HelperId::FdbLookup => (3, &[(2, 20)]),
-        HelperId::IptLookup => (3, &[(2, 24)]),
-        HelperId::CtLookup => (3, &[(2, 24)]),
-        HelperId::NatLookup => (3, &[(2, 32)]),
-        HelperId::Redirect => (2, &[]),
-        HelperId::KtimeGetNs => (0, &[]),
-        HelperId::MapLookup => (5, &[(2, 1), (4, 1)]),
-        HelperId::MapUpdate => (5, &[(2, 1), (4, 1)]),
-        HelperId::TrivialNf => (1, &[]),
-        HelperId::XskRedirect => (2, &[]),
+        HelperId::FibLookup => (3, &[(2, 24)], &[]),
+        HelperId::FdbLookup => (3, &[(2, 20)], &[]),
+        HelperId::IptLookup => (3, &[(2, 24)], &[]),
+        HelperId::CtLookup => (3, &[(2, 24)], &[]),
+        HelperId::NatLookup => (3, &[(2, 32)], &[]),
+        HelperId::L7PolicyLookup => (4, &[], &[2]),
+        HelperId::Redirect => (2, &[], &[]),
+        HelperId::KtimeGetNs => (0, &[], &[]),
+        HelperId::MapLookup => (5, &[(2, 1), (4, 1)], &[]),
+        HelperId::MapUpdate => (5, &[(2, 1), (4, 1)], &[]),
+        HelperId::TrivialNf => (1, &[], &[]),
+        HelperId::XskRedirect => (2, &[], &[]),
     }
 }
 
@@ -346,10 +399,26 @@ fn transfer(pc: usize, insn: Insn, mut st: AbsState, n: usize) -> Result<Succs, 
                     let delta = if op == AluOp::Add { imm } else { -imm };
                     match cur {
                         RType::Scalar => RType::Scalar,
+                        RType::ScalarBounded(m) => {
+                            if delta >= 0 {
+                                m.checked_add(delta as u64)
+                                    .map_or(RType::Scalar, RType::ScalarBounded)
+                            } else {
+                                // Subtraction can wrap below zero; the
+                                // unsigned bound no longer holds.
+                                RType::Scalar
+                            }
+                        }
                         RType::PtrPacket(o) => RType::PtrPacket(
                             o.checked_add(delta)
                                 .ok_or(VerifyError::InvalidPtrArith { pc })?,
                         ),
+                        RType::PtrPacketVar { id, delta: d } => RType::PtrPacketVar {
+                            id,
+                            delta: d
+                                .checked_add(delta)
+                                .ok_or(VerifyError::InvalidPtrArith { pc })?,
+                        },
                         RType::PtrStack(o) => RType::PtrStack(
                             o.checked_add(delta)
                                 .ok_or(VerifyError::InvalidPtrArith { pc })?,
@@ -359,10 +428,10 @@ fn transfer(pc: usize, insn: Insn, mut st: AbsState, n: usize) -> Result<Succs, 
                 }
                 _ => {
                     let cur = read_reg(pc, &st, dst)?;
-                    if cur != RType::Scalar {
+                    if !is_scalar(cur) {
                         return Err(VerifyError::InvalidPtrArith { pc });
                     }
-                    RType::Scalar
+                    bounded_alu_imm(op, cur, imm)
                 }
             };
             write_reg(pc, &mut st, dst, t)?;
@@ -374,9 +443,33 @@ fn transfer(pc: usize, insn: Insn, mut st: AbsState, n: usize) -> Result<Succs, 
                 AluOp::Mov => {
                     write_reg(pc, &mut st, dst, src_t)?;
                 }
+                AluOp::Add => {
+                    let dst_t = read_reg(pc, &st, dst)?;
+                    match (dst_t, src_t) {
+                        // Forming a variable packet pointer: only a
+                        // *bounded* scalar may be added, and the worst
+                        // case must stay inside a sane frame size.
+                        (RType::PtrPacket(o), RType::ScalarBounded(m)) => {
+                            if o < 0 || (o as u64).saturating_add(m) > 0xFFFF {
+                                return Err(VerifyError::InvalidPtrArith { pc });
+                            }
+                            write_reg(pc, &mut st, dst, RType::PtrPacketVar { id: pc, delta: 0 })?;
+                        }
+                        (a, b) if is_scalar(a) && is_scalar(b) => {
+                            let t = match (a, b) {
+                                (RType::ScalarBounded(x), RType::ScalarBounded(y)) => {
+                                    x.checked_add(y).map_or(RType::Scalar, RType::ScalarBounded)
+                                }
+                                _ => RType::Scalar,
+                            };
+                            write_reg(pc, &mut st, dst, t)?;
+                        }
+                        _ => return Err(VerifyError::InvalidPtrArith { pc }),
+                    }
+                }
                 _ => {
                     let dst_t = read_reg(pc, &st, dst)?;
-                    if dst_t != RType::Scalar || src_t != RType::Scalar {
+                    if !is_scalar(dst_t) || !is_scalar(src_t) {
                         return Err(VerifyError::InvalidPtrArith { pc });
                     }
                     write_reg(pc, &mut st, dst, RType::Scalar)?;
@@ -404,8 +497,12 @@ fn transfer(pc: usize, insn: Insn, mut st: AbsState, n: usize) -> Result<Succs, 
             let target = jump_target(pc, off, n)?;
             let mut taken = st.clone();
             let mut fall = st;
+            let bump_var = |s: &mut AbsState, id: usize, delta: i64| {
+                let v = s.var_verified.entry(id).or_insert(0);
+                *v = (*v).max(delta);
+            };
             match (dst_t, src_t) {
-                (RType::Scalar, RType::Scalar) => {}
+                (a, b) if is_scalar(a) && is_scalar(b) => {}
                 // The canonical packet guard: `if pkt+K > end goto bad`.
                 (RType::PtrPacket(o), RType::PtrPacketEnd) => match cond {
                     JmpCond::Gt | JmpCond::Ge => {
@@ -423,6 +520,19 @@ fn transfer(pc: usize, insn: Insn, mut st: AbsState, n: usize) -> Result<Succs, 
                     JmpCond::Gt | JmpCond::Ge => {
                         taken.pkt_verified = taken.pkt_verified.max(o);
                     }
+                    _ => return Err(VerifyError::BadPtrComparison { pc }),
+                },
+                // The variable-pointer guard: `if var_ptr+K > end goto
+                // bad` proves K bytes for that pointer's definition on
+                // the surviving branch.
+                (RType::PtrPacketVar { id, delta }, RType::PtrPacketEnd) => match cond {
+                    JmpCond::Gt | JmpCond::Ge => bump_var(&mut fall, id, delta),
+                    JmpCond::Le | JmpCond::Lt => bump_var(&mut taken, id, delta),
+                    _ => return Err(VerifyError::BadPtrComparison { pc }),
+                },
+                (RType::PtrPacketEnd, RType::PtrPacketVar { id, delta }) => match cond {
+                    JmpCond::Lt | JmpCond::Le => bump_var(&mut fall, id, delta),
+                    JmpCond::Gt | JmpCond::Ge => bump_var(&mut taken, id, delta),
                     _ => return Err(VerifyError::BadPtrComparison { pc }),
                 },
                 _ => return Err(VerifyError::BadPtrComparison { pc }),
@@ -449,13 +559,26 @@ fn transfer(pc: usize, insn: Insn, mut st: AbsState, n: usize) -> Result<Succs, 
                             verified: st.pkt_verified,
                         });
                     }
-                    RType::Scalar
+                    load_result_type(size)
+                }
+                RType::PtrPacketVar { id, delta } => {
+                    let start = delta + off as i64;
+                    let end = start + bytes;
+                    let verified = st.var_verified.get(&id).copied().unwrap_or(0);
+                    if start < 0 || end > verified {
+                        return Err(VerifyError::PacketOutOfBounds {
+                            pc,
+                            needed: end,
+                            verified,
+                        });
+                    }
+                    load_result_type(size)
                 }
                 RType::PtrStack(o) => {
                     check_stack_access(pc, o + off as i64, bytes)?;
-                    RType::Scalar
+                    load_result_type(size)
                 }
-                RType::Scalar | RType::Uninit | RType::PtrPacketEnd => {
+                RType::Scalar | RType::ScalarBounded(_) | RType::Uninit | RType::PtrPacketEnd => {
                     return Err(VerifyError::NonPointerDeref { pc, reg: src })
                 }
             };
@@ -477,7 +600,7 @@ fn transfer(pc: usize, insn: Insn, mut st: AbsState, n: usize) -> Result<Succs, 
             Ok(vec![(pc + 1, st)])
         }
         Insn::Call { helper } => {
-            let (argc, stack_args) = helper_contract(helper);
+            let (argc, stack_args, pkt_args) = helper_contract(helper);
             for r in 1..=argc {
                 read_reg(pc, &st, r)?;
             }
@@ -501,6 +624,37 @@ fn transfer(pc: usize, insn: Insn, mut st: AbsState, n: usize) -> Result<Succs, 
                     }
                 }
             }
+            for reg in pkt_args {
+                match st.regs[*reg as usize] {
+                    RType::PtrPacket(o) => {
+                        if o < 0 || o > st.pkt_verified {
+                            return Err(VerifyError::BadHelperArg {
+                                pc,
+                                reg: *reg,
+                                what: "packet pointer not proven in bounds",
+                            });
+                        }
+                    }
+                    RType::PtrPacketVar { id, delta } => {
+                        let ok =
+                            delta >= 0 && st.var_verified.get(&id).is_some_and(|v| delta <= *v);
+                        if !ok {
+                            return Err(VerifyError::BadHelperArg {
+                                pc,
+                                reg: *reg,
+                                what: "packet pointer not proven in bounds",
+                            });
+                        }
+                    }
+                    _ => {
+                        return Err(VerifyError::BadHelperArg {
+                            pc,
+                            reg: *reg,
+                            what: "expected a packet pointer",
+                        })
+                    }
+                }
+            }
             st.regs[0] = RType::Scalar;
             for r in 1..=5 {
                 st.regs[r] = RType::Uninit;
@@ -516,6 +670,40 @@ fn transfer(pc: usize, insn: Insn, mut st: AbsState, n: usize) -> Result<Succs, 
             read_reg(pc, &st, 0)?;
             Ok(vec![])
         }
+    }
+}
+
+/// Result type of a sized load through a data pointer: narrow loads
+/// carry their width as a proven bound, enabling variable packet
+/// offsets derived from packet contents.
+fn load_result_type(size: MemSize) -> RType {
+    match size {
+        MemSize::B => RType::ScalarBounded(0xFF),
+        MemSize::H => RType::ScalarBounded(0xFFFF),
+        MemSize::W | MemSize::DW => RType::Scalar,
+    }
+}
+
+/// Bound propagation for non-Mov/Add/Sub ALU immediates over scalars.
+fn bounded_alu_imm(op: AluOp, cur: RType, imm: i64) -> RType {
+    let bound = match cur {
+        RType::ScalarBounded(m) => Some(m),
+        _ => None,
+    };
+    match op {
+        AluOp::And if imm >= 0 => {
+            let cap = imm as u64;
+            RType::ScalarBounded(bound.map_or(cap, |m| m.min(cap)))
+        }
+        AluOp::Rsh if (0..64).contains(&imm) => match bound {
+            Some(m) => RType::ScalarBounded(m >> imm),
+            None => RType::Scalar,
+        },
+        AluOp::Lsh if (0..64).contains(&imm) => match bound {
+            Some(m) if m.leading_zeros() as i64 >= imm => RType::ScalarBounded(m << imm),
+            _ => RType::Scalar,
+        },
+        _ => RType::Scalar,
     }
 }
 
@@ -548,6 +736,20 @@ fn store_check(
                     pc,
                     needed: end,
                     verified: st.pkt_verified,
+                })
+            } else {
+                Ok(())
+            }
+        }
+        RType::PtrPacketVar { id, delta } => {
+            let start = delta + off as i64;
+            let end = start + bytes;
+            let verified = st.var_verified.get(&id).copied().unwrap_or(0);
+            if start < 0 || end > verified {
+                Err(VerifyError::PacketOutOfBounds {
+                    pc,
+                    needed: end,
+                    verified,
                 })
             } else {
                 Ok(())
@@ -871,6 +1073,135 @@ mod tests {
             verify(&a.finish().unwrap()),
             Err(VerifyError::InvalidPtrArith { .. })
         ));
+    }
+
+    /// doff-style variable-offset read: load a byte from the packet,
+    /// shift it into a bounded offset, add it to a packet pointer, guard
+    /// the result against `data_end`, then load through it. `second_guard`
+    /// controls whether the var-pointer guard is emitted.
+    fn var_offset_prog(second_guard: bool) -> Vec<Insn> {
+        let mut a = Asm::new();
+        a.load(MemSize::DW, 2, 1, ctx_layout::DATA as i16); // r2 = data
+        a.load(MemSize::DW, 3, 1, ctx_layout::DATA_END as i16); // r3 = end
+        a.mov_reg(4, 2);
+        a.alu_imm(AluOp::Add, 4, 15);
+        a.jmp_reg(JmpCond::Gt, 4, 3, "out"); // prove 15 constant bytes
+        a.load(MemSize::B, 5, 2, 14); // bounded <= 255
+        a.alu_imm(AluOp::Rsh, 5, 4); // bounded <= 15
+        a.alu_imm(AluOp::Lsh, 5, 2); // bounded <= 60
+        a.mov_reg(6, 2);
+        a.alu_reg(AluOp::Add, 6, 5); // r6 = data + doff (variable)
+        if second_guard {
+            a.mov_reg(7, 6);
+            a.alu_imm(AluOp::Add, 7, 1);
+            a.jmp_reg(JmpCond::Gt, 7, 3, "out"); // prove 1 byte at r6
+        }
+        a.load(MemSize::B, 8, 6, 0);
+        a.label("out");
+        a.mov_imm(0, 2);
+        a.exit();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn accepts_guarded_variable_offset_load() {
+        verify(&var_offset_prog(true)).unwrap();
+    }
+
+    #[test]
+    fn rejects_unguarded_variable_offset_load() {
+        // The constant 15-byte guard must NOT cover the variable pointer.
+        let err = verify(&var_offset_prog(false)).unwrap_err();
+        assert!(
+            matches!(err, VerifyError::PacketOutOfBounds { verified: 0, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn variable_guard_covers_only_proven_bytes() {
+        // One byte proven at the variable pointer; a halfword load
+        // through it must be rejected.
+        let mut a = Asm::new();
+        a.load(MemSize::DW, 2, 1, ctx_layout::DATA as i16);
+        a.load(MemSize::DW, 3, 1, ctx_layout::DATA_END as i16);
+        a.mov_reg(4, 2);
+        a.alu_imm(AluOp::Add, 4, 15);
+        a.jmp_reg(JmpCond::Gt, 4, 3, "out");
+        a.load(MemSize::B, 5, 2, 14);
+        a.mov_reg(6, 2);
+        a.alu_reg(AluOp::Add, 6, 5);
+        a.mov_reg(7, 6);
+        a.alu_imm(AluOp::Add, 7, 1);
+        a.jmp_reg(JmpCond::Gt, 7, 3, "out");
+        a.load(MemSize::H, 8, 6, 0); // needs 2 bytes, only 1 proven
+        a.label("out");
+        a.mov_imm(0, 2);
+        a.exit();
+        let err = verify(&a.finish().unwrap()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                VerifyError::PacketOutOfBounds {
+                    needed: 2,
+                    verified: 1,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn l7_helper_requires_proven_packet_pointer() {
+        // r2 a plain scalar: rejected.
+        let mut a = Asm::new();
+        a.mov_imm(2, 0);
+        a.mov_imm(3, 64);
+        a.mov_imm(4, 0x100);
+        a.call(HelperId::L7PolicyLookup);
+        a.mov_imm(0, 2);
+        a.exit();
+        assert!(matches!(
+            verify(&a.finish().unwrap()),
+            Err(VerifyError::BadHelperArg { reg: 2, .. })
+        ));
+        // r2 a variable packet pointer without a guard: rejected.
+        let mut a = Asm::new();
+        a.load(MemSize::DW, 2, 1, ctx_layout::DATA as i16);
+        a.load(MemSize::DW, 3, 1, ctx_layout::DATA_END as i16);
+        a.mov_reg(4, 2);
+        a.alu_imm(AluOp::Add, 4, 15);
+        a.jmp_reg(JmpCond::Gt, 4, 3, "out");
+        a.load(MemSize::B, 5, 2, 14);
+        a.alu_reg(AluOp::Add, 2, 5);
+        a.mov_imm(3, 64);
+        a.mov_imm(4, 0x100);
+        a.call(HelperId::L7PolicyLookup);
+        a.label("out");
+        a.mov_imm(0, 2);
+        a.exit();
+        assert!(matches!(
+            verify(&a.finish().unwrap()),
+            Err(VerifyError::BadHelperArg { reg: 2, .. })
+        ));
+        // Guarded variable pointer: accepted.
+        let mut a = Asm::new();
+        a.load(MemSize::DW, 2, 1, ctx_layout::DATA as i16);
+        a.load(MemSize::DW, 3, 1, ctx_layout::DATA_END as i16);
+        a.mov_reg(4, 2);
+        a.alu_imm(AluOp::Add, 4, 15);
+        a.jmp_reg(JmpCond::Gt, 4, 3, "out");
+        a.load(MemSize::B, 5, 2, 14);
+        a.alu_reg(AluOp::Add, 2, 5);
+        a.jmp_reg(JmpCond::Gt, 2, 3, "out"); // prove the pointer itself
+        a.mov_imm(3, 64);
+        a.mov_imm(4, 0x100);
+        a.call(HelperId::L7PolicyLookup);
+        a.label("out");
+        a.mov_imm(0, 2);
+        a.exit();
+        verify(&a.finish().unwrap()).unwrap();
     }
 
     #[test]

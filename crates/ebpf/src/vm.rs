@@ -110,6 +110,14 @@ pub struct VmOutcome {
     /// Whether the frame was pushed to an AF_XDP socket (a `Redirect`
     /// verdict then means "consumed into user space").
     pub to_user: bool,
+    /// The L7 helper could not parse the request line: a `Pass` verdict
+    /// then punts as [`L7Unparseable`] rather than a plain program pass.
+    ///
+    /// [`L7Unparseable`]: linuxfp_telemetry::trace::PuntReason::L7Unparseable
+    pub l7_punt: bool,
+    /// The L7 helper answered allow-without-pin: the verdict depends on
+    /// this segment's payload, so the flow cache must not record it.
+    pub l7_uncacheable: bool,
 }
 
 struct Machine<'r> {
@@ -117,6 +125,8 @@ struct Machine<'r> {
     stack: [u8; STACK_SIZE],
     redirect: Option<IfIndex>,
     to_user: bool,
+    l7_punt: bool,
+    l7_uncacheable: bool,
     ctx: VmCtx<'r>,
 }
 
@@ -225,6 +235,8 @@ pub fn run(
         stack: [0; STACK_SIZE],
         redirect: None,
         to_user: false,
+        l7_punt: false,
+        l7_uncacheable: false,
         ctx,
     };
     m.regs[1] = CTX_BASE;
@@ -352,6 +364,8 @@ pub fn run(
                     helper_calls,
                     error: None,
                     to_user: m.to_user,
+                    l7_punt: m.l7_punt,
+                    l7_uncacheable: m.l7_uncacheable,
                 };
             }
         }
@@ -401,6 +415,8 @@ fn fault(error: VmError, insns_executed: u64, tail_calls: u64, helper_calls: u64
         helper_calls,
         error: Some(error),
         to_user: false,
+        l7_punt: false,
+        l7_uncacheable: false,
     }
 }
 
@@ -542,6 +558,48 @@ fn call_helper(
                 }
                 linuxfp_netstack::nat::NatLookupOutcome::Miss => 1,
                 linuxfp_netstack::nat::NatLookupOutcome::NoNat => 2,
+            }
+        }
+        HelperId::L7PolicyLookup => {
+            // Same price as a conntrack lookup: the helper walks a small
+            // kernel table keyed by the connection tuple.
+            tracker.charge("l7_lookup", cost.conntrack_lookup_ns);
+            let pkt = &m.ctx.packet;
+            // The synthesized program proves 54 bytes (Ethernet + IPv4
+            // IHL=5 + minimal TCP) before this call is reachable; the
+            // check is defense in depth.
+            if pkt.len() < 38 {
+                return Err(VmError::BadAccess(m.regs[2]));
+            }
+            let addr = m.regs[2];
+            if addr & 0xFFFF_FFFF_0000_0000 != PACKET_BASE {
+                return Err(VmError::BadAccess(addr));
+            }
+            let off = ((addr - PACKET_BASE) as usize).min(pkt.len());
+            let limit = m.regs[3] as usize;
+            let payload_end = pkt.len().min(off + limit);
+            let src = Ipv4Addr::new(pkt[26], pkt[27], pkt[28], pkt[29]);
+            let dst = Ipv4Addr::new(pkt[30], pkt[31], pkt[32], pkt[33]);
+            let sport = u16::from_be_bytes([pkt[34], pkt[35]]);
+            let dport = u16::from_be_bytes([pkt[36], pkt[37]]);
+            let first = if m.regs[4] == 0x100 {
+                None
+            } else {
+                Some(m.regs[4] as u8)
+            };
+            let outcome = env.env_l7_lookup(src, sport, dst, dport, &pkt[off..payload_end], first);
+            match outcome {
+                linuxfp_netstack::l7::L7LookupOutcome::Allow => 0,
+                linuxfp_netstack::l7::L7LookupOutcome::Deny => 1,
+                linuxfp_netstack::l7::L7LookupOutcome::Steer(_) => 2,
+                linuxfp_netstack::l7::L7LookupOutcome::Unparseable => {
+                    m.l7_punt = true;
+                    2
+                }
+                linuxfp_netstack::l7::L7LookupOutcome::NoRequest => {
+                    m.l7_uncacheable = true;
+                    3
+                }
             }
         }
         HelperId::Redirect => {

@@ -1,0 +1,516 @@
+//! L7 request policy: a bounded HTTP/1.x request-line parser and a
+//! per-URL-prefix/method policy table — the sixth accelerated
+//! subsystem's slow path.
+//!
+//! The table maps `(method, URL prefix)` to allow / deny / steer, in
+//! the spirit of an ipset: configuration events bump [`L7::generation`]
+//! so the controller resynthesizes and the flow cache invalidates.
+//!
+//! Like NAT and ipvs, the expensive per-flow decision is made **once**
+//! and pinned: the first parsed request line of a connection records
+//! its verdict in a connection table, and every later segment of that
+//! connection — including bare ACKs with no payload — gets the pinned
+//! verdict without touching the payload. That payload-independence is
+//! what makes an L7 verdict safe to replay from the microflow cache,
+//! whose key covers headers but not payload bytes. A packet decided
+//! *without* a pin (empty payload on an unpinned connection) must be
+//! marked cache-ineligible by the caller.
+//!
+//! The parser is deliberately bounded and pessimistic: it examines at
+//! most [`PARSE_WINDOW`] bytes and the full request line (`METHOD
+//! SP url SP HTTP/1.x CRLF`) must complete inside that window. A
+//! request line split across segments, a truncated line, binary
+//! garbage, or an unknown method all read as *unparseable*: the fast
+//! path punts and the slow path forwards (default-allow) without
+//! pinning. Pipelined requests are handled by construction — only the
+//! first parsed line of a connection pins; later segments replay the
+//! pin regardless of content.
+
+use crate::device::IfIndex;
+use linuxfp_telemetry::Counter;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Longest request-line prefix either path will examine. The
+/// synthesized fast path passes the same constant to
+/// `bpf_l7_policy_lookup`, so both paths parse identical bytes.
+pub const PARSE_WINDOW: usize = 64;
+
+/// Most pinned connections held at once. Inserting past the cap evicts
+/// the smallest key deterministically — and bumps the generation,
+/// because losing a pin makes the evicted connection payload-dependent
+/// again, which invalidates any cached verdict for it.
+pub const PIN_CAP: usize = 4096;
+
+/// The HTTP/1.x methods the bounded parser recognizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HttpMethod {
+    /// `GET`.
+    Get,
+    /// `HEAD`.
+    Head,
+    /// `POST`.
+    Post,
+    /// `PUT`.
+    Put,
+    /// `DELETE`.
+    Delete,
+}
+
+impl HttpMethod {
+    /// Decodes a method token; `None` for anything off the known set.
+    pub fn from_token(token: &[u8]) -> Option<Self> {
+        match token {
+            b"GET" => Some(HttpMethod::Get),
+            b"HEAD" => Some(HttpMethod::Head),
+            b"POST" => Some(HttpMethod::Post),
+            b"PUT" => Some(HttpMethod::Put),
+            b"DELETE" => Some(HttpMethod::Delete),
+            _ => None,
+        }
+    }
+
+    /// The wire token.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            HttpMethod::Get => "GET",
+            HttpMethod::Head => "HEAD",
+            HttpMethod::Post => "POST",
+            HttpMethod::Put => "PUT",
+            HttpMethod::Delete => "DELETE",
+        }
+    }
+}
+
+/// What a matching policy does with the connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L7Action {
+    /// Forward normally.
+    Allow,
+    /// Drop the connection's segments.
+    Deny,
+    /// Transmit out this device instead of the routed egress (slow
+    /// path only — the fast path punts steered connections).
+    Steer(IfIndex),
+}
+
+/// One policy: first match wins, no match means allow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L7Policy {
+    /// Match on the request method (`None` matches any).
+    pub method: Option<HttpMethod>,
+    /// Match on a URL prefix (`/` matches every request).
+    pub url_prefix: Vec<u8>,
+    /// What to do with the connection.
+    pub action: L7Action,
+}
+
+impl L7Policy {
+    /// A policy matching every method under `url_prefix`.
+    pub fn prefix(url_prefix: &[u8], action: L7Action) -> Self {
+        L7Policy {
+            method: None,
+            url_prefix: url_prefix.to_vec(),
+            action,
+        }
+    }
+
+    fn matches(&self, method: HttpMethod, url: &[u8]) -> bool {
+        self.method.is_none_or(|m| m == method) && url.starts_with(&self.url_prefix)
+    }
+}
+
+/// The connection a pin is keyed on (TCP only, post-DNAT tuple).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct L7ConnKey {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Source port.
+    pub sport: u16,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Destination port.
+    pub dport: u16,
+}
+
+/// What [`L7::lookup`] reports — shared verbatim by both paths, so the
+/// verdict (and every counter side effect) is identical by
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L7LookupOutcome {
+    /// The connection's verdict is allow and a pin now exists: the
+    /// outcome is payload-independent, so it may be cached.
+    Allow,
+    /// The connection's verdict is deny: drop this segment.
+    Deny,
+    /// The connection's verdict is steer: transmit out this device.
+    Steer(IfIndex),
+    /// No pin and no request line to parse (empty payload, or no
+    /// policies configured): forward, but the verdict is *not*
+    /// payload-independent — mark the packet cache-ineligible.
+    NoRequest,
+    /// No pin and the payload failed the bounded parse: forward
+    /// (default allow) without pinning; the fast path punts.
+    Unparseable,
+}
+
+/// Parses one HTTP/1.x request line from the start of `payload`,
+/// examining at most [`PARSE_WINDOW`] bytes. Returns the method and
+/// URL, or `None` when the line is malformed, truncated, split across
+/// segments, or uses an unknown method.
+pub fn parse_request_line(payload: &[u8]) -> Option<(HttpMethod, &[u8])> {
+    let window = &payload[..payload.len().min(PARSE_WINDOW)];
+    let sp1 = window.iter().position(|&b| b == b' ')?;
+    let method = HttpMethod::from_token(&window[..sp1])?;
+    let rest = &window[sp1 + 1..];
+    let sp2 = rest.iter().position(|&b| b == b' ')?;
+    let url = &rest[..sp2];
+    if url.first() != Some(&b'/') || url.iter().any(|&b| !(0x21..=0x7e).contains(&b)) {
+        return None;
+    }
+    // `HTTP/1.x\r\n` must complete inside the window: a split or
+    // truncated request line punts rather than guessing.
+    let tail = &rest[sp2 + 1..];
+    if tail.len() < 10
+        || &tail[..7] != b"HTTP/1."
+        || !tail[7].is_ascii_digit()
+        || &tail[8..10] != b"\r\n"
+    {
+        return None;
+    }
+    Some((method, url))
+}
+
+/// The L7 policy table plus the per-connection verdict pins.
+#[derive(Debug, Clone, Default)]
+pub struct L7 {
+    rules: Vec<L7Policy>,
+    pins: BTreeMap<L7ConnKey, L7Action>,
+    /// Monotonic generation, bumped on every event that can change a
+    /// future verdict: policy append/flush and pin eviction.
+    pub generation: u64,
+    parsed: Option<Counter>,
+    unparseable: Option<Counter>,
+    denies: Option<Counter>,
+}
+
+impl L7 {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        L7::default()
+    }
+
+    /// Counts successfully parsed request lines into `counter`.
+    pub fn set_parsed_counter(&mut self, counter: Counter) {
+        self.parsed = Some(counter);
+    }
+
+    /// Counts unparseable segments (on unpinned connections with
+    /// policies configured) into `counter`.
+    pub fn set_unparseable_counter(&mut self, counter: Counter) {
+        self.unparseable = Some(counter);
+    }
+
+    /// Counts deny verdicts into `counter`.
+    pub fn set_deny_counter(&mut self, counter: Counter) {
+        self.denies = Some(counter);
+    }
+
+    /// Appends a policy (first match wins).
+    pub fn append(&mut self, policy: L7Policy) {
+        self.rules.push(policy);
+        self.generation += 1;
+    }
+
+    /// Flushes all policies *and* all pins: a flush is a statement
+    /// that prior verdicts no longer stand, so pinned connections are
+    /// re-evaluated from their next request line.
+    pub fn flush(&mut self) {
+        if !self.rules.is_empty() || !self.pins.is_empty() {
+            self.rules.clear();
+            self.pins.clear();
+            self.generation += 1;
+        }
+    }
+
+    /// Configured policies.
+    pub fn total_rules(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Connections with a pinned verdict.
+    pub fn pinned_len(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Whether the subsystem has any effect on traffic: policies
+    /// configured, or verdicts still pinned from before a flush — the
+    /// same shape as `nat_configured` surviving a rule flush while
+    /// bindings live.
+    pub fn is_active(&self) -> bool {
+        !self.rules.is_empty() || !self.pins.is_empty()
+    }
+
+    /// First-match policy evaluation; no match means allow.
+    fn evaluate(&self, method: HttpMethod, url: &[u8]) -> L7Action {
+        self.rules
+            .iter()
+            .find(|r| r.matches(method, url))
+            .map_or(L7Action::Allow, |r| r.action)
+    }
+
+    /// Pins `action` for `key`, evicting deterministically at the cap.
+    /// Eviction bumps the generation: the evicted connection's verdict
+    /// becomes payload-dependent again, so any cached verdict for it
+    /// must die.
+    fn pin(&mut self, key: L7ConnKey, action: L7Action) {
+        if self.pins.len() >= PIN_CAP && !self.pins.contains_key(&key) {
+            let victim = *self.pins.keys().next().expect("cap > 0");
+            self.pins.remove(&victim);
+            self.generation += 1;
+        }
+        self.pins.insert(key, action);
+    }
+
+    /// The single verdict entry point both paths share.
+    ///
+    /// Equivalent to [`L7::lookup_hinted`] with the hint taken from
+    /// the payload itself (what the slow path does).
+    pub fn lookup(&mut self, key: L7ConnKey, payload: &[u8]) -> L7LookupOutcome {
+        self.lookup_hinted(key, payload, payload.first().copied())
+    }
+
+    /// Verdict lookup with an explicit first-payload-byte hint.
+    ///
+    /// The synthesized fast path proves the first payload byte
+    /// in-bounds, loads it with a verified variable-offset load, and
+    /// passes it here (`None` encodes an empty payload); this method
+    /// trusts that byte as the parse dispatch — exactly as the slow
+    /// path trusts `payload[0]`. The two call sites therefore agree
+    /// bit-for-bit on every outcome and counter.
+    pub fn lookup_hinted(
+        &mut self,
+        key: L7ConnKey,
+        payload: &[u8],
+        first: Option<u8>,
+    ) -> L7LookupOutcome {
+        if let Some(&action) = self.pins.get(&key) {
+            return self.verdict(action);
+        }
+        if self.rules.is_empty() {
+            return L7LookupOutcome::NoRequest;
+        }
+        let Some(first) = first else {
+            return L7LookupOutcome::NoRequest;
+        };
+        // Every known method token starts with an ASCII uppercase
+        // letter, so the dispatch byte rejects binary garbage without
+        // scanning the window.
+        if !first.is_ascii_uppercase() {
+            return self.note_unparseable();
+        }
+        match parse_request_line(payload) {
+            Some((method, url)) => {
+                if let Some(c) = &self.parsed {
+                    c.inc();
+                }
+                let action = self.evaluate(method, url);
+                self.pin(key, action);
+                self.verdict(action)
+            }
+            None => self.note_unparseable(),
+        }
+    }
+
+    fn verdict(&self, action: L7Action) -> L7LookupOutcome {
+        match action {
+            L7Action::Allow => L7LookupOutcome::Allow,
+            L7Action::Deny => {
+                if let Some(c) = &self.denies {
+                    c.inc();
+                }
+                L7LookupOutcome::Deny
+            }
+            L7Action::Steer(dev) => L7LookupOutcome::Steer(dev),
+        }
+    }
+
+    fn note_unparseable(&self) -> L7LookupOutcome {
+        if let Some(c) = &self.unparseable {
+            c.inc();
+        }
+        L7LookupOutcome::Unparseable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(sport: u16) -> L7ConnKey {
+        L7ConnKey {
+            src: Ipv4Addr::new(10, 0, 1, 2),
+            sport,
+            dst: Ipv4Addr::new(10, 10, 0, 7),
+            dport: 80,
+        }
+    }
+
+    fn table() -> L7 {
+        let mut l7 = L7::new();
+        l7.append(L7Policy {
+            method: Some(HttpMethod::Post),
+            url_prefix: b"/admin".to_vec(),
+            action: L7Action::Deny,
+        });
+        l7.append(L7Policy::prefix(b"/metrics", L7Action::Steer(IfIndex(9))));
+        l7.append(L7Policy::prefix(b"/api", L7Action::Allow));
+        l7
+    }
+
+    #[test]
+    fn parser_accepts_well_formed_request_lines() {
+        let (m, url) = parse_request_line(b"GET /api/v1/users HTTP/1.1\r\nHost: x\r\n").unwrap();
+        assert_eq!(m, HttpMethod::Get);
+        assert_eq!(url, b"/api/v1/users");
+        let (m, url) = parse_request_line(b"DELETE / HTTP/1.0\r\n").unwrap();
+        assert_eq!(m, HttpMethod::Delete);
+        assert_eq!(url, b"/");
+    }
+
+    #[test]
+    fn parser_punts_on_garbage_truncation_and_splits() {
+        // Binary garbage.
+        assert!(parse_request_line(&[0x16, 0x03, 0x01, 0x00]).is_none());
+        // Unknown method.
+        assert!(parse_request_line(b"BREW /pot HTTP/1.1\r\n").is_none());
+        // Split across segments: line doesn't finish in this one.
+        assert!(parse_request_line(b"GET /api/v1/us").is_none());
+        // Truncated just before the CRLF.
+        assert!(parse_request_line(b"GET /x HTTP/1.1").is_none());
+        // URL not absolute-path shaped.
+        assert!(parse_request_line(b"GET http://e/ HTTP/1.1\r\n").is_none());
+        // Control byte inside the URL.
+        assert!(parse_request_line(b"GET /a\x01b HTTP/1.1\r\n").is_none());
+        // Request line longer than the window is a punt, not a guess.
+        let long = format!("GET /{} HTTP/1.1\r\n", "a".repeat(PARSE_WINDOW));
+        assert!(parse_request_line(long.as_bytes()).is_none());
+        // Empty input.
+        assert!(parse_request_line(b"").is_none());
+    }
+
+    #[test]
+    fn first_parsed_request_pins_the_connection_verdict() {
+        let mut l7 = table();
+        let k = key(40000);
+        assert_eq!(
+            l7.lookup(k, b"POST /admin/keys HTTP/1.1\r\n"),
+            L7LookupOutcome::Deny
+        );
+        assert_eq!(l7.pinned_len(), 1);
+        // A later segment with a *different* (even allowed) payload
+        // still gets the pinned verdict — and so does a bare ACK.
+        assert_eq!(
+            l7.lookup(k, b"GET /api/ok HTTP/1.1\r\n"),
+            L7LookupOutcome::Deny
+        );
+        assert_eq!(l7.lookup(k, b""), L7LookupOutcome::Deny);
+        // A different connection is evaluated on its own merits.
+        assert_eq!(
+            l7.lookup(key(40001), b"GET /api/ok HTTP/1.1\r\n"),
+            L7LookupOutcome::Allow
+        );
+    }
+
+    #[test]
+    fn unpinned_outcomes_do_not_pin() {
+        let mut l7 = table();
+        let k = key(1);
+        assert_eq!(l7.lookup(k, b""), L7LookupOutcome::NoRequest);
+        assert_eq!(l7.lookup(k, b"\x00garbage"), L7LookupOutcome::Unparseable);
+        assert_eq!(l7.pinned_len(), 0);
+        // Default allow when no policy matches; that *does* pin.
+        assert_eq!(
+            l7.lookup(k, b"GET /other HTTP/1.1\r\n"),
+            L7LookupOutcome::Allow
+        );
+        assert_eq!(l7.pinned_len(), 1);
+    }
+
+    #[test]
+    fn steer_and_method_matching() {
+        let mut l7 = table();
+        assert_eq!(
+            l7.lookup(key(2), b"GET /metrics HTTP/1.1\r\n"),
+            L7LookupOutcome::Steer(IfIndex(9))
+        );
+        // /admin deny is POST-only; GET falls through to default allow.
+        assert_eq!(
+            l7.lookup(key(3), b"GET /admin HTTP/1.1\r\n"),
+            L7LookupOutcome::Allow
+        );
+    }
+
+    #[test]
+    fn flush_clears_pins_and_bumps_generation() {
+        let mut l7 = table();
+        l7.lookup(key(5), b"POST /admin HTTP/1.1\r\n");
+        assert_eq!(l7.pinned_len(), 1);
+        let g = l7.generation;
+        l7.flush();
+        assert!(l7.generation > g);
+        assert_eq!((l7.total_rules(), l7.pinned_len()), (0, 0));
+        assert!(!l7.is_active());
+        // With no policies, nothing pins and nothing counts.
+        assert_eq!(
+            l7.lookup(key(5), b"POST /admin HTTP/1.1\r\n"),
+            L7LookupOutcome::NoRequest
+        );
+        // Flushing an already-empty table is not an event.
+        let g = l7.generation;
+        l7.flush();
+        assert_eq!(l7.generation, g);
+    }
+
+    #[test]
+    fn pin_eviction_is_deterministic_and_bumps_generation() {
+        let mut l7 = L7::new();
+        l7.append(L7Policy::prefix(b"/", L7Action::Allow));
+        for sport in 0..PIN_CAP as u16 {
+            l7.lookup(key(sport), b"GET / HTTP/1.1\r\n");
+        }
+        assert_eq!(l7.pinned_len(), PIN_CAP);
+        let g = l7.generation;
+        // One more connection evicts the smallest key...
+        l7.lookup(key(60000), b"GET / HTTP/1.1\r\n");
+        assert_eq!(l7.pinned_len(), PIN_CAP);
+        assert_eq!(l7.generation, g + 1, "eviction invalidates caches");
+        // ...and re-pinning an existing connection does not evict.
+        let g = l7.generation;
+        l7.lookup(key(60000), b"");
+        assert_eq!(l7.generation, g);
+    }
+
+    #[test]
+    fn hinted_lookup_matches_unhinted() {
+        let mut a = table();
+        let mut b = table();
+        let cases: &[&[u8]] = &[
+            b"GET /api HTTP/1.1\r\n",
+            b"POST /admin HTTP/1.1\r\n",
+            b"\xffbinary",
+            b"",
+            b"GET /split",
+        ];
+        for (i, payload) in cases.iter().enumerate() {
+            let k = key(i as u16);
+            assert_eq!(
+                a.lookup(k, payload),
+                b.lookup_hinted(k, payload, payload.first().copied()),
+                "case {i}"
+            );
+        }
+        assert_eq!(a.pinned_len(), b.pinned_len());
+        assert_eq!(a.generation, b.generation);
+    }
+}

@@ -19,6 +19,8 @@
 //!   per-direction NAT bindings.
 //! - **NAT** ([`nat`]): the iptables `nat` table — PREROUTING DNAT and
 //!   POSTROUTING SNAT/MASQUERADE with a deterministic port allocator.
+//! - **L7 policy** ([`l7`]): a bounded HTTP/1.x request-line parser and
+//!   per-URL-prefix/method policy table with connection-verdict pinning.
 //! - **Netlink** ([`netlink`]): typed dump requests plus multicast change
 //!   notifications — the introspection surface the LinuxFP controller
 //!   consumes.
@@ -55,6 +57,7 @@ pub mod device;
 pub mod error;
 pub mod fib;
 pub mod ipvs;
+pub mod l7;
 pub mod nat;
 pub mod neigh;
 pub mod netfilter;

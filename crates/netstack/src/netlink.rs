@@ -129,6 +129,12 @@ pub enum NetlinkMessage {
         /// Generation after the change.
         generation: u64,
     },
+    /// The L7 request-policy table changed (policies appended, flushed,
+    /// or a connection pin evicted).
+    L7Changed {
+        /// Generation after the change.
+        generation: u64,
+    },
     /// A sysctl changed.
     SysctlChanged {
         /// Sysctl name (e.g. `net.ipv4.ip_forward`).
@@ -148,7 +154,8 @@ impl NetlinkMessage {
             NetlinkMessage::NewNeigh { .. } | NetlinkMessage::DelNeigh { .. } => NlGroup::Neigh,
             NetlinkMessage::NetfilterChanged { .. }
             | NetlinkMessage::IpvsChanged { .. }
-            | NetlinkMessage::NatChanged { .. } => NlGroup::Netfilter,
+            | NetlinkMessage::NatChanged { .. }
+            | NetlinkMessage::L7Changed { .. } => NlGroup::Netfilter,
             NetlinkMessage::SysctlChanged { .. } => NlGroup::Sysctl,
         }
     }
@@ -330,6 +337,10 @@ mod tests {
         );
         assert_eq!(
             NetlinkMessage::NatChanged { generation: 1 }.group(),
+            NlGroup::Netfilter
+        );
+        assert_eq!(
+            NetlinkMessage::L7Changed { generation: 1 }.group(),
             NlGroup::Netfilter
         );
     }

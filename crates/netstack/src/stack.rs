@@ -15,6 +15,7 @@ use crate::conntrack::{Conntrack, NatTuple};
 use crate::device::{DeviceKind, IfIndex, NetDevice};
 use crate::error::NetError;
 use crate::fib::{Fib, Route, RouteScope};
+use crate::l7::{L7ConnKey, L7LookupOutcome, L7Policy, L7};
 use crate::nat::{Nat, NatChain, NatCtx, NatLookupOutcome, NatRule, PostOutcome};
 use crate::neigh::NeighTable;
 use crate::netfilter::{ChainHook, IptRule, Netfilter, NfVerdict, PacketMeta};
@@ -23,6 +24,7 @@ use linuxfp_packet::arp::{ArpOp, ArpPacket};
 use linuxfp_packet::builder;
 use linuxfp_packet::icmp::{IcmpHeader, IcmpType};
 use linuxfp_packet::ipv4::{IpProto, Ipv4Header, Prefix};
+use linuxfp_packet::tcp::TcpHeader;
 use linuxfp_packet::udp::UdpHeader;
 use linuxfp_packet::{Batch, EtherType, EthernetFrame, MacAddr, Packet, PacketBuf};
 use linuxfp_sim::{CostModel, CostTracker, Nanos};
@@ -286,6 +288,7 @@ struct StackTelemetry {
     slow_netfilter: Counter,
     slow_ipvs: Counter,
     slow_nat: Counter,
+    slow_l7: Counter,
     batch_size: Histogram,
 }
 
@@ -325,6 +328,18 @@ impl StackTelemetry {
             "NAT binding pairs evicted because the binding table was at capacity",
         );
         registry.describe(
+            "linuxfp_l7_parsed_requests_total",
+            "HTTP/1.x request lines parsed to a policy verdict (both paths)",
+        );
+        registry.describe(
+            "linuxfp_l7_unparseable_total",
+            "Segments that failed the bounded request-line parse (both paths)",
+        );
+        registry.describe(
+            "linuxfp_l7_denies_total",
+            "L7 policy deny verdicts returned (both paths)",
+        );
+        registry.describe(
             "linuxfp_batch_size",
             "Frames per injected burst (1 for single-packet Kernel::receive)",
         );
@@ -343,6 +358,7 @@ impl StackTelemetry {
             slow_netfilter: slow("netfilter"),
             slow_ipvs: slow("ipvs"),
             slow_nat: slow("nat"),
+            slow_l7: slow("l7"),
             batch_size: registry.histogram("linuxfp_batch_size", &[], Scale::Identity),
             registry,
         }
@@ -368,6 +384,8 @@ pub struct Kernel {
     pub ipvs: crate::ipvs::Ipvs,
     /// The iptables `nat` table.
     pub nat: Nat,
+    /// The L7 request-policy table and connection-verdict pins.
+    pub l7: L7,
     /// Last coarse-interval conntrack/NAT GC run from the packet path.
     last_ct_gc: Nanos,
     /// Whether forwarded traffic is connection-tracked (Kubernetes-style
@@ -457,6 +475,7 @@ impl Kernel {
             conntrack: Conntrack::new(),
             ipvs: crate::ipvs::Ipvs::new(),
             nat: Nat::new(),
+            l7: L7::new(),
             last_ct_gc: Nanos::ZERO,
             conntrack_forward: false,
             sysctls,
@@ -499,6 +518,12 @@ impl Kernel {
             .set_eviction_counter(t.registry.counter("linuxfp_conntrack_evictions_total", &[]));
         self.conntrack
             .set_nat_eviction_counter(t.registry.counter("linuxfp_nat_evictions_total", &[]));
+        self.l7
+            .set_parsed_counter(t.registry.counter("linuxfp_l7_parsed_requests_total", &[]));
+        self.l7
+            .set_unparseable_counter(t.registry.counter("linuxfp_l7_unparseable_total", &[]));
+        self.l7
+            .set_deny_counter(t.registry.counter("linuxfp_l7_denies_total", &[]));
         for bridge in self.bridges.values_mut() {
             bridge.set_decision_counter(ops("bridge"));
         }
@@ -548,6 +573,7 @@ impl Kernel {
             .wrapping_add(self.conntrack.generation())
             .wrapping_add(self.netfilter.generation)
             .wrapping_add(self.nat.generation)
+            .wrapping_add(self.l7.generation)
             .wrapping_add(self.ipvs.generation)
             .wrapping_add(self.time_generation);
         for bridge in self.bridges.values() {
@@ -1154,6 +1180,25 @@ impl Kernel {
         self.publish_nat_changed();
     }
 
+    /// Appends an L7 request policy (first match wins).
+    pub fn l7_policy_append(&mut self, policy: L7Policy) {
+        self.l7.append(policy);
+        self.publish_l7_changed();
+    }
+
+    /// Flushes the L7 policy table *and* the connection-verdict pins:
+    /// pinned connections are re-evaluated from their next request.
+    pub fn l7_policy_flush(&mut self) {
+        self.l7.flush();
+        self.publish_l7_changed();
+    }
+
+    fn publish_l7_changed(&mut self) {
+        let generation = self.l7.generation;
+        self.netlink
+            .publish(NetlinkMessage::L7Changed { generation });
+    }
+
     fn publish_nat_changed(&mut self) {
         let generation = self.nat.generation;
         self.netlink
@@ -1409,6 +1454,33 @@ impl Kernel {
         } else {
             NatLookupOutcome::NoNat
         }
+    }
+
+    /// `bpf_l7_policy_lookup` (the sixth subsystem's helper): reads the
+    /// *kernel's* L7 policy and connection-pin tables — never shadow
+    /// state. The payload slice is the bytes the synthesized program
+    /// proved in-bounds; `first` is the first payload byte the program
+    /// itself loaded through a verified variable-offset load (`None`
+    /// encodes an empty payload). Verdicts, pin installation and
+    /// telemetry all run through [`crate::l7::L7::lookup_hinted`] — the
+    /// same code the slow path executes, so the two paths cannot
+    /// disagree.
+    pub fn helper_l7_lookup(
+        &mut self,
+        src: Ipv4Addr,
+        sport: u16,
+        dst: Ipv4Addr,
+        dport: u16,
+        payload: &[u8],
+        first: Option<u8>,
+    ) -> L7LookupOutcome {
+        let key = L7ConnKey {
+            src,
+            sport,
+            dst,
+            dport,
+        };
+        self.l7.lookup_hinted(key, payload, first)
     }
 }
 

@@ -148,6 +148,50 @@ impl Kernel {
             self.drop(out, DropReason::ForwardingDisabled);
             return;
         }
+
+        // L7 request policy: parse the HTTP/1.x request line (bounded)
+        // and evaluate it against the per-URL-prefix/method table and
+        // connection pins. Runs post-DNAT so pins key on the same tuple
+        // the fast-path helper sees, and before the FIB so a deny
+        // precedes any route-miss ICMP on both paths.
+        if self.l7.is_active() && ip.proto == IpProto::Tcp {
+            out.charge("l7_policy", self.cost.conntrack_lookup_ns);
+            if let Some(t) = &self.telemetry {
+                t.slow_l7.inc();
+            }
+            let key = L7ConnKey {
+                src: ip.src,
+                sport: meta.sport,
+                dst: ip.dst,
+                dport: meta.dport,
+            };
+            let seg = &frame[l3 + ip.header_len..];
+            let verdict = match TcpHeader::parse(seg).and_then(|tcp| tcp.payload(seg)) {
+                Ok(payload) => self.l7.lookup(key, payload),
+                // Truncated header or data offset past the segment end:
+                // a typed punt — pinned connections keep their verdict,
+                // unpinned ones count as unparseable and forward on.
+                Err(_) => self.l7.lookup_hinted(key, b"\x00", Some(0)),
+            };
+            match verdict {
+                L7LookupOutcome::Deny => {
+                    self.drop(out, DropReason::L7PolicyDeny);
+                    return;
+                }
+                L7LookupOutcome::Steer(steer_dev) => {
+                    // Steered requests bypass FIB routing and exit the
+                    // configured device directly (slow-path only: the
+                    // fast path punts steer verdicts).
+                    out.charge("qdisc_xmit", self.cost.qdisc_xmit_ns);
+                    self.transmit(steer_dev, frame, out, queue);
+                    return;
+                }
+                L7LookupOutcome::Allow
+                | L7LookupOutcome::NoRequest
+                | L7LookupOutcome::Unparseable => {}
+            }
+        }
+
         out.charge("fib_lookup", self.cost.fib_lookup_kernel_ns);
         let Some(route) = self.fib.lookup(ip.dst).copied() else {
             self.icmp_error(&frame, l3, &ip, IcmpType::DestUnreachable(0), out, queue);

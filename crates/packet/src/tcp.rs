@@ -94,6 +94,30 @@ impl TcpHeader {
         })
     }
 
+    /// Returns the segment payload following this header.
+    ///
+    /// `segment` must be the same buffer the header was parsed from
+    /// (starting at the TCP header). A data offset pointing past the end
+    /// of the segment is a distinct, *typed* condition — the caller must
+    /// be able to tell "no payload" from "the header claims bytes the
+    /// segment does not carry", because an L7 parser that silently
+    /// truncated here would read garbage as a request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParsePacketError::Truncated`] when `header_len`
+    /// exceeds the segment length.
+    pub fn payload<'a>(&self, segment: &'a [u8]) -> Result<&'a [u8], ParsePacketError> {
+        if self.header_len > segment.len() {
+            return Err(ParsePacketError::Truncated {
+                layer: "tcp payload",
+                needed: self.header_len,
+                have: segment.len(),
+            });
+        }
+        Ok(&segment[self.header_len..])
+    }
+
     /// Writes a 20-byte TCP header (checksum 0) into `buf`.
     ///
     /// # Panics
@@ -146,6 +170,46 @@ mod tests {
         for b in 0u8..32 {
             assert_eq!(TcpFlags::from_u8(b).to_u8(), b);
         }
+    }
+
+    #[test]
+    fn payload_accessor_handles_short_segments() {
+        // 20-byte header, 4-byte payload: the accessor returns exactly
+        // the payload bytes.
+        let mut seg = vec![0u8; 24];
+        TcpHeader::write(&mut seg, 1, 2, 0, 0, TcpFlags::default());
+        seg[20..].copy_from_slice(b"GET ");
+        let h = TcpHeader::parse(&seg).unwrap();
+        assert_eq!(h.payload(&seg).unwrap(), b"GET ");
+
+        // Empty payload is Ok(&[]) — distinct from an error.
+        let mut bare = [0u8; 20];
+        TcpHeader::write(&mut bare, 1, 2, 0, 0, TcpFlags::default());
+        let h = TcpHeader::parse(&bare).unwrap();
+        assert_eq!(h.payload(&bare).unwrap(), b"");
+
+        // A data offset past the segment end is a typed error, not a
+        // silent truncation: 32-byte header claimed, 20 bytes present.
+        let mut short = [0u8; 20];
+        TcpHeader::write(&mut short, 1, 2, 0, 0, TcpFlags::default());
+        short[12] = 8 << 4;
+        let h = TcpHeader::parse(&short).unwrap();
+        assert_eq!(h.header_len, 32);
+        assert!(matches!(
+            h.payload(&short),
+            Err(ParsePacketError::Truncated {
+                layer: "tcp payload",
+                needed: 32,
+                have: 20,
+            })
+        ));
+
+        // Boundary: header_len == segment length is legal (no payload).
+        let mut exact = [0u8; 32];
+        TcpHeader::write(&mut exact, 1, 2, 0, 0, TcpFlags::default());
+        exact[12] = 8 << 4;
+        let h = TcpHeader::parse(&exact).unwrap();
+        assert_eq!(h.payload(&exact).unwrap(), b"");
     }
 
     #[test]

@@ -253,6 +253,79 @@ mod tests {
     }
 
     #[test]
+    fn api_gateway_l7_verdicts_identical_but_faster() {
+        use linuxfp_telemetry::trace::{PuntReason, TraceEvent};
+
+        let s = Scenario::api_gateway();
+        let registry = Registry::new();
+        let mut linux = LinuxPlatform::new(s);
+        let mut lfp = LinuxFpPlatform::with_telemetry(s, HookPoint::Xdp, registry.clone());
+        let mac = lfp.dut_mac();
+        let ring = lfp.kernel_mut().enable_flight_recorder(4096, 1);
+
+        // A mixed request stream: allowed GETs, denied /blocked/ GETs,
+        // binary garbage (fast path must punt, slow path forwards),
+        // bare ACKs, and follow-up segments on decided connections.
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        for i in 0..24u64 {
+            frames.push(match i % 6 {
+                0 | 1 => s.http_frame(mac, i, &Scenario::http_request(i)),
+                2 => s.http_frame(mac, i, &s.blocked_http_request(i)),
+                3 => s.http_frame(mac, i, &[0x16, 0x03, 0x01, 0x00, 0x2a]),
+                4 => s.http_frame(mac, i, b""),
+                // Same flow as the i%6==2 deny two frames earlier: the
+                // pinned verdict must drop this innocuous payload too.
+                _ => s.http_frame(mac, i - 3, &Scenario::http_request(i)),
+            });
+        }
+        let injected = frames.len() as u64;
+        let mut denies = 0;
+        for (i, frame) in frames.into_iter().enumerate() {
+            let out_l = linux.process(frame.clone());
+            let out_f = lfp.process(frame);
+            assert_eq!(
+                out_l.transmissions(),
+                out_f.transmissions(),
+                "frame {i} diverged"
+            );
+            if out_f.transmissions().is_empty() {
+                assert!(out_l.transmissions().is_empty());
+                denies += 1;
+            }
+        }
+        // i%6∈{2,5} are denied (pinned verdict covers the follow-up).
+        assert_eq!(denies, 8, "deny verdicts");
+
+        // Conservation: every injected frame either hit a fast path or
+        // fell back — none vanished.
+        let hits = registry.counter_total("linuxfp_fp_hits_total");
+        let fallbacks = registry.counter_total("linuxfp_slowpath_fallbacks_total");
+        assert_eq!(
+            hits + fallbacks,
+            injected,
+            "hits {hits} + falls {fallbacks}"
+        );
+        assert!(hits > 0, "l7 fast path never hit");
+
+        // Unparseable payloads punt with the dedicated reason — and were
+        // still forwarded byte-identically above.
+        let l7_punts: usize = ring
+            .recent()
+            .iter()
+            .flat_map(|span| span.events.iter())
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Punt {
+                        reason: PuntReason::L7Unparseable
+                    }
+                )
+            })
+            .count();
+        assert!(l7_punts > 0, "no L7Unparseable punts recorded");
+    }
+
+    #[test]
     fn traits_table() {
         let p = LinuxFpPlatform::new(Scenario::router());
         let t = p.traits();

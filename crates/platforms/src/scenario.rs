@@ -8,10 +8,12 @@
 //! Linux configuration".
 
 use linuxfp_netstack::device::IfIndex;
+use linuxfp_netstack::l7::{L7Action, L7Policy};
 use linuxfp_netstack::nat::{NatChain, NatRule, NatTarget};
 use linuxfp_netstack::netfilter::{ChainHook, IpSet, IptRule};
 use linuxfp_netstack::stack::{IfAddr, Kernel};
 use linuxfp_packet::ipv4::Prefix;
+use linuxfp_packet::tcp::TcpFlags;
 use linuxfp_packet::{builder, MacAddr};
 use std::net::Ipv4Addr;
 
@@ -37,6 +39,9 @@ pub struct Scenario {
     /// interface's address (`iptables -t nat -A POSTROUTING -o <down>
     /// -j MASQUERADE`).
     pub masquerade: bool,
+    /// Number of L7 deny policies (`/blocked/<i>` URL prefixes); 0 = no
+    /// request inspection.
+    pub l7_policies: u32,
 }
 
 impl Scenario {
@@ -47,16 +52,24 @@ impl Scenario {
             filter_rules: 0,
             use_ipset: false,
             masquerade: false,
+            l7_policies: 0,
         }
     }
 
     /// The paper's virtual gateway: 50 prefixes + 100 blacklist rules.
     pub fn gateway() -> Self {
         Scenario {
-            prefixes: 50,
             filter_rules: 100,
-            use_ipset: false,
-            masquerade: false,
+            ..Scenario::router()
+        }
+    }
+
+    /// An API gateway: the router with L7 request policies denying
+    /// `/blocked/*` URL prefixes on otherwise-routable HTTP traffic.
+    pub fn api_gateway() -> Self {
+        Scenario {
+            l7_policies: 20,
+            ..Scenario::router()
         }
     }
 
@@ -93,6 +106,11 @@ impl Scenario {
             filter_rules,
             use_ipset: filter_rules > 0 && rng.chance(0.5),
             masquerade: rng.chance(0.5),
+            l7_policies: if rng.chance(0.35) {
+                1 + rng.uniform_u64(20) as u32
+            } else {
+                0
+            },
         }
     }
 
@@ -120,6 +138,60 @@ impl Scenario {
     /// A blacklisted destination for rule `i`.
     pub fn blocked_dst(&self, i: u32) -> Ipv4Addr {
         Scenario::blacklist_prefix(i % self.filter_rules.max(1)).nth_host(1)
+    }
+
+    /// The request line of the `i`-th allowed HTTP flow. Paths rotate
+    /// through a small API surface; none is under `/blocked/`.
+    pub fn http_request(i: u64) -> Vec<u8> {
+        format!("GET /api/v1/items/{} HTTP/1.1\r\n", i % 64).into_bytes()
+    }
+
+    /// The request line of a request every `api_gateway` policy set
+    /// denies.
+    pub fn blocked_http_request(&self, i: u64) -> Vec<u8> {
+        format!(
+            "GET /blocked/{} HTTP/1.1\r\n",
+            i % u64::from(self.l7_policies.max(1))
+        )
+        .into_bytes()
+    }
+
+    /// Builds one TCP segment of HTTP flow `i` carrying `payload`,
+    /// addressed like [`Scenario::frame`] but to port 80.
+    pub fn http_frame(&self, dut_mac: MacAddr, i: u64, payload: &[u8]) -> Vec<u8> {
+        builder::tcp_packet(
+            SOURCE_MAC,
+            dut_mac,
+            Ipv4Addr::new(10, 0, 1, 100),
+            self.allowed_dst(i),
+            (1024 + (i % 512)) as u16,
+            80,
+            TcpFlags {
+                psh: true,
+                ack: true,
+                ..TcpFlags::default()
+            },
+            payload,
+        )
+    }
+
+    /// The in-place variant of [`Scenario::http_frame`].
+    pub fn fill_http_frame(&self, dut_mac: MacAddr, i: u64, payload: &[u8], buf: &mut Vec<u8>) {
+        builder::tcp_packet_into(
+            SOURCE_MAC,
+            dut_mac,
+            Ipv4Addr::new(10, 0, 1, 100),
+            self.allowed_dst(i),
+            (1024 + (i % 512)) as u16,
+            80,
+            TcpFlags {
+                psh: true,
+                ack: true,
+                ..TcpFlags::default()
+            },
+            payload,
+            buf,
+        );
     }
 
     /// Builds the workload frame for flow `i` with the given total frame
@@ -226,6 +298,12 @@ impl Scenario {
                     );
                 }
             }
+        }
+        for i in 0..self.l7_policies {
+            k.l7_policy_append(L7Policy::prefix(
+                format!("/blocked/{i}").as_bytes(),
+                L7Action::Deny,
+            ));
         }
         if self.masquerade {
             k.iptables_nat_append(

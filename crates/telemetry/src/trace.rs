@@ -117,11 +117,14 @@ pub enum DropReason {
     VppNonIpPunted,
     /// VPP reference datapath: ACL deny.
     VppAclDeny,
+    /// An L7 request policy (or a pinned connection verdict) denied the
+    /// request.
+    L7PolicyDeny,
 }
 
 impl DropReason {
     /// Every variant, for exhaustiveness tests and registry docs.
-    pub const ALL: [DropReason; 35] = [
+    pub const ALL: [DropReason; 36] = [
         DropReason::NoSuchDevice,
         DropReason::DeviceDown,
         DropReason::ForwardingLoop,
@@ -157,6 +160,7 @@ impl DropReason {
         DropReason::Hairpin,
         DropReason::VppNonIpPunted,
         DropReason::VppAclDeny,
+        DropReason::L7PolicyDeny,
     ];
 
     /// The historical string label, unchanged from the pre-taxonomy
@@ -199,6 +203,7 @@ impl DropReason {
             DropReason::Hairpin => "hairpin",
             DropReason::VppNonIpPunted => "vpp: non-ip punted",
             DropReason::VppAclDeny => "vpp acl deny",
+            DropReason::L7PolicyDeny => "l7 policy deny",
         }
     }
 }
@@ -218,6 +223,9 @@ pub enum PuntReason {
     ProgramPass,
     /// The microflow verdict cache replayed a recorded `PASS`.
     CachedPass,
+    /// The L7 fast path could not parse the request line and deferred
+    /// the verdict to the slow-path parser.
+    L7Unparseable,
 }
 
 impl PuntReason {
@@ -227,6 +235,7 @@ impl PuntReason {
             PuntReason::EmptySlot => "empty slot",
             PuntReason::ProgramPass => "program pass",
             PuntReason::CachedPass => "cached pass",
+            PuntReason::L7Unparseable => "l7 unparseable",
         }
     }
 }

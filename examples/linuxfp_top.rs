@@ -192,6 +192,36 @@ fn main() {
         draw(round, &registry, &ring);
     }
 
+    // Reconfigure again: L7 request policies. The fast path grows a
+    // payload-parsing stage (`router+l7+filter` in the FPM column) that
+    // denies `/blocked/*` requests in the hook and punts anything its
+    // bounded parser cannot judge.
+    host.kernel_mut()
+        .l7_policy_append(linuxfp::netstack::l7::L7Policy::prefix(
+            b"/blocked/",
+            linuxfp::netstack::l7::L7Action::Deny,
+        ));
+    let report = host.poll_controller().expect("l7 change triggers");
+    println!(
+        "*** controller reacted in {:.2}ms: {} FPM instances installed ***\n",
+        report.reaction.as_secs_f64() * 1e3,
+        report.fpm_count
+    );
+
+    // Rounds 6-7: HTTP request traffic — allowed requests, denied
+    // requests, and TLS-looking garbage the parser punts on.
+    for round in 6..=7 {
+        for i in 0..20u64 {
+            let payload: Vec<u8> = match i % 4 {
+                0 | 1 => Scenario::http_request(i),
+                2 => scenario.blocked_http_request(i),
+                _ => vec![0x16, 0x03, 0x01, 0x00, 0x2a],
+            };
+            host.process(scenario.http_frame(mac, i, &payload));
+        }
+        draw(round, &registry, &ring);
+    }
+
     // The transparency ledger: every injected packet was decided exactly
     // once — by the fast path (hit) or the stock stack (fallback).
     let hits = registry.counter_total("linuxfp_fp_hits_total");

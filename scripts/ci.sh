@@ -56,6 +56,26 @@ cargo run -q -p linuxfp-bench --bin repro --release -- flow_cache \
     }
   '
 
+echo "==> bench smoke: l7 gateway (offloaded allows beat the stock stack; punts cost more, never break)"
+cargo run -q -p linuxfp-bench --bin repro --release -- l7_gateway \
+  | awk '
+    /allow \(offloaded\)/        { off = $NF }
+    /allow \(linux slow path\)/  { lin = $NF }
+    /unparseable \(punted\)/     { punt = $NF }
+    END {
+      if (off == "" || lin == "" || punt == "") { print "FAIL: l7_gateway rows not found"; exit 1 }
+      if (off + 0 >= lin + 0) {
+        printf "FAIL: offloaded allow %s ns/request is not faster than the stock stack %s\n", off, lin
+        exit 1
+      }
+      if (punt + 0 < lin + 0) {
+        printf "FAIL: punted %s ns/request beats the stock stack %s — punt accounting broke\n", punt, lin
+        exit 1
+      }
+      printf "ok: allow %s ns/request offloaded vs %s stock; punt tax %s\n", off, lin, punt
+    }
+  '
+
 echo "==> bench smoke: sampled tracing at 1-in-64 stays inside the 5% telemetry budget"
 cargo bench -q -p linuxfp-bench --bench micro \
   | awk '

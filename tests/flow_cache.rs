@@ -1,6 +1,6 @@
 //! The microflow verdict cache must be invisible in everything except
 //! cost: byte-identical outputs with the cache on and off across all
-//! five accelerated subsystems, immediate re-resolution when the state a
+//! six accelerated subsystems, immediate re-resolution when the state a
 //! cached verdict was derived from changes, and no buffer-pool growth on
 //! the hit path.
 
@@ -121,6 +121,26 @@ fn gateway_filtering_identical_with_cache_on_and_off() {
     }
     let hits = assert_cache_transparent(on, off, &repeat_interleaved(&flows, 4), "gateway");
     assert!(hits >= 12, "gateway repeats must hit the cache: {hits}");
+}
+
+#[test]
+fn l7_policy_verdicts_identical_with_cache_on_and_off() {
+    // Allowed requests (pinned Allow verdicts become cacheable), denied
+    // requests (cached fast-path drops), and unparseable garbage that
+    // punts on every appearance — all byte-identical with the cache off.
+    let s = Scenario::api_gateway();
+    let on = LinuxFpPlatform::new(s);
+    let off = LinuxFpPlatform::new(s);
+    let mac = on.dut_mac();
+    let mut flows: Vec<_> = (0..4u64)
+        .map(|i| s.http_frame(mac, i, &Scenario::http_request(i)))
+        .collect();
+    for i in 4..6u64 {
+        flows.push(s.http_frame(mac, i, &s.blocked_http_request(i)));
+    }
+    flows.push(s.http_frame(mac, 6, &[0x16, 0x03, 0x01, 0x00, 0x2a]));
+    let hits = assert_cache_transparent(on, off, &repeat_interleaved(&flows, 4), "l7");
+    assert!(hits >= 8, "l7 pinned repeats must hit the cache: {hits}");
 }
 
 #[test]
