@@ -28,6 +28,7 @@
 pub mod ablations;
 pub mod batch;
 pub mod control;
+pub mod cores;
 pub mod flow_cache;
 pub mod hooks;
 pub mod l7;
@@ -58,6 +59,7 @@ pub fn run_experiment(id: &str) -> Option<ExperimentTable> {
         "ablation_state" => ablations::ablation_state_sharing(16),
         "ablation_minimal" => ablations::ablation_minimality(),
         "batch_sweep" => batch::batch_sweep(),
+        "core_scaling" => cores::core_scaling_experiment(),
         "flow_cache" => flow_cache::flow_cache_experiment(),
         "trace_breakdown" => trace::trace_breakdown_experiment(),
         "l7_gateway" => l7::l7_gateway_experiment(),
@@ -85,6 +87,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ablation_state",
     "ablation_minimal",
     "batch_sweep",
+    "core_scaling",
     "flow_cache",
     "trace_breakdown",
     "l7_gateway",
@@ -103,6 +106,6 @@ mod tests {
             assert!(!t.rows.is_empty(), "{id} produced no rows");
         }
         assert!(run_experiment("fig99").is_none());
-        assert_eq!(ALL_EXPERIMENTS.len(), 20);
+        assert_eq!(ALL_EXPERIMENTS.len(), 21);
     }
 }

@@ -1,9 +1,13 @@
 //! Differential-fuzzing CLI.
 //!
 //! ```text
-//! difftest run --seeds N [--start S] [--corpus DIR]   sweep N seeded scenarios
-//! difftest replay FILE...                             replay stored fixtures
+//! difftest run --seeds N [--start S] [--corpus DIR] [--shards N]
+//!                                                     sweep N seeded scenarios
+//! difftest replay [--shards N] FILE...                replay stored fixtures
 //! ```
+//!
+//! `--shards N` sets `net.linuxfp.rss_shards` on both kernels: the
+//! sharded datapath must stay byte-identical to the single-core run.
 //!
 //! Exit status is non-zero on any divergence. `run` shrinks each failure
 //! and, with `--corpus`, writes the minimal repro there as JSON.
@@ -16,8 +20,8 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         _ => {
-            eprintln!("usage: difftest run --seeds N [--start S] [--corpus DIR]");
-            eprintln!("       difftest replay FILE...");
+            eprintln!("usage: difftest run --seeds N [--start S] [--corpus DIR] [--shards N]");
+            eprintln!("       difftest replay [--shards N] FILE...");
             ExitCode::from(2)
         }
     }
@@ -37,17 +41,23 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let seeds = parse_u64(args, "--seeds").unwrap_or(200);
     let start = parse_u64(args, "--start").unwrap_or(0);
     let corpus = parse_str(args, "--corpus");
+    let shards = parse_u64(args, "--shards").unwrap_or(1) as u32;
 
     let mut packets = 0usize;
     let mut failures = 0u32;
     for seed in start..start + seeds {
         let scenario = linuxfp_difftest::generate(seed);
-        let outcome = linuxfp_difftest::run(&scenario);
+        let outcome = linuxfp_difftest::run_with_shards(&scenario, shards);
         packets += outcome.packets;
         if let Some(div) = &outcome.divergence {
             failures += 1;
+            let sharded = if shards > 1 {
+                format!(" (rss_shards={shards})")
+            } else {
+                String::new()
+            };
             eprintln!(
-                "difftest: seed {seed} DIVERGED at op {} [{}]",
+                "difftest: seed {seed} DIVERGED at op {} [{}]{sharded}",
                 div.op, div.kind
             );
             eprintln!("  {}", div.detail);
@@ -84,11 +94,32 @@ fn cmd_run(args: &[String]) -> ExitCode {
         eprintln!("difftest: {failures}/{seeds} seeds diverged");
         return ExitCode::FAILURE;
     }
-    println!("difftest: {seeds} seeds, {packets} packets, zero divergence");
+    let sharded = if shards > 1 {
+        format!(" (rss_shards={shards})")
+    } else {
+        String::new()
+    };
+    println!("difftest: {seeds} seeds, {packets} packets, zero divergence{sharded}");
     ExitCode::SUCCESS
 }
 
-fn cmd_replay(files: &[String]) -> ExitCode {
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let shards = parse_u64(args, "--shards").unwrap_or(1) as u32;
+    let mut skip_next = false;
+    let files: Vec<&String> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--shards" {
+                skip_next = true;
+                return false;
+            }
+            true
+        })
+        .collect();
     if files.is_empty() {
         eprintln!("difftest replay: no fixture files given");
         return ExitCode::from(2);
@@ -111,7 +142,7 @@ fn cmd_replay(files: &[String]) -> ExitCode {
                 continue;
             }
         };
-        let outcome = linuxfp_difftest::run(&scenario);
+        let outcome = linuxfp_difftest::run_with_shards(&scenario, shards);
         match &outcome.divergence {
             Some(div) => {
                 failures += 1;

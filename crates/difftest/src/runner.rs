@@ -414,6 +414,17 @@ impl Side {
 
 /// Runs the scenario on both kernels and reports the first divergence.
 pub fn run(ds: &DiffScenario) -> RunOutcome {
+    run_with_shards(ds, 1)
+}
+
+/// Like [`run`] but steering both kernels across `shards` RSS shards
+/// (`net.linuxfp.rss_shards`). The sharded datapath must stay
+/// byte-identical to the single-core one — steering only partitions
+/// caches and charges coherence costs, never verdicts — so any fixture
+/// or seed that passes unsharded must pass at every shard count. The RSS
+/// hash reads only L3/L4 fields, so the two kernels' differing MACs
+/// cannot steer a flow to different shards.
+pub fn run_with_shards(ds: &DiffScenario, shards: u32) -> RunOutcome {
     let registry = Registry::new();
     let mut linux = LinuxPlatform::new(ds.base);
     let mut lfp = LinuxFpPlatform::with_telemetry(ds.base, ds.hook, registry.clone());
@@ -427,6 +438,15 @@ pub fn run(ds: &DiffScenario) -> RunOutcome {
     configure_extras(linux.kernel_mut(), ds, up_l, down_l);
     configure_extras(lfp.kernel_mut(), ds, up_f, down_f);
     lfp.poll_controller();
+    if shards > 1 {
+        linux
+            .kernel_mut()
+            .sysctl_set("net.linuxfp.rss_shards", i64::from(shards))
+            .expect("rss_shards sysctl exists");
+        lfp.kernel_mut()
+            .sysctl_set("net.linuxfp.rss_shards", i64::from(shards))
+            .expect("rss_shards sysctl exists");
+    }
 
     let side_l = Side {
         pool: BufferPool::new(),
@@ -720,6 +740,18 @@ pub fn divergence_trace(ds: &DiffScenario, div: &Divergence) -> Option<Value> {
 /// path: any corpus fixture can be turned into per-packet traces
 /// without touching the comparison machinery.
 pub fn trace_scenario(ds: &DiffScenario, every: u64) -> Vec<linuxfp_telemetry::trace::TraceSpan> {
+    trace_scenario_with_shards(ds, every, 1)
+}
+
+/// [`trace_scenario`] on an N-shard datapath: spans carry the owning
+/// shard chosen by RSS steering and, for `shards > 1`, a `coherence`
+/// stage attributing the cross-core penalties each packet paid for
+/// shared state another shard (or the control plane) wrote.
+pub fn trace_scenario_with_shards(
+    ds: &DiffScenario,
+    every: u64,
+    shards: u32,
+) -> Vec<linuxfp_telemetry::trace::TraceSpan> {
     let registry = Registry::new();
     let mut lfp = LinuxFpPlatform::with_telemetry(ds.base, ds.hook, registry);
     let ring = lfp.kernel_mut().enable_flight_recorder(65536, every.max(1));
@@ -728,6 +760,11 @@ pub fn trace_scenario(ds: &DiffScenario, every: u64) -> Vec<linuxfp_telemetry::t
     let down_mac = lfp.kernel_mut().device(down_f).expect("down").mac;
     configure_extras(lfp.kernel_mut(), ds, up_f, down_f);
     lfp.poll_controller();
+    if shards > 1 {
+        lfp.kernel_mut()
+            .sysctl_set("net.linuxfp.rss_shards", i64::from(shards))
+            .expect("rss_shards sysctl");
+    }
     let side = Side {
         pool: BufferPool::new(),
         up: up_f,

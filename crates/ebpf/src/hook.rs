@@ -74,6 +74,22 @@ impl HookStats {
         registry.describe("linuxfp_vm_insns_total", "eBPF VM instructions executed");
         registry.describe("linuxfp_vm_helper_calls_total", "eBPF helper calls made");
         registry.describe("linuxfp_vm_verdicts_total", "eBPF program verdicts by kind");
+        registry.describe(
+            "linuxfp_shard_fp_hits_total",
+            "Fast-path hits by owning RSS shard (only emitted when rss_shards > 1)",
+        );
+        registry.describe(
+            "linuxfp_shard_fallbacks_total",
+            "Slow-path fallbacks by owning RSS shard (only emitted when rss_shards > 1)",
+        );
+        registry.describe(
+            "linuxfp_shard_flowcache_hits_total",
+            "Microflow verdict cache hits by owning RSS shard (rss_shards > 1 only)",
+        );
+        registry.describe(
+            "linuxfp_shard_flowcache_misses_total",
+            "Microflow verdict cache misses by owning RSS shard (rss_shards > 1 only)",
+        );
         HookStats {
             hits: registry.counter("linuxfp_fp_hits_total", &[("fpm", fpm)]),
             fallbacks: registry.counter("linuxfp_slowpath_fallbacks_total", &[("fpm", fpm)]),
@@ -155,6 +171,35 @@ struct BatchCache {
 
 type BatchCacheCell = Arc<Mutex<Option<BatchCache>>>;
 
+/// Cache slots kept per hook: one verdict cache + one slot resolution per
+/// possible RSS shard, indexed by `Packet::rx_queue`. An unsharded kernel
+/// always steers to queue 0, so slot 0 behaves exactly like the single
+/// cache it replaced.
+const SHARD_SLOTS: usize = 16;
+
+/// Bumps the per-shard hit/fallback ledger. Only called when the datapath
+/// is sharded, so single-core runs never grow a shard dimension; the
+/// per-shard series sum to the global `linuxfp_fp_hits_total` /
+/// `linuxfp_slowpath_fallbacks_total` ledger.
+fn record_shard_verdict(telemetry: &TelemetryCell, shard: usize, verdict: &HookVerdict) {
+    let series = if matches!(verdict, HookVerdict::Pass) {
+        "linuxfp_shard_fallbacks_total"
+    } else {
+        "linuxfp_shard_fp_hits_total"
+    };
+    bump_shard(telemetry, series, shard);
+}
+
+/// Increments a shard-labelled counter, if telemetry is wired.
+fn bump_shard(telemetry: &TelemetryCell, series: &str, shard: usize) {
+    if let Some(t) = telemetry.lock().unwrap().as_ref() {
+        let label = shard.to_string();
+        t.registry
+            .counter(series, &[("shard", label.as_str())])
+            .inc();
+    }
+}
+
 /// Builds a [`HookFn`] that executes `prog` in the VM against each
 /// packet, translating VM verdicts to kernel hook verdicts.
 pub fn hook_fn_for(prog: LoadedProgram, maps: MapStore, hook: HookPoint) -> HookFn {
@@ -196,14 +241,26 @@ fn hook_fn_inner(
     telemetry: TelemetryCell,
     dispatch: Option<(MapId, usize)>,
 ) -> HookFn {
-    let batch_cache: BatchCacheCell = Arc::new(Mutex::new(None));
-    let flow_cache = Arc::new(Mutex::new(FlowCache::new(flowcache::DEFAULT_CAPACITY)));
+    // Both caches shard with the datapath: each RSS queue owns a private
+    // verdict cache and slot resolution, so cores never contend on cache
+    // lines and a flow's cached state stays wherever RSS steers it.
+    let batch_caches: Vec<BatchCacheCell> = (0..SHARD_SLOTS)
+        .map(|_| Arc::new(Mutex::new(None)))
+        .collect();
+    let flow_caches: Vec<Arc<Mutex<FlowCache>>> = (0..SHARD_SLOTS)
+        .map(|_| Arc::new(Mutex::new(FlowCache::new(flowcache::DEFAULT_CAPACITY))))
+        .collect();
     let hook_name = match hook {
         HookPoint::Xdp => "xdp",
         HookPoint::Tc => "tc",
     };
     Arc::new(move |kernel: &mut Kernel, packet, tracker, trace| {
         let cost = kernel.cost_model_arc();
+        // The fast path keys both caches on the combined generation below,
+        // which folds in every shared structure: reading it is where a
+        // sharded datapath observes other cores' writes, so any stale
+        // structure is charged here before the generation is read.
+        kernel.coherence_charge_fastpath(tracker, trace);
         // The one coherence number both caches key on: any kernel state
         // mutation, time advance, or data-path swap changes it.
         let gen = kernel
@@ -211,6 +268,10 @@ fn hook_fn_inner(
             .wrapping_add(maps.prog_generation());
         let ingress = packet.ingress_ifindex;
         let rx_queue = packet.rx_queue;
+        let shard = (rx_queue as usize).min(SHARD_SLOTS - 1);
+        let sharded = kernel.rss_shards() > 1;
+        let batch_cache = &batch_caches[shard];
+        let flow_cache = &flow_caches[shard];
 
         // ---- microflow verdict cache: hit path -----------------------
         // Only dispatcher-driven hooks cache verdicts (directly attached
@@ -238,6 +299,9 @@ fn hook_fn_inner(
                     drop(fc);
                     rewrite::apply_ops(&mut packet.data, &entry.ops);
                     flowcache::replay_touches(&entry.touches, kernel);
+                    // The replay wrote shared state on this shard's
+                    // behalf: its own writes must not read as remote.
+                    kernel.coherence_refresh_fastpath();
                     tracker.charge("flowcache_hit", cost.flowcache_hit_ns);
                     trace.event(|| TraceEvent::FlowCache {
                         outcome: FlowCacheOutcome::Hit,
@@ -250,10 +314,17 @@ fn hook_fn_inner(
                     if let Some(t) = telemetry.lock().unwrap().as_ref() {
                         t.stats.record_cached(&entry.verdict);
                     }
+                    if sharded {
+                        record_shard_verdict(&telemetry, shard, &entry.verdict);
+                        bump_shard(&telemetry, "linuxfp_shard_flowcache_hits_total", shard);
+                    }
                     return entry.verdict;
                 }
             }
             fc.note_miss();
+            if sharded {
+                bump_shard(&telemetry, "linuxfp_shard_flowcache_misses_total", shard);
+            }
             trace.event(|| TraceEvent::FlowCache {
                 outcome: if key.is_none() {
                     FlowCacheOutcome::MissIneligible
@@ -335,6 +406,10 @@ fn hook_fn_inner(
             (out, cacheable, name, slot_empty, Vec::new())
         };
         let interp_ns = tracker.total_ns() - interp_start;
+        // Helpers may have written shared state (conntrack commits, FDB
+        // learning): resync this shard's view so its own writes don't
+        // read back as remote on the next packet.
+        kernel.coherence_refresh_fastpath();
         let verdict = match out.action {
             Action::Pass => HookVerdict::Pass,
             // Real XDP treats ABORTED like DROP (plus a tracepoint).
@@ -416,6 +491,9 @@ fn hook_fn_inner(
         // charge: observability must not perturb the modeled costs.
         if let Some(t) = telemetry.lock().unwrap().as_ref() {
             t.stats.record(&out, &verdict);
+        }
+        if sharded {
+            record_shard_verdict(&telemetry, shard, &verdict);
         }
         verdict
     })

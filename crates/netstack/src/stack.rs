@@ -272,6 +272,69 @@ pub struct FibFastResult {
     pub dst_mac: MacAddr,
 }
 
+/// The shared kernel structures a shard can touch. Everything here stays
+/// in the `Kernel` (single source of truth — the paper's unified-state
+/// design); what scales per shard is the *caches* in front of them.
+/// When a shard reads one of these after another writer advanced its
+/// generation, the access models pulling the written cache lines across
+/// cores and is charged [`linuxfp_sim::CostModel::coherence_miss_ns`]
+/// under the `coherence` stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoherentStruct {
+    /// The routing table.
+    Fib,
+    /// The neighbor (ARP) table.
+    Neigh,
+    /// The conntrack table (including NAT binding state it carries).
+    Conntrack,
+    /// The netfilter rule tables and ipsets.
+    Netfilter,
+    /// The iptables `nat` table and port allocator.
+    Nat,
+    /// The L7 policy table and connection-verdict pins.
+    L7,
+    /// The ipvs service/backend tables.
+    Ipvs,
+    /// Bridge forwarding databases (all bridges, collectively).
+    Fdb,
+}
+
+impl CoherentStruct {
+    /// Every shared structure, for whole-state scans.
+    pub const ALL: [CoherentStruct; 8] = [
+        CoherentStruct::Fib,
+        CoherentStruct::Neigh,
+        CoherentStruct::Conntrack,
+        CoherentStruct::Netfilter,
+        CoherentStruct::Nat,
+        CoherentStruct::L7,
+        CoherentStruct::Ipvs,
+        CoherentStruct::Fdb,
+    ];
+
+    /// Stable label used by `linuxfp_coherence_events_total{structure}`.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            CoherentStruct::Fib => "fib",
+            CoherentStruct::Neigh => "neigh",
+            CoherentStruct::Conntrack => "conntrack",
+            CoherentStruct::Netfilter => "netfilter",
+            CoherentStruct::Nat => "nat",
+            CoherentStruct::L7 => "l7",
+            CoherentStruct::Ipvs => "ipvs",
+            CoherentStruct::Fdb => "fdb",
+        }
+    }
+
+    const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Per-shard view of the shared structures: the generation each one had
+/// when this shard last touched it.
+type ShardView = [u64; CoherentStruct::ALL.len()];
+
 /// The simulated kernel.
 /// Cached counter handles for the kernel's slow-path telemetry: resolved
 /// once in [`Kernel::set_telemetry`] so the per-packet cost is a relaxed
@@ -343,6 +406,18 @@ impl StackTelemetry {
             "linuxfp_batch_size",
             "Frames per injected burst (1 for single-packet Kernel::receive)",
         );
+        registry.describe(
+            "linuxfp_shard_packets_total",
+            "Frames steered to each RSS shard (incremented only when rss_shards > 1)",
+        );
+        registry.describe(
+            "linuxfp_coherence_events_total",
+            "Coherence misses: a shard touched shared state another writer changed",
+        );
+        registry.describe(
+            "linuxfp_shard_drops_total",
+            "Drops by reason and owning RSS shard (only emitted when rss_shards > 1)",
+        );
         let slow = |subsystem: &str| {
             registry.counter(
                 "linuxfp_slowpath_packets_total",
@@ -413,6 +488,16 @@ pub struct Kernel {
     /// time-dependent lookups (lazy expiry in conntrack, neighbor and FDB
     /// tables) is invalidated when the clock moves.
     time_generation: u64,
+    /// Cached `net.linuxfp.rss_shards` (clamped to `1..=MAX_RSS_SHARDS`);
+    /// 1 disables sharding entirely and is bit-identical to the
+    /// pre-sharding datapath.
+    rss_shards: u32,
+    /// The shard whose packet the (serial) simulation is currently
+    /// processing — set by RSS steering, read by coherence charging.
+    pub(crate) current_shard: u32,
+    /// Per-shard last-seen generations of the shared structures. Empty
+    /// of meaning when `rss_shards == 1` (never consulted).
+    shard_last_seen: Vec<ShardView>,
     seed: u64,
 }
 
@@ -424,14 +509,22 @@ pub struct BatchOutcome {
     pub outcomes: Vec<RxOutcome>,
     /// Fixed per-burst work (driver receive setup, hook dispatch),
     /// charged once under the same stage names the per-packet trackers
-    /// use for their remainders.
+    /// use for their remainders. With sharding active this is the merge
+    /// of every shard's fixed cost — each shard with traffic runs its
+    /// own NAPI poll.
     pub batch_cost: CostTracker,
     /// Number of frames injected.
     pub batch_size: usize,
+    /// Virtual time each shard spent on its slice of the burst (its
+    /// fixed batch cost plus its packets' costs). One entry per
+    /// configured shard; a single `[total]` entry when `rss_shards=1`.
+    /// Empty only for outcomes not produced by `inject_batch`.
+    pub shard_ns: Vec<f64>,
 }
 
 impl BatchOutcome {
     /// Total virtual time for the burst: fixed cost + all per-frame cost.
+    /// This is *CPU* time, summed across shards.
     pub fn total_ns(&self) -> f64 {
         self.batch_cost.total_ns() + self.outcomes.iter().map(|o| o.cost.total_ns()).sum::<f64>()
     }
@@ -439,6 +532,17 @@ impl BatchOutcome {
     /// Average per-packet service time for the burst.
     pub fn per_packet_ns(&self) -> f64 {
         self.total_ns() / self.batch_size.max(1) as f64
+    }
+
+    /// Wall-clock virtual time for the burst under parallel shard
+    /// execution: the slowest shard's time (shards process their queues
+    /// concurrently). Equals [`BatchOutcome::total_ns`] when unsharded.
+    pub fn wall_ns(&self) -> f64 {
+        if self.shard_ns.is_empty() {
+            self.total_ns()
+        } else {
+            self.shard_ns.iter().copied().fold(0.0, f64::max)
+        }
     }
 }
 
@@ -462,6 +566,7 @@ impl Kernel {
         sysctls.insert("net.bridge.bridge-nf-call-iptables".to_string(), 0);
         sysctls.insert("net.linuxfp.flow_cache".to_string(), 1);
         sysctls.insert("net.linuxfp.trace_sample".to_string(), 0);
+        sysctls.insert("net.linuxfp.rss_shards".to_string(), 1);
         Kernel {
             cost: Arc::new(CostModel::calibrated()),
             now: Nanos::ZERO,
@@ -491,6 +596,9 @@ impl Kernel {
             telemetry: None,
             recorder: None,
             time_generation: 0,
+            rss_shards: 1,
+            current_shard: 0,
+            shard_last_seen: vec![ShardView::default()],
             seed,
         }
     }
@@ -1018,6 +1126,15 @@ impl Kernel {
                 recorder.set_every(value.max(0) as u64);
             }
         }
+        if name == "net.linuxfp.rss_shards" {
+            // Clamp and cache; resizing drops every shard's last-seen
+            // view, so all shards start cold (they would on real cores
+            // coming online too).
+            let shards = value.clamp(1, i64::from(rss::MAX_RSS_SHARDS)) as u32;
+            self.rss_shards = shards;
+            self.current_shard = 0;
+            self.shard_last_seen = vec![ShardView::default(); shards as usize];
+        }
         self.netlink.publish(NetlinkMessage::SysctlChanged {
             name: name.to_string(),
             value,
@@ -1045,6 +1162,114 @@ impl Kernel {
     /// (`net.linuxfp.flow_cache`, default on).
     pub fn flow_cache_enabled(&self) -> bool {
         self.sysctl_get("net.linuxfp.flow_cache") == Some(1)
+    }
+
+    /// The active RSS shard count (`net.linuxfp.rss_shards`, default 1,
+    /// clamped to `1..=`[`rss::MAX_RSS_SHARDS`]). With 1 shard the
+    /// datapath is bit-identical to the unsharded pipeline: no steering,
+    /// no coherence charges, one batch amortizer.
+    pub fn rss_shards(&self) -> u32 {
+        self.rss_shards
+    }
+
+    /// The generation of one shared structure — the addends of
+    /// [`Kernel::state_generation`], individually addressable so shards
+    /// can track staleness per structure.
+    fn structure_generation(&self, s: CoherentStruct) -> u64 {
+        match s {
+            CoherentStruct::Fib => self.fib.generation(),
+            CoherentStruct::Neigh => self.neigh.generation(),
+            CoherentStruct::Conntrack => self.conntrack.generation(),
+            CoherentStruct::Netfilter => self.netfilter.generation,
+            CoherentStruct::Nat => self.nat.generation,
+            CoherentStruct::L7 => self.l7.generation,
+            CoherentStruct::Ipvs => self.ipvs.generation,
+            CoherentStruct::Fdb => {
+                let mut g = 0u64;
+                for bridge in self.bridges.values() {
+                    g = g.wrapping_add(bridge.generation());
+                }
+                g
+            }
+        }
+    }
+
+    /// Marks the current shard's view of `s` as up to date *without*
+    /// charging — used right after this shard itself mutated the
+    /// structure (its own writes are already in its cache).
+    pub(crate) fn coherence_refresh(&mut self, s: CoherentStruct) {
+        if self.rss_shards <= 1 {
+            return;
+        }
+        let gen = self.structure_generation(s);
+        self.shard_last_seen[self.current_shard as usize][s.index()] = gen;
+    }
+
+    /// Charges the cross-core coherence cost if the current shard's view
+    /// of `s` is stale (another shard — or the control plane, or
+    /// housekeeping — wrote it since this shard last looked), and marks
+    /// the view current. Free when `rss_shards=1`, free on repeat access
+    /// within the same generation: only the *first* touch after a remote
+    /// write pays, exactly like a cache-line transfer.
+    pub(crate) fn coherence(&mut self, s: CoherentStruct, out: &mut RxOutcome) {
+        if self.rss_shards <= 1 {
+            return;
+        }
+        let gen = self.structure_generation(s);
+        let shard = self.current_shard as usize;
+        if self.shard_last_seen[shard][s.index()] == gen {
+            return;
+        }
+        self.shard_last_seen[shard][s.index()] = gen;
+        out.charge("coherence", self.cost.coherence_miss_ns);
+        self.count_coherence_event(s);
+    }
+
+    /// Fast-path flavor of [`Kernel::coherence`] for hook programs,
+    /// which compare the *combined* state generation to key their
+    /// caches and therefore read every structure's generation line.
+    /// Charges one miss per structure that went stale.
+    pub fn coherence_charge_fastpath(&mut self, cost: &mut CostTracker, trace: &mut TraceCtx) {
+        if self.rss_shards <= 1 {
+            return;
+        }
+        for s in CoherentStruct::ALL {
+            let gen = self.structure_generation(s);
+            let shard = self.current_shard as usize;
+            if self.shard_last_seen[shard][s.index()] != gen {
+                self.shard_last_seen[shard][s.index()] = gen;
+                cost.charge("coherence", self.cost.coherence_miss_ns);
+                trace.stage("coherence", self.cost.coherence_miss_ns);
+                self.count_coherence_event(s);
+            }
+        }
+    }
+
+    /// Re-syncs the current shard's whole view after a fast-path program
+    /// ran: helper calls may have written shared state (conntrack
+    /// refresh, FDB refresh, NAT counters, L7 pins), and a shard's own
+    /// writes must not read as remote on its next packet. Serial
+    /// execution guarantees any generation movement since the matching
+    /// charge call was this shard's own.
+    pub fn coherence_refresh_fastpath(&mut self) {
+        if self.rss_shards <= 1 {
+            return;
+        }
+        for s in CoherentStruct::ALL {
+            let gen = self.structure_generation(s);
+            self.shard_last_seen[self.current_shard as usize][s.index()] = gen;
+        }
+    }
+
+    fn count_coherence_event(&self, s: CoherentStruct) {
+        if let Some(t) = &self.telemetry {
+            t.registry
+                .counter(
+                    "linuxfp_coherence_events_total",
+                    &[("structure", s.as_str())],
+                )
+                .inc();
+        }
     }
 
     /// Enables the per-packet flight recorder: keeps up to `capacity`
@@ -1505,7 +1730,40 @@ pub fn wire_pool_telemetry(pool: &linuxfp_packet::BufferPool, registry: &Registr
     }));
 }
 
+/// [`wire_pool_telemetry`] for a sharded pool: every member pool's
+/// occupancy lands in the same `linuxfp_pool_buffers` gauges with an
+/// additional `shard` label, so per-shard occupancy is observable and
+/// the sum over shards is the aggregate.
+pub fn wire_sharded_pool_telemetry(pool: &linuxfp_packet::ShardedPool, registry: &Registry) {
+    registry.describe(
+        "linuxfp_pool_buffers",
+        "Packet buffer pool occupancy by state",
+    );
+    for shard in 0..pool.shards() {
+        let label = shard.to_string();
+        let free = registry.gauge(
+            "linuxfp_pool_buffers",
+            &[("state", "free"), ("shard", label.as_str())],
+        );
+        let outstanding = registry.gauge(
+            "linuxfp_pool_buffers",
+            &[("state", "outstanding"), ("shard", label.as_str())],
+        );
+        let allocated = registry.gauge(
+            "linuxfp_pool_buffers",
+            &[("state", "allocated"), ("shard", label.as_str())],
+        );
+        pool.pool(shard)
+            .set_occupancy_observer(Arc::new(move |s: &linuxfp_packet::PoolStats| {
+                free.set(s.free as i64);
+                outstanding.set(s.outstanding as i64);
+                allocated.set(s.allocated as i64);
+            }));
+    }
+}
+
 mod forward;
 mod housekeeping;
 mod local;
+pub mod rss;
 mod rx;

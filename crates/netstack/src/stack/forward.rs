@@ -29,13 +29,18 @@ impl Kernel {
 
         // Conntrack (when enabled for this host).
         if self.conntrack_forward {
+            self.coherence(CoherentStruct::Conntrack, out);
             out.charge("conntrack", self.cost.conntrack_lookup_ns);
             let now = self.now;
             self.conntrack
                 .track(ip.src, meta.sport, ip.dst, meta.dport, ip.proto, now);
+            // track() writes (entry create/refresh): a shard's own write
+            // must not read as remote on its next packet.
+            self.coherence_refresh(CoherentStruct::Conntrack);
         }
 
         // PREROUTING.
+        self.coherence(CoherentStruct::Netfilter, out);
         if let Some(t) = &self.telemetry {
             t.slow_netfilter.inc();
         }
@@ -63,10 +68,14 @@ impl Kernel {
         let mut nat_ctx: Option<NatCtx> = None;
         let nat_active = self.nat.total_rules() > 0 || self.conntrack.nat_len() > 0;
         if nat_active && matches!(ip.proto, IpProto::Udp | IpProto::Tcp) {
+            self.coherence(CoherentStruct::Nat, out);
+            self.coherence(CoherentStruct::Conntrack, out);
             out.charge("nat_lookup", self.cost.conntrack_lookup_ns);
             let now = self.now;
             let tuple = NatTuple::new(ip.src, meta.sport, ip.dst, meta.dport, ip.proto.to_u8());
             nat_ctx = self.nat.prerouting(&mut self.conntrack, tuple, dev, now);
+            self.coherence_refresh(CoherentStruct::Nat);
+            self.coherence_refresh(CoherentStruct::Conntrack);
             let mut rewritten = false;
             if let Some(ctx) = &nat_ctx {
                 if ctx.xlat.dst != tuple.dst || ctx.xlat.dport != tuple.dport {
@@ -99,6 +108,8 @@ impl Kernel {
         // backend — pinned flows reuse their backend; new flows are
         // scheduled here (slow-path work per paper Table I, row 4).
         if !self.ipvs.is_empty() && matches!(ip.proto, IpProto::Udp | IpProto::Tcp) {
+            self.coherence(CoherentStruct::Ipvs, out);
+            self.coherence(CoherentStruct::Conntrack, out);
             out.charge("conntrack", self.cost.conntrack_lookup_ns);
             let now = self.now;
             let selected = self.ipvs.select_backend(
@@ -110,6 +121,8 @@ impl Kernel {
                 ip.proto,
                 now,
             );
+            self.coherence_refresh(CoherentStruct::Ipvs);
+            self.coherence_refresh(CoherentStruct::Conntrack);
             if let Some((backend_ip, backend_port)) = selected {
                 if let Some(t) = &self.telemetry {
                     t.slow_ipvs.inc();
@@ -125,6 +138,7 @@ impl Kernel {
         let local =
             self.devices.values().any(|d| d.has_addr(ip.dst)) || ip.dst == Ipv4Addr::BROADCAST;
         if local {
+            self.coherence(CoherentStruct::Netfilter, out);
             if let Some(t) = &self.telemetry {
                 t.slow_netfilter.inc();
             }
@@ -155,6 +169,7 @@ impl Kernel {
         // the fast-path helper sees, and before the FIB so a deny
         // precedes any route-miss ICMP on both paths.
         if self.l7.is_active() && ip.proto == IpProto::Tcp {
+            self.coherence(CoherentStruct::L7, out);
             out.charge("l7_policy", self.cost.conntrack_lookup_ns);
             if let Some(t) = &self.telemetry {
                 t.slow_l7.inc();
@@ -173,6 +188,8 @@ impl Kernel {
                 // unpinned ones count as unparseable and forward on.
                 Err(_) => self.l7.lookup_hinted(key, b"\x00", Some(0)),
             };
+            // lookup may have installed a connection pin (a write).
+            self.coherence_refresh(CoherentStruct::L7);
             match verdict {
                 L7LookupOutcome::Deny => {
                     self.drop(out, DropReason::L7PolicyDeny);
@@ -192,6 +209,7 @@ impl Kernel {
             }
         }
 
+        self.coherence(CoherentStruct::Fib, out);
         out.charge("fib_lookup", self.cost.fib_lookup_kernel_ns);
         let Some(route) = self.fib.lookup(ip.dst).copied() else {
             self.icmp_error(&frame, l3, &ip, IcmpType::DestUnreachable(0), out, queue);
@@ -202,6 +220,7 @@ impl Kernel {
             out_if: route.dev,
             ..meta
         };
+        self.coherence(CoherentStruct::Netfilter, out);
         if let Some(t) = &self.telemetry {
             t.slow_netfilter.inc();
         }
@@ -231,6 +250,8 @@ impl Kernel {
         // The POSTROUTING filter chain below still sees the pre-SNAT
         // source, as mangle/filter hooks do in Linux.
         if nat_active && matches!(ip.proto, IpProto::Udp | IpProto::Tcp) {
+            self.coherence(CoherentStruct::Nat, out);
+            self.coherence(CoherentStruct::Conntrack, out);
             let now = self.now;
             let cur = NatTuple::new(ip.src, meta.sport, ip.dst, meta.dport, ip.proto.to_u8());
             let egress_ip = self
@@ -246,6 +267,8 @@ impl Kernel {
                 egress_ip,
                 now,
             );
+            self.coherence_refresh(CoherentStruct::Nat);
+            self.coherence_refresh(CoherentStruct::Conntrack);
             let mut bind_ns = 0.0;
             if self.conntrack.nat_len() > bindings_before {
                 // A fresh binding was installed (conntrack-entry-creation
@@ -281,6 +304,7 @@ impl Kernel {
         }
 
         // Neighbor resolution for the next hop.
+        self.coherence(CoherentStruct::Neigh, out);
         out.charge("neigh_lookup", self.cost.neigh_lookup_ns);
         let next_hop = match route.scope {
             RouteScope::Link => ip.dst,
@@ -332,6 +356,8 @@ impl Kernel {
             .push((egress, frame));
         let now = self.now;
         let fresh = self.neigh.mark_incomplete(next_hop, egress, now);
+        // mark_incomplete writes the neighbor table.
+        self.coherence_refresh(CoherentStruct::Neigh);
         if fresh {
             let Some(egress_dev) = self.devices.get(&egress) else {
                 return;
@@ -553,6 +579,7 @@ impl Kernel {
         out: &mut RxOutcome,
         queue: &mut VecDeque<(IfIndex, PacketBuf)>,
     ) {
+        self.coherence(CoherentStruct::Fib, out);
         out.charge("fib_lookup", self.cost.fib_lookup_kernel_ns);
         let Some(route) = self.fib.lookup(next_ip).copied() else {
             self.drop(out, DropReason::NoRouteOutput);
@@ -562,6 +589,7 @@ impl Kernel {
             RouteScope::Link => next_ip,
             RouteScope::Universe => route.via.unwrap_or(next_ip),
         };
+        self.coherence(CoherentStruct::Neigh, out);
         out.charge("neigh_lookup", self.cost.neigh_lookup_ns);
         let now = self.now;
         match self.neigh.resolved_mac(next_hop, now) {

@@ -53,17 +53,46 @@ impl Kernel {
             t.packets_injected.add(n as u64);
         }
         self.packet_path_gc();
-        let mut amort = BatchAmort::default();
+        // One amortizer per shard: a multi-queue NIC runs one NAPI poll
+        // per queue with traffic, so each shard pays its own per-burst
+        // fixed cost and amortizes it over its slice of the burst only.
+        // With rss_shards=1 this is a single amortizer and the loop is
+        // bit-identical to the pre-sharding path.
+        let shards = self.rss_shards.max(1) as usize;
+        let mut amorts: Vec<BatchAmort> = (0..shards).map(|_| BatchAmort::default()).collect();
+        let mut shard_ns = vec![0.0f64; shards];
         let mut outcomes = Vec::with_capacity(n);
         for buf in batch.drain() {
+            let shard = if shards > 1 {
+                rss::shard_for(&buf, shards as u32) as usize
+            } else {
+                0
+            };
+            if shards > 1 {
+                if let Some(t) = &self.telemetry {
+                    t.registry
+                        .counter(
+                            "linuxfp_shard_packets_total",
+                            &[("shard", shard.to_string().as_str())],
+                        )
+                        .inc();
+                }
+            }
             let mut out = RxOutcome::default();
-            self.run_to_completion(dev, buf, &mut out, Some(&mut amort));
+            self.run_to_completion(dev, buf, &mut out, Some(&mut amorts[shard]));
+            shard_ns[shard] += out.cost.total_ns();
             outcomes.push(out);
+        }
+        let mut batch_cost = CostTracker::new();
+        for (shard, amort) in amorts.iter().enumerate() {
+            shard_ns[shard] += amort.batch_cost.total_ns();
+            batch_cost.merge(&amort.batch_cost);
         }
         BatchOutcome {
             outcomes,
-            batch_cost: amort.batch_cost,
+            batch_cost,
             batch_size: n,
+            shard_ns,
         }
     }
 
@@ -162,6 +191,18 @@ impl Kernel {
             t.registry
                 .counter("linuxfp_drops_total", &[("reason", reason.as_str())])
                 .inc();
+            // The sharded datapath also attributes the drop to its
+            // owning shard — a separate series so single-core runs keep
+            // their exact label set.
+            if self.rss_shards > 1 {
+                let shard = self.current_shard.to_string();
+                t.registry
+                    .counter(
+                        "linuxfp_shard_drops_total",
+                        &[("reason", reason.as_str()), ("shard", shard.as_str())],
+                    )
+                    .inc();
+            }
         }
         *self.drop_counts.entry(reason.as_str()).or_insert(0) += 1;
         out.trace.event(|| TraceEvent::Drop { reason });
@@ -209,6 +250,19 @@ impl Kernel {
         }
 
         let mut pkt = Packet::new(frame, dev.as_u32());
+
+        // RSS steering: the NIC's flow hash picks the receive queue (and
+        // therefore the shard/core) before any software runs. The queue
+        // index rides on the packet like `xdp_md.rx_queue_index`, so
+        // hook programs can select their per-shard caches from it.
+        // Skipped entirely at rss_shards=1 — bit-identical to the
+        // unsharded path.
+        if self.rss_shards > 1 {
+            let shard = rss::shard_for(&pkt.data, self.rss_shards);
+            pkt.rx_queue = shard;
+            self.current_shard = shard;
+            out.trace.set_shard(shard);
+        }
 
         // XDP hook: before any sk_buff exists.
         if let Some(hook) = self.xdp_hooks.get(&dev).cloned() {
@@ -363,11 +417,17 @@ impl Kernel {
 
         let now = self.now;
         let vlan_tag = eth.vlan.map(|t| t.vid);
+        // The FDB is shared state: touching it after another shard's
+        // learn/age pays the coherence price; the decide below learns
+        // (writes), so re-sync afterwards — a shard's own write is hot
+        // in its cache.
+        self.coherence(CoherentStruct::Fdb, out);
         let Some(bridge) = self.bridges.get_mut(&bridge_idx) else {
             self.drop(out, DropReason::MissingBridge);
             return;
         };
         let decision = bridge.decide(port, eth.src, eth.dst, vlan_tag, now);
+        self.coherence_refresh(CoherentStruct::Fdb);
 
         // br_netfilter: bridged IPv4 frames about to be forwarded also
         // traverse the iptables FORWARD chain (and conntrack), exactly as
@@ -381,11 +441,14 @@ impl Kernel {
             if let Ok(ip) = Ipv4Header::parse(&frame[eth.payload_offset..]) {
                 let meta = self.packet_meta(port, &frame, eth.payload_offset, &ip);
                 if self.conntrack_forward {
+                    self.coherence(CoherentStruct::Conntrack, out);
                     out.charge("conntrack", self.cost.conntrack_lookup_ns);
                     let now = self.now;
                     self.conntrack
                         .track(ip.src, meta.sport, ip.dst, meta.dport, ip.proto, now);
+                    self.coherence_refresh(CoherentStruct::Conntrack);
                 }
+                self.coherence(CoherentStruct::Netfilter, out);
                 if let Some(t) = &self.telemetry {
                     t.slow_netfilter.inc();
                 }

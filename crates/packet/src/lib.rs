@@ -59,7 +59,7 @@ pub use batch::Batch;
 pub use eth::{EtherType, EthernetFrame, MacAddr, VlanTag, ETH_HLEN};
 pub use icmp::{IcmpHeader, IcmpType};
 pub use ipv4::{IpProto, Ipv4Header, IPV4_MIN_HLEN};
-pub use pool::{BufferPool, PacketBuf, PoolStats};
+pub use pool::{BufferPool, PacketBuf, PoolStats, ShardedPool};
 pub use rewrite::{rewrite_ipv4, FieldRewrite};
 pub use tcp::TcpHeader;
 pub use udp::UdpHeader;

@@ -162,6 +162,69 @@ impl BufferPool {
     }
 }
 
+/// Per-shard buffer pools for a multi-queue datapath: one independent
+/// [`BufferPool`] free list per RSS shard, so shards never contend on
+/// (or share cache lines of) each other's buffer stacks — the same
+/// reason real drivers keep one page pool per receive queue.
+///
+/// Shard 0's pool is the "default" pool a non-sharded caller sees, so a
+/// `ShardedPool::new(1)` behaves exactly like one `BufferPool`.
+#[derive(Clone, Debug)]
+pub struct ShardedPool {
+    pools: Vec<BufferPool>,
+}
+
+impl ShardedPool {
+    /// Creates `shards` independent pools (`shards` is clamped to ≥ 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedPool {
+            pools: (0..shards).map(|_| BufferPool::new()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// The pool owned by `shard` (indices past the end wrap via modulo,
+    /// so callers can pass a raw RSS hash).
+    pub fn pool(&self, shard: usize) -> &BufferPool {
+        &self.pools[shard % self.pools.len()]
+    }
+
+    /// Checks out a buffer from `shard`'s pool, pre-filled with `bytes`.
+    pub fn acquire_from(&self, shard: usize, bytes: &[u8]) -> PacketBuf {
+        self.pool(shard).acquire_from(bytes)
+    }
+
+    /// Per-shard counters, indexed by shard.
+    pub fn per_shard_stats(&self) -> Vec<PoolStats> {
+        self.pools.iter().map(|p| p.stats()).collect()
+    }
+
+    /// Counters summed across every shard.
+    pub fn aggregate_stats(&self) -> PoolStats {
+        let mut agg = PoolStats::default();
+        for p in &self.pools {
+            let s = p.stats();
+            agg.allocated += s.allocated;
+            agg.reused += s.reused;
+            agg.recycled += s.recycled;
+            agg.outstanding += s.outstanding;
+            agg.free += s.free;
+        }
+        agg
+    }
+}
+
+impl Default for ShardedPool {
+    fn default() -> Self {
+        ShardedPool::new(1)
+    }
+}
+
 /// An owned frame buffer that returns itself to its pool on drop.
 ///
 /// Derefs to `Vec<u8>` so parsing/rewriting code is agnostic to pooling.
@@ -343,6 +406,28 @@ mod tests {
         drop(a);
         drop(b);
         assert_eq!(peak.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn sharded_pool_isolates_free_lists() {
+        let sharded = ShardedPool::new(4);
+        assert_eq!(sharded.shards(), 4);
+        // Warm shard 2 only.
+        for _ in 0..3 {
+            let _b = sharded.acquire_from(2, b"frame");
+        }
+        let per = sharded.per_shard_stats();
+        assert_eq!(per[2].allocated, 1, "shard 2 reuses its own buffer");
+        assert_eq!(per[0].allocated + per[1].allocated + per[3].allocated, 0);
+        // A different shard cannot see shard 2's free list.
+        let _other = sharded.acquire_from(1, b"x");
+        assert_eq!(sharded.per_shard_stats()[1].allocated, 1);
+        let agg = sharded.aggregate_stats();
+        assert_eq!(agg.allocated, 2);
+        assert_eq!(agg.recycled, 3);
+        // Modulo indexing accepts raw hashes; clamping keeps ≥1 shard.
+        assert_eq!(sharded.pool(6).stats().allocated, 1); // 6 % 4 == 2
+        assert_eq!(ShardedPool::new(0).shards(), 1);
     }
 
     #[test]

@@ -184,6 +184,13 @@ pub struct CostModel {
     /// shared-state contention (locks, cache bouncing). Applied as
     /// `pps(n) = n * pps(1) * (1 - contention)^(n-1)`.
     pub core_contention: f64,
+    /// Cross-core coherence penalty: the cost of pulling a cache line of
+    /// shared kernel state (FIB, conntrack, NAT bindings, FDB) into a
+    /// shard's core after another shard wrote it — an L2→L2 transfer plus
+    /// the directory round trip. Charged per touched structure whose
+    /// generation advanced since the shard last read it; never charged
+    /// when `rss_shards=1` (a single core cannot miss on its own writes).
+    pub coherence_miss_ns: f64,
     /// Line rate of the simulated NIC in gigabits per second (25 Gbps on
     /// the paper's c6525-25g testbed).
     pub line_rate_gbps: f64,
@@ -314,6 +321,7 @@ impl CostModel {
             vpp_acl_ns: 60.0,
 
             core_contention: 0.03,
+            coherence_miss_ns: 48.0,
             line_rate_gbps: 25.0,
 
             wire_ns: 1_000.0,

@@ -474,6 +474,16 @@ impl Registry {
         }
     }
 
+    /// Reads the current value of the gauge `name{labels}`, or `None` if
+    /// no such gauge exists. Never creates the series.
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        let g = self.inner.lock().expect("registry lock");
+        match g.series.get(&Self::key(name, labels)) {
+            Some(Metric::Gauge(gauge)) => Some(gauge.get()),
+            _ => None,
+        }
+    }
+
     /// All counter series named `name`, as `(sorted label pairs, value)` —
     /// e.g. to tabulate per-FPM hit counts without knowing the label
     /// values up front.

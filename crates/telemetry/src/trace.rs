@@ -522,18 +522,21 @@ pub struct TraceCtx {
     enabled: bool,
     seq: u64,
     dev: u32,
+    shard: u32,
     start_ns: u64,
     events: Vec<TraceEvent>,
 }
 
 impl TraceCtx {
     /// Opens an enabled context for sampled packet `seq` arriving on
-    /// `dev` at virtual time `start_ns`.
+    /// `dev` at virtual time `start_ns`. The owning shard defaults to 0
+    /// and is stamped by RSS steering via [`set_shard`](Self::set_shard).
     pub fn begin(seq: u64, dev: u32, start_ns: u64) -> Self {
         TraceCtx {
             enabled: true,
             seq,
             dev,
+            shard: 0,
             start_ns,
             events: Vec::new(),
         }
@@ -543,6 +546,14 @@ impl TraceCtx {
     #[inline]
     pub fn enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Stamps the shard the RSS hash steered this packet to.
+    #[inline]
+    pub fn set_shard(&mut self, shard: u32) {
+        if self.enabled {
+            self.shard = shard;
+        }
     }
 
     /// Records a virtual-time charge at `stage`. No-op when disabled.
@@ -580,6 +591,7 @@ impl TraceCtx {
         TraceSpan {
             seq: self.seq,
             dev: self.dev,
+            shard: self.shard,
             start_ns: self.start_ns,
             total_ns: cost.total_ns(),
             regime,
@@ -619,6 +631,8 @@ pub struct TraceSpan {
     pub seq: u64,
     /// Ingress device index.
     pub dev: u32,
+    /// The RSS shard that owned this packet (0 when sharding is off).
+    pub shard: u32,
     /// Virtual time when the packet entered the datapath.
     pub start_ns: u64,
     /// Total virtual-time service cost charged to this packet.
@@ -646,6 +660,7 @@ impl TraceSpan {
         TraceSpan {
             seq: 0,
             dev: 0,
+            shard: 0,
             start_ns,
             total_ns: 0.0,
             regime: Regime::Housekeeping,
@@ -674,9 +689,10 @@ impl TraceSpan {
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "packet #{} dev={} t={}ns  [{}] -> {}  total {:.1} ns",
+            "packet #{} dev={} shard={} t={}ns  [{}] -> {}  total {:.1} ns",
             self.seq,
             self.dev,
+            self.shard,
             self.start_ns,
             self.regime.as_str(),
             self.disposition,
@@ -712,6 +728,7 @@ impl TraceSpan {
         let mut span = json!({
             "seq": self.seq,
             "dev": (self.dev as u64),
+            "shard": (self.shard as u64),
             "start_ns": self.start_ns,
             "total_ns": self.total_ns,
             "regime": self.regime.as_str(),

@@ -143,6 +143,119 @@ pub fn sweep_batch_sizes(
         .collect()
 }
 
+/// One measured point of the RSS shard-scaling sweep: aggregate
+/// throughput when the same steady flow workload is spread over
+/// `shards` receive queues, each serviced by its own core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardScalingPoint {
+    /// RSS shard (receive queue / core) count.
+    pub shards: u32,
+    /// Aggregate sustained packets per second: packets divided by
+    /// wall-clock time, where each burst's wall time is the *maximum*
+    /// over its shards' virtual time (shards run in parallel).
+    pub pps: f64,
+    /// Wall-clock ns per packet (the parallel view).
+    pub wall_ns_per_pkt: f64,
+    /// Total CPU ns per packet summed over every shard (the work view;
+    /// grows with shard count as per-queue fixed costs replicate).
+    pub cpu_ns_per_pkt: f64,
+}
+
+/// Measures aggregate throughput of the sharded datapath for each shard
+/// count in `shard_counts`, on a steady-flow minimum-size workload.
+///
+/// Methodology (mirroring how a multi-queue pktgen run exercises RSS):
+///
+/// - Each point gets a **fresh platform** (identically seeded), with
+///   `net.linuxfp.rss_shards` set through the standard sysctl surface.
+/// - The flow set is **RSS-balanced**: candidate 5-tuples are bucketed
+///   by [`linuxfp_netstack::stack::rss::shard_for`] until every shard
+///   owns `burst / shards` flows, so each burst splits evenly — the
+///   open-loop generator's equivalent of a well-spread hash.
+/// - Flows repeat across bursts (steady flows, warm caches), so the
+///   sweep measures the sharded steady state rather than cold misses.
+/// - Per-burst wall time is `BatchOutcome::wall_ns()` — the slowest
+///   shard — and aggregate pps is packets over summed wall time.
+///
+/// # Panics
+///
+/// Panics if any shard count does not divide `burst` (the sweep needs
+/// exactly balanced bursts to isolate scaling from load imbalance).
+pub fn sweep_rss_shards(
+    scenario: Scenario,
+    shard_counts: &[u32],
+    burst: usize,
+) -> Vec<ShardScalingPoint> {
+    use linuxfp_netstack::stack::rss;
+    use linuxfp_packet::Batch;
+    use linuxfp_platforms::LinuxFpPlatform;
+
+    const WARMUP_BURSTS: usize = 8;
+    const MEASURE_BURSTS: usize = 64;
+
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            assert!(
+                shards >= 1 && burst.is_multiple_of(shards as usize),
+                "burst {burst} must divide evenly over {shards} shards"
+            );
+            let mut platform = LinuxFpPlatform::new(scenario);
+            let mac = platform.dut_mac();
+            platform
+                .kernel_mut()
+                .sysctl_set("net.linuxfp.rss_shards", i64::from(shards))
+                .expect("rss_shards sysctl exists");
+
+            // Balanced flow selection: walk the scenario's flow sequence
+            // and keep the first `burst / shards` flows that RSS steers
+            // to each shard, interleaved round-robin so every burst
+            // carries each shard's share.
+            let per_shard = burst / shards as usize;
+            let mut buckets: Vec<Vec<Vec<u8>>> = vec![Vec::new(); shards as usize];
+            let mut i = 0u64;
+            while buckets.iter().any(|b| b.len() < per_shard) {
+                let frame = scenario.frame(mac, i, 60);
+                let shard = rss::shard_for(&frame, shards) as usize;
+                if buckets[shard].len() < per_shard {
+                    buckets[shard].push(frame);
+                }
+                i += 1;
+                assert!(i < 1_000_000, "RSS never filled every shard bucket");
+            }
+            let flows: Vec<Vec<u8>> = (0..per_shard)
+                .flat_map(|f| buckets.iter().map(move |b| b[f].clone()))
+                .collect();
+
+            let inject = |platform: &mut LinuxFpPlatform| {
+                let mut batch = Batch::new();
+                for frame in &flows {
+                    batch.push(frame.clone());
+                }
+                platform.process_batch(&mut batch)
+            };
+            for _ in 0..WARMUP_BURSTS {
+                inject(&mut platform);
+            }
+            let mut wall_ns = 0.0f64;
+            let mut cpu_ns = 0.0f64;
+            let mut packets = 0usize;
+            for _ in 0..MEASURE_BURSTS {
+                let out = inject(&mut platform);
+                wall_ns += out.wall_ns();
+                cpu_ns += out.total_ns();
+                packets += out.batch_size;
+            }
+            ShardScalingPoint {
+                shards,
+                pps: packets as f64 / wall_ns * 1e9,
+                wall_ns_per_pkt: wall_ns / packets as f64,
+                cpu_ns_per_pkt: cpu_ns / packets as f64,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +317,30 @@ mod tests {
         let mut fresh = LinuxFpPlatform::new(s);
         let single = throughput_pps(&mut fresh, s, mac, 1, 64);
         assert!((points[0].1.service_ns - single.service_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shard_sweep_scales_near_linearly() {
+        let points = sweep_rss_shards(Scenario::router(), &[1, 2, 4, 8], 16);
+        assert_eq!(points.len(), 4);
+        for w in points.windows(2) {
+            assert!(
+                w[1].pps > w[0].pps,
+                "{} shards ({:.0} pps) not faster than {} ({:.0} pps)",
+                w[1].shards,
+                w[1].pps,
+                w[0].shards,
+                w[0].pps
+            );
+        }
+        // The ISSUE gate: 8 shards sustain at least 5x one shard; the
+        // per-queue fixed costs keep it under perfectly linear 8x.
+        let ratio = points[3].pps / points[0].pps;
+        assert!((5.0..8.0).contains(&ratio), "8-shard scaling {ratio:.2}x");
+        // CPU time per packet must *rise* with shards (replicated fixed
+        // costs) even as wall time falls — work and wall views differ.
+        assert!(points[3].cpu_ns_per_pkt > points[0].cpu_ns_per_pkt);
+        assert!(points[3].wall_ns_per_pkt < points[0].wall_ns_per_pkt);
     }
 
     #[test]

@@ -110,6 +110,8 @@ fn draw(round: usize, reg: &Registry, ring: &TraceRing) {
         );
     }
 
+    draw_shards(reg);
+
     // Per-stage cost attribution from the flight recorder's sampled
     // spans: one compact row per regime/disposition, costliest stage
     // first.
@@ -138,6 +140,86 @@ fn draw(round: usize, reg: &Registry, ring: &TraceRing) {
         );
     }
     println!();
+}
+
+/// The per-shard panel: packets steered, fast-path and flow-cache hit
+/// ratios, pool occupancy and drops per RSS shard. Silent until the
+/// datapath is sharded (`net.linuxfp.rss_shards > 1` — the shard series
+/// only exist then).
+fn draw_shards(reg: &Registry) {
+    let mut shards: Vec<(String, u64)> = reg
+        .counter_series("linuxfp_shard_packets_total")
+        .into_iter()
+        .map(|(ls, v)| {
+            let shard = ls
+                .iter()
+                .find(|(k, _)| k == "shard")
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default();
+            (shard, v)
+        })
+        .collect();
+    if shards.is_empty() {
+        return;
+    }
+    shards.sort_by_key(|(s, _)| s.parse::<u32>().unwrap_or(u32::MAX));
+    println!(
+        "{:<6} {:>8} {:>7} {:>7} {:>12} {:>7}",
+        "shard", "pkts", "fp%", "fc%", "pool", "drops"
+    );
+    for (shard, pkts) in shards {
+        let l = [("shard", shard.as_str())];
+        let ratio = |hit_name: &str, miss_name: &str| -> String {
+            let h = reg.counter_value(hit_name, &l).unwrap_or(0);
+            let m = reg.counter_value(miss_name, &l).unwrap_or(0);
+            if h + m == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", 100.0 * h as f64 / (h + m) as f64)
+            }
+        };
+        let fp = ratio(
+            "linuxfp_shard_fp_hits_total",
+            "linuxfp_shard_fallbacks_total",
+        );
+        let fc = ratio(
+            "linuxfp_shard_flowcache_hits_total",
+            "linuxfp_shard_flowcache_misses_total",
+        );
+        let pool = {
+            let free = reg.gauge_value("linuxfp_pool_buffers", &[("state", "free"), l[0]]);
+            let out = reg.gauge_value("linuxfp_pool_buffers", &[("state", "outstanding"), l[0]]);
+            match (free, out) {
+                (Some(f), Some(o)) => format!("{o} out/{} alloc", f + o),
+                _ => "-".to_string(),
+            }
+        };
+        let drops: u64 = reg
+            .counter_series("linuxfp_shard_drops_total")
+            .into_iter()
+            .filter(|(ls, _)| ls.iter().any(|(k, v)| k == "shard" && *v == shard))
+            .map(|(_, v)| v)
+            .sum();
+        println!("{shard:<6} {pkts:>8} {fp:>7} {fc:>7} {pool:>12} {drops:>7}");
+    }
+    let coherence = reg.counter_total("linuxfp_coherence_events_total");
+    if coherence > 0 {
+        let census: Vec<String> = reg
+            .counter_series("linuxfp_coherence_events_total")
+            .into_iter()
+            .filter(|&(_, v)| v > 0)
+            .map(|(ls, v)| {
+                let s = ls
+                    .iter()
+                    .find(|(k, _)| k == "structure")
+                    .map(|(_, v)| v.as_str())
+                    .unwrap_or("?")
+                    .to_string();
+                format!("{s}={v}")
+            })
+            .collect();
+        println!("coherence misses: {}", census.join(" "));
+    }
 }
 
 fn main() {
@@ -219,6 +301,28 @@ fn main() {
             };
             host.process(scenario.http_frame(mac, i, &payload));
         }
+        draw(round, &registry, &ring);
+    }
+
+    // Shard the datapath: 4 RSS queues, each with its own buffer pool,
+    // flow cache and ledger. The panel grows a per-shard section; the
+    // output bytes stay identical to the single-core rounds above.
+    host.kernel_mut()
+        .sysctl_set("net.linuxfp.rss_shards", 4)
+        .expect("rss_shards sysctl exists");
+    let pool = linuxfp::packet::ShardedPool::new(4);
+    linuxfp::netstack::stack::wire_sharded_pool_telemetry(&pool, &registry);
+    println!("*** net.linuxfp.rss_shards=4: datapath sharded across 4 queues ***\n");
+    for round in 8..=9 {
+        let mut batch = linuxfp::packet::Batch::new();
+        for i in 0..40u64 {
+            let frame = scenario.frame(mac, i, 60);
+            // The NIC-side steering decision also picks which per-queue
+            // pool backs the buffer, like per-queue RX rings do.
+            let shard = linuxfp::netstack::stack::rss::shard_for(&frame, 4) as usize;
+            batch.push(pool.acquire_from(shard, &frame));
+        }
+        host.process_batch(&mut batch);
         draw(round, &registry, &ring);
     }
 

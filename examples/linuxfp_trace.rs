@@ -10,16 +10,19 @@
 //! closes the report.
 //!
 //! ```text
-//! linuxfp_trace [--json] [--every N] [--seq I] FIXTURE.json
+//! linuxfp_trace [--json] [--every N] [--seq I] [--shards N] FIXTURE.json
 //!   --json      machine-readable output (spans + breakdown)
 //!   --every N   sample 1-in-N packets (default 1: trace everything)
 //!   --seq I     print only the span with sequence number I
+//!   --shards N  replay on an N-shard datapath (default 1); spans then
+//!               carry the owning shard and a `coherence` stage showing
+//!               cross-core penalties in the breakdown
 //! ```
 //!
 //! Exit status is 2 on usage or parse errors, 1 if no packet was
 //! sampled, 0 otherwise.
 
-use linuxfp_difftest::{trace_scenario, DiffScenario};
+use linuxfp_difftest::{trace_scenario_with_shards, DiffScenario};
 use linuxfp_json::{json, Value};
 use linuxfp_telemetry::trace::CostBreakdown;
 use std::process::ExitCode;
@@ -31,12 +34,15 @@ fn main() -> ExitCode {
         .and_then(|v| v.parse::<u64>().ok())
         .unwrap_or(1);
     let seq = flag_value(&args, "--seq").and_then(|v| v.parse::<u64>().ok());
+    let shards = flag_value(&args, "--shards")
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(1);
     let Some(path) = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .find(|a| !is_flag_value(&args, a))
     else {
-        eprintln!("usage: linuxfp_trace [--json] [--every N] [--seq I] FIXTURE.json");
+        eprintln!("usage: linuxfp_trace [--json] [--every N] [--seq I] [--shards N] FIXTURE.json");
         return ExitCode::from(2);
     };
 
@@ -55,7 +61,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut spans = trace_scenario(&scenario, every);
+    let mut spans = trace_scenario_with_shards(&scenario, every, shards);
     if let Some(want) = seq {
         spans.retain(|s| s.seq == want);
     }
@@ -92,10 +98,10 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.get(pos + 1).map(String::as_str)
 }
 
-/// Whether `arg` is the value operand of `--every` or `--seq` (so the
-/// positional-fixture scan skips it).
+/// Whether `arg` is the value operand of `--every`, `--seq`, or
+/// `--shards` (so the positional-fixture scan skips it).
 fn is_flag_value(args: &[String], arg: &str) -> bool {
     args.iter()
         .position(|a| a == arg)
-        .is_some_and(|i| i > 0 && matches!(args[i - 1].as_str(), "--every" | "--seq"))
+        .is_some_and(|i| i > 0 && matches!(args[i - 1].as_str(), "--every" | "--seq" | "--shards"))
 }

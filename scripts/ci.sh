@@ -76,6 +76,21 @@ cargo run -q -p linuxfp-bench --bin repro --release -- l7_gateway \
     }
   '
 
+echo "==> bench smoke: core scaling (8-shard aggregate pps >= 5x 1-shard on the steady-flow router)"
+cargo run -q -p linuxfp-bench --bin repro --release -- core_scaling \
+  | awk '
+    $1 == "1" && NF >= 5 { base = $2 }
+    $1 == "8" && NF >= 5 { eight = $2 }
+    END {
+      if (base == "" || eight == "") { print "FAIL: core_scaling rows not found"; exit 1 }
+      if (eight + 0 < 5 * (base + 0)) {
+        printf "FAIL: 8-shard %s pps is under 5x the 1-shard %s pps\n", eight, base
+        exit 1
+      }
+      printf "ok: %s pps at 8 shards vs %s at 1 (%.2fx)\n", eight, base, (eight + 0) / (base + 0)
+    }
+  '
+
 echo "==> bench smoke: sampled tracing at 1-in-64 stays inside the 5% telemetry budget"
 cargo bench -q -p linuxfp-bench --bench micro \
   | awk '
@@ -110,5 +125,9 @@ cargo run -q -p linuxfp-difftest --bin difftest --release -- \
   replay tests/difftest_corpus/*.json
 cargo run -q -p linuxfp-difftest --bin difftest --release -- \
   run --seeds 200
+
+echo "==> difftest: corpus replay stays transparent on a 4-shard datapath"
+cargo run -q -p linuxfp-difftest --bin difftest --release -- \
+  replay --shards 4 tests/difftest_corpus/*.json
 
 echo "ci: all green"

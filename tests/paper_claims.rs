@@ -99,6 +99,34 @@ fn kubernetes_20_percent_throughput_18_percent_latency() {
 }
 
 #[test]
+fn core_model_validates_against_measured_shard_sweep() {
+    // Figures 5 and 7 rest on `CoreModel::throughput_pps`, an analytic
+    // near-linear curve. The sharded datapath now *measures* scaling
+    // (per-shard virtual time; wall clock = slowest shard), so the
+    // analytic model must agree with the measurement: within 15% over
+    // the validated 1..=8 core range. (16 shards drifts past the band —
+    // replicated per-queue fixed costs shrink faster than the analytic
+    // contention term predicts — which is why the model is documented as
+    // validated only to 8 cores.)
+    let s = Scenario::router();
+    let points = pktgen::sweep_rss_shards(s, &[1, 2, 4, 8], 16);
+    let model = linuxfp::sim::CoreModel::new(&CostModel::calibrated());
+    let base_service = points[0].wall_ns_per_pkt;
+    for p in &points {
+        let analytic = model.throughput_pps(base_service, p.shards);
+        let err = (analytic - p.pps).abs() / p.pps;
+        assert!(
+            err < 0.15,
+            "{} shards: analytic {:.0} vs measured {:.0} pps ({:+.1}% off)",
+            p.shards,
+            analytic,
+            p.pps,
+            (analytic - p.pps) / p.pps * 100.0
+        );
+    }
+}
+
+#[test]
 fn transparency_no_linuxfp_specific_configuration_anywhere() {
     // The LinuxFP platform is constructed from the *same* scenario
     // description as the Linux baseline; the controller then derives
