@@ -28,7 +28,7 @@ const MEASURE_BURSTS: usize = 16;
 /// `flow_of`. With `churn`, an `ip route replace` of an existing prefix
 /// (same next hop — no semantic change) lands before every burst and the
 /// controller redeploys, invalidating all derived fast-path state.
-fn service_ns(
+pub(crate) fn service_ns(
     lfp: &mut LinuxFpPlatform,
     scenario: Scenario,
     mac: MacAddr,

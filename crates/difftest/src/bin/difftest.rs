@@ -1,13 +1,18 @@
 //! Differential-fuzzing CLI.
 //!
 //! ```text
-//! difftest run --seeds N [--start S] [--corpus DIR] [--shards N]
+//! difftest run --seeds N [--start S] [--corpus DIR] [--shards N] [--jit 0|1]
 //!                                                     sweep N seeded scenarios
-//! difftest replay [--shards N] FILE...                replay stored fixtures
+//! difftest replay [--shards N] [--jit 0|1] FILE...    replay stored fixtures
 //! ```
 //!
 //! `--shards N` sets `net.linuxfp.rss_shards` on both kernels: the
 //! sharded datapath must stay byte-identical to the single-core run.
+//!
+//! `--jit 0` clears `net.linuxfp.jit` on both kernels, forcing every
+//! eBPF program onto the reference interpreter instead of its compiled
+//! form — the interpreter-parity lane. Default is `--jit 1` (compiled,
+//! matching the kernel default).
 //!
 //! Exit status is non-zero on any divergence. `run` shrinks each failure
 //! and, with `--corpus`, writes the minimal repro there as JSON.
@@ -20,8 +25,10 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         _ => {
-            eprintln!("usage: difftest run --seeds N [--start S] [--corpus DIR] [--shards N]");
-            eprintln!("       difftest replay [--shards N] FILE...");
+            eprintln!(
+                "usage: difftest run --seeds N [--start S] [--corpus DIR] [--shards N] [--jit 0|1]"
+            );
+            eprintln!("       difftest replay [--shards N] [--jit 0|1] FILE...");
             ExitCode::from(2)
         }
     }
@@ -37,28 +44,43 @@ fn parse_str<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.get(pos + 1).map(String::as_str)
 }
 
+/// The `--shards N --jit 0|1` mode suffix for log lines; empty at the
+/// defaults.
+fn mode_suffix(shards: u32, jit: bool) -> String {
+    let mut parts = Vec::new();
+    if shards > 1 {
+        parts.push(format!("rss_shards={shards}"));
+    }
+    if !jit {
+        parts.push("jit=off".to_string());
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!(" ({})", parts.join(", "))
+    }
+}
+
 fn cmd_run(args: &[String]) -> ExitCode {
     let seeds = parse_u64(args, "--seeds").unwrap_or(200);
     let start = parse_u64(args, "--start").unwrap_or(0);
     let corpus = parse_str(args, "--corpus");
     let shards = parse_u64(args, "--shards").unwrap_or(1) as u32;
+    let jit = parse_u64(args, "--jit").unwrap_or(1) != 0;
 
     let mut packets = 0usize;
     let mut failures = 0u32;
     for seed in start..start + seeds {
         let scenario = linuxfp_difftest::generate(seed);
-        let outcome = linuxfp_difftest::run_with_shards(&scenario, shards);
+        let outcome = linuxfp_difftest::run_with_options(&scenario, shards, jit);
         packets += outcome.packets;
         if let Some(div) = &outcome.divergence {
             failures += 1;
-            let sharded = if shards > 1 {
-                format!(" (rss_shards={shards})")
-            } else {
-                String::new()
-            };
             eprintln!(
-                "difftest: seed {seed} DIVERGED at op {} [{}]{sharded}",
-                div.op, div.kind
+                "difftest: seed {seed} DIVERGED at op {} [{}]{}",
+                div.op,
+                div.kind,
+                mode_suffix(shards, jit)
             );
             eprintln!("  {}", div.detail);
             let minimal = linuxfp_difftest::shrink(&scenario);
@@ -94,17 +116,16 @@ fn cmd_run(args: &[String]) -> ExitCode {
         eprintln!("difftest: {failures}/{seeds} seeds diverged");
         return ExitCode::FAILURE;
     }
-    let sharded = if shards > 1 {
-        format!(" (rss_shards={shards})")
-    } else {
-        String::new()
-    };
-    println!("difftest: {seeds} seeds, {packets} packets, zero divergence{sharded}");
+    println!(
+        "difftest: {seeds} seeds, {packets} packets, zero divergence{}",
+        mode_suffix(shards, jit)
+    );
     ExitCode::SUCCESS
 }
 
 fn cmd_replay(args: &[String]) -> ExitCode {
     let shards = parse_u64(args, "--shards").unwrap_or(1) as u32;
+    let jit = parse_u64(args, "--jit").unwrap_or(1) != 0;
     let mut skip_next = false;
     let files: Vec<&String> = args
         .iter()
@@ -113,7 +134,7 @@ fn cmd_replay(args: &[String]) -> ExitCode {
                 skip_next = false;
                 return false;
             }
-            if *a == "--shards" {
+            if *a == "--shards" || *a == "--jit" {
                 skip_next = true;
                 return false;
             }
@@ -142,7 +163,7 @@ fn cmd_replay(args: &[String]) -> ExitCode {
                 continue;
             }
         };
-        let outcome = linuxfp_difftest::run_with_shards(&scenario, shards);
+        let outcome = linuxfp_difftest::run_with_options(&scenario, shards, jit);
         match &outcome.divergence {
             Some(div) => {
                 failures += 1;
@@ -152,8 +173,10 @@ fn cmd_replay(args: &[String]) -> ExitCode {
                 );
             }
             None => println!(
-                "difftest: {file} ({}) transparent, {} packets",
-                scenario.name, outcome.packets
+                "difftest: {file} ({}) transparent, {} packets{}",
+                scenario.name,
+                outcome.packets,
+                mode_suffix(shards, jit)
             ),
         }
     }

@@ -24,8 +24,8 @@ pub mod shrink;
 
 pub use gen::generate;
 pub use runner::{
-    divergence_trace, run, run_with_shards, trace_scenario, trace_scenario_with_shards, Divergence,
-    RunOutcome,
+    divergence_trace, run, run_with_options, run_with_shards, trace_scenario,
+    trace_scenario_with_shards, Divergence, RunOutcome,
 };
 pub use scenario::{ChurnOp, DiffScenario, Dir, Op, PacketSpec};
 pub use shrink::shrink;

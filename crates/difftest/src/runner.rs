@@ -425,6 +425,18 @@ pub fn run(ds: &DiffScenario) -> RunOutcome {
 /// hash reads only L3/L4 fields, so the two kernels' differing MACs
 /// cannot steer a flow to different shards.
 pub fn run_with_shards(ds: &DiffScenario, shards: u32) -> RunOutcome {
+    run_with_options(ds, shards, true)
+}
+
+/// Like [`run_with_shards`] but also selecting the eBPF execution
+/// engine: `jit = false` clears `net.linuxfp.jit` on both kernels so
+/// every program in the scenario runs on the reference interpreter
+/// instead of its compiled form. The engines are parity-checked at the
+/// instruction level (`crates/ebpf/tests/{jit,alu}_parity.rs`); this
+/// lane closes the loop end-to-end — every fixture and seed must
+/// produce byte-identical outputs and a balanced conservation ledger in
+/// both modes.
+pub fn run_with_options(ds: &DiffScenario, shards: u32, jit: bool) -> RunOutcome {
     let registry = Registry::new();
     let mut linux = LinuxPlatform::new(ds.base);
     let mut lfp = LinuxFpPlatform::with_telemetry(ds.base, ds.hook, registry.clone());
@@ -446,6 +458,15 @@ pub fn run_with_shards(ds: &DiffScenario, shards: u32) -> RunOutcome {
         lfp.kernel_mut()
             .sysctl_set("net.linuxfp.rss_shards", i64::from(shards))
             .expect("rss_shards sysctl exists");
+    }
+    if !jit {
+        linux
+            .kernel_mut()
+            .sysctl_set("net.linuxfp.jit", 0)
+            .expect("jit sysctl exists");
+        lfp.kernel_mut()
+            .sysctl_set("net.linuxfp.jit", 0)
+            .expect("jit sysctl exists");
     }
 
     let side_l = Side {

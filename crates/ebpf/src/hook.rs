@@ -53,6 +53,15 @@ pub struct HookStats {
     pub vm_insns: Counter,
     /// Helper calls made by the program.
     pub helper_calls: Counter,
+    /// Packets served by the load-time-compiled engine
+    /// (`net.linuxfp.jit=1`, the default).
+    pub jit_compiled: Counter,
+    /// Packets served by the reference interpreter (`net.linuxfp.jit=0`).
+    pub jit_fallback: Counter,
+    /// Division/modulo-by-zero events observed at runtime (Linux-defined
+    /// results, not faults — but worth watching: synthesized code should
+    /// never produce them).
+    pub div_zeros: Counter,
     verdict_pass: Counter,
     verdict_drop: Counter,
     verdict_redirect: Counter,
@@ -75,6 +84,18 @@ impl HookStats {
         registry.describe("linuxfp_vm_helper_calls_total", "eBPF helper calls made");
         registry.describe("linuxfp_vm_verdicts_total", "eBPF program verdicts by kind");
         registry.describe(
+            "linuxfp_jit_compiled_total",
+            "Packets served by the load-time-compiled eBPF engine",
+        );
+        registry.describe(
+            "linuxfp_jit_fallback_total",
+            "Packets served by the reference eBPF interpreter (net.linuxfp.jit=0)",
+        );
+        registry.describe(
+            "linuxfp_vm_div_zero_total",
+            "Runtime BPF_DIV/BPF_MOD by zero events (Linux-defined results)",
+        );
+        registry.describe(
             "linuxfp_shard_fp_hits_total",
             "Fast-path hits by owning RSS shard (only emitted when rss_shards > 1)",
         );
@@ -96,6 +117,9 @@ impl HookStats {
             vm_insns: registry.counter("linuxfp_vm_insns_total", &[("program", program)]),
             helper_calls: registry
                 .counter("linuxfp_vm_helper_calls_total", &[("program", program)]),
+            jit_compiled: registry.counter("linuxfp_jit_compiled_total", &[("program", program)]),
+            jit_fallback: registry.counter("linuxfp_jit_fallback_total", &[("program", program)]),
+            div_zeros: registry.counter("linuxfp_vm_div_zero_total", &[("program", program)]),
             verdict_pass: registry.counter("linuxfp_vm_verdicts_total", &[("verdict", "pass")]),
             verdict_drop: registry.counter("linuxfp_vm_verdicts_total", &[("verdict", "drop")]),
             verdict_redirect: registry
@@ -105,9 +129,15 @@ impl HookStats {
         }
     }
 
-    fn record(&self, out: &VmOutcome, verdict: &HookVerdict) {
+    fn record(&self, out: &VmOutcome, verdict: &HookVerdict, jit: bool) {
         self.vm_insns.add(out.insns_executed);
         self.helper_calls.add(out.helper_calls);
+        self.div_zeros.add(out.div_zeros);
+        if jit {
+            self.jit_compiled.inc();
+        } else {
+            self.jit_fallback.inc();
+        }
         self.record_verdict(verdict);
     }
 
@@ -268,6 +298,9 @@ fn hook_fn_inner(
             .wrapping_add(maps.prog_generation());
         let ingress = packet.ingress_ifindex;
         let rx_queue = packet.rx_queue;
+        // Engine selection: compiled dispatch by default, interpreter
+        // when the sysctl forces the reference engine.
+        let jit = kernel.jit_enabled();
         let shard = (rx_queue as usize).min(SHARD_SLOTS - 1);
         let sharded = kernel.rss_shards() > 1;
         let batch_cache = &batch_caches[shard];
@@ -373,14 +406,14 @@ fn hook_fn_inner(
                     let cacheable = resolved.cacheable();
                     let name = traced.then(|| resolved.name().to_string());
                     (
-                        vm::run(&resolved, ctx, env, &maps, &cost, tracker),
+                        vm::execute(&resolved, ctx, env, &maps, &cost, tracker, jit),
                         cacheable,
                         name,
                         false,
                     )
                 }
                 None => {
-                    let out = vm::run(&prog, ctx, env, &maps, &cost, tracker);
+                    let out = vm::execute(&prog, ctx, env, &maps, &cost, tracker, jit);
                     let resolved = dispatch.and_then(|(pa, slot)| maps.prog_array_get(pa, slot));
                     let slot_empty = dispatch.is_some() && resolved.is_none();
                     let name = traced.then(|| match &resolved {
@@ -490,7 +523,7 @@ fn hook_fn_inner(
         // Telemetry counters are real atomics with no virtual-time
         // charge: observability must not perturb the modeled costs.
         if let Some(t) = telemetry.lock().unwrap().as_ref() {
-            t.stats.record(&out, &verdict);
+            t.stats.record(&out, &verdict, jit);
         }
         if sharded {
             record_shard_verdict(&telemetry, shard, &verdict);

@@ -6,7 +6,8 @@
 //! stores, helper calls with the standard `r1`–`r5` argument / `r0` return
 //! convention, tail calls, and `exit`. Fast-path modules are synthesized
 //! into this instruction set, verified by [`crate::verifier`], and
-//! interpreted by [`crate::vm`].
+//! executed either by the [`crate::vm`] reference interpreter or by the
+//! [`crate::compile`] direct-threaded form built at load time.
 
 /// Number of general-purpose registers (`r0`–`r10`).
 pub const NUM_REGS: usize = 11;
@@ -28,7 +29,8 @@ pub enum AluOp {
     Sub,
     /// Multiplication.
     Mul,
-    /// Unsigned division (division by zero aborts the program).
+    /// Unsigned division (division by zero yields 0, as Linux defines
+    /// for `BPF_DIV`).
     Div,
     /// Bitwise or.
     Or,
@@ -38,7 +40,8 @@ pub enum AluOp {
     Lsh,
     /// Logical shift right.
     Rsh,
-    /// Unsigned modulo (modulo zero aborts the program).
+    /// Unsigned modulo (modulo zero leaves `dst` unchanged, as Linux
+    /// defines for `BPF_MOD`).
     Mod,
     /// Bitwise xor.
     Xor,

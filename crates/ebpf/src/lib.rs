@@ -10,9 +10,13 @@
 //! - [`verifier`]: static safety verification (termination, register
 //!   initialization, pointer typing, packet/stack bounds, helper
 //!   contracts). Programs only become loadable by passing it.
-//! - [`program`]: [`program::LoadedProgram`], the verified artifact.
-//! - [`vm`]: the interpreter, with per-instruction and per-helper cost
-//!   accounting driven by [`linuxfp_sim::CostModel`].
+//! - [`program`]: [`program::LoadedProgram`], the verified artifact —
+//!   compiled to direct-threaded form at load time.
+//! - [`vm`]: the reference interpreter, with per-instruction and
+//!   per-helper cost accounting driven by [`linuxfp_sim::CostModel`].
+//! - [`compile`]: the load-time compiler (the simulated kernel JIT);
+//!   the default datapath engine, kept observationally identical to the
+//!   interpreter by the parity suites.
 //! - [`maps`]: hash/array/LPM/program-array maps; program arrays are the
 //!   tail-call mechanism behind atomic data-path swaps.
 //! - [`helpers`]: the [`helpers::HelperEnv`] boundary through which
@@ -37,6 +41,7 @@
 //! ```
 
 pub mod asm;
+pub mod compile;
 pub mod flowcache;
 pub mod helpers;
 pub mod hook;
@@ -47,6 +52,7 @@ pub mod verifier;
 pub mod vm;
 
 pub use asm::Asm;
+pub use compile::CompiledProgram;
 pub use flowcache::{FlowCache, FlowKey};
 pub use hook::{Dispatcher, HookPoint};
 pub use insn::{Action, HelperId};

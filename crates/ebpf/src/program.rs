@@ -1,6 +1,7 @@
 //! Program objects: raw instruction sequences and verified, loadable
 //! programs.
 
+use crate::compile::CompiledProgram;
 use crate::insn::{HelperId, Insn};
 use crate::verifier::{self, VerifyError};
 use std::fmt;
@@ -45,6 +46,7 @@ impl Program {
 pub struct LoadedProgram {
     inner: Arc<Program>,
     cacheable: bool,
+    compiled: Arc<CompiledProgram>,
 }
 
 impl LoadedProgram {
@@ -60,10 +62,20 @@ impl LoadedProgram {
             Insn::Call { helper } => helper_is_cacheable(*helper),
             _ => true,
         });
+        // Compile eagerly at load time, mirroring the kernel JIT running
+        // right after verification: attach/swap never pays compile cost
+        // on the datapath, and an uncompiled loaded program cannot exist.
+        let compiled = Arc::new(CompiledProgram::compile(&program.insns));
         Ok(LoadedProgram {
             inner: Arc::new(program),
             cacheable,
+            compiled,
         })
+    }
+
+    /// The load-time-compiled (direct-threaded) form of this program.
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.compiled
     }
 
     /// The static cacheability contract: whether every helper this

@@ -129,6 +129,21 @@ pub enum VerifyError {
         /// What was wrong.
         what: &'static str,
     },
+    /// A constant shift amount outside `0..64` (Linux's `check_alu_op`
+    /// rejects these at load time; the runtime `& 63` mask remains as
+    /// defense in depth).
+    InvalidShift {
+        /// Instruction index.
+        pc: usize,
+        /// The offending immediate.
+        imm: i64,
+    },
+    /// A constant division or modulo by zero (rejected at load time as
+    /// in Linux; *runtime* div/mod by zero has Linux-defined results).
+    DivByZeroImm {
+        /// Instruction index.
+        pc: usize,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -170,6 +185,12 @@ impl fmt::Display for VerifyError {
             }
             VerifyError::BadHelperArg { pc, reg, what } => {
                 write!(f, "pc {pc}: helper argument r{reg}: {what}")
+            }
+            VerifyError::InvalidShift { pc, imm } => {
+                write!(f, "pc {pc}: constant shift by {imm} outside 0..64")
+            }
+            VerifyError::DivByZeroImm { pc } => {
+                write!(f, "pc {pc}: constant division or modulo by zero")
             }
         }
     }
@@ -392,6 +413,20 @@ fn transfer(pc: usize, insn: Insn, mut st: AbsState, n: usize) -> Result<Succs, 
     match insn {
         Insn::AluImm { op, dst, imm } => {
             check_reg(pc, dst)?;
+            // Linux's check_alu_op rejects these statically: constant
+            // shift amounts must fit the 64-bit register width, and a
+            // constant division or modulo by zero never loads. The
+            // runtime keeps the `& 63` mask and the Linux-defined
+            // div/mod-zero results as defense in depth.
+            match op {
+                AluOp::Lsh | AluOp::Rsh | AluOp::Arsh if !(0..64).contains(&imm) => {
+                    return Err(VerifyError::InvalidShift { pc, imm });
+                }
+                AluOp::Div | AluOp::Mod if imm == 0 => {
+                    return Err(VerifyError::DivByZeroImm { pc });
+                }
+                _ => {}
+            }
             let t = match op {
                 AluOp::Mov => RType::Scalar,
                 AluOp::Add | AluOp::Sub => {
@@ -801,6 +836,47 @@ mod tests {
         assert_eq!(verify(&[]), Err(VerifyError::Empty));
         let long = vec![Insn::Exit; crate::insn::MAX_INSNS + 1];
         assert!(matches!(verify(&long), Err(VerifyError::TooLong(_))));
+    }
+
+    #[test]
+    fn rejects_constant_shifts_outside_register_width() {
+        for op in [AluOp::Lsh, AluOp::Rsh, AluOp::Arsh] {
+            for imm in [64i64, 65, 1000, -1] {
+                let mut a = Asm::new();
+                a.mov_imm(0, 1);
+                a.alu_imm(op, 0, imm);
+                a.mov_imm(0, Action::Pass.code() as i64);
+                a.exit();
+                let err = verify(&a.finish().unwrap()).unwrap_err();
+                assert_eq!(err, VerifyError::InvalidShift { pc: 1, imm }, "{op:?}");
+            }
+            // The maximum legal amount still loads.
+            let mut a = Asm::new();
+            a.mov_imm(0, 1);
+            a.alu_imm(op, 0, 63);
+            a.mov_imm(0, Action::Pass.code() as i64);
+            a.exit();
+            verify(&a.finish().unwrap()).unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_constant_div_mod_by_zero() {
+        for op in [AluOp::Div, AluOp::Mod] {
+            let mut a = Asm::new();
+            a.mov_imm(0, 7);
+            a.alu_imm(op, 0, 0);
+            a.exit();
+            let err = verify(&a.finish().unwrap()).unwrap_err();
+            assert_eq!(err, VerifyError::DivByZeroImm { pc: 1 }, "{op:?}");
+            // Nonzero constants are fine.
+            let mut a = Asm::new();
+            a.mov_imm(0, 7);
+            a.alu_imm(op, 0, 3);
+            a.mov_imm(0, Action::Pass.code() as i64);
+            a.exit();
+            verify(&a.finish().unwrap()).unwrap();
+        }
     }
 
     #[test]

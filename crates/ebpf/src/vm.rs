@@ -9,6 +9,14 @@
 //! their own calibrated prices, so the cost of a synthesized fast path
 //! *emerges* from the code the synthesizer produced instead of being a
 //! hard-wired constant.
+//!
+//! This interpreter is the *reference oracle*: [`crate::compile`] lowers
+//! the same verified bytecode into a pre-decoded direct-threaded form at
+//! load time (the default datapath, `net.linuxfp.jit=1`), and the parity
+//! tests execute every program through both engines asserting identical
+//! [`VmOutcome`]s — including the final register file — and byte-identical
+//! frames. The shared [`Machine`], [`alu`], [`jump_taken`], and
+//! [`call_helper`] building blocks make divergence structurally hard.
 
 use crate::helpers::HelperEnv;
 use crate::insn::{Action, AluOp, HelperId, Insn, JmpCond, MemSize, MAX_TAIL_CALLS, STACK_SIZE};
@@ -33,17 +41,18 @@ pub const CTX_BASE: u64 = 0x3_0000_0000;
 
 /// Hard cap on executed instructions per invocation (the verifier already
 /// guarantees termination; this is a backstop for tail-call chains).
-const INSN_BUDGET: u64 = 1_000_000;
+pub(crate) const INSN_BUDGET: u64 = 1_000_000;
 
 /// Runtime faults. The verifier makes these unreachable for loaded
 /// programs; they exist as defense in depth and surface as
-/// [`Action::Aborted`].
+/// [`Action::Aborted`]. Division and modulo by zero are *not* faults:
+/// Linux's BPF runtime defines `BPF_DIV` by zero as `dst = 0` and
+/// `BPF_MOD` by zero as `dst` unchanged, and the [`alu`] unit mirrors
+/// that (counted in [`VmOutcome::div_zeros`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VmError {
     /// Load/store outside any mapped region.
     BadAccess(u64),
-    /// Division or modulo by zero.
-    DivByZero,
     /// Write to the read-only context region.
     CtxWrite,
     /// Executed-instruction budget exhausted.
@@ -54,7 +63,6 @@ impl fmt::Display for VmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VmError::BadAccess(addr) => write!(f, "bad memory access at {addr:#x}"),
-            VmError::DivByZero => write!(f, "division by zero"),
             VmError::CtxWrite => write!(f, "write to read-only ctx"),
             VmError::BudgetExhausted => write!(f, "instruction budget exhausted"),
         }
@@ -118,20 +126,45 @@ pub struct VmOutcome {
     /// The L7 helper answered allow-without-pin: the verdict depends on
     /// this segment's payload, so the flow cache must not record it.
     pub l7_uncacheable: bool,
+    /// Division/modulo-by-zero events (Linux-defined results, not faults).
+    pub div_zeros: u64,
+    /// The final register file — part of the interpreter-vs-compiled
+    /// parity oracle, so an engine divergence in any intermediate value
+    /// that reaches a register is observable, not just the verdict.
+    pub regs: [u64; 11],
 }
 
-struct Machine<'r> {
-    regs: [u64; 11],
-    stack: [u8; STACK_SIZE],
-    redirect: Option<IfIndex>,
-    to_user: bool,
-    l7_punt: bool,
-    l7_uncacheable: bool,
-    ctx: VmCtx<'r>,
+pub(crate) struct Machine<'r> {
+    pub(crate) regs: [u64; 11],
+    pub(crate) stack: [u8; STACK_SIZE],
+    pub(crate) redirect: Option<IfIndex>,
+    pub(crate) to_user: bool,
+    pub(crate) l7_punt: bool,
+    pub(crate) l7_uncacheable: bool,
+    pub(crate) div_zeros: u64,
+    pub(crate) ctx: VmCtx<'r>,
 }
 
 impl<'r> Machine<'r> {
-    fn read_mem(&self, addr: u64, size: MemSize) -> Result<u64, VmError> {
+    /// A fresh machine in the state a program entry expects: r1 = ctx,
+    /// r10 = frame pointer, everything else zero.
+    pub(crate) fn new(ctx: VmCtx<'r>) -> Self {
+        let mut m = Machine {
+            regs: [0; 11],
+            stack: [0; STACK_SIZE],
+            redirect: None,
+            to_user: false,
+            l7_punt: false,
+            l7_uncacheable: false,
+            div_zeros: 0,
+            ctx,
+        };
+        m.regs[1] = CTX_BASE;
+        m.regs[10] = STACK_BASE + STACK_SIZE as u64;
+        m
+    }
+
+    pub(crate) fn read_mem(&self, addr: u64, size: MemSize) -> Result<u64, VmError> {
         let n = size.bytes();
         match addr & 0xFFFF_FFFF_0000_0000 {
             PACKET_BASE => {
@@ -168,7 +201,12 @@ impl<'r> Machine<'r> {
         }
     }
 
-    fn write_mem(&mut self, addr: u64, size: MemSize, value: u64) -> Result<(), VmError> {
+    pub(crate) fn write_mem(
+        &mut self,
+        addr: u64,
+        size: MemSize,
+        value: u64,
+    ) -> Result<(), VmError> {
         let n = size.bytes();
         match addr & 0xFFFF_FFFF_0000_0000 {
             PACKET_BASE => {
@@ -217,11 +255,13 @@ fn write_le(b: &mut [u8], value: u64) {
     b.copy_from_slice(&v[..b.len()]);
 }
 
-/// Executes a loaded program to completion.
+/// Executes a loaded program to completion on the reference interpreter.
 ///
 /// `maps` provides tail-call program arrays and data maps; `env` is the
 /// kernel (or [`crate::helpers::NullEnv`]); costs are charged to
-/// `tracker`.
+/// `tracker`. The production datapath normally runs the compiled form
+/// instead (see [`execute`] and [`crate::compile`]); this function is the
+/// oracle the compiled engine is checked against.
 pub fn run(
     prog: &LoadedProgram,
     ctx: VmCtx<'_>,
@@ -230,18 +270,7 @@ pub fn run(
     cost: &CostModel,
     tracker: &mut CostTracker,
 ) -> VmOutcome {
-    let mut m = Machine {
-        regs: [0; 11],
-        stack: [0; STACK_SIZE],
-        redirect: None,
-        to_user: false,
-        l7_punt: false,
-        l7_uncacheable: false,
-        ctx,
-    };
-    m.regs[1] = CTX_BASE;
-    m.regs[10] = STACK_BASE + STACK_SIZE as u64;
-
+    let mut m = Machine::new(ctx);
     let mut cur = prog.clone();
     let mut pc = 0usize;
     let mut executed = 0u64;
@@ -250,7 +279,13 @@ pub fn run(
 
     loop {
         if executed >= INSN_BUDGET {
-            return fault(VmError::BudgetExhausted, executed, tail_calls, helper_calls);
+            return fault(
+                VmError::BudgetExhausted,
+                &m,
+                executed,
+                tail_calls,
+                helper_calls,
+            );
         }
         let insn = cur.insns()[pc];
         executed += 1;
@@ -259,17 +294,11 @@ pub fn run(
         match insn {
             Insn::AluImm { op, dst, imm } => {
                 let d = dst as usize;
-                match alu(op, m.regs[d], imm as u64) {
-                    Ok(v) => m.regs[d] = v,
-                    Err(e) => return fault(e, executed, tail_calls, helper_calls),
-                }
+                m.regs[d] = alu(op, m.regs[d], imm as u64, &mut m.div_zeros);
             }
             Insn::AluReg { op, dst, src } => {
                 let (d, s) = (dst as usize, src as usize);
-                match alu(op, m.regs[d], m.regs[s]) {
-                    Ok(v) => m.regs[d] = v,
-                    Err(e) => return fault(e, executed, tail_calls, helper_calls),
-                }
+                m.regs[d] = alu(op, m.regs[d], m.regs[s], &mut m.div_zeros);
             }
             Insn::Ja { off } => {
                 pc = (pc as i64 + off as i64) as usize;
@@ -303,7 +332,7 @@ pub fn run(
                 let addr = m.regs[src as usize].wrapping_add(off as i64 as u64);
                 match m.read_mem(addr, size) {
                     Ok(v) => m.regs[dst as usize] = v,
-                    Err(e) => return fault(e, executed, tail_calls, helper_calls),
+                    Err(e) => return fault(e, &m, executed, tail_calls, helper_calls),
                 }
             }
             Insn::Store {
@@ -315,7 +344,7 @@ pub fn run(
                 let addr = m.regs[dst as usize].wrapping_add(off as i64 as u64);
                 let v = m.regs[src as usize];
                 if let Err(e) = m.write_mem(addr, size, v) {
-                    return fault(e, executed, tail_calls, helper_calls);
+                    return fault(e, &m, executed, tail_calls, helper_calls);
                 }
             }
             Insn::StoreImm {
@@ -326,13 +355,13 @@ pub fn run(
             } => {
                 let addr = m.regs[dst as usize].wrapping_add(off as i64 as u64);
                 if let Err(e) = m.write_mem(addr, size, imm as u64) {
-                    return fault(e, executed, tail_calls, helper_calls);
+                    return fault(e, &m, executed, tail_calls, helper_calls);
                 }
             }
             Insn::Call { helper } => {
                 helper_calls += 1;
                 if let Err(e) = call_helper(helper, &mut m, env, maps, cost, tracker) {
-                    return fault(e, executed, tail_calls, helper_calls);
+                    return fault(e, &m, executed, tail_calls, helper_calls);
                 }
             }
             Insn::TailCall { prog_array, index } => {
@@ -355,18 +384,7 @@ pub fn run(
                 // Missing slot or depth exceeded: fall through.
             }
             Insn::Exit => {
-                let action = Action::from_code(m.regs[0]);
-                return VmOutcome {
-                    action,
-                    redirect: m.redirect,
-                    insns_executed: executed,
-                    tail_calls,
-                    helper_calls,
-                    error: None,
-                    to_user: m.to_user,
-                    l7_punt: m.l7_punt,
-                    l7_uncacheable: m.l7_uncacheable,
-                };
+                return finish(&m, executed, tail_calls, helper_calls);
             }
         }
     }
@@ -406,7 +424,38 @@ pub fn run_batch(
         .collect()
 }
 
-fn fault(error: VmError, insns_executed: u64, tail_calls: u64, helper_calls: u64) -> VmOutcome {
+/// Executes a loaded program with the engine selected by `jit`: the
+/// load-time-compiled direct-threaded form (the default datapath,
+/// `net.linuxfp.jit=1`) or the reference interpreter. Both engines are
+/// observationally identical — the parity tests enforce it — but charge
+/// different per-instruction prices
+/// ([`linuxfp_sim::CostModel::jit_insn_ns`] vs
+/// [`linuxfp_sim::CostModel::ebpf_insn_ns`]) under distinct stage names
+/// (`jit_insn` vs `ebpf_insn`) so `CostBreakdown` attributes the dispatch
+/// mode per packet.
+pub fn execute(
+    prog: &LoadedProgram,
+    ctx: VmCtx<'_>,
+    env: &mut dyn HelperEnv,
+    maps: &MapStore,
+    cost: &CostModel,
+    tracker: &mut CostTracker,
+    jit: bool,
+) -> VmOutcome {
+    if jit {
+        crate::compile::run(prog, ctx, env, maps, cost, tracker)
+    } else {
+        run(prog, ctx, env, maps, cost, tracker)
+    }
+}
+
+pub(crate) fn fault(
+    error: VmError,
+    m: &Machine<'_>,
+    insns_executed: u64,
+    tail_calls: u64,
+    helper_calls: u64,
+) -> VmOutcome {
     VmOutcome {
         action: Action::Aborted,
         redirect: None,
@@ -417,37 +466,68 @@ fn fault(error: VmError, insns_executed: u64, tail_calls: u64, helper_calls: u64
         to_user: false,
         l7_punt: false,
         l7_uncacheable: false,
+        div_zeros: m.div_zeros,
+        regs: m.regs,
     }
 }
 
-fn alu(op: AluOp, dst: u64, src: u64) -> Result<u64, VmError> {
-    Ok(match op {
+/// The normal-exit outcome, shared by both engines so parity holds by
+/// construction for everything the machine carries.
+pub(crate) fn finish(
+    m: &Machine<'_>,
+    insns_executed: u64,
+    tail_calls: u64,
+    helper_calls: u64,
+) -> VmOutcome {
+    VmOutcome {
+        action: Action::from_code(m.regs[0]),
+        redirect: m.redirect,
+        insns_executed,
+        tail_calls,
+        helper_calls,
+        error: None,
+        to_user: m.to_user,
+        l7_punt: m.l7_punt,
+        l7_uncacheable: m.l7_uncacheable,
+        div_zeros: m.div_zeros,
+        regs: m.regs,
+    }
+}
+
+/// One ALU operation with Linux BPF runtime semantics: wrapping
+/// arithmetic, shift amounts masked to the register width, and the
+/// kernel-defined div/mod-by-zero results (`BPF_DIV` by zero yields 0,
+/// `BPF_MOD` by zero leaves `dst` unchanged) rather than a fault.
+pub(crate) fn alu(op: AluOp, dst: u64, src: u64, div_zeros: &mut u64) -> u64 {
+    match op {
         AluOp::Add => dst.wrapping_add(src),
         AluOp::Sub => dst.wrapping_sub(src),
         AluOp::Mul => dst.wrapping_mul(src),
-        AluOp::Div => {
-            if src == 0 {
-                return Err(VmError::DivByZero);
+        AluOp::Div => match dst.checked_div(src) {
+            Some(v) => v,
+            None => {
+                *div_zeros += 1;
+                0
             }
-            dst / src
-        }
+        },
         AluOp::Or => dst | src,
         AluOp::And => dst & src,
         AluOp::Lsh => dst.wrapping_shl((src & 63) as u32),
         AluOp::Rsh => dst.wrapping_shr((src & 63) as u32),
-        AluOp::Mod => {
-            if src == 0 {
-                return Err(VmError::DivByZero);
+        AluOp::Mod => match dst.checked_rem(src) {
+            Some(v) => v,
+            None => {
+                *div_zeros += 1;
+                dst
             }
-            dst % src
-        }
+        },
         AluOp::Xor => dst ^ src,
         AluOp::Mov => src,
         AluOp::Arsh => ((dst as i64).wrapping_shr((src & 63) as u32)) as u64,
-    })
+    }
 }
 
-fn jump_taken(cond: JmpCond, dst: u64, src: u64) -> bool {
+pub(crate) fn jump_taken(cond: JmpCond, dst: u64, src: u64) -> bool {
     match cond {
         JmpCond::Eq => dst == src,
         JmpCond::Ne => dst != src,
@@ -461,7 +541,7 @@ fn jump_taken(cond: JmpCond, dst: u64, src: u64) -> bool {
     }
 }
 
-fn call_helper(
+pub(crate) fn call_helper(
     helper: HelperId,
     m: &mut Machine<'_>,
     env: &mut dyn HelperEnv,
@@ -745,17 +825,34 @@ mod tests {
     }
 
     #[test]
-    fn div_by_zero_faults() {
+    fn div_by_zero_follows_linux_semantics() {
+        // BPF_DIV by zero: dst = 0. The program keeps running.
         let mut a = Asm::new();
         a.mov_imm(0, 7);
         a.mov_imm(2, 0);
-        a.alu_reg(AluOp::Div, 0, 2);
+        a.alu_reg(AluOp::Div, 0, 2); // r0 = 7 / 0 -> 0
+        a.alu_imm(AluOp::Add, 0, 2); // r0 = 2 = PASS
         a.exit();
         let prog = load(a, "div0");
         let mut pkt = vec![0u8; 64];
         let (out, _) = run_prog(&prog, &mut pkt);
-        assert_eq!(out.action, Action::Aborted);
-        assert_eq!(out.error, Some(VmError::DivByZero));
+        assert_eq!(out.action, Action::Pass);
+        assert!(out.error.is_none());
+        assert_eq!(out.div_zeros, 1);
+
+        // BPF_MOD by zero: dst unchanged.
+        let mut a = Asm::new();
+        a.mov_imm(0, 2);
+        a.mov_imm(2, 0);
+        a.alu_reg(AluOp::Mod, 0, 2); // r0 stays 2 = PASS
+        a.exit();
+        let prog = load(a, "mod0");
+        let mut pkt = vec![0u8; 64];
+        let (out, _) = run_prog(&prog, &mut pkt);
+        assert_eq!(out.action, Action::Pass);
+        assert!(out.error.is_none());
+        assert_eq!(out.div_zeros, 1);
+        assert_eq!(out.regs[0], 2);
     }
 
     #[test]
@@ -1085,7 +1182,6 @@ mod tests {
     #[test]
     fn vm_error_display() {
         assert!(VmError::BadAccess(0x42).to_string().contains("0x42"));
-        assert!(VmError::DivByZero.to_string().contains("zero"));
         assert!(VmError::CtxWrite.to_string().contains("ctx"));
         assert!(VmError::BudgetExhausted.to_string().contains("budget"));
     }

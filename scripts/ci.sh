@@ -130,4 +130,28 @@ echo "==> difftest: corpus replay stays transparent on a 4-shard datapath"
 cargo run -q -p linuxfp-difftest --bin difftest --release -- \
   replay --shards 4 tests/difftest_corpus/*.json
 
+echo "==> difftest: interpreter lane (jit=0) — corpus replay + 200-seed sweep"
+cargo run -q -p linuxfp-difftest --bin difftest --release -- \
+  replay --jit 0 tests/difftest_corpus/*.json
+cargo run -q -p linuxfp-difftest --bin difftest --release -- \
+  run --seeds 200 --jit 0
+
+echo "==> parity fuzz smoke: interpreter vs compiled engine"
+cargo test -q -p linuxfp-ebpf --release --test alu_parity --test jit_parity \
+  | tail -n 2
+
+echo "==> bench smoke: jit dispatch (compiled churn-heavy >=20% under interpreted)"
+cargo run -q -p linuxfp-bench --bin repro --release -- jit_dispatch \
+  | awk '
+    /churn-heavy/ { interp = $(NF-2); compiled = $(NF-1) }
+    END {
+      if (interp == "" || compiled == "") { print "FAIL: jit_dispatch churn-heavy row not found"; exit 1 }
+      if (compiled + 0 > 0.8 * (interp + 0)) {
+        printf "FAIL: compiled churn-heavy %s ns/pkt is not 20%% under interpreted %s\n", compiled, interp
+        exit 1
+      }
+      printf "ok: churn-heavy %s ns/pkt compiled vs %s interpreted\n", compiled, interp
+    }
+  '
+
 echo "ci: all green"

@@ -5,7 +5,9 @@
 //! demonstrates); replaying them pins the fixes. The smoke test then
 //! runs a band of freshly generated seeds end to end.
 
-use linuxfp_difftest::{divergence_trace, generate, run, DiffScenario, Divergence};
+use linuxfp_difftest::{
+    divergence_trace, generate, run, run_with_options, DiffScenario, Divergence,
+};
 use std::path::PathBuf;
 
 fn corpus_dir() -> PathBuf {
@@ -29,6 +31,35 @@ fn every_corpus_fixture_replays_transparent() {
         assert!(
             outcome.transparent(),
             "{} ({}) diverged: {:?}",
+            path.display(),
+            scenario.name,
+            outcome.divergence
+        );
+        replayed += 1;
+    }
+    assert!(replayed >= 3, "corpus unexpectedly small: {replayed}");
+}
+
+/// The interpreter lane: every corpus fixture must also replay
+/// transparently with `net.linuxfp.jit=0` on both kernels — the fixed
+/// bugs stay fixed regardless of which engine serves the programs.
+#[test]
+fn every_corpus_fixture_replays_transparent_without_jit() {
+    let mut replayed = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("corpus directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("readable fixture");
+        let scenario =
+            DiffScenario::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let outcome = run_with_options(&scenario, 1, false);
+        assert!(
+            outcome.transparent(),
+            "{} ({}) diverged with jit off: {:?}",
             path.display(),
             scenario.name,
             outcome.divergence
@@ -95,4 +126,19 @@ fn seeded_scenarios_stay_transparent() {
         packets += outcome.packets;
     }
     assert!(packets > 500, "smoke band suspiciously small: {packets}");
+}
+
+#[test]
+fn seeded_scenarios_stay_transparent_without_jit() {
+    // Same smoke band on the reference interpreter; CI sweeps 200 seeds
+    // in each mode via scripts/ci.sh.
+    for seed in 0..25 {
+        let scenario = generate(seed);
+        let outcome = run_with_options(&scenario, 1, false);
+        assert!(
+            outcome.transparent(),
+            "seed {seed} diverged with jit off: {:?}",
+            outcome.divergence
+        );
+    }
 }

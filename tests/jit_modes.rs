@@ -1,0 +1,223 @@
+//! The compiled eBPF engine must be invisible in everything except
+//! cost: with `net.linuxfp.jit` on (the default) and off, every
+//! accelerated subsystem produces byte-identical outputs, the
+//! conservation ledger balances in both modes, and the telemetry
+//! counters attribute each program run to the engine that served it.
+
+use linuxfp::packet::builder;
+use linuxfp::platforms::scenario::SOURCE_MAC;
+use linuxfp::prelude::*;
+use std::net::Ipv4Addr;
+
+/// Flattened observable behavior of a sequence of outcomes.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    transmissions: Vec<(u32, Vec<u8>)>,
+    deliveries: Vec<(u32, Vec<u8>)>,
+    drops: Vec<String>,
+}
+
+fn observe<'a>(
+    outcomes: impl Iterator<Item = &'a linuxfp::netstack::stack::RxOutcome>,
+) -> Observed {
+    let mut obs = Observed {
+        transmissions: Vec::new(),
+        deliveries: Vec::new(),
+        drops: Vec::new(),
+    };
+    for out in outcomes {
+        for (dev, frame) in out.transmissions() {
+            obs.transmissions.push((dev.as_u32(), frame.to_vec()));
+        }
+        for (dev, frame) in out.deliveries() {
+            obs.deliveries.push((dev.as_u32(), frame.to_vec()));
+        }
+        for reason in out.drops() {
+            obs.drops.push(reason.to_string());
+        }
+    }
+    obs
+}
+
+/// Drives the same workload through a jit-on and a jit-off platform
+/// (both with telemetry) and requires byte-identical observable
+/// behavior plus a balanced fast-path/slow-path ledger in both modes.
+/// Returns `(compiled_runs, interpreted_runs)` for vacuity checks.
+fn assert_jit_transparent(s: Scenario, frames: &[Vec<u8>], what: &str) -> (u64, u64) {
+    let reg_on = Registry::new();
+    let reg_off = Registry::new();
+    let mut on = LinuxFpPlatform::with_telemetry(s, HookPoint::Xdp, reg_on.clone());
+    let mut off = LinuxFpPlatform::with_telemetry(s, HookPoint::Xdp, reg_off.clone());
+    assert!(on.kernel_mut().jit_enabled(), "jit defaults on");
+    off.kernel_mut()
+        .sysctl_set("net.linuxfp.jit", 0)
+        .expect("jit sysctl exists");
+    assert!(!off.kernel_mut().jit_enabled());
+
+    let out_on: Vec<_> = frames.iter().map(|f| on.process(f.clone())).collect();
+    let out_off: Vec<_> = frames.iter().map(|f| off.process(f.clone())).collect();
+    assert_eq!(
+        observe(out_on.iter()),
+        observe(out_off.iter()),
+        "{what}: jit on vs off"
+    );
+
+    // Engine stage attribution is exclusive per mode.
+    for out in &out_on {
+        assert_eq!(out.cost.stage_count("ebpf_insn"), 0, "{what}: jit-on run");
+    }
+    for out in &out_off {
+        assert_eq!(out.cost.stage_count("jit_insn"), 0, "{what}: jit-off run");
+    }
+
+    // Conservation ledger in both modes: every injected frame was
+    // decided exactly once, by the fast path or the slow path.
+    for (mode, reg) in [("jit-on", &reg_on), ("jit-off", &reg_off)] {
+        let hits = reg.counter_total("linuxfp_fp_hits_total");
+        let fallbacks = reg.counter_total("linuxfp_slowpath_fallbacks_total");
+        let injected = reg.counter_total("linuxfp_packets_injected_total");
+        assert_eq!(injected, frames.len() as u64, "{what} {mode}: injected");
+        assert_eq!(
+            hits + fallbacks,
+            injected,
+            "{what} {mode}: fp_hits + slowpath_fallbacks == packets_injected"
+        );
+    }
+
+    // Engine counters: the on side only runs compiled programs, the off
+    // side only the interpreter.
+    let compiled = reg_on.counter_total("linuxfp_jit_compiled_total");
+    assert_eq!(
+        reg_on.counter_total("linuxfp_jit_fallback_total"),
+        0,
+        "{what}"
+    );
+    let interpreted = reg_off.counter_total("linuxfp_jit_fallback_total");
+    assert_eq!(
+        reg_off.counter_total("linuxfp_jit_compiled_total"),
+        0,
+        "{what}"
+    );
+    (compiled, interpreted)
+}
+
+#[test]
+fn router_forwarding_identical_jit_on_and_off() {
+    let s = Scenario::router();
+    let mac = LinuxFpPlatform::new(s).dut_mac();
+    let mut frames = Vec::new();
+    for round in 0..4usize {
+        for i in 0..5u64 {
+            frames.push(s.frame(mac, i, 60 + round));
+        }
+    }
+    let (compiled, interpreted) = assert_jit_transparent(s, &frames, "router");
+    assert!(compiled > 0, "jit-on side must run compiled programs");
+    assert!(interpreted > 0, "jit-off side must run the interpreter");
+}
+
+#[test]
+fn gateway_filtering_identical_jit_on_and_off() {
+    let s = Scenario::gateway();
+    let mac = LinuxFpPlatform::new(s).dut_mac();
+    let mut frames: Vec<_> = (0..3u64).map(|i| s.frame(mac, i, 60)).collect();
+    for r in 0..3u32 {
+        frames.push(builder::udp_packet(
+            SOURCE_MAC,
+            mac,
+            Ipv4Addr::new(10, 0, 1, 100),
+            s.blocked_dst(r),
+            3000 + r as u16,
+            4791,
+            b"blocked",
+        ));
+    }
+    let (compiled, interpreted) = assert_jit_transparent(s, &frames, "gateway");
+    assert!(compiled > 0 && interpreted > 0);
+}
+
+#[test]
+fn l7_policy_verdicts_identical_jit_on_and_off() {
+    let s = Scenario::api_gateway();
+    let mac = LinuxFpPlatform::new(s).dut_mac();
+    let mut frames: Vec<_> = (0..4u64)
+        .map(|i| s.http_frame(mac, i, &Scenario::http_request(i)))
+        .collect();
+    for i in 4..6u64 {
+        frames.push(s.http_frame(mac, i, &s.blocked_http_request(i)));
+    }
+    frames.push(s.http_frame(mac, 6, &[0x16, 0x03, 0x01, 0x00, 0x2a]));
+    let (compiled, interpreted) = assert_jit_transparent(s, &frames, "l7");
+    assert!(compiled > 0 && interpreted > 0);
+}
+
+#[test]
+fn nat_masquerade_identical_jit_on_and_off() {
+    let s = Scenario::nat_gateway();
+    let mac = LinuxFpPlatform::new(s).dut_mac();
+    let frames: Vec<_> = (0..8u64)
+        .map(|i| s.client_frame(mac, 2 + (i % 2) as u8, i / 2, 60))
+        .collect();
+    let (compiled, interpreted) = assert_jit_transparent(s, &frames, "nat");
+    assert!(compiled > 0 && interpreted > 0);
+}
+
+#[test]
+fn ipset_gateway_identical_jit_on_and_off() {
+    let s = Scenario::gateway_ipset();
+    let mac = LinuxFpPlatform::new(s).dut_mac();
+    let mut frames: Vec<_> = (0..4u64).map(|i| s.frame(mac, i, 60)).collect();
+    for r in 0..2u32 {
+        frames.push(builder::udp_packet(
+            SOURCE_MAC,
+            mac,
+            Ipv4Addr::new(10, 0, 1, 100),
+            s.blocked_dst(r),
+            3100 + r as u16,
+            4791,
+            b"blocked",
+        ));
+    }
+    let (compiled, interpreted) = assert_jit_transparent(s, &frames, "ipset");
+    assert!(compiled > 0 && interpreted > 0);
+}
+
+/// Flipping the sysctl mid-stream switches engines without changing a
+/// single output byte: the same platform serves the same flow
+/// compiled, then interpreted, then compiled again.
+#[test]
+fn engine_switch_mid_stream_is_invisible() {
+    let s = Scenario::router();
+    let registry = Registry::new();
+    let mut lfp = LinuxFpPlatform::with_telemetry(s, HookPoint::Xdp, registry.clone());
+    let mut linux = LinuxPlatform::new(s);
+    let mac = lfp.dut_mac();
+
+    for round in 0..6u64 {
+        match round {
+            2 => {
+                lfp.kernel_mut()
+                    .sysctl_set("net.linuxfp.jit", 0)
+                    .expect("jit sysctl");
+            }
+            4 => {
+                lfp.kernel_mut()
+                    .sysctl_set("net.linuxfp.jit", 1)
+                    .expect("jit sysctl");
+            }
+            _ => {}
+        }
+        for i in 0..3u64 {
+            let frame = s.frame(mac, i, 60);
+            let out_f = lfp.process(frame.clone());
+            let out_l = linux.process(frame);
+            assert_eq!(
+                observe(std::iter::once(&out_f)),
+                observe(std::iter::once(&out_l)),
+                "round {round} flow {i}"
+            );
+        }
+    }
+    assert!(registry.counter_total("linuxfp_jit_compiled_total") > 0);
+    assert!(registry.counter_total("linuxfp_jit_fallback_total") > 0);
+}
