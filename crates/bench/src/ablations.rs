@@ -14,7 +14,8 @@ use linuxfp_core::fpm::{FilterConf, FpmInstance, IpvsConf};
 use linuxfp_core::synth::synthesize_pipeline;
 use linuxfp_ebpf::hook::{attach, HookPoint};
 use linuxfp_ebpf::maps::MapStore;
-use linuxfp_ebpf::program::LoadedProgram;
+use linuxfp_ebpf::opt;
+use linuxfp_ebpf::program::{LoadedProgram, Program};
 use linuxfp_netstack::device::IfIndex;
 use linuxfp_packet::{EthernetFrame, Ipv4Header, MacAddr};
 use linuxfp_platforms::scenario::{Scenario, NEXT_HOP, SINK_MAC, SOURCE_MAC};
@@ -134,7 +135,12 @@ pub fn ablation_minimality() -> ExperimentTable {
         let mut kernel = linuxfp_netstack::stack::Kernel::new(100);
         let (eth0, _) = scenario.configure_kernel(&mut kernel);
         let fp = synthesize_pipeline(eth0, "ablation", pipeline).expect("synthesizes");
-        let loaded = LoadedProgram::load(fp.program.clone()).expect("verifies");
+        // Both rows go through the synthesis-time optimizer, exactly as
+        // the deployer would: the minimality comparison is between what
+        // production actually loads, not raw emitter output.
+        let (optimized, _) = opt::optimize(&fp.program.insns);
+        let loaded = LoadedProgram::load(Program::new(fp.program.name.clone(), optimized))
+            .expect("verifies");
         let insns = loaded.len();
         attach(&mut kernel, eth0, HookPoint::Xdp, loaded, MapStore::new()).expect("attach");
         let mac = kernel.device(eth0).expect("exists").mac;

@@ -33,6 +33,7 @@ pub mod flow_cache;
 pub mod hooks;
 pub mod jit;
 pub mod l7;
+pub mod opt;
 pub mod pods;
 pub mod table;
 pub mod trace;
@@ -65,6 +66,7 @@ pub fn run_experiment(id: &str) -> Option<ExperimentTable> {
         "trace_breakdown" => trace::trace_breakdown_experiment(),
         "l7_gateway" => l7::l7_gateway_experiment(),
         "jit_dispatch" => jit::jit_dispatch_experiment(),
+        "opt_dispatch" => opt::opt_dispatch_experiment(),
         _ => return None,
     })
 }
@@ -94,6 +96,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "trace_breakdown",
     "l7_gateway",
     "jit_dispatch",
+    "opt_dispatch",
 ];
 
 #[cfg(test)]
@@ -109,6 +112,6 @@ mod tests {
             assert!(!t.rows.is_empty(), "{id} produced no rows");
         }
         assert!(run_experiment("fig99").is_none());
-        assert_eq!(ALL_EXPERIMENTS.len(), 22);
+        assert_eq!(ALL_EXPERIMENTS.len(), 23);
     }
 }

@@ -295,6 +295,11 @@ impl Controller {
         );
         charge(
             &mut stages,
+            "optimize",
+            cost.ctrl_opt_per_fpm_ns * fpm_count.max(1) as f64,
+        );
+        charge(
+            &mut stages,
             "compile",
             cost.ctrl_compile_base_ns + cost.ctrl_compile_per_fpm_ns * fpm_count as f64,
         );

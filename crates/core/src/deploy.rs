@@ -10,7 +10,8 @@
 use crate::synth::SynthesizedFp;
 use linuxfp_ebpf::hook::{Dispatcher, HookPoint};
 use linuxfp_ebpf::maps::MapStore;
-use linuxfp_ebpf::program::LoadedProgram;
+use linuxfp_ebpf::opt;
+use linuxfp_ebpf::program::{LoadedProgram, Program};
 use linuxfp_ebpf::verifier::VerifyError;
 use linuxfp_netstack::device::IfIndex;
 use linuxfp_netstack::stack::Kernel;
@@ -65,6 +66,9 @@ pub struct DeployOutcome {
     /// How many programs actually changed (were verified, loaded and
     /// swapped); unchanged programs are left untouched.
     pub swapped: usize,
+    /// Instructions removed by the bytecode optimizer across the
+    /// programs swapped this round (0 with `net.linuxfp.opt=0`).
+    pub opt_removed: usize,
 }
 
 /// Owns the per-interface dispatchers and performs atomic swaps.
@@ -98,6 +102,22 @@ impl Deployer {
         registry.describe(
             "linuxfp_verifier_rejected_total",
             "Synthesized programs rejected by the in-kernel verifier",
+        );
+        registry.describe(
+            "linuxfp_opt_insns_before_total",
+            "Instructions entering the bytecode optimizer at deploy time",
+        );
+        registry.describe(
+            "linuxfp_opt_insns_after_total",
+            "Instructions leaving the bytecode optimizer at deploy time",
+        );
+        registry.describe(
+            "linuxfp_fp_program_insns",
+            "Deployed program size in instructions, per FPM pipeline",
+        );
+        registry.describe(
+            "linuxfp_opt_insns_removed",
+            "Instructions the optimizer removed from the deployed program, per FPM pipeline",
         );
         for dispatcher in self.dispatchers.values() {
             dispatcher.enable_telemetry(&registry);
@@ -167,15 +187,47 @@ impl Deployer {
         outcome.removed.sort();
 
         for fp in fps {
+            // Run the synthesized program through the bytecode
+            // optimizer (sysctl-gated) before verification: the
+            // verifier and the load-time JIT then see the shrunk form.
+            // The optimizer re-verifies its output and falls back to
+            // the input on any failure, so this cannot turn a loadable
+            // program into a rejected one.
+            let (effective, stats) = if kernel.opt_enabled() {
+                let (insns, stats) = opt::optimize(&fp.program.insns);
+                (insns, Some(stats))
+            } else {
+                (fp.program.insns.clone(), None)
+            };
             // Unchanged program: leave the running data path alone (no
-            // verify/load/swap cost, no disturbance).
+            // verify/load/swap cost, no disturbance). Compared against
+            // the *effective* instructions, so flipping the sysctl
+            // redeploys on the next controller pass.
             if let Some(current) = self.installed(fp.ifindex) {
-                if current.insns() == fp.program.insns.as_slice() {
+                if current.insns() == effective.as_slice() {
                     outcome.installed.push((fp.ifname.clone(), current.len()));
                     continue;
                 }
             }
-            let loaded = match LoadedProgram::load(fp.program.clone()) {
+            if let (Some(reg), Some(stats)) = (&self.telemetry, stats) {
+                let labels = [("fpm", fp.fpm_label.as_str())];
+                reg.counter("linuxfp_opt_insns_before_total", &labels)
+                    .add(stats.before as u64);
+                reg.counter("linuxfp_opt_insns_after_total", &labels)
+                    .add(stats.after as u64);
+                reg.gauge("linuxfp_opt_insns_removed", &labels)
+                    .set(stats.removed() as i64);
+            }
+            if let Some(reg) = &self.telemetry {
+                reg.gauge(
+                    "linuxfp_fp_program_insns",
+                    &[("fpm", fp.fpm_label.as_str())],
+                )
+                .set(effective.len() as i64);
+            }
+            outcome.opt_removed += stats.map_or(0, |s| s.removed());
+            let program = Program::new(fp.program.name.clone(), effective);
+            let loaded = match LoadedProgram::load(program) {
                 Ok(loaded) => {
                     if let Some(reg) = &self.telemetry {
                         reg.counter("linuxfp_verifier_accepted_total", &[]).inc();

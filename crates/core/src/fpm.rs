@@ -1170,8 +1170,9 @@ fn emit_csum_word_update_from_stack(a: &mut Asm, pkt_off: i16, stack_off: i16) {
         a.alu_imm(AluOp::And, 5, 0xFFFF);
         a.alu_reg(AluOp::Add, 5, 2);
     }
+    // The folded sum is already <= 0xFFFF (two folds of a < 2^18 sum),
+    // and xor 0xFFFF preserves that bound, so no final mask is needed.
     a.alu_imm(AluOp::Xor, 5, 0xFFFF);
-    a.alu_imm(AluOp::And, 5, 0xFFFF);
     // Store back (BE).
     a.mov_reg(2, 5);
     a.alu_imm(AluOp::Rsh, 2, 8);
@@ -1211,8 +1212,9 @@ pub fn emit_ttl_decrement(a: &mut Asm) {
         a.alu_imm(AluOp::And, 4, 0xFFFF);
         a.alu_reg(AluOp::Add, 4, 5);
     }
+    // As in emit_csum_word_update_from_stack: the folded sum is already
+    // <= 0xFFFF and the complement keeps it there, so no final mask.
     a.alu_imm(AluOp::Xor, 4, 0xFFFF);
-    a.alu_imm(AluOp::And, 4, 0xFFFF);
     a.mov_reg(5, 4);
     a.alu_imm(AluOp::Rsh, 5, 8);
     a.store(MemSize::B, R_DATA, 24, 5);

@@ -59,7 +59,11 @@ pub fn build_graph(store: &ObjectStore, caps: &Capabilities) -> Value {
             json!({ "ifindex": iface.index.as_u32(), "pipeline": nodes }),
         );
     }
-    json!({ "interfaces": Value::Object(interfaces) })
+    // The optimizer flag is part of the desired state: the same
+    // configuration deployed naive vs shrunk is a different artifact,
+    // so flipping `net.linuxfp.opt` must read as a graph change (and
+    // trigger a redeploy) like any other sysctl.
+    json!({ "interfaces": Value::Object(interfaces), "opt": store.opt })
 }
 
 /// Derives the FPM pipeline for one interface, honoring capabilities:

@@ -100,6 +100,11 @@ pub struct ObjectStore {
     pub ip_forward: bool,
     /// Whether `bridge-nf-call-iptables` is enabled.
     pub bridge_nf: bool,
+    /// Whether the synthesis-time bytecode optimizer is enabled
+    /// (`net.linuxfp.opt`). Part of the snapshot so flipping the sysctl
+    /// changes the graph and triggers a redeploy in whichever form the
+    /// operator asked for.
+    pub opt: bool,
     /// Netfilter summary.
     pub netfilter: NetfilterObject,
     /// Accelerable ipvs services.
@@ -145,6 +150,7 @@ impl ObjectStore {
             routes: kernel.dump_routes(),
             ip_forward: kernel.ip_forward_enabled(),
             bridge_nf: kernel.bridge_nf_enabled(),
+            opt: kernel.opt_enabled(),
             netfilter: NetfilterObject {
                 forward_rules: forward.len(),
                 uses_ipset: forward.iter().any(|r| r.set_match.is_some()),

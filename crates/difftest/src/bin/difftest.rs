@@ -1,9 +1,10 @@
 //! Differential-fuzzing CLI.
 //!
 //! ```text
-//! difftest run --seeds N [--start S] [--corpus DIR] [--shards N] [--jit 0|1]
+//! difftest run --seeds N [--start S] [--corpus DIR] [--shards N] [--jit 0|1] [--opt 0|1]
 //!                                                     sweep N seeded scenarios
-//! difftest replay [--shards N] [--jit 0|1] FILE...    replay stored fixtures
+//! difftest replay [--shards N] [--jit 0|1] [--opt 0|1] FILE...
+//!                                                     replay stored fixtures
 //! ```
 //!
 //! `--shards N` sets `net.linuxfp.rss_shards` on both kernels: the
@@ -12,6 +13,11 @@
 //! `--jit 0` clears `net.linuxfp.jit` on both kernels, forcing every
 //! eBPF program onto the reference interpreter instead of its compiled
 //! form — the interpreter-parity lane. Default is `--jit 1` (compiled,
+//! matching the kernel default).
+//!
+//! `--opt 0` clears `net.linuxfp.opt` before the controller's first
+//! deploy, loading every fast path in naive synthesized form — the
+//! optimizer-equivalence lane. Default is `--opt 1` (optimized,
 //! matching the kernel default).
 //!
 //! Exit status is non-zero on any divergence. `run` shrinks each failure
@@ -26,9 +32,9 @@ fn main() -> ExitCode {
         Some("replay") => cmd_replay(&args[1..]),
         _ => {
             eprintln!(
-                "usage: difftest run --seeds N [--start S] [--corpus DIR] [--shards N] [--jit 0|1]"
+                "usage: difftest run --seeds N [--start S] [--corpus DIR] [--shards N] [--jit 0|1] [--opt 0|1]"
             );
-            eprintln!("       difftest replay [--shards N] [--jit 0|1] FILE...");
+            eprintln!("       difftest replay [--shards N] [--jit 0|1] [--opt 0|1] FILE...");
             ExitCode::from(2)
         }
     }
@@ -44,15 +50,18 @@ fn parse_str<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.get(pos + 1).map(String::as_str)
 }
 
-/// The `--shards N --jit 0|1` mode suffix for log lines; empty at the
-/// defaults.
-fn mode_suffix(shards: u32, jit: bool) -> String {
+/// The `--shards N --jit 0|1 --opt 0|1` mode suffix for log lines;
+/// empty at the defaults.
+fn mode_suffix(shards: u32, jit: bool, opt: bool) -> String {
     let mut parts = Vec::new();
     if shards > 1 {
         parts.push(format!("rss_shards={shards}"));
     }
     if !jit {
         parts.push("jit=off".to_string());
+    }
+    if !opt {
+        parts.push("opt=off".to_string());
     }
     if parts.is_empty() {
         String::new()
@@ -67,12 +76,13 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let corpus = parse_str(args, "--corpus");
     let shards = parse_u64(args, "--shards").unwrap_or(1) as u32;
     let jit = parse_u64(args, "--jit").unwrap_or(1) != 0;
+    let opt = parse_u64(args, "--opt").unwrap_or(1) != 0;
 
     let mut packets = 0usize;
     let mut failures = 0u32;
     for seed in start..start + seeds {
         let scenario = linuxfp_difftest::generate(seed);
-        let outcome = linuxfp_difftest::run_with_options(&scenario, shards, jit);
+        let outcome = linuxfp_difftest::run_with_options(&scenario, shards, jit, opt);
         packets += outcome.packets;
         if let Some(div) = &outcome.divergence {
             failures += 1;
@@ -80,7 +90,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 "difftest: seed {seed} DIVERGED at op {} [{}]{}",
                 div.op,
                 div.kind,
-                mode_suffix(shards, jit)
+                mode_suffix(shards, jit, opt)
             );
             eprintln!("  {}", div.detail);
             let minimal = linuxfp_difftest::shrink(&scenario);
@@ -118,7 +128,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     }
     println!(
         "difftest: {seeds} seeds, {packets} packets, zero divergence{}",
-        mode_suffix(shards, jit)
+        mode_suffix(shards, jit, opt)
     );
     ExitCode::SUCCESS
 }
@@ -126,6 +136,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
 fn cmd_replay(args: &[String]) -> ExitCode {
     let shards = parse_u64(args, "--shards").unwrap_or(1) as u32;
     let jit = parse_u64(args, "--jit").unwrap_or(1) != 0;
+    let opt = parse_u64(args, "--opt").unwrap_or(1) != 0;
     let mut skip_next = false;
     let files: Vec<&String> = args
         .iter()
@@ -134,7 +145,7 @@ fn cmd_replay(args: &[String]) -> ExitCode {
                 skip_next = false;
                 return false;
             }
-            if *a == "--shards" || *a == "--jit" {
+            if *a == "--shards" || *a == "--jit" || *a == "--opt" {
                 skip_next = true;
                 return false;
             }
@@ -163,7 +174,7 @@ fn cmd_replay(args: &[String]) -> ExitCode {
                 continue;
             }
         };
-        let outcome = linuxfp_difftest::run_with_options(&scenario, shards, jit);
+        let outcome = linuxfp_difftest::run_with_options(&scenario, shards, jit, opt);
         match &outcome.divergence {
             Some(div) => {
                 failures += 1;
@@ -176,7 +187,7 @@ fn cmd_replay(args: &[String]) -> ExitCode {
                 "difftest: {file} ({}) transparent, {} packets{}",
                 scenario.name,
                 outcome.packets,
-                mode_suffix(shards, jit)
+                mode_suffix(shards, jit, opt)
             ),
         }
     }

@@ -425,7 +425,7 @@ pub fn run(ds: &DiffScenario) -> RunOutcome {
 /// hash reads only L3/L4 fields, so the two kernels' differing MACs
 /// cannot steer a flow to different shards.
 pub fn run_with_shards(ds: &DiffScenario, shards: u32) -> RunOutcome {
-    run_with_options(ds, shards, true)
+    run_with_options(ds, shards, true, true)
 }
 
 /// Like [`run_with_shards`] but also selecting the eBPF execution
@@ -436,7 +436,14 @@ pub fn run_with_shards(ds: &DiffScenario, shards: u32) -> RunOutcome {
 /// lane closes the loop end-to-end — every fixture and seed must
 /// produce byte-identical outputs and a balanced conservation ledger in
 /// both modes.
-pub fn run_with_options(ds: &DiffScenario, shards: u32, jit: bool) -> RunOutcome {
+///
+/// `opt = false` clears `net.linuxfp.opt` *before* the controller's
+/// first deploy, so every fast path loads in its naive synthesized
+/// form. The optimizer is equivalence-checked per program
+/// (`crates/ebpf/tests/opt_parity.rs`); this lane proves the whole
+/// scenario — traffic, state churn, redeploys — behaves byte-identically
+/// with and without synthesis-time optimization.
+pub fn run_with_options(ds: &DiffScenario, shards: u32, jit: bool, opt: bool) -> RunOutcome {
     let registry = Registry::new();
     let mut linux = LinuxPlatform::new(ds.base);
     let mut lfp = LinuxFpPlatform::with_telemetry(ds.base, ds.hook, registry.clone());
@@ -449,6 +456,18 @@ pub fn run_with_options(ds: &DiffScenario, shards: u32, jit: bool) -> RunOutcome
 
     configure_extras(linux.kernel_mut(), ds, up_l, down_l);
     configure_extras(lfp.kernel_mut(), ds, up_f, down_f);
+    // The optimizer runs at deploy time, so its sysctl must be in
+    // place before the controller's first poll (the engine sysctls
+    // below are consulted per packet and may follow the deploy).
+    if !opt {
+        linux
+            .kernel_mut()
+            .sysctl_set("net.linuxfp.opt", 0)
+            .expect("opt sysctl exists");
+        lfp.kernel_mut()
+            .sysctl_set("net.linuxfp.opt", 0)
+            .expect("opt sysctl exists");
+    }
     lfp.poll_controller();
     if shards > 1 {
         linux

@@ -10,6 +10,10 @@
 //! - [`verifier`]: static safety verification (termination, register
 //!   initialization, pointer typing, packet/stack bounds, helper
 //!   contracts). Programs only become loadable by passing it.
+//! - [`opt`]: the synthesis-time optimizer — shrinks synthesized
+//!   programs (constant folding, load CSE, dead-store elimination,
+//!   jump threading, idiom rewrites) before verification, behind a
+//!   re-verify gate.
 //! - [`program`]: [`program::LoadedProgram`], the verified artifact —
 //!   compiled to direct-threaded form at load time.
 //! - [`vm`]: the reference interpreter, with per-instruction and
@@ -47,6 +51,7 @@ pub mod helpers;
 pub mod hook;
 pub mod insn;
 pub mod maps;
+pub mod opt;
 pub mod program;
 pub mod verifier;
 pub mod vm;
@@ -57,6 +62,7 @@ pub use flowcache::{FlowCache, FlowKey};
 pub use hook::{Dispatcher, HookPoint};
 pub use insn::{Action, HelperId};
 pub use maps::{MapId, MapStore};
+pub use opt::{optimize, OptStats};
 pub use program::{LoadedProgram, Program};
 pub use verifier::VerifyError;
 pub use vm::{VmCtx, VmOutcome};

@@ -342,7 +342,7 @@ fn check_stack_access(pc: usize, off: i64, size: i64) -> Result<(), VerifyError>
 /// must be proven in bounds (`offset <= verified window`) — the helper
 /// clamps its reads to `data_end`, but it must never receive a pointer
 /// that could sit past the packet.
-fn helper_contract(helper: HelperId) -> (u8, &'static [(u8, i64)], &'static [u8]) {
+pub(crate) fn helper_contract(helper: HelperId) -> (u8, &'static [(u8, i64)], &'static [u8]) {
     match helper {
         HelperId::FibLookup => (3, &[(2, 24)], &[]),
         HelperId::FdbLookup => (3, &[(2, 20)], &[]),

@@ -1,0 +1,922 @@
+//! Seeded pre/post-optimization equivalence fuzz: random verifiable
+//! packet programs — ALU soup, packet and stack traffic, forward
+//! branches, helper calls, plus the checksum-verify and TTL-update
+//! idioms the optimizer rewrites wholesale — are run through the
+//! interpreter before and after `opt::optimize`, and must agree on the
+//! observational contract:
+//!
+//! - verdict (`r0` / action), redirect target and AF_XDP consumption,
+//! - every mutated frame byte,
+//! - the helper-call sequence with arguments and results,
+//! - the L7 punt flags and the div/mod-by-zero census.
+//!
+//! Scratch registers `r1`–`r9` are *not* part of the contract — their
+//! final values are program-private and dead-store elimination is
+//! allowed to change them.
+//!
+//! Any divergence is shrunk greedily (drop one instruction at a time
+//! while the divergence persists) and written to `tests/opt_parity_corpus/`
+//! as a JSON fixture before the test fails. Checked-in fixtures are
+//! replayed on every run as a regression corpus; the corpus seeds
+//! itself with a canonical router-shaped program when empty.
+
+use std::cell::RefCell;
+use std::fs;
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+
+use linuxfp_ebpf::helpers::{HelperEnv, NullEnv};
+use linuxfp_ebpf::insn::{Action, AluOp, HelperId, Insn, JmpCond, MemSize};
+use linuxfp_ebpf::maps::MapStore;
+use linuxfp_ebpf::opt;
+use linuxfp_ebpf::program::{LoadedProgram, Program};
+use linuxfp_ebpf::verifier::verify;
+use linuxfp_json::{json, Value};
+use linuxfp_netstack::device::IfIndex;
+use linuxfp_netstack::l7::L7LookupOutcome;
+use linuxfp_netstack::nat::NatLookupOutcome;
+use linuxfp_netstack::netfilter::{NfVerdict, PacketMeta};
+use linuxfp_netstack::stack::{FdbLookupOutcome, FibFastResult};
+use linuxfp_packet::MacAddr;
+use linuxfp_sim::{CostModel, CostTracker, Nanos, SimRng};
+
+/// Bytes the generated prologue proves in bounds.
+const GUARD: i16 = 34;
+
+// ---------------------------------------------------------------------------
+// Recording helper environment.
+// ---------------------------------------------------------------------------
+
+/// Wraps [`NullEnv`] and records every helper invocation — name,
+/// arguments and result — so the fuzz can compare the full helper-call
+/// sequence across the optimization boundary.
+#[derive(Default)]
+struct RecordingEnv {
+    inner: NullEnv,
+    log: RefCell<Vec<String>>,
+}
+
+impl HelperEnv for RecordingEnv {
+    fn env_now(&self) -> Nanos {
+        let t = self.inner.env_now();
+        self.log.borrow_mut().push(format!("now -> {t:?}"));
+        t
+    }
+
+    fn env_fib_lookup(&mut self, dst: Ipv4Addr) -> Option<FibFastResult> {
+        let r = self.inner.env_fib_lookup(dst);
+        self.log.borrow_mut().push(format!("fib({dst}) -> {r:?}"));
+        r
+    }
+
+    fn env_fdb_lookup(
+        &mut self,
+        ingress: IfIndex,
+        src: MacAddr,
+        dst: MacAddr,
+        vlan: u16,
+    ) -> FdbLookupOutcome {
+        let r = self.inner.env_fdb_lookup(ingress, src, dst, vlan);
+        self.log
+            .borrow_mut()
+            .push(format!("fdb({ingress:?}, {src}, {dst}, {vlan}) -> {r:?}"));
+        r
+    }
+
+    fn env_ipt_lookup(&mut self, meta: &PacketMeta, tracker: &mut CostTracker) -> NfVerdict {
+        let r = self.inner.env_ipt_lookup(meta, tracker);
+        self.log
+            .borrow_mut()
+            .push(format!("ipt({}, {}) -> {r:?}", meta.src, meta.dst));
+        r
+    }
+
+    fn env_ct_lookup(
+        &mut self,
+        src: Ipv4Addr,
+        sport: u16,
+        dst: Ipv4Addr,
+        dport: u16,
+        proto: u8,
+    ) -> Option<(Ipv4Addr, u16)> {
+        let r = self.inner.env_ct_lookup(src, sport, dst, dport, proto);
+        self.log.borrow_mut().push(format!(
+            "ct({src}:{sport} -> {dst}:{dport}/{proto}) -> {r:?}"
+        ));
+        r
+    }
+
+    fn env_nat_lookup(
+        &mut self,
+        src: Ipv4Addr,
+        sport: u16,
+        dst: Ipv4Addr,
+        dport: u16,
+        proto: u8,
+    ) -> NatLookupOutcome {
+        let r = self.inner.env_nat_lookup(src, sport, dst, dport, proto);
+        self.log.borrow_mut().push(format!(
+            "nat({src}:{sport} -> {dst}:{dport}/{proto}) -> {r:?}"
+        ));
+        r
+    }
+
+    fn env_l7_lookup(
+        &mut self,
+        src: Ipv4Addr,
+        sport: u16,
+        dst: Ipv4Addr,
+        dport: u16,
+        payload: &[u8],
+        first: Option<u8>,
+    ) -> L7LookupOutcome {
+        let r = self
+            .inner
+            .env_l7_lookup(src, sport, dst, dport, payload, first);
+        self.log.borrow_mut().push(format!(
+            "l7({src}:{sport} -> {dst}:{dport}, {} bytes, {first:?}) -> {r:?}",
+            payload.len()
+        ));
+        r
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The observational contract.
+// ---------------------------------------------------------------------------
+
+/// Everything a packet (or the kernel) can observe from one program
+/// execution. `r1`–`r9` are deliberately absent.
+#[derive(Debug, PartialEq)]
+struct Contract {
+    action: Action,
+    r0: u64,
+    redirect: Option<IfIndex>,
+    to_user: bool,
+    l7_punt: bool,
+    l7_uncacheable: bool,
+    error: Option<String>,
+    helper_calls: u64,
+    tail_calls: u64,
+    div_zeros: u64,
+    frame: Vec<u8>,
+    helper_log: Vec<String>,
+}
+
+fn run_contract(prog: &LoadedProgram, frame: &[u8]) -> Contract {
+    let maps = MapStore::new();
+    let cost = CostModel::calibrated();
+    let mut tracker = CostTracker::new();
+    let mut env = RecordingEnv::default();
+    let mut pkt = frame.to_vec();
+    let ctx = linuxfp_ebpf::vm::VmCtx::xdp(&mut pkt, 1, 0);
+    let out = linuxfp_ebpf::vm::run(prog, ctx, &mut env, &maps, &cost, &mut tracker);
+    Contract {
+        action: out.action,
+        r0: out.regs[0],
+        redirect: out.redirect,
+        to_user: out.to_user,
+        l7_punt: out.l7_punt,
+        l7_uncacheable: out.l7_uncacheable,
+        error: out.error.map(|e| format!("{e:?}")),
+        helper_calls: out.helper_calls,
+        tail_calls: out.tail_calls,
+        div_zeros: out.div_zeros,
+        frame: pkt,
+        helper_log: env.log.into_inner(),
+    }
+}
+
+/// The frame set every program is exercised on: patterned, all-zero
+/// (checksum-correct header sums), rng-filled, and one too short for
+/// the guard.
+fn frames(rng: &mut SimRng) -> Vec<Vec<u8>> {
+    let patterned: Vec<u8> = (0..64u32).map(|i| (i * 7 + 13) as u8).collect();
+    let random: Vec<u8> = (0..64).map(|_| rng.uniform_u64(256) as u8).collect();
+    vec![patterned, vec![0u8; 64], random, vec![0xEE; 20]]
+}
+
+/// `Some(description)` when the optimized program's contract differs
+/// from the original's on any frame. `None` when the input does not
+/// verify (shrink candidates must stay verifiable).
+fn divergence(insns: &[Insn], frames: &[Vec<u8>]) -> Option<String> {
+    let orig = LoadedProgram::load(Program::new("opt-fuzz", insns.to_vec())).ok()?;
+    let (optimized, _) = opt::optimize(insns);
+    let opt_prog = match LoadedProgram::load(Program::new("opt-fuzz-opt", optimized)) {
+        Ok(p) => p,
+        Err(e) => return Some(format!("optimized program no longer loads: {e:?}")),
+    };
+    for (i, frame) in frames.iter().enumerate() {
+        let before = run_contract(&orig, frame);
+        let after = run_contract(&opt_prog, frame);
+        if before != after {
+            return Some(format!(
+                "frame {i}:\n  original:  {before:?}\n  optimized: {after:?}"
+            ));
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Program generator.
+// ---------------------------------------------------------------------------
+
+const ALU_OPS: [AluOp; 12] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Div,
+    AluOp::Or,
+    AluOp::And,
+    AluOp::Lsh,
+    AluOp::Rsh,
+    AluOp::Mod,
+    AluOp::Xor,
+    AluOp::Mov,
+    AluOp::Arsh,
+];
+
+const CONDS: [JmpCond; 9] = [
+    JmpCond::Eq,
+    JmpCond::Ne,
+    JmpCond::Gt,
+    JmpCond::Ge,
+    JmpCond::Lt,
+    JmpCond::Le,
+    JmpCond::Sgt,
+    JmpCond::Slt,
+    JmpCond::Set,
+];
+
+const EDGE_IMMS: [i64; 10] = [
+    0,
+    1,
+    -1,
+    2,
+    0xff,
+    0xffff,
+    i32::MAX as i64,
+    i32::MIN as i64,
+    0x5555_5555,
+    0x00FF_FF00,
+];
+
+fn edge_imm(rng: &mut SimRng) -> i64 {
+    *rng.choose(&EDGE_IMMS)
+}
+
+/// A scratch register (`r0`–`r5`; `r6`/`r7` hold the packet pointers).
+fn scratch(rng: &mut SimRng) -> u8 {
+    rng.uniform_u64(6) as u8
+}
+
+/// `n` pairwise-distinct scratch registers.
+fn distinct_scratch(rng: &mut SimRng, n: usize) -> Vec<u8> {
+    let mut regs: Vec<u8> = Vec::new();
+    while regs.len() < n {
+        let r = scratch(rng);
+        if !regs.contains(&r) {
+            regs.push(r);
+        }
+    }
+    regs
+}
+
+/// A verifier-legal immediate for `op`.
+fn imm_for(op: AluOp, rng: &mut SimRng) -> i64 {
+    match op {
+        AluOp::Lsh | AluOp::Rsh | AluOp::Arsh => rng.uniform_u64(64) as i64,
+        AluOp::Div | AluOp::Mod => 1 + rng.uniform_u64(1 << 16) as i64,
+        _ => edge_imm(rng),
+    }
+}
+
+fn mem_size(rng: &mut SimRng) -> MemSize {
+    *rng.choose(&[MemSize::B, MemSize::H, MemSize::W])
+}
+
+/// Builds one random program: the standard bounds-check prologue, a
+/// random sequence of blocks, and a two-armed epilogue. Branches out of
+/// blocks land on the drop tail, recorded in `patches` until the tail's
+/// pc is known.
+fn rand_program(rng: &mut SimRng) -> Vec<Insn> {
+    let mut v: Vec<Insn> = Vec::new();
+    let mut patches: Vec<usize> = Vec::new();
+
+    // Prologue: r6 = data, r7 = data_end, prove GUARD bytes, seed the
+    // scratch registers.
+    v.push(Insn::Load {
+        size: MemSize::DW,
+        dst: 6,
+        src: 1,
+        off: 0,
+    });
+    v.push(Insn::Load {
+        size: MemSize::DW,
+        dst: 7,
+        src: 1,
+        off: 8,
+    });
+    v.push(Insn::AluReg {
+        op: AluOp::Mov,
+        dst: 2,
+        src: 6,
+    });
+    v.push(Insn::AluImm {
+        op: AluOp::Add,
+        dst: 2,
+        imm: GUARD as i64,
+    });
+    patches.push(v.len());
+    v.push(Insn::JmpReg {
+        cond: JmpCond::Gt,
+        dst: 2,
+        src: 7,
+        off: 0, // patched to the drop tail
+    });
+    for r in 0..6u8 {
+        v.push(Insn::AluImm {
+            op: AluOp::Mov,
+            dst: r,
+            imm: edge_imm(rng),
+        });
+    }
+
+    let blocks = 2 + rng.uniform_u64(5);
+    for _ in 0..blocks {
+        match rng.uniform_u64(8) {
+            // ALU soup.
+            0 | 1 => {
+                for _ in 0..1 + rng.uniform_u64(4) {
+                    let op = *rng.choose(&ALU_OPS);
+                    if rng.uniform_u64(2) == 0 {
+                        v.push(Insn::AluImm {
+                            op,
+                            dst: scratch(rng),
+                            imm: imm_for(op, rng),
+                        });
+                    } else {
+                        v.push(Insn::AluReg {
+                            op,
+                            dst: scratch(rng),
+                            src: scratch(rng),
+                        });
+                    }
+                }
+            }
+            // Packet loads.
+            2 => {
+                let size = mem_size(rng);
+                let off = rng.uniform_u64((GUARD as u64) - size.bytes() as u64) as i16;
+                v.push(Insn::Load {
+                    size,
+                    dst: scratch(rng),
+                    src: 6,
+                    off,
+                });
+            }
+            // Packet stores: observable frame mutations.
+            3 => {
+                let size = mem_size(rng);
+                let off = rng.uniform_u64((GUARD as u64) - size.bytes() as u64) as i16;
+                v.push(Insn::Store {
+                    size,
+                    dst: 6,
+                    off,
+                    src: scratch(rng),
+                });
+            }
+            // Stack round-trip.
+            4 => {
+                let slot = -8 * (1 + rng.uniform_u64(4) as i16);
+                v.push(Insn::StoreImm {
+                    size: MemSize::DW,
+                    dst: 10,
+                    off: slot,
+                    imm: edge_imm(rng),
+                });
+                v.push(Insn::Load {
+                    size: MemSize::DW,
+                    dst: scratch(rng),
+                    src: 10,
+                    off: slot,
+                });
+            }
+            // A forward branch over filler.
+            5 => {
+                let k = 1 + rng.uniform_u64(3) as i32;
+                v.push(Insn::JmpImm {
+                    cond: *rng.choose(&CONDS),
+                    dst: scratch(rng),
+                    imm: edge_imm(rng),
+                    off: k,
+                });
+                for _ in 0..k {
+                    v.push(Insn::AluImm {
+                        op: AluOp::Add,
+                        dst: scratch(rng),
+                        imm: 1,
+                    });
+                }
+            }
+            // A helper call; r1–r5 are uninitialized afterwards, so
+            // re-seed them.
+            6 => {
+                if rng.uniform_u64(2) == 0 {
+                    v.push(Insn::Call {
+                        helper: HelperId::KtimeGetNs,
+                    });
+                } else {
+                    v.push(Insn::AluImm {
+                        op: AluOp::Mov,
+                        dst: 1,
+                        imm: edge_imm(rng),
+                    });
+                    v.push(Insn::Call {
+                        helper: HelperId::TrivialNf,
+                    });
+                }
+                for r in 1..6u8 {
+                    v.push(Insn::AluImm {
+                        op: AluOp::Mov,
+                        dst: r,
+                        imm: edge_imm(rng),
+                    });
+                }
+            }
+            // The checksum-verify idiom the optimizer widens.
+            _ => {
+                let regs = distinct_scratch(rng, 2);
+                let (acc, t) = (regs[0], regs[1]);
+                let pairs = 2 * (1 + rng.uniform_u64(3)) as usize;
+                let off0 = rng.uniform_u64((GUARD as u64) - 2 * pairs as u64) as i16;
+                v.push(Insn::AluImm {
+                    op: AluOp::Mov,
+                    dst: acc,
+                    imm: 0,
+                });
+                for k in 0..pairs {
+                    v.push(Insn::Load {
+                        size: MemSize::H,
+                        dst: t,
+                        src: 6,
+                        off: off0 + 2 * k as i16,
+                    });
+                    v.push(Insn::AluReg {
+                        op: AluOp::Add,
+                        dst: acc,
+                        src: t,
+                    });
+                }
+                for _ in 0..2 {
+                    v.push(Insn::AluReg {
+                        op: AluOp::Mov,
+                        dst: t,
+                        src: acc,
+                    });
+                    v.push(Insn::AluImm {
+                        op: AluOp::Rsh,
+                        dst: t,
+                        imm: 16,
+                    });
+                    v.push(Insn::AluImm {
+                        op: AluOp::And,
+                        dst: acc,
+                        imm: 0xffff,
+                    });
+                    v.push(Insn::AluReg {
+                        op: AluOp::Add,
+                        dst: acc,
+                        src: t,
+                    });
+                }
+                patches.push(v.len());
+                v.push(Insn::JmpImm {
+                    cond: JmpCond::Ne,
+                    dst: acc,
+                    imm: 0xffff,
+                    off: 0, // patched to the drop tail
+                });
+            }
+        }
+        // Occasionally splice in the TTL-update idiom the optimizer
+        // collapses to its constant delta.
+        if rng.uniform_u64(4) == 0 {
+            emit_ttl_idiom(rng, &mut v);
+        }
+    }
+
+    // Epilogue: a verdict, then the shared drop tail every patched
+    // branch lands on.
+    v.push(Insn::AluImm {
+        op: AluOp::Mov,
+        dst: 0,
+        imm: rng.uniform_u64(3) as i64,
+    });
+    v.push(Insn::Exit);
+    let drop_pc = v.len();
+    v.push(Insn::AluImm {
+        op: AluOp::Mov,
+        dst: 0,
+        imm: Action::Drop.code() as i64,
+    });
+    v.push(Insn::Exit);
+
+    for pc in patches {
+        let off = (drop_pc - pc - 1) as i32;
+        match &mut v[pc] {
+            Insn::JmpImm { off: o, .. } | Insn::JmpReg { off: o, .. } => *o = off,
+            _ => unreachable!("patch target is a branch"),
+        }
+    }
+    v
+}
+
+/// The exact 30-instruction shape `emit_ttl_decrement` produces, with
+/// random registers and displacements.
+fn emit_ttl_idiom(rng: &mut SimRng, v: &mut Vec<Insn>) {
+    let regs = distinct_scratch(rng, 4);
+    let (rt, rp, rw, rx) = (regs[0], regs[1], regs[2], regs[3]);
+    let off_t = rng.uniform_u64(GUARD as u64 - 1) as i16;
+    let off_c = rng.uniform_u64(GUARD as u64 - 2) as i16;
+    let ldb = |dst: u8, off: i16| Insn::Load {
+        size: MemSize::B,
+        dst,
+        src: 6,
+        off,
+    };
+    let stb = |off: i16, src: u8| Insn::Store {
+        size: MemSize::B,
+        dst: 6,
+        off,
+        src,
+    };
+    let alu = |op: AluOp, dst: u8, imm: i64| Insn::AluImm { op, dst, imm };
+    let alur = |op: AluOp, dst: u8, src: u8| Insn::AluReg { op, dst, src };
+    v.extend([
+        ldb(rt, off_t),
+        ldb(rp, off_t + 1),
+        alur(AluOp::Mov, rw, rt),
+        alu(AluOp::Lsh, rw, 8),
+        alur(AluOp::Or, rw, rp),
+        alu(AluOp::Sub, rt, 1),
+        stb(off_t, rt),
+        alu(AluOp::Lsh, rt, 8),
+        alur(AluOp::Or, rt, rp),
+        ldb(rp, off_c),
+        alu(AluOp::Lsh, rp, 8),
+        ldb(rx, off_c + 1),
+        alur(AluOp::Or, rp, rx),
+        alu(AluOp::Xor, rp, 0xffff),
+        alu(AluOp::Xor, rw, 0xffff),
+        alur(AluOp::Add, rp, rw),
+        alur(AluOp::Add, rp, rt),
+    ]);
+    for _ in 0..2 {
+        v.extend([
+            alur(AluOp::Mov, rw, rp),
+            alu(AluOp::Rsh, rw, 16),
+            alu(AluOp::And, rp, 0xffff),
+            alur(AluOp::Add, rp, rw),
+        ]);
+    }
+    v.extend([
+        alu(AluOp::Xor, rp, 0xffff),
+        alur(AluOp::Mov, rw, rp),
+        alu(AluOp::Rsh, rw, 8),
+        stb(off_c, rw),
+        stb(off_c + 1, rp),
+    ]);
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking + corpus.
+// ---------------------------------------------------------------------------
+
+/// Greedy one-instruction-at-a-time shrink: keep removing instructions
+/// while the program still verifies and the divergence persists.
+fn shrink(mut insns: Vec<Insn>, frames: &[Vec<u8>]) -> Vec<Insn> {
+    loop {
+        let mut reduced = false;
+        let mut i = 0;
+        while i < insns.len() {
+            let mut candidate = insns.clone();
+            candidate.remove(i);
+            if divergence(&candidate, frames).is_some() {
+                insns = candidate;
+                reduced = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !reduced {
+            return insns;
+        }
+    }
+}
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("opt_parity_corpus")
+}
+
+fn insn_json(insn: &Insn) -> Value {
+    match *insn {
+        Insn::AluImm { op, dst, imm } => {
+            json!({"k": "alu_imm", "op": format!("{op:?}"), "dst": dst, "imm": imm})
+        }
+        Insn::AluReg { op, dst, src } => {
+            json!({"k": "alu_reg", "op": format!("{op:?}"), "dst": dst, "src": src})
+        }
+        Insn::Ja { off } => json!({"k": "ja", "off": off}),
+        Insn::JmpImm {
+            cond,
+            dst,
+            imm,
+            off,
+        } => {
+            json!({"k": "jmp_imm", "cond": format!("{cond:?}"), "dst": dst, "imm": imm, "off": off})
+        }
+        Insn::JmpReg {
+            cond,
+            dst,
+            src,
+            off,
+        } => {
+            json!({"k": "jmp_reg", "cond": format!("{cond:?}"), "dst": dst, "src": src, "off": off})
+        }
+        Insn::Load {
+            size,
+            dst,
+            src,
+            off,
+        } => {
+            json!({"k": "load", "size": format!("{size:?}"), "dst": dst, "src": src, "off": off})
+        }
+        Insn::Store {
+            size,
+            dst,
+            off,
+            src,
+        } => {
+            json!({"k": "store", "size": format!("{size:?}"), "dst": dst, "off": off, "src": src})
+        }
+        Insn::StoreImm {
+            size,
+            dst,
+            off,
+            imm,
+        } => {
+            json!({"k": "store_imm", "size": format!("{size:?}"), "dst": dst, "off": off, "imm": imm})
+        }
+        Insn::Call { helper } => json!({"k": "call", "helper": format!("{helper:?}")}),
+        Insn::TailCall { prog_array, index } => {
+            json!({"k": "tail_call", "prog_array": prog_array, "index": index})
+        }
+        Insn::Exit => json!({"k": "exit"}),
+    }
+}
+
+fn parse_alu_op(s: &str) -> AluOp {
+    match s {
+        "Add" => AluOp::Add,
+        "Sub" => AluOp::Sub,
+        "Mul" => AluOp::Mul,
+        "Div" => AluOp::Div,
+        "Or" => AluOp::Or,
+        "And" => AluOp::And,
+        "Lsh" => AluOp::Lsh,
+        "Rsh" => AluOp::Rsh,
+        "Mod" => AluOp::Mod,
+        "Xor" => AluOp::Xor,
+        "Mov" => AluOp::Mov,
+        "Arsh" => AluOp::Arsh,
+        other => panic!("unknown ALU op {other:?}"),
+    }
+}
+
+fn parse_cond(s: &str) -> JmpCond {
+    match s {
+        "Eq" => JmpCond::Eq,
+        "Ne" => JmpCond::Ne,
+        "Gt" => JmpCond::Gt,
+        "Ge" => JmpCond::Ge,
+        "Lt" => JmpCond::Lt,
+        "Le" => JmpCond::Le,
+        "Sgt" => JmpCond::Sgt,
+        "Slt" => JmpCond::Slt,
+        "Set" => JmpCond::Set,
+        other => panic!("unknown jump condition {other:?}"),
+    }
+}
+
+fn parse_size(s: &str) -> MemSize {
+    match s {
+        "B" => MemSize::B,
+        "H" => MemSize::H,
+        "W" => MemSize::W,
+        "DW" => MemSize::DW,
+        other => panic!("unknown memory size {other:?}"),
+    }
+}
+
+fn parse_helper(s: &str) -> HelperId {
+    match s {
+        "FibLookup" => HelperId::FibLookup,
+        "FdbLookup" => HelperId::FdbLookup,
+        "IptLookup" => HelperId::IptLookup,
+        "Redirect" => HelperId::Redirect,
+        "KtimeGetNs" => HelperId::KtimeGetNs,
+        "MapLookup" => HelperId::MapLookup,
+        "MapUpdate" => HelperId::MapUpdate,
+        "CtLookup" => HelperId::CtLookup,
+        "NatLookup" => HelperId::NatLookup,
+        "L7PolicyLookup" => HelperId::L7PolicyLookup,
+        "TrivialNf" => HelperId::TrivialNf,
+        "XskRedirect" => HelperId::XskRedirect,
+        other => panic!("unknown helper {other:?}"),
+    }
+}
+
+fn parse_insn(v: &Value) -> Insn {
+    let k = v.get("k").and_then(Value::as_str).expect("insn kind");
+    let reg = |key: &str| v.get(key).and_then(Value::as_u64).expect(key) as u8;
+    let imm = |key: &str| v.get(key).and_then(Value::as_i64).expect(key);
+    let s = |key: &str| v.get(key).and_then(Value::as_str).expect(key);
+    match k {
+        "alu_imm" => Insn::AluImm {
+            op: parse_alu_op(s("op")),
+            dst: reg("dst"),
+            imm: imm("imm"),
+        },
+        "alu_reg" => Insn::AluReg {
+            op: parse_alu_op(s("op")),
+            dst: reg("dst"),
+            src: reg("src"),
+        },
+        "ja" => Insn::Ja {
+            off: imm("off") as i32,
+        },
+        "jmp_imm" => Insn::JmpImm {
+            cond: parse_cond(s("cond")),
+            dst: reg("dst"),
+            imm: imm("imm"),
+            off: imm("off") as i32,
+        },
+        "jmp_reg" => Insn::JmpReg {
+            cond: parse_cond(s("cond")),
+            dst: reg("dst"),
+            src: reg("src"),
+            off: imm("off") as i32,
+        },
+        "load" => Insn::Load {
+            size: parse_size(s("size")),
+            dst: reg("dst"),
+            src: reg("src"),
+            off: imm("off") as i16,
+        },
+        "store" => Insn::Store {
+            size: parse_size(s("size")),
+            dst: reg("dst"),
+            off: imm("off") as i16,
+            src: reg("src"),
+        },
+        "store_imm" => Insn::StoreImm {
+            size: parse_size(s("size")),
+            dst: reg("dst"),
+            off: imm("off") as i16,
+            imm: imm("imm"),
+        },
+        "call" => Insn::Call {
+            helper: parse_helper(s("helper")),
+        },
+        "tail_call" => Insn::TailCall {
+            prog_array: imm("prog_array") as u32,
+            index: imm("index") as u32,
+        },
+        "exit" => Insn::Exit,
+        other => panic!("unknown insn kind {other:?}"),
+    }
+}
+
+fn write_fixture(name: &str, seed: Option<u64>, insns: &[Insn]) -> PathBuf {
+    let doc = json!({
+        "name": name,
+        "seed": seed.map_or(Value::Null, |s| json!(s)),
+        "insns": insns.iter().map(insn_json).collect::<Vec<Value>>(),
+    });
+    let dir = corpus_dir();
+    fs::create_dir_all(&dir).expect("create corpus dir");
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, linuxfp_json::to_string_pretty(&doc)).expect("write fixture");
+    path
+}
+
+/// Shrinks a diverging program, persists it, and fails the test.
+fn report_divergence(insns: Vec<Insn>, frames: &[Vec<u8>], seed: u64, case: usize) -> ! {
+    let minimal = shrink(insns, frames);
+    let detail = divergence(&minimal, frames).expect("shrunk program still diverges");
+    let path = write_fixture(&format!("shrunk-{seed:x}-{case}"), Some(seed), &minimal);
+    panic!(
+        "optimizer changed observable behavior (fixture written to {}):\n{detail}",
+        path.display()
+    );
+}
+
+/// The canonical seed fixture: a router-shaped program exercising both
+/// idiom rewrites plus the generic passes, written the first time the
+/// corpus is empty so the replay test always has material.
+fn seed_fixture() -> Vec<Insn> {
+    let mut rng = SimRng::seed(0x0917_F00D);
+    loop {
+        let insns = rand_program(&mut rng);
+        // Only a program that actually contains both a checksum branch
+        // and a TTL store is a worthy canonical fixture.
+        let has_csum = insns
+            .iter()
+            .any(|i| matches!(i, Insn::JmpImm { imm: 0xffff, .. }));
+        let has_ttl = insns.iter().any(|i| {
+            matches!(
+                i,
+                Insn::AluImm {
+                    op: AluOp::Sub,
+                    imm: 1,
+                    ..
+                }
+            )
+        });
+        if verify(&insns).is_ok() && has_csum && has_ttl {
+            return insns;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The tests.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn optimizer_preserves_the_observational_contract() {
+    let seed = 0x0917_A11E;
+    let mut rng = SimRng::seed(seed);
+    let mut accepted = 0u32;
+    for case in 0..768 {
+        let insns = rand_program(&mut rng);
+        if verify(&insns).is_err() {
+            continue;
+        }
+        accepted += 1;
+        let frames = frames(&mut rng);
+        if divergence(&insns, &frames).is_some() {
+            report_divergence(insns, &frames, seed, case);
+        }
+    }
+    assert!(
+        accepted > 500,
+        "fuzz generator acceptance collapsed: {accepted}/768"
+    );
+}
+
+/// Replays every checked-in corpus fixture (seeding the corpus first if
+/// it is empty) through the contract oracle.
+#[test]
+fn corpus_fixtures_stay_in_parity() {
+    let dir = corpus_dir();
+    let empty = !dir.exists()
+        || fs::read_dir(&dir)
+            .map(|mut d| d.next().is_none())
+            .unwrap_or(true);
+    if empty {
+        write_fixture("seed-router-shape", None, &seed_fixture());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("opt_parity_corpus dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "corpus is empty");
+    let mut rng = SimRng::seed(0x0917_C05E);
+    let frames = frames(&mut rng);
+    for path in entries {
+        let doc = linuxfp_json::from_str(&fs::read_to_string(&path).expect("read fixture"))
+            .expect("parse fixture");
+        let insns: Vec<Insn> = doc
+            .get("insns")
+            .and_then(Value::as_array)
+            .expect("insns array")
+            .iter()
+            .map(parse_insn)
+            .collect();
+        assert!(
+            verify(&insns).is_ok(),
+            "fixture {} no longer verifies",
+            path.display()
+        );
+        if let Some(detail) = divergence(&insns, &frames) {
+            panic!("fixture {} diverged:\n{detail}", path.display());
+        }
+    }
+}

@@ -566,6 +566,7 @@ impl Kernel {
         sysctls.insert("net.bridge.bridge-nf-call-iptables".to_string(), 0);
         sysctls.insert("net.linuxfp.flow_cache".to_string(), 1);
         sysctls.insert("net.linuxfp.jit".to_string(), 1);
+        sysctls.insert("net.linuxfp.opt".to_string(), 1);
         sysctls.insert("net.linuxfp.trace_sample".to_string(), 0);
         sysctls.insert("net.linuxfp.rss_shards".to_string(), 1);
         Kernel {
@@ -1172,6 +1173,16 @@ impl Kernel {
     /// observationally identical and only slower.
     pub fn jit_enabled(&self) -> bool {
         self.sysctl_get("net.linuxfp.jit") == Some(1)
+    }
+
+    /// Whether synthesized programs are run through the bytecode
+    /// optimizer before verification and load (`net.linuxfp.opt`,
+    /// default on). Turning it off deploys the emitters' naive output
+    /// unchanged — observationally identical, just more instructions
+    /// per cache-miss packet; the `--opt 0` difftest lane and the
+    /// opt-parity fuzz hold the two forms to the same behavior.
+    pub fn opt_enabled(&self) -> bool {
+        self.sysctl_get("net.linuxfp.opt") == Some(1)
     }
 
     /// The active RSS shard count (`net.linuxfp.rss_shards`, default 1,

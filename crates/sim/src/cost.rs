@@ -271,6 +271,10 @@ pub struct CostModel {
     pub ctrl_graph_build_ns: f64,
     /// Rendering the template for one FPM.
     pub ctrl_synth_per_fpm_ns: f64,
+    /// Running the synthesis-time bytecode optimizer over one FPM's
+    /// program (a few passes over a ~100-instruction buffer; cheap next
+    /// to the toolchain invocation it precedes).
+    pub ctrl_opt_per_fpm_ns: f64,
     /// Invoking the compiler toolchain (clang in the paper) — fixed cost.
     pub ctrl_compile_base_ns: f64,
     /// Additional compile cost per FPM in the data path.
@@ -361,6 +365,7 @@ impl CostModel {
             ctrl_requery_ipt_ns: 420e6,
             ctrl_graph_build_ns: 15e6,
             ctrl_synth_per_fpm_ns: 20e6,
+            ctrl_opt_per_fpm_ns: 0.3e6,
             ctrl_compile_base_ns: 270e6,
             ctrl_compile_per_fpm_ns: 30e6,
             ctrl_verify_load_ns: 50e6,

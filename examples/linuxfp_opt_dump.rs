@@ -1,0 +1,119 @@
+//! `linuxfp_opt_dump` — show what the synthesis-time bytecode optimizer
+//! does to every synthesized fast path.
+//!
+//! Synthesizes the standard FPM pipelines, runs each program through
+//! [`linuxfp_ebpf::opt::optimize`], and prints one summary line per
+//! pipeline (before/after instruction counts and the shrink percentage).
+//! With `--disasm`, the naive and optimized disassemblies are printed
+//! side by side for the selected pipelines, so a reviewer can see each
+//! rewrite — constant folding, redundant-load elimination, the widened
+//! checksum loop, the collapsed TTL update — in the actual emitted code.
+//!
+//! ```text
+//! linuxfp_opt_dump [--disasm] [PIPELINE...]
+//!   --disasm    also print before/after disassembly per pipeline
+//!   PIPELINE    subset to dump (default: all); one of
+//!               router bridge filter_router ipvs_router nat_router
+//!               l7_router full_forward
+//! ```
+//!
+//! The summary lines are stable and machine-parsable (CI gates on the
+//! router shrink):
+//!
+//! ```text
+//! opt_dump: router 104 -> 72 insns (-32, 30.8%)
+//! ```
+
+use linuxfp_core::fpm::{BridgeConf, FilterConf, FpmInstance, IpvsConf, L7Conf, NatConf};
+use linuxfp_core::synth::synthesize_pipeline;
+use linuxfp_ebpf::opt;
+use linuxfp_netstack::device::IfIndex;
+use std::process::ExitCode;
+
+/// The standard pipeline shapes, mirroring the optimizer's size
+/// regression gates (`crates/core/tests/opt_shrink.rs`).
+fn pipelines() -> Vec<(&'static str, Vec<FpmInstance>)> {
+    let bridge = FpmInstance::Bridge(BridgeConf {
+        stp_enabled: false,
+        vlan_enabled: false,
+        pvid: 1,
+        bridge_mac: [2, 0, 0, 0, 0, 1],
+        has_l3: false,
+        br_nf: false,
+    });
+    let filter = FpmInstance::Filter(FilterConf {
+        rules: 4,
+        ipset: false,
+        match_ports: true,
+    });
+    let ipvs = FpmInstance::Ipvs(IpvsConf {
+        vip: [10, 0, 0, 1],
+        port: 80,
+    });
+    let nat = FpmInstance::Nat(NatConf {
+        dnat_rules: 1,
+        snat_rules: 1,
+    });
+    let l7 = FpmInstance::L7(L7Conf { rules: 2 });
+    vec![
+        ("router", vec![FpmInstance::Router]),
+        ("bridge", vec![bridge]),
+        ("filter_router", vec![filter.clone(), FpmInstance::Router]),
+        ("ipvs_router", vec![ipvs, FpmInstance::Router]),
+        ("nat_router", vec![nat.clone(), FpmInstance::Router]),
+        ("l7_router", vec![l7, FpmInstance::Router]),
+        ("full_forward", vec![filter, nat, FpmInstance::Router]),
+    ]
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let disasm = args.iter().any(|a| a == "--disasm");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    let all = pipelines();
+    let known: Vec<&str> = all.iter().map(|(n, _)| *n).collect();
+    for name in &selected {
+        if !known.contains(name) {
+            eprintln!("linuxfp_opt_dump: unknown pipeline {name} (known: {known:?})");
+            return ExitCode::from(2);
+        }
+    }
+
+    for (name, fpms) in &all {
+        if !selected.is_empty() && !selected.contains(name) {
+            continue;
+        }
+        let fp = match synthesize_pipeline(IfIndex(1), "eth0", fpms) {
+            Ok(fp) => fp,
+            Err(e) => {
+                eprintln!("linuxfp_opt_dump: {name}: synthesis failed: {e:?}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let naive = fp.program.insns;
+        let (optimized, stats) = opt::optimize(&naive);
+        let pct = if stats.before > 0 {
+            100.0 * stats.removed() as f64 / stats.before as f64
+        } else {
+            0.0
+        };
+        println!(
+            "opt_dump: {name} {} -> {} insns (-{}, {pct:.1}%)",
+            stats.before,
+            stats.after,
+            stats.removed()
+        );
+        if disasm {
+            println!("--- {name}: naive ({} insns)", naive.len());
+            println!("{}", opt::disasm_program(&naive));
+            println!("--- {name}: optimized ({} insns)", optimized.len());
+            println!("{}", opt::disasm_program(&optimized));
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -23,8 +23,8 @@ fn draw(round: usize, reg: &Registry, ring: &TraceRing) {
         println!("(no fast-path telemetry yet — dispatcher not installed)");
     } else {
         println!(
-            "{:<16} {:>8} {:>10} {:>9}",
-            "FPM", "hits", "fallbacks", "hit%"
+            "{:<16} {:>8} {:>10} {:>9} {:>7} {:>6}",
+            "FPM", "hits", "fallbacks", "hit%", "insns", "-opt"
         );
         let fallbacks = reg.counter_series("linuxfp_slowpath_fallbacks_total");
         for (labels, hits) in hits_series {
@@ -44,7 +44,24 @@ fn draw(round: usize, reg: &Registry, ring: &TraceRing) {
             } else {
                 100.0 * hits as f64 / total as f64
             };
-            println!("{fpm:<16} {hits:>8} {fb:>10} {ratio:>8.1}%");
+            // The deployed program's size and what the bytecode
+            // optimizer shaved off it, from the per-FPM deploy gauges.
+            let l = [("fpm", fpm)];
+            let size = reg
+                .gauge_value("linuxfp_fp_program_insns", &l)
+                .map_or("-".to_string(), |v| v.to_string());
+            let shaved = reg
+                .gauge_value("linuxfp_opt_insns_removed", &l)
+                .map_or("-".to_string(), |v| format!("-{v}"));
+            println!("{fpm:<16} {hits:>8} {fb:>10} {ratio:>8.1}% {size:>7} {shaved:>6}");
+        }
+        let before = reg.counter_total("linuxfp_opt_insns_before_total");
+        let after = reg.counter_total("linuxfp_opt_insns_after_total");
+        if before > 0 {
+            println!(
+                "optimizer: {before} insns in -> {after} out across deploys ({:.1}% removed)",
+                100.0 * (before - after) as f64 / before as f64
+            );
         }
     }
     let slow: Vec<String> = reg

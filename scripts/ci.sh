@@ -136,9 +136,40 @@ cargo run -q -p linuxfp-difftest --bin difftest --release -- \
 cargo run -q -p linuxfp-difftest --bin difftest --release -- \
   run --seeds 200 --jit 0
 
+echo "==> difftest: optimizer lane (opt=0) — corpus replay + 200-seed sweep"
+cargo run -q -p linuxfp-difftest --bin difftest --release -- \
+  replay --opt 0 tests/difftest_corpus/*.json
+cargo run -q -p linuxfp-difftest --bin difftest --release -- \
+  run --seeds 200 --opt 0
+
 echo "==> parity fuzz smoke: interpreter vs compiled engine"
 cargo test -q -p linuxfp-ebpf --release --test alu_parity --test jit_parity \
   | tail -n 2
+
+echo "==> parity fuzz smoke: naive vs optimized bytecode"
+cargo test -q -p linuxfp-ebpf --release --test opt_parity \
+  | tail -n 2
+
+echo "==> optimizer shrink: plain router loses >=25% of its instructions"
+cargo run -q --release --example linuxfp_opt_dump \
+  | awk '
+    $2 == "router" {
+      before = $3; after = $5
+      if (after + 0 > 0.75 * (before + 0)) {
+        printf "FAIL: router only shrank %s -> %s insns (needs >=25%%)\n", before, after
+        exit 1
+      }
+      printf "ok: router %s -> %s insns\n", before, after
+      found = 1
+    }
+    $2 != "router" && $1 == "opt_dump:" {
+      if ($5 + 0 > $3 + 0) {
+        printf "FAIL: %s grew %s -> %s insns\n", $2, $3, $5
+        exit 1
+      }
+    }
+    END { if (!found) { print "FAIL: router row not found in opt_dump"; exit 1 } }
+  '
 
 echo "==> bench smoke: jit dispatch (compiled churn-heavy >=20% under interpreted)"
 cargo run -q -p linuxfp-bench --bin repro --release -- jit_dispatch \
@@ -151,6 +182,24 @@ cargo run -q -p linuxfp-bench --bin repro --release -- jit_dispatch \
         exit 1
       }
       printf "ok: churn-heavy %s ns/pkt compiled vs %s interpreted\n", compiled, interp
+    }
+  '
+
+echo "==> bench smoke: optimizer dispatch (optimized churn-heavy >=5% under naive, beats 517 ns/pkt baseline)"
+cargo run -q -p linuxfp-bench --bin repro --release -- opt_dispatch \
+  | awk '
+    /churn-heavy/ { naive = $(NF-2); optimized = $(NF-1) }
+    END {
+      if (naive == "" || optimized == "") { print "FAIL: opt_dispatch churn-heavy row not found"; exit 1 }
+      if (optimized + 0 > 0.95 * (naive + 0)) {
+        printf "FAIL: optimized churn-heavy %s ns/pkt is not 5%% under naive %s\n", optimized, naive
+        exit 1
+      }
+      if (optimized + 0 > 0.95 * 517) {
+        printf "FAIL: optimized churn-heavy %s ns/pkt does not beat the 517 ns/pkt pre-optimizer baseline by 5%%\n", optimized
+        exit 1
+      }
+      printf "ok: churn-heavy %s ns/pkt optimized vs %s naive\n", optimized, naive
     }
   '
 

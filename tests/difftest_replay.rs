@@ -56,10 +56,39 @@ fn every_corpus_fixture_replays_transparent_without_jit() {
         let text = std::fs::read_to_string(&path).expect("readable fixture");
         let scenario =
             DiffScenario::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-        let outcome = run_with_options(&scenario, 1, false);
+        let outcome = run_with_options(&scenario, 1, false, true);
         assert!(
             outcome.transparent(),
             "{} ({}) diverged with jit off: {:?}",
+            path.display(),
+            scenario.name,
+            outcome.divergence
+        );
+        replayed += 1;
+    }
+    assert!(replayed >= 3, "corpus unexpectedly small: {replayed}");
+}
+
+/// The optimizer lane: every corpus fixture must also replay
+/// transparently with `net.linuxfp.opt=0` on both kernels — the fixed
+/// bugs stay fixed whether the programs load naive or shrunk.
+#[test]
+fn every_corpus_fixture_replays_transparent_without_opt() {
+    let mut replayed = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("corpus directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = std::fs::read_to_string(&path).expect("readable fixture");
+        let scenario =
+            DiffScenario::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let outcome = run_with_options(&scenario, 1, true, false);
+        assert!(
+            outcome.transparent(),
+            "{} ({}) diverged with opt off: {:?}",
             path.display(),
             scenario.name,
             outcome.divergence
@@ -134,10 +163,26 @@ fn seeded_scenarios_stay_transparent_without_jit() {
     // in each mode via scripts/ci.sh.
     for seed in 0..25 {
         let scenario = generate(seed);
-        let outcome = run_with_options(&scenario, 1, false);
+        let outcome = run_with_options(&scenario, 1, false, true);
         assert!(
             outcome.transparent(),
             "seed {seed} diverged with jit off: {:?}",
+            outcome.divergence
+        );
+    }
+}
+
+#[test]
+fn seeded_scenarios_stay_transparent_without_opt() {
+    // Same smoke band with the bytecode optimizer off — the naive
+    // synthesized programs must stay byte-identical to the slow path
+    // too; CI sweeps 200 seeds in this mode via scripts/ci.sh.
+    for seed in 0..25 {
+        let scenario = generate(seed);
+        let outcome = run_with_options(&scenario, 1, true, false);
+        assert!(
+            outcome.transparent(),
+            "seed {seed} diverged with opt off: {:?}",
             outcome.divergence
         );
     }
